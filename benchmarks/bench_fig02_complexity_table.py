@@ -1,0 +1,36 @@
+"""Figure 2 (complexity table): measured scaling exponents.
+
+Verifies the asymptotic table empirically: the exact algorithm scales
+quasi-linearly, the baseline MC quadratically (per permutation), the
+improved MC linearly, and exact weighted KNN polynomially with degree
+~K.
+"""
+
+from repro.experiments import figure2_complexity_table
+from repro.experiments.reporting import format_result
+
+
+def test_fig02_complexity_table(once):
+    result = once(
+        lambda: figure2_complexity_table(
+            exact_sizes=(2000, 4000, 8000, 16000),
+            mc_sizes=(400, 800, 1600, 3200),
+            weighted_sizes=(16, 24, 32),
+            k=2,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    slopes = {r["algorithm"]: r["measured_slope"] for r in result.rows}
+    exact_slope = slopes["exact unweighted (Thm 1)"]
+    baseline_slope = slopes["baseline MC (per permutation)"]
+    improved_slope = slopes["improved MC (per permutation, Alg 2)"]
+    weighted_slope = slopes["exact weighted (Thm 7, K=2)"]
+    # shape: exact ~linear, baseline super-linear (quadratic term
+    # emerging), improved MC ~linear, weighted ~N^K
+    assert exact_slope < 1.6
+    assert baseline_slope > exact_slope + 0.3
+    assert baseline_slope > improved_slope + 0.2
+    assert improved_slope < 1.5
+    assert weighted_slope > 1.5

@@ -1,0 +1,23 @@
+"""Figure 5: the MC estimate converges to the exact Shapley value."""
+
+from repro.experiments import figure5_mc_convergence
+from repro.experiments.reporting import format_result
+
+
+def test_fig05_mc_convergence(once):
+    result = once(
+        lambda: figure5_mc_convergence(
+            n_train=1000,
+            n_test=20,
+            k=1,
+            permutation_grid=(10, 50, 100, 500, 2000),
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    errs = result.column("max_abs_error")
+    corrs = result.column("pearson_r")
+    # shape: monotone-ish convergence to the exact values
+    assert errs[-1] < errs[0] / 3
+    assert corrs[-1] > 0.95

@@ -1,0 +1,39 @@
+"""Figure 6: runtime vs training size (exact vs baseline MC vs LSH).
+
+The paper's shape: the exact algorithm beats the baseline MC by orders
+of magnitude at every size; the LSH query phase grows sublinearly.
+"""
+
+import math
+
+from repro.experiments import figure6_runtime_vs_n
+from repro.experiments.reporting import format_result
+
+
+def test_fig06_runtime_vs_n(once):
+    result = once(
+        lambda: figure6_runtime_vs_n(
+            sizes=(500, 1000, 2000, 4000, 8000),
+            mc_max_n=1000,
+            n_test=5,
+            k=1,
+            epsilon=0.1,
+            delta=0.1,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    rows = result.rows
+    # baseline MC is orders of magnitude slower than exact wherever run
+    for r in rows:
+        if not math.isnan(r["mc_baseline_s"]):
+            assert r["mc_baseline_s"] > 100 * r["exact_s"]
+    # LSH query cost grows slower than the training size
+    first, last = rows[0], rows[-1]
+    size_ratio = last["n_train"] / first["n_train"]
+    lsh_ratio = last["lsh_query_s"] / max(first["lsh_query_s"], 1e-9)
+    assert lsh_ratio < size_ratio
+    # and the LSH values stay within the epsilon target
+    for r in rows:
+        assert r["lsh_max_err"] <= 0.1 + 1e-9

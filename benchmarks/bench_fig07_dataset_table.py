@@ -1,0 +1,26 @@
+"""Figure 7: exact vs LSH per-query runtime on the three dataset
+stand-ins with their estimated relative contrast (K = 1)."""
+
+from repro.experiments import figure7_dataset_table
+from repro.experiments.reporting import format_result
+
+
+def test_fig07_dataset_table(once):
+    result = once(
+        lambda: figure7_dataset_table(
+            n_test=5, epsilon=0.1, delta=0.1, seed=0, size_scale=0.25
+        )
+    )
+    print()
+    print(format_result(result))
+    rows = {r["dataset"]: r for r in result.rows}
+    # contrast estimates fall in the paper's ballpark (1.1 - 1.6)
+    for r in result.rows:
+        assert 1.05 < r["contrast"] < 1.8
+    # the paper's contrast ordering: yahoo10m highest
+    assert rows["yahoo10m"]["contrast"] > rows["imagenet"]["contrast"]
+    # exact runtime follows dataset size
+    assert rows["yahoo10m"]["exact_s"] > rows["cifar10"]["exact_s"]
+    # approximation quality within the epsilon target
+    for r in result.rows:
+        assert r["lsh_max_err"] <= 0.1 + 1e-9

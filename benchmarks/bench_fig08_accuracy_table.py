@@ -1,0 +1,20 @@
+"""Figure 8: KNN (K=1,2,5) vs logistic regression prediction accuracy."""
+
+from repro.experiments import figure8_accuracy_table
+from repro.experiments.reporting import format_result
+
+
+def test_fig08_accuracy_table(once):
+    result = once(
+        lambda: figure8_accuracy_table(n_train=2000, n_test=400, seed=0)
+    )
+    print()
+    print(format_result(result))
+    for row in result.rows:
+        # KNN is a competitive classifier on embedding features
+        assert row["1nn"] > 0.6
+        assert row["logistic"] - max(row["1nn"], row["5nn"]) < 0.2
+    by_name = {r["dataset"]: r for r in result.rows}
+    # the paper's ordering: yahoo10m is the easiest dataset
+    assert by_name["yahoo10m"]["1nn"] >= by_name["cifar10"]["1nn"]
+    assert by_name["yahoo10m"]["1nn"] >= by_name["imagenet"]["1nn"]

@@ -1,0 +1,85 @@
+"""Figure 9: relative contrast governs the LSH method's difficulty.
+
+(a) C_K* vs K* orders deep > gist > dog-fish; (b, c) the SV error falls
+with the number of hash tables / returned candidates, low-contrast
+datasets needing more; (d) the SV error falls with retrieval recall.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    figure9_contrast_vs_kstar,
+    figure9_error_vs_recall,
+    figure9_error_vs_tables,
+)
+from repro.experiments.reporting import format_result
+
+
+def test_fig09a_contrast_vs_kstar(once):
+    result = once(
+        lambda: figure9_contrast_vs_kstar(
+            n_train=2000, n_test=50, kstar_grid=(1, 5, 10, 50, 100), seed=0
+        )
+    )
+    print()
+    print(format_result(result))
+    last = {
+        r["dataset"]: r["contrast"]
+        for r in result.rows
+        if r["k_star"] == 100
+    }
+    assert last["deep"] > last["gist"] > last["dogfish"]
+    # contrast decreases with K* for every dataset
+    for name in ("deep", "gist", "dogfish"):
+        series = [r["contrast"] for r in result.rows if r["dataset"] == name]
+        assert series[0] >= series[-1]
+
+
+def test_fig09bc_error_vs_tables(once):
+    result = once(
+        lambda: figure9_error_vs_tables(
+            n_train=2000,
+            n_test=10,
+            k=2,
+            epsilon=0.05,
+            table_grid=(1, 2, 5, 10, 20, 40),
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    for name in ("deep", "gist", "dogfish"):
+        series = [
+            r["max_sv_error"] for r in result.rows if r["dataset"] == name
+        ]
+        # more tables -> error no worse (compare endpoints)
+        assert series[-1] <= series[0] + 1e-9
+    # the low-contrast dataset has the largest terminal error
+    terminal = {
+        r["dataset"]: r["max_sv_error"]
+        for r in result.rows
+        if r["n_tables"] == 40
+    }
+    assert terminal["dogfish"] >= terminal["deep"] - 1e-9
+
+
+def test_fig09d_error_vs_recall(once):
+    result = once(
+        lambda: figure9_error_vs_recall(
+            n_train=2000,
+            n_test=10,
+            k=2,
+            epsilon=0.05,
+            table_grid=(1, 2, 5, 10, 20, 40),
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    # pooled across datasets, error decreases with recall
+    recalls = np.array(result.column("recall"))
+    errors = np.array(result.column("max_sv_error"))
+    lo = errors[recalls < 0.5].mean() if np.any(recalls < 0.5) else None
+    hi = errors[recalls > 0.9].mean() if np.any(recalls > 0.9) else None
+    if lo is not None and hi is not None:
+        assert hi <= lo

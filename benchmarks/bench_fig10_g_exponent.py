@@ -1,0 +1,51 @@
+"""Figure 10: the complexity exponent g(C_K*) of the LSH method.
+
+(a) contrast grows and g falls with epsilon; g < 1 (sublinear) except
+for the smallest epsilon.  (b) g varies mildly with the projection
+width and flattens.
+"""
+
+from repro.experiments import figure10_g_vs_epsilon, figure10_g_vs_width
+from repro.experiments.reporting import format_result
+
+
+def test_fig10a_g_vs_epsilon(once):
+    result = once(
+        lambda: figure10_g_vs_epsilon(
+            n_train=5000,
+            n_test=50,
+            k=1,
+            epsilons=(0.001, 0.01, 0.1, 1.0),
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    gs = result.column("g")
+    contrasts = result.column("contrast")
+    # epsilon up -> K* down -> contrast up -> g down
+    assert all(a >= b - 1e-9 for a, b in zip(gs, gs[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(contrasts, contrasts[1:]))
+    # the largest epsilons are in the sublinear regime
+    assert gs[-1] < 1.0
+    # the smallest epsilon has the largest exponent
+    assert gs[0] == max(gs)
+
+
+def test_fig10b_g_vs_width(once):
+    result = once(
+        lambda: figure10_g_vs_width(
+            contrasts=(1.1, 1.3, 1.6, 2.0),
+            widths=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0),
+        )
+    )
+    print()
+    print(format_result(result))
+    # g is monotone in contrast at every width
+    for w in (0.5, 2.0, 6.0):
+        series = [r["g"] for r in result.rows if r["width"] == w]
+        assert all(a > b for a, b in zip(series, series[1:]))
+    # flattens: the last two widths differ little
+    for c in (1.3, 2.0):
+        series = [r["g"] for r in result.rows if r["contrast"] == c]
+        assert abs(series[-1] - series[-2]) < 0.1

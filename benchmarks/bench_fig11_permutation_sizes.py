@@ -1,0 +1,36 @@
+"""Figure 11: permutation budgets across training sizes.
+
+Hoeffding (baseline) grows with N and over-provisions; Bennett
+(Theorem 5) flattens; the convergence heuristic stops earliest while
+meeting the error target.
+"""
+
+from repro.experiments import figure11_permutation_sizes
+from repro.experiments.reporting import format_result
+
+
+def test_fig11_permutation_sizes(once):
+    result = once(
+        lambda: figure11_permutation_sizes(
+            sizes=(100, 300, 1000, 3000),
+            k=1,
+            epsilon=0.1,
+            delta=0.05,
+            probe_grid=(5, 10, 20, 40, 80, 160),
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    hoeff = result.column("hoeffding")
+    benn = result.column("bennett")
+    truth = result.column("ground_truth")
+    heur = result.column("heuristic")
+    # Hoeffding grows with N; Bennett stays ~flat (the paper's point)
+    assert hoeff[-1] > hoeff[0]
+    assert benn[-1] <= benn[0] * 1.2
+    # the ground truth requirement is far below the theory bounds
+    assert all(t <= h for t, h in zip(truth, hoeff))
+    assert all(t <= b for t, b in zip(truth, benn))
+    # the heuristic under-shoots the theoretical budgets too
+    assert all(he <= h for he, h in zip(heur, hoeff))

@@ -1,0 +1,37 @@
+"""Figure 12: weighted KNN — exact (Theorem 7) vs improved MC runtime.
+
+The exact algorithm's runtime grows polynomially in N (degree ~K) and
+exponentially in K; the improved MC estimator's runtime barely moves.
+"""
+
+from repro.experiments import figure12_weighted_runtime
+from repro.experiments.reporting import format_result
+
+
+def test_fig12_weighted_runtime(once):
+    result = once(
+        lambda: figure12_weighted_runtime(
+            sizes=(16, 24, 32, 40),
+            k_grid=(1, 2, 3),
+            fixed_k=3,
+            fixed_n=24,
+            n_test=1,
+            mc_permutations=50,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    vary_n = [r for r in result.rows if r["sweep"] == "vary_n"]
+    vary_k = [r for r in result.rows if r["sweep"] == "vary_k"]
+    # exact runtime explodes with N at fixed K...
+    assert vary_n[-1]["exact_s"] > 3 * vary_n[0]["exact_s"]
+    # ...and with K at fixed N
+    assert vary_k[-1]["exact_s"] > 3 * vary_k[0]["exact_s"]
+    # MC runtime moves far less across the same sweeps
+    mc_growth_n = vary_n[-1]["mc_s"] / max(vary_n[0]["mc_s"], 1e-9)
+    exact_growth_n = vary_n[-1]["exact_s"] / max(vary_n[0]["exact_s"], 1e-9)
+    assert mc_growth_n < exact_growth_n
+    mc_growth_k = vary_k[-1]["mc_s"] / max(vary_k[0]["mc_s"], 1e-9)
+    exact_growth_k = vary_k[-1]["exact_s"] / max(vary_k[0]["exact_s"], 1e-9)
+    assert mc_growth_k < exact_growth_k

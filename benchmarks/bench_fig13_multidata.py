@@ -1,0 +1,37 @@
+"""Figure 13: multi-data-per-seller — exact (Theorem 8) vs improved MC.
+
+At constant pooled data, the exact algorithm's runtime grows with the
+seller count and with K; the MC estimator's runtime is governed by the
+pooled size only, so it stays flat in both sweeps.
+"""
+
+from repro.experiments import figure13_multidata_runtime
+from repro.experiments.reporting import format_result
+
+
+def test_fig13_multidata_runtime(once):
+    result = once(
+        lambda: figure13_multidata_runtime(
+            seller_grid=(5, 10, 15, 20),
+            k_grid=(1, 2, 3),
+            pooled_n=60,
+            fixed_k=2,
+            fixed_sellers=10,
+            n_test=1,
+            mc_permutations=50,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    vary_m = [r for r in result.rows if r["sweep"] == "vary_sellers"]
+    vary_k = [r for r in result.rows if r["sweep"] == "vary_k"]
+    # exact grows with the seller count; MC grows strictly less
+    exact_growth = vary_m[-1]["exact_s"] / max(vary_m[0]["exact_s"], 1e-9)
+    mc_growth = vary_m[-1]["mc_s"] / max(vary_m[0]["mc_s"], 1e-9)
+    assert exact_growth > 1.5
+    assert mc_growth < exact_growth
+    # exact grows with K; MC stays comparatively flat
+    exact_growth_k = vary_k[-1]["exact_s"] / max(vary_k[0]["exact_s"], 1e-9)
+    mc_growth_k = vary_k[-1]["mc_s"] / max(vary_k[0]["mc_s"], 1e-9)
+    assert mc_growth_k < exact_growth_k

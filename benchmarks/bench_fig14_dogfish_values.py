@@ -1,0 +1,34 @@
+"""Figure 14: semantics of the values on the dog-fish stand-in (K=3).
+
+(a) top-valued points share the test class; (b) unweighted and weighted
+values correlate strongly; (c) the class supplying more misleading
+(label-inconsistent) neighbors earns lower values.
+"""
+
+from repro.experiments import figure14_value_semantics
+from repro.experiments.reporting import format_result
+
+
+def test_fig14_value_semantics(once):
+    result = once(
+        lambda: figure14_value_semantics(
+            n_train=60, n_test=5, k=3, top=10, seed=0
+        )
+    )
+    print()
+    print(format_result(result))
+    lookup = {r["quantity"]: r["value"] for r in result.rows}
+    # (a) the top-valued points are semantically related to the test
+    assert lookup["top-valued same-label fraction"] > 0.7
+    # (b) unweighted vs weighted agreement (paper: "close")
+    assert lookup["pearson(unweighted, weighted)"] > 0.7
+    # (c) the class with more misleading neighbors has the lower mean SV
+    counts = {
+        c: lookup[f"class {c}: inconsistent-neighbor count"]
+        for c in (0, 1)
+    }
+    means = {c: lookup[f"class {c}: mean SV"] for c in (0, 1)}
+    if counts[0] != counts[1]:
+        worse = max(counts, key=counts.get)
+        better = min(counts, key=counts.get)
+        assert means[worse] <= means[better] + 1e-9

@@ -1,0 +1,34 @@
+"""Figure 15: composite-game dynamics (K=10).
+
+The analyst's value grows with total utility and takes at least half;
+composite contributor values correlate with data-only values; per-
+contributor value dilutes as more contributors join.
+"""
+
+from repro.experiments import figure15_composite_game
+from repro.experiments.reporting import format_result
+
+
+def test_fig15_composite_game(once):
+    result = once(
+        lambda: figure15_composite_game(
+            contributor_grid=(20, 60, 120, 200), n_test=10, k=10, seed=0
+        )
+    )
+    print()
+    print(format_result(result))
+    rows = result.rows
+    # (a) analyst value tracks total utility and takes >= 1/2
+    for r in rows:
+        assert r["analyst_share"] >= 0.5 - 1e-9
+        assert r["analyst_value"] <= r["total_utility"] + 1e-9
+    # (b) composite vs data-only contributor correlation is high
+    assert all(r["corr_with_data_only"] > 0.9 for r in rows)
+    # (c) per-contributor value dilutes as more contributors join
+    # (endpoint comparison — the series is noisy at small sizes)
+    means = result.column("contributor_mean")
+    assert means[-1] < means[0]
+    # (d) the minimum contributor value is the most negative early on
+    mins = result.column("contributor_min")
+    maxs = result.column("contributor_max")
+    assert all(lo <= hi for lo, hi in zip(mins, maxs))

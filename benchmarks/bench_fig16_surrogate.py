@@ -1,0 +1,26 @@
+"""Figure 16: KNN Shapley values vs logistic-regression Shapley values.
+
+The cheap exact KNN values correlate with the expensive Monte Carlo
+values of a retrained logistic regression on an Iris-like dataset.
+"""
+
+from repro.experiments import figure16_surrogate_correlation
+from repro.experiments.reporting import format_result
+
+
+def test_fig16_surrogate(once):
+    result = once(
+        lambda: figure16_surrogate_correlation(
+            n_train=36,
+            n_test=30,
+            k=1,
+            label_noise=0.15,
+            mc_permutations=300,
+            seed=1,
+        )
+    )
+    print()
+    print(format_result(result))
+    lookup = {r["metric"]: r["correlation"] for r in result.rows}
+    assert lookup["pearson"] > 0.5
+    assert lookup["spearman"] > 0.3

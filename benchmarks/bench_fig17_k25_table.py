@@ -1,0 +1,27 @@
+"""Figure 17 (Appendix A.1): the Figure 7 runtime table at K = 2 and 5.
+
+The paper's point: the exact-vs-LSH comparison is insensitive to K in
+this range.
+"""
+
+from repro.experiments import figure17_dataset_table_k25
+from repro.experiments.reporting import format_result
+
+
+def test_fig17_k25_table(once):
+    result = once(
+        lambda: figure17_dataset_table_k25(
+            n_test=5, epsilon=0.1, delta=0.1, seed=0, size_scale=0.15
+        )
+    )
+    print()
+    print(format_result(result))
+    # runtimes for K=2 and K=5 are close for every dataset (the K*
+    # that governs retrieval is 1/epsilon = 10 in both cases)
+    by_key = {(r["k"], r["dataset"]): r for r in result.rows}
+    for dataset in ("cifar10", "imagenet", "yahoo10m"):
+        a = by_key[(2, dataset)]["exact_s"]
+        b = by_key[(5, dataset)]["exact_s"]
+        assert abs(a - b) <= 0.5 * max(a, b) + 0.05
+    for r in result.rows:
+        assert r["lsh_max_err"] <= 0.1 + 1e-9

@@ -1,0 +1,36 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures through
+:mod:`repro.experiments` and prints the paper-vs-measured report.  Run
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables inline; timings land in the pytest-benchmark summary.
+Scales are reduced relative to the paper (see DESIGN.md) so the whole
+suite completes in minutes; every experiment function accepts size
+parameters for full-scale runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    The experiments are internally repeated/averaged where that
+    matters; re-running whole experiments many times would multiply the
+    suite runtime without improving the measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture alias for :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

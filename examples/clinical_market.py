@@ -1,0 +1,88 @@
+"""The paper's motivating scenario: a clinical data marketplace.
+
+Patients (sellers) contribute medical records; a buyer pays for a KNN
+diagnostic model trained on the pooled records; a hospital analytics
+lab (the analyst) contributes computation.  The marketplace values
+every contribution with the exact Shapley algorithms and settles the
+buyer's payment:
+
+* per-patient values via Theorem 8 (each patient owns several visits);
+* the analyst's share via the composite game (Theorem 12);
+* money via the affine revenue model of Section 7.
+
+Run:  python examples/clinical_market.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import assign_sellers, gaussian_blobs
+from repro.market import (
+    AffineRevenueModel,
+    Analyst,
+    Buyer,
+    Marketplace,
+)
+
+SEED = 7
+N_PATIENTS = 12
+N_RECORDS = 60  # total "visits" across all patients
+
+
+def main() -> None:
+    # Synthetic cohort: each record is a feature vector (labs, vitals,
+    # imaging embedding) with a binary outcome label.
+    records = gaussian_blobs(
+        n_train=N_RECORDS,
+        n_test=20,
+        n_classes=2,
+        n_features=24,
+        separation=2.5,
+        name="clinical-cohort",
+        seed=SEED,
+    )
+    cohort = assign_sellers(records, N_PATIENTS, seed=SEED)
+
+    buyer = Buyer(budget=10_000.0, name="insurer")
+    analyst = Analyst(name="hospital-lab", metadata={"hw": "GPU cluster"})
+    market = Marketplace(
+        dataset=records,
+        k=3,
+        grouped=cohort,
+        analyst=analyst,
+        revenue_model=AffineRevenueModel(a=1.0, b=0.0),
+    )
+
+    report = market.settle(buyer)
+    print(f"model utility on the buyer's test set: {report.grand_utility:.3f}")
+    print(f"budget distributed: ${report.ledger.budget:,.0f}\n")
+
+    print(f"{'patient':<12}{'records':>8}{'value':>12}{'payment':>12}")
+    values = report.valuation.values
+    for seller in report.sellers:
+        v = values[seller.seller_id]
+        pay = report.seller_payment(seller.seller_id)
+        print(
+            f"{seller.name:<12}{seller.n_points:>8}"
+            f"{v:>12.5f}{pay:>12.2f}"
+        )
+    print(
+        f"{'analyst':<12}{'-':>8}{values[-1]:>12.5f}"
+        f"{report.analyst_payment():>12.2f}"
+    )
+
+    share = report.analyst_payment() / report.ledger.budget
+    print(
+        f"\nthe analyst keeps {share:.0%} of the budget — the composite "
+        "game provably grants computation at least half of the total "
+        "utility (eqs 88-89)"
+    )
+
+    # Patients whose records actively hurt the model:
+    flagged = market.flag_low_value_sellers(quantile=0.2)
+    print(f"patients flagged for data-quality review: {flagged.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

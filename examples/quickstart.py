@@ -1,0 +1,70 @@
+"""Quickstart: value a training set for a KNN classifier in four lines.
+
+Generates a synthetic deep-feature dataset, computes the exact Shapley
+value of every training point (Theorem 1 — O(N log N), not O(2^N)),
+and shows what the values are good for: ranking points, spotting
+harmful ones, and checking the group-rationality accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KNNShapleyValuator
+from repro.datasets import gaussian_blobs, inject_label_noise
+
+SEED = 0
+
+
+def main() -> None:
+    # 1. Data: 2000 training points, 50 test points, 32-d features —
+    #    with 10% of training labels deliberately flipped.
+    clean = gaussian_blobs(
+        n_train=2000,
+        n_test=50,
+        n_classes=3,
+        n_features=32,
+        separation=3.0,
+        seed=SEED,
+    )
+    data, flipped = inject_label_noise(clean, fraction=0.10, seed=SEED)
+
+    # 2. Value every training point, exactly.
+    valuator = KNNShapleyValuator(data, k=5)
+    result = valuator.exact()
+
+    print(f"dataset: {data.n_train} train / {data.n_test} test points")
+    print(f"method:  {result.method}")
+    print(f"sum of values  = {result.total():.4f}")
+    print(f"utility  v(I)  = {valuator.utility().grand_value():.4f}")
+    print("(equal, by group rationality)\n")
+
+    # 3. The ranking is meaningful: flipped labels sink to the bottom.
+    order = np.argsort(result.values)
+    bottom_200 = order[:200]
+    frac_flipped = np.isin(bottom_200, flipped).mean()
+    print(
+        f"bottom-200 points by value: {frac_flipped:.0%} are mislabeled "
+        f"(base rate {len(flipped) / data.n_train:.0%})"
+    )
+
+    # 4. Approximations, when N gets large:
+    truncated = valuator.truncated(epsilon=0.01)
+    err = np.max(np.abs(truncated.values - result.values))
+    print(
+        f"\ntruncated approximation (eps=0.01, K*="
+        f"{truncated.extra['k_star']}): max error {err:.2e}"
+    )
+
+    mc = valuator.monte_carlo(epsilon=0.1, delta=0.1, seed=SEED)
+    err_mc = np.max(np.abs(mc.values - result.values))
+    print(
+        f"improved MC (Bennett budget, "
+        f"{mc.extra['n_permutations']} permutations): max error {err_mc:.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments without the ``wheel`` package (pip's
+PEP 517 editable path needs ``bdist_wheel``):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — Efficient Task-Specific Data Valuation for Nearest Neighbor Algorithms.
+
+A from-scratch reproduction of Jia et al. (VLDB 2019): exact
+O(N log N) Shapley values for unweighted KNN classifiers and
+regressors, truncated and LSH-based sublinear approximations, exact
+polynomial-time algorithms for weighted KNN and per-seller valuation,
+composite games that value an analyst alongside data sellers, and
+improved (Bennett-bound) Monte Carlo estimation.
+
+Quickstart::
+
+    from repro import KNNShapleyValuator
+    from repro.datasets import gaussian_blobs
+
+    data = gaussian_blobs(n_train=1000, n_test=50, seed=0)
+    valuator = KNNShapleyValuator(data, k=5)
+    result = valuator.exact()
+    print(result.top(10))          # ten most valuable training points
+"""
+
+from .exceptions import (
+    ConvergenceError,
+    DataValidationError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+    UtilityError,
+)
+from .types import Dataset, GroupedDataset, ValuationResult
+from .valuation import KNNShapleyValuator, surrogate_values
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "GroupedDataset",
+    "ValuationResult",
+    "KNNShapleyValuator",
+    "surrogate_values",
+    "ReproError",
+    "DataValidationError",
+    "ParameterError",
+    "NotFittedError",
+    "ConvergenceError",
+    "UtilityError",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""Sample-complexity bounds for Monte Carlo Shapley estimation.
+
+Three permutation budgets appear in the paper's Figure 11:
+
+* **Hoeffding** (Section 2.2, the baseline): treats every marginal
+  contribution as an arbitrary bounded variable, giving
+  ``T = (r^2 / (2 eps^2)) * ln(2N / delta)``.
+* **Bennett** (Theorem 5, the paper's improvement): exploits that for
+  KNN most insertions do not change the K nearest neighbors, so the
+  *variance* of the marginal contribution of a far point is tiny even
+  though its *range* is not.  The budget solves
+  ``sum_i exp(-T (1 - q_i^2) h(eps / ((1 - q_i^2) r))) = delta / 2``
+  with ``q_i = 0`` for ``i <= K`` and ``q_i = (i - K)/i`` otherwise,
+  and ``h(u) = (1 + u) ln(1 + u) - u``.
+* **Bennett, closed-form approximation** (eq 34 / Appendix H):
+  ``T ≈ (1 / h(eps / r)) * ln(2K / delta)``, which no longer grows
+  with N.
+
+All budgets are per-test-point permutation counts over the training
+set; the same permutations serve every training point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, ParameterError
+
+__all__ = [
+    "bennett_h",
+    "hoeffding_permutations",
+    "bennett_permutations",
+    "bennett_approx_permutations",
+    "bennett_qi",
+]
+
+
+def _validate(epsilon: float, delta: float, r: float) -> None:
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must lie in (0, 1), got {delta}")
+    if r <= 0:
+        raise ParameterError(f"range r must be positive, got {r}")
+
+
+def bennett_h(u: np.ndarray | float) -> np.ndarray | float:
+    """Bennett's function ``h(u) = (1 + u) ln(1 + u) - u`` (u >= 0)."""
+    u_arr = np.asarray(u, dtype=np.float64)
+    out = (1.0 + u_arr) * np.log1p(u_arr) - u_arr
+    return out if isinstance(u, np.ndarray) else float(out)
+
+
+def hoeffding_permutations(
+    epsilon: float, delta: float, n: int, r: float
+) -> int:
+    """Baseline permutation budget from Hoeffding's inequality.
+
+    ``T = ceil( (r^2 / (2 eps^2)) * ln(2N / delta) )``
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Target (epsilon, delta)-approximation of the max-norm error.
+    n:
+        Number of training points (the union bound is over all N).
+    r:
+        Range of the marginal contribution ``phi_i`` (``1/K`` for the
+        unweighted KNN classification utility).
+    """
+    _validate(epsilon, delta, r)
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    return int(math.ceil(r**2 / (2.0 * epsilon**2) * math.log(2.0 * n / delta)))
+
+
+def bennett_qi(n: int, k: int) -> np.ndarray:
+    """The zero-marginal probabilities ``q_i`` of Theorem 5 (eq 33).
+
+    ``q_i`` lower-bounds the probability that inserting the i-th
+    nearest training point into a random permutation prefix leaves the
+    K nearest neighbors unchanged: 0 for the K nearest points and
+    ``(i - K) / i`` beyond.
+    """
+    if n <= 0 or k <= 0:
+        raise ParameterError(f"n and k must be positive, got n={n}, k={k}")
+    i = np.arange(1, n + 1, dtype=np.float64)
+    q = np.where(i <= k, 0.0, (i - k) / i)
+    return q
+
+
+def bennett_permutations(
+    epsilon: float,
+    delta: float,
+    n: int,
+    k: int,
+    r: float,
+    max_iter: int = 200,
+) -> int:
+    """Permutation budget from Theorem 5 (Bennett's inequality).
+
+    Solves eq (32) for ``T*`` by bisection.  The left-hand side is
+    strictly decreasing in ``T``, so the root is unique.
+    """
+    _validate(epsilon, delta, r)
+    q = bennett_qi(n, k)
+    one_minus_q2 = 1.0 - q**2
+    h_vals = np.asarray(bennett_h(epsilon / (one_minus_q2 * r)))
+    exponents = one_minus_q2 * h_vals  # per-point decay rate
+
+    def lhs(t: float) -> float:
+        return float(np.exp(-t * exponents).sum())
+
+    target = delta / 2.0
+    lo, hi = 0.0, 1.0
+    it = 0
+    while lhs(hi) > target:
+        hi *= 2.0
+        it += 1
+        if it > max_iter:
+            raise ConvergenceError(
+                "failed to bracket the Bennett permutation budget"
+            )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if lhs(mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return int(math.ceil(hi))
+
+
+def bennett_approx_permutations(
+    epsilon: float, delta: float, k: int, r: float
+) -> int:
+    """Closed-form approximation of the Bennett budget (eq 34).
+
+    ``T ≈ ceil( (1 / h(eps / r)) * ln(2K / delta) )`` — independent of
+    N, which is the qualitative point of Figure 11: the required
+    permutation count flattens out as the training set grows.
+    """
+    _validate(epsilon, delta, r)
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    h_val = float(bennett_h(epsilon / r))
+    return int(math.ceil(math.log(2.0 * k / delta) / h_val))

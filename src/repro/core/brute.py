@@ -1,0 +1,102 @@
+"""Brute-force Shapley value computation (the test oracle).
+
+Two independent implementations of the definition:
+
+* :func:`shapley_by_subsets` — eq (2): for every player, average the
+  marginal contribution over all ``2^{N-1}`` coalitions, with the
+  combinatorial weights.  Evaluates the utility once per subset of the
+  grand coalition (``2^N`` evaluations total, memoized by bitmask).
+* :func:`shapley_by_permutations` — eq (3): average the marginal
+  contribution over all ``N!`` permutations.
+
+Both are exponential and intended for ``N <= ~12``.  They exist so that
+every efficient algorithm in :mod:`repro.core` can be validated for
+*exact* agreement on small instances — the paper's theorems claim exact
+equality, and the tests hold them to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import ValuationResult
+from ..utility.base import UtilityFunction
+
+__all__ = ["shapley_by_subsets", "shapley_by_permutations", "all_subset_values"]
+
+_MAX_BRUTE_N = 20
+
+
+def all_subset_values(utility: UtilityFunction) -> np.ndarray:
+    """Evaluate the utility on every subset of the grand coalition.
+
+    Returns an array ``v`` of length ``2^N`` where ``v[mask]`` is the
+    utility of the coalition whose members are the set bits of ``mask``.
+    """
+    n = utility.n_players
+    if n > _MAX_BRUTE_N:
+        raise ParameterError(
+            f"brute force limited to N <= {_MAX_BRUTE_N}, got {n}"
+        )
+    values = np.empty(2**n, dtype=np.float64)
+    members = np.arange(n, dtype=np.intp)
+    for mask in range(2**n):
+        sel = members[(mask >> members) & 1 == 1]
+        values[mask] = utility._evaluate(sel)
+    return values
+
+
+def shapley_by_subsets(utility: UtilityFunction) -> ValuationResult:
+    """Exact Shapley values via the subset-sum definition (eq 2).
+
+    ``s_i = (1/N) * sum_{S ⊆ I\\{i}} [v(S ∪ {i}) − v(S)] / C(N−1, |S|)``
+    """
+    n = utility.n_players
+    v = all_subset_values(utility)
+    # popcount per mask, computed incrementally
+    sizes = np.zeros(2**n, dtype=np.int64)
+    for mask in range(1, 2**n):
+        sizes[mask] = sizes[mask >> 1] + (mask & 1)
+    inv_binom = np.array(
+        [1.0 / math.comb(n - 1, k) for k in range(n)], dtype=np.float64
+    )
+    s = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        bit = 1 << i
+        for mask in range(2**n):
+            if mask & bit:
+                continue
+            s[i] += (v[mask | bit] - v[mask]) * inv_binom[sizes[mask]]
+    s /= n
+    return ValuationResult(values=s, method="brute-subsets")
+
+
+def shapley_by_permutations(utility: UtilityFunction) -> ValuationResult:
+    """Exact Shapley values via the permutation definition (eq 3).
+
+    ``s_i = (1/N!) * sum_{π} [v(P_i^π ∪ {i}) − v(P_i^π)]``
+
+    Marginals are read from the memoized subset table, so the cost is
+    ``2^N`` utility evaluations plus ``N! * N`` table lookups.
+    """
+    n = utility.n_players
+    if n > 10:
+        raise ParameterError(
+            f"permutation enumeration limited to N <= 10, got {n}"
+        )
+    v = all_subset_values(utility)
+    s = np.zeros(n, dtype=np.float64)
+    count = 0
+    for perm in itertools.permutations(range(n)):
+        mask = 0
+        for player in perm:
+            new_mask = mask | (1 << player)
+            s[player] += v[new_mask] - v[mask]
+            mask = new_mask
+        count += 1
+    s /= count
+    return ValuationResult(values=s, method="brute-permutations")

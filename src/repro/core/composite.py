@@ -1,0 +1,420 @@
+"""Closed-form Shapley values for the composite game (Theorems 9-12).
+
+The composite game (eq 28) adds one more player to the data-only game:
+the *analyst* who contributes computation.  A coalition has value only
+if it contains the analyst **and** at least one seller.  The paper shows
+the sellers' values keep the recursion-over-ranks structure with
+modified combinatorial coefficients, and the analyst's value follows
+from group rationality::
+
+    s_C = v(I) - sum_i s_i
+
+Each data point's composite value is strictly smaller than its
+data-only value (eqs 88-89 bound the ratio by 1/2) — the analyst
+captures at least half of the total utility.
+
+Player ordering in every result: training points (or sellers) first,
+the analyst last — matching
+:class:`repro.utility.composite.CompositeUtility`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.search import argsort_by_distance
+from ..types import Dataset, GroupedDataset, ValuationResult
+from ..utility.base import UtilityFunction
+from ..utility.weighted_utility import (
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+from .grouped import _rank_of
+
+__all__ = [
+    "composite_knn_shapley",
+    "composite_knn_regression_shapley",
+    "composite_weighted_knn_shapley",
+    "composite_grouped_knn_shapley",
+]
+
+
+# ----------------------------------------------------------------------
+# Theorem 9: unweighted KNN classification
+# ----------------------------------------------------------------------
+def composite_knn_shapley(
+    dataset: Dataset, k: int, metric: str = "euclidean"
+) -> ValuationResult:
+    """Composite-game Shapley values, unweighted KNN classifier (Thm 9).
+
+    With ranks sorted by distance::
+
+        s_{alpha_N} = (min(N, K) + 1) / (2 (N+1) N) * 1[y_{alpha_N} = y_test]
+        s_{alpha_i} = s_{alpha_{i+1}}
+                      + (1[y_i = y] - 1[y_{i+1} = y]) / K
+                        * min(i, K) (min(i, K) + 1) / (2 i (i+1))
+        s_C         = v(I) - sum_i s_i
+
+    Returns one value per training point plus the analyst (last).
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    order, _ = argsort_by_distance(dataset.x_test, dataset.x_train, metric=metric)
+    n_test, n = order.shape
+    match = (dataset.y_train[order] == dataset.y_test[:, None]).astype(np.float64)
+
+    s_rank = np.empty((n_test, n), dtype=np.float64)
+    # Data-only anchor 1[match]*min(K,N)/(NK) times the eq (88) ratio
+    # (min(N,K)+1)/(2(N+1)); reduces to eq (85) when K < N.
+    mkn = min(n, k)
+    s_rank[:, -1] = match[:, -1] * mkn * (mkn + 1) / (2.0 * (n + 1) * n * k)
+    if n > 1:
+        i = np.arange(1, n, dtype=np.float64)
+        mik = np.minimum(i, float(k))
+        factors = mik * (mik + 1.0) / (2.0 * i * (i + 1.0)) / k
+        diffs = (match[:, :-1] - match[:, 1:]) * factors[None, :]
+        tail = np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
+        s_rank[:, :-1] = tail + s_rank[:, -1:]
+
+    per_test = np.empty_like(s_rank)
+    np.put_along_axis(per_test, order, s_rank, axis=1)
+    point_values = per_test.mean(axis=0)
+    grand = float(match[:, : min(k, n)].sum(axis=1).mean() / k)
+    analyst = grand - float(point_values.sum())
+    return ValuationResult(
+        values=np.append(point_values, analyst),
+        method="composite-exact",
+        extra={"k": k, "grand_utility": grand, "per_test": per_test},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 10: unweighted KNN regression
+# ----------------------------------------------------------------------
+def _composite_regression_single(y: np.ndarray, t: float, k: int) -> np.ndarray:
+    """Theorem 10 recursion for one test point, rank space."""
+    n = y.shape[0]
+    s = np.empty(n, dtype=np.float64)
+    if n == 1:
+        # Two-player game {point, analyst}: the point's value is half
+        # the marginal it creates with the analyst present, and the
+        # analyst-only coalition is worth 0 by eq (28).
+        s[0] = -0.5 * (y[0] / k - t) ** 2
+        return s
+
+    total = float(y.sum())
+    s[-1] = (
+        -1.0
+        / (k * (n + 1))
+        * y[-1]
+        * (
+            (k + 2.0) * (k - 1.0) / (2.0 * n) * (y[-1] / k - 2.0 * t)
+            + 2.0 * (k - 1.0) * (k + 1.0) / (3.0 * n * (n - 1.0)) * (total - y[-1])
+        )
+        - (1.0 / (n * (n + 1.0))) * (y[-1] / k - t) ** 2
+    )
+
+    i = np.arange(1, n, dtype=np.float64)
+    min_k1i = np.minimum(float(k + 1), i + 1.0)
+    min_ki = np.minimum(float(k), i)
+    min_km1 = np.minimum(float(k - 1), i - 1.0)
+
+    u1 = ((y[:-1] + y[1:]) / k - 2.0 * t) * min_k1i * min_ki / (2.0 * i * (i + 1.0))
+
+    prefix = np.concatenate(([0.0], np.cumsum(y)[:-1]))
+    p_im1 = prefix[0 : n - 1]
+    prefix_coeff = np.where(
+        i > 1.0,
+        2.0 * min_k1i * min_ki * min_km1 / (3.0 * np.maximum(i - 1.0, 1.0) * i * (i + 1.0)),
+        0.0,
+    )
+
+    w = np.zeros(n + 1, dtype=np.float64)
+    l = np.arange(3, n + 1, dtype=np.float64)
+    w[3:] = (
+        2.0
+        * np.minimum(float(k + 1), l)
+        * np.minimum(float(k), l - 1.0)
+        * np.minimum(float(k - 1), l - 2.0)
+        / (3.0 * l * (l - 1.0) * (l - 2.0))
+    )
+    wy = w[1:] * y
+    suffix = np.concatenate((np.cumsum(wy[::-1])[::-1], [0.0]))
+    t_suffix = suffix[2 : n + 1]
+
+    deltas = (y[1:] - y[:-1]) / k * (u1 + (p_im1 * prefix_coeff + t_suffix) / k)
+    tail = np.cumsum(deltas[::-1])[::-1]
+    s[:-1] = s[-1] + tail
+    return s
+
+
+def composite_knn_regression_shapley(
+    dataset: Dataset, k: int, metric: str = "euclidean"
+) -> ValuationResult:
+    """Composite-game Shapley values, unweighted KNN regressor (Thm 10).
+
+    Requires ``n_train > K`` (the closed form of eq 90 assumes the
+    farthest point sits beyond the K-th rank).
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    if dataset.n_train <= k and dataset.n_train > 1:
+        raise ParameterError(
+            "composite regression closed form requires n_train > k "
+            f"(got n_train={dataset.n_train}, k={k})"
+        )
+    order, _ = argsort_by_distance(dataset.x_test, dataset.x_train, metric=metric)
+    n_test, n = order.shape
+    y_train = np.asarray(dataset.y_train, dtype=np.float64)
+    y_test = np.asarray(dataset.y_test, dtype=np.float64)
+    per_test = np.empty((n_test, n), dtype=np.float64)
+    grand_total = 0.0
+    for j in range(n_test):
+        y_sorted = y_train[order[j]]
+        per_test[j, order[j]] = _composite_regression_single(
+            y_sorted, float(y_test[j]), k
+        )
+        pred = y_sorted[: min(k, n)].sum() / k
+        grand_total += -((pred - float(y_test[j])) ** 2)
+    grand = grand_total / n_test
+    point_values = per_test.mean(axis=0)
+    analyst = grand - float(point_values.sum())
+    return ValuationResult(
+        values=np.append(point_values, analyst),
+        method="composite-exact-regression",
+        extra={"k": k, "grand_utility": grand, "per_test": per_test},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 11: weighted KNN
+# ----------------------------------------------------------------------
+def _composite_pad_weight(n: int, k: int, rmax: int) -> float:
+    """``sum_{k'=K-1}^{N-2} C(N - rmax, k' - K + 1) / C(N-1, k' + 1)``."""
+    avail = n - rmax
+    total = 0.0
+    for pad in range(avail + 1):
+        kk = k - 1 + pad
+        if kk > n - 2:
+            break
+        total += math.comb(avail, pad) / math.comb(n - 1, kk + 1)
+    return total
+
+
+def _composite_weighted_single_test(utility, test_index: int) -> np.ndarray:
+    """Theorem 11 for one test point; values in original index order."""
+    n = utility.n_players
+    k = utility.k
+    order = utility.order[test_index]
+    value_cache: dict[tuple[int, ...], float] = {}
+
+    def v(rank_members: tuple[int, ...]) -> float:
+        # In the composite game the coalition behind an empty data set
+        # is {analyst}, whose value is 0 by eq (28) — NOT the data-only
+        # v(∅) (which is -t^2 for regression utilities).
+        if not rank_members:
+            return 0.0
+        cached = value_cache.get(rank_members)
+        if cached is None:
+            members = order[np.asarray(rank_members, dtype=np.intp) - 1]
+            cached = utility.per_test_value(np.sort(members), test_index)
+            value_cache[rank_members] = cached
+        return cached
+
+    s_rank = np.empty(n, dtype=np.float64)
+    if n == 1:
+        s_rank[0] = 0.5 * (v((1,)) - v(()))
+        values = np.empty(1)
+        values[order] = s_rank
+        return values
+
+    # anchor (eq 93)
+    others = range(1, n)
+    total = 0.0
+    for size in range(0, k):
+        inv_binom = 1.0 / math.comb(n, size + 1)
+        level = 0.0
+        for combo in itertools.combinations(others, size):
+            with_n = tuple(sorted(combo + (n,)))
+            level += v(with_n) - v(combo)
+        total += inv_binom * level
+    s_rank[n - 1] = total / (n + 1)
+
+    # recursion (eq 94)
+    pool = list(range(1, n + 1))
+    for i in range(n - 1, 0, -1):
+        rest = [r for r in pool if r != i and r != i + 1]
+        acc = 0.0
+        for size in range(0, max(0, k - 1)):
+            inv_binom = 1.0 / math.comb(n - 1, size + 1)
+            level = 0.0
+            for combo in itertools.combinations(rest, size):
+                si = tuple(sorted(combo + (i,)))
+                sj = tuple(sorted(combo + (i + 1,)))
+                level += v(si) - v(sj)
+            acc += inv_binom * level
+        if n - 2 >= k - 1:
+            for combo in itertools.combinations(rest, k - 1):
+                rmax = max(combo + (i + 1,))
+                si = tuple(sorted(combo + (i,)))
+                sj = tuple(sorted(combo + (i + 1,)))
+                diff = v(si) - v(sj)
+                if diff != 0.0:
+                    acc += _composite_pad_weight(n, k, rmax) * diff
+        s_rank[i - 1] = s_rank[i] + acc / n
+
+    values = np.empty(n, dtype=np.float64)
+    values[order] = s_rank
+    return values
+
+
+def composite_weighted_knn_shapley(
+    dataset: Dataset,
+    k: int,
+    weights: str = "inverse_distance",
+    task: str = "classification",
+    metric: str = "euclidean",
+) -> ValuationResult:
+    """Composite-game Shapley values for weighted KNN (Theorem 11).
+
+    Same enumeration cost as the data-only Theorem 7 (O(N^K)), with the
+    composite coefficient table.  Returns training points + analyst.
+    """
+    if task == "classification":
+        utility = WeightedKNNClassificationUtility(
+            dataset, k, weights=weights, metric=metric
+        )
+    elif task == "regression":
+        utility = WeightedKNNRegressionUtility(
+            dataset, k, weights=weights, metric=metric
+        )
+    else:
+        raise ParameterError(
+            f"task must be 'classification' or 'regression', got {task!r}"
+        )
+    n_test = dataset.n_test
+    per_test = np.empty((n_test, dataset.n_train), dtype=np.float64)
+    grand_total = 0.0
+    all_members = np.arange(dataset.n_train, dtype=np.intp)
+    for j in range(n_test):
+        per_test[j] = _composite_weighted_single_test(utility, j)
+        grand_total += utility.per_test_value(all_members, j)
+    grand = grand_total / n_test
+    point_values = per_test.mean(axis=0)
+    analyst = grand - float(point_values.sum())
+    return ValuationResult(
+        values=np.append(point_values, analyst),
+        method="composite-exact-weighted",
+        extra={"k": k, "task": task, "grand_utility": grand, "per_test": per_test},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 12: multi-data-per-seller composite game
+# ----------------------------------------------------------------------
+def composite_grouped_knn_shapley(
+    utility: UtilityFunction,
+    grouped: GroupedDataset,
+) -> ValuationResult:
+    """Composite-game Shapley values per seller (Theorem 12).
+
+    Identical configuration enumeration to Theorem 8 with the
+    composite weights ``C(|G|, k) / C(M, |h(S)| + k + 1)`` and
+    prefactor ``1/(M+1)``; the analyst again takes the remainder.
+    """
+    if not hasattr(utility, "per_test_value") or not hasattr(utility, "order"):
+        raise ParameterError(
+            "utility must be a KNN-family utility exposing per_test_value/order"
+        )
+    k = utility.k
+    m = grouped.n_sellers
+    n_test = int(utility.order.shape[0])
+    per_test = np.empty((n_test, m), dtype=np.float64)
+    grand_total = 0.0
+    all_members = np.arange(grouped.dataset.n_train, dtype=np.intp)
+
+    for jt in range(n_test):
+        rank = _rank_of(utility, jt)
+        seller_points = []
+        nearest_rank = np.empty(m, dtype=np.int64)
+        for s in range(m):
+            pts = grouped.members(s)
+            pts = pts[np.argsort(rank[pts], kind="stable")]
+            seller_points.append(pts)
+            nearest_rank[s] = rank[pts[0]]
+
+        def topk_of(sellers: tuple[int, ...]) -> tuple[int, ...]:
+            if not sellers:
+                return ()
+            pool = np.concatenate([seller_points[s][:k] for s in sellers])
+            pool = pool[np.argsort(rank[pool], kind="stable")]
+            return tuple(int(p) for p in pool[:k])
+
+        configs: dict[tuple[int, ...], tuple[frozenset[int], int]] = {}
+        for size in range(0, min(k, m) + 1):
+            for sellers in itertools.combinations(range(m), size):
+                cfg = topk_of(sellers)
+                if cfg in configs:
+                    continue
+                owners = frozenset(int(grouped.groups[p]) for p in cfg)
+                worst = int(rank[list(cfg)].max()) if cfg else -1
+                configs[cfg] = (owners, worst)
+
+        value_cache: dict[tuple[int, ...], float] = {}
+
+        def v(cfg: tuple[int, ...]) -> float:
+            # Empty data + analyst = coalition {analyst}, value 0 (eq 28).
+            if not cfg:
+                return 0.0
+            cached = value_cache.get(cfg)
+            if cached is None:
+                cached = utility.per_test_value(
+                    np.asarray(cfg, dtype=np.intp), jt
+                )
+                value_cache[cfg] = cached
+            return cached
+
+        for j in range(m):
+            total = 0.0
+            for cfg, (owners, worst) in configs.items():
+                if j in owners:
+                    continue
+                with_j = topk_of(tuple(sorted(owners | {j})))
+                diff = v(with_j) - v(cfg)
+                if diff == 0.0:
+                    continue
+                if len(cfg) < k:
+                    g_size = 0
+                else:
+                    g_size = int(
+                        sum(
+                            1
+                            for s2 in range(m)
+                            if s2 != j
+                            and s2 not in owners
+                            and nearest_rank[s2] > worst
+                        )
+                    )
+                base_size = len(owners)
+                weight = 0.0
+                for pad in range(g_size + 1):
+                    weight += math.comb(g_size, pad) / math.comb(
+                        m, base_size + pad + 1
+                    )
+                total += weight * diff
+            per_test[jt, j] = total / (m + 1)
+        grand_total += v(tuple(int(p) for p in topk_of(tuple(range(m)))))
+
+    # Grand utility is the base utility on the full training set.
+    grand = grand_total / n_test
+    seller_values = per_test.mean(axis=0)
+    analyst = grand - float(seller_values.sum())
+    return ValuationResult(
+        values=np.append(seller_values, analyst),
+        method="composite-exact-grouped",
+        extra={"k": k, "grand_utility": grand, "per_test": per_test},
+    )

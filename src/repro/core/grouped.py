@@ -1,0 +1,185 @@
+"""Exact seller-level Shapley values (Theorem 8, "multiple data per contributor").
+
+When each seller owns several training points and is valued as a unit,
+the coalition structure is over ``M`` sellers.  Theorem 8 observes that
+the utility of a seller coalition only depends on its top-K points, and
+at most ``O(M^K)`` distinct top-K configurations exist — because the
+top-K points can involve at most K distinct sellers.  The Shapley value
+of seller ``j`` is then a weighted sum over configurations that exclude
+``j``::
+
+    s_j = (1/M) * sum_{S in A\\j} sum_{k=0}^{|G(S, j)|}
+          C(|G(S,j)|, k) / C(M-1, |h(S)| + k) *
+          [ v(topK(h(S) ∪ {j})) - v(S) ]
+
+where ``h(S)`` is the set of sellers owning points of ``S`` and
+``G(S, j)`` the sellers whose *nearest* point is farther than
+everything in ``S`` (adding them to the coalition cannot change the
+top-K).  A configuration with fewer than K points can only arise from
+the coalition ``h(S)`` itself, so its ``G`` is empty.
+
+Works for every utility in the KNN family — the configuration utility
+is evaluated through the base point-level utility, so classification
+(eq 5), regression (eq 25) and the weighted variants (eqs 26, 27) all
+share this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Protocol
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import GroupedDataset, ValuationResult
+from ..utility.base import UtilityFunction
+
+__all__ = ["exact_grouped_knn_shapley", "grouped_shapley_single_test"]
+
+
+class _PerTestUtility(Protocol):
+    """The slice of the KNN utility interface Theorem 8 needs."""
+
+    k: int
+    n_players: int
+    order: np.ndarray
+
+    def per_test_value(self, members: np.ndarray, test_index: int) -> float: ...
+
+
+def _rank_of(utility: _PerTestUtility, test_index: int) -> np.ndarray:
+    """rank_of[i] = 0-based rank of training point i for this test."""
+    order = utility.order[test_index]
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.shape[0])
+    return rank
+
+
+def grouped_shapley_single_test(
+    utility: _PerTestUtility,
+    grouped: GroupedDataset,
+    test_index: int,
+) -> np.ndarray:
+    """Theorem 8 for one test point; returns one value per seller."""
+    k = utility.k
+    m = grouped.n_sellers
+    rank = _rank_of(utility, test_index)
+    # Per seller: point indices sorted by rank (nearest first).
+    seller_points = []
+    nearest_rank = np.empty(m, dtype=np.int64)
+    for s in range(m):
+        pts = grouped.members(s)
+        pts = pts[np.argsort(rank[pts], kind="stable")]
+        seller_points.append(pts)
+        nearest_rank[s] = rank[pts[0]]
+
+    def topk_of(sellers: tuple[int, ...]) -> tuple[int, ...]:
+        """Top-K point indices (sorted by rank) of a seller coalition."""
+        if not sellers:
+            return ()
+        pool = np.concatenate([seller_points[s][:k] for s in sellers])
+        pool = pool[np.argsort(rank[pool], kind="stable")]
+        return tuple(int(p) for p in pool[:k])
+
+    # ---- enumerate the configuration space A -------------------------
+    # Any top-K set involves at most K sellers, so coalitions of size
+    # <= K generate every configuration.
+    configs: dict[tuple[int, ...], tuple[frozenset[int], int]] = {}
+    for size in range(0, min(k, m) + 1):
+        for sellers in itertools.combinations(range(m), size):
+            cfg = topk_of(sellers)
+            if cfg in configs:
+                continue
+            owners = frozenset(int(grouped.groups[p]) for p in cfg)
+            worst = int(rank[list(cfg)].max()) if cfg else -1
+            configs[cfg] = (owners, worst)
+
+    value_cache: dict[tuple[int, ...], float] = {}
+
+    def v(cfg: tuple[int, ...]) -> float:
+        cached = value_cache.get(cfg)
+        if cached is None:
+            cached = utility.per_test_value(
+                np.asarray(cfg, dtype=np.intp), test_index
+            )
+            value_cache[cfg] = cached
+        return cached
+
+    values = np.zeros(m, dtype=np.float64)
+    for j in range(m):
+        total = 0.0
+        for cfg, (owners, worst) in configs.items():
+            if j in owners:
+                continue
+            with_j = topk_of(tuple(sorted(owners | {j})))
+            diff = v(with_j) - v(cfg)
+            if diff == 0.0:
+                continue
+            if len(cfg) < k:
+                # Under-full configuration: only the coalition h(S)
+                # itself produces it, so G is empty.
+                g_size = 0
+            else:
+                g_size = int(
+                    sum(
+                        1
+                        for s2 in range(m)
+                        if s2 != j
+                        and s2 not in owners
+                        and nearest_rank[s2] > worst
+                    )
+                )
+            base_size = len(owners)
+            weight = 0.0
+            for pad in range(g_size + 1):
+                weight += math.comb(g_size, pad) / math.comb(
+                    m - 1, base_size + pad
+                )
+            total += weight * diff
+        values[j] = total / m
+    return values
+
+
+def exact_grouped_knn_shapley(
+    utility: UtilityFunction,
+    grouped: GroupedDataset,
+) -> ValuationResult:
+    """Exact per-seller Shapley values (Theorem 8).
+
+    Parameters
+    ----------
+    utility:
+        A point-level KNN-family utility built over
+        ``grouped.dataset`` (it must expose ``k``, ``order`` and
+        ``per_test_value``).
+    grouped:
+        The ownership map.
+
+    Returns
+    -------
+    ValuationResult
+        One value per seller, averaged over test points.
+
+    Notes
+    -----
+    Complexity is ``O(M^K)`` configurations per test point.  For
+    ``K = 1`` the configuration space collapses to one entry per
+    seller, recovering the paper's observation that the 1NN case
+    reduces to single-data-per-seller valuation.
+    """
+    if not hasattr(utility, "per_test_value") or not hasattr(utility, "order"):
+        raise ParameterError(
+            "utility must be a KNN-family utility exposing per_test_value/order"
+        )
+    n_test = int(utility.order.shape[0])
+    m = grouped.n_sellers
+    per_test = np.empty((n_test, m), dtype=np.float64)
+    for j in range(n_test):
+        per_test[j] = grouped_shapley_single_test(utility, grouped, j)
+    return ValuationResult(
+        values=per_test.mean(axis=0),
+        method="exact-grouped",
+        extra={"k": getattr(utility, "k", None), "per_test": per_test},
+    )

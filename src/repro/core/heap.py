@@ -1,0 +1,88 @@
+"""Bounded max-heap that maintains a running K-nearest-neighbor set.
+
+Algorithm 2 of the paper ("Improved MC Approach") walks a random
+permutation of the training data and needs, after every insertion, to
+know whether the K nearest neighbors *changed* — only then does the
+utility need re-evaluation.  A max-heap over the currently-kept
+distances answers that in O(log K) per insertion, which is where the
+O(N log K) per-permutation complexity comes from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..exceptions import ParameterError
+
+__all__ = ["KNearestHeap"]
+
+
+class KNearestHeap:
+    """Maintain the ``k`` smallest-distance items seen so far.
+
+    Items are ``(distance, payload)`` pairs.  The structure is a
+    max-heap keyed on distance (implemented on :mod:`heapq`'s min-heap
+    with negated keys), so the current worst kept item is O(1) to
+    inspect and O(log k) to replace.
+
+    Ties are broken by insertion order: an incoming item with distance
+    exactly equal to the current maximum does **not** displace it,
+    matching the stable, first-come ranking used by the exact
+    algorithms.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self._heap: list[tuple[float, int, int]] = []
+        self._counter = 0  # tie-break: earlier insertions win
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once ``k`` items are kept."""
+        return len(self._heap) >= self.k
+
+    def max_distance(self) -> float:
+        """Distance of the worst kept item (``inf`` when empty)."""
+        if not self._heap:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def push(self, distance: float, payload: int) -> tuple[bool, Optional[int]]:
+        """Offer an item to the heap.
+
+        Returns
+        -------
+        (entered, evicted):
+            ``entered`` is True when the item joined the K-nearest set.
+            ``evicted`` is the payload expelled to make room, or ``None``
+            if the set was not yet full (or the item did not enter).
+        """
+        if not self.full:
+            heapq.heappush(self._heap, (-distance, -self._counter, payload))
+            self._counter += 1
+            return True, None
+        worst_neg, _, worst_payload = self._heap[0]
+        if distance < -worst_neg:
+            heapq.heapreplace(self._heap, (-distance, -self._counter, payload))
+            self._counter += 1
+            return True, worst_payload
+        return False, None
+
+    def payloads(self) -> list[int]:
+        """Payloads of the kept items, in no particular order."""
+        return [p for _, _, p in self._heap]
+
+    def items_sorted(self) -> list[tuple[float, int]]:
+        """Kept ``(distance, payload)`` pairs, nearest first."""
+        return sorted(((-d, p) for d, _, p in self._heap), key=lambda t: t[0])
+
+    def clear(self) -> None:
+        """Empty the heap (reused across permutations)."""
+        self._heap.clear()
+        self._counter = 0

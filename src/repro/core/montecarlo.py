@@ -1,0 +1,390 @@
+"""Monte Carlo Shapley estimators: the baseline and Algorithm 2.
+
+Two estimators share the permutation-sampling idea of eq (4):
+
+* :func:`baseline_mc_shapley` — the state-of-the-art general-purpose
+  baseline the paper compares against (Section 2.2).  It re-evaluates
+  the utility on every permutation prefix, which for KNN costs
+  O(N) utility evaluations of O(|S|) each — O(N^2) work per permutation
+  — and budgets permutations with Hoeffding's inequality.
+* :func:`improved_mc_shapley` — the paper's Algorithm 2.  A bounded
+  max-heap maintains the K nearest neighbors of each test point along
+  the permutation; the utility can only change when the heap changes,
+  so each insertion costs O(log K) plus an O(1)/O(K) utility update.
+  The permutation budget comes from Bennett's inequality (Theorem 5),
+  or from the paper's convergence heuristic (stop when the running
+  estimates move less than ``epsilon / 50``).
+
+The improved estimator understands the KNN utility family natively
+(classification, regression, weighted variants, and seller-grouped
+versions of each); the baseline works with any
+:class:`~repro.utility.base.UtilityFunction`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import SeedLike, ensure_rng
+from ..types import ValuationResult
+from ..utility.base import UtilityFunction
+from ..utility.grouped import GroupedUtility
+from ..utility.knn_utility import KNNClassificationUtility
+from ..utility.regression_utility import KNNRegressionUtility
+from ..utility.weighted_utility import (
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+from .bounds import bennett_permutations, hoeffding_permutations
+from .heap import KNearestHeap
+
+__all__ = ["baseline_mc_shapley", "improved_mc_shapley"]
+
+
+# ----------------------------------------------------------------------
+# baseline estimator
+# ----------------------------------------------------------------------
+def baseline_mc_shapley(
+    utility: UtilityFunction,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    n_permutations: Optional[int] = None,
+    seed: SeedLike = None,
+) -> ValuationResult:
+    """Permutation-sampling Shapley estimation (the paper's baseline).
+
+    Parameters
+    ----------
+    utility:
+        Any coalition utility.
+    epsilon, delta:
+        Target (epsilon, delta) max-norm guarantee; used to size the
+        permutation budget via Hoeffding's inequality when
+        ``n_permutations`` is not given.
+    n_permutations:
+        Explicit permutation count (overrides the Hoeffding budget).
+    seed:
+        Random seed or generator.
+
+    Returns
+    -------
+    ValuationResult
+        ``extra['n_permutations']`` records the budget used.
+    """
+    n = utility.n_players
+    r = utility.difference_range()
+    if n_permutations is None:
+        n_permutations = hoeffding_permutations(epsilon, delta, n, r)
+    if n_permutations <= 0:
+        raise ParameterError(
+            f"n_permutations must be positive, got {n_permutations}"
+        )
+    rng = ensure_rng(seed)
+    totals = np.zeros(n, dtype=np.float64)
+    members = np.empty(n, dtype=np.intp)
+    for _ in range(n_permutations):
+        perm = rng.permutation(n)
+        prev = utility._evaluate(np.empty(0, dtype=np.intp))
+        for pos, player in enumerate(perm):
+            members[pos] = player
+            cur = utility._evaluate(np.sort(members[: pos + 1]))
+            totals[player] += cur - prev
+            prev = cur
+    return ValuationResult(
+        values=totals / n_permutations,
+        method="mc-baseline",
+        extra={
+            "n_permutations": int(n_permutations),
+            "epsilon": epsilon,
+            "delta": delta,
+            "bound": "hoeffding",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# incremental per-test states for Algorithm 2
+# ----------------------------------------------------------------------
+class _IncrementalState:
+    """Per-test-point incremental utility along one permutation."""
+
+    def insert(self, player: int) -> float:
+        """Insert a training point; return the utility change."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Prepare for a new permutation."""
+        raise NotImplementedError
+
+
+class _ClassificationState(_IncrementalState):
+    """Unweighted classification: utility = (#matching in heap) / K."""
+
+    def __init__(self, dist: np.ndarray, match: np.ndarray, k: int) -> None:
+        self._dist = dist  # distance of each training point to this test
+        self._match = match  # 1.0 when labels agree with the test label
+        self._k = k
+        self._heap = KNearestHeap(k)
+
+    def reset(self) -> None:
+        self._heap.clear()
+
+    def insert(self, player: int) -> float:
+        entered, evicted = self._heap.push(float(self._dist[player]), player)
+        if not entered:
+            return 0.0
+        delta = self._match[player]
+        if evicted is not None:
+            delta -= self._match[evicted]
+        return float(delta) / self._k
+
+
+class _RegressionState(_IncrementalState):
+    """Unweighted regression: utility = -((sum in heap)/K - t)^2."""
+
+    def __init__(self, dist: np.ndarray, y: np.ndarray, t: float, k: int) -> None:
+        self._dist = dist
+        self._y = y
+        self._t = t
+        self._k = k
+        self._heap = KNearestHeap(k)
+        self._label_sum = 0.0
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._label_sum = 0.0
+
+    def _value(self) -> float:
+        return -((self._label_sum / self._k - self._t) ** 2)
+
+    def insert(self, player: int) -> float:
+        before = self._value()
+        entered, evicted = self._heap.push(float(self._dist[player]), player)
+        if not entered:
+            return 0.0
+        self._label_sum += float(self._y[player])
+        if evicted is not None:
+            self._label_sum -= float(self._y[evicted])
+        return self._value() - before
+
+
+class _WeightedState(_IncrementalState):
+    """Weighted variants: recompute the O(K) utility on heap change."""
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        y: np.ndarray,
+        t: object,
+        k: int,
+        weight_fn,
+        classification: bool,
+    ) -> None:
+        self._dist = dist
+        self._y = y
+        self._t = t
+        self._k = k
+        self._weight_fn = weight_fn
+        self._classification = classification
+        self._heap = KNearestHeap(k)
+        self._current = self._empty_value()
+
+    def _empty_value(self) -> float:
+        if self._classification:
+            return 0.0
+        return -(float(self._t) ** 2)
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._current = self._empty_value()
+
+    def _value(self) -> float:
+        items = self._heap.items_sorted()
+        if not items:
+            return self._empty_value()
+        dists = np.array([d for d, _ in items])
+        idx = np.array([p for _, p in items], dtype=np.intp)
+        w = self._weight_fn(dists)
+        if self._classification:
+            return float(np.dot(w, (self._y[idx] == self._t).astype(np.float64)))
+        pred = float(np.dot(w, self._y[idx].astype(np.float64)))
+        return -((pred - float(self._t)) ** 2)
+
+    def insert(self, player: int) -> float:
+        entered, _ = self._heap.push(float(self._dist[player]), player)
+        if not entered:
+            return 0.0
+        new = self._value()
+        delta = new - self._current
+        self._current = new
+        return delta
+
+
+def _build_states(utility: UtilityFunction) -> list[_IncrementalState]:
+    """Construct one incremental state per test point for ``utility``."""
+    if isinstance(utility, KNNClassificationUtility):
+        dist = _dist_by_index(utility.order, utility.sorted_distances)
+        return [
+            _ClassificationState(dist[j], utility.match[j], utility.k)
+            for j in range(dist.shape[0])
+        ]
+    if isinstance(utility, KNNRegressionUtility):
+        dist = _dist_by_index(utility.order, utility.sorted_distances)
+        return [
+            _RegressionState(dist[j], utility.y_train, float(utility.y_test[j]), utility.k)
+            for j in range(dist.shape[0])
+        ]
+    if isinstance(
+        utility, (WeightedKNNClassificationUtility, WeightedKNNRegressionUtility)
+    ):
+        dist = _dist_by_index(utility.order, utility.sorted_distances)
+        classification = isinstance(utility, WeightedKNNClassificationUtility)
+        y = np.asarray(utility.dataset.y_train)
+        return [
+            _WeightedState(
+                dist[j],
+                y,
+                utility.dataset.y_test[j],
+                utility.k,
+                utility.weight_fn,
+                classification,
+            )
+            for j in range(dist.shape[0])
+        ]
+    raise ParameterError(
+        "improved_mc_shapley supports the KNN utility family; got "
+        f"{type(utility).__name__}"
+    )
+
+
+def _dist_by_index(order: np.ndarray, sorted_dist: np.ndarray) -> np.ndarray:
+    """Undo the sort: distance of training point i to test point j."""
+    dist = np.empty_like(sorted_dist)
+    np.put_along_axis(dist, order, sorted_dist, axis=1)
+    return dist
+
+
+# ----------------------------------------------------------------------
+# improved estimator (Algorithm 2)
+# ----------------------------------------------------------------------
+def improved_mc_shapley(
+    utility: UtilityFunction,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    n_permutations: Optional[int] = None,
+    stopping: str = "bennett",
+    heuristic_tol: Optional[float] = None,
+    min_permutations: int = 30,
+    patience: int = 5,
+    seed: SeedLike = None,
+) -> ValuationResult:
+    """The paper's improved Monte Carlo estimator (Algorithm 2).
+
+    Parameters
+    ----------
+    utility:
+        A KNN-family utility, possibly wrapped in
+        :class:`~repro.utility.grouped.GroupedUtility` (permutations are
+        then over sellers and a seller's points are inserted together).
+    epsilon, delta:
+        Approximation target.
+    n_permutations:
+        Explicit budget; overrides ``stopping``.
+    stopping:
+        ``"bennett"`` (Theorem 5 budget), ``"hoeffding"`` (baseline
+        budget, for comparison), or ``"heuristic"`` (run until the
+        running estimates move less than ``heuristic_tol``, default
+        ``epsilon / 50``, for ``patience`` consecutive permutations).
+    min_permutations, patience:
+        Heuristic-stopping knobs.
+    seed:
+        Random seed or generator.
+
+    Returns
+    -------
+    ValuationResult
+        Values per player (training point, or seller when grouped);
+        ``extra`` records the permutation count and stopping rule.
+    """
+    grouped: Optional[GroupedUtility] = None
+    base = utility
+    if isinstance(utility, GroupedUtility):
+        grouped = utility
+        base = utility.base
+    states = _build_states(base)
+    n_players = utility.n_players
+    n_test = len(states)
+    r = base.difference_range()
+
+    if n_permutations is not None:
+        budget = int(n_permutations)
+        rule = "fixed"
+    elif stopping == "bennett":
+        k = getattr(base, "k", 1)
+        budget = bennett_permutations(epsilon, delta, n_players, k, r)
+        rule = "bennett"
+    elif stopping == "hoeffding":
+        budget = hoeffding_permutations(epsilon, delta, n_players, r)
+        rule = "hoeffding"
+    elif stopping == "heuristic":
+        budget = 10**7  # effectively unbounded; the tolerance stops us
+        rule = "heuristic"
+    else:
+        raise ParameterError(
+            f"stopping must be 'bennett', 'hoeffding' or 'heuristic', got {stopping!r}"
+        )
+    if budget <= 0:
+        raise ParameterError(f"permutation budget must be positive, got {budget}")
+
+    tol = heuristic_tol if heuristic_tol is not None else epsilon / 50.0
+    rng = ensure_rng(seed)
+
+    members_of = None
+    if grouped is not None:
+        members_of = [grouped.points_of(np.array([m])) for m in range(n_players)]
+
+    totals = np.zeros(n_players, dtype=np.float64)
+    running = np.zeros(n_players, dtype=np.float64)
+    calm_streak = 0
+    t_done = 0
+    for t in range(1, budget + 1):
+        perm = rng.permutation(n_players)
+        for state in states:
+            state.reset()
+        phi = np.zeros(n_players, dtype=np.float64)
+        for player in perm:
+            points = (
+                members_of[player] if members_of is not None else (player,)
+            )
+            delta_sum = 0.0
+            for state in states:
+                for point in points:
+                    delta_sum += state.insert(int(point))
+            phi[player] = delta_sum / n_test
+        totals += phi
+        t_done = t
+        if rule == "heuristic":
+            new_running = totals / t
+            change = float(np.max(np.abs(new_running - running)))
+            running = new_running
+            if t >= min_permutations and change < tol:
+                calm_streak += 1
+                if calm_streak >= patience:
+                    break
+            else:
+                calm_streak = 0
+
+    return ValuationResult(
+        values=totals / t_done,
+        method="mc-improved",
+        extra={
+            "n_permutations": int(t_done),
+            "epsilon": epsilon,
+            "delta": delta,
+            "stopping": rule,
+            "difference_range": r,
+        },
+    )

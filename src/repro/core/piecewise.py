@@ -1,0 +1,139 @@
+"""The piecewise utility-difference framework (Appendix F).
+
+All the efficient algorithms in this library exploit one structural
+property: for a pair of players ``i, j`` the utility difference
+``v(S ∪ {i}) - v(S ∪ {j})`` takes only ``T`` distinct values over all
+coalitions ``S``, partitioned into groups ``S_1 .. S_T`` with constants
+``C_1 .. C_T``.  Lemma 1 then turns the Shapley difference into a
+*counting* problem::
+
+    s_i - s_j = (1/(N-1)) * sum_t C_t *
+                sum_k |{S in S_t : |S| = k}| / C(N-2, k)
+
+This module provides that counting machinery in reusable form plus the
+closed-form group-size counts for the unweighted KNN classifier
+(``T = 1``), which is how Theorem 1's ``min(K, i)/i`` factor arises:
+
+    sum_k ( sum_{m <= min(K-1, k)} C(i-1, m) C(N-i-1, k-m) ) / C(N-2, k)
+        = min(K, i) * (N - 1) / i
+
+It also provides :func:`chain_values_from_differences`, the generic
+"anchor plus telescoping differences" step shared by every recursion in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "shapley_difference_from_groups",
+    "knn_group_count",
+    "knn_group_weight_closed_form",
+    "chain_values_from_differences",
+]
+
+
+def shapley_difference_from_groups(
+    n: int,
+    constants: Sequence[float],
+    group_sizes: Sequence[Callable[[int], float]],
+) -> float:
+    """Evaluate Lemma 1 for a piecewise utility difference.
+
+    Parameters
+    ----------
+    n:
+        Number of players.
+    constants:
+        The ``C_t`` constants, one per group.
+    group_sizes:
+        For each group ``t``, a callable ``k -> |{S in S_t : |S| = k}|``
+        counting coalitions of each size in the group.
+
+    Returns
+    -------
+    float
+        ``s_i - s_j`` per eq (31).
+    """
+    if len(constants) != len(group_sizes):
+        raise ParameterError(
+            "constants and group_sizes must have equal length; got "
+            f"{len(constants)} and {len(group_sizes)}"
+        )
+    if n < 2:
+        raise ParameterError(f"need at least two players, got {n}")
+    total = 0.0
+    for c_t, count_fn in zip(constants, group_sizes):
+        inner = 0.0
+        for k in range(n - 1):  # |S| ranges over 0 .. N-2
+            inner += count_fn(k) / math.comb(n - 2, k)
+        total += c_t * inner
+    return total / (n - 1)
+
+
+def knn_group_count(n: int, i: int, k_neighbors: int, size: int) -> int:
+    """Size-``size`` coalitions where rank-``i``'s marginal is "live".
+
+    For the unweighted KNN classifier and the adjacent pair
+    ``(alpha_i, alpha_{i+1})`` (1-based rank ``i``), the single group
+    ``S_1`` of Appendix F contains the coalitions with fewer than K
+    members nearer than rank ``i``::
+
+        |{S in S_1 : |S| = size}| =
+            sum_{m=0}^{min(K-1, size)} C(i-1, m) * C(N-i-1, size-m)
+
+    (``m`` counts members nearer than rank i; the rest must be farther
+    than rank i+1.)
+    """
+    if not 1 <= i <= n - 1:
+        raise ParameterError(f"rank i must lie in [1, {n - 1}], got {i}")
+    total = 0
+    for m in range(0, min(k_neighbors - 1, size) + 1):
+        if m > i - 1 or size - m > n - i - 1:
+            continue
+        total += math.comb(i - 1, m) * math.comb(n - i - 1, size - m)
+    return total
+
+
+def knn_group_weight_closed_form(n: int, i: int, k_neighbors: int) -> float:
+    """The binomial-identity closed form ``min(K, i) * (N - 1) / i``.
+
+    Equals ``sum_k knn_group_count(n, i, K, k) / C(N-2, k)`` — eq (13)
+    of the paper.  The test suite asserts this identity exhaustively.
+    """
+    if not 1 <= i <= n - 1:
+        raise ParameterError(f"rank i must lie in [1, {n - 1}], got {i}")
+    return min(k_neighbors, i) * (n - 1) / i
+
+
+def chain_values_from_differences(
+    anchor: float, differences: np.ndarray
+) -> np.ndarray:
+    """Reconstruct a value vector from its anchor and adjacent differences.
+
+    Parameters
+    ----------
+    anchor:
+        The value of the *last* element, ``s_N``.
+    differences:
+        ``differences[p] = s_{p+1} - s_{p+2}`` (1-based ranks), length
+        ``N - 1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``[s_1, ..., s_N]``.
+    """
+    differences = np.asarray(differences, dtype=np.float64)
+    n = differences.shape[0] + 1
+    values = np.empty(n, dtype=np.float64)
+    values[-1] = anchor
+    if n > 1:
+        values[:-1] = anchor + np.cumsum(differences[::-1])[::-1]
+    return values

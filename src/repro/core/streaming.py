@@ -1,0 +1,188 @@
+"""Streaming Shapley accumulation over sequentially arriving test points.
+
+Section 3.2 motivates the approximate algorithms with retrieval-style
+deployments: queries arrive one at a time and every training point's
+value must be updated *on the fly* — re-running a batch job per query
+wastes the work, and the running average over queries is exactly the
+multi-test Shapley value (eq 8) by additivity.
+
+:class:`StreamingKNNShapley` maintains that running average.  Two
+backends:
+
+* ``"exact"`` — rank the full training set per query (Theorem 1);
+* ``"lsh"`` — retrieve only the K* nearest with a pre-built LSH index
+  and apply the truncated recursion (Theorems 2 + 4), giving sublinear
+  per-query cost at an (epsilon, delta) guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.search import argsort_by_distance
+from ..rng import SeedLike
+from ..types import ValuationResult, as_float_matrix, as_label_vector
+from .exact import knn_shapley_single_test
+from .truncated import truncated_values_from_labels, truncation_rank
+
+__all__ = ["StreamingKNNShapley"]
+
+
+class StreamingKNNShapley:
+    """Accumulate KNN Shapley values as test points stream in.
+
+    Parameters
+    ----------
+    x_train, y_train:
+        The (fixed) training set being valued.
+    k:
+        The K of KNN.
+    backend:
+        ``"exact"`` or ``"lsh"``.
+    epsilon, delta:
+        Approximation targets for the LSH backend (ignored by exact).
+    metric:
+        Distance metric for the exact backend (the LSH backend is l2).
+    seed:
+        Seed for the LSH index construction.
+    """
+
+    def __init__(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        k: int,
+        backend: str = "exact",
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+        metric: str = "euclidean",
+        seed: SeedLike = None,
+    ) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if backend not in ("exact", "lsh"):
+            raise ParameterError(
+                f"backend must be 'exact' or 'lsh', got {backend!r}"
+            )
+        self.x_train = as_float_matrix(x_train, "x_train")
+        self.y_train = as_label_vector(y_train, self.x_train.shape[0], "y_train")
+        self.k = int(k)
+        self.backend = backend
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.metric = metric
+        self.n_train = self.x_train.shape[0]
+        self._totals = np.zeros(self.n_train, dtype=np.float64)
+        self._n_queries = 0
+        self._index = None
+        self._scale = 1.0
+        self._k_star = truncation_rank(self.k, self.epsilon)
+        if backend == "lsh":
+            self._build_index(seed)
+
+    def _build_index(self, seed: SeedLike) -> None:
+        from ..lsh.contrast import estimate_relative_contrast
+        from ..lsh.tables import LSHIndex
+        from ..lsh.tuning import tune_lsh
+
+        k_star = min(self._k_star, max(1, self.n_train - 1))
+        est = estimate_relative_contrast(
+            self.x_train, self.x_train, k=k_star, seed=seed
+        )
+        self._scale = 1.0 / est.d_mean if est.d_mean > 0 else 1.0
+        from ..lsh.contrast import ContrastEstimate
+
+        est_scaled = ContrastEstimate(
+            d_mean=1.0,
+            d_k=est.d_k * self._scale,
+            contrast=est.contrast,
+            k=k_star,
+        )
+        params = tune_lsh(
+            est_scaled,
+            n=self.n_train,
+            k_star=k_star,
+            delta=self.delta,
+            alpha=0.5,
+        )
+        self._index = LSHIndex(
+            n_tables=params.n_tables,
+            n_bits=params.n_bits,
+            width=params.width,
+            seed=seed,
+        ).build(self.x_train * self._scale)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        """Number of test points consumed so far."""
+        return self._n_queries
+
+    def update(self, x_test: np.ndarray, y_test: object) -> np.ndarray:
+        """Consume one test point; return its single-test value vector."""
+        x_test = np.asarray(x_test, dtype=np.float64).reshape(1, -1)
+        if x_test.shape[1] != self.x_train.shape[1]:
+            raise ParameterError(
+                f"query has {x_test.shape[1]} features, expected "
+                f"{self.x_train.shape[1]}"
+            )
+        contribution = np.zeros(self.n_train, dtype=np.float64)
+        if self.backend == "exact":
+            order, _ = argsort_by_distance(
+                x_test, self.x_train, metric=self.metric
+            )
+            vals = knn_shapley_single_test(
+                self.y_train[order[0]], y_test, self.k
+            )
+            contribution[order[0]] = vals
+        else:
+            assert self._index is not None
+            idx, _, _ = self._index.query(
+                x_test * self._scale, min(self._k_star, self.n_train)
+            )
+            neighbors = idx[0]
+            if neighbors.size:
+                vals = truncated_values_from_labels(
+                    self.y_train[neighbors],
+                    y_test,
+                    self.k,
+                    self._k_star,
+                    n_train=self.n_train,
+                )
+                contribution[neighbors] = vals
+        self._totals += contribution
+        self._n_queries += 1
+        return contribution
+
+    def update_batch(
+        self, x_test: np.ndarray, y_test: np.ndarray
+    ) -> np.ndarray:
+        """Consume several test points; return their mean value vector."""
+        x_test = as_float_matrix(x_test, "x_test")
+        y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
+        acc = np.zeros(self.n_train, dtype=np.float64)
+        for j in range(x_test.shape[0]):
+            acc += self.update(x_test[j], y_test[j])
+        return acc / max(1, x_test.shape[0])
+
+    def values(self) -> ValuationResult:
+        """The running multi-test Shapley values (mean over queries)."""
+        if self._n_queries == 0:
+            raise ParameterError("no test points consumed yet")
+        return ValuationResult(
+            values=self._totals / self._n_queries,
+            method=f"streaming-{self.backend}",
+            extra={
+                "k": self.k,
+                "n_queries": self._n_queries,
+                "epsilon": self.epsilon if self.backend == "lsh" else 0.0,
+            },
+        )
+
+    def reset(self) -> None:
+        """Forget all consumed queries (the index is kept)."""
+        self._totals[:] = 0.0
+        self._n_queries = 0

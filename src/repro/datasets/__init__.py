@@ -1,0 +1,39 @@
+"""Dataset generators: synthetic embeddings calibrated to the paper's corpora."""
+
+from .embeddings import (
+    EMBEDDING_SPECS,
+    EmbeddingSpec,
+    cifar10_like,
+    dogfish_like,
+    imagenet_like,
+    make_embedding_dataset,
+    mnist_deep_like,
+    mnist_gist_like,
+    yahoo10m_like,
+)
+from .iris import iris_like
+from .synthetic import (
+    assign_sellers,
+    gaussian_blobs,
+    inject_label_noise,
+    regression_dataset,
+    train_test_split,
+)
+
+__all__ = [
+    "gaussian_blobs",
+    "regression_dataset",
+    "inject_label_noise",
+    "assign_sellers",
+    "train_test_split",
+    "EmbeddingSpec",
+    "EMBEDDING_SPECS",
+    "make_embedding_dataset",
+    "dogfish_like",
+    "mnist_deep_like",
+    "mnist_gist_like",
+    "cifar10_like",
+    "imagenet_like",
+    "yahoo10m_like",
+    "iris_like",
+]

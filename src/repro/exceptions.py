@@ -1,0 +1,56 @@
+"""Typed exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+distinguish library failures from programming errors with a single
+``except`` clause.  Sub-classes are deliberately fine-grained: the
+valuation algorithms are numerical and an error message that names the
+offending parameter is worth far more than a bare ``ValueError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataValidationError",
+    "ParameterError",
+    "NotFittedError",
+    "ConvergenceError",
+    "UtilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Raised when input data fails shape, dtype, or consistency checks.
+
+    Examples include a feature matrix whose row count disagrees with the
+    label vector, non-finite feature values, or an empty training set
+    passed to an algorithm that requires at least one point.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when an algorithm parameter is outside its valid domain.
+
+    Examples include ``k <= 0``, an approximation target ``epsilon <= 0``,
+    or a failure probability ``delta`` outside ``(0, 1)``.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model or index is queried before being fitted/built."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative procedure fails to reach its target.
+
+    Used by the numerical solver for the Bennett permutation bound and by
+    the gradient-descent trainer for logistic regression.
+    """
+
+
+class UtilityError(ReproError, ValueError):
+    """Raised when a utility function is evaluated on an invalid coalition."""

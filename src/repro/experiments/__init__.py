@@ -1,0 +1,55 @@
+"""Per-figure experiment functions and the EXPERIMENTS.md writer."""
+
+from .fig_accuracy import figure8_accuracy_table
+from .fig_correctness import figure5_mc_convergence
+from .fig_lsh import (
+    figure9_contrast_vs_kstar,
+    figure9_error_vs_recall,
+    figure9_error_vs_tables,
+    figure10_g_vs_epsilon,
+    figure10_g_vs_width,
+)
+from .fig_mc import (
+    figure11_permutation_sizes,
+    figure12_weighted_runtime,
+    figure13_multidata_runtime,
+)
+from .fig_runtime import (
+    figure2_complexity_table,
+    figure6_runtime_vs_n,
+    figure7_dataset_table,
+    figure17_dataset_table_k25,
+)
+from .fig_values import (
+    figure14_value_semantics,
+    figure15_composite_game,
+    figure16_surrogate_correlation,
+)
+from .reporting import ExperimentResult, format_result, format_table
+from .runner import ALL_EXPERIMENTS, run_all, write_experiments_md
+
+__all__ = [
+    "ExperimentResult",
+    "format_result",
+    "format_table",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "write_experiments_md",
+    "figure2_complexity_table",
+    "figure5_mc_convergence",
+    "figure6_runtime_vs_n",
+    "figure7_dataset_table",
+    "figure8_accuracy_table",
+    "figure9_contrast_vs_kstar",
+    "figure9_error_vs_tables",
+    "figure9_error_vs_recall",
+    "figure10_g_vs_epsilon",
+    "figure10_g_vs_width",
+    "figure11_permutation_sizes",
+    "figure12_weighted_runtime",
+    "figure13_multidata_runtime",
+    "figure14_value_semantics",
+    "figure15_composite_game",
+    "figure16_surrogate_correlation",
+    "figure17_dataset_table_k25",
+]

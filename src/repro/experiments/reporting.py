@@ -1,0 +1,87 @@
+"""Result records and ASCII rendering for the experiment harness.
+
+Every experiment function in :mod:`repro.experiments.figures` returns an
+:class:`ExperimentResult`: the figure/table id, the measured rows, and
+the paper's qualitative claim, so a benchmark run can print a
+side-by-side and the EXPERIMENTS.md writer can persist it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "format_result"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"figure-6a"``.
+    title:
+        One-line description.
+    columns:
+        Column names of :attr:`rows`.
+    rows:
+        The regenerated series/table, one mapping per row.
+    paper_claim:
+        What the paper reports (the *shape* we try to match).
+    observed:
+        One-line summary of what this run measured.
+    metadata:
+        Parameters, seeds, sizes.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: Sequence[Mapping[str, Any]]
+    paper_claim: str
+    observed: str
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across rows."""
+        return [row[name] for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full human-readable report for one experiment."""
+    header = f"== {result.experiment_id}: {result.title} =="
+    body = format_table(result.columns, result.rows)
+    return (
+        f"{header}\n"
+        f"paper:    {result.paper_claim}\n"
+        f"observed: {result.observed}\n"
+        f"{body}\n"
+    )

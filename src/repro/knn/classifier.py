@@ -1,0 +1,138 @@
+"""KNN classifiers (unweighted and weighted), built from scratch.
+
+These are the ML models whose utility the paper values.  The unweighted
+classifier's per-query score ``P[x -> y] = (1/K) * #{neighbors with
+label y}`` is exactly the quantity inside the KNN utility (eq 5), so
+:meth:`KNNClassifier.likelihood_of` doubles as the utility evaluator on
+the full training set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ParameterError
+from ..types import as_float_matrix, as_label_vector
+from .search import top_k
+from .weights import WeightFunction, get_weight_function, uniform_weights
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """A K-nearest-neighbor classifier.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbors.
+    metric:
+        Distance metric name (see :mod:`repro.knn.distance`).
+    weights:
+        ``None`` or ``"uniform"`` for the unweighted classifier;
+        otherwise a weight-function name or callable (see
+        :mod:`repro.knn.weights`).
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        metric: str = "euclidean",
+        weights: Optional[str | WeightFunction] = None,
+    ) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.metric = metric
+        if weights is None:
+            self._weight_fn: WeightFunction = uniform_weights
+            self.weights_name = "uniform"
+        elif callable(weights):
+            self._weight_fn = weights
+            self.weights_name = getattr(weights, "__name__", "custom")
+        else:
+            self._weight_fn = get_weight_function(weights)
+            self.weights_name = weights
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._classes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # fitting / bookkeeping
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        """Store the training set (KNN has no other training phase)."""
+        x = as_float_matrix(x, "x")
+        y = as_label_vector(y, x.shape[0], "y")
+        self._x = x
+        self._y = y
+        self._classes = np.unique(y)
+        return self
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._x is None or self._y is None or self._classes is None:
+            raise NotFittedError("KNNClassifier.fit must be called first")
+        return self._x, self._y, self._classes
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Sorted array of class labels seen during :meth:`fit`."""
+        return self._require_fitted()[2]
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the K nearest training points."""
+        x, _, _ = self._require_fitted()
+        return top_k(queries, x, self.k, metric=self.metric)
+
+    def predict_proba(self, queries: np.ndarray) -> np.ndarray:
+        """Class-membership scores, shape ``(q, n_classes)``.
+
+        For the unweighted classifier this is the fraction of the K
+        neighbors carrying each label; for weighted variants it is the
+        total neighbor weight per label.
+        """
+        x, y, classes = self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        idx, dist = top_k(queries, x, self.k, metric=self.metric)
+        scores = np.zeros((queries.shape[0], classes.size))
+        class_pos = {label: p for p, label in enumerate(classes)}
+        for row in range(queries.shape[0]):
+            w = self._weight_fn(dist[row])
+            for j, train_i in enumerate(idx[row]):
+                scores[row, class_pos[y[train_i]]] += w[j]
+        return scores
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Predicted labels (argmax of :meth:`predict_proba`)."""
+        _, _, classes = self._require_fitted()
+        scores = self.predict_proba(queries)
+        return classes[np.argmax(scores, axis=1)]
+
+    def likelihood_of(self, queries: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Score assigned to the *given* label for each query.
+
+        For the unweighted classifier on the full training set this is
+        the per-test-point KNN utility of eq (5):
+        ``(1/K) * sum_k 1[y_{alpha_k} = y_test]``.
+        """
+        x, y, classes = self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        labels = as_label_vector(labels, queries.shape[0], "labels")
+        idx, dist = top_k(queries, x, self.k, metric=self.metric)
+        out = np.empty(queries.shape[0])
+        for row in range(queries.shape[0]):
+            w = self._weight_fn(dist[row])
+            match = (y[idx[row]] == labels[row]).astype(np.float64)
+            out[row] = float(np.dot(w, match))
+        return out
+
+    def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
+        """Mean 0/1 accuracy on ``(queries, labels)``."""
+        pred = self.predict(queries)
+        labels = as_label_vector(labels, pred.shape[0], "labels")
+        return float(np.mean(pred == labels))

@@ -1,0 +1,91 @@
+"""KNN regressors (unweighted and weighted), built from scratch.
+
+The unweighted regressor's prediction ``(1/K) * sum_k y_{alpha_k}`` is
+the estimate whose negative squared error defines the regression
+utility of eq (25); the weighted prediction
+``sum_k w_k * y_{alpha_k}`` defines eq (27).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ParameterError
+from ..types import as_float_matrix, as_label_vector
+from .search import top_k
+from .weights import WeightFunction, get_weight_function, uniform_weights
+
+__all__ = ["KNNRegressor"]
+
+
+class KNNRegressor:
+    """A K-nearest-neighbor regressor.
+
+    Parameters mirror :class:`repro.knn.classifier.KNNClassifier`; the
+    target vector is float-valued.
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        metric: str = "euclidean",
+        weights: Optional[str | WeightFunction] = None,
+    ) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.metric = metric
+        if weights is None:
+            self._weight_fn: WeightFunction = uniform_weights
+            self.weights_name = "uniform"
+        elif callable(weights):
+            self._weight_fn = weights
+            self.weights_name = getattr(weights, "__name__", "custom")
+        else:
+            self._weight_fn = get_weight_function(weights)
+            self.weights_name = weights
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Store the training set."""
+        x = as_float_matrix(x, "x")
+        y = np.asarray(y, dtype=np.float64)
+        y = as_label_vector(y, x.shape[0], "y")
+        self._x = x
+        self._y = y
+        return self
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._x is None or self._y is None:
+            raise NotFittedError("KNNRegressor.fit must be called first")
+        return self._x, self._y
+
+    def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the K nearest training points."""
+        x, _ = self._require_fitted()
+        return top_k(queries, x, self.k, metric=self.metric)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Weighted neighbor-label average for each query."""
+        x, y = self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        idx, dist = top_k(queries, x, self.k, metric=self.metric)
+        out = np.empty(queries.shape[0])
+        for row in range(queries.shape[0]):
+            w = self._weight_fn(dist[row])
+            out[row] = float(np.dot(w, y[idx[row]]))
+        return out
+
+    def mse(self, queries: np.ndarray, targets: np.ndarray) -> float:
+        """Mean squared prediction error on ``(queries, targets)``."""
+        pred = self.predict(queries)
+        targets = np.asarray(targets, dtype=np.float64)
+        targets = as_label_vector(targets, pred.shape[0], "targets")
+        return float(np.mean((pred - targets) ** 2))
+
+    def score(self, queries: np.ndarray, targets: np.ndarray) -> float:
+        """Negative MSE — the utility convention of eq (25)."""
+        return -self.mse(queries, targets)

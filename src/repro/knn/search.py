@@ -1,0 +1,115 @@
+"""Brute-force nearest-neighbor search.
+
+This is the substrate under the exact Shapley algorithms: Theorem 1 of
+the paper needs, for every test point, the *full* ascending distance
+ranking of the training set (``argsort_by_distance``), while the
+truncated approximation of Theorem 2 and the KNN models themselves only
+need the top ``k`` (``top_k``), for which ``numpy.argpartition`` gives
+an O(n + k log k) selection instead of a full O(n log n) sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .distance import get_metric
+
+__all__ = ["argsort_by_distance", "top_k", "KNNSearchIndex"]
+
+
+def argsort_by_distance(
+    queries: np.ndarray, data: np.ndarray, metric: str = "euclidean"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rank all data points by ascending distance to each query.
+
+    Parameters
+    ----------
+    queries:
+        Query matrix, shape ``(q, d)``.
+    data:
+        Data matrix, shape ``(n, d)``.
+    metric:
+        Name of a distance kernel from :mod:`repro.knn.distance`.
+
+    Returns
+    -------
+    (indices, distances):
+        ``indices`` has shape ``(q, n)``: row ``j`` lists training
+        indices from nearest to farthest from query ``j``.
+        ``distances`` is the matching sorted distance matrix.
+        Ties are broken by index (stable sort) so results are
+        deterministic.
+    """
+    dist = get_metric(metric)(queries, data)
+    order = np.argsort(dist, axis=1, kind="stable")
+    sorted_dist = np.take_along_axis(dist, order, axis=1)
+    return order, sorted_dist
+
+
+def top_k(
+    queries: np.ndarray,
+    data: np.ndarray,
+    k: int,
+    metric: str = "euclidean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``k`` nearest data points for each query.
+
+    Uses ``argpartition`` followed by a sort of the selected slice, so
+    the cost is O(n + k log k) per query instead of O(n log n).
+
+    Returns
+    -------
+    (indices, distances):
+        Both of shape ``(q, min(k, n))``, ordered nearest-first.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    data = np.atleast_2d(data)
+    n = data.shape[0]
+    k_eff = min(k, n)
+    dist = get_metric(metric)(queries, data)
+    if k_eff == n:
+        part = np.argsort(dist, axis=1, kind="stable")
+    else:
+        part = np.argpartition(dist, k_eff - 1, axis=1)[:, :k_eff]
+        part_dist = np.take_along_axis(dist, part, axis=1)
+        inner = np.argsort(part_dist, axis=1, kind="stable")
+        part = np.take_along_axis(part, inner, axis=1)
+    idx = part[:, :k_eff]
+    return idx, np.take_along_axis(dist, idx, axis=1)
+
+
+class KNNSearchIndex:
+    """A tiny exact search index over a fixed data matrix.
+
+    The index pre-computes data norms so repeated queries avoid
+    recomputing ``||x_i||^2``.  It intentionally mirrors the query
+    interface of :class:`repro.lsh.tables.LSHIndex` so valuation code
+    can swap exact search for approximate search.
+    """
+
+    def __init__(self, data: np.ndarray, metric: str = "euclidean") -> None:
+        self._data = np.ascontiguousarray(np.atleast_2d(data), dtype=np.float64)
+        if self._data.shape[0] == 0:
+            raise ParameterError("search index requires at least one point")
+        self._metric = metric
+        get_metric(metric)  # validate eagerly
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points."""
+        return int(self._data.shape[0])
+
+    @property
+    def metric(self) -> str:
+        """Distance metric name."""
+        return self._metric
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` search; see :func:`top_k`."""
+        return top_k(queries, self._data, k, metric=self._metric)
+
+    def query_all(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Full ascending ranking; see :func:`argsort_by_distance`."""
+        return argsort_by_distance(queries, self._data, metric=self._metric)

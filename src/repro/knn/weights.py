@@ -1,0 +1,108 @@
+"""Weight functions for weighted KNN (Section 4 of the paper).
+
+A weighted KNN estimate is ``sum_k w_k * y_{alpha_k}`` where the weight
+``w_k`` of the k-th nearest neighbor typically decreases with its
+distance to the query [Dudani 1976].  The paper's experiments use
+inverse-distance weights; we additionally ship the uniform (``1/K``)
+weights that recover the unweighted estimator, rank-based weights, and a
+Gaussian kernel.
+
+A weight function maps the *sorted ascending* distance vector of the
+selected neighbors to a weight vector of the same length.  Functions do
+NOT need to normalize to sum one — the paper's weighted utility (eq 26)
+uses raw weights — but every built-in here normalizes so the utility
+stays in ``[0, 1]`` for classification, which keeps the Monte Carlo
+range parameter ``r`` interpretable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "WeightFunction",
+    "uniform_weights",
+    "inverse_distance_weights",
+    "rank_weights",
+    "gaussian_weights",
+    "get_weight_function",
+    "WEIGHT_FUNCTIONS",
+]
+
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _normalize(w: np.ndarray) -> np.ndarray:
+    """Normalize weights to sum to one; degenerate input becomes uniform."""
+    total = w.sum()
+    if total <= 0 or not np.isfinite(total):
+        return np.full_like(w, 1.0 / max(1, w.size))
+    return w / total
+
+
+def uniform_weights(distances: np.ndarray) -> np.ndarray:
+    """``1/len`` for every neighbor — recovers unweighted KNN."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.size == 0:
+        return distances.copy()
+    return np.full(distances.shape, 1.0 / distances.size)
+
+
+def inverse_distance_weights(
+    distances: np.ndarray, eps: float = 1e-8
+) -> np.ndarray:
+    """Weights proportional to ``1 / (d + eps)`` (Dudani's rule).
+
+    ``eps`` regularizes the exact-hit case ``d == 0``; with several
+    exact hits they share the mass evenly.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.size == 0:
+        return distances.copy()
+    return _normalize(1.0 / (distances + eps))
+
+
+def rank_weights(distances: np.ndarray) -> np.ndarray:
+    """Weights proportional to ``K - rank``: linear falloff by rank.
+
+    Depends only on the neighbor order, not the raw distances, which
+    makes it robust to distance-scale differences between queries.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    k = distances.size
+    if k == 0:
+        return distances.copy()
+    return _normalize(np.arange(k, 0, -1, dtype=np.float64))
+
+
+def gaussian_weights(distances: np.ndarray, bandwidth: float = 1.0) -> np.ndarray:
+    """Weights ``exp(-d^2 / (2 * bandwidth^2))``, normalized."""
+    if bandwidth <= 0:
+        raise ParameterError(f"bandwidth must be positive, got {bandwidth}")
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.size == 0:
+        return distances.copy()
+    return _normalize(np.exp(-(distances**2) / (2.0 * bandwidth**2)))
+
+
+WEIGHT_FUNCTIONS: Dict[str, WeightFunction] = {
+    "uniform": uniform_weights,
+    "inverse_distance": inverse_distance_weights,
+    "rank": rank_weights,
+    "gaussian": gaussian_weights,
+}
+
+
+def get_weight_function(name: str) -> WeightFunction:
+    """Look up a built-in weight function by name."""
+    try:
+        return WEIGHT_FUNCTIONS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown weight function {name!r}; available: "
+            f"{sorted(WEIGHT_FUNCTIONS)}"
+        ) from None

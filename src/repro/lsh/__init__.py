@@ -1,0 +1,47 @@
+"""Locality-sensitive hashing substrate (Section 3.2, Theorems 3-4).
+
+2-stable Gaussian hash family, multi-table index with exact candidate
+re-ranking, relative-contrast estimation, parameter tuning, and the
+LSH-accelerated Shapley approximation.
+"""
+
+from .contrast import (
+    ContrastEstimate,
+    estimate_relative_contrast,
+    g_exponent,
+    normalize_to_unit_dmean,
+)
+from .pstable import (
+    GaussianHashFamily,
+    collision_probability,
+    collision_probability_numeric,
+)
+from .tables import LSHIndex, LSHQueryStats
+from .tuning import (
+    DEFAULT_WIDTH_GRID,
+    LSHParameters,
+    choose_n_bits,
+    choose_n_tables,
+    choose_width,
+    tune_lsh,
+)
+from .valuation import lsh_knn_shapley
+
+__all__ = [
+    "GaussianHashFamily",
+    "collision_probability",
+    "collision_probability_numeric",
+    "LSHIndex",
+    "LSHQueryStats",
+    "ContrastEstimate",
+    "estimate_relative_contrast",
+    "g_exponent",
+    "normalize_to_unit_dmean",
+    "LSHParameters",
+    "choose_width",
+    "choose_n_bits",
+    "choose_n_tables",
+    "tune_lsh",
+    "DEFAULT_WIDTH_GRID",
+    "lsh_knn_shapley",
+]

@@ -1,0 +1,160 @@
+"""Relative contrast and the LSH complexity exponent (Theorem 3).
+
+The K-th *relative contrast* of a dataset with respect to a query
+distribution is::
+
+    C_K = D_mean / D_K
+
+where ``D_mean`` is the expected distance from a query to a random
+training point and ``D_K`` the expected distance to the K-th nearest
+neighbor.  Theorem 3 shows LSH retrieves the exact K nearest neighbors
+with probability ``1 - delta`` using ``O(N^{g(C_K)} log(K/delta))``
+tables, where::
+
+    g(C) = log f_h(1/C) / log f_h(1)
+
+(computed after normalizing the dataset so ``D_mean = 1``).  ``g`` is
+monotonically decreasing in ``C``: higher contrast means nearest
+neighbors are easier to separate from random points, so fewer tables
+suffice — the effect Figure 9 measures and Figure 10 simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.distance import euclidean_distances
+from ..rng import SeedLike, ensure_rng
+from .pstable import collision_probability
+
+__all__ = [
+    "ContrastEstimate",
+    "estimate_relative_contrast",
+    "g_exponent",
+    "normalize_to_unit_dmean",
+]
+
+
+@dataclass(frozen=True)
+class ContrastEstimate:
+    """Estimated distance statistics of a dataset.
+
+    Attributes
+    ----------
+    d_mean:
+        Expected query-to-random-point distance.
+    d_k:
+        Expected query-to-Kth-neighbor distance.
+    contrast:
+        ``C_K = d_mean / d_k``.
+    k:
+        The K the estimate was computed for.
+    """
+
+    d_mean: float
+    d_k: float
+    contrast: float
+    k: int
+
+
+def estimate_relative_contrast(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    max_queries: int = 200,
+    max_reference: int = 2000,
+    seed: SeedLike = None,
+) -> ContrastEstimate:
+    """Estimate ``C_K`` by sampling queries and reference points.
+
+    Parameters
+    ----------
+    data:
+        Training matrix ``(n, d)``.
+    queries:
+        Query matrix; a subsample of ``max_queries`` rows is used.
+    k:
+        Which nearest neighbor defines ``D_K``.
+    max_queries, max_reference:
+        Subsampling caps for the two expectations (both are simple
+        means, so a few hundred samples give stable estimates).
+    seed:
+        Subsampling seed.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if data.shape[0] <= k:
+        raise ParameterError(
+            f"need more than k={k} data points, got {data.shape[0]}"
+        )
+    rng = ensure_rng(seed)
+    if queries.shape[0] > max_queries:
+        sel = rng.choice(queries.shape[0], size=max_queries, replace=False)
+        queries = queries[sel]
+    # D_K needs distances to the whole dataset; D_mean can subsample.
+    dist_all = euclidean_distances(queries, data)
+    d_k = float(np.partition(dist_all, k - 1, axis=1)[:, k - 1].mean())
+    if data.shape[0] > max_reference:
+        ref = rng.choice(data.shape[0], size=max_reference, replace=False)
+        d_mean = float(dist_all[:, ref].mean())
+    else:
+        d_mean = float(dist_all.mean())
+    if d_k <= 0:
+        raise ParameterError("degenerate dataset: D_K is zero")
+    return ContrastEstimate(
+        d_mean=d_mean, d_k=d_k, contrast=d_mean / d_k, k=k
+    )
+
+
+def g_exponent(contrast: float, width: float) -> float:
+    """The complexity exponent ``g(C) = log f_h(1/C) / log f_h(1)``.
+
+    Assumes the dataset has been normalized to ``D_mean = 1`` (see
+    :func:`normalize_to_unit_dmean`), so a random point sits at
+    distance 1 and the K-th neighbor at distance ``1/C``.
+
+    ``g < 1`` is the sublinear regime: the LSH-based Shapley
+    approximation beats the exact O(N log N) sort.  ``g >= 1`` (low
+    contrast, i.e. C <= 1) means LSH cannot help — the regime the
+    paper's Figure 10 shows for very small epsilon.
+    """
+    if contrast <= 0:
+        raise ParameterError(f"contrast must be positive, got {contrast}")
+    p_nn = collision_probability(1.0 / contrast, width)
+    p_rand = collision_probability(1.0, width)
+    if not 0 < p_rand < 1 or not 0 < p_nn < 1:
+        raise ParameterError(
+            f"width {width} gives degenerate collision probabilities "
+            f"(p_nn={p_nn}, p_rand={p_rand})"
+        )
+    return float(np.log(p_nn) / np.log(p_rand))
+
+
+def normalize_to_unit_dmean(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int = 1,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray, ContrastEstimate]:
+    """Rescale features so the mean query-to-point distance is 1.
+
+    Scaling does not change neighbor ranks, so Shapley values are
+    unaffected; it standardizes the LSH width grid across datasets
+    (the paper normalizes all datasets to ``D_mean = 1`` for Figure 9).
+
+    Returns the scaled ``(data, queries)`` and the contrast estimate
+    computed *after* scaling.
+    """
+    est = estimate_relative_contrast(data, queries, k=k, seed=seed)
+    scale = 1.0 / est.d_mean
+    data_s = np.asarray(data, dtype=np.float64) * scale
+    queries_s = np.asarray(queries, dtype=np.float64) * scale
+    est_s = ContrastEstimate(
+        d_mean=1.0, d_k=est.d_k * scale, contrast=est.contrast, k=k
+    )
+    return data_s, queries_s, est_s

@@ -1,0 +1,169 @@
+"""LSH parameter selection, following Section 6.1 of the paper.
+
+Three parameters govern the index: the projection width ``r``, the code
+length ``m`` (hash functions per table), and the table count ``l``.
+The paper's procedure, reproduced here:
+
+* ``r`` — grid search minimizing the complexity exponent ``g(C_K*)``
+  (Figure 10b shows ``g`` is insensitive to ``r`` past a point; we pick
+  the minimizer over a small grid).
+* ``m`` — ``m = alpha * log N / log(1 / f_h(D_mean))`` (Gionis et al.),
+  which keeps the expected number of random collisions per bucket
+  roughly constant as N grows.  With data normalized to
+  ``D_mean = 1``, ``f_h(D_mean) = f_h(1)``.
+* ``l`` — from Theorem 3: ``l >= p_nn^{-m} * log(K/delta)`` tables make
+  the miss probability of any of the K* neighbors at most ``delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .contrast import ContrastEstimate, g_exponent
+from .pstable import collision_probability
+
+__all__ = [
+    "LSHParameters",
+    "choose_width",
+    "choose_n_bits",
+    "choose_n_tables",
+    "tune_lsh",
+    "DEFAULT_WIDTH_GRID",
+]
+
+#: Width grid used by :func:`choose_width`; spans the region where
+#: ``f_h(1)`` moves from ~0.2 to ~0.95 (the useful range in practice).
+DEFAULT_WIDTH_GRID: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0)
+
+
+@dataclass(frozen=True)
+class LSHParameters:
+    """A complete, buildable LSH configuration.
+
+    Attributes
+    ----------
+    width, n_bits, n_tables:
+        The ``r``, ``m`` and ``l`` of the index.
+    g:
+        The complexity exponent ``g(C_K*)`` at the chosen width.
+    contrast:
+        The contrast estimate the tuning was based on.
+    """
+
+    width: float
+    n_bits: int
+    n_tables: int
+    g: float
+    contrast: ContrastEstimate
+
+
+def choose_width(
+    contrast: float, grid: tuple[float, ...] = DEFAULT_WIDTH_GRID
+) -> tuple[float, float]:
+    """Pick the width minimizing ``g(C)`` over a grid.
+
+    Returns ``(width, g)``.  Widths yielding degenerate collision
+    probabilities are skipped.
+    """
+    best: tuple[float, float] | None = None
+    for r in grid:
+        try:
+            g = g_exponent(contrast, r)
+        except ParameterError:
+            continue
+        if best is None or g < best[1]:
+            best = (r, g)
+    if best is None:
+        raise ParameterError(
+            f"no width in grid {grid} gives usable collision probabilities"
+        )
+    return best
+
+
+def choose_n_bits(n: int, width: float, alpha: float = 1.0) -> int:
+    """Code length ``m = ceil(alpha * ln N / ln(1/f_h(1)))``.
+
+    Makes the expected number of colliding random points per bucket
+    about ``N^{1-alpha}``; ``alpha = 1`` targets O(1) random collisions.
+    """
+    if n <= 1:
+        raise ParameterError(f"n must exceed 1, got {n}")
+    if alpha <= 0:
+        raise ParameterError(f"alpha must be positive, got {alpha}")
+    p_rand = collision_probability(1.0, width)
+    if not 0 < p_rand < 1:
+        raise ParameterError(f"width {width} gives degenerate f_h(1)={p_rand}")
+    m = math.ceil(alpha * math.log(n) / math.log(1.0 / p_rand))
+    return max(1, m)
+
+
+def choose_n_tables(
+    contrast: float,
+    width: float,
+    n_bits: int,
+    k_star: int,
+    delta: float,
+    max_tables: int = 4096,
+) -> int:
+    """Table count from the Theorem 3 argument.
+
+    One table catches a specific true neighbor with probability at
+    least ``p_nn^m`` where ``p_nn = f_h(1/C)``; ``l`` independent
+    tables miss it with probability ``(1 - p_nn^m)^l``.  Requiring a
+    union-bound miss probability of ``delta`` over the ``K*`` neighbors
+    gives ``l = ceil( log(K*/delta) / -log(1 - p_nn^m) )``.
+    """
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must lie in (0, 1), got {delta}")
+    if k_star <= 0:
+        raise ParameterError(f"k_star must be positive, got {k_star}")
+    p_nn = collision_probability(1.0 / contrast, width)
+    p_catch = p_nn**n_bits
+    if p_catch <= 0:
+        return max_tables
+    if p_catch >= 1:
+        return 1
+    l = math.ceil(math.log(k_star / delta) / -math.log1p(-p_catch))
+    return int(min(max(1, l), max_tables))
+
+
+def tune_lsh(
+    contrast: ContrastEstimate,
+    n: int,
+    k_star: int,
+    delta: float,
+    alpha: float = 1.0,
+    width_grid: tuple[float, ...] = DEFAULT_WIDTH_GRID,
+    max_tables: int = 4096,
+) -> LSHParameters:
+    """End-to-end parameter selection for a dataset.
+
+    Parameters
+    ----------
+    contrast:
+        Output of
+        :func:`repro.lsh.contrast.estimate_relative_contrast` computed
+        at ``k = k_star`` on data normalized to ``D_mean = 1``.
+    n:
+        Training-set size.
+    k_star:
+        Number of neighbors the valuation needs
+        (``max(K, ceil(1/epsilon))``, Theorem 2).
+    delta:
+        Allowed retrieval failure probability.
+    alpha:
+        Code-length multiplier (paper tries a few and keeps the
+        fastest; 1.0 is a solid default).
+    """
+    width, g = choose_width(contrast.contrast, grid=width_grid)
+    n_bits = choose_n_bits(n, width, alpha=alpha)
+    n_tables = choose_n_tables(
+        contrast.contrast, width, n_bits, k_star, delta, max_tables=max_tables
+    )
+    return LSHParameters(
+        width=width, n_bits=n_bits, n_tables=n_tables, g=g, contrast=contrast
+    )

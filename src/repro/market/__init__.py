@@ -1,0 +1,19 @@
+"""Data-marketplace layer: agents, games, revenue mapping, settlement."""
+
+from .agents import Analyst, Buyer, Seller
+from .game import CompositeGame, DataOnlyGame
+from .marketplace import Marketplace, MarketplaceReport
+from .revenue import AffineRevenueModel, PaymentLedger, allocate_payments
+
+__all__ = [
+    "Seller",
+    "Buyer",
+    "Analyst",
+    "DataOnlyGame",
+    "CompositeGame",
+    "Marketplace",
+    "MarketplaceReport",
+    "AffineRevenueModel",
+    "PaymentLedger",
+    "allocate_payments",
+]

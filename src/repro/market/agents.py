@@ -1,0 +1,93 @@
+"""Marketplace agents: sellers, the buyer, and the analyst.
+
+These dataclasses model the actors of the paper's motivating scenario
+(Section 1, Figure 1): sellers contribute labelled training points to a
+shared pool, a buyer pays for an ML model trained over the pool, and —
+in the composite game — an analyst contributes the computation.  The
+classes are deliberately thin records; the economics lives in
+:mod:`repro.market.game` and :mod:`repro.market.revenue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+
+__all__ = ["Seller", "Buyer", "Analyst"]
+
+
+@dataclass(frozen=True)
+class Seller:
+    """A data contributor.
+
+    Attributes
+    ----------
+    seller_id:
+        Contiguous integer id (doubles as the player index in the
+        data-only game).
+    point_indices:
+        Indices of the training points this seller owns.
+    name:
+        Optional display name.
+    """
+
+    seller_id: int
+    point_indices: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.point_indices, dtype=np.intp)
+        if idx.ndim != 1 or idx.size == 0:
+            raise DataValidationError(
+                "a seller must own at least one training point"
+            )
+        object.__setattr__(self, "point_indices", idx)
+        if not self.name:
+            object.__setattr__(self, "name", f"seller-{self.seller_id}")
+
+    @property
+    def n_points(self) -> int:
+        """Number of points contributed."""
+        return int(self.point_indices.size)
+
+
+@dataclass(frozen=True)
+class Buyer:
+    """The data consumer who pays for the trained model.
+
+    Attributes
+    ----------
+    budget:
+        Total payment for the grand-coalition model.
+    name:
+        Optional display name.
+    """
+
+    budget: float
+    name: str = "buyer"
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise DataValidationError(
+                f"budget must be non-negative, got {self.budget}"
+            )
+
+
+@dataclass(frozen=True)
+class Analyst:
+    """The computation contributor of the composite game (Section 4).
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    metadata:
+        Free-form description of the contributed computation
+        (infrastructure, IP, ...).
+    """
+
+    name: str = "analyst"
+    metadata: dict = field(default_factory=dict)

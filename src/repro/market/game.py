@@ -1,0 +1,170 @@
+"""The two cooperative games of the paper: data-only and composite.
+
+* **Data-only game** (Section 2): players are sellers (one per
+  training point, or one per curator in the grouped setting); the
+  utility of a coalition is the KNN model quality on the pooled data.
+* **Composite game** (Section 4, eq 28): one extra player — the
+  analyst — and a utility that is zero unless both data and the
+  analyst are present.
+
+Each game knows how to *solve itself*: it dispatches to the fastest
+exact algorithm available for its utility (Theorems 1, 6, 8, 9, 10,
+12), falling back to Monte Carlo where no closed form exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.composite import (
+    composite_grouped_knn_shapley,
+    composite_knn_regression_shapley,
+    composite_knn_shapley,
+)
+from ..core.exact import exact_knn_shapley
+from ..core.grouped import exact_grouped_knn_shapley
+from ..core.regression import exact_knn_regression_shapley
+from ..exceptions import ParameterError
+from ..types import Dataset, GroupedDataset, ValuationResult
+from ..utility.knn_utility import KNNClassificationUtility
+from ..utility.regression_utility import KNNRegressionUtility
+from .agents import Analyst, Seller
+
+__all__ = ["DataOnlyGame", "CompositeGame"]
+
+
+def _sellers_from_groups(grouped: GroupedDataset) -> list[Seller]:
+    return [
+        Seller(seller_id=m, point_indices=grouped.members(m))
+        for m in range(grouped.n_sellers)
+    ]
+
+
+@dataclass
+class DataOnlyGame:
+    """The sellers-only valuation game.
+
+    Parameters
+    ----------
+    dataset:
+        Training and test data.
+    k:
+        The K of KNN.
+    task:
+        ``"classification"`` (eq 5) or ``"regression"`` (eq 25).
+    grouped:
+        Optional ownership map; when given, players are sellers
+        instead of individual points.
+    metric:
+        Distance metric name.
+    """
+
+    dataset: Dataset
+    k: int
+    task: str = "classification"
+    grouped: Optional[GroupedDataset] = None
+    metric: str = "euclidean"
+
+    def __post_init__(self) -> None:
+        if self.task not in ("classification", "regression"):
+            raise ParameterError(
+                f"task must be 'classification' or 'regression', got {self.task!r}"
+            )
+        if self.grouped is not None and self.grouped.dataset is not self.dataset:
+            raise ParameterError(
+                "grouped.dataset must be the same object as dataset"
+            )
+
+    @property
+    def n_players(self) -> int:
+        """Sellers when grouped, training points otherwise."""
+        if self.grouped is not None:
+            return self.grouped.n_sellers
+        return self.dataset.n_train
+
+    def sellers(self) -> list[Seller]:
+        """The seller roster (one per player)."""
+        if self.grouped is not None:
+            return _sellers_from_groups(self.grouped)
+        return [
+            Seller(seller_id=i, point_indices=np.array([i]))
+            for i in range(self.dataset.n_train)
+        ]
+
+    def utility(self):
+        """The point-level utility function of this game."""
+        if self.task == "classification":
+            return KNNClassificationUtility(self.dataset, self.k, metric=self.metric)
+        return KNNRegressionUtility(self.dataset, self.k, metric=self.metric)
+
+    def solve(self) -> ValuationResult:
+        """Exact Shapley values via the fastest applicable theorem."""
+        if self.grouped is None:
+            if self.task == "classification":
+                return exact_knn_shapley(self.dataset, self.k, metric=self.metric)
+            return exact_knn_regression_shapley(
+                self.dataset, self.k, metric=self.metric
+            )
+        return exact_grouped_knn_shapley(self.utility(), self.grouped)
+
+
+@dataclass
+class CompositeGame:
+    """The sellers-plus-analyst valuation game (eq 28).
+
+    Same parameters as :class:`DataOnlyGame`; the analyst is always the
+    last player of the solved result.
+    """
+
+    dataset: Dataset
+    k: int
+    task: str = "classification"
+    grouped: Optional[GroupedDataset] = None
+    metric: str = "euclidean"
+    analyst: Analyst = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.task not in ("classification", "regression"):
+            raise ParameterError(
+                f"task must be 'classification' or 'regression', got {self.task!r}"
+            )
+        if self.analyst is None:
+            self.analyst = Analyst()
+
+    @property
+    def n_players(self) -> int:
+        """Sellers (or points) plus the analyst."""
+        base = (
+            self.grouped.n_sellers
+            if self.grouped is not None
+            else self.dataset.n_train
+        )
+        return base + 1
+
+    def utility(self):
+        """The point-level utility underlying the composite game."""
+        if self.task == "classification":
+            return KNNClassificationUtility(self.dataset, self.k, metric=self.metric)
+        return KNNRegressionUtility(self.dataset, self.k, metric=self.metric)
+
+    def solve(self) -> ValuationResult:
+        """Exact composite Shapley values (Theorems 9, 10, 12)."""
+        if self.grouped is None:
+            if self.task == "classification":
+                return composite_knn_shapley(self.dataset, self.k, metric=self.metric)
+            return composite_knn_regression_shapley(
+                self.dataset, self.k, metric=self.metric
+            )
+        return composite_grouped_knn_shapley(self.utility(), self.grouped)
+
+    def analyst_share(self, result: Optional[ValuationResult] = None) -> float:
+        """The analyst's fraction of the total distributed value."""
+        if result is None:
+            result = self.solve()
+        total = result.total()
+        if total == 0:
+            return 0.0
+        return float(result.values[-1] / total)

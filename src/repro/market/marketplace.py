@@ -1,0 +1,149 @@
+"""End-to-end marketplace orchestration.
+
+Ties the pieces together into the workflow of the paper's motivating
+example (Figure 1): sellers register data, a buyer requests a KNN model
+and posts a budget, the marketplace values every contribution with the
+exact Shapley algorithms and settles payments — optionally including an
+analyst via the composite game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import Dataset, GroupedDataset, ValuationResult
+from .agents import Analyst, Buyer, Seller
+from .game import CompositeGame, DataOnlyGame
+from .revenue import AffineRevenueModel, PaymentLedger, allocate_payments
+
+__all__ = ["MarketplaceReport", "Marketplace"]
+
+
+@dataclass(frozen=True)
+class MarketplaceReport:
+    """Everything a settlement round produces.
+
+    Attributes
+    ----------
+    valuation:
+        The Shapley values used for the split.
+    ledger:
+        Final payments.
+    sellers:
+        Seller roster aligned with the payment vector (the analyst, if
+        present, is the extra last entry of ``ledger.payments``).
+    grand_utility:
+        Utility of the full coalition (what the buyer paid for).
+    includes_analyst:
+        Whether the last payment entry belongs to the analyst.
+    """
+
+    valuation: ValuationResult
+    ledger: PaymentLedger
+    sellers: list[Seller]
+    grand_utility: float
+    includes_analyst: bool
+
+    def seller_payment(self, seller_id: int) -> float:
+        """Payment of one seller."""
+        return float(self.ledger.payments[seller_id])
+
+    def analyst_payment(self) -> float:
+        """Payment of the analyst (0 when no analyst participated)."""
+        if not self.includes_analyst:
+            return 0.0
+        return float(self.ledger.payments[-1])
+
+
+@dataclass
+class Marketplace:
+    """A single-buyer KNN data marketplace.
+
+    Parameters
+    ----------
+    dataset:
+        The pooled training data plus the buyer's evaluation set.
+    k:
+        The K of the KNN model the buyer requests.
+    task:
+        ``"classification"`` or ``"regression"``.
+    grouped:
+        Optional seller ownership map (multiple data per curator).
+    analyst:
+        When given, settlement uses the composite game and the analyst
+        receives a share.
+    revenue_model:
+        Affine utility-to-money map; defaults to identity slope 1.
+    """
+
+    dataset: Dataset
+    k: int
+    task: str = "classification"
+    grouped: Optional[GroupedDataset] = None
+    analyst: Optional[Analyst] = None
+    revenue_model: AffineRevenueModel = field(
+        default_factory=lambda: AffineRevenueModel(a=1.0, b=0.0)
+    )
+
+    def value_contributions(self) -> ValuationResult:
+        """Run the appropriate exact valuation for the configured game."""
+        if self.analyst is not None:
+            game = CompositeGame(
+                dataset=self.dataset,
+                k=self.k,
+                task=self.task,
+                grouped=self.grouped,
+                analyst=self.analyst,
+            )
+            return game.solve()
+        return DataOnlyGame(
+            dataset=self.dataset, k=self.k, task=self.task, grouped=self.grouped
+        ).solve()
+
+    def settle(self, buyer: Buyer, clip_negative: bool = True) -> MarketplaceReport:
+        """Value every contribution and distribute the buyer's budget."""
+        if buyer.budget <= 0:
+            raise ParameterError("buyer budget must be positive to settle")
+        valuation = self.value_contributions()
+        monetary = self.revenue_model.value_to_money(valuation)
+        monetary_result = ValuationResult(
+            values=monetary,
+            method=f"{valuation.method}+affine",
+            extra=dict(valuation.extra),
+        )
+        ledger = allocate_payments(
+            monetary_result, buyer.budget, clip_negative=clip_negative
+        )
+        game = DataOnlyGame(
+            dataset=self.dataset, k=self.k, task=self.task, grouped=self.grouped
+        )
+        grand = float(game.utility().grand_value())
+        return MarketplaceReport(
+            valuation=valuation,
+            ledger=ledger,
+            sellers=game.sellers(),
+            grand_utility=grand,
+            includes_analyst=self.analyst is not None,
+        )
+
+    def flag_low_value_sellers(
+        self, quantile: float = 0.05
+    ) -> np.ndarray:
+        """Sellers whose value falls below the given quantile.
+
+        The task-specific valuation's defense against data poisoning
+        (Section 7): adversarial or mislabeled contributions earn low
+        or negative values and can be flagged for review.
+        """
+        if not 0 < quantile < 1:
+            raise ParameterError(f"quantile must lie in (0, 1), got {quantile}")
+        valuation = self.value_contributions()
+        seller_values = (
+            valuation.values[:-1] if self.analyst is not None else valuation.values
+        )
+        threshold = float(np.quantile(seller_values, quantile))
+        return np.flatnonzero(seller_values <= threshold)

@@ -1,0 +1,110 @@
+"""Mapping Shapley values to monetary rewards (Section 7).
+
+The paper's discussion section proposes an affine revenue model:
+``R(S) = a * v(S) + b``.  By the additivity property of the Shapley
+value, the monetary reward of player ``i`` is then the same affine map
+of its utility-space value plus its share of the constant term:
+``s(R, i) = a * s(v, i) + b / N`` (the constant utility ``b`` is a
+symmetric game whose value splits equally).
+
+:func:`allocate_payments` applies that map and (optionally) clips
+negative payouts, renormalizing so the buyer's budget is exactly
+distributed — negative Shapley values are meaningful (harmful points)
+but most real marketplaces cannot charge sellers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import ValuationResult
+
+__all__ = ["AffineRevenueModel", "allocate_payments", "PaymentLedger"]
+
+
+@dataclass(frozen=True)
+class AffineRevenueModel:
+    """``R(S) = a * v(S) + b`` with ``a > 0``.
+
+    ``a`` converts model quality into money (determined by market
+    research, per the paper); ``b`` is a base payment for participating.
+    """
+
+    a: float
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ParameterError(f"slope a must be positive, got {self.a}")
+
+    def value_to_money(self, result: ValuationResult) -> np.ndarray:
+        """Per-player monetary value ``a * s_i + b / N``."""
+        n = result.n
+        return self.a * result.values + self.b / n
+
+    def total_revenue(self, grand_utility: float) -> float:
+        """Revenue of the grand coalition, ``R(I)``."""
+        return self.a * grand_utility + self.b
+
+
+@dataclass(frozen=True)
+class PaymentLedger:
+    """The outcome of one payout round.
+
+    Attributes
+    ----------
+    payments:
+        Final per-player payments.
+    raw:
+        Pre-clipping affine payments (may contain negatives).
+    budget:
+        The distributed total.
+    """
+
+    payments: np.ndarray
+    raw: np.ndarray
+    budget: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payments", np.asarray(self.payments, dtype=np.float64))
+        object.__setattr__(self, "raw", np.asarray(self.raw, dtype=np.float64))
+
+
+def allocate_payments(
+    result: ValuationResult,
+    budget: float,
+    clip_negative: bool = True,
+) -> PaymentLedger:
+    """Distribute ``budget`` proportionally to Shapley values.
+
+    Parameters
+    ----------
+    result:
+        A valuation result (any method).
+    budget:
+        Total money to distribute.
+    clip_negative:
+        When True (default), negative values are clipped to zero before
+        normalization — harmful contributors receive nothing rather
+        than owe money.  When False, shares may be negative and the
+        *net* distribution equals the budget.
+
+    Notes
+    -----
+    If every value is non-positive the budget is split equally — the
+    degenerate case where the valuation provides no signal.
+    """
+    if budget < 0:
+        raise ParameterError(f"budget must be non-negative, got {budget}")
+    values = result.values
+    raw = values.copy()
+    weights = np.clip(values, 0.0, None) if clip_negative else values
+    total = float(weights.sum())
+    if total <= 0:
+        payments = np.full(result.n, budget / result.n)
+    else:
+        payments = budget * weights / total
+    return PaymentLedger(payments=payments, raw=raw, budget=float(budget))

@@ -1,0 +1,23 @@
+"""Error, correlation, retrieval and timing metrics."""
+
+from .errors import (
+    max_abs_error,
+    mean_abs_error,
+    pearson_correlation,
+    rank_of,
+    spearman_correlation,
+    top_k_overlap,
+)
+from .timing import TimingResult, fit_loglog_slope, time_call
+
+__all__ = [
+    "max_abs_error",
+    "mean_abs_error",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rank_of",
+    "top_k_overlap",
+    "TimingResult",
+    "time_call",
+    "fit_loglog_slope",
+]

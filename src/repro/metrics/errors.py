@@ -1,0 +1,98 @@
+"""Approximation-error and correlation metrics for valuation results.
+
+The paper states its guarantees in max-norm (``(epsilon, delta)``
+approximation bounds ``max_i |s_hat_i - s_i|``), compares value
+*vectors* by scatter-plot correlation (Figures 14b, 15b, 16), and cares
+about value *rankings* for data selection — so this module provides all
+three views, built from scratch on numpy (Spearman included, since
+scipy's version is about ties, not speed, and ours handles them the
+same way via average ranks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+
+__all__ = [
+    "max_abs_error",
+    "mean_abs_error",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rank_of",
+    "top_k_overlap",
+]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise DataValidationError(
+            f"arrays must have equal length, got {a.shape} and {b.shape}"
+        )
+    if a.size == 0:
+        raise DataValidationError("arrays must be non-empty")
+    return a, b
+
+
+def max_abs_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``max_i |estimate_i - truth_i|`` — the paper's error norm."""
+    a, b = _pair(estimate, truth)
+    return float(np.max(np.abs(a - b)))
+
+
+def mean_abs_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error."""
+    a, b = _pair(estimate, truth)
+    return float(np.mean(np.abs(a - b)))
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation; 0.0 when either vector is constant."""
+    a, b = _pair(a, b)
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
+
+
+def rank_of(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    # average ranks over tie groups
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + 1 + j + 1)
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    a, b = _pair(a, b)
+    return pearson_correlation(rank_of(a), rank_of(b))
+
+
+def top_k_overlap(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Fraction of the top-``k`` of ``a`` that also make ``b``'s top-``k``.
+
+    Measures agreement on the *selection* task (keep the k most
+    valuable points), which truncation provably preserves for the K*
+    nearest neighbors (Theorem 2).
+    """
+    a, b = _pair(a, b)
+    if not 1 <= k <= a.size:
+        raise DataValidationError(f"k must lie in [1, {a.size}], got {k}")
+    top_a = set(np.argsort(-a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-b, kind="stable")[:k].tolist())
+    return len(top_a & top_b) / k

@@ -1,0 +1,89 @@
+"""Timing helpers for the runtime experiments.
+
+The paper's performance figures compare wall-clock runtimes of
+different valuation methods inside one substrate.  These helpers keep
+that comparison honest: a warm-up call (so import/JIT/cache effects do
+not land on the first method measured), best-of-``repeat`` timing, and
+a simple log-log slope estimator used by the complexity-table bench to
+check empirical scaling exponents.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["TimingResult", "time_call", "fit_loglog_slope"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock measurement of one callable.
+
+    Attributes
+    ----------
+    seconds:
+        Best observed wall-clock time.
+    all_runs:
+        Every measured run, in order.
+    value:
+        Return value of the final run (handy when the timed call also
+        produces the result the experiment needs).
+    """
+
+    seconds: float
+    all_runs: tuple[float, ...]
+    value: object
+
+
+def time_call(
+    fn: Callable[[], object], repeat: int = 1, warmup: int = 0
+) -> TimingResult:
+    """Time ``fn`` with optional warm-up, keeping the best run.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable.
+    repeat:
+        Number of measured runs (best is reported, which is the
+        standard way to suppress scheduler noise for CPU-bound code).
+    warmup:
+        Unmeasured preliminary runs.
+    """
+    if repeat <= 0:
+        raise ParameterError(f"repeat must be positive, got {repeat}")
+    for _ in range(warmup):
+        fn()
+    runs = []
+    value: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        runs.append(time.perf_counter() - start)
+    return TimingResult(seconds=min(runs), all_runs=tuple(runs), value=value)
+
+
+def fit_loglog_slope(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Least-squares slope of ``log(time)`` against ``log(size)``.
+
+    An empirical scaling exponent: ~1 for linear algorithms, ~2 for
+    quadratic.  Used to verify the complexity table (Figure 2) — e.g.
+    the exact algorithm should measure close to 1 (the log factor is
+    invisible at these scales) and the baseline MC close to 2.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    times_arr = np.asarray(times, dtype=np.float64)
+    if sizes_arr.shape != times_arr.shape or sizes_arr.size < 2:
+        raise ParameterError("need at least two (size, time) pairs")
+    if np.any(sizes_arr <= 0) or np.any(times_arr <= 0):
+        raise ParameterError("sizes and times must be positive")
+    x = np.log(sizes_arr)
+    y = np.log(times_arr)
+    slope = float(np.polyfit(x, y, 1)[0])
+    return slope

@@ -1,0 +1,6 @@
+"""From-scratch baseline models used by the comparison experiments."""
+
+from .logistic import LogisticRegression, softmax
+from .utility_wrapper import RetrainUtility, TrainableModel
+
+__all__ = ["LogisticRegression", "softmax", "RetrainUtility", "TrainableModel"]

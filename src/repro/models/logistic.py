@@ -1,0 +1,181 @@
+"""Multinomial logistic regression, implemented from scratch on numpy.
+
+The paper uses logistic regression twice: as the accuracy reference in
+Figure 8 and as the "other classifier" whose Monte Carlo Shapley
+values are compared with KNN Shapley values in Figure 16.  sklearn is
+not a dependency of this reproduction, so this module provides a small
+batch-gradient-descent trainer with L2 regularization — entirely
+sufficient for both uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, NotFittedError, ParameterError
+from ..rng import SeedLike, ensure_rng
+from ..types import as_float_matrix, as_label_vector
+
+__all__ = ["LogisticRegression", "softmax"]
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Multinomial logistic regression trained by full-batch gradient descent.
+
+    Parameters
+    ----------
+    l2:
+        L2 regularization strength (applied to weights, not bias).
+    learning_rate:
+        Gradient-descent step size.
+    max_iter:
+        Maximum number of epochs.
+    tol:
+        Stop when the loss improvement over an epoch drops below this.
+    raise_on_nonconvergence:
+        When True, failing to reach ``tol`` raises
+        :class:`~repro.exceptions.ConvergenceError` instead of
+        returning the best-effort fit.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+        raise_on_nonconvergence: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if l2 < 0:
+            raise ParameterError(f"l2 must be non-negative, got {l2}")
+        if learning_rate <= 0:
+            raise ParameterError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if max_iter <= 0:
+            raise ParameterError(f"max_iter must be positive, got {max_iter}")
+        self.l2 = float(l2)
+        self.learning_rate = float(learning_rate)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.raise_on_nonconvergence = bool(raise_on_nonconvergence)
+        self._seed = seed
+        self.weights: Optional[np.ndarray] = None  # (n_classes, d)
+        self.bias: Optional[np.ndarray] = None  # (n_classes,)
+        self.classes_: Optional[np.ndarray] = None
+        self.n_iter_: int = 0
+        self.converged_: bool = False
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _loss_and_grad(
+        self,
+        x: np.ndarray,
+        onehot: np.ndarray,
+        w: np.ndarray,
+        b: np.ndarray,
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        n = x.shape[0]
+        probs = softmax(x @ w.T + b[None, :])
+        # cross-entropy + L2
+        eps = 1e-12
+        loss = -np.log(probs[onehot.astype(bool)] + eps).sum() / n
+        loss += 0.5 * self.l2 * float((w**2).sum())
+        diff = (probs - onehot) / n
+        grad_w = diff.T @ x + self.l2 * w
+        grad_b = diff.sum(axis=0)
+        return float(loss), grad_w, grad_b
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Train on ``(x, y)``; ``y`` may be any hashable class labels.
+
+        Features are standardized internally (zero mean, unit variance)
+        so one default learning rate works across feature scales, and
+        each gradient step uses backtracking: a step that increases the
+        loss is rejected and the step size halved, which makes training
+        robust to aggressive learning rates and large L2.
+        """
+        x = as_float_matrix(x, "x")
+        y = as_label_vector(y, x.shape[0], "y")
+        classes = np.unique(y)
+        if classes.size < 2:
+            raise ParameterError("need at least two classes to fit")
+        self._mean = x.mean(axis=0)
+        self._std = np.maximum(x.std(axis=0), 1e-8)
+        x = (x - self._mean) / self._std
+        class_pos = {label: p for p, label in enumerate(classes)}
+        onehot = np.zeros((x.shape[0], classes.size))
+        for i, label in enumerate(y):
+            onehot[i, class_pos[label]] = 1.0
+
+        rng = ensure_rng(self._seed)
+        w = 0.01 * rng.standard_normal((classes.size, x.shape[1]))
+        b = np.zeros(classes.size)
+        step = self.learning_rate
+        loss, grad_w, grad_b = self._loss_and_grad(x, onehot, w, b)
+        converged = False
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            w_new = w - step * grad_w
+            b_new = b - step * grad_b
+            new_loss, new_gw, new_gb = self._loss_and_grad(
+                x, onehot, w_new, b_new
+            )
+            if new_loss > loss + 1e-12:
+                # Reject the step; a smaller one will be tried next.
+                step *= 0.5
+                if step < 1e-12:
+                    converged = True
+                    break
+                continue
+            improvement = loss - new_loss
+            w, b, loss = w_new, b_new, new_loss
+            grad_w, grad_b = new_gw, new_gb
+            if improvement < self.tol:
+                converged = True
+                break
+        if not converged and self.raise_on_nonconvergence:
+            raise ConvergenceError(
+                f"logistic regression did not converge in {self.max_iter} epochs"
+            )
+        self.weights = w
+        self.bias = b
+        self.classes_ = classes
+        self.n_iter_ = it
+        self.converged_ = converged
+        return self
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self.weights is None or self.bias is None or self.classes_ is None:
+            raise NotFittedError("LogisticRegression.fit must be called first")
+        return self.weights, self.bias, self.classes_
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(n, n_classes)``."""
+        w, b, _ = self._require_fitted()
+        x = as_float_matrix(x, "x")
+        x = (x - self._mean) / self._std
+        return softmax(x @ w.T + b[None, :])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        _, _, classes = self._require_fitted()
+        return classes[np.argmax(self.predict_proba(x), axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean 0/1 accuracy."""
+        pred = self.predict(x)
+        y = as_label_vector(y, pred.shape[0], "y")
+        return float(np.mean(pred == y))

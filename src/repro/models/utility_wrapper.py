@@ -1,0 +1,78 @@
+"""Retraining-based utility for arbitrary models (the expensive path).
+
+For models without the KNN locality structure — logistic regression in
+Figure 16 — the utility of a coalition is the test accuracy of the
+model *retrained* on that coalition.  Every evaluation costs a full
+training run, which is exactly why the paper's KNN-specific algorithms
+matter; this wrapper exists so the Monte Carlo estimators can value
+such models for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import Dataset
+from ..utility.base import UtilityFunction
+
+__all__ = ["RetrainUtility", "TrainableModel"]
+
+
+class TrainableModel(Protocol):
+    """Anything with sklearn-style fit / score."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> object: ...
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float: ...
+
+
+class RetrainUtility(UtilityFunction):
+    """Utility = test score of a model retrained on the coalition.
+
+    Parameters
+    ----------
+    dataset:
+        Training and test data.
+    model_factory:
+        Zero-argument callable producing a fresh trainable model.
+    fallback:
+        Utility returned when the coalition cannot be trained on
+        (empty, or fewer than two classes present).  The natural choice
+        for accuracy utilities is chance level or 0.
+    min_classes:
+        Minimum distinct labels needed to attempt training.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model_factory: Callable[[], TrainableModel],
+        fallback: float = 0.0,
+        min_classes: int = 2,
+    ) -> None:
+        if min_classes < 1:
+            raise ParameterError(f"min_classes must be >= 1, got {min_classes}")
+        self.dataset = dataset
+        self.model_factory = model_factory
+        self.fallback = float(fallback)
+        self.min_classes = int(min_classes)
+        self.n_players = dataset.n_train
+        self.n_evaluations = 0  # exposed so experiments can report cost
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        if members.size == 0:
+            return self.fallback
+        y = self.dataset.y_train[members]
+        if np.unique(y).size < self.min_classes:
+            return self.fallback
+        self.n_evaluations += 1
+        model = self.model_factory()
+        model.fit(self.dataset.x_train[members], y)
+        return float(model.score(self.dataset.x_test, self.dataset.y_test))
+
+    def value_bounds(self) -> tuple[float, float]:
+        """Accuracy-style utilities live in [0, 1]."""
+        return (min(0.0, self.fallback), max(1.0, self.fallback))

@@ -1,0 +1,40 @@
+"""Seeding helpers.
+
+Every stochastic routine in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes all three
+forms so algorithm code never touches global numpy random state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["ensure_rng", "SeedLike", "spawn"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged, which lets a
+    caller thread one generator through a pipeline of stochastic steps
+    and keep the whole pipeline reproducible from a single integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by experiments that run several stochastic sub-procedures (for
+    example one Monte Carlo chain per test point) and want each to be
+    independently reproducible.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

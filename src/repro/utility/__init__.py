@@ -1,0 +1,31 @@
+"""Utility functions v(S) for the data-valuation games of the paper.
+
+* :class:`KNNClassificationUtility` — eqs (5), (8)
+* :class:`KNNRegressionUtility` — eq (25)
+* :class:`WeightedKNNClassificationUtility` — eq (26)
+* :class:`WeightedKNNRegressionUtility` — eq (27)
+* :class:`GroupedUtility` — seller-level wrapper (Section 4)
+* :class:`CompositeUtility` — composite game ν_c (eq 28)
+"""
+
+from .base import CoalitionLike, UtilityFunction, coalition_to_indices
+from .composite import CompositeUtility
+from .grouped import GroupedUtility
+from .knn_utility import KNNClassificationUtility
+from .regression_utility import KNNRegressionUtility
+from .weighted_utility import (
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+
+__all__ = [
+    "UtilityFunction",
+    "CoalitionLike",
+    "coalition_to_indices",
+    "KNNClassificationUtility",
+    "KNNRegressionUtility",
+    "WeightedKNNClassificationUtility",
+    "WeightedKNNRegressionUtility",
+    "GroupedUtility",
+    "CompositeUtility",
+]

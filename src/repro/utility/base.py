@@ -1,0 +1,126 @@
+"""Abstract utility-function interface.
+
+A utility function ``v`` maps a coalition of players (a subset of
+``0..n_players-1``) to a real number — in the data-valuation setting,
+players are training points (or sellers) and ``v(S)`` is the
+performance of the model trained on ``S`` (Section 2.1 of the paper).
+
+Concrete implementations precompute whatever they can (distance
+rankings, label matches) at construction so a single evaluation costs
+O(|S|) per test point rather than a fresh O(N log N) sort.  That speed
+matters: the brute-force Shapley oracle performs ``2^N`` evaluations
+and the Monte Carlo baseline performs ``T * N``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import UtilityError
+
+__all__ = ["UtilityFunction", "CoalitionLike", "coalition_to_indices"]
+
+CoalitionLike = Union[Sequence[int], np.ndarray, frozenset, set, range]
+
+
+def coalition_to_indices(subset: CoalitionLike, n_players: int) -> np.ndarray:
+    """Normalize a coalition to a sorted, duplicate-free index array.
+
+    Accepts any iterable of player indices or a boolean mask of length
+    ``n_players``.  Raises :class:`UtilityError` on out-of-range or
+    duplicate members, because a silent duplicate would double-count a
+    player's data and corrupt every downstream Shapley computation.
+    """
+    arr = np.asarray(list(subset) if isinstance(subset, (set, frozenset)) else subset)
+    if arr.dtype == np.bool_:
+        if arr.shape != (n_players,):
+            raise UtilityError(
+                f"boolean coalition mask must have shape ({n_players},), "
+                f"got {arr.shape}"
+            )
+        return np.flatnonzero(arr)
+    arr = arr.astype(np.intp, copy=False).ravel()
+    if arr.size:
+        if arr.min() < 0 or arr.max() >= n_players:
+            raise UtilityError(
+                f"coalition members must lie in [0, {n_players}); got "
+                f"range [{arr.min()}, {arr.max()}]"
+            )
+        uniq = np.unique(arr)
+        if uniq.size != arr.size:
+            raise UtilityError("coalition contains duplicate players")
+        return uniq
+    return arr.astype(np.intp)
+
+
+class UtilityFunction(ABC):
+    """Base class for coalition utility functions.
+
+    Subclasses must set :attr:`n_players` and implement
+    :meth:`_evaluate` on a normalized index array.
+    """
+
+    #: number of players in the grand coalition
+    n_players: int
+
+    @abstractmethod
+    def _evaluate(self, members: np.ndarray) -> float:
+        """Evaluate the utility of the coalition given as an index array."""
+
+    def __call__(self, subset: CoalitionLike) -> float:
+        """Evaluate ``v(subset)``."""
+        return self._evaluate(coalition_to_indices(subset, self.n_players))
+
+    def marginal(self, subset: CoalitionLike, player: int) -> float:
+        """Marginal contribution ``v(S ∪ {player}) − v(S)``.
+
+        Raises
+        ------
+        UtilityError
+            If ``player`` is already a member of ``subset``.
+        """
+        members = coalition_to_indices(subset, self.n_players)
+        if player in members:
+            raise UtilityError(f"player {player} already in coalition")
+        with_player = np.sort(np.append(members, player))
+        return self._evaluate(with_player) - self._evaluate(members)
+
+    def empty_value(self) -> float:
+        """``v(∅)`` — the baseline the Shapley values distribute from."""
+        return self._evaluate(np.empty(0, dtype=np.intp))
+
+    def grand_value(self) -> float:
+        """``v(I)`` — the utility of the full coalition."""
+        return self._evaluate(np.arange(self.n_players, dtype=np.intp))
+
+    def total_gain(self) -> float:
+        """``v(I) − v(∅)`` — what group rationality says the values sum to."""
+        return self.grand_value() - self.empty_value()
+
+    def difference_range(self) -> float:
+        """Half-width ``r`` such that marginal contributions lie in [−r, r].
+
+        Used by the Monte Carlo sample-complexity bounds (Section 2.2 and
+        Theorem 5).  The default is conservative: the full utility range.
+        Subclasses override with tighter, utility-specific values (the
+        unweighted KNN classification utility has ``r = 1/K``).
+        """
+        lo, hi = self.value_bounds()
+        return float(hi - lo)
+
+    def value_bounds(self) -> tuple[float, float]:
+        """Bounds ``(lo, hi)`` on the utility over all coalitions.
+
+        The default is the trivially correct but loose ``(-inf, inf)``
+        replacement computed from the empty and grand coalitions; most
+        subclasses override.
+        """
+        return (min(self.empty_value(), self.grand_value()),
+                max(self.empty_value(), self.grand_value()))
+
+    def evaluate_many(self, subsets: Iterable[CoalitionLike]) -> np.ndarray:
+        """Vectorized convenience: evaluate a sequence of coalitions."""
+        return np.array([self(s) for s in subsets], dtype=np.float64)

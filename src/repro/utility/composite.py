@@ -1,0 +1,61 @@
+"""The composite-game utility ν_c of eq (28).
+
+In the composite game there are ``M + 1`` players: ``M`` data sellers
+(players ``0 .. M-1``) and one analyst (player ``M``) who contributes
+the computation.  A coalition creates value only when it contains both
+data *and* the analyst::
+
+    v_c(S) = 0                     if S == {analyst} or S ⊆ sellers
+    v_c(S) = v(S \\ {analyst})      otherwise
+
+where ``v`` is the data-only utility.  The analyst's Shapley value under
+``v_c`` is what Theorems 9-12 compute in closed form; this class is the
+reference implementation used by the brute-force oracle and the Monte
+Carlo estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import UtilityFunction
+
+__all__ = ["CompositeUtility"]
+
+
+class CompositeUtility(UtilityFunction):
+    """Wrap a data-only utility into the composite game of eq (28).
+
+    Parameters
+    ----------
+    base:
+        The data-only utility ``v`` whose players are the sellers (or
+        training points, in the one-point-per-seller case).
+    """
+
+    def __init__(self, base: UtilityFunction) -> None:
+        self.base = base
+        self.n_players = base.n_players + 1
+
+    @property
+    def analyst(self) -> int:
+        """Index of the analyst player (always the last index)."""
+        return self.n_players - 1
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        has_analyst = members.size > 0 and members[-1] == self.analyst
+        if not has_analyst:
+            return 0.0
+        sellers = members[:-1]
+        if sellers.size == 0:
+            return 0.0
+        return self.base._evaluate(sellers)
+
+    def value_bounds(self) -> tuple[float, float]:
+        lo, hi = self.base.value_bounds()
+        return (min(lo, 0.0), max(hi, 0.0))
+
+    def difference_range(self) -> float:
+        """The analyst's marginal can be the full utility range."""
+        lo, hi = self.value_bounds()
+        return float(hi - lo)

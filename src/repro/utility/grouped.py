@@ -1,0 +1,56 @@
+"""Seller-level utility for the multiple-data-per-curator setting.
+
+Section 4 of the paper ("Multiple Data Per Contributor") values
+*sellers* rather than individual points: a coalition of sellers
+contributes the union of their training points, and the utility is the
+base (point-level) utility of that union.  :class:`GroupedUtility`
+wraps any point-level :class:`~repro.utility.base.UtilityFunction` and
+re-indexes players from points to sellers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import GroupedDataset
+from .base import UtilityFunction
+
+__all__ = ["GroupedUtility"]
+
+
+class GroupedUtility(UtilityFunction):
+    """Utility over seller coalitions.
+
+    Parameters
+    ----------
+    base:
+        A point-level utility whose players are the ``N`` training
+        points.
+    grouped:
+        The ownership map.  ``grouped.dataset`` must be the dataset the
+        base utility was built from (same training order).
+    """
+
+    def __init__(self, base: UtilityFunction, grouped: GroupedDataset) -> None:
+        self.base = base
+        self.grouped = grouped
+        self.n_players = grouped.n_sellers
+        # Pre-split membership lists so evaluation is a concatenation.
+        self._members = [grouped.members(m) for m in range(self.n_players)]
+
+    def points_of(self, sellers: np.ndarray) -> np.ndarray:
+        """Union of training-point indices owned by ``sellers``."""
+        if len(sellers) == 0:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate([self._members[int(m)] for m in sellers])
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        return self.base._evaluate(np.sort(self.points_of(members)))
+
+    def value_bounds(self) -> tuple[float, float]:
+        return self.base.value_bounds()
+
+    def difference_range(self) -> float:
+        """A seller can flip the entire top-K, so use the utility range."""
+        lo, hi = self.base.value_bounds()
+        return float(hi - lo)

@@ -1,0 +1,102 @@
+"""The KNN classification utility of eqs (5) and (8).
+
+For a single test point ``(x_test, y_test)`` the utility of a coalition
+``S`` of training points is the likelihood the unweighted KNN classifier
+trained on ``S`` assigns to the correct label::
+
+    v(S) = (1/K) * sum_{k=1}^{min(K, |S|)} 1[y_{alpha_k(S)} = y_test]
+
+where ``alpha_k(S)`` indexes the k-th nearest member of ``S``.  Note the
+``1/K`` normalization even when ``|S| < K`` — this convention is what
+makes the recursions of Theorems 1 and 2 exact, and it makes
+``v(∅) = 0``.  For multiple test points the utility is the average of
+the single-test utilities (eq 8), matching the additivity property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.search import argsort_by_distance
+from ..types import Dataset
+from .base import UtilityFunction
+
+__all__ = ["KNNClassificationUtility"]
+
+
+class KNNClassificationUtility(UtilityFunction):
+    """Unweighted KNN classification utility (eqs 5, 8).
+
+    Parameters
+    ----------
+    dataset:
+        Training and test data.  Players are training points.
+    k:
+        The K of KNN.
+    metric:
+        Distance metric name.
+
+    Notes
+    -----
+    Construction performs the full ``(n_test, n_train)`` distance
+    ranking once; each subsequent evaluation costs
+    ``O(n_test * |S|)``.
+    """
+
+    def __init__(self, dataset: Dataset, k: int, metric: str = "euclidean") -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.dataset = dataset
+        self.k = int(k)
+        self.metric = metric
+        self.n_players = dataset.n_train
+        order, sorted_dist = argsort_by_distance(
+            dataset.x_test, dataset.x_train, metric=metric
+        )
+        #: ranking of training points per test point, nearest first
+        self.order = order
+        #: sorted distances matching :attr:`order`
+        self.sorted_distances = sorted_dist
+        # inverse permutation: rank of training point i w.r.t. test j
+        inv = np.empty_like(order)
+        rows = np.arange(order.shape[0])[:, None]
+        inv[rows, order] = np.arange(order.shape[1])[None, :]
+        self._inv_order = inv
+        # match[j, i] = 1 if y_train[i] == y_test[j]
+        self.match = (
+            dataset.y_train[None, :] == dataset.y_test[:, None]
+        ).astype(np.float64)
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        if members.size == 0:
+            return 0.0
+        m = members.size
+        kk = min(self.k, m)
+        ranks = self._inv_order[:, members]  # (n_test, m)
+        if kk < m:
+            sel = np.argpartition(ranks, kk - 1, axis=1)[:, :kk]
+        else:
+            sel = np.broadcast_to(np.arange(m), ranks.shape).copy()
+        chosen = members[sel]  # (n_test, kk) training indices
+        rows = np.arange(ranks.shape[0])[:, None]
+        correct = self.match[rows, chosen].sum(axis=1)
+        return float(correct.mean() / self.k)
+
+    def value_bounds(self) -> tuple[float, float]:
+        """The utility lies in ``[0, 1]``."""
+        return (0.0, 1.0)
+
+    def difference_range(self) -> float:
+        """Adding one point changes at most one of K votes: ``r = 1/K``."""
+        return 1.0 / self.k
+
+    def per_test_value(self, members: np.ndarray, test_index: int) -> float:
+        """Utility of ``members`` w.r.t. a single test point (eq 5)."""
+        members = np.asarray(members, dtype=np.intp)
+        if members.size == 0:
+            return 0.0
+        kk = min(self.k, members.size)
+        ranks = self._inv_order[test_index, members]
+        nearest = members[np.argsort(ranks, kind="stable")[:kk]]
+        return float(self.match[test_index, nearest].sum() / self.k)

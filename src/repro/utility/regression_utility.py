@@ -1,0 +1,93 @@
+"""The unweighted KNN regression utility of eq (25).
+
+For a single test point the utility of coalition ``S`` is the negative
+squared error of the "divide by K" neighbor average::
+
+    v(S) = - ( (1/K) * sum_{k=1}^{min(K, |S|)} y_{alpha_k(S)}  -  y_test )^2
+
+As in the classification case, the divisor stays ``K`` even when
+``|S| < K``.  This is the convention under which Theorem 6's recursion
+is exact, and it gives ``v(∅) = -y_test^2``.  For several test points
+the utility is the average over test points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.search import argsort_by_distance
+from ..types import Dataset
+from .base import UtilityFunction
+
+__all__ = ["KNNRegressionUtility"]
+
+
+class KNNRegressionUtility(UtilityFunction):
+    """Unweighted KNN regression utility (eq 25), averaged over tests."""
+
+    def __init__(self, dataset: Dataset, k: int, metric: str = "euclidean") -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.dataset = dataset
+        self.k = int(k)
+        self.metric = metric
+        self.n_players = dataset.n_train
+        self.y_train = np.asarray(dataset.y_train, dtype=np.float64)
+        self.y_test = np.asarray(dataset.y_test, dtype=np.float64)
+        order, sorted_dist = argsort_by_distance(
+            dataset.x_test, dataset.x_train, metric=metric
+        )
+        self.order = order
+        self.sorted_distances = sorted_dist
+        inv = np.empty_like(order)
+        rows = np.arange(order.shape[0])[:, None]
+        inv[rows, order] = np.arange(order.shape[1])[None, :]
+        self._inv_order = inv
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        if members.size == 0:
+            return float(-(self.y_test**2).mean())
+        m = members.size
+        kk = min(self.k, m)
+        ranks = self._inv_order[:, members]
+        if kk < m:
+            sel = np.argpartition(ranks, kk - 1, axis=1)[:, :kk]
+        else:
+            sel = np.broadcast_to(np.arange(m), ranks.shape).copy()
+        chosen = members[sel]
+        preds = self.y_train[chosen].sum(axis=1) / self.k
+        return float(-np.mean((preds - self.y_test) ** 2))
+
+    def value_bounds(self) -> tuple[float, float]:
+        """Bounds derived from the label ranges.
+
+        The prediction lies in ``[min(0, K*y_min/K), ...]``; we bound by
+        the widest possible squared deviation between a prediction built
+        from training labels (including the truncated ``|S| < K`` case,
+        where the prediction can be as small as 0) and any test label.
+        """
+        y = self.y_train
+        lo_pred = min(0.0, float(y.min()))
+        hi_pred = max(0.0, float(y.max()))
+        worst = 0.0
+        for t in self.y_test:
+            worst = max(worst, (lo_pred - t) ** 2, (hi_pred - t) ** 2)
+        return (-worst, 0.0)
+
+    def difference_range(self) -> float:
+        """Conservative range of one-point marginal contributions."""
+        lo, hi = self.value_bounds()
+        return float(hi - lo)
+
+    def per_test_value(self, members: np.ndarray, test_index: int) -> float:
+        """Utility of ``members`` w.r.t. a single test point (eq 25)."""
+        members = np.asarray(members, dtype=np.intp)
+        t = float(self.y_test[test_index])
+        if members.size == 0:
+            return -(t**2)
+        kk = min(self.k, members.size)
+        ranks = self._inv_order[test_index, members]
+        nearest = members[np.argsort(ranks, kind="stable")[:kk]]
+        pred = float(self.y_train[nearest].sum() / self.k)
+        return -((pred - t) ** 2)

@@ -1,0 +1,21 @@
+"""High-level valuation API: the facade and the KNN-surrogate proxy."""
+
+from .selection import (
+    CurationPoint,
+    curation_curve,
+    drop_harmful,
+    select_by_value,
+)
+from .surrogate import SurrogateCalibration, calibrate_k, surrogate_values
+from .valuator import KNNShapleyValuator
+
+__all__ = [
+    "KNNShapleyValuator",
+    "SurrogateCalibration",
+    "calibrate_k",
+    "surrogate_values",
+    "CurationPoint",
+    "curation_curve",
+    "drop_harmful",
+    "select_by_value",
+]

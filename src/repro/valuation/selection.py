@@ -1,0 +1,145 @@
+"""Value-based data curation (Section 7's applications).
+
+The task-specific Shapley value supports two downstream operations the
+paper highlights: defending against data poisoning (adversarial or
+mislabeled points earn low values and can be dropped) and informed
+data acquisition (keep the points that actually improve the model).
+This module turns those into library operations:
+
+* :func:`select_by_value` — keep the top fraction of points by value;
+* :func:`drop_harmful` — remove points with negative (or
+  below-threshold) values;
+* :func:`curation_curve` — model quality as a function of how many of
+  the lowest-valued points are removed, the standard evaluation of a
+  valuation method's usefulness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.classifier import KNNClassifier
+from ..types import Dataset, ValuationResult
+
+__all__ = [
+    "select_by_value",
+    "drop_harmful",
+    "CurationPoint",
+    "curation_curve",
+]
+
+
+def select_by_value(
+    result: ValuationResult, fraction: float
+) -> np.ndarray:
+    """Indices of the top ``fraction`` of players by value.
+
+    Ties are broken toward lower index (stable).  At least one player
+    is always selected.
+    """
+    if not 0 < fraction <= 1:
+        raise ParameterError(f"fraction must lie in (0, 1], got {fraction}")
+    n_keep = max(1, int(round(fraction * result.n)))
+    return np.sort(result.ranking()[:n_keep])
+
+
+def drop_harmful(
+    result: ValuationResult, threshold: float = 0.0
+) -> np.ndarray:
+    """Indices of players whose value exceeds ``threshold``.
+
+    With the default threshold 0 this removes the points whose
+    *average marginal contribution is negative* — they actively hurt
+    the model, the signature of mislabeled or adversarial data.
+    Returns all indices if everything would be dropped.
+    """
+    keep = np.flatnonzero(result.values > threshold)
+    if keep.size == 0:
+        return np.arange(result.n)
+    return keep
+
+
+@dataclass(frozen=True)
+class CurationPoint:
+    """One point on a curation curve.
+
+    Attributes
+    ----------
+    removed_fraction:
+        Fraction of the training set removed (lowest values first).
+    n_kept:
+        Training points remaining.
+    score:
+        Model quality on the test set after removal.
+    """
+
+    removed_fraction: float
+    n_kept: int
+    score: float
+
+
+def curation_curve(
+    dataset: Dataset,
+    result: ValuationResult,
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    scorer: Callable[[Dataset], float] | None = None,
+    k: int = 5,
+) -> list[CurationPoint]:
+    """Model quality after removing the lowest-valued points.
+
+    Parameters
+    ----------
+    dataset:
+        The valued dataset.
+    result:
+        A valuation of its training points (any method).
+    fractions:
+        Removal fractions to evaluate, in any order; each keeps at
+        least one point.
+    scorer:
+        Maps a (reduced) dataset to a quality score.  Defaults to the
+        accuracy of a fresh K-NN classifier — the model the values
+        were computed for.
+    k:
+        K for the default scorer.
+
+    Notes
+    -----
+    A valuation method is *useful* when this curve rises (or at least
+    holds) as genuinely harmful points are removed first — the check
+    both the paper's discussion and the follow-on literature use.
+    """
+    if result.n != dataset.n_train:
+        raise ParameterError(
+            f"valuation covers {result.n} players but the dataset has "
+            f"{dataset.n_train} training points"
+        )
+
+    if scorer is None:
+
+        def scorer(d: Dataset) -> float:
+            clf = KNNClassifier(k=min(k, d.n_train)).fit(d.x_train, d.y_train)
+            return clf.score(d.x_test, d.y_test)
+
+    ascending = np.argsort(result.values, kind="stable")
+    curve = []
+    for fraction in fractions:
+        if not 0 <= fraction < 1:
+            raise ParameterError(
+                f"fractions must lie in [0, 1), got {fraction}"
+            )
+        n_drop = min(int(round(fraction * dataset.n_train)), dataset.n_train - 1)
+        keep = np.sort(ascending[n_drop:])
+        reduced = dataset.subset(keep)
+        curve.append(
+            CurationPoint(
+                removed_fraction=fraction,
+                n_kept=int(keep.size),
+                score=float(scorer(reduced)),
+            )
+        )
+    return curve

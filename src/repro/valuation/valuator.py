@@ -1,0 +1,163 @@
+"""High-level facade: one object, every valuation method in the paper.
+
+:class:`KNNShapleyValuator` is the entry point a downstream user should
+reach for.  It owns a :class:`~repro.types.Dataset` and a KNN
+configuration and exposes one method per algorithm, each returning a
+:class:`~repro.types.ValuationResult`:
+
+================  ===========================================  =============
+method            algorithm                                    complexity
+================  ===========================================  =============
+``exact()``       Theorem 1 (classification) / 6 (regression)  O(N log N)
+``truncated()``   Theorem 2                                    O(N + K* log K*)
+``lsh()``         Theorem 4                                    sublinear
+``monte_carlo()`` Algorithm 2 / baseline                       O(T N log K)
+``weighted()``    Theorem 7                                    O(N^K)
+``grouped()``     Theorem 8                                    O(M^K)
+``composite()``   Theorems 9-12                                as data-only
+================  ===========================================  =============
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.composite import (
+    composite_grouped_knn_shapley,
+    composite_knn_regression_shapley,
+    composite_knn_shapley,
+)
+from ..core.exact import exact_knn_shapley
+from ..core.grouped import exact_grouped_knn_shapley
+from ..core.montecarlo import baseline_mc_shapley, improved_mc_shapley
+from ..core.regression import exact_knn_regression_shapley
+from ..core.truncated import truncated_knn_shapley
+from ..core.weighted import exact_weighted_knn_shapley
+from ..exceptions import ParameterError
+from ..lsh.valuation import lsh_knn_shapley
+from ..rng import SeedLike
+from ..types import Dataset, GroupedDataset, ValuationResult
+from ..utility.grouped import GroupedUtility
+from ..utility.knn_utility import KNNClassificationUtility
+from ..utility.regression_utility import KNNRegressionUtility
+
+__all__ = ["KNNShapleyValuator"]
+
+
+class KNNShapleyValuator:
+    """Task-specific data valuation for KNN models.
+
+    Parameters
+    ----------
+    dataset:
+        Training and test data.
+    k:
+        The K of KNN.
+    task:
+        ``"classification"`` or ``"regression"``.
+    metric:
+        Distance metric name.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int = 1,
+        task: str = "classification",
+        metric: str = "euclidean",
+    ) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if task not in ("classification", "regression"):
+            raise ParameterError(
+                f"task must be 'classification' or 'regression', got {task!r}"
+            )
+        self.dataset = dataset
+        self.k = int(k)
+        self.task = task
+        self.metric = metric
+
+    # ------------------------------------------------------------------
+    def utility(self):
+        """The utility function of the configured game."""
+        if self.task == "classification":
+            return KNNClassificationUtility(self.dataset, self.k, metric=self.metric)
+        return KNNRegressionUtility(self.dataset, self.k, metric=self.metric)
+
+    # ------------------------------------------------------------------
+    def exact(self) -> ValuationResult:
+        """Exact values (Theorem 1 or 6), O(N log N) per test point."""
+        if self.task == "classification":
+            return exact_knn_shapley(self.dataset, self.k, metric=self.metric)
+        return exact_knn_regression_shapley(self.dataset, self.k, metric=self.metric)
+
+    def truncated(self, epsilon: float = 0.1) -> ValuationResult:
+        """(epsilon, 0)-approximate values by truncation (Theorem 2)."""
+        if self.task != "classification":
+            raise ParameterError(
+                "truncated approximation is defined for classification"
+            )
+        return truncated_knn_shapley(
+            self.dataset, self.k, epsilon, metric=self.metric
+        )
+
+    def lsh(
+        self,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> ValuationResult:
+        """(epsilon, delta)-approximate values via LSH (Theorem 4)."""
+        if self.task != "classification":
+            raise ParameterError("the LSH approximation is defined for classification")
+        return lsh_knn_shapley(
+            self.dataset, self.k, epsilon=epsilon, delta=delta, seed=seed, **kwargs
+        )
+
+    def monte_carlo(
+        self,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+        improved: bool = True,
+        grouped: Optional[GroupedDataset] = None,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> ValuationResult:
+        """Monte Carlo estimate: Algorithm 2 (default) or the baseline."""
+        utility = self.utility()
+        if improved:
+            target = (
+                GroupedUtility(utility, grouped) if grouped is not None else utility
+            )
+            return improved_mc_shapley(
+                target, epsilon=epsilon, delta=delta, seed=seed, **kwargs
+            )
+        target = GroupedUtility(utility, grouped) if grouped is not None else utility
+        return baseline_mc_shapley(
+            target, epsilon=epsilon, delta=delta, seed=seed, **kwargs
+        )
+
+    def weighted(
+        self, weights: str = "inverse_distance"
+    ) -> ValuationResult:
+        """Exact weighted-KNN values (Theorem 7), O(N^K)."""
+        return exact_weighted_knn_shapley(
+            self.dataset, self.k, weights=weights, task=self.task, metric=self.metric
+        )
+
+    def grouped(self, grouped: GroupedDataset) -> ValuationResult:
+        """Exact per-seller values (Theorem 8), O(M^K)."""
+        return exact_grouped_knn_shapley(self.utility(), grouped)
+
+    def composite(
+        self, grouped: Optional[GroupedDataset] = None
+    ) -> ValuationResult:
+        """Composite-game values (Theorems 9, 10, 12); analyst last."""
+        if grouped is not None:
+            return composite_grouped_knn_shapley(self.utility(), grouped)
+        if self.task == "classification":
+            return composite_knn_shapley(self.dataset, self.k, metric=self.metric)
+        return composite_knn_regression_shapley(
+            self.dataset, self.k, metric=self.metric
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic datasets sized for brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    assign_sellers,
+    gaussian_blobs,
+    iris_like,
+    regression_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_cls():
+    """Classification dataset small enough for 2^N brute force."""
+    return gaussian_blobs(
+        n_train=9, n_test=3, n_classes=2, n_features=4, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_cls_multiclass():
+    """Three-class variant (exercises non-binary label handling)."""
+    return gaussian_blobs(
+        n_train=9, n_test=3, n_classes=3, n_features=4, seed=102
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_reg():
+    """Regression dataset small enough for brute force."""
+    return regression_dataset(n_train=8, n_test=2, n_features=3, seed=103)
+
+
+@pytest.fixture(scope="session")
+def tiny_grouped(tiny_cls):
+    """Ownership map over the tiny classification dataset (4 sellers)."""
+    return assign_sellers(tiny_cls, 4, seed=104)
+
+
+@pytest.fixture(scope="session")
+def medium_cls():
+    """A mid-size dataset for approximation and retrieval tests."""
+    return gaussian_blobs(
+        n_train=400, n_test=10, n_classes=3, n_features=16, seed=105
+    )
+
+
+@pytest.fixture(scope="session")
+def iris_data():
+    """Iris-like dataset for the surrogate tests."""
+    return iris_like(n_train=45, n_test=15, seed=106)
+
+
+@pytest.fixture()
+def rng():
+    """A per-test generator."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,101 @@
+"""Tests for the permutation-budget bounds (Theorem 5 and baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bennett_approx_permutations,
+    bennett_h,
+    bennett_permutations,
+    bennett_qi,
+    hoeffding_permutations,
+)
+from repro.exceptions import ParameterError
+
+
+def test_bennett_h_properties():
+    assert bennett_h(0.0) == pytest.approx(0.0)
+    # h is increasing and convex on [0, inf)
+    u = np.linspace(0.0, 5.0, 50)
+    h = np.asarray(bennett_h(u))
+    assert np.all(np.diff(h) > 0)
+    assert np.all(np.diff(h, 2) > -1e-12)
+    # h(u) <= u^2 (used by the approximate bound derivation)
+    assert np.all(h <= u**2 + 1e-12)
+
+
+def test_qi_structure():
+    q = bennett_qi(10, 3)
+    assert q.shape == (10,)
+    np.testing.assert_array_equal(q[:3], 0.0)
+    expected = np.array([(i - 3) / i for i in range(4, 11)])
+    np.testing.assert_allclose(q[3:], expected)
+    assert np.all(np.diff(q[3:]) > 0)  # increases with rank
+
+
+def test_hoeffding_grows_with_n():
+    budgets = [
+        hoeffding_permutations(0.1, 0.05, n, 1.0) for n in (100, 1000, 10000)
+    ]
+    assert budgets[0] < budgets[1] < budgets[2]
+
+
+def test_bennett_flattens_with_n():
+    """Figure 11's point: the Bennett budget barely moves with N while
+    Hoeffding's keeps growing, so Bennett wins at scale.  (At small N
+    the two are comparable — Bennett's h(u) ~ u^2/2 exponent is no
+    tighter per point; the win comes from far points' tiny variance.)"""
+    ns = (100, 10000, 1000000, 100000000)
+    budgets = [bennett_permutations(0.1, 0.05, n, 1, 1.0) for n in ns]
+    assert budgets[-1] <= budgets[0] * 1.1  # nearly flat
+    hoeff = [hoeffding_permutations(0.1, 0.05, n, 1.0) for n in ns]
+    assert hoeff[-1] > hoeff[0] * 2  # Hoeffding keeps growing
+    assert budgets[-1] < hoeff[-1]  # Bennett wins at large N
+
+
+def test_bennett_solves_equation():
+    """The returned T satisfies eq (32)'s LHS <= delta/2 and T-1 does not."""
+    eps, delta, n, k, r = 0.1, 0.05, 500, 3, 1.0
+    t_star = bennett_permutations(eps, delta, n, k, r)
+    q = bennett_qi(n, k)
+    one_minus = 1.0 - q**2
+    exponents = one_minus * np.asarray(bennett_h(eps / (one_minus * r)))
+
+    def lhs(t):
+        return float(np.exp(-t * exponents).sum())
+
+    assert lhs(t_star) <= delta / 2 + 1e-9
+    assert lhs(max(t_star - 2, 0)) > delta / 2
+
+
+def test_bennett_approx_independent_of_n():
+    a = bennett_approx_permutations(0.1, 0.05, 3, 1.0)
+    assert a == bennett_approx_permutations(0.1, 0.05, 3, 1.0)
+    assert a > 0
+    # grows with k and shrinks with epsilon
+    assert bennett_approx_permutations(0.1, 0.05, 10, 1.0) > a
+    assert bennett_approx_permutations(0.2, 0.05, 3, 1.0) < a
+
+
+def test_knn_range_tightens_budgets():
+    """r = 1/K for the KNN utility shrinks every budget by ~K^2."""
+    loose = hoeffding_permutations(0.05, 0.05, 1000, 1.0)
+    tight = hoeffding_permutations(0.05, 0.05, 1000, 1.0 / 5)
+    assert tight < loose / 20
+
+
+@pytest.mark.parametrize(
+    "fn,args",
+    [
+        (hoeffding_permutations, (0.0, 0.1, 10, 1.0)),
+        (hoeffding_permutations, (0.1, 0.0, 10, 1.0)),
+        (hoeffding_permutations, (0.1, 1.5, 10, 1.0)),
+        (hoeffding_permutations, (0.1, 0.1, 0, 1.0)),
+        (hoeffding_permutations, (0.1, 0.1, 10, 0.0)),
+        (bennett_permutations, (0.1, 0.1, 10, 0, 1.0)),
+        (bennett_approx_permutations, (0.1, 0.1, 0, 1.0)),
+    ],
+)
+def test_rejects_bad_parameters(fn, args):
+    with pytest.raises(ParameterError):
+        fn(*args)

@@ -1,0 +1,99 @@
+"""Tests for the brute-force oracles themselves."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    all_subset_values,
+    shapley_by_permutations,
+    shapley_by_subsets,
+)
+from repro.exceptions import ParameterError
+from repro.utility import KNNClassificationUtility
+from repro.utility.base import UtilityFunction
+
+
+class _DictUtility(UtilityFunction):
+    """A utility defined by an explicit table, for hand-checked games."""
+
+    def __init__(self, n: int, table: dict[frozenset, float]) -> None:
+        self.n_players = n
+        self._table = table
+
+    def _evaluate(self, members: np.ndarray) -> float:
+        return self._table.get(frozenset(int(i) for i in members), 0.0)
+
+
+def test_two_player_glove_game():
+    """Classic: v({0,1}) = 1, singletons 0 -> each player gets 1/2."""
+    u = _DictUtility(2, {frozenset({0, 1}): 1.0})
+    result = shapley_by_subsets(u)
+    np.testing.assert_allclose(result.values, [0.5, 0.5])
+
+
+def test_three_player_majority_game():
+    """v(S) = 1 iff |S| >= 2: each of 3 symmetric players gets 1/3."""
+    table = {}
+    for a in range(3):
+        for b in range(a + 1, 3):
+            table[frozenset({a, b})] = 1.0
+    table[frozenset({0, 1, 2})] = 1.0
+    u = _DictUtility(3, table)
+    result = shapley_by_subsets(u)
+    np.testing.assert_allclose(result.values, [1 / 3] * 3)
+
+
+def test_dictator_game():
+    """v(S) = 1 iff player 0 in S: player 0 takes everything."""
+    table = {
+        frozenset(s | {0}): 1.0
+        for s in [set(), {1}, {2}, {1, 2}]
+    }
+    u = _DictUtility(3, table)
+    result = shapley_by_subsets(u)
+    np.testing.assert_allclose(result.values, [1.0, 0.0, 0.0])
+
+
+def test_subsets_and_permutations_agree(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    a = shapley_by_subsets(utility)
+    b = shapley_by_permutations(utility)
+    np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+
+def test_all_subset_values_indexing(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 1)
+    v = all_subset_values(utility)
+    assert v.shape == (2**tiny_cls.n_train,)
+    assert v[0] == pytest.approx(utility.empty_value())
+    assert v[-1] == pytest.approx(utility.grand_value())
+    # spot-check one mask
+    mask = 0b1011
+    members = np.array([0, 1, 3])
+    assert v[mask] == pytest.approx(utility._evaluate(members))
+
+
+def test_size_limits():
+    u = _DictUtility(25, {})
+    with pytest.raises(ParameterError):
+        shapley_by_subsets(u)
+    u11 = _DictUtility(11, {})
+    with pytest.raises(ParameterError):
+        shapley_by_permutations(u11)
+
+
+def test_additivity_axiom(tiny_cls):
+    """s(v1 + v2) = s(v1) + s(v2)."""
+    u1 = KNNClassificationUtility(tiny_cls, 1)
+    u2 = KNNClassificationUtility(tiny_cls, 3)
+
+    class _Sum(UtilityFunction):
+        n_players = tiny_cls.n_train
+
+        def _evaluate(self, members):
+            return u1._evaluate(members) + u2._evaluate(members)
+
+    s1 = shapley_by_subsets(u1).values
+    s2 = shapley_by_subsets(u2).values
+    s12 = shapley_by_subsets(_Sum()).values
+    np.testing.assert_allclose(s12, s1 + s2, atol=1e-12)

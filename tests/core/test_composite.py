@@ -1,0 +1,130 @@
+"""Tests for the composite game (Theorems 9-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    composite_grouped_knn_shapley,
+    composite_knn_regression_shapley,
+    composite_knn_shapley,
+    composite_weighted_knn_shapley,
+    exact_knn_shapley,
+    shapley_by_subsets,
+)
+from repro.datasets import assign_sellers
+from repro.exceptions import ParameterError
+from repro.utility import (
+    CompositeUtility,
+    GroupedUtility,
+    KNNClassificationUtility,
+    KNNRegressionUtility,
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_theorem9_matches_brute(tiny_cls, k):
+    base = KNNClassificationUtility(tiny_cls, k)
+    oracle = shapley_by_subsets(CompositeUtility(base))
+    fast = composite_knn_shapley(tiny_cls, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_theorem10_matches_brute(tiny_reg, k):
+    base = KNNRegressionUtility(tiny_reg, k)
+    oracle = shapley_by_subsets(CompositeUtility(base))
+    fast = composite_knn_regression_shapley(tiny_reg, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_theorem11_classification_matches_brute(tiny_cls, k):
+    base = WeightedKNNClassificationUtility(
+        tiny_cls, k, weights="inverse_distance"
+    )
+    oracle = shapley_by_subsets(CompositeUtility(base))
+    fast = composite_weighted_knn_shapley(
+        tiny_cls, k, weights="inverse_distance"
+    )
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+def test_theorem11_regression_matches_brute(tiny_reg):
+    base = WeightedKNNRegressionUtility(
+        tiny_reg, 2, weights="inverse_distance"
+    )
+    oracle = shapley_by_subsets(CompositeUtility(base))
+    fast = composite_weighted_knn_shapley(
+        tiny_reg, 2, weights="inverse_distance", task="regression"
+    )
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_theorem12_matches_brute(tiny_cls, tiny_grouped, k):
+    base = KNNClassificationUtility(tiny_cls, k)
+    oracle = shapley_by_subsets(
+        CompositeUtility(GroupedUtility(base, tiny_grouped))
+    )
+    fast = composite_grouped_knn_shapley(base, tiny_grouped)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+def test_analyst_takes_at_least_half(tiny_cls):
+    """eqs (88)-(89): every point's composite value is at most half its
+    data-only value, so the analyst's share is at least one half."""
+    k = 2
+    composite = composite_knn_shapley(tiny_cls, k)
+    total = composite.total()
+    if total > 0:
+        assert composite.values[-1] / total >= 0.5 - 1e-9
+
+
+def test_ratio_identities(tiny_cls):
+    """eq (88): composite/data-only anchor ratio; eq (89): difference
+    ratio (min(i,K)+1) / (2(i+1)), checked per test point."""
+    k = 2
+    n = tiny_cls.n_train
+    data_only = exact_knn_shapley(tiny_cls, k)
+    composite = composite_knn_shapley(tiny_cls, k)
+    base = KNNClassificationUtility(tiny_cls, k)
+    for j in range(tiny_cls.n_test):
+        order = base.order[j]
+        s_d = data_only.extra["per_test"][j][order]
+        s_c = composite.extra["per_test"][j][order]
+        # anchor ratio (only meaningful when the data-only anchor != 0)
+        if s_d[-1] != 0:
+            assert s_c[-1] / s_d[-1] == pytest.approx(
+                (min(n, k) + 1) / (2 * (n + 1))
+            )
+        for i in range(1, n):  # 1-based rank i
+            dd = s_d[i - 1] - s_d[i]
+            dc = s_c[i - 1] - s_c[i]
+            if dd != 0:
+                assert dc / dd == pytest.approx(
+                    (min(i, k) + 1) / (2 * (i + 1))
+                )
+
+
+def test_group_rationality_composite(tiny_cls):
+    base = KNNClassificationUtility(tiny_cls, 3)
+    cu = CompositeUtility(base)
+    result = composite_knn_shapley(tiny_cls, 3)
+    assert result.total() == pytest.approx(cu.total_gain(), abs=1e-10)
+
+
+def test_composite_regression_requires_enough_points(tiny_reg):
+    with pytest.raises(ParameterError):
+        composite_knn_regression_shapley(tiny_reg, tiny_reg.n_train)
+
+
+def test_composite_total_point_mass_below_half(tiny_cls):
+    """The data side collectively keeps at most half of the total gain
+    (consequence of the <= 1/2 per-difference ratios of eqs 88-89)."""
+    k = 2
+    composite = composite_knn_shapley(tiny_cls, k)
+    total = composite.total()
+    if total > 0:
+        assert composite.values[:-1].sum() <= 0.5 * total + 1e-9

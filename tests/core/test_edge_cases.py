@@ -1,0 +1,146 @@
+"""Edge-case agreement tests: degenerate geometries vs the brute oracle.
+
+Distance ties, duplicated points, single-label training sets and
+minimal sizes are where rank-based recursions usually break; every
+case here is checked for exact agreement with subset enumeration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_knn_regression_shapley,
+    exact_knn_shapley,
+    exact_weighted_knn_shapley,
+    shapley_by_subsets,
+)
+from repro.types import Dataset
+from repro.utility import (
+    KNNClassificationUtility,
+    KNNRegressionUtility,
+    WeightedKNNClassificationUtility,
+)
+
+
+def _cls(x_train, y_train, x_test, y_test):
+    return Dataset(
+        np.asarray(x_train, float),
+        np.asarray(y_train),
+        np.asarray(x_test, float),
+        np.asarray(y_test),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_all_points_identical(k):
+    """Every training point at the same location: total ties."""
+    data = _cls(
+        np.zeros((6, 2)),
+        [0, 1, 0, 1, 0, 1],
+        np.ones((2, 2)),
+        [0, 1],
+    )
+    utility = KNNClassificationUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(data, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_duplicated_pairs(k):
+    """Pairs of coincident points with equal and opposite labels."""
+    base = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    x = np.vstack([base, base])
+    y = np.array([0, 1, 0, 0, 1, 1])
+    data = _cls(x, y, np.array([[0.2, 0.1]]), np.array([0]))
+    utility = KNNClassificationUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(data, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+def test_single_label_training_set():
+    """Every training point matching the test label: uniform tail."""
+    rng = np.random.default_rng(1)
+    data = _cls(
+        rng.standard_normal((7, 3)),
+        np.zeros(7, dtype=int),
+        rng.standard_normal((2, 3)),
+        np.zeros(2, dtype=int),
+    )
+    k = 3
+    utility = KNNClassificationUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(data, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+    # all matching: only the K nearest per test carry value, and no
+    # value is negative
+    assert np.all(fast.values >= -1e-15)
+
+
+def test_no_label_matches():
+    """No training point matches the test label: all values zero."""
+    rng = np.random.default_rng(2)
+    data = _cls(
+        rng.standard_normal((6, 3)),
+        np.zeros(6, dtype=int),
+        rng.standard_normal((1, 3)),
+        np.ones(1, dtype=int),
+    )
+    fast = exact_knn_shapley(data, 2)
+    np.testing.assert_allclose(fast.values, 0.0, atol=1e-15)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_two_training_points(k):
+    rng = np.random.default_rng(3)
+    data = _cls(
+        rng.standard_normal((2, 2)),
+        [0, 1],
+        rng.standard_normal((2, 2)),
+        [1, 0],
+    )
+    utility = KNNClassificationUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(data, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+def test_regression_with_tied_distances():
+    data = Dataset(
+        np.zeros((5, 2)),
+        np.array([1.0, -1.0, 0.5, 2.0, 0.0]),
+        np.ones((1, 2)),
+        np.array([0.75]),
+    )
+    for k in (1, 2, 3):
+        utility = KNNRegressionUtility(data, k)
+        oracle = shapley_by_subsets(utility)
+        fast = exact_knn_regression_shapley(data, k)
+        np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+def test_weighted_with_exact_hits():
+    """A training point coincident with the test point (distance 0)
+    stresses the inverse-distance weight regularization."""
+    x = np.array([[1.0, 1.0], [0.0, 0.0], [2.0, 0.5]])
+    data = _cls(x, [0, 1, 0], np.array([[1.0, 1.0]]), np.array([0]))
+    utility = WeightedKNNClassificationUtility(
+        data, 2, weights="inverse_distance"
+    )
+    oracle = shapley_by_subsets(utility)
+    fast = exact_weighted_knn_shapley(data, 2, weights="inverse_distance")
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+def test_collinear_equidistant_ring():
+    """Points on a ring around the test point: all ranks tied."""
+    angles = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+    x = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    y = (np.arange(8) % 2).astype(int)
+    data = _cls(x, y, np.zeros((1, 2)), np.array([1]))
+    for k in (1, 3):
+        utility = KNNClassificationUtility(data, k)
+        oracle = shapley_by_subsets(utility)
+        fast = exact_knn_shapley(data, k)
+        np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)

@@ -1,0 +1,145 @@
+"""Tests for the exact unweighted KNN Shapley algorithm (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_knn_shapley,
+    exact_knn_shapley_from_order,
+    knn_shapley_single_test,
+    shapley_by_permutations,
+    shapley_by_subsets,
+)
+from repro.datasets import gaussian_blobs
+from repro.exceptions import ParameterError
+from repro.utility import KNNClassificationUtility
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_matches_brute_force_subsets(tiny_cls, k):
+    utility = KNNClassificationUtility(tiny_cls, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(tiny_cls, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+@pytest.mark.parametrize("k", [1, 3])
+def test_matches_brute_force_permutations(tiny_cls, k):
+    utility = KNNClassificationUtility(tiny_cls, k)
+    oracle = shapley_by_permutations(utility)
+    fast = exact_knn_shapley(tiny_cls, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+def test_multiclass_matches_brute_force(tiny_cls_multiclass):
+    utility = KNNClassificationUtility(tiny_cls_multiclass, 2)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(tiny_cls_multiclass, 2)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_group_rationality(tiny_cls, k):
+    """Values sum to v(I) - v(∅) (here v(∅) = 0)."""
+    utility = KNNClassificationUtility(tiny_cls, k)
+    result = exact_knn_shapley(tiny_cls, k)
+    assert result.total() == pytest.approx(utility.total_gain(), abs=1e-12)
+
+
+def test_k_exceeding_n(tiny_cls):
+    """K larger than the training size still matches the oracle."""
+    utility = KNNClassificationUtility(tiny_cls, 12)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(tiny_cls, 12)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+def test_appendix_c_bound(medium_cls):
+    """|s_alpha_i| <= min(1/i, 1/K) per test point (Appendix C)."""
+    k = 3
+    result = exact_knn_shapley(medium_cls, k)
+    per_test = result.extra["per_test"]
+    utility = KNNClassificationUtility(medium_cls, k)
+    for j in range(medium_cls.n_test):
+        s_rank = per_test[j][utility.order[j]]
+        ranks = np.arange(1, medium_cls.n_train + 1)
+        bound = np.minimum(1.0 / ranks, 1.0 / k)
+        assert np.all(np.abs(s_rank) <= bound + 1e-12)
+
+
+def test_farthest_point_value(tiny_cls):
+    """s_alpha_N = 1[match] / N for each single test point."""
+    k = 2
+    result = exact_knn_shapley(tiny_cls, k)
+    per_test = result.extra["per_test"]
+    utility = KNNClassificationUtility(tiny_cls, k)
+    n = tiny_cls.n_train
+    for j in range(tiny_cls.n_test):
+        farthest = utility.order[j, -1]
+        expected = float(
+            tiny_cls.y_train[farthest] == tiny_cls.y_test[j]
+        ) / n
+        assert per_test[j, farthest] == pytest.approx(expected)
+
+
+def test_average_over_tests_is_additive(tiny_cls):
+    """The multi-test value equals the mean of single-test values."""
+    k = 2
+    full = exact_knn_shapley(tiny_cls, k)
+    singles = [
+        exact_knn_shapley(tiny_cls.single_test(j), k).values
+        for j in range(tiny_cls.n_test)
+    ]
+    np.testing.assert_allclose(full.values, np.mean(singles, axis=0), atol=1e-12)
+
+
+def test_single_training_point():
+    data = gaussian_blobs(n_train=1, n_test=2, seed=0)
+    result = exact_knn_shapley(data, 1)
+    utility = KNNClassificationUtility(data, 1)
+    assert result.values[0] == pytest.approx(utility.total_gain())
+
+
+def test_from_order_and_values_scatter(tiny_cls):
+    """exact_knn_shapley_from_order agrees with the dataset wrapper."""
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    values, per_test = exact_knn_shapley_from_order(
+        utility.order, tiny_cls.y_train, tiny_cls.y_test, 2
+    )
+    result = exact_knn_shapley(tiny_cls, 2)
+    np.testing.assert_allclose(values, result.values)
+    np.testing.assert_allclose(per_test, result.extra["per_test"])
+
+
+def test_single_test_rank_values():
+    """The streaming entry point follows the recursion literally."""
+    y_sorted = np.array([1, 0, 1, 1, 0])
+    vals = knn_shapley_single_test(y_sorted, 1, k=1)
+    n = 5
+    expected_last = 0.0 / n  # farthest has label 0 != 1
+    assert vals[-1] == pytest.approx(expected_last)
+    # recursion check for rank 4 -> 3 (labels 1 vs 0 at k=1)
+    assert vals[3] - vals[4] == pytest.approx((1 - 0) / 1 * min(1, 4) / 4)
+
+
+def test_rejects_bad_k(tiny_cls):
+    with pytest.raises(ParameterError):
+        exact_knn_shapley(tiny_cls, 0)
+    with pytest.raises(ParameterError):
+        exact_knn_shapley(tiny_cls, -3)
+
+
+def test_identical_labels_give_identical_adjacent_values():
+    """Adjacent-rank points with equal labels share a value."""
+    data = gaussian_blobs(n_train=30, n_test=1, n_classes=2, seed=7)
+    k = 3
+    result = exact_knn_shapley(data, k)
+    utility = KNNClassificationUtility(data, k)
+    order = utility.order[0]
+    labels = data.y_train[order]
+    vals = result.values[order]
+    for i in range(len(order) - 1):
+        if labels[i] == labels[i + 1]:
+            assert vals[i] == pytest.approx(vals[i + 1])
+        # and the recursion sign: a matching nearer point never has a
+        # smaller value than a mismatching farther one

@@ -1,0 +1,74 @@
+"""Tests for the bounded max-heap behind Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import KNearestHeap
+from repro.exceptions import ParameterError
+
+
+def test_fills_then_evicts():
+    heap = KNearestHeap(2)
+    assert heap.push(5.0, 0) == (True, None)
+    assert heap.push(3.0, 1) == (True, None)
+    assert heap.full
+    # closer point evicts the current worst (payload 0 at distance 5)
+    entered, evicted = heap.push(1.0, 2)
+    assert entered and evicted == 0
+    assert sorted(heap.payloads()) == [1, 2]
+
+
+def test_far_point_rejected():
+    heap = KNearestHeap(2)
+    heap.push(1.0, 0)
+    heap.push(2.0, 1)
+    assert heap.push(9.0, 2) == (False, None)
+    assert sorted(heap.payloads()) == [0, 1]
+
+
+def test_tie_keeps_incumbent():
+    heap = KNearestHeap(1)
+    heap.push(1.0, 0)
+    entered, evicted = heap.push(1.0, 1)
+    assert not entered and evicted is None
+    assert heap.payloads() == [0]
+
+
+def test_max_distance():
+    heap = KNearestHeap(3)
+    assert heap.max_distance() == float("inf")
+    heap.push(2.0, 0)
+    heap.push(7.0, 1)
+    assert heap.max_distance() == 7.0
+
+
+def test_items_sorted():
+    heap = KNearestHeap(3)
+    for d, p in [(3.0, 0), (1.0, 1), (2.0, 2)]:
+        heap.push(d, p)
+    assert heap.items_sorted() == [(1.0, 1), (2.0, 2), (3.0, 0)]
+
+
+def test_clear():
+    heap = KNearestHeap(2)
+    heap.push(1.0, 0)
+    heap.clear()
+    assert len(heap) == 0
+    assert not heap.full
+
+
+def test_matches_sort_on_random_stream(rng):
+    """After any stream, the kept payloads are the true k smallest."""
+    k = 5
+    heap = KNearestHeap(k)
+    dists = rng.uniform(0, 1, size=200)
+    for i, d in enumerate(dists):
+        heap.push(float(d), i)
+    kept = sorted(heap.payloads())
+    expected = sorted(np.argsort(dists, kind="stable")[:k].tolist())
+    assert kept == expected
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        KNearestHeap(0)

@@ -1,0 +1,144 @@
+"""Tests for the Monte Carlo estimators (baseline and Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    baseline_mc_shapley,
+    improved_mc_shapley,
+    shapley_by_subsets,
+)
+from repro.datasets import assign_sellers
+from repro.exceptions import ParameterError
+from repro.metrics import max_abs_error
+from repro.utility import (
+    GroupedUtility,
+    KNNClassificationUtility,
+    KNNRegressionUtility,
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+
+
+def test_baseline_converges(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    oracle = shapley_by_subsets(utility)
+    mc = baseline_mc_shapley(utility, n_permutations=3000, seed=7)
+    assert max_abs_error(mc.values, oracle.values) < 0.02
+
+
+def test_improved_converges_classification(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    oracle = shapley_by_subsets(utility)
+    mc = improved_mc_shapley(utility, n_permutations=5000, seed=7)
+    assert max_abs_error(mc.values, oracle.values) < 0.02
+
+
+def test_improved_converges_regression(tiny_reg):
+    utility = KNNRegressionUtility(tiny_reg, 2)
+    oracle = shapley_by_subsets(utility)
+    mc = improved_mc_shapley(utility, n_permutations=5000, seed=7)
+    assert max_abs_error(mc.values, oracle.values) < 0.05
+
+
+@pytest.mark.parametrize(
+    "cls,task",
+    [
+        (WeightedKNNClassificationUtility, "classification"),
+        (WeightedKNNRegressionUtility, "regression"),
+    ],
+)
+def test_improved_converges_weighted(tiny_cls, tiny_reg, cls, task):
+    data = tiny_cls if task == "classification" else tiny_reg
+    utility = cls(data, 2, weights="inverse_distance")
+    oracle = shapley_by_subsets(utility)
+    mc = improved_mc_shapley(utility, n_permutations=5000, seed=7)
+    assert max_abs_error(mc.values, oracle.values) < 0.05
+
+
+def test_improved_converges_grouped(tiny_cls, tiny_grouped):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    gu = GroupedUtility(base, tiny_grouped)
+    oracle = shapley_by_subsets(gu)
+    mc = improved_mc_shapley(gu, n_permutations=5000, seed=7)
+    assert max_abs_error(mc.values, oracle.values) < 0.02
+
+
+def test_improved_and_baseline_agree(tiny_cls):
+    """Same estimand: with big budgets the two estimators coincide."""
+    utility = KNNClassificationUtility(tiny_cls, 1)
+    a = baseline_mc_shapley(utility, n_permutations=2000, seed=1)
+    b = improved_mc_shapley(utility, n_permutations=2000, seed=1)
+    assert max_abs_error(a.values, b.values) < 0.03
+
+
+def test_identical_seeds_identical_results(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    a = improved_mc_shapley(utility, n_permutations=50, seed=99)
+    b = improved_mc_shapley(utility, n_permutations=50, seed=99)
+    np.testing.assert_array_equal(a.values, b.values)
+
+
+def test_heuristic_stopping_terminates(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    result = improved_mc_shapley(
+        utility, epsilon=0.2, stopping="heuristic", seed=3
+    )
+    assert result.extra["stopping"] == "heuristic"
+    assert result.extra["n_permutations"] < 10**6
+
+
+def test_bennett_budget_recorded(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    result = improved_mc_shapley(utility, epsilon=0.3, delta=0.2, seed=3)
+    assert result.extra["stopping"] == "bennett"
+    assert result.extra["n_permutations"] >= 1
+
+
+def test_epsilon_delta_guarantee_bennett(tiny_cls):
+    """With the Bennett budget the max error respects epsilon (checked
+    on one seed — the guarantee is probabilistic)."""
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    oracle = shapley_by_subsets(utility)
+    result = improved_mc_shapley(utility, epsilon=0.1, delta=0.1, seed=5)
+    assert max_abs_error(result.values, oracle.values) <= 0.1
+
+
+def test_group_rationality_in_expectation(tiny_cls):
+    """Every permutation's marginals telescope to v(I) - v(∅), so the
+    estimate sums to the total gain exactly (not just in expectation)."""
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    mc = improved_mc_shapley(utility, n_permutations=37, seed=11)
+    assert mc.total() == pytest.approx(utility.total_gain(), abs=1e-9)
+    mcb = baseline_mc_shapley(utility, n_permutations=17, seed=11)
+    assert mcb.total() == pytest.approx(utility.total_gain(), abs=1e-9)
+
+
+def test_rejects_bad_parameters(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    with pytest.raises(ParameterError):
+        improved_mc_shapley(utility, n_permutations=0)
+    with pytest.raises(ParameterError):
+        improved_mc_shapley(utility, stopping="magic")
+    with pytest.raises(ParameterError):
+        baseline_mc_shapley(utility, n_permutations=-1)
+
+
+def test_improved_rejects_non_knn_utility(tiny_cls):
+    from repro.utility import CompositeUtility
+
+    base = KNNClassificationUtility(tiny_cls, 2)
+    with pytest.raises(ParameterError):
+        improved_mc_shapley(CompositeUtility(base), n_permutations=5)
+
+
+def test_baseline_handles_composite(tiny_cls):
+    """The generic baseline can value the composite game."""
+    from repro.core import composite_knn_shapley
+    from repro.utility import CompositeUtility
+
+    base = KNNClassificationUtility(tiny_cls, 2)
+    cu = CompositeUtility(base)
+    mc = baseline_mc_shapley(cu, n_permutations=3000, seed=2)
+    exact = composite_knn_shapley(tiny_cls, 2)
+    assert max_abs_error(mc.values, exact.values) < 0.05

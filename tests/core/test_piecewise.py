@@ -1,0 +1,81 @@
+"""Tests for the piecewise utility-difference framework (Appendix F)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    chain_values_from_differences,
+    exact_knn_shapley,
+    knn_group_count,
+    knn_group_weight_closed_form,
+    shapley_difference_from_groups,
+)
+from repro.exceptions import ParameterError
+from repro.utility import KNNClassificationUtility
+
+
+@pytest.mark.parametrize("n", [5, 8, 12])
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_binomial_identity(n, k):
+    """The counting sum equals the closed form min(K,i)(N-1)/i (eq 13)."""
+    for i in range(1, n):
+        counted = sum(
+            knn_group_count(n, i, k, size) / math.comb(n - 2, size)
+            for size in range(n - 1)
+        )
+        closed = knn_group_weight_closed_form(n, i, k)
+        assert counted == pytest.approx(closed)
+
+
+def test_group_counts_total():
+    """Summing the live-group counts over m recovers all subsets when
+    K is large (every coalition is live)."""
+    n, i = 8, 4
+    big_k = n  # every coalition has fewer than K nearer members
+    for size in range(n - 1):
+        assert knn_group_count(n, i, big_k, size) == math.comb(n - 2, size)
+
+
+def test_shapley_difference_reproduces_theorem1(tiny_cls):
+    """Appendix F machinery + KNN group counts = Theorem 1 differences."""
+    k = 2
+    utility = KNNClassificationUtility(tiny_cls, k)
+    exact = exact_knn_shapley(tiny_cls, k)
+    j = 0
+    order = utility.order[j]
+    per_test = exact.extra["per_test"][j][order]
+    n = tiny_cls.n_train
+    match = (tiny_cls.y_train[order] == tiny_cls.y_test[j]).astype(float)
+    for i in range(1, n):  # 1-based rank
+        c1 = (match[i - 1] - match[i]) / k
+        diff = shapley_difference_from_groups(
+            n,
+            [c1],
+            [lambda size, i=i: knn_group_count(n, i, k, size)],
+        )
+        assert diff == pytest.approx(per_test[i - 1] - per_test[i], abs=1e-12)
+
+
+def test_chain_values_roundtrip():
+    values = np.array([0.5, 0.2, -0.1, 0.05])
+    diffs = values[:-1] - values[1:]
+    rebuilt = chain_values_from_differences(values[-1], diffs)
+    np.testing.assert_allclose(rebuilt, values)
+
+
+def test_chain_single_value():
+    rebuilt = chain_values_from_differences(0.3, np.array([]))
+    np.testing.assert_allclose(rebuilt, [0.3])
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        shapley_difference_from_groups(1, [1.0], [lambda k: 1])
+    with pytest.raises(ParameterError):
+        shapley_difference_from_groups(5, [1.0, 2.0], [lambda k: 1])
+    with pytest.raises(ParameterError):
+        knn_group_count(5, 0, 2, 1)
+    with pytest.raises(ParameterError):
+        knn_group_weight_closed_form(5, 5, 2)

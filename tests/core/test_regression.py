@@ -1,0 +1,110 @@
+"""Tests for the exact unweighted KNN regression Shapley (Theorem 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_knn_regression_shapley,
+    regression_shapley_from_order,
+    shapley_by_subsets,
+)
+from repro.datasets import regression_dataset
+from repro.exceptions import ParameterError
+from repro.utility import KNNRegressionUtility
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_matches_brute_force(tiny_reg, k):
+    utility = KNNRegressionUtility(tiny_reg, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_regression_shapley(tiny_reg, k)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_group_rationality_includes_empty_value(tiny_reg, k):
+    """Sum of values equals v(I) - v(∅) with v(∅) = -E[y_test^2]."""
+    utility = KNNRegressionUtility(tiny_reg, k)
+    result = exact_knn_regression_shapley(tiny_reg, k)
+    assert result.total() == pytest.approx(utility.total_gain(), abs=1e-10)
+
+
+def test_equal_labels_equal_adjacent_values():
+    """Theorem 6: adjacent points with equal labels have equal values."""
+    data = regression_dataset(n_train=20, n_test=1, seed=5)
+    # Force duplicated labels among neighbors
+    y = np.round(np.asarray(data.y_train), 1)
+    from repro.types import Dataset
+
+    data = Dataset(data.x_train, y, data.x_test, data.y_test)
+    k = 3
+    result = exact_knn_regression_shapley(data, k)
+    utility = KNNRegressionUtility(data, k)
+    order = utility.order[0]
+    vals = result.values[order]
+    labels = np.asarray(data.y_train)[order]
+    for i in range(len(order) - 1):
+        if labels[i] == labels[i + 1]:
+            assert vals[i] == pytest.approx(vals[i + 1], abs=1e-12)
+
+
+def test_k_larger_than_n(tiny_reg):
+    utility = KNNRegressionUtility(tiny_reg, 10)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_regression_shapley(tiny_reg, 10)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+
+
+def test_single_point_dataset():
+    data = regression_dataset(n_train=1, n_test=2, seed=3)
+    utility = KNNRegressionUtility(data, 1)
+    result = exact_knn_regression_shapley(data, 1)
+    assert result.values[0] == pytest.approx(utility.total_gain(), abs=1e-12)
+
+
+def test_two_point_dataset():
+    data = regression_dataset(n_train=2, n_test=1, seed=4)
+    utility = KNNRegressionUtility(data, 1)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_regression_shapley(data, 1)
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-12)
+
+
+def test_multi_test_is_average(tiny_reg):
+    k = 2
+    full = exact_knn_regression_shapley(tiny_reg, k)
+    singles = [
+        exact_knn_regression_shapley(tiny_reg.single_test(j), k).values
+        for j in range(tiny_reg.n_test)
+    ]
+    np.testing.assert_allclose(full.values, np.mean(singles, axis=0), atol=1e-12)
+
+
+def test_from_order_matches_wrapper(tiny_reg):
+    utility = KNNRegressionUtility(tiny_reg, 2)
+    values, per_test = regression_shapley_from_order(
+        utility.order, tiny_reg.y_train, tiny_reg.y_test, 2
+    )
+    result = exact_knn_regression_shapley(tiny_reg, 2)
+    np.testing.assert_allclose(values, result.values)
+    np.testing.assert_allclose(per_test, result.extra["per_test"])
+
+
+def test_rejects_bad_k(tiny_reg):
+    with pytest.raises(ParameterError):
+        exact_knn_regression_shapley(tiny_reg, 0)
+
+
+def test_constant_labels_zero_differences():
+    """With identical training labels every point has the same value."""
+    data = regression_dataset(n_train=10, n_test=2, seed=6)
+    from repro.types import Dataset
+
+    const = Dataset(
+        data.x_train,
+        np.full(10, 0.7),
+        data.x_test,
+        data.y_test,
+    )
+    result = exact_knn_regression_shapley(const, 3)
+    assert np.allclose(result.values, result.values[0])

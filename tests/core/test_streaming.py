@@ -1,0 +1,82 @@
+"""Tests for the streaming valuation accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingKNNShapley, exact_knn_shapley
+from repro.datasets import gaussian_blobs, mnist_deep_like
+from repro.exceptions import ParameterError
+from repro.metrics import max_abs_error
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_blobs(n_train=120, n_test=8, n_features=8, seed=61)
+
+
+def test_exact_backend_matches_batch(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=3)
+    for j in range(data.n_test):
+        stream.update(data.x_test[j], data.y_test[j])
+    batch = exact_knn_shapley(data, 3)
+    np.testing.assert_allclose(
+        stream.values().values, batch.values, atol=1e-12
+    )
+    assert stream.n_queries == data.n_test
+
+
+def test_update_batch_equivalent(data):
+    a = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    mean_contrib = a.update_batch(data.x_test, data.y_test)
+    batch = exact_knn_shapley(data, 2)
+    np.testing.assert_allclose(mean_contrib, batch.values, atol=1e-12)
+    np.testing.assert_allclose(a.values().values, batch.values, atol=1e-12)
+
+
+def test_single_update_returns_contribution(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    contrib = stream.update(data.x_test[0], data.y_test[0])
+    single = exact_knn_shapley(data.single_test(0), 2)
+    np.testing.assert_allclose(contrib, single.values, atol=1e-12)
+
+
+def test_lsh_backend_within_epsilon():
+    data = mnist_deep_like(n_train=1500, n_test=6, seed=62)
+    stream = StreamingKNNShapley(
+        data.x_train, data.y_train, k=1, backend="lsh",
+        epsilon=0.1, delta=0.1, seed=0,
+    )
+    stream.update_batch(data.x_test, data.y_test)
+    exact = exact_knn_shapley(data, 1)
+    assert max_abs_error(stream.values().values, exact.values) <= 0.1
+    assert stream.values().method == "streaming-lsh"
+
+
+def test_reset(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    stream.update(data.x_test[0], data.y_test[0])
+    stream.reset()
+    assert stream.n_queries == 0
+    with pytest.raises(ParameterError):
+        stream.values()
+
+
+def test_values_before_any_query(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    with pytest.raises(ParameterError):
+        stream.values()
+
+
+def test_dimension_mismatch(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    with pytest.raises(ParameterError):
+        stream.update(np.zeros(3), 0)
+
+
+def test_parameter_validation(data):
+    with pytest.raises(ParameterError):
+        StreamingKNNShapley(data.x_train, data.y_train, k=0)
+    with pytest.raises(ParameterError):
+        StreamingKNNShapley(
+            data.x_train, data.y_train, k=2, backend="kdtree"
+        )

@@ -1,0 +1,127 @@
+"""Tests for the truncated (epsilon, 0)-approximation (Theorem 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_knn_shapley,
+    truncated_knn_shapley,
+    truncated_values_from_labels,
+    truncation_rank,
+)
+from repro.exceptions import ParameterError
+from repro.metrics import max_abs_error
+from repro.utility import KNNClassificationUtility
+
+
+def test_truncation_rank():
+    assert truncation_rank(3, 0.5) == 3
+    assert truncation_rank(1, 0.1) == 10
+    assert truncation_rank(5, 0.001) == 1000
+    assert truncation_rank(5, 1.0) == 5
+    assert truncation_rank(2, 0.3) == math.ceil(1 / 0.3)
+
+
+def test_truncation_rank_rejects_bad_params():
+    with pytest.raises(ParameterError):
+        truncation_rank(0, 0.1)
+    with pytest.raises(ParameterError):
+        truncation_rank(3, 0.0)
+    with pytest.raises(ParameterError):
+        truncation_rank(3, -1.0)
+
+
+@pytest.mark.parametrize("epsilon", [0.5, 0.2, 0.05, 0.01])
+def test_error_bound_holds(medium_cls, epsilon):
+    """The (epsilon, 0) guarantee: max error at most epsilon."""
+    k = 3
+    exact = exact_knn_shapley(medium_cls, k)
+    approx = truncated_knn_shapley(medium_cls, k, epsilon)
+    assert max_abs_error(approx.values, exact.values) <= epsilon + 1e-12
+
+
+def test_per_test_error_bound(medium_cls):
+    """The bound holds per test point, not just on the average."""
+    k, epsilon = 2, 0.1
+    exact = exact_knn_shapley(medium_cls, k)
+    approx = truncated_knn_shapley(medium_cls, k, epsilon)
+    err = np.abs(approx.extra["per_test"] - exact.extra["per_test"]).max()
+    assert err <= epsilon + 1e-12
+
+
+def test_differences_preserved_within_kstar(medium_cls):
+    """s_hat_i - s_hat_{i+1} = s_i - s_{i+1} for ranks below K*."""
+    k, epsilon = 2, 0.1
+    k_star = truncation_rank(k, epsilon)
+    exact = exact_knn_shapley(medium_cls, k)
+    approx = truncated_knn_shapley(medium_cls, k, epsilon)
+    utility = KNNClassificationUtility(medium_cls, k)
+    for j in range(3):
+        order = utility.order[j]
+        e = exact.extra["per_test"][j][order]
+        a = approx.extra["per_test"][j][order]
+        exact_diffs = np.diff(e[: k_star - 1])
+        approx_diffs = np.diff(a[: k_star - 1])
+        np.testing.assert_allclose(approx_diffs, exact_diffs, atol=1e-12)
+
+
+def test_zero_beyond_kstar(medium_cls):
+    k, epsilon = 1, 0.2
+    k_star = truncation_rank(k, epsilon)
+    approx = truncated_knn_shapley(medium_cls, k, epsilon)
+    utility = KNNClassificationUtility(medium_cls, k)
+    for j in range(medium_cls.n_test):
+        order = utility.order[j]
+        tail = approx.extra["per_test"][j][order][k_star:]
+        assert np.all(tail == 0.0)
+
+
+def test_kstar_larger_than_n_equals_exact(tiny_cls):
+    """When K* >= N the truncation degenerates to the exact values."""
+    k = 2
+    exact = exact_knn_shapley(tiny_cls, k)
+    approx = truncated_knn_shapley(tiny_cls, k, epsilon=1e-6)
+    np.testing.assert_allclose(approx.values, exact.values, atol=1e-12)
+
+
+def test_values_from_labels_short_input():
+    """Fewer labels than K* are tolerated (sparse LSH retrieval): the
+    recursion anchors at zero beyond the available prefix, so the last
+    supplied rank gets value 0 and earlier ranks follow the recursion."""
+    labels = np.array([1, 0, 1])
+    vals = truncated_values_from_labels(labels, 1, k=1, k_star=10, n_train=50)
+    assert vals.shape == (3,)
+    assert vals[2] == 0.0
+    assert vals[1] == pytest.approx((0 - 1) / 1 * min(1, 2) / 2)
+    assert vals[0] == pytest.approx(vals[1] + (1 - 0) / 1 * 1 / 1)
+
+
+def test_values_from_labels_full_prefix_exact_anchor():
+    """With all N labels and K* >= N, the values equal Theorem 1's."""
+    from repro.core import knn_shapley_single_test
+
+    labels = np.array([1, 0, 1, 1, 0])
+    vals = truncated_values_from_labels(labels, 1, k=2, k_star=99, n_train=5)
+    exact = knn_shapley_single_test(labels, 1, k=2)
+    np.testing.assert_allclose(vals, exact, atol=1e-12)
+
+
+def test_values_from_labels_empty():
+    vals = truncated_values_from_labels(np.array([]), 1, k=1, k_star=5)
+    assert vals.shape == (0,)
+
+
+def test_ranking_preserved_in_head(medium_cls):
+    """Theorem 2 preserves the K*-nearest ranking of values."""
+    k, epsilon = 1, 0.1
+    k_star = truncation_rank(k, epsilon)
+    exact = exact_knn_shapley(medium_cls, k)
+    approx = truncated_knn_shapley(medium_cls, k, epsilon)
+    utility = KNNClassificationUtility(medium_cls, k)
+    j = 0
+    head = utility.order[j][: k_star - 1]
+    e = exact.extra["per_test"][j][head]
+    a = approx.extra["per_test"][j][head]
+    np.testing.assert_array_equal(np.argsort(-e), np.argsort(-a))

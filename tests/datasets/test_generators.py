@@ -1,0 +1,136 @@
+"""Tests for the dataset generators and ownership helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    EMBEDDING_SPECS,
+    assign_sellers,
+    gaussian_blobs,
+    inject_label_noise,
+    iris_like,
+    make_embedding_dataset,
+    regression_dataset,
+    train_test_split,
+)
+from repro.exceptions import DataValidationError, ParameterError
+
+
+def test_blobs_shapes_and_determinism():
+    a = gaussian_blobs(n_train=50, n_test=10, n_features=8, seed=1)
+    b = gaussian_blobs(n_train=50, n_test=10, n_features=8, seed=1)
+    assert a.x_train.shape == (50, 8)
+    assert a.n_test == 10
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_train, b.y_train)
+
+
+def test_blobs_separation_controls_accuracy():
+    from repro.knn import KNNClassifier
+
+    easy = gaussian_blobs(n_train=200, n_test=100, separation=8.0, seed=2)
+    hard = gaussian_blobs(n_train=200, n_test=100, separation=0.2, seed=2)
+    clf_easy = KNNClassifier(k=3).fit(easy.x_train, easy.y_train)
+    clf_hard = KNNClassifier(k=3).fit(hard.x_train, hard.y_train)
+    assert clf_easy.score(easy.x_test, easy.y_test) > clf_hard.score(
+        hard.x_test, hard.y_test
+    )
+
+
+def test_blobs_validation():
+    with pytest.raises(ParameterError):
+        gaussian_blobs(n_train=0, n_test=5)
+    with pytest.raises(ParameterError):
+        gaussian_blobs(n_train=5, n_test=5, n_classes=1)
+    with pytest.raises(ParameterError):
+        gaussian_blobs(n_train=5, n_test=5, noise=0.0)
+
+
+def test_regression_labels_float():
+    data = regression_dataset(n_train=30, n_test=5, seed=3)
+    assert np.asarray(data.y_train).dtype == np.float64
+
+
+def test_label_noise_flips_requested_fraction():
+    data = gaussian_blobs(n_train=100, n_test=10, n_classes=3, seed=4)
+    noisy, flipped = inject_label_noise(data, 0.2, seed=5)
+    assert flipped.shape == (20,)
+    changed = np.flatnonzero(
+        np.asarray(noisy.y_train) != np.asarray(data.y_train)
+    )
+    np.testing.assert_array_equal(changed, flipped)
+    # originals untouched elsewhere
+    untouched = np.setdiff1d(np.arange(100), flipped)
+    np.testing.assert_array_equal(
+        np.asarray(noisy.y_train)[untouched],
+        np.asarray(data.y_train)[untouched],
+    )
+
+
+def test_label_noise_validation():
+    data = gaussian_blobs(n_train=10, n_test=2, seed=6)
+    with pytest.raises(ParameterError):
+        inject_label_noise(data, 1.5)
+
+
+def test_assign_sellers_covers_everyone():
+    data = gaussian_blobs(n_train=30, n_test=3, seed=7)
+    grouped = assign_sellers(data, 7, seed=8)
+    assert grouped.n_sellers == 7
+    sizes = [grouped.members(m).size for m in range(7)]
+    assert min(sizes) >= 1
+    assert sum(sizes) == 30
+
+
+def test_assign_sellers_validation():
+    data = gaussian_blobs(n_train=5, n_test=2, seed=9)
+    with pytest.raises(ParameterError):
+        assign_sellers(data, 6)
+    with pytest.raises(ParameterError):
+        assign_sellers(data, 0)
+
+
+def test_train_test_split_partition(rng):
+    x = rng.standard_normal((40, 3))
+    y = rng.integers(0, 2, size=40)
+    data = train_test_split(x, y, test_fraction=0.25, seed=10)
+    assert data.n_test == 10
+    assert data.n_train == 30
+
+
+def test_embedding_specs_instantiate():
+    for name in EMBEDDING_SPECS:
+        data = make_embedding_dataset(name, n_train=30, n_test=5, seed=11)
+        assert data.n_train == 30
+        assert data.n_features == EMBEDDING_SPECS[name].n_features
+        assert data.name == name
+
+
+def test_embedding_unknown_spec():
+    with pytest.raises(ParameterError):
+        make_embedding_dataset("cifar100", 10, 2)
+
+
+def test_iris_like_structure():
+    data = iris_like(n_train=90, n_test=30, seed=12)
+    assert data.n_features == 4
+    assert set(np.unique(data.y_train)) == {0, 1, 2}
+    # class 0 is well separated: a 1NN classifier gets it right
+    from repro.knn import KNNClassifier
+
+    clf = KNNClassifier(k=1).fit(data.x_train, data.y_train)
+    pred = clf.predict(data.x_test)
+    mask = np.asarray(data.y_test) == 0
+    assert np.mean(pred[mask] == 0) > 0.9
+
+
+def test_dataset_subset_and_single_test():
+    data = gaussian_blobs(n_train=20, n_test=4, seed=13)
+    sub = data.subset(np.array([1, 3, 5]))
+    assert sub.n_train == 3
+    np.testing.assert_array_equal(sub.x_train, data.x_train[[1, 3, 5]])
+    single = data.single_test(2)
+    assert single.n_test == 1
+    np.testing.assert_array_equal(single.x_test[0], data.x_test[2])
+    with pytest.raises(DataValidationError):
+        data.single_test(7)

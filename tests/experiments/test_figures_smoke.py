@@ -1,0 +1,126 @@
+"""Smoke tests: every experiment function runs at miniature scale and
+returns a structurally valid result whose headline shape holds."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure5_mc_convergence,
+    figure8_accuracy_table,
+    figure9_contrast_vs_kstar,
+    figure10_g_vs_epsilon,
+    figure10_g_vs_width,
+    figure11_permutation_sizes,
+    figure12_weighted_runtime,
+    figure13_multidata_runtime,
+    figure14_value_semantics,
+    figure15_composite_game,
+    figure16_surrogate_correlation,
+)
+
+
+def test_figure5_error_shrinks():
+    res = figure5_mc_convergence(
+        n_train=120, n_test=4, permutation_grid=(5, 50, 400), seed=1
+    )
+    errs = res.column("max_abs_error")
+    assert errs[-1] < errs[0]
+    assert res.column("pearson_r")[-1] > 0.9
+
+
+def test_figure8_knn_competitive():
+    res = figure8_accuracy_table(n_train=1000, n_test=200, seed=1)
+    for row in res.rows:
+        # "comparable" at this scale: KNN well above chance and within
+        # a modest gap of the (linearly-separable-perfect) logistic fit
+        assert row["logistic"] - row["5nn"] < 0.2
+        assert row["1nn"] > 0.5
+    # contrast/accuracy ordering: yahoo-like is the easiest, as in paper
+    by_name = {r["dataset"]: r for r in res.rows}
+    assert by_name["yahoo10m"]["1nn"] >= by_name["imagenet"]["1nn"]
+
+
+def test_figure9a_ordering():
+    res = figure9_contrast_vs_kstar(
+        n_train=600, n_test=20, kstar_grid=(1, 10, 50), seed=1
+    )
+    at50 = {
+        r["dataset"]: r["contrast"] for r in res.rows if r["k_star"] == 50
+    }
+    assert at50["deep"] > at50["gist"] > at50["dogfish"]
+
+
+def test_figure10a_trend():
+    res = figure10_g_vs_epsilon(
+        n_train=800, n_test=20, epsilons=(0.01, 0.1, 1.0), seed=1
+    )
+    gs = res.column("g")
+    assert gs[0] >= gs[1] >= gs[2]
+    contrasts = res.column("contrast")
+    assert contrasts[0] <= contrasts[-1]
+
+
+def test_figure10b_g_decreases_with_contrast():
+    res = figure10_g_vs_width(contrasts=(1.2, 2.0), widths=(1.0, 2.0, 4.0))
+    low = [r["g"] for r in res.rows if r["contrast"] == 1.2]
+    high = [r["g"] for r in res.rows if r["contrast"] == 2.0]
+    assert all(h < l for h, l in zip(high, low))
+
+
+def test_figure11_budget_trends():
+    res = figure11_permutation_sizes(
+        sizes=(100, 400), probe_grid=(5, 20, 80), seed=1
+    )
+    for row in res.rows:
+        assert row["heuristic"] >= 1
+        assert row["ground_truth"] <= row["hoeffding"]
+    hoeff = res.column("hoeffding")
+    benn = res.column("bennett")
+    # Hoeffding grows with N, Bennett nearly flat (the paper's point)
+    assert hoeff[-1] > hoeff[0]
+    assert benn[-1] <= benn[0] * 1.5
+
+
+def test_figure12_exact_grows_mc_flat():
+    res = figure12_weighted_runtime(
+        sizes=(12, 18), k_grid=(1, 2), fixed_k=2, fixed_n=14,
+        mc_permutations=10, seed=1,
+    )
+    vary_n = [r for r in res.rows if r["sweep"] == "vary_n"]
+    assert vary_n[-1]["exact_s"] > vary_n[0]["exact_s"]
+    vary_k = [r for r in res.rows if r["sweep"] == "vary_k"]
+    assert vary_k[-1]["exact_s"] >= vary_k[0]["exact_s"]
+
+
+def test_figure13_exact_grows_with_sellers():
+    res = figure13_multidata_runtime(
+        seller_grid=(4, 8), k_grid=(1, 2), pooled_n=24,
+        fixed_k=2, fixed_sellers=6, mc_permutations=10, seed=1,
+    )
+    vary_m = [r for r in res.rows if r["sweep"] == "vary_sellers"]
+    assert vary_m[-1]["exact_s"] >= vary_m[0]["exact_s"] * 0.5  # noisy but present
+
+
+def test_figure14_semantics():
+    res = figure14_value_semantics(n_train=40, n_test=6, seed=1)
+    lookup = {r["quantity"]: r["value"] for r in res.rows}
+    assert lookup["top-valued same-label fraction"] > 0.6
+    assert lookup["pearson(unweighted, weighted)"] > 0.5
+
+
+def test_figure15_analyst_dominates():
+    res = figure15_composite_game(
+        contributor_grid=(15, 40), n_test=5, k=5, seed=1
+    )
+    for row in res.rows:
+        assert row["analyst_share"] >= 0.5 - 1e-9
+    means = res.column("contributor_mean")
+    assert means[-1] < means[0]  # dilution with more contributors
+
+
+def test_figure16_positive_correlation():
+    res = figure16_surrogate_correlation(
+        n_train=24, n_test=12, mc_permutations=25, seed=1
+    )
+    lookup = {r["metric"]: r["correlation"] for r in res.rows}
+    assert lookup["pearson"] > 0

@@ -1,0 +1,57 @@
+"""Tests for the experiment reporting machinery."""
+
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentResult,
+    format_result,
+    format_table,
+    write_experiments_md,
+)
+
+
+def _result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figure-x",
+        title="A test table",
+        columns=("a", "b"),
+        rows=[{"a": 1, "b": 0.123456}, {"a": 2, "b": 1e-6}],
+        paper_claim="claims something",
+        observed="observed something",
+        metadata={"seed": 0},
+    )
+
+
+def test_format_table_alignment():
+    out = format_table(("a", "b"), [{"a": 1, "b": 2.0}])
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("a")
+    assert "-" in lines[1]
+
+
+def test_format_table_missing_cell():
+    out = format_table(("a", "b"), [{"a": 1}])
+    assert "1" in out
+
+
+def test_format_result_contains_claims():
+    text = format_result(_result())
+    assert "figure-x" in text
+    assert "claims something" in text
+    assert "observed something" in text
+
+
+def test_column_extraction():
+    result = _result()
+    assert result.column("a") == [1, 2]
+
+
+def test_write_experiments_md(tmp_path: Path):
+    path = tmp_path / "EXPERIMENTS.md"
+    write_experiments_md([_result()], path)
+    text = path.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "figure-x" in text
+    assert "**Paper:**" in text
+    assert "```" in text

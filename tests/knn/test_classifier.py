@@ -1,0 +1,84 @@
+"""Tests for the KNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs
+from repro.exceptions import NotFittedError, ParameterError
+from repro.knn import KNNClassifier
+
+
+def test_perfect_on_separated_blobs():
+    data = gaussian_blobs(
+        n_train=100, n_test=40, separation=20.0, noise=0.5, seed=1
+    )
+    clf = KNNClassifier(k=3).fit(data.x_train, data.y_train)
+    assert clf.score(data.x_test, data.y_test) == 1.0
+
+
+def test_1nn_memorizes_training_set():
+    data = gaussian_blobs(n_train=30, n_test=5, seed=2)
+    clf = KNNClassifier(k=1).fit(data.x_train, data.y_train)
+    pred = clf.predict(data.x_train)
+    np.testing.assert_array_equal(pred, data.y_train)
+
+
+def test_predict_proba_rows_sum_to_one():
+    data = gaussian_blobs(n_train=50, n_test=10, n_classes=3, seed=3)
+    clf = KNNClassifier(k=5).fit(data.x_train, data.y_train)
+    proba = clf.predict_proba(data.x_test)
+    assert proba.shape == (10, 3)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+def test_likelihood_of_is_knn_utility():
+    """likelihood_of on the full set equals the per-test eq (5) utility."""
+    from repro.utility import KNNClassificationUtility
+
+    data = gaussian_blobs(n_train=40, n_test=6, seed=4)
+    k = 3
+    clf = KNNClassifier(k=k).fit(data.x_train, data.y_train)
+    lik = clf.likelihood_of(data.x_test, data.y_test)
+    utility = KNNClassificationUtility(data, k)
+    members = np.arange(data.n_train)
+    expected = [
+        utility.per_test_value(members, j) for j in range(data.n_test)
+    ]
+    np.testing.assert_allclose(lik, expected)
+
+
+def test_weighted_prediction_prefers_closer_label():
+    x = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+    y = np.array([0, 0, 1, 1, 1])
+    clf = KNNClassifier(k=5, weights="inverse_distance").fit(x, y)
+    # query next to class 0: unweighted 5NN would vote 1 (3 vs 2)
+    unweighted = KNNClassifier(k=5).fit(x, y)
+    assert unweighted.predict([[0.05]])[0] == 1
+    assert clf.predict([[0.05]])[0] == 0
+
+
+def test_kneighbors_shape():
+    data = gaussian_blobs(n_train=20, n_test=4, seed=5)
+    clf = KNNClassifier(k=6).fit(data.x_train, data.y_train)
+    idx, dist = clf.kneighbors(data.x_test)
+    assert idx.shape == (4, 6)
+    assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+
+def test_requires_fit():
+    clf = KNNClassifier(k=1)
+    with pytest.raises(NotFittedError):
+        clf.predict(np.zeros((1, 2)))
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        KNNClassifier(k=0)
+
+
+def test_string_labels():
+    x = np.array([[0.0], [1.0], [10.0]])
+    y = np.array(["cat", "cat", "dog"])
+    clf = KNNClassifier(k=1).fit(x, y)
+    assert clf.predict([[0.2]])[0] == "cat"
+    assert clf.predict([[9.5]])[0] == "dog"

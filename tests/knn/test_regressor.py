@@ -1,0 +1,60 @@
+"""Tests for the KNN regressor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import regression_dataset
+from repro.exceptions import NotFittedError, ParameterError
+from repro.knn import KNNRegressor
+
+
+def test_1nn_memorizes():
+    data = regression_dataset(n_train=25, n_test=5, seed=1)
+    reg = KNNRegressor(k=1).fit(data.x_train, data.y_train)
+    np.testing.assert_allclose(reg.predict(data.x_train), data.y_train)
+
+
+def test_prediction_is_neighbor_average():
+    x = np.array([[0.0], [1.0], [2.0], [100.0]])
+    y = np.array([0.0, 1.0, 2.0, 50.0])
+    reg = KNNRegressor(k=3).fit(x, y)
+    assert reg.predict([[1.0]])[0] == pytest.approx(1.0)
+
+
+def test_weighted_pulls_toward_nearest():
+    x = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    uni = KNNRegressor(k=2).fit(x, y)
+    inv = KNNRegressor(k=2, weights="inverse_distance").fit(x, y)
+    q = [[0.1]]
+    assert uni.predict(q)[0] == pytest.approx(5.0)
+    assert inv.predict(q)[0] < 5.0
+
+
+def test_score_is_negative_mse():
+    data = regression_dataset(n_train=40, n_test=10, seed=2)
+    reg = KNNRegressor(k=3).fit(data.x_train, data.y_train)
+    assert reg.score(data.x_test, data.y_test) == pytest.approx(
+        -reg.mse(data.x_test, data.y_test)
+    )
+    assert reg.mse(data.x_test, data.y_test) >= 0
+
+
+def test_smooth_target_beats_mean_predictor():
+    data = regression_dataset(n_train=300, n_test=50, noise=0.05, seed=3)
+    reg = KNNRegressor(k=5).fit(data.x_train, data.y_train)
+    mse = reg.mse(data.x_test, data.y_test)
+    baseline = float(
+        np.mean((np.mean(data.y_train) - np.asarray(data.y_test)) ** 2)
+    )
+    assert mse < baseline
+
+
+def test_requires_fit():
+    with pytest.raises(NotFittedError):
+        KNNRegressor(k=2).predict(np.zeros((1, 2)))
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        KNNRegressor(k=-1)

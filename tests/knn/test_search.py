@@ -1,0 +1,66 @@
+"""Tests for brute-force nearest-neighbor search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.knn import KNNSearchIndex, argsort_by_distance, top_k
+
+
+def test_argsort_is_full_ascending(rng):
+    data = rng.standard_normal((40, 6))
+    queries = rng.standard_normal((5, 6))
+    order, dist = argsort_by_distance(queries, data)
+    assert order.shape == (5, 40)
+    assert np.all(np.diff(dist, axis=1) >= -1e-12)
+    # rows are permutations
+    for row in order:
+        assert sorted(row.tolist()) == list(range(40))
+
+
+def test_top_k_matches_argsort(rng):
+    data = rng.standard_normal((50, 4))
+    queries = rng.standard_normal((3, 4))
+    order, dist = argsort_by_distance(queries, data)
+    idx, d = top_k(queries, data, 7)
+    np.testing.assert_array_equal(idx, order[:, :7])
+    np.testing.assert_allclose(d, dist[:, :7])
+
+
+def test_top_k_caps_at_n(rng):
+    data = rng.standard_normal((4, 3))
+    queries = rng.standard_normal((2, 3))
+    idx, d = top_k(queries, data, 10)
+    assert idx.shape == (2, 4)
+
+
+def test_tie_break_is_stable():
+    data = np.zeros((5, 2))  # all identical -> all tie
+    queries = np.ones((1, 2))
+    idx, _ = top_k(queries, data, 3)
+    np.testing.assert_array_equal(idx[0], [0, 1, 2])
+
+
+def test_top_k_rejects_bad_k(rng):
+    data = rng.standard_normal((4, 2))
+    with pytest.raises(ParameterError):
+        top_k(data, data, 0)
+
+
+def test_index_interface(rng):
+    data = rng.standard_normal((30, 5))
+    queries = rng.standard_normal((4, 5))
+    index = KNNSearchIndex(data)
+    idx, dist = index.query(queries, 5)
+    expected_idx, expected_dist = top_k(queries, data, 5)
+    np.testing.assert_array_equal(idx, expected_idx)
+    np.testing.assert_allclose(dist, expected_dist)
+    assert index.n == 30
+    assert index.metric == "euclidean"
+    order, _ = index.query_all(queries)
+    assert order.shape == (4, 30)
+
+
+def test_index_rejects_empty():
+    with pytest.raises(ParameterError):
+        KNNSearchIndex(np.empty((0, 3)))

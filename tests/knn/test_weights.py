@@ -1,0 +1,61 @@
+"""Tests for the weight functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.knn import (
+    gaussian_weights,
+    get_weight_function,
+    inverse_distance_weights,
+    rank_weights,
+    uniform_weights,
+)
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [uniform_weights, inverse_distance_weights, rank_weights, gaussian_weights],
+)
+def test_normalized_and_nonnegative(fn, rng):
+    d = np.sort(rng.uniform(0.1, 5.0, size=7))
+    w = fn(d)
+    assert w.shape == d.shape
+    assert np.all(w >= 0)
+    assert w.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize(
+    "fn", [inverse_distance_weights, rank_weights, gaussian_weights]
+)
+def test_monotone_decreasing_with_distance(fn, rng):
+    d = np.sort(rng.uniform(0.1, 5.0, size=6))
+    w = fn(d)
+    assert np.all(np.diff(w) <= 1e-12)
+
+
+def test_uniform_is_flat():
+    w = uniform_weights(np.array([0.1, 2.0, 9.0]))
+    np.testing.assert_allclose(w, 1 / 3)
+
+
+def test_empty_input():
+    for fn in (uniform_weights, inverse_distance_weights, rank_weights):
+        assert fn(np.array([])).shape == (0,)
+
+
+def test_inverse_distance_exact_hits():
+    w = inverse_distance_weights(np.array([0.0, 0.0, 1.0]))
+    assert w[0] == pytest.approx(w[1])
+    assert w[0] > w[2]
+
+
+def test_gaussian_bandwidth_validation():
+    with pytest.raises(ParameterError):
+        gaussian_weights(np.array([1.0]), bandwidth=0.0)
+
+
+def test_lookup():
+    assert get_weight_function("uniform") is uniform_weights
+    with pytest.raises(ParameterError):
+        get_weight_function("nope")

@@ -1,0 +1,122 @@
+"""Tests for relative-contrast estimation, g(C), and parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dogfish_like, mnist_deep_like, mnist_gist_like
+from repro.exceptions import ParameterError
+from repro.lsh import (
+    choose_n_bits,
+    choose_n_tables,
+    choose_width,
+    estimate_relative_contrast,
+    g_exponent,
+    normalize_to_unit_dmean,
+    tune_lsh,
+)
+
+
+def test_contrast_greater_than_one_for_clustered_data():
+    data = mnist_deep_like(n_train=1500, n_test=30, seed=31)
+    est = estimate_relative_contrast(data.x_train, data.x_test, k=5, seed=0)
+    assert est.contrast > 1.0
+    assert est.d_mean > est.d_k > 0
+
+
+def test_contrast_decreases_with_k():
+    data = mnist_deep_like(n_train=1500, n_test=30, seed=32)
+    contrasts = [
+        estimate_relative_contrast(
+            data.x_train, data.x_test, k=k, seed=0
+        ).contrast
+        for k in (1, 10, 100)
+    ]
+    assert contrasts[0] >= contrasts[1] >= contrasts[2]
+
+
+def test_dataset_contrast_ordering():
+    """Figure 9's precondition: deep > gist > dog-fish at large K*."""
+    k_star = 100
+    contrasts = {}
+    for name, maker in (
+        ("deep", mnist_deep_like),
+        ("gist", mnist_gist_like),
+        ("dogfish", dogfish_like),
+    ):
+        data = maker(n_train=1500, n_test=30, seed=33)
+        contrasts[name] = estimate_relative_contrast(
+            data.x_train, data.x_test, k=k_star, seed=0
+        ).contrast
+    assert contrasts["deep"] > contrasts["gist"] > contrasts["dogfish"]
+
+
+def test_g_monotone_decreasing_in_contrast():
+    gs = [g_exponent(c, 2.0) for c in (1.05, 1.2, 1.5, 2.0, 3.0)]
+    assert np.all(np.diff(gs) < 0)
+
+
+def test_g_at_unit_contrast_is_one():
+    assert g_exponent(1.0, 2.0) == pytest.approx(1.0)
+
+
+def test_g_below_one_iff_contrast_above_one():
+    assert g_exponent(1.3, 2.0) < 1.0
+    assert g_exponent(0.8, 2.0) > 1.0
+
+
+def test_normalize_to_unit_dmean():
+    data = mnist_deep_like(n_train=800, n_test=30, seed=34)
+    x_train, x_test, est = normalize_to_unit_dmean(
+        data.x_train, data.x_test, k=3, seed=0
+    )
+    check = estimate_relative_contrast(x_train, x_test, k=3, seed=0)
+    assert check.d_mean == pytest.approx(1.0, rel=0.05)
+    assert est.contrast == pytest.approx(check.contrast, rel=0.05)
+
+
+def test_choose_width_returns_minimizer():
+    width, g = choose_width(1.4)
+    for r in (0.5, 1.0, 2.0, 4.0):
+        assert g <= g_exponent(1.4, r) + 1e-12
+    assert width > 0
+
+
+def test_choose_n_bits_scales_with_log_n():
+    m1 = choose_n_bits(1000, 2.0)
+    m2 = choose_n_bits(1000000, 2.0)
+    assert m2 > m1
+    assert choose_n_bits(1000, 2.0, alpha=0.5) <= m1
+
+
+def test_choose_n_tables_monotonic():
+    """More bits -> smaller per-table catch probability -> more tables;
+    higher contrast -> fewer tables."""
+    low = choose_n_tables(1.2, 2.0, n_bits=6, k_star=10, delta=0.1)
+    high = choose_n_tables(1.2, 2.0, n_bits=10, k_star=10, delta=0.1)
+    assert high >= low
+    easier = choose_n_tables(2.0, 2.0, n_bits=6, k_star=10, delta=0.1)
+    assert easier <= low
+
+
+def test_tune_lsh_end_to_end():
+    data = mnist_deep_like(n_train=1000, n_test=20, seed=35)
+    _, _, est = normalize_to_unit_dmean(data.x_train, data.x_test, k=10, seed=0)
+    params = tune_lsh(est, n=1000, k_star=10, delta=0.1, alpha=0.5)
+    assert params.n_tables >= 1
+    assert params.n_bits >= 1
+    assert params.g == pytest.approx(g_exponent(est.contrast, params.width))
+
+
+@pytest.mark.parametrize(
+    "fn,args,kwargs",
+    [
+        (estimate_relative_contrast, (np.zeros((3, 2)), np.zeros((2, 2)), 5), {}),
+        (g_exponent, (-1.0, 2.0), {}),
+        (choose_n_bits, (1, 2.0), {}),
+        (choose_n_tables, (1.2, 2.0, 4, 0, 0.1), {}),
+        (choose_n_tables, (1.2, 2.0, 4, 5, 1.5), {}),
+    ],
+)
+def test_validation(fn, args, kwargs):
+    with pytest.raises(ParameterError):
+        fn(*args, **kwargs)

@@ -1,0 +1,105 @@
+"""Tests for the 2-stable hash family and collision probability."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.lsh import (
+    GaussianHashFamily,
+    collision_probability,
+    collision_probability_numeric,
+)
+
+
+@pytest.mark.parametrize("c", [0.25, 0.5, 1.0, 2.0, 5.0])
+@pytest.mark.parametrize("r", [0.5, 1.5, 4.0])
+def test_closed_form_matches_integral(c, r):
+    assert collision_probability(c, r) == pytest.approx(
+        collision_probability_numeric(c, r), abs=1e-8
+    )
+
+
+def test_monotone_decreasing_in_distance():
+    cs = np.linspace(0.1, 10.0, 50)
+    ps = collision_probability(cs, 2.0)
+    assert np.all(np.diff(ps) < 0)
+
+
+def test_monotone_increasing_in_width():
+    rs = np.linspace(0.5, 10.0, 30)
+    ps = [collision_probability(1.0, r) for r in rs]
+    assert np.all(np.diff(ps) > 0)
+
+
+def test_probability_range():
+    ps = collision_probability(np.array([0.01, 1.0, 100.0]), 1.0)
+    assert np.all(ps >= 0) and np.all(ps <= 1)
+
+
+def test_empirical_collision_rate(rng):
+    """Monte Carlo check of f_h: the collision probability is over the
+    *hash draw*, so hash one fixed pair at distance c with thousands of
+    independent hash functions and compare the collision frequency to
+    the closed form."""
+    d, m, r, c = 16, 6000, 2.0, 1.3
+    x = rng.standard_normal((1, d))
+    direction = rng.standard_normal(d)
+    direction *= c / np.linalg.norm(direction)
+    y = x + direction  # one pair at distance exactly c
+    family = GaussianHashFamily(d, n_bits=m, width=r, seed=rng)
+    hx = family.hash_values(x)[0]
+    hy = family.hash_values(y)[0]
+    rate = float(np.mean(hx == hy))
+    assert rate == pytest.approx(collision_probability(c, r), abs=0.03)
+
+
+def test_hash_values_shape(rng):
+    family = GaussianHashFamily(8, n_bits=4, width=1.0, seed=0)
+    codes = family.hash_values(rng.standard_normal((10, 8)))
+    assert codes.shape == (10, 4)
+    assert codes.dtype == np.int64
+
+
+def test_deterministic_given_seed(rng):
+    x = rng.standard_normal((5, 6))
+    a = GaussianHashFamily(6, 3, 1.0, seed=42).hash_values(x)
+    b = GaussianHashFamily(6, 3, 1.0, seed=42).hash_values(x)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_bucket_keys_unique_per_code(rng):
+    family = GaussianHashFamily(4, 2, 1.0, seed=1)
+    x = rng.standard_normal((20, 4))
+    keys = family.bucket_keys(x)
+    codes = family.hash_values(x)
+    for i in range(20):
+        for j in range(20):
+            same_key = keys[i] == keys[j]
+            same_code = bool(np.all(codes[i] == codes[j]))
+            assert same_key == same_code
+
+
+def test_dimension_mismatch(rng):
+    family = GaussianHashFamily(4, 2, 1.0, seed=1)
+    with pytest.raises(ParameterError):
+        family.hash_values(rng.standard_normal((3, 5)))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_dims": 0, "n_bits": 1, "width": 1.0},
+        {"n_dims": 2, "n_bits": 0, "width": 1.0},
+        {"n_dims": 2, "n_bits": 1, "width": 0.0},
+    ],
+)
+def test_family_validation(kwargs):
+    with pytest.raises(ParameterError):
+        GaussianHashFamily(**kwargs)
+
+
+def test_collision_probability_validation():
+    with pytest.raises(ParameterError):
+        collision_probability(0.0, 1.0)
+    with pytest.raises(ParameterError):
+        collision_probability(1.0, -1.0)

@@ -1,0 +1,102 @@
+"""Tests for the multi-table LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs
+from repro.exceptions import NotFittedError, ParameterError
+from repro.knn import argsort_by_distance
+from repro.lsh import LSHIndex, normalize_to_unit_dmean
+
+
+@pytest.fixture(scope="module")
+def built_index():
+    data = gaussian_blobs(
+        n_train=600, n_test=20, n_features=16, separation=4.0, seed=21
+    )
+    x_train, x_test, _ = normalize_to_unit_dmean(
+        data.x_train, data.x_test, k=5, seed=0
+    )
+    index = LSHIndex(n_tables=25, n_bits=4, width=2.0, seed=0).build(x_train)
+    return index, x_train, x_test
+
+
+def test_query_returns_sorted_neighbors(built_index):
+    index, x_train, x_test = built_index
+    idx, dist, stats = index.query(x_test, 5)
+    for j in range(len(idx)):
+        assert np.all(np.diff(dist[j]) >= -1e-12)
+        assert idx[j].shape == dist[j].shape
+    assert stats.n_candidates.shape == (x_test.shape[0],)
+
+
+def test_high_recall_with_enough_tables(built_index):
+    index, x_train, x_test = built_index
+    true_order, _ = argsort_by_distance(x_test, x_train)
+    recall = index.recall_at_k(x_test, true_order, 5)
+    assert recall >= 0.9
+
+
+def test_recall_improves_with_tables():
+    data = gaussian_blobs(
+        n_train=500, n_test=20, n_features=16, separation=4.0, seed=22
+    )
+    x_train, x_test, _ = normalize_to_unit_dmean(
+        data.x_train, data.x_test, k=5, seed=0
+    )
+    true_order, _ = argsort_by_distance(x_test, x_train)
+    recalls = []
+    for n_tables in (1, 5, 25):
+        index = LSHIndex(
+            n_tables=n_tables, n_bits=5, width=1.5, seed=0
+        ).build(x_train)
+        recalls.append(index.recall_at_k(x_test, true_order, 5))
+    assert recalls[0] <= recalls[-1]
+    assert recalls[-1] > 0.8
+
+
+def test_candidates_are_valid_indices(built_index):
+    index, x_train, x_test = built_index
+    for cand in index.candidates(x_test[:3]):
+        if cand.size:
+            assert cand.min() >= 0 and cand.max() < index.n
+            assert np.unique(cand).size == cand.size
+
+
+def test_retrieved_distances_are_true_distances(built_index):
+    index, x_train, x_test = built_index
+    idx, dist, _ = index.query(x_test[:2], 3)
+    for j in range(2):
+        for pos, i in enumerate(idx[j]):
+            true = float(np.linalg.norm(x_test[j] - x_train[i]))
+            assert dist[j][pos] == pytest.approx(true, abs=1e-9)
+
+
+def test_query_before_build():
+    index = LSHIndex(n_tables=2, n_bits=2, width=1.0)
+    with pytest.raises(NotFittedError):
+        index.query(np.zeros((1, 4)), 1)
+
+
+def test_build_empty_rejected():
+    with pytest.raises(ParameterError):
+        LSHIndex(n_tables=2, n_bits=2, width=1.0).build(np.empty((0, 3)))
+
+
+def test_bad_parameters():
+    with pytest.raises(ParameterError):
+        LSHIndex(n_tables=0, n_bits=2, width=1.0)
+    index = LSHIndex(n_tables=1, n_bits=1, width=1.0).build(np.zeros((3, 2)))
+    with pytest.raises(ParameterError):
+        index.query(np.zeros((1, 2)), 0)
+
+
+def test_identical_points_always_collide():
+    """A query equal to an indexed point always retrieves it."""
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((50, 8))
+    index = LSHIndex(n_tables=4, n_bits=3, width=2.0, seed=1).build(x)
+    idx, dist, _ = index.query(x[:5], 1)
+    for j in range(5):
+        assert idx[j][0] == j
+        assert dist[j][0] == pytest.approx(0.0, abs=1e-9)

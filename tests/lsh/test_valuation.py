@@ -1,0 +1,60 @@
+"""Tests for the LSH-accelerated Shapley approximation (Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_knn_shapley
+from repro.datasets import mnist_deep_like
+from repro.exceptions import ParameterError
+from repro.lsh import lsh_knn_shapley
+from repro.metrics import max_abs_error, pearson_correlation, top_k_overlap
+
+
+@pytest.fixture(scope="module")
+def data():
+    return mnist_deep_like(n_train=1200, n_test=8, seed=41)
+
+
+def test_epsilon_guarantee(data):
+    """On a high-contrast dataset the LSH values respect the epsilon
+    target (probabilistic; fixed seed)."""
+    k, epsilon = 1, 0.1
+    exact = exact_knn_shapley(data, k)
+    approx = lsh_knn_shapley(data, k, epsilon=epsilon, delta=0.1, seed=0)
+    assert max_abs_error(approx.values, exact.values) <= epsilon
+
+
+def test_high_correlation_with_exact(data):
+    exact = exact_knn_shapley(data, 2)
+    approx = lsh_knn_shapley(data, 2, epsilon=0.1, delta=0.1, seed=0)
+    assert pearson_correlation(approx.values, exact.values) > 0.8
+
+
+def test_top_points_recovered(data):
+    """The most valuable points survive the approximation."""
+    exact = exact_knn_shapley(data, 1)
+    approx = lsh_knn_shapley(data, 1, epsilon=0.1, delta=0.1, seed=0)
+    assert top_k_overlap(approx.values, exact.values, 10) >= 0.6
+
+
+def test_result_metadata(data):
+    res = lsh_knn_shapley(data, 1, epsilon=0.2, delta=0.1, seed=0)
+    assert res.method == "lsh"
+    assert res.extra["k_star"] == 5
+    assert res.extra["build_seconds"] >= 0
+    assert res.extra["query_seconds"] >= 0
+    assert res.extra["mean_candidates"] > 0
+
+
+def test_smaller_epsilon_retrieves_more(data):
+    loose = lsh_knn_shapley(data, 1, epsilon=0.5, delta=0.1, seed=0)
+    tight = lsh_knn_shapley(data, 1, epsilon=0.05, delta=0.1, seed=0)
+    assert tight.extra["k_star"] > loose.extra["k_star"]
+    loose_nonzero = int(np.sum(loose.values != 0))
+    tight_nonzero = int(np.sum(tight.values != 0))
+    assert tight_nonzero >= loose_nonzero
+
+
+def test_rejects_bad_k(data):
+    with pytest.raises(ParameterError):
+        lsh_knn_shapley(data, 0)

@@ -1,0 +1,72 @@
+"""Tests for the error and correlation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics import (
+    max_abs_error,
+    mean_abs_error,
+    pearson_correlation,
+    rank_of,
+    spearman_correlation,
+    top_k_overlap,
+)
+
+
+def test_max_and_mean_abs_error():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([1.5, 2.0, 1.0])
+    assert max_abs_error(a, b) == pytest.approx(2.0)
+    assert mean_abs_error(a, b) == pytest.approx(2.5 / 3)
+
+
+def test_errors_validate_shapes():
+    with pytest.raises(DataValidationError):
+        max_abs_error(np.zeros(3), np.zeros(4))
+    with pytest.raises(DataValidationError):
+        mean_abs_error(np.array([]), np.array([]))
+
+
+def test_pearson_perfect_and_inverse():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+    assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_vector_is_zero():
+    assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+
+def test_rank_of_with_ties():
+    ranks = rank_of(np.array([10.0, 20.0, 20.0, 5.0]))
+    np.testing.assert_allclose(ranks, [2.0, 3.5, 3.5, 1.0])
+
+
+def test_spearman_matches_scipy():
+    from scipy import stats
+
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        a = rng.standard_normal(20)
+        b = rng.standard_normal(20) + 0.5 * a
+        expected = stats.spearmanr(a, b).statistic
+        assert spearman_correlation(a, b) == pytest.approx(expected, abs=1e-10)
+
+
+def test_spearman_with_ties_matches_scipy():
+    from scipy import stats
+
+    a = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 4.0])
+    b = np.array([2.0, 1.0, 1.0, 3.0, 4.0, 4.0])
+    expected = stats.spearmanr(a, b).statistic
+    assert spearman_correlation(a, b) == pytest.approx(expected, abs=1e-10)
+
+
+def test_top_k_overlap():
+    a = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+    b = np.array([5.0, 4.0, 1.0, 2.0, 3.0])
+    assert top_k_overlap(a, b, 2) == 1.0
+    assert top_k_overlap(a, b, 3) == pytest.approx(2 / 3)
+    with pytest.raises(DataValidationError):
+        top_k_overlap(a, b, 6)

@@ -1,0 +1,52 @@
+"""Tests for the timing helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.metrics import TimingResult, fit_loglog_slope, time_call
+
+
+def test_time_call_returns_value_and_positive_time():
+    result = time_call(lambda: 41 + 1, repeat=2)
+    assert result.value == 42
+    assert result.seconds >= 0
+    assert len(result.all_runs) == 2
+    assert result.seconds == min(result.all_runs)
+
+
+def test_time_call_measures_sleep():
+    result = time_call(lambda: time.sleep(0.01))
+    assert result.seconds >= 0.009
+
+
+def test_time_call_warmup_runs(rng):
+    calls = []
+    time_call(lambda: calls.append(1), repeat=1, warmup=2)
+    assert len(calls) == 3
+
+
+def test_time_call_rejects_bad_repeat():
+    with pytest.raises(ParameterError):
+        time_call(lambda: None, repeat=0)
+
+
+def test_loglog_slope_linear():
+    sizes = np.array([100, 200, 400, 800])
+    times = 3e-6 * sizes
+    assert fit_loglog_slope(sizes, times) == pytest.approx(1.0, abs=0.01)
+
+
+def test_loglog_slope_quadratic():
+    sizes = np.array([100, 200, 400, 800])
+    times = 1e-8 * sizes.astype(float) ** 2
+    assert fit_loglog_slope(sizes, times) == pytest.approx(2.0, abs=0.01)
+
+
+def test_loglog_slope_validation():
+    with pytest.raises(ParameterError):
+        fit_loglog_slope([100], [1.0])
+    with pytest.raises(ParameterError):
+        fit_loglog_slope([100, 200], [0.0, 1.0])

@@ -1,0 +1,89 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs, iris_like
+from repro.exceptions import NotFittedError, ParameterError
+from repro.models import LogisticRegression, softmax
+
+
+def test_softmax_rows_sum_to_one(rng):
+    z = rng.standard_normal((6, 4)) * 10
+    p = softmax(z)
+    np.testing.assert_allclose(p.sum(axis=1), 1.0)
+    assert np.all(p > 0)
+
+
+def test_softmax_stability():
+    z = np.array([[1000.0, 1001.0]])
+    p = softmax(z)
+    assert np.all(np.isfinite(p))
+    assert p[0, 1] > p[0, 0]
+
+
+def test_learns_separable_data():
+    data = gaussian_blobs(
+        n_train=200, n_test=100, separation=6.0, noise=0.7, seed=51
+    )
+    lr = LogisticRegression(learning_rate=0.5, max_iter=300, seed=0)
+    lr.fit(data.x_train, data.y_train)
+    assert lr.score(data.x_test, data.y_test) >= 0.95
+
+
+def test_multiclass_iris_like():
+    data = iris_like(n_train=120, n_test=30, seed=52)
+    lr = LogisticRegression(learning_rate=0.2, max_iter=400, seed=0)
+    lr.fit(data.x_train, data.y_train)
+    assert lr.score(data.x_test, data.y_test) >= 0.8
+
+
+def test_predict_proba_shape_and_simplex():
+    data = gaussian_blobs(n_train=60, n_test=10, n_classes=3, seed=53)
+    lr = LogisticRegression(seed=0).fit(data.x_train, data.y_train)
+    proba = lr.predict_proba(data.x_test)
+    assert proba.shape == (10, 3)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+def test_l2_shrinks_weights():
+    data = gaussian_blobs(n_train=100, n_test=10, separation=5.0, seed=54)
+    small = LogisticRegression(l2=1e-4, max_iter=200, seed=0).fit(
+        data.x_train, data.y_train
+    )
+    big = LogisticRegression(l2=10.0, max_iter=200, seed=0).fit(
+        data.x_train, data.y_train
+    )
+    assert np.linalg.norm(big.weights) < np.linalg.norm(small.weights)
+
+
+def test_requires_fit():
+    with pytest.raises(NotFittedError):
+        LogisticRegression().predict(np.zeros((1, 2)))
+
+
+def test_single_class_rejected():
+    x = np.zeros((5, 2))
+    y = np.zeros(5, dtype=int)
+    with pytest.raises(ParameterError):
+        LogisticRegression().fit(x, y)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"l2": -1.0},
+        {"learning_rate": 0.0},
+        {"max_iter": 0},
+    ],
+)
+def test_parameter_validation(kwargs):
+    with pytest.raises(ParameterError):
+        LogisticRegression(**kwargs)
+
+
+def test_deterministic_given_seed():
+    data = gaussian_blobs(n_train=50, n_test=5, seed=55)
+    a = LogisticRegression(seed=7).fit(data.x_train, data.y_train)
+    b = LogisticRegression(seed=7).fit(data.x_train, data.y_train)
+    np.testing.assert_array_equal(a.weights, b.weights)

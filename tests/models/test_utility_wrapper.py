@@ -1,0 +1,66 @@
+"""Tests for the retraining-based utility wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs
+from repro.exceptions import ParameterError
+from repro.models import LogisticRegression, RetrainUtility
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_blobs(
+        n_train=30, n_test=20, separation=5.0, noise=0.8, seed=61
+    )
+
+
+def _factory():
+    return LogisticRegression(learning_rate=0.3, max_iter=80, seed=0)
+
+
+def test_empty_returns_fallback(data):
+    utility = RetrainUtility(data, _factory, fallback=0.5)
+    assert utility([]) == 0.5
+
+
+def test_single_class_returns_fallback(data):
+    utility = RetrainUtility(data, _factory, fallback=0.5)
+    same = np.flatnonzero(np.asarray(data.y_train) == data.y_train[0])[:3]
+    assert utility(same) == 0.5
+
+
+def test_grand_coalition_accuracy(data):
+    utility = RetrainUtility(data, _factory)
+    acc = utility.grand_value()
+    assert 0.8 <= acc <= 1.0
+
+
+def test_counts_evaluations(data):
+    utility = RetrainUtility(data, _factory)
+    before = utility.n_evaluations
+    utility(np.arange(10))
+    utility(np.arange(12))
+    assert utility.n_evaluations == before + 2
+
+
+def test_value_bounds(data):
+    utility = RetrainUtility(data, _factory, fallback=0.0)
+    lo, hi = utility.value_bounds()
+    assert lo <= 0.0 and hi >= 1.0
+
+
+def test_min_classes_validation(data):
+    with pytest.raises(ParameterError):
+        RetrainUtility(data, _factory, min_classes=0)
+
+
+def test_works_with_baseline_mc(data):
+    """End-to-end: MC Shapley over a retrained model runs and sums to
+    the total gain."""
+    from repro.core import baseline_mc_shapley
+
+    sub = data.subset(np.arange(12))
+    utility = RetrainUtility(sub, _factory, fallback=0.5)
+    result = baseline_mc_shapley(utility, n_permutations=5, seed=1)
+    assert result.total() == pytest.approx(utility.total_gain(), abs=1e-9)

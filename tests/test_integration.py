@@ -1,0 +1,111 @@
+"""Cross-module integration tests: full valuation pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import KNNShapleyValuator
+from repro.core import exact_knn_shapley
+from repro.datasets import (
+    assign_sellers,
+    gaussian_blobs,
+    inject_label_noise,
+)
+from repro.market import Analyst, Buyer, Marketplace
+from repro.metrics import pearson_correlation, top_k_overlap
+
+
+def test_all_methods_agree_on_one_dataset():
+    """exact / truncated / LSH / improved MC give consistent values.
+
+    Moderate separation keeps neighbor labels mixed, so the values are
+    non-degenerate and correlations are meaningful.
+    """
+    data = gaussian_blobs(
+        n_train=300, n_test=5, n_features=16, separation=1.8, seed=71
+    )
+    valuator = KNNShapleyValuator(data, k=3)
+    exact = valuator.exact()
+    truncated = valuator.truncated(epsilon=0.05)
+    lsh = valuator.lsh(epsilon=0.1, delta=0.1, seed=0)
+    mc = valuator.monte_carlo(n_permutations=800, seed=0)
+
+    assert np.max(np.abs(truncated.values - exact.values)) <= 0.05
+    assert np.max(np.abs(lsh.values - exact.values)) <= 0.1
+    assert pearson_correlation(truncated.values, exact.values) > 0.8
+    assert np.max(np.abs(mc.values - exact.values)) < 0.05
+    assert top_k_overlap(truncated.values, exact.values, 30) >= 0.5
+
+
+def test_mislabeled_points_get_low_values():
+    """The headline application: flipped labels sink to the bottom of
+    the value ranking."""
+    clean = gaussian_blobs(
+        n_train=200, n_test=40, separation=4.0, noise=0.8, seed=72
+    )
+    noisy, flipped = inject_label_noise(clean, 0.15, seed=73)
+    values = exact_knn_shapley(noisy, 5).values
+    flipped_mean = values[flipped].mean()
+    clean_idx = np.setdiff1d(np.arange(200), flipped)
+    clean_mean = values[clean_idx].mean()
+    assert flipped_mean < clean_mean
+    # bottom decile is dominated by flips
+    bottom = np.argsort(values)[:20]
+    assert np.isin(bottom, flipped).mean() > 0.5
+
+
+def test_value_ranking_supports_data_selection():
+    """Removing the lowest-valued points should not hurt accuracy more
+    than removing random points (usually it helps)."""
+    from repro.knn import KNNClassifier
+
+    clean = gaussian_blobs(
+        n_train=150, n_test=60, separation=3.0, noise=1.0, seed=74
+    )
+    noisy, _ = inject_label_noise(clean, 0.2, seed=75)
+    values = exact_knn_shapley(noisy, 3).values
+    keep_best = np.argsort(-values)[:100]
+    rng = np.random.default_rng(76)
+    keep_rand = rng.choice(150, size=100, replace=False)
+
+    def acc(keep):
+        clf = KNNClassifier(k=3).fit(
+            noisy.x_train[keep], np.asarray(noisy.y_train)[keep]
+        )
+        return clf.score(noisy.x_test, noisy.y_test)
+
+    assert acc(keep_best) >= acc(keep_rand)
+
+
+def test_marketplace_end_to_end_with_sellers_and_analyst():
+    data = gaussian_blobs(n_train=40, n_test=10, separation=3.0, seed=77)
+    grouped = assign_sellers(data, 8, seed=78)
+    market = Marketplace(
+        dataset=data, k=3, grouped=grouped, analyst=Analyst(name="lab")
+    )
+    report = market.settle(Buyer(budget=5000.0))
+    assert report.ledger.payments.shape == (9,)  # 8 sellers + analyst
+    assert report.ledger.payments.sum() == pytest.approx(5000.0)
+    assert report.analyst_payment() > 0
+
+
+def test_grouped_and_pointwise_totals_match():
+    """Group rationality at both granularities: totals equal v(I)-v(∅)."""
+    data = gaussian_blobs(n_train=30, n_test=5, seed=79)
+    grouped = assign_sellers(data, 6, seed=80)
+    valuator = KNNShapleyValuator(data, k=2)
+    pointwise = valuator.exact()
+    sellerwise = valuator.grouped(grouped)
+    assert pointwise.total() == pytest.approx(sellerwise.total(), abs=1e-9)
+    # and each seller's value relates to its members' point values only
+    # through the game, but totals must agree exactly.
+
+
+def test_streaming_test_points_accumulate():
+    """Valuing test points one at a time and averaging equals the batch
+    run — the streaming scenario from Section 3.2's motivation."""
+    data = gaussian_blobs(n_train=80, n_test=6, seed=81)
+    batch = exact_knn_shapley(data, 3).values
+    acc = np.zeros(80)
+    for j in range(6):
+        acc += exact_knn_shapley(data.single_test(j), 3).values
+    np.testing.assert_allclose(acc / 6, batch, atol=1e-12)

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property mirrors a theorem or axiom from the paper:
+
+* exact == brute force on arbitrary small instances (Theorems 1, 6);
+* the Shapley axioms: group rationality, symmetry, null player;
+* the Appendix C bound |s_alpha_i| <= min(1/i, 1/K);
+* truncation error bound (Theorem 2);
+* heap == sort (Algorithm 2's data structure).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    exact_knn_regression_shapley,
+    exact_knn_shapley,
+    shapley_by_subsets,
+    truncated_knn_shapley,
+    truncation_rank,
+)
+from repro.core.heap import KNearestHeap
+from repro.metrics import max_abs_error
+from repro.types import Dataset
+from repro.utility import KNNClassificationUtility, KNNRegressionUtility
+
+
+def _cls_dataset(draw, max_n=9):
+    n = draw(st.integers(2, max_n))
+    d = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    x_train = rng.standard_normal((n, d))
+    y_train = rng.integers(0, draw(st.integers(2, 3)), size=n)
+    x_test = rng.standard_normal((2, d))
+    y_test = rng.integers(0, 2, size=2)
+    return Dataset(x_train, y_train, x_test, y_test)
+
+
+@st.composite
+def cls_datasets(draw):
+    return _cls_dataset(draw)
+
+
+@st.composite
+def reg_datasets(draw):
+    n = draw(st.integers(2, 8))
+    d = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    x_train = rng.standard_normal((n, d))
+    y_train = rng.uniform(-1, 1, size=n)
+    x_test = rng.standard_normal((2, d))
+    y_test = rng.uniform(-1, 1, size=2)
+    return Dataset(x_train, y_train, x_test, y_test)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=cls_datasets(), k=st.integers(1, 4))
+def test_exact_equals_brute_force(data, k):
+    utility = KNNClassificationUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_shapley(data, k)
+    assert max_abs_error(fast.values, oracle.values) < 1e-10
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=reg_datasets(), k=st.integers(1, 3))
+def test_regression_equals_brute_force(data, k):
+    utility = KNNRegressionUtility(data, k)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_knn_regression_shapley(data, k)
+    assert max_abs_error(fast.values, oracle.values) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=cls_datasets(), k=st.integers(1, 4))
+def test_group_rationality(data, k):
+    utility = KNNClassificationUtility(data, k)
+    result = exact_knn_shapley(data, k)
+    assert result.total() == pytest.approx(utility.total_gain(), abs=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=cls_datasets(), k=st.integers(1, 3))
+def test_appendix_c_bound(data, k):
+    result = exact_knn_shapley(data, k)
+    per_test = result.extra["per_test"]
+    utility = KNNClassificationUtility(data, k)
+    n = data.n_train
+    ranks = np.arange(1, n + 1)
+    bound = np.minimum(1.0 / ranks, 1.0 / k)
+    for j in range(data.n_test):
+        s_rank = per_test[j][utility.order[j]]
+        assert np.all(np.abs(s_rank) <= bound + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=cls_datasets(),
+    k=st.integers(1, 3),
+    epsilon=st.floats(0.05, 0.9),
+)
+def test_truncation_error_bound(data, k, epsilon):
+    exact = exact_knn_shapley(data, k)
+    approx = truncated_knn_shapley(data, k, epsilon)
+    assert max_abs_error(approx.values, exact.values) <= epsilon + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dists=st.lists(
+        st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=60
+    ),
+    k=st.integers(1, 8),
+)
+def test_heap_matches_argsort(dists, k):
+    heap = KNearestHeap(k)
+    for i, d in enumerate(dists):
+        heap.push(float(d), i)
+    kept = sorted(heap.payloads())
+    expected = sorted(
+        np.argsort(np.asarray(dists), kind="stable")[:k].tolist()
+    )
+    assert kept == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=cls_datasets(), k=st.integers(1, 3))
+def test_symmetry_of_duplicates(data, k):
+    """Two identical training points (same x, same y) get equal values."""
+    x = np.vstack([data.x_train, data.x_train[:1]])
+    y = np.append(data.y_train, data.y_train[0])
+    dup = Dataset(x, y, data.x_test, data.y_test)
+    utility = KNNClassificationUtility(dup, k)
+    oracle = shapley_by_subsets(utility)
+    assert oracle.values[0] == pytest.approx(
+        oracle.values[-1], abs=1e-10
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=cls_datasets(), k=st.integers(1, 3))
+def test_truncation_rank_consistency(data, k):
+    """epsilon >= 1 truncates to K; tiny epsilon keeps everything."""
+    assert truncation_rank(k, 1.0) == k
+    big = truncated_knn_shapley(data, k, 1e-9)
+    exact = exact_knn_shapley(data, k)
+    assert max_abs_error(big.values, exact.values) < 1e-10

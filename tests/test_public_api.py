@@ -1,0 +1,76 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.knn",
+        "repro.lsh",
+        "repro.utility",
+        "repro.market",
+        "repro.models",
+        "repro.datasets",
+        "repro.metrics",
+        "repro.valuation",
+        "repro.experiments",
+    ],
+)
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    assert mod.__all__, f"{module} exports nothing"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+def test_exception_hierarchy():
+    from repro.exceptions import (
+        ConvergenceError,
+        DataValidationError,
+        NotFittedError,
+        ParameterError,
+        ReproError,
+        UtilityError,
+    )
+
+    for exc in (
+        DataValidationError,
+        ParameterError,
+        NotFittedError,
+        ConvergenceError,
+        UtilityError,
+    ):
+        assert issubclass(exc, ReproError)
+    # value-style errors also subclass ValueError for idiomatic catches
+    assert issubclass(DataValidationError, ValueError)
+    assert issubclass(ParameterError, ValueError)
+    assert issubclass(NotFittedError, RuntimeError)
+
+
+def test_docstrings_on_public_callables():
+    """Every public item of the core packages carries a docstring."""
+    import typing
+
+    for module in ("repro.core", "repro.knn", "repro.lsh", "repro.valuation"):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if isinstance(obj, type) or (
+                callable(obj) and not isinstance(obj, typing._GenericAlias)
+            ):
+                assert obj.__doc__, f"{module}.{name} lacks a docstring"

@@ -1,0 +1,32 @@
+"""Tests for the seeding helpers."""
+
+import numpy as np
+
+from repro.rng import ensure_rng, spawn
+
+
+def test_ensure_rng_from_int():
+    a = ensure_rng(42)
+    b = ensure_rng(42)
+    assert a.integers(0, 100) == b.integers(0, 100)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_independent_and_reproducible():
+    parent_a = ensure_rng(5)
+    parent_b = ensure_rng(5)
+    kids_a = spawn(parent_a, 3)
+    kids_b = spawn(parent_b, 3)
+    for ka, kb in zip(kids_a, kids_b):
+        assert ka.integers(0, 10**9) == kb.integers(0, 10**9)
+    # distinct children produce distinct streams
+    draws = {k.integers(0, 10**9) for k in spawn(ensure_rng(6), 4)}
+    assert len(draws) > 1

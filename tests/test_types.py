@@ -1,0 +1,104 @@
+"""Tests for the core datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.types import Dataset, GroupedDataset, ValuationResult
+
+
+def _mk(n_train=5, n_test=2, d=3):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        x_train=rng.standard_normal((n_train, d)),
+        y_train=rng.integers(0, 2, size=n_train),
+        x_test=rng.standard_normal((n_test, d)),
+        y_test=rng.integers(0, 2, size=n_test),
+    )
+
+
+def test_dataset_properties():
+    data = _mk()
+    assert data.n_train == 5
+    assert data.n_test == 2
+    assert data.n_features == 3
+
+
+def test_dataset_shape_mismatch():
+    rng = np.random.default_rng(1)
+    with pytest.raises(DataValidationError):
+        Dataset(
+            x_train=rng.standard_normal((5, 3)),
+            y_train=np.zeros(4, dtype=int),
+            x_test=rng.standard_normal((2, 3)),
+            y_test=np.zeros(2, dtype=int),
+        )
+    with pytest.raises(DataValidationError):
+        Dataset(
+            x_train=rng.standard_normal((5, 3)),
+            y_train=np.zeros(5, dtype=int),
+            x_test=rng.standard_normal((2, 4)),
+            y_test=np.zeros(2, dtype=int),
+        )
+
+
+def test_dataset_rejects_nonfinite():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((4, 2))
+    x[1, 0] = np.nan
+    with pytest.raises(DataValidationError):
+        Dataset(x, np.zeros(4, dtype=int), x[:1], np.zeros(1, dtype=int))
+
+
+def test_dataset_rejects_empty():
+    rng = np.random.default_rng(3)
+    with pytest.raises(DataValidationError):
+        Dataset(
+            np.empty((0, 2)),
+            np.empty(0, dtype=int),
+            rng.standard_normal((1, 2)),
+            np.zeros(1, dtype=int),
+        )
+
+
+def test_dataset_coerces_1d_features():
+    data = Dataset(
+        x_train=np.array([1.0, 2.0, 3.0]),
+        y_train=np.array([0, 1, 0]),
+        x_test=np.array([1.5]),
+        y_test=np.array([0]),
+    )
+    assert data.n_features == 1
+
+
+def test_grouped_dataset_validation():
+    data = _mk()
+    with pytest.raises(DataValidationError):
+        GroupedDataset(dataset=data, groups=np.array([0, 1, 1, 3, 3]))
+    with pytest.raises(DataValidationError):
+        GroupedDataset(dataset=data, groups=np.array([0, 1]))
+    grouped = GroupedDataset(dataset=data, groups=np.array([0, 1, 1, 2, 0]))
+    assert grouped.n_sellers == 3
+    np.testing.assert_array_equal(grouped.members(1), [1, 2])
+
+
+def test_valuation_result_helpers():
+    result = ValuationResult(
+        values=np.array([0.1, 0.5, -0.2]), method="exact"
+    )
+    assert result.n == 3
+    assert result.total() == pytest.approx(0.4)
+    np.testing.assert_array_equal(result.ranking(), [1, 0, 2])
+    np.testing.assert_array_equal(result.top(2), [1, 0])
+
+
+def test_valuation_result_with_extra():
+    result = ValuationResult(values=np.zeros(2), method="exact", extra={"a": 1})
+    enriched = result.with_extra(b=2)
+    assert enriched.extra == {"a": 1, "b": 2}
+    assert result.extra == {"a": 1}
+
+
+def test_valuation_result_rejects_2d():
+    with pytest.raises(DataValidationError):
+        ValuationResult(values=np.zeros((2, 2)), method="x")

@@ -1,0 +1,112 @@
+"""Tests for the KNN classification utility (eqs 5, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UtilityError
+from repro.knn import KNNClassifier
+from repro.utility import KNNClassificationUtility, coalition_to_indices
+
+
+def test_empty_value_is_zero(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    assert utility.empty_value() == 0.0
+
+
+def test_grand_value_matches_classifier(tiny_cls):
+    """v(I) equals the average correct-label likelihood of the trained KNN."""
+    k = 3
+    utility = KNNClassificationUtility(tiny_cls, k)
+    clf = KNNClassifier(k=k).fit(tiny_cls.x_train, tiny_cls.y_train)
+    expected = float(
+        np.mean(clf.likelihood_of(tiny_cls.x_test, tiny_cls.y_test))
+    )
+    assert utility.grand_value() == pytest.approx(expected)
+
+
+def test_partial_coalition_divides_by_k(tiny_cls):
+    """For |S| < K the utility still divides by K (the paper's convention)."""
+    k = 5
+    utility = KNNClassificationUtility(tiny_cls, k)
+    # a singleton coalition scores match/K per test point
+    for i in range(3):
+        val = utility([i])
+        matches = np.mean(
+            (tiny_cls.y_train[i] == np.asarray(tiny_cls.y_test)).astype(float)
+        )
+        assert val == pytest.approx(matches / k)
+
+
+def test_monotone_in_k_nearest_only(tiny_cls):
+    """Adding a far point to a full coalition leaves the value unchanged
+    unless it enters someone's top K."""
+    k = 1
+    utility = KNNClassificationUtility(tiny_cls, k)
+    order = utility.order
+    # coalition = everyone's nearest neighbor for every test point
+    nearest = np.unique(order[:, 0])
+    farthest = order[0, -1]
+    if farthest not in nearest:
+        base = utility(nearest)
+        with_far = utility(np.append(nearest, farthest))
+        assert with_far == pytest.approx(base)
+
+
+def test_marginal_definition(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    s = [0, 3, 5]
+    m = utility.marginal(s, 1)
+    assert m == pytest.approx(utility([0, 1, 3, 5]) - utility(s))
+
+
+def test_marginal_rejects_member(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    with pytest.raises(UtilityError):
+        utility.marginal([0, 1], 1)
+
+
+def test_coalition_validation(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    with pytest.raises(UtilityError):
+        utility([0, 0])
+    with pytest.raises(UtilityError):
+        utility([tiny_cls.n_train])
+    with pytest.raises(UtilityError):
+        utility([-1])
+
+
+def test_boolean_mask_coalitions(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    mask = np.zeros(tiny_cls.n_train, dtype=bool)
+    mask[[1, 4]] = True
+    assert utility(mask) == pytest.approx(utility([1, 4]))
+
+
+def test_coalition_to_indices_set():
+    idx = coalition_to_indices({3, 1}, 5)
+    np.testing.assert_array_equal(idx, [1, 3])
+
+
+def test_difference_range_is_one_over_k(tiny_cls):
+    for k in (1, 2, 5):
+        utility = KNNClassificationUtility(tiny_cls, k)
+        assert utility.difference_range() == pytest.approx(1.0 / k)
+
+
+def test_value_bounds(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 2)
+    assert utility.value_bounds() == (0.0, 1.0)
+    # exhaustive check that the bounds hold
+    from repro.core import all_subset_values
+
+    v = all_subset_values(utility)
+    assert v.min() >= 0.0 and v.max() <= 1.0
+
+
+def test_per_test_value_averages_to_call(tiny_cls):
+    utility = KNNClassificationUtility(tiny_cls, 3)
+    members = np.array([0, 2, 4, 6])
+    per = [
+        utility.per_test_value(members, j) for j in range(tiny_cls.n_test)
+    ]
+    assert np.mean(per) == pytest.approx(utility(members))

@@ -1,0 +1,139 @@
+"""Tests for regression, weighted, grouped and composite utilities."""
+
+import numpy as np
+import pytest
+
+from repro.types import GroupedDataset
+from repro.utility import (
+    CompositeUtility,
+    GroupedUtility,
+    KNNClassificationUtility,
+    KNNRegressionUtility,
+    WeightedKNNClassificationUtility,
+    WeightedKNNRegressionUtility,
+)
+
+
+# ----------------------------------------------------------------------
+# regression utility (eq 25)
+# ----------------------------------------------------------------------
+def test_regression_empty_value(tiny_reg):
+    utility = KNNRegressionUtility(tiny_reg, 2)
+    expected = -float(np.mean(np.asarray(tiny_reg.y_test) ** 2))
+    assert utility.empty_value() == pytest.approx(expected)
+
+
+def test_regression_divides_by_k(tiny_reg):
+    """Singleton coalition: prediction y_i / K (not y_i)."""
+    k = 4
+    utility = KNNRegressionUtility(tiny_reg, k)
+    i = 0
+    pred = float(tiny_reg.y_train[i]) / k
+    expected = -float(
+        np.mean((pred - np.asarray(tiny_reg.y_test)) ** 2)
+    )
+    assert utility([i]) == pytest.approx(expected)
+
+
+def test_regression_value_bounds_hold(tiny_reg):
+    from repro.core import all_subset_values
+
+    utility = KNNRegressionUtility(tiny_reg, 2)
+    lo, hi = utility.value_bounds()
+    v = all_subset_values(utility)
+    assert v.min() >= lo - 1e-12
+    assert v.max() <= hi + 1e-12
+
+
+def test_regression_perfect_coalition():
+    """A coalition of K points whose mean is exactly y_test scores 0."""
+    from repro.types import Dataset
+
+    x = np.array([[0.0], [0.2], [5.0]])
+    y = np.array([1.0, 3.0, 100.0])
+    data = Dataset(x, y, np.array([[0.1]]), np.array([2.0]))
+    utility = KNNRegressionUtility(data, 2)
+    assert utility([0, 1]) == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# weighted utilities (eqs 26, 27)
+# ----------------------------------------------------------------------
+def test_weighted_classification_in_unit_interval(tiny_cls):
+    from repro.core import all_subset_values
+
+    utility = WeightedKNNClassificationUtility(
+        tiny_cls, 2, weights="inverse_distance"
+    )
+    v = all_subset_values(utility)
+    assert v.min() >= 0.0 and v.max() <= 1.0
+
+
+def test_weighted_with_uniform_equals_unweighted_on_full_coalitions(tiny_cls):
+    k = 3
+    weighted = WeightedKNNClassificationUtility(tiny_cls, k, weights="uniform")
+    unweighted = KNNClassificationUtility(tiny_cls, k)
+    full = np.arange(tiny_cls.n_train)
+    assert weighted(full) == pytest.approx(unweighted(full))
+    # any coalition of size >= k agrees too
+    assert weighted([0, 1, 2, 3]) == pytest.approx(unweighted([0, 1, 2, 3]))
+
+
+def test_weighted_regression_empty(tiny_reg):
+    utility = WeightedKNNRegressionUtility(
+        tiny_reg, 2, weights="inverse_distance"
+    )
+    expected = -float(np.mean(np.asarray(tiny_reg.y_test) ** 2))
+    assert utility.empty_value() == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# grouped utility
+# ----------------------------------------------------------------------
+def test_grouped_evaluates_union(tiny_cls, tiny_grouped):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    gu = GroupedUtility(base, tiny_grouped)
+    sellers = np.array([0, 2])
+    points = np.sort(
+        np.concatenate(
+            [tiny_grouped.members(0), tiny_grouped.members(2)]
+        )
+    )
+    assert gu(sellers) == pytest.approx(base(points))
+
+
+def test_grouped_grand_equals_base_grand(tiny_cls, tiny_grouped):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    gu = GroupedUtility(base, tiny_grouped)
+    assert gu.grand_value() == pytest.approx(base.grand_value())
+
+
+def test_grouped_n_players(tiny_grouped):
+    base = KNNClassificationUtility(tiny_grouped.dataset, 1)
+    gu = GroupedUtility(base, tiny_grouped)
+    assert gu.n_players == tiny_grouped.n_sellers
+
+
+# ----------------------------------------------------------------------
+# composite utility (eq 28)
+# ----------------------------------------------------------------------
+def test_composite_zero_without_analyst(tiny_cls):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    cu = CompositeUtility(base)
+    assert cu([0, 1, 2]) == 0.0  # sellers only
+    assert cu([cu.analyst]) == 0.0  # analyst only
+    assert cu([]) == 0.0
+
+
+def test_composite_with_analyst_equals_base(tiny_cls):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    cu = CompositeUtility(base)
+    sellers = [0, 3, 5]
+    assert cu(sellers + [cu.analyst]) == pytest.approx(base(sellers))
+
+
+def test_composite_grand(tiny_cls):
+    base = KNNClassificationUtility(tiny_cls, 2)
+    cu = CompositeUtility(base)
+    assert cu.grand_value() == pytest.approx(base.grand_value())
+    assert cu.n_players == base.n_players + 1

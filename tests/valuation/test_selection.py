@@ -1,0 +1,104 @@
+"""Tests for value-based data curation."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_knn_shapley
+from repro.datasets import gaussian_blobs, inject_label_noise
+from repro.exceptions import ParameterError
+from repro.types import ValuationResult
+from repro.valuation import (
+    curation_curve,
+    drop_harmful,
+    select_by_value,
+)
+
+
+def _result(values):
+    return ValuationResult(values=np.asarray(values, float), method="t")
+
+
+def test_select_by_value_top_fraction():
+    res = _result([0.1, 0.5, 0.3, 0.0])
+    np.testing.assert_array_equal(select_by_value(res, 0.5), [1, 2])
+    np.testing.assert_array_equal(select_by_value(res, 1.0), [0, 1, 2, 3])
+
+
+def test_select_by_value_always_keeps_one():
+    res = _result([0.1, 0.5])
+    assert select_by_value(res, 0.01).size == 1
+
+
+def test_select_by_value_validation():
+    res = _result([0.1])
+    with pytest.raises(ParameterError):
+        select_by_value(res, 0.0)
+    with pytest.raises(ParameterError):
+        select_by_value(res, 1.5)
+
+
+def test_drop_harmful_default_threshold():
+    res = _result([0.2, -0.1, 0.0, 0.3])
+    np.testing.assert_array_equal(drop_harmful(res), [0, 3])
+
+
+def test_drop_harmful_never_empties():
+    res = _result([-0.2, -0.1])
+    np.testing.assert_array_equal(drop_harmful(res), [0, 1])
+
+
+def test_drop_harmful_custom_threshold():
+    res = _result([0.2, 0.05, 0.3])
+    np.testing.assert_array_equal(drop_harmful(res, threshold=0.1), [0, 2])
+
+
+@pytest.fixture(scope="module")
+def noisy_setup():
+    clean = gaussian_blobs(
+        n_train=200, n_test=60, separation=4.0, noise=0.9, seed=81
+    )
+    noisy, flipped = inject_label_noise(clean, 0.2, seed=82)
+    values = exact_knn_shapley(noisy, 3)
+    return noisy, flipped, values
+
+
+def test_curation_curve_improves_on_noisy_data(noisy_setup):
+    noisy, _, values = noisy_setup
+    curve = curation_curve(
+        noisy, values, fractions=(0.0, 0.1, 0.2), k=3
+    )
+    assert len(curve) == 3
+    assert curve[0].n_kept == noisy.n_train
+    # removing the lowest-valued (mostly flipped) points helps
+    assert curve[-1].score >= curve[0].score
+    # bookkeeping
+    assert curve[1].n_kept == noisy.n_train - round(0.1 * noisy.n_train)
+
+
+def test_curation_curve_custom_scorer(noisy_setup):
+    noisy, _, values = noisy_setup
+    curve = curation_curve(
+        noisy,
+        values,
+        fractions=(0.0, 0.5),
+        scorer=lambda d: float(d.n_train),
+    )
+    assert curve[0].score == noisy.n_train
+    assert curve[1].score == noisy.n_train - round(0.5 * noisy.n_train)
+
+
+def test_curation_curve_validation(noisy_setup):
+    noisy, _, values = noisy_setup
+    with pytest.raises(ParameterError):
+        curation_curve(noisy, _result([1.0, 2.0]))
+    with pytest.raises(ParameterError):
+        curation_curve(noisy, values, fractions=(1.0,))
+
+
+def test_drop_harmful_removes_mostly_flipped(noisy_setup):
+    noisy, flipped, values = noisy_setup
+    kept = drop_harmful(values)
+    dropped = np.setdiff1d(np.arange(noisy.n_train), kept)
+    if dropped.size:
+        frac_flipped = np.isin(dropped, flipped).mean()
+        assert frac_flipped > 0.5

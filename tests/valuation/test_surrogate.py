@@ -1,0 +1,55 @@
+"""Tests for the KNN-surrogate valuation (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models import LogisticRegression
+from repro.valuation import calibrate_k, surrogate_values
+
+
+def test_calibration_picks_closest_accuracy(iris_data):
+    lr = LogisticRegression(learning_rate=0.2, max_iter=300, seed=0)
+    lr.fit(iris_data.x_train, iris_data.y_train)
+    target = lr.score(iris_data.x_test, iris_data.y_test)
+    cal = calibrate_k(iris_data, target)
+    for k, acc in cal.candidates:
+        assert cal.accuracy_gap <= abs(acc - target) + 1e-12
+
+
+def test_calibration_skips_infeasible_k(iris_data):
+    cal = calibrate_k(iris_data, 0.9, k_grid=(1, 10**6))
+    assert cal.k == 1
+
+
+def test_calibration_validation(iris_data):
+    with pytest.raises(ParameterError):
+        calibrate_k(iris_data, 1.5)
+    with pytest.raises(ParameterError):
+        calibrate_k(iris_data, 0.9, k_grid=(0, -1))
+
+
+def test_surrogate_values_end_to_end(iris_data):
+    result, cal = surrogate_values(iris_data, target_accuracy=0.9)
+    assert result.n == iris_data.n_train
+    assert result.extra["surrogate"] is True
+    assert result.extra["calibrated_k"] == cal.k
+
+
+def test_surrogate_correlates_with_lr_values(iris_data):
+    """The Figure 16 claim at test scale: positive correlation between
+    KNN surrogate values and MC logistic-regression values."""
+    from repro.core import baseline_mc_shapley
+    from repro.metrics import pearson_correlation
+    from repro.models import RetrainUtility
+
+    sub = iris_data.subset(np.arange(18))
+    result, _ = surrogate_values(sub, target_accuracy=0.9, k_grid=(1, 3, 5))
+
+    def factory():
+        return LogisticRegression(learning_rate=0.2, max_iter=60, seed=0)
+
+    utility = RetrainUtility(sub, factory, fallback=1 / 3)
+    lr_vals = baseline_mc_shapley(utility, n_permutations=40, seed=0)
+    corr = pearson_correlation(result.values, lr_vals.values)
+    assert corr > 0.2

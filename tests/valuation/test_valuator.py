@@ -1,0 +1,103 @@
+"""Tests for the KNNShapleyValuator facade."""
+
+import numpy as np
+import pytest
+
+from repro import KNNShapleyValuator
+from repro.core import (
+    exact_knn_regression_shapley,
+    exact_knn_shapley,
+    truncated_knn_shapley,
+)
+from repro.exceptions import ParameterError
+
+
+def test_exact_classification(tiny_cls):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    result = valuator.exact()
+    expected = exact_knn_shapley(tiny_cls, 2)
+    np.testing.assert_allclose(result.values, expected.values)
+
+
+def test_exact_regression(tiny_reg):
+    valuator = KNNShapleyValuator(tiny_reg, k=2, task="regression")
+    result = valuator.exact()
+    expected = exact_knn_regression_shapley(tiny_reg, 2)
+    np.testing.assert_allclose(result.values, expected.values)
+
+
+def test_truncated(medium_cls):
+    valuator = KNNShapleyValuator(medium_cls, k=2)
+    result = valuator.truncated(epsilon=0.1)
+    expected = truncated_knn_shapley(medium_cls, 2, 0.1)
+    np.testing.assert_allclose(result.values, expected.values)
+
+
+def test_truncated_rejected_for_regression(tiny_reg):
+    valuator = KNNShapleyValuator(tiny_reg, k=2, task="regression")
+    with pytest.raises(ParameterError):
+        valuator.truncated()
+    with pytest.raises(ParameterError):
+        valuator.lsh()
+
+
+def test_monte_carlo_improved(tiny_cls):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    exact = valuator.exact()
+    mc = valuator.monte_carlo(n_permutations=4000, seed=0)
+    assert np.max(np.abs(mc.values - exact.values)) < 0.03
+
+
+def test_monte_carlo_baseline(tiny_cls):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    mc = valuator.monte_carlo(improved=False, n_permutations=30, seed=0)
+    assert mc.method == "mc-baseline"
+
+
+def test_monte_carlo_grouped(tiny_cls, tiny_grouped):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    mc = valuator.monte_carlo(
+        grouped=tiny_grouped, n_permutations=100, seed=0
+    )
+    assert mc.n == tiny_grouped.n_sellers
+
+
+def test_weighted(tiny_cls):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    result = valuator.weighted()
+    assert result.method == "exact-weighted"
+    assert result.n == tiny_cls.n_train
+
+
+def test_grouped(tiny_cls, tiny_grouped):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    result = valuator.grouped(tiny_grouped)
+    assert result.n == tiny_grouped.n_sellers
+
+
+def test_composite(tiny_cls):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    result = valuator.composite()
+    assert result.n == tiny_cls.n_train + 1
+
+
+def test_composite_grouped(tiny_cls, tiny_grouped):
+    valuator = KNNShapleyValuator(tiny_cls, k=2)
+    result = valuator.composite(grouped=tiny_grouped)
+    assert result.n == tiny_grouped.n_sellers + 1
+
+
+def test_validation(tiny_cls):
+    with pytest.raises(ParameterError):
+        KNNShapleyValuator(tiny_cls, k=0)
+    with pytest.raises(ParameterError):
+        KNNShapleyValuator(tiny_cls, k=1, task="clustering")
+
+
+def test_result_helpers(tiny_cls):
+    result = KNNShapleyValuator(tiny_cls, k=1).exact()
+    top3 = result.top(3)
+    assert top3.shape == (3,)
+    ranking = result.ranking()
+    assert ranking.shape == (tiny_cls.n_train,)
+    assert set(top3.tolist()) <= set(ranking[:3].tolist())
