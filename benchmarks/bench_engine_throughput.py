@@ -1,0 +1,41 @@
+"""Engine throughput: chunked/cached/parallel exact valuation vs the
+single-shot core path.
+
+The acceptance bar for the engine subsystem: at N >= 20k synthetic
+points, `ValuationEngine` must beat `exact_knn_shapley` (the seed
+single-shot implementation) wall-clock while agreeing to ~1e-15, and a
+cache-hit repeat must be faster still.
+"""
+
+from repro.experiments import engine_throughput
+from repro.experiments.reporting import format_result
+
+
+def test_engine_beats_single_shot(once):
+    result = once(
+        lambda: engine_throughput(
+            sizes=(5000, 20000),
+            n_test=128,
+            n_features=32,
+            k=5,
+            repeat=3,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    for row in result.rows:
+        # exact-path agreement (acceptance: 1e-10)
+        assert row["max_err"] < 1e-10
+        # cached repeats skip the sort: never slower than computing
+        assert row["engine_cached_s"] <= row["engine_s"]
+    # the headline: chunked engine execution beats the single-shot path
+    # wall-clock at N >= 20k
+    big = [r for r in result.rows if r["n_train"] >= 20000]
+    assert big, "sweep must include an N >= 20k point"
+    for row in big:
+        assert row["engine_s"] < row["single_shot_s"], (
+            f"engine {row['engine_s']:.3f}s not faster than "
+            f"single-shot {row['single_shot_s']:.3f}s at N={row['n_train']}"
+        )
+        assert row["n_chunks"] > 1

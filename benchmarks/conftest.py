@@ -1,9 +1,11 @@
 """Benchmark configuration.
 
 Every benchmark regenerates one of the paper's tables/figures through
-:mod:`repro.experiments` and prints the paper-vs-measured report.  Run
+:mod:`repro.experiments` and prints the paper-vs-measured report.  The
+``bench_*.py`` naming keeps these out of the default unit-test run;
+pytest collects explicitly named files regardless, so run
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_*.py -s
 
 to see the tables inline; timings land in the pytest-benchmark summary.
 Scales are reduced relative to the paper (see DESIGN.md) so the whole

@@ -18,6 +18,7 @@ Quickstart::
     print(result.top(10))          # ten most valuable training points
 """
 
+from .engine import ValuationEngine, ValuationService
 from .exceptions import (
     ConvergenceError,
     DataValidationError,
@@ -36,6 +37,8 @@ __all__ = [
     "GroupedDataset",
     "ValuationResult",
     "KNNShapleyValuator",
+    "ValuationEngine",
+    "ValuationService",
     "surrogate_values",
     "ReproError",
     "DataValidationError",

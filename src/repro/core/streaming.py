@@ -6,23 +6,25 @@ value must be updated *on the fly* — re-running a batch job per query
 wastes the work, and the running average over queries is exactly the
 multi-test Shapley value (eq 8) by additivity.
 
-:class:`StreamingKNNShapley` maintains that running average.  Two
-backends:
+:class:`StreamingKNNShapley` maintains that running average.  Retrieval
+delegates to the fit-once backends of :mod:`repro.engine.backends`:
 
-* ``"exact"`` — rank the full training set per query (Theorem 1);
+* ``"exact"`` — rank the full training set per query (Theorem 1) with
+  an exact backend;
 * ``"lsh"`` — retrieve only the K* nearest with a pre-built LSH index
   and apply the truncated recursion (Theorems 2 + 4), giving sublinear
   per-query cost at an (epsilon, delta) guarantee.
+
+Any other registered backend name (e.g. ``"blocked"``) or a pre-built
+:class:`~repro.engine.backends.NeighborBackend` is accepted too;
+backends that cannot produce full rankings use the truncated path.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..knn.search import argsort_by_distance
 from ..rng import SeedLike
 from ..types import ValuationResult, as_float_matrix, as_label_vector
 from .exact import knn_shapley_single_test
@@ -41,11 +43,14 @@ class StreamingKNNShapley:
     k:
         The K of KNN.
     backend:
-        ``"exact"`` or ``"lsh"``.
+        ``"exact"`` (full rankings via the brute backend), ``"lsh"``,
+        any other registered backend name, or a pre-built
+        :class:`~repro.engine.backends.NeighborBackend`.
     epsilon, delta:
-        Approximation targets for the LSH backend (ignored by exact).
+        Approximation targets for truncated-path backends (ignored by
+        exact ones).
     metric:
-        Distance metric for the exact backend (the LSH backend is l2).
+        Distance metric for exact backends (the LSH backend is l2).
     seed:
         Seed for the LSH index construction.
     """
@@ -55,65 +60,62 @@ class StreamingKNNShapley:
         x_train: np.ndarray,
         y_train: np.ndarray,
         k: int,
-        backend: str = "exact",
+        backend="exact",
         epsilon: float = 0.1,
         delta: float = 0.1,
         metric: str = "euclidean",
         seed: SeedLike = None,
     ) -> None:
+        # imported lazily: repro.core must not depend on repro.engine
+        # at import time (the engine builds on core)
+        from ..engine.backends import (
+            LSHNeighborBackend,
+            NeighborBackend,
+            available_backends,
+            make_backend,
+        )
+
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
-        if backend not in ("exact", "lsh"):
-            raise ParameterError(
-                f"backend must be 'exact' or 'lsh', got {backend!r}"
-            )
         self.x_train = as_float_matrix(x_train, "x_train")
         self.y_train = as_label_vector(y_train, self.x_train.shape[0], "y_train")
         self.k = int(k)
-        self.backend = backend
         self.epsilon = float(epsilon)
         self.delta = float(delta)
         self.metric = metric
         self.n_train = self.x_train.shape[0]
         self._totals = np.zeros(self.n_train, dtype=np.float64)
         self._n_queries = 0
-        self._index = None
-        self._scale = 1.0
         self._k_star = truncation_rank(self.k, self.epsilon)
-        if backend == "lsh":
-            self._build_index(seed)
-
-    def _build_index(self, seed: SeedLike) -> None:
-        from ..lsh.contrast import estimate_relative_contrast
-        from ..lsh.tables import LSHIndex
-        from ..lsh.tuning import tune_lsh
-
-        k_star = min(self._k_star, max(1, self.n_train - 1))
-        est = estimate_relative_contrast(
-            self.x_train, self.x_train, k=k_star, seed=seed
-        )
-        self._scale = 1.0 / est.d_mean if est.d_mean > 0 else 1.0
-        from ..lsh.contrast import ContrastEstimate
-
-        est_scaled = ContrastEstimate(
-            d_mean=1.0,
-            d_k=est.d_k * self._scale,
-            contrast=est.contrast,
-            k=k_star,
-        )
-        params = tune_lsh(
-            est_scaled,
-            n=self.n_train,
-            k_star=k_star,
-            delta=self.delta,
-            alpha=0.5,
-        )
-        self._index = LSHIndex(
-            n_tables=params.n_tables,
-            n_bits=params.n_bits,
-            width=params.width,
-            seed=seed,
-        ).build(self.x_train * self._scale)
+        if isinstance(backend, NeighborBackend):
+            self._backend = backend
+            self.backend = backend.name
+        elif backend == "exact":
+            # historical alias for exact full-ranking retrieval
+            self._backend = make_backend("brute", metric=metric)
+            self.backend = "exact"
+        elif backend == "lsh":
+            self._backend = LSHNeighborBackend(
+                delta=self.delta,
+                alpha=0.5,
+                tune_with_queries=False,
+                seed=seed,
+            )
+            self.backend = "lsh"
+        elif backend in available_backends():
+            self._backend = make_backend(backend, metric=metric)
+            self.backend = backend
+        else:
+            raise ParameterError(
+                f"backend must be 'exact', a registered backend name "
+                f"{available_backends()}, or a NeighborBackend instance; "
+                f"got {backend!r}"
+            )
+        self._backend.fit(self.x_train)
+        self._exact_updates = self._backend.supports_full_ranking
+        if not self._exact_updates:
+            # build the index up front so the first query is not slow
+            self._backend.prepare(None, min(self._k_star, self.n_train))
 
     # ------------------------------------------------------------------
     @property
@@ -130,20 +132,17 @@ class StreamingKNNShapley:
                 f"{self.x_train.shape[1]}"
             )
         contribution = np.zeros(self.n_train, dtype=np.float64)
-        if self.backend == "exact":
-            order, _ = argsort_by_distance(
-                x_test, self.x_train, metric=self.metric
-            )
+        if self._exact_updates:
+            order = self._backend.rank(x_test)
             vals = knn_shapley_single_test(
                 self.y_train[order[0]], y_test, self.k
             )
             contribution[order[0]] = vals
         else:
-            assert self._index is not None
-            idx, _, _ = self._index.query(
-                x_test * self._scale, min(self._k_star, self.n_train)
+            idx, _ = self._backend.query(
+                x_test, min(self._k_star, self.n_train)
             )
-            neighbors = idx[0]
+            neighbors = np.asarray(idx[0], dtype=np.intp)
             if neighbors.size:
                 vals = truncated_values_from_labels(
                     self.y_train[neighbors],
@@ -178,7 +177,7 @@ class StreamingKNNShapley:
             extra={
                 "k": self.k,
                 "n_queries": self._n_queries,
-                "epsilon": self.epsilon if self.backend == "lsh" else 0.0,
+                "epsilon": 0.0 if self._exact_updates else self.epsilon,
             },
         )
 

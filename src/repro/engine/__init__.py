@@ -1,0 +1,49 @@
+"""Execution layer: batched, cached, parallel valuation serving.
+
+The algorithms in :mod:`repro.core` are single-shot: one call, one
+fresh ranking, one result.  This package is the system around them —
+the part the paper's Section 3.2 serving scenario actually needs:
+
+* :mod:`~repro.engine.backends` — a :class:`NeighborBackend` contract
+  with exact (``brute``), memory-bounded (``blocked``) and sublinear
+  (``lsh``) implementations behind one registry;
+* :mod:`~repro.engine.cache` — dataset fingerprinting and a rank/top-K
+  LRU so repeated valuations of the same (train, test, metric) pair
+  skip the sort entirely;
+* :mod:`~repro.engine.engine` — :class:`ValuationEngine`, chunking test
+  batches, running chunks on a thread pool, and merging Shapley partial
+  sums exactly (additivity, eq 8);
+* :mod:`~repro.engine.service` — :class:`ValuationService`, a queue of
+  :class:`ValuationRequest` jobs with per-job latency stats.
+"""
+
+from .backends import (
+    BlockedExactBackend,
+    BruteForceBackend,
+    LSHNeighborBackend,
+    NeighborBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from .cache import CacheStats, RankCache, array_fingerprint, dataset_fingerprint
+from .engine import ValuationEngine
+from .service import ValuationJob, ValuationRequest, ValuationService
+
+__all__ = [
+    "NeighborBackend",
+    "BruteForceBackend",
+    "BlockedExactBackend",
+    "LSHNeighborBackend",
+    "register_backend",
+    "available_backends",
+    "make_backend",
+    "RankCache",
+    "CacheStats",
+    "array_fingerprint",
+    "dataset_fingerprint",
+    "ValuationEngine",
+    "ValuationService",
+    "ValuationRequest",
+    "ValuationJob",
+]

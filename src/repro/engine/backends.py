@@ -1,0 +1,462 @@
+"""Pluggable neighbor-search backends for the valuation engine.
+
+Every valuation algorithm in the paper reduces to one of two retrieval
+primitives over a *fixed* training set:
+
+* a full ascending distance ranking per test point (Theorem 1 / 6), or
+* the top ``K*`` nearest neighbors per test point (Theorems 2-4).
+
+:class:`NeighborBackend` names exactly that contract, fit-once /
+query-many, so the engine can swap the physical execution plan without
+touching the valuation math:
+
+* ``"brute"`` — :class:`BruteForceBackend`, exact search over the whole
+  matrix at once; the fastest plan when the ``(q, n)`` distance block
+  fits comfortably in memory.
+* ``"blocked"`` — :class:`BlockedExactBackend`, exact search with
+  chunked distance computation: top-``k`` queries stream over training
+  blocks with a running merge, so peak memory is ``O(q_block * (block
+  + k))`` instead of ``O(q * n)`` and a ``q x n`` rank matrix never
+  fully materializes.
+* ``"lsh"`` — :class:`LSHNeighborBackend`, an adapter over
+  :class:`repro.lsh.tables.LSHIndex` with the paper's Section 6.1
+  parameter tuning, giving sublinear approximate top-``K*`` retrieval.
+
+Backends register themselves in a name registry
+(:func:`register_backend` / :func:`make_backend`) so downstream code —
+and tests — can enumerate and construct them uniformly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ParameterError
+from ..knn.distance import get_metric
+from ..knn.search import stable_argsort_rows, top_k
+from ..rng import SeedLike
+
+__all__ = [
+    "NeighborBackend",
+    "BruteForceBackend",
+    "BlockedExactBackend",
+    "LSHNeighborBackend",
+    "register_backend",
+    "available_backends",
+    "make_backend",
+]
+
+class NeighborBackend(ABC):
+    """Fit-once / query-many neighbor retrieval behind the engine.
+
+    Subclasses implement :meth:`query` (top-``k``) and, when they can,
+    :meth:`rank` (full ascending ranking) and set
+    :attr:`supports_full_ranking`.
+    """
+
+    #: registry name; overridden by subclasses
+    name: str = "abstract"
+    #: whether :meth:`rank` is implemented (exact backends only)
+    supports_full_ranking: bool = False
+
+    def __init__(self) -> None:
+        self._data: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> "NeighborBackend":
+        """Index ``data``; returns ``self`` for chaining."""
+        data = np.ascontiguousarray(np.atleast_2d(data), dtype=np.float64)
+        if data.shape[0] == 0:
+            raise ParameterError("cannot fit a backend on zero points")
+        self._data = data
+        self._fit(data)
+        return self
+
+    def _fit(self, data: np.ndarray) -> None:
+        """Subclass hook run after :meth:`fit` stores the data."""
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._data is None:
+            raise NotFittedError(f"{type(self).__name__}.fit must be called first")
+        return self._data
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points."""
+        return int(self._require_fitted().shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality of the indexed points."""
+        return int(self._require_fitted().shape[1])
+
+    # ------------------------------------------------------------------
+    def prepare(self, queries: np.ndarray, k: int) -> None:
+        """Optional hook called once per query batch before chunking.
+
+        The engine splits query sets into chunks; backends whose setup
+        depends on the *whole* batch (LSH parameter tuning) do it here
+        so every chunk then hits the same index.
+        """
+
+    @abstractmethod
+    def query(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[Sequence[np.ndarray], Sequence[np.ndarray]]:
+        """Top-``k`` neighbors per query, nearest first.
+
+        Returns ``(indices, distances)``, each indexable row-wise.
+        Exact backends return rectangular ``(q, min(k, n))`` arrays;
+        approximate backends may return ragged lists whose rows fall
+        short of ``k``.
+        """
+
+    def rank(self, queries: np.ndarray) -> np.ndarray:
+        """Full ascending distance ranking, shape ``(q, n)``.
+
+        Ties are broken by index.  Only exact backends implement this;
+        the default raises so callers can route approximate backends to
+        the truncated algorithms instead.
+        """
+        raise ParameterError(
+            f"backend {self.name!r} cannot produce full rankings; "
+            "use the truncated / LSH valuation path"
+        )
+
+    def cache_token(self) -> str:
+        """A string identifying this backend's *result semantics*.
+
+        Two backends with the same token return the same neighbors for
+        the same data, so cached rankings are interchangeable between
+        them.  All exact backends share a token per metric; stochastic
+        backends must include their randomness.
+        """
+        return f"exact:{getattr(self, 'metric', 'euclidean')}"
+
+
+# ----------------------------------------------------------------------
+class BruteForceBackend(NeighborBackend):
+    """Exact search computing the whole distance block at once.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric name from :mod:`repro.knn.distance`.
+    """
+
+    name = "brute"
+    supports_full_ranking = True
+
+    def __init__(self, metric: str = "euclidean") -> None:
+        super().__init__()
+        get_metric(metric)  # validate eagerly
+        self.metric = metric
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        data = self._require_fitted()
+        return top_k(queries, data, k, metric=self.metric)
+
+    def rank(self, queries: np.ndarray) -> np.ndarray:
+        # same metric as query() — not a rank-equivalent shortcut — so
+        # tie-breaks agree bit-for-bit with top_k and a cached full
+        # ranking can serve top-k requests interchangeably
+        data = self._require_fitted()
+        dist = get_metric(self.metric)(queries, data)
+        return stable_argsort_rows(dist)
+
+
+# ----------------------------------------------------------------------
+class BlockedExactBackend(NeighborBackend):
+    """Exact search over training blocks with bounded memory.
+
+    Distances are computed ``block_size`` training points at a time; a
+    top-``k`` query keeps a running merge of the best candidates, so a
+    query batch of ``q`` points costs ``O(q * (block_size + k))`` peak
+    memory however large the training set is.  Full rankings are
+    produced one ``query_block`` of test points at a time.  Results are
+    identical (including index tie-breaks) to the brute backend.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric name.
+    block_size:
+        Training points per distance block.
+    query_block:
+        Test points ranked per slab in :meth:`rank`.
+    """
+
+    name = "blocked"
+    supports_full_ranking = True
+
+    def __init__(
+        self,
+        metric: str = "euclidean",
+        block_size: int = 4096,
+        query_block: int = 64,
+    ) -> None:
+        super().__init__()
+        if block_size <= 0:
+            raise ParameterError(f"block_size must be positive, got {block_size}")
+        if query_block <= 0:
+            raise ParameterError(f"query_block must be positive, got {query_block}")
+        get_metric(metric)
+        self.metric = metric
+        self.block_size = int(block_size)
+        self.query_block = int(query_block)
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        data = self._require_fitted()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = data.shape[0]
+        k_eff = min(k, n)
+        kernel = get_metric(self.metric)
+        out_idx = np.empty((queries.shape[0], k_eff), dtype=np.intp)
+        out_dist = np.empty((queries.shape[0], k_eff), dtype=np.float64)
+        for qs in range(0, queries.shape[0], self.query_block):
+            qe = min(queries.shape[0], qs + self.query_block)
+            q = queries[qs:qe]
+            best_dist = np.empty((qe - qs, 0), dtype=np.float64)
+            best_idx = np.empty((qe - qs, 0), dtype=np.intp)
+            for ts in range(0, n, self.block_size):
+                te = min(n, ts + self.block_size)
+                block_dist = kernel(q, data[ts:te])
+                block_idx = np.broadcast_to(
+                    np.arange(ts, te, dtype=np.intp), block_dist.shape
+                )
+                cand_dist = np.concatenate((best_dist, block_dist), axis=1)
+                cand_idx = np.concatenate((best_idx, block_idx), axis=1)
+                # primary key distance, secondary key training index —
+                # the same tie-break contract as knn.search.top_k
+                order = np.lexsort((cand_idx, cand_dist), axis=-1)[:, :k_eff]
+                best_dist = np.take_along_axis(cand_dist, order, axis=1)
+                best_idx = np.take_along_axis(cand_idx, order, axis=1)
+            out_idx[qs:qe] = best_idx
+            out_dist[qs:qe] = best_dist
+        return out_idx, out_dist
+
+    def rank(self, queries: np.ndarray) -> np.ndarray:
+        data = self._require_fitted()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = data.shape[0]
+        kernel = get_metric(self.metric)
+        order = np.empty((queries.shape[0], n), dtype=np.intp)
+        dist = np.empty((self.query_block, n), dtype=np.float64)
+        for qs in range(0, queries.shape[0], self.query_block):
+            qe = min(queries.shape[0], qs + self.query_block)
+            buf = dist[: qe - qs]
+            for ts in range(0, n, self.block_size):
+                te = min(n, ts + self.block_size)
+                buf[:, ts:te] = kernel(queries[qs:qe], data[ts:te])
+            order[qs:qe] = stable_argsort_rows(buf)
+        return order
+
+
+# ----------------------------------------------------------------------
+class LSHNeighborBackend(NeighborBackend):
+    """Adapter exposing :class:`repro.lsh.tables.LSHIndex` to the engine.
+
+    Retrieval is approximate: a query may return fewer than ``k``
+    neighbors, which is exactly what the truncated recursion of
+    Theorem 2 tolerates.  Distances are Euclidean (the 2-stable family
+    hashes l2 space).
+
+    Tuning follows the paper's Section 6.1 recipe and happens lazily,
+    because the table count depends on how many neighbors (``K*``) the
+    valuation will request.  Two modes:
+
+    * with ``tune_with_queries`` (default), :meth:`prepare` normalizes
+      the data so the mean *query*-to-training distance is 1 and
+      estimates the relative contrast from the query batch — the
+      procedure of :func:`repro.lsh.valuation.lsh_knn_shapley`;
+    * otherwise the contrast is estimated from the training set against
+      itself, the only option in streaming settings where queries
+      arrive after the index must exist.
+
+    Parameters
+    ----------
+    delta:
+        Allowed per-batch retrieval failure probability (Theorem 3).
+    params:
+        Pre-tuned :class:`repro.lsh.tuning.LSHParameters`; skips all
+        estimation when given.
+    alpha:
+        Code-length multiplier forwarded to the tuner.
+    tune_with_queries:
+        See above.
+    seed:
+        Seed for contrast subsampling and hash projections.
+    """
+
+    name = "lsh"
+    supports_full_ranking = False
+
+    def __init__(
+        self,
+        delta: float = 0.1,
+        params=None,
+        alpha: float = 0.5,
+        tune_with_queries: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if not 0 < delta < 1:
+            raise ParameterError(f"delta must lie in (0, 1), got {delta}")
+        self.delta = float(delta)
+        self.alpha = float(alpha)
+        self.tune_with_queries = bool(tune_with_queries)
+        self.metric = "euclidean"
+        self._seed = seed
+        self._fixed_params = params
+        self.params = params
+        self._index = None
+        self._scale = 1.0
+        self._built_k = 0
+        self.build_seconds = 0.0
+        self.last_stats = None
+        # guards rebuilds: ValuationService workers share one backend,
+        # and a rebuild swaps _index/_scale/params as a unit
+        self._build_lock = threading.Lock()
+
+    def _fit(self, data: np.ndarray) -> None:
+        # tuning is deferred to the first prepare/query, when k is known
+        self._index = None
+        self._built_k = 0
+
+    def _build(self, queries: Optional[np.ndarray], k: int) -> None:
+        from ..lsh.contrast import (
+            ContrastEstimate,
+            estimate_relative_contrast,
+            normalize_to_unit_dmean,
+        )
+        from ..lsh.tables import LSHIndex
+        from ..lsh.tuning import tune_lsh
+
+        data = self._require_fitted()
+        n = data.shape[0]
+        start = time.perf_counter()
+        if self._fixed_params is not None:
+            params = self._fixed_params
+            contrast = params.contrast
+            self._scale = 1.0 / contrast.d_mean if contrast.d_mean > 0 else 1.0
+        elif self.tune_with_queries and queries is not None:
+            _, _, contrast = normalize_to_unit_dmean(
+                data, queries, k=min(k, n), seed=self._seed
+            )
+            params = tune_lsh(
+                contrast, n=n, k_star=min(k, n), delta=self.delta, alpha=self.alpha
+            )
+            self._scale = 1.0 / contrast.d_mean if contrast.d_mean > 0 else 1.0
+        else:
+            k_c = min(k, max(1, n - 1))
+            est = estimate_relative_contrast(data, data, k=k_c, seed=self._seed)
+            self._scale = 1.0 / est.d_mean if est.d_mean > 0 else 1.0
+            contrast = ContrastEstimate(
+                d_mean=1.0,
+                d_k=est.d_k * self._scale,
+                contrast=est.contrast,
+                k=k_c,
+            )
+            params = tune_lsh(
+                contrast, n=n, k_star=k_c, delta=self.delta, alpha=self.alpha
+            )
+        self.params = params
+        self._index = LSHIndex(
+            n_tables=params.n_tables,
+            n_bits=params.n_bits,
+            width=params.width,
+            seed=self._seed,
+        ).build(data * self._scale)
+        self._built_k = k
+        self.build_seconds = time.perf_counter() - start
+
+    def prepare(self, queries: Optional[np.ndarray], k: int) -> None:
+        """Tune and build the index for batches requesting ``k``.
+
+        ``queries`` may be ``None`` (streaming: build before any query
+        exists), which forces the self-contrast tuning mode.
+        """
+        if queries is not None:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        self._ensure_built(queries, k)
+
+    def _ensure_built(
+        self, queries: Optional[np.ndarray], k: int
+    ) -> tuple["object", float]:
+        """Build if needed; return a consistent ``(index, scale)`` pair."""
+        with self._build_lock:
+            if self._index is None or k > self._built_k:
+                self._build(queries, k)
+            return self._index, self._scale
+
+    def query(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        index, scale = self._ensure_built(queries, k)
+        idx, dist, stats = index.query(queries * scale, min(k, self.n))
+        self.last_stats = stats
+        # the index works in normalized space; report true distances
+        inv = 1.0 / scale if scale != 0 else 1.0
+        return idx, [d * inv for d in dist]
+
+    def cache_token(self) -> str:
+        p = self.params
+        tuned = (
+            f"w={p.width},m={p.n_bits},l={p.n_tables}" if p is not None else "untuned"
+        )
+        return f"lsh:{tuned}:scale={self._scale!r}:seed={self._seed!r}"
+
+
+# ----------------------------------------------------------------------
+_BACKEND_REGISTRY: Dict[str, Callable[..., NeighborBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., NeighborBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites quietly)."""
+    if not name:
+        raise ParameterError("backend name must be non-empty")
+    _BACKEND_REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKEND_REGISTRY)
+
+
+def make_backend(
+    spec: Union[str, NeighborBackend], **options
+) -> NeighborBackend:
+    """Construct (or pass through) a backend.
+
+    ``spec`` may be a registered name — constructed with ``options`` —
+    or an already-built :class:`NeighborBackend` instance, in which
+    case ``options`` must be empty.
+    """
+    if isinstance(spec, NeighborBackend):
+        if options:
+            raise ParameterError(
+                "options cannot be applied to an already-constructed backend"
+            )
+        return spec
+    try:
+        factory = _BACKEND_REGISTRY[spec]
+    except KeyError:
+        raise ParameterError(
+            f"unknown backend {spec!r}; available: {available_backends()}"
+        ) from None
+    return factory(**options)
+
+
+register_backend("brute", BruteForceBackend)
+register_backend("blocked", BlockedExactBackend)
+register_backend("lsh", LSHNeighborBackend)

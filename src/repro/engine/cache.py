@@ -1,0 +1,200 @@
+"""Dataset fingerprinting and rank/top-K memoization.
+
+The expensive step of every exact valuation is the distance ranking —
+O(N d + N log N) per test point — yet serving workloads (Section 3.2 of
+the paper) repeatedly revalue the *same* training set against the same
+or overlapping query batches: after a data-market settlement, after a
+label fix, under different ``K`` or ``epsilon``.  The ranking depends
+only on ``(x_train, x_test, metric)``, not on labels or ``K``, so one
+cached permutation serves every such call.
+
+:func:`array_fingerprint` gives arrays stable content hashes;
+:class:`RankCache` is a small thread-safe LRU keyed by those
+fingerprints, holding full rankings and top-``k`` index prefixes.  A
+cached full ranking answers any top-``k`` request, and a cached
+top-``k'`` answers any ``k <= k'`` — both without re-sorting anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "array_fingerprint",
+    "dataset_fingerprint",
+    "CacheStats",
+    "RankCache",
+]
+
+
+def array_fingerprint(arr: np.ndarray) -> str:
+    """Content hash of an array: dtype, shape, and raw bytes.
+
+    Equal fingerprints mean equal arrays (up to SHA-1 collision);
+    reordering rows, changing dtype, or editing a single element all
+    change the fingerprint.
+    """
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha1()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def dataset_fingerprint(*arrays: np.ndarray, extra: tuple = ()) -> str:
+    """Combined fingerprint of several arrays plus hashable extras.
+
+    Used to key an entire ``(x_train, x_test, metric)`` configuration
+    with one string.
+    """
+    h = hashlib.sha1()
+    for arr in arrays:
+        h.update(array_fingerprint(arr).encode())
+    for item in extra:
+        h.update(repr(item).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`RankCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """Snapshot as a plain dict (for ``ValuationResult.extra``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class _Entry:
+    """Cached retrieval results for one (train, test, metric) key."""
+
+    __slots__ = ("order", "topk_k", "topk_idx")
+
+    def __init__(self) -> None:
+        self.order: np.ndarray | None = None
+        self.topk_k: int = 0
+        self.topk_idx: np.ndarray | None = None
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    out = np.ascontiguousarray(arr)
+    if out is arr:
+        out = arr.view()
+    out.flags.writeable = False
+    return out
+
+
+class RankCache:
+    """Thread-safe LRU memo for rankings and top-``k`` neighbor sets.
+
+    Parameters
+    ----------
+    max_entries:
+        Number of distinct keys retained; least recently used keys are
+        evicted first.
+    max_entry_elements:
+        Full rankings larger than this many elements are not stored
+        (they would defeat the engine's bounded-memory chunking);
+        top-``k`` prefixes, being small, are always stored.  The
+        default (2^23 ~ 64 MB of indices) accommodates a 256-query
+        batch against ~30k training points.
+    """
+
+    def __init__(
+        self, max_entries: int = 8, max_entry_elements: int = 2**23
+    ) -> None:
+        if max_entries <= 0:
+            raise ParameterError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.max_entry_elements = int(max_entry_elements)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _touch(self, key: Hashable, create: bool = False) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            if not create:
+                return None
+            entry = _Entry()
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    def get_ranking(self, key: Hashable) -> Optional[np.ndarray]:
+        """Cached full ranking for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._touch(key)
+            if entry is not None and entry.order is not None:
+                self.stats.hits += 1
+                return entry.order
+            self.stats.misses += 1
+            return None
+
+    def put_ranking(self, key: Hashable, order: np.ndarray) -> bool:
+        """Store a full ranking; returns whether it was retained."""
+        if order.size > self.max_entry_elements:
+            return False
+        with self._lock:
+            entry = self._touch(key, create=True)
+            entry.order = _freeze(order)
+            return True
+
+    # ------------------------------------------------------------------
+    def get_topk(self, key: Hashable, k: int) -> Optional[np.ndarray]:
+        """Cached ``(q, k)`` neighbor indices, or ``None``.
+
+        Served from a stored top-``k'`` with ``k' >= k`` or from a
+        stored full ranking, whichever is available.
+        """
+        with self._lock:
+            entry = self._touch(key)
+            if entry is not None:
+                if entry.topk_idx is not None and entry.topk_k >= k:
+                    self.stats.hits += 1
+                    return entry.topk_idx[:, :k]
+                if entry.order is not None:
+                    self.stats.hits += 1
+                    return entry.order[:, :k]
+            self.stats.misses += 1
+            return None
+
+    def put_topk(self, key: Hashable, k: int, idx: np.ndarray) -> bool:
+        """Store top-``k`` indices; keeps the widest prefix seen."""
+        with self._lock:
+            entry = self._touch(key, create=True)
+            if entry.topk_idx is None or k > entry.topk_k:
+                entry.topk_idx = _freeze(idx)
+                entry.topk_k = int(k)
+            return True
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

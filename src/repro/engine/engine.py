@@ -1,0 +1,389 @@
+"""Batched, cached, parallel execution of the KNN Shapley algorithms.
+
+:class:`ValuationEngine` is the execution layer between the valuation
+math in :mod:`repro.core` and a retrieval-scale workload.  It owns a
+fitted :class:`~repro.engine.backends.NeighborBackend` and a
+:class:`~repro.engine.cache.RankCache`, and evaluates each request by
+
+1. splitting the test queries into chunks,
+2. running chunks concurrently (``concurrent.futures`` threads — the
+   heavy numpy kernels release the GIL),
+3. merging the per-chunk Shapley *partial sums*.
+
+Step 3 is lossless: by the additivity property (eq 8 of the paper) the
+multi-test Shapley value is the mean of single-test values, so partial
+sums over any partition of the test set merge exactly.  Chunking also
+bounds memory — the ``(n_test, n_train)`` rank and per-test value
+matrices of the single-shot path never fully materialize — and is what
+the cache and the parallelism hang off.
+
+The engine serves every fast path of the paper:
+
+* ``method="exact"`` — Theorem 1 (classification) / Theorem 6
+  (regression) over a full ranking; exact-search backends only.
+* ``method="truncated"`` — Theorem 2 over top-``K*`` neighbors, any
+  backend.
+* ``method="lsh"`` — Theorem 4: the truncated recursion over an LSH
+  backend's approximate neighbors.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.exact import exact_knn_shapley_from_order
+from ..core.regression import regression_shapley_from_order
+from ..core.truncated import truncated_values_from_labels, truncation_rank
+from ..exceptions import ParameterError
+from ..types import Dataset, ValuationResult, as_float_matrix, as_label_vector
+from .backends import LSHNeighborBackend, NeighborBackend, make_backend
+from .cache import RankCache, array_fingerprint
+
+__all__ = ["ValuationEngine"]
+
+_EXACT_METHODS = ("exact",)
+_TOPK_METHODS = ("truncated", "lsh")
+
+
+def _default_workers() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class ValuationEngine:
+    """Fit-once valuation executor over a pluggable neighbor backend.
+
+    Parameters
+    ----------
+    x_train, y_train:
+        The training set being valued.
+    k:
+        The K of KNN.
+    task:
+        ``"classification"`` or ``"regression"`` (the truncated and LSH
+        paths are classification-only, as in the paper).
+    metric:
+        Distance metric for exact backends (LSH is l2).
+    backend:
+        Registered backend name (``"brute"``, ``"blocked"``, ``"lsh"``)
+        or a pre-built :class:`NeighborBackend`.
+    backend_options:
+        Keyword arguments for the backend factory (ignored when
+        ``backend`` is an instance).
+    cache:
+        ``True`` (default) for a private :class:`RankCache`, ``False``
+        to disable memoization, or a shared :class:`RankCache`.
+    n_workers:
+        Thread count for chunk execution; defaults to
+        ``min(4, cpu_count)``.
+    chunk_size:
+        Test points per chunk; defaults to a size keeping each chunk's
+        working set a few million elements.
+    """
+
+    def __init__(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        k: int,
+        task: str = "classification",
+        metric: str = "euclidean",
+        backend="brute",
+        backend_options: Optional[dict] = None,
+        cache=True,
+        n_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if task not in ("classification", "regression"):
+            raise ParameterError(
+                f"task must be 'classification' or 'regression', got {task!r}"
+            )
+        self.x_train = as_float_matrix(x_train, "x_train")
+        self.y_train = as_label_vector(y_train, self.x_train.shape[0], "y_train")
+        self.k = int(k)
+        self.task = task
+        self.metric = metric
+        options = dict(backend_options or {})
+        if isinstance(backend, str) and backend in ("brute", "blocked"):
+            options.setdefault("metric", metric)
+        self.backend: NeighborBackend = make_backend(backend, **options)
+        if (
+            isinstance(self.backend, LSHNeighborBackend)
+            and metric != "euclidean"
+        ):
+            raise ParameterError("the LSH backend supports only the l2 metric")
+        self.backend.fit(self.x_train)
+        if cache is True:
+            self.cache: Optional[RankCache] = RankCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        if n_workers is not None and n_workers <= 0:
+            raise ParameterError(f"n_workers must be positive, got {n_workers}")
+        self.n_workers = int(n_workers) if n_workers else _default_workers()
+        if chunk_size is not None and chunk_size <= 0:
+            raise ParameterError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._train_fp = array_fingerprint(self.x_train)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, k: int, **kwargs) -> "ValuationEngine":
+        """Build an engine over a :class:`~repro.types.Dataset`'s training split."""
+        return cls(dataset.x_train, dataset.y_train, k, **kwargs)
+
+    @property
+    def n_train(self) -> int:
+        """Number of training points being valued."""
+        return int(self.x_train.shape[0])
+
+    # ------------------------------------------------------------------
+    def _chunk_spans(self, n_test: int) -> list[tuple[int, int]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            # keep each chunk's (q, n) working set around 2^21 elements
+            size = int(max(1, min(256, 2**21 // max(1, self.n_train))))
+        return [(s, min(n_test, s + size)) for s in range(0, n_test, size)]
+
+    def _run_chunks(self, worker, spans: Sequence[tuple[int, int]]) -> list:
+        """Run ``worker(start, stop)`` over spans, possibly in threads.
+
+        Results come back ordered by span so the merge — and therefore
+        the floating-point summation order — is deterministic.
+        """
+        if self.n_workers <= 1 or len(spans) <= 1:
+            return [worker(s, e) for s, e in spans]
+        with ThreadPoolExecutor(
+            max_workers=min(self.n_workers, len(spans))
+        ) as pool:
+            futures = [pool.submit(worker, s, e) for s, e in spans]
+            return [f.result() for f in futures]
+
+    def _cache_key(self, test_fp: str) -> tuple:
+        return (self._train_fp, test_fp, self.backend.cache_token())
+
+    # ------------------------------------------------------------------
+    def value(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        method: str = "exact",
+        epsilon: float = 0.1,
+        store_per_test: bool = False,
+    ) -> ValuationResult:
+        """Shapley values of the training set for one test batch.
+
+        Parameters
+        ----------
+        x_test, y_test:
+            The query batch (labels of the training task's type).
+        method:
+            ``"exact"``, ``"truncated"``, or ``"lsh"``.
+        epsilon:
+            Truncation target for the approximate methods.
+        store_per_test:
+            Keep the full ``(n_test, n_train)`` per-test value matrix
+            in ``extra["per_test"]``.  Off by default: it is the one
+            thing that cannot be memory-bounded.
+        """
+        x_test = as_float_matrix(x_test, "x_test")
+        y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
+        if x_test.shape[1] != self.x_train.shape[1]:
+            raise ParameterError(
+                f"x_test has {x_test.shape[1]} features, expected "
+                f"{self.x_train.shape[1]}"
+            )
+        if method in _EXACT_METHODS:
+            return self._value_exact(x_test, y_test, store_per_test)
+        if method in _TOPK_METHODS:
+            if method == "lsh" and not isinstance(self.backend, LSHNeighborBackend):
+                raise ParameterError(
+                    "method='lsh' requires the 'lsh' backend; this engine "
+                    f"runs {self.backend.name!r}"
+                )
+            if self.task != "classification":
+                raise ParameterError(
+                    "the truncated/LSH approximations are defined for "
+                    "classification"
+                )
+            return self._value_truncated(
+                x_test, y_test, epsilon, method, store_per_test
+            )
+        raise ParameterError(
+            f"unknown method {method!r}; expected one of "
+            f"{_EXACT_METHODS + _TOPK_METHODS}"
+        )
+
+    # convenience wrappers -------------------------------------------------
+    def exact(self, x_test, y_test, **kwargs) -> ValuationResult:
+        """Exact values (Theorem 1 / 6); see :meth:`value`."""
+        return self.value(x_test, y_test, method="exact", **kwargs)
+
+    def truncated(self, x_test, y_test, epsilon: float = 0.1, **kwargs):
+        """(epsilon, 0)-approximate values (Theorem 2); see :meth:`value`."""
+        return self.value(
+            x_test, y_test, method="truncated", epsilon=epsilon, **kwargs
+        )
+
+    def lsh(self, x_test, y_test, epsilon: float = 0.1, **kwargs):
+        """(epsilon, delta)-approximate values (Theorem 4); see :meth:`value`."""
+        return self.value(x_test, y_test, method="lsh", epsilon=epsilon, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _value_exact(
+        self, x_test: np.ndarray, y_test: np.ndarray, store_per_test: bool
+    ) -> ValuationResult:
+        if not self.backend.supports_full_ranking:
+            raise ParameterError(
+                f"backend {self.backend.name!r} cannot produce the full "
+                "rankings the exact method needs; use method='truncated' "
+                "or 'lsh'"
+            )
+        start = time.perf_counter()
+        n, n_test = self.n_train, x_test.shape[0]
+        key = None
+        cached_order = None
+        if self.cache is not None:
+            key = self._cache_key(array_fingerprint(x_test))
+            cached_order = self.cache.get_ranking(key)
+        spans = self._chunk_spans(n_test)
+        from_order = (
+            exact_knn_shapley_from_order
+            if self.task == "classification"
+            else regression_shapley_from_order
+        )
+        collect_order = (
+            self.cache is not None
+            and cached_order is None
+            and n_test * n <= self.cache.max_entry_elements
+        )
+
+        def worker(s: int, e: int):
+            if cached_order is not None:
+                order = cached_order[s:e]
+            else:
+                order = self.backend.rank(x_test[s:e])
+            _, per_test = from_order(order, self.y_train, y_test[s:e], self.k)
+            partial = per_test.sum(axis=0)
+            return (
+                partial,
+                order if collect_order else None,
+                per_test if store_per_test else None,
+            )
+
+        results = self._run_chunks(worker, spans)
+        total = np.zeros(n, dtype=np.float64)
+        for partial, _, _ in results:
+            total += partial
+        values = total / n_test
+        if collect_order and key is not None:
+            self.cache.put_ranking(
+                key, np.concatenate([r[1] for r in results], axis=0)
+            )
+        extra = {
+            "k": self.k,
+            "metric": self.metric,
+            "backend": self.backend.name,
+            "n_chunks": len(spans),
+            "n_workers": self.n_workers,
+            "cache": (
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
+            "elapsed_seconds": time.perf_counter() - start,
+        }
+        if store_per_test:
+            extra["per_test"] = np.concatenate([r[2] for r in results], axis=0)
+        method = "exact" if self.task == "classification" else "exact-regression"
+        return ValuationResult(values=values, method=method, extra=extra)
+
+    # ------------------------------------------------------------------
+    def _value_truncated(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epsilon: float,
+        method: str,
+        store_per_test: bool,
+    ) -> ValuationResult:
+        start = time.perf_counter()
+        n, n_test = self.n_train, x_test.shape[0]
+        k_star = truncation_rank(self.k, epsilon)
+        k_eff = min(k_star, n)
+        self.backend.prepare(x_test, k_eff)
+        key = None
+        cached_idx = None
+        if self.cache is not None:
+            key = self._cache_key(array_fingerprint(x_test))
+            cached_idx = self.cache.get_topk(key, k_eff)
+        spans = self._chunk_spans(n_test)
+        exactly_k = True  # rectangular results can be cached
+
+        def worker(s: int, e: int):
+            if cached_idx is not None:
+                idx_rows = cached_idx[s:e]
+            else:
+                idx_rows, _ = self.backend.query(x_test[s:e], k_eff)
+            dense = np.zeros((e - s, n), dtype=np.float64)
+            rectangular = True
+            for j in range(e - s):
+                row = np.asarray(idx_rows[j], dtype=np.intp)
+                rectangular = rectangular and row.size == k_eff
+                if row.size == 0:
+                    continue
+                vals = truncated_values_from_labels(
+                    self.y_train[row], y_test[s + j], self.k, k_star, n_train=n
+                )
+                dense[j, row] = vals
+            partial = dense.sum(axis=0)
+            return (
+                partial,
+                idx_rows if cached_idx is None else None,
+                rectangular,
+                dense if store_per_test else None,
+            )
+
+        results = self._run_chunks(worker, spans)
+        total = np.zeros(n, dtype=np.float64)
+        for partial, _, rect, _ in results:
+            total += partial
+            exactly_k = exactly_k and rect
+        values = total / n_test
+        if (
+            key is not None
+            and cached_idx is None
+            and exactly_k
+            and not isinstance(self.backend, LSHNeighborBackend)
+        ):
+            idx = np.vstack(
+                [np.asarray(r[1], dtype=np.intp).reshape(-1, k_eff) for r in results]
+            )
+            self.cache.put_topk(key, k_eff, idx)
+        extra = {
+            "k": self.k,
+            "metric": self.metric,
+            "backend": self.backend.name,
+            "epsilon": epsilon,
+            "k_star": k_star,
+            "n_chunks": len(spans),
+            "n_workers": self.n_workers,
+            "cache": (
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
+            "elapsed_seconds": time.perf_counter() - start,
+        }
+        if isinstance(self.backend, LSHNeighborBackend):
+            extra["delta"] = self.backend.delta
+            extra["params"] = self.backend.params
+            if self.backend.last_stats is not None:
+                extra["mean_candidates"] = self.backend.last_stats.mean_candidates
+        if store_per_test:
+            extra["per_test"] = np.concatenate([r[3] for r in results], axis=0)
+        return ValuationResult(values=values, method=method, extra=extra)

@@ -1,0 +1,301 @@
+"""Queue-based serving of concurrent valuation requests.
+
+The serving story of Section 3.2: a deployed system receives valuation
+requests — batches of test queries against a fixed training set — from
+many clients at once.  :class:`ValuationService` puts a thread pool in
+front of a :class:`~repro.engine.engine.ValuationEngine`: requests
+enter a bounded queue as :class:`ValuationJob` handles, workers drain
+the queue, and every job records its own latency split (queue wait vs
+compute) so an operator can see where time goes under load.
+
+Because the engine is fit-once and its backends and cache are
+thread-safe for reads, all workers share one engine: the index is
+built once, and a ranking cached by one job is a hit for every
+subsequent job over the same queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import ValuationResult
+from .engine import ValuationEngine
+
+__all__ = ["ValuationRequest", "ValuationJob", "ValuationService"]
+
+
+@dataclass(frozen=True)
+class ValuationRequest:
+    """One unit of serving work: value the training set for a test batch.
+
+    Attributes
+    ----------
+    x_test, y_test:
+        The query batch.
+    method:
+        ``"exact"``, ``"truncated"``, or ``"lsh"``.
+    epsilon:
+        Truncation target for the approximate methods.
+    store_per_test:
+        Forwarded to :meth:`ValuationEngine.value`.
+    tag:
+        Free-form client identifier echoed in job stats.
+    """
+
+    x_test: np.ndarray
+    y_test: np.ndarray
+    method: str = "exact"
+    epsilon: float = 0.1
+    store_per_test: bool = False
+    tag: str = ""
+
+
+class ValuationJob:
+    """Handle for a submitted request; thread-safe future-like object.
+
+    A job moves ``queued -> running -> done | failed`` (or ``queued ->
+    cancelled``).  :meth:`result` blocks until settled.
+    """
+
+    def __init__(self, job_id: int, request: ValuationRequest) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.status = "queued"
+        self.error: BaseException | None = None
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._result: ValuationResult | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the job has settled (done, failed, or cancelled)."""
+        return self._done.is_set()
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Time spent waiting in the queue, once running."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def compute_seconds(self) -> Optional[float]:
+        """Time spent inside the engine, once settled."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def result(self, timeout: Optional[float] = None) -> ValuationResult:
+        """Block until the job settles and return its result.
+
+        Raises
+        ------
+        TimeoutError
+            If the job does not settle within ``timeout`` seconds.
+        Exception
+            Re-raises whatever the engine raised when the job failed.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout}s"
+            )
+        if self.status == "failed":
+            assert self.error is not None
+            raise self.error
+        if self.status == "cancelled":
+            raise ParameterError(f"job {self.job_id} was cancelled")
+        assert self._result is not None
+        return self._result
+
+    def stats(self) -> dict:
+        """Per-job bookkeeping snapshot."""
+        return {
+            "job_id": self.job_id,
+            "tag": self.request.tag,
+            "method": self.request.method,
+            "n_test": int(np.atleast_2d(self.request.x_test).shape[0]),
+            "status": self.status,
+            "queue_seconds": self.queue_seconds,
+            "compute_seconds": self.compute_seconds,
+        }
+
+
+_SENTINEL = object()
+
+
+class ValuationService:
+    """Thread-pool runner multiplexing requests over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`ValuationEngine`.
+    n_workers:
+        Worker threads draining the queue.
+    max_queue:
+        Bound on queued jobs; ``submit`` blocks when full (0 means
+        unbounded).
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(
+        self, engine: ValuationEngine, n_workers: int = 2, max_queue: int = 0
+    ) -> None:
+        if n_workers <= 0:
+            raise ParameterError(f"n_workers must be positive, got {n_workers}")
+        self.engine = engine
+        self.n_workers = int(n_workers)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._jobs: dict[int, ValuationJob] = {}
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(target=self._worker, daemon=True, name=f"valuation-{i}")
+            for i in range(self.n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                job: ValuationJob = item
+                job.started_at = time.perf_counter()
+                job.status = "running"
+                try:
+                    req = job.request
+                    job._result = self.engine.value(
+                        req.x_test,
+                        req.y_test,
+                        method=req.method,
+                        epsilon=req.epsilon,
+                        store_per_test=req.store_per_test,
+                    )
+                    job.status = "done"
+                except BaseException as exc:  # surfaced via job.result()
+                    job.error = exc
+                    job.status = "failed"
+                finally:
+                    job.finished_at = time.perf_counter()
+                    job._done.set()
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ValuationRequest) -> ValuationJob:
+        """Enqueue a request; returns its :class:`ValuationJob` handle.
+
+        Blocks while the queue is at ``max_queue``.  The enqueue happens
+        under the shutdown lock so a concurrent :meth:`shutdown` cannot
+        retire the workers between the accept check and the put (which
+        would strand the job unserved); workers keep draining, so a
+        blocked put always completes.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ParameterError("service is shut down")
+            job = ValuationJob(next(self._ids), request)
+            self._jobs[job.job_id] = job
+            self._queue.put(job)
+        return job
+
+    def submit_batch(
+        self, x_test: np.ndarray, y_test: np.ndarray, **kwargs
+    ) -> ValuationJob:
+        """Convenience wrapper building the :class:`ValuationRequest`."""
+        return self.submit(ValuationRequest(x_test, y_test, **kwargs))
+
+    def job(self, job_id: int) -> ValuationJob:
+        """Look up a job handle by id."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ParameterError(f"unknown job id {job_id}") from None
+
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted job has settled."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for j in jobs:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            if not j._done.wait(remaining):
+                raise TimeoutError("jobs still pending at timeout")
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        by_status: dict[str, int] = {}
+        for j in jobs:
+            by_status[j.status] = by_status.get(j.status, 0) + 1
+        settled = [j for j in jobs if j.compute_seconds is not None]
+        return {
+            "n_jobs": len(jobs),
+            "by_status": by_status,
+            "queue_depth": self._queue.qsize(),
+            "n_workers": self.n_workers,
+            "total_compute_seconds": sum(j.compute_seconds for j in settled),
+            "mean_queue_seconds": (
+                sum(j.queue_seconds for j in settled) / len(settled)
+                if settled
+                else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, then drain or cancel the queue.
+
+        With ``wait`` (default) every already-submitted job is served
+        before the workers retire.  Without it, jobs still sitting in
+        the queue are marked ``cancelled`` and their waiters released;
+        jobs already running finish either way.
+        """
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        if wait:
+            self._queue.join()
+        else:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL:
+                    item.status = "cancelled"
+                    item.finished_at = time.perf_counter()
+                    item._done.set()
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for w in self._workers:
+            w.join()
+
+    def __enter__(self) -> "ValuationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)

@@ -15,7 +15,12 @@ from .distance import (
     squared_euclidean_distances,
 )
 from .regressor import KNNRegressor
-from .search import KNNSearchIndex, argsort_by_distance, top_k
+from .search import (
+    KNNSearchIndex,
+    argsort_by_distance,
+    stable_argsort_rows,
+    top_k,
+)
 from .weights import (
     WEIGHT_FUNCTIONS,
     WeightFunction,
@@ -31,6 +36,7 @@ __all__ = [
     "KNNRegressor",
     "KNNSearchIndex",
     "argsort_by_distance",
+    "stable_argsort_rows",
     "top_k",
     "METRICS",
     "get_metric",

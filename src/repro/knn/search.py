@@ -15,7 +15,41 @@ import numpy as np
 from ..exceptions import ParameterError
 from .distance import get_metric
 
-__all__ = ["argsort_by_distance", "top_k", "KNNSearchIndex"]
+__all__ = [
+    "argsort_by_distance",
+    "stable_argsort_rows",
+    "top_k",
+    "KNNSearchIndex",
+]
+
+
+def stable_argsort_rows(dist: np.ndarray) -> np.ndarray:
+    """Row-wise ascending argsort with ties broken by index, fast.
+
+    Produces exactly the permutation ``np.argsort(dist, axis=1,
+    kind="stable")`` would, but runs the O(n log n) work with numpy's
+    default introsort (several times faster than the stable mergesort
+    on large rows) and then repairs the — typically nonexistent — runs
+    of exactly equal values by sorting their indices.  Used by the
+    valuation engine's exact backends, where the sort dominates the
+    whole pipeline.
+    """
+    dist = np.atleast_2d(dist)
+    order = np.argsort(dist, axis=1)
+    sorted_dist = np.take_along_axis(dist, order, axis=1)
+    tie_next = sorted_dist[:, 1:] == sorted_dist[:, :-1]
+    if not tie_next.any():
+        return order
+    for j in np.flatnonzero(tie_next.any(axis=1)):
+        pos = np.flatnonzero(tie_next[j])
+        # group consecutive tie positions into maximal runs of equals
+        breaks = np.flatnonzero(np.diff(pos) > 1)
+        starts = np.concatenate(([0], breaks + 1))
+        stops = np.concatenate((breaks, [pos.size - 1]))
+        for s, e in zip(starts, stops):
+            a, b = pos[s], pos[e] + 2  # run spans columns a .. b-1
+            order[j, a:b] = np.sort(order[j, a:b])
+    return order
 
 
 def argsort_by_distance(
@@ -56,7 +90,10 @@ def top_k(
     """Return the ``k`` nearest data points for each query.
 
     Uses ``argpartition`` followed by a sort of the selected slice, so
-    the cost is O(n + k log k) per query instead of O(n log n).
+    the cost is O(n + k log k) per query instead of O(n log n).  Ties
+    are broken by index, including at the selection boundary, so the
+    result always equals the first ``k`` columns of
+    :func:`argsort_by_distance`.
 
     Returns
     -------
@@ -70,13 +107,24 @@ def top_k(
     k_eff = min(k, n)
     dist = get_metric(metric)(queries, data)
     if k_eff == n:
-        part = np.argsort(dist, axis=1, kind="stable")
+        idx = np.argsort(dist, axis=1, kind="stable")
     else:
-        part = np.argpartition(dist, k_eff - 1, axis=1)[:, :k_eff]
-        part_dist = np.take_along_axis(dist, part, axis=1)
-        inner = np.argsort(part_dist, axis=1, kind="stable")
-        part = np.take_along_axis(part, inner, axis=1)
-    idx = part[:, :k_eff]
+        # argpartition alone is not deterministic: points tied at the
+        # k-th distance may be included or excluded arbitrarily.  Take
+        # everything strictly below the k-th smallest distance, then
+        # fill the remaining slots with the lowest-indexed tied points,
+        # so the selection matches a stable full sort exactly.
+        kth = np.partition(dist, k_eff - 1, axis=1)[:, k_eff - 1 : k_eff]
+        below = dist < kth
+        need = k_eff - below.sum(axis=1, keepdims=True)
+        at_kth = dist == kth
+        take = below | (at_kth & (np.cumsum(at_kth, axis=1) <= need))
+        # each row has exactly k_eff True entries, in ascending index
+        # order, so stable-sorting by distance breaks ties by index
+        idx = np.nonzero(take)[1].reshape(dist.shape[0], k_eff)
+        sel_dist = np.take_along_axis(dist, idx, axis=1)
+        inner = np.argsort(sel_dist, axis=1, kind="stable")
+        idx = np.take_along_axis(idx, inner, axis=1)
     return idx, np.take_along_axis(dist, idx, axis=1)
 
 

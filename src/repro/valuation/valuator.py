@@ -27,14 +27,11 @@ from ..core.composite import (
     composite_knn_regression_shapley,
     composite_knn_shapley,
 )
-from ..core.exact import exact_knn_shapley
 from ..core.grouped import exact_grouped_knn_shapley
 from ..core.montecarlo import baseline_mc_shapley, improved_mc_shapley
-from ..core.regression import exact_knn_regression_shapley
-from ..core.truncated import truncated_knn_shapley
 from ..core.weighted import exact_weighted_knn_shapley
+from ..engine import ValuationEngine
 from ..exceptions import ParameterError
-from ..lsh.valuation import lsh_knn_shapley
 from ..rng import SeedLike
 from ..types import Dataset, GroupedDataset, ValuationResult
 from ..utility.grouped import GroupedUtility
@@ -57,6 +54,15 @@ class KNNShapleyValuator:
         ``"classification"`` or ``"regression"``.
     metric:
         Distance metric name.
+    backend:
+        Neighbor backend for the exact/truncated paths (``"brute"`` or
+        ``"blocked"``); see :mod:`repro.engine.backends`.
+
+    Notes
+    -----
+    ``exact``, ``truncated`` and ``lsh`` delegate to a shared
+    :class:`~repro.engine.ValuationEngine`, so the neighbor index is
+    fit once per valuator and repeated calls reuse cached rankings.
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class KNNShapleyValuator:
         k: int = 1,
         task: str = "classification",
         metric: str = "euclidean",
+        backend: str = "brute",
     ) -> None:
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
@@ -76,6 +83,26 @@ class KNNShapleyValuator:
         self.k = int(k)
         self.task = task
         self.metric = metric
+        self.backend = backend
+        self._engine: Optional[ValuationEngine] = None
+
+    # ------------------------------------------------------------------
+    def engine(self) -> ValuationEngine:
+        """The lazily-built :class:`~repro.engine.ValuationEngine`.
+
+        Shared by :meth:`exact` and :meth:`truncated`, so the neighbor
+        index is fit once and rankings are memoized across calls.
+        """
+        if self._engine is None:
+            self._engine = ValuationEngine(
+                self.dataset.x_train,
+                self.dataset.y_train,
+                self.k,
+                task=self.task,
+                metric=self.metric,
+                backend=self.backend,
+            )
+        return self._engine
 
     # ------------------------------------------------------------------
     def utility(self):
@@ -87,9 +114,12 @@ class KNNShapleyValuator:
     # ------------------------------------------------------------------
     def exact(self) -> ValuationResult:
         """Exact values (Theorem 1 or 6), O(N log N) per test point."""
-        if self.task == "classification":
-            return exact_knn_shapley(self.dataset, self.k, metric=self.metric)
-        return exact_knn_regression_shapley(self.dataset, self.k, metric=self.metric)
+        return self.engine().value(
+            self.dataset.x_test,
+            self.dataset.y_test,
+            method="exact",
+            store_per_test=True,
+        )
 
     def truncated(self, epsilon: float = 0.1) -> ValuationResult:
         """(epsilon, 0)-approximate values by truncation (Theorem 2)."""
@@ -97,8 +127,12 @@ class KNNShapleyValuator:
             raise ParameterError(
                 "truncated approximation is defined for classification"
             )
-        return truncated_knn_shapley(
-            self.dataset, self.k, epsilon, metric=self.metric
+        return self.engine().value(
+            self.dataset.x_test,
+            self.dataset.y_test,
+            method="truncated",
+            epsilon=epsilon,
+            store_per_test=True,
         )
 
     def lsh(
@@ -106,13 +140,32 @@ class KNNShapleyValuator:
         epsilon: float = 0.1,
         delta: float = 0.1,
         seed: SeedLike = None,
-        **kwargs,
+        params=None,
+        alpha: float = 0.5,
     ) -> ValuationResult:
         """(epsilon, delta)-approximate values via LSH (Theorem 4)."""
         if self.task != "classification":
             raise ParameterError("the LSH approximation is defined for classification")
-        return lsh_knn_shapley(
-            self.dataset, self.k, epsilon=epsilon, delta=delta, seed=seed, **kwargs
+        engine = ValuationEngine(
+            self.dataset.x_train,
+            self.dataset.y_train,
+            self.k,
+            task=self.task,
+            metric=self.metric,
+            backend="lsh",
+            backend_options={
+                "delta": delta,
+                "params": params,
+                "alpha": alpha,
+                "seed": seed,
+            },
+        )
+        return engine.value(
+            self.dataset.x_test,
+            self.dataset.y_test,
+            method="lsh",
+            epsilon=epsilon,
+            store_per_test=True,
         )
 
     def monte_carlo(

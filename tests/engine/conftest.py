@@ -1,0 +1,31 @@
+"""Shared helpers for the engine test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsh.contrast import ContrastEstimate
+from repro.lsh.tuning import LSHParameters
+
+
+def _full_recall_params(k: int = 3) -> LSHParameters:
+    """Degenerate LSH parameters hashing every point into one bucket.
+
+    With a quantization width far beyond any projection value, all
+    points share a single bucket per table, so retrieval is exhaustive
+    and exact re-ranking makes the index equivalent to brute force —
+    handy for asserting exact-path identities through the LSH backend.
+    """
+    return LSHParameters(
+        width=1e9,
+        n_bits=1,
+        n_tables=2,
+        g=0.5,
+        contrast=ContrastEstimate(d_mean=1.0, d_k=0.5, contrast=2.0, k=k),
+    )
+
+
+@pytest.fixture()
+def full_recall_params():
+    """Factory fixture for :func:`_full_recall_params`."""
+    return _full_recall_params

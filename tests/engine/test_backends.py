@@ -1,0 +1,165 @@
+"""Tests for the pluggable neighbor backends and their registry."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BlockedExactBackend,
+    BruteForceBackend,
+    LSHNeighborBackend,
+    NeighborBackend,
+    available_backends,
+    make_backend,
+)
+from repro.exceptions import NotFittedError, ParameterError
+from repro.knn import argsort_by_distance, top_k
+
+
+# ----------------------------------------------------------------- registry
+def test_registry_lists_the_three_backends():
+    names = available_backends()
+    for name in ("brute", "blocked", "lsh"):
+        assert name in names
+
+
+def test_make_backend_by_name_and_options():
+    b = make_backend("blocked", metric="cosine", block_size=7)
+    assert isinstance(b, BlockedExactBackend)
+    assert b.metric == "cosine"
+    assert b.block_size == 7
+
+
+def test_make_backend_passthrough_instance():
+    inst = BruteForceBackend()
+    assert make_backend(inst) is inst
+    with pytest.raises(ParameterError):
+        make_backend(inst, metric="cosine")
+
+
+def test_make_backend_unknown_name():
+    with pytest.raises(ParameterError):
+        make_backend("kdtree")
+
+
+# ----------------------------------------------------------------- exact
+@pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+def test_brute_query_and_rank_match_reference(rng, metric):
+    data = rng.standard_normal((60, 5))
+    queries = rng.standard_normal((7, 5))
+    backend = BruteForceBackend(metric=metric).fit(data)
+    idx, dist = backend.query(queries, 9)
+    ref_idx, ref_dist = top_k(queries, data, 9, metric=metric)
+    np.testing.assert_array_equal(idx, ref_idx)
+    np.testing.assert_allclose(dist, ref_dist)
+    order = backend.rank(queries)
+    ref_order, _ = argsort_by_distance(queries, data, metric=metric)
+    np.testing.assert_array_equal(order, ref_order)
+
+
+def test_blocked_matches_brute_across_block_boundaries(rng):
+    data = rng.standard_normal((101, 4))
+    queries = rng.standard_normal((9, 4))
+    brute = BruteForceBackend().fit(data)
+    blocked = BlockedExactBackend(block_size=17, query_block=4).fit(data)
+    for k in (1, 5, 30, 150):
+        bi, bd = brute.query(queries, k)
+        ci, cd = blocked.query(queries, k)
+        np.testing.assert_array_equal(bi, ci)
+        np.testing.assert_allclose(bd, cd)
+    np.testing.assert_array_equal(brute.rank(queries), blocked.rank(queries))
+
+
+def test_blocked_tie_break_matches_brute():
+    """Duplicated points straddling block boundaries keep index order."""
+    base = np.arange(10, dtype=np.float64).reshape(-1, 1)
+    data = np.vstack([base, base, base])  # 30 points, each distance x3
+    queries = np.array([[2.5], [7.0]])
+    brute = BruteForceBackend().fit(data)
+    blocked = BlockedExactBackend(block_size=7, query_block=1).fit(data)
+    bi, _ = brute.query(queries, 12)
+    ci, _ = blocked.query(queries, 12)
+    np.testing.assert_array_equal(bi, ci)
+    np.testing.assert_array_equal(brute.rank(queries), blocked.rank(queries))
+
+
+def test_backend_requires_fit(rng):
+    backend = BruteForceBackend()
+    with pytest.raises(NotFittedError):
+        backend.query(rng.standard_normal((2, 3)), 1)
+    with pytest.raises(ParameterError):
+        BruteForceBackend().fit(np.empty((0, 3)))
+
+
+def test_blocked_validates_parameters():
+    with pytest.raises(ParameterError):
+        BlockedExactBackend(block_size=0)
+    with pytest.raises(ParameterError):
+        BlockedExactBackend(query_block=-1)
+
+
+def test_exact_backends_share_cache_token(rng):
+    data = rng.standard_normal((10, 2))
+    a = BruteForceBackend().fit(data)
+    b = BlockedExactBackend().fit(data)
+    assert a.cache_token() == b.cache_token()
+    assert BruteForceBackend(metric="cosine").cache_token() != a.cache_token()
+
+
+# ----------------------------------------------------------------- lsh
+def test_lsh_full_recall_params_match_exact(rng, full_recall_params):
+    data = rng.standard_normal((40, 6))
+    queries = rng.standard_normal((5, 6))
+    backend = LSHNeighborBackend(params=full_recall_params(), seed=0).fit(data)
+    idx, dist = backend.query(queries, 8)
+    ref_idx, ref_dist = top_k(queries, data, 8)
+    for j in range(5):
+        np.testing.assert_array_equal(idx[j], ref_idx[j])
+        np.testing.assert_allclose(dist[j], ref_dist[j], atol=1e-9)
+
+
+def test_lsh_prepare_without_queries_builds_index(rng):
+    data = rng.standard_normal((50, 4))
+    backend = LSHNeighborBackend(seed=1, tune_with_queries=False).fit(data)
+    backend.prepare(None, 5)
+    assert backend.params is not None
+    idx, _ = backend.query(rng.standard_normal((3, 4)), 5)
+    assert len(idx) == 3
+
+
+def test_lsh_rejects_full_ranking(rng):
+    backend = LSHNeighborBackend(seed=0).fit(rng.standard_normal((20, 3)))
+    assert not backend.supports_full_ranking
+    with pytest.raises(ParameterError):
+        backend.rank(rng.standard_normal((2, 3)))
+
+
+def test_lsh_validates_delta():
+    with pytest.raises(ParameterError):
+        LSHNeighborBackend(delta=0.0)
+    with pytest.raises(ParameterError):
+        LSHNeighborBackend(delta=1.0)
+
+
+def test_lsh_cache_token_reflects_tuning(rng, full_recall_params):
+    data = rng.standard_normal((30, 3))
+    a = LSHNeighborBackend(params=full_recall_params(), seed=0).fit(data)
+    b = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(data)
+    b.prepare(None, 3)
+    assert a.cache_token() != b.cache_token()
+
+
+def test_custom_backend_registration(rng):
+    from repro.engine import register_backend
+
+    class EchoBackend(BruteForceBackend):
+        name = "echo-test"
+
+    register_backend("echo-test", EchoBackend)
+    try:
+        built = make_backend("echo-test")
+        assert isinstance(built, EchoBackend)
+        assert isinstance(built, NeighborBackend)
+    finally:
+        from repro.engine.backends import _BACKEND_REGISTRY
+
+        _BACKEND_REGISTRY.pop("echo-test", None)

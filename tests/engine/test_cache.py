@@ -1,0 +1,100 @@
+"""Tests for fingerprinting and the rank/top-K memo cache."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RankCache, array_fingerprint, dataset_fingerprint
+from repro.exceptions import ParameterError
+
+
+# ----------------------------------------------------------- fingerprints
+def test_fingerprint_is_content_addressed(rng):
+    a = rng.standard_normal((8, 3))
+    assert array_fingerprint(a) == array_fingerprint(a.copy())
+    b = a.copy()
+    b[4, 1] += 1e-12
+    assert array_fingerprint(a) != array_fingerprint(b)
+
+
+def test_fingerprint_sees_dtype_and_shape():
+    a = np.zeros((4, 2))
+    assert array_fingerprint(a) != array_fingerprint(a.astype(np.float32))
+    assert array_fingerprint(a) != array_fingerprint(a.reshape(2, 4))
+
+
+def test_fingerprint_of_views(rng):
+    a = rng.standard_normal((10, 4))
+    assert array_fingerprint(a[::2]) == array_fingerprint(a[::2].copy())
+
+
+def test_dataset_fingerprint_combines_arrays_and_extras(rng):
+    x, y = rng.standard_normal((5, 2)), rng.standard_normal((3, 2))
+    fp = dataset_fingerprint(x, y, extra=("euclidean", 3))
+    assert fp != dataset_fingerprint(x, y, extra=("cosine", 3))
+    assert fp != dataset_fingerprint(y, x, extra=("euclidean", 3))
+    assert fp == dataset_fingerprint(x, y, extra=("euclidean", 3))
+
+
+# ----------------------------------------------------------------- cache
+def test_ranking_roundtrip_and_stats(rng):
+    cache = RankCache()
+    order = rng.permutation(20).reshape(2, 10)
+    assert cache.get_ranking("a") is None
+    assert cache.put_ranking("a", order)
+    hit = cache.get_ranking("a")
+    np.testing.assert_array_equal(hit, order)
+    assert not hit.flags.writeable
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_topk_served_from_prefix_and_full_ranking(rng):
+    cache = RankCache()
+    idx = np.arange(40).reshape(4, 10)
+    cache.put_topk("t", 10, idx)
+    np.testing.assert_array_equal(cache.get_topk("t", 4), idx[:, :4])
+    assert cache.get_topk("t", 11) is None
+    # a full ranking answers any k
+    order = np.tile(np.arange(30), (3, 1))
+    cache.put_ranking("r", order)
+    np.testing.assert_array_equal(cache.get_topk("r", 12), order[:, :12])
+
+
+def test_topk_keeps_widest_prefix():
+    cache = RankCache()
+    cache.put_topk("w", 8, np.zeros((2, 8), dtype=np.intp))
+    cache.put_topk("w", 3, np.ones((2, 3), dtype=np.intp))
+    got = cache.get_topk("w", 5)
+    assert got.shape == (2, 5)
+    assert got.sum() == 0  # the wider k=8 entry survived
+
+
+def test_lru_eviction():
+    cache = RankCache(max_entries=2)
+    for key in ("a", "b", "c"):
+        cache.put_ranking(key, np.zeros((1, 4), dtype=np.intp))
+    assert cache.get_ranking("a") is None  # evicted
+    assert cache.get_ranking("c") is not None
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+
+
+def test_oversized_rankings_are_not_stored():
+    cache = RankCache(max_entry_elements=10)
+    assert not cache.put_ranking("big", np.zeros((4, 4), dtype=np.intp))
+    assert cache.get_ranking("big") is None
+    assert len(cache) == 0
+
+
+def test_clear_keeps_stats():
+    cache = RankCache()
+    cache.put_ranking("x", np.zeros((1, 2), dtype=np.intp))
+    cache.get_ranking("x")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_validates_max_entries():
+    with pytest.raises(ParameterError):
+        RankCache(max_entries=0)

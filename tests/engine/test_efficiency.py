@@ -1,0 +1,101 @@
+"""The efficiency (group rationality) axiom, asserted across backends.
+
+For exact Shapley values the axiom demands ``sum_i s_i = U(D) - U(∅)``
+— the full utility gain is distributed, nothing more, nothing less.
+The engine's chunk-merge must preserve this *identically* for every
+backend on its exact path, including the ``K >= N`` corner the paper
+leaves implicit (every coalition is smaller than K, so the anchor term
+changes shape).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ValuationEngine
+from repro.utility import KNNClassificationUtility, KNNRegressionUtility
+
+
+@pytest.fixture()
+def engines_under_test(full_recall_params):
+    """Factory yielding one engine per backend, all exact-path.
+
+    The LSH backend runs the truncated path with degenerate
+    single-bucket parameters and ``K* >= N``, which Theorem 2 makes
+    exactly Theorem 1.
+    """
+
+    def build(data, k, task="classification"):
+        common = dict(task=task, chunk_size=3)
+        yield "brute", ValuationEngine(
+            data.x_train, data.y_train, k, backend="brute", **common
+        ), {"method": "exact"}
+        yield "blocked", ValuationEngine(
+            data.x_train,
+            data.y_train,
+            k,
+            backend="blocked",
+            backend_options={"block_size": 4, "query_block": 2},
+            **common,
+        ), {"method": "exact"}
+        if task == "classification":
+            yield "lsh", ValuationEngine(
+                data.x_train,
+                data.y_train,
+                k,
+                backend="lsh",
+                backend_options={"params": full_recall_params(k), "seed": 0},
+                **common,
+            ), {"method": "lsh", "epsilon": 1.0 / (2 * data.n_train)}
+
+    return build
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_efficiency_axiom_classification(tiny_cls, k, engines_under_test):
+    utility = KNNClassificationUtility(tiny_cls, k)
+    expected = utility.total_gain()
+    for name, engine, kwargs in engines_under_test(tiny_cls, k):
+        result = engine.value(tiny_cls.x_test, tiny_cls.y_test, **kwargs)
+        assert result.total() == pytest.approx(expected, abs=1e-10), name
+
+
+def test_efficiency_axiom_k_geq_n_corner(tiny_cls, engines_under_test):
+    """K >= N: every training point is always a neighbor; the axiom
+    must still hold exactly for every backend."""
+    k = tiny_cls.n_train + 3
+    utility = KNNClassificationUtility(tiny_cls, k)
+    expected = utility.total_gain()
+    values_by_backend = {}
+    for name, engine, kwargs in engines_under_test(tiny_cls, k):
+        result = engine.value(tiny_cls.x_test, tiny_cls.y_test, **kwargs)
+        assert result.total() == pytest.approx(expected, abs=1e-10), name
+        values_by_backend[name] = result.values
+    # and all backends agree value-by-value, not just in total
+    np.testing.assert_allclose(
+        values_by_backend["blocked"], values_by_backend["brute"], atol=1e-12
+    )
+    np.testing.assert_allclose(
+        values_by_backend["lsh"], values_by_backend["brute"], atol=1e-12
+    )
+
+
+@pytest.mark.parametrize("k", [2, 10])
+def test_efficiency_axiom_regression(tiny_reg, k, engines_under_test):
+    """Theorem 6 path (including its own K >= N corner at k=10 > 8)."""
+    utility = KNNRegressionUtility(tiny_reg, k)
+    expected = utility.total_gain()
+    for name, engine, kwargs in engines_under_test(
+        tiny_reg, k, task="regression"
+    ):
+        result = engine.value(tiny_reg.x_test, tiny_reg.y_test, **kwargs)
+        assert result.total() == pytest.approx(expected, abs=1e-9), name
+
+
+def test_efficiency_axiom_multiclass(tiny_cls_multiclass, engines_under_test):
+    utility = KNNClassificationUtility(tiny_cls_multiclass, 3)
+    expected = utility.total_gain()
+    for name, engine, kwargs in engines_under_test(tiny_cls_multiclass, 3):
+        result = engine.value(
+            tiny_cls_multiclass.x_test, tiny_cls_multiclass.y_test, **kwargs
+        )
+        assert result.total() == pytest.approx(expected, abs=1e-10), name

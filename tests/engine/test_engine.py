@@ -1,0 +1,209 @@
+"""Tests for the chunked, cached, parallel ValuationEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_knn_regression_shapley,
+    exact_knn_shapley,
+    truncated_knn_shapley,
+)
+from repro.engine import RankCache, ValuationEngine
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.datasets import gaussian_blobs
+
+    return gaussian_blobs(n_train=350, n_test=23, n_features=12, seed=91)
+
+
+# ----------------------------------------------------------------- exact
+@pytest.mark.parametrize("backend", ["brute", "blocked"])
+@pytest.mark.parametrize("chunk_size", [None, 1, 7])
+def test_exact_matches_reference_all_backends(data, backend, chunk_size):
+    reference = exact_knn_shapley(data, 4)
+    engine = ValuationEngine(
+        data.x_train,
+        data.y_train,
+        4,
+        backend=backend,
+        chunk_size=chunk_size,
+        backend_options={"block_size": 64} if backend == "blocked" else None,
+    )
+    result = engine.value(data.x_test, data.y_test, method="exact")
+    assert np.max(np.abs(result.values - reference.values)) < 1e-10
+    assert result.method == "exact"
+    assert result.extra["backend"] == backend
+
+
+def test_exact_lsh_full_recall_matches_reference(data, full_recall_params):
+    """The acceptance bar: the LSH backend on its exact path (K* >= N,
+    degenerate single-bucket tables) reproduces Theorem 1 to 1e-10."""
+    reference = exact_knn_shapley(data, 4)
+    engine = ValuationEngine(
+        data.x_train,
+        data.y_train,
+        4,
+        backend="lsh",
+        backend_options={"params": full_recall_params(4), "seed": 0},
+    )
+    result = engine.value(
+        data.x_test, data.y_test, method="lsh", epsilon=1.0 / data.n_train
+    )
+    assert np.max(np.abs(result.values - reference.values)) < 1e-10
+
+
+def test_exact_regression_matches_reference():
+    from repro.datasets import regression_dataset
+
+    data = regression_dataset(n_train=60, n_test=9, n_features=4, seed=92)
+    reference = exact_knn_regression_shapley(data, 3)
+    engine = ValuationEngine(
+        data.x_train, data.y_train, 3, task="regression", chunk_size=4
+    )
+    result = engine.value(data.x_test, data.y_test, method="exact")
+    assert np.max(np.abs(result.values - reference.values)) < 1e-10
+    assert result.method == "exact-regression"
+
+
+def test_parallel_chunks_are_deterministic(data):
+    base = ValuationEngine(
+        data.x_train, data.y_train, 3, chunk_size=5, n_workers=1
+    ).value(data.x_test, data.y_test)
+    threaded = ValuationEngine(
+        data.x_train, data.y_train, 3, chunk_size=5, n_workers=3, cache=False
+    ).value(data.x_test, data.y_test)
+    np.testing.assert_array_equal(base.values, threaded.values)
+    assert threaded.extra["n_chunks"] == 5
+
+
+def test_store_per_test_matches_reference(data):
+    reference = exact_knn_shapley(data, 2)
+    result = ValuationEngine(data.x_train, data.y_train, 2, chunk_size=6).value(
+        data.x_test, data.y_test, store_per_test=True
+    )
+    np.testing.assert_allclose(
+        result.extra["per_test"], reference.extra["per_test"], atol=1e-12
+    )
+
+
+# ------------------------------------------------------------- truncated
+def test_truncated_matches_reference(data):
+    reference = truncated_knn_shapley(data, 3, 0.1)
+    engine = ValuationEngine(data.x_train, data.y_train, 3, chunk_size=8)
+    result = engine.value(data.x_test, data.y_test, method="truncated", epsilon=0.1)
+    np.testing.assert_allclose(result.values, reference.values, atol=1e-12)
+    assert result.method == "truncated"
+    assert result.extra["k_star"] == reference.extra["k_star"]
+
+
+def test_truncated_blocked_matches_brute(data):
+    brute = ValuationEngine(data.x_train, data.y_train, 3).value(
+        data.x_test, data.y_test, method="truncated", epsilon=0.2
+    )
+    blocked = ValuationEngine(
+        data.x_train,
+        data.y_train,
+        3,
+        backend="blocked",
+        backend_options={"block_size": 50},
+    ).value(data.x_test, data.y_test, method="truncated", epsilon=0.2)
+    np.testing.assert_array_equal(brute.values, blocked.values)
+
+
+# ----------------------------------------------------------------- cache
+def test_repeated_valuation_hits_the_cache(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 5)
+    first = engine.value(data.x_test, data.y_test)
+    assert first.extra["cache"]["hits"] == 0
+    second = engine.value(data.x_test, data.y_test)
+    assert second.extra["cache"]["hits"] == 1
+    np.testing.assert_array_equal(first.values, second.values)
+    # the ranking does not depend on labels or K: changing K still hits
+    engine.k = 7
+    third = engine.value(data.x_test, data.y_test)
+    assert third.extra["cache"]["hits"] == 2
+    reference = exact_knn_shapley(data, 7)
+    assert np.max(np.abs(third.values - reference.values)) < 1e-10
+
+
+def test_truncated_topk_cache_roundtrip(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    a = engine.value(data.x_test, data.y_test, method="truncated", epsilon=0.1)
+    b = engine.value(data.x_test, data.y_test, method="truncated", epsilon=0.1)
+    assert b.extra["cache"]["hits"] >= 1
+    np.testing.assert_array_equal(a.values, b.values)
+    # a smaller k_star is a prefix of the cached top-K*
+    c = engine.value(data.x_test, data.y_test, method="truncated", epsilon=0.2)
+    reference = truncated_knn_shapley(data, 3, 0.2)
+    np.testing.assert_allclose(c.values, reference.values, atol=1e-12)
+
+
+def test_shared_cache_across_engines(data):
+    shared = RankCache()
+    a = ValuationEngine(data.x_train, data.y_train, 2, cache=shared)
+    b = ValuationEngine(data.x_train, data.y_train, 2, cache=shared)
+    a.value(data.x_test, data.y_test)
+    result = b.value(data.x_test, data.y_test)
+    assert shared.stats.hits == 1
+    reference = exact_knn_shapley(data, 2)
+    assert np.max(np.abs(result.values - reference.values)) < 1e-10
+
+
+def test_cache_disabled(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 2, cache=False)
+    result = engine.value(data.x_test, data.y_test)
+    assert result.extra["cache"] is None
+
+
+# ----------------------------------------------------------- validation
+def test_engine_validates_construction(data):
+    with pytest.raises(ParameterError):
+        ValuationEngine(data.x_train, data.y_train, 0)
+    with pytest.raises(ParameterError):
+        ValuationEngine(data.x_train, data.y_train, 1, task="ranking")
+    with pytest.raises(ParameterError):
+        ValuationEngine(data.x_train, data.y_train, 1, n_workers=0)
+    with pytest.raises(ParameterError):
+        ValuationEngine(data.x_train, data.y_train, 1, chunk_size=0)
+    with pytest.raises(ParameterError):
+        ValuationEngine(data.x_train, data.y_train, 1, backend="lsh", metric="cosine")
+
+
+def test_engine_validates_method_routing(data, full_recall_params):
+    engine = ValuationEngine(data.x_train, data.y_train, 2)
+    with pytest.raises(ParameterError):
+        engine.value(data.x_test, data.y_test, method="montecarlo")
+    with pytest.raises(ParameterError):
+        engine.value(data.x_test, data.y_test, method="lsh")  # brute backend
+    lsh_engine = ValuationEngine(
+        data.x_train,
+        data.y_train,
+        2,
+        backend="lsh",
+        backend_options={"params": full_recall_params(2), "seed": 0},
+    )
+    with pytest.raises(ParameterError):
+        lsh_engine.value(data.x_test, data.y_test, method="exact")
+    with pytest.raises(ParameterError):
+        engine.value(data.x_test[:, :3], data.y_test)  # dim mismatch
+
+
+def test_truncated_rejected_for_regression():
+    from repro.datasets import regression_dataset
+
+    data = regression_dataset(n_train=20, n_test=3, seed=93)
+    engine = ValuationEngine(data.x_train, data.y_train, 2, task="regression")
+    with pytest.raises(ParameterError):
+        engine.value(data.x_test, data.y_test, method="truncated")
+
+
+def test_from_dataset_and_wrappers(data):
+    engine = ValuationEngine.from_dataset(data, 3)
+    assert engine.n_train == data.n_train
+    exact = engine.exact(data.x_test, data.y_test)
+    trunc = engine.truncated(data.x_test, data.y_test, epsilon=0.1)
+    assert exact.method == "exact"
+    assert trunc.method == "truncated"

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.knn import KNNSearchIndex, argsort_by_distance, top_k
+from repro.knn import (
+    KNNSearchIndex,
+    argsort_by_distance,
+    stable_argsort_rows,
+    top_k,
+)
 
 
 def test_argsort_is_full_ascending(rng):
@@ -39,6 +44,52 @@ def test_tie_break_is_stable():
     queries = np.ones((1, 2))
     idx, _ = top_k(queries, data, 3)
     np.testing.assert_array_equal(idx[0], [0, 1, 2])
+
+
+def test_top_k_boundary_ties_are_deterministic():
+    """Points tied at the k-th distance must be selected by index.
+
+    Regression test: the argpartition fast path used to admit an
+    arbitrary subset of the tied points, contradicting the module's
+    determinism guarantee.
+    """
+    # 6 points at distance 1 from the origin query, 2 strictly closer
+    data = np.array(
+        [[1.0, 0], [0, 1], [-1, 0], [0, -1], [0.5, 0], [1, 0], [0, 1], [0, 0.5]]
+    )
+    queries = np.zeros((1, 2))
+    order, _ = argsort_by_distance(queries, data)
+    for k in range(1, data.shape[0] + 1):
+        idx, dist = top_k(queries, data, k)
+        np.testing.assert_array_equal(idx, order[:, :k])
+        assert np.all(np.diff(dist[0]) >= 0)
+    # tied block itself is listed in ascending index order
+    idx6, _ = top_k(queries, data, 6)
+    np.testing.assert_array_equal(idx6[0], [4, 7, 0, 1, 2, 3])
+
+
+def test_top_k_matches_argsort_under_duplicates(rng):
+    """Many duplicated rows: selection and order still match the
+    stable full sort for every k."""
+    base = rng.standard_normal((12, 3))
+    data = np.vstack([base, base, base])  # every distance appears 3x
+    queries = rng.standard_normal((4, 3))
+    order, _ = argsort_by_distance(queries, data)
+    for k in (1, 5, 17, 30):
+        idx, _ = top_k(queries, data, k)
+        np.testing.assert_array_equal(idx, order[:, :k])
+
+
+def test_stable_argsort_rows_matches_numpy_stable(rng):
+    dense = rng.standard_normal((6, 80))
+    tied = rng.integers(0, 4, size=(6, 80)).astype(np.float64)
+    flat = np.zeros((2, 40))
+    single = rng.standard_normal((3, 1))
+    for dist in (dense, tied, flat, single):
+        np.testing.assert_array_equal(
+            stable_argsort_rows(dist),
+            np.argsort(dist, axis=1, kind="stable"),
+        )
 
 
 def test_top_k_rejects_bad_k(rng):

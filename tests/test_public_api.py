@@ -20,6 +20,7 @@ def test_top_level_exports():
     "module",
     [
         "repro.core",
+        "repro.engine",
         "repro.knn",
         "repro.lsh",
         "repro.utility",
@@ -66,7 +67,13 @@ def test_docstrings_on_public_callables():
     """Every public item of the core packages carries a docstring."""
     import typing
 
-    for module in ("repro.core", "repro.knn", "repro.lsh", "repro.valuation"):
+    for module in (
+        "repro.core",
+        "repro.engine",
+        "repro.knn",
+        "repro.lsh",
+        "repro.valuation",
+    ):
         mod = importlib.import_module(module)
         for name in mod.__all__:
             obj = getattr(mod, name)
