@@ -1,0 +1,49 @@
+"""Incremental valuation vs full recompute under single-point churn.
+
+The acceptance bar for the incremental subsystem: at N = 20k training
+points on one core, a single-point add or remove (repair + read of the
+updated values) must beat re-running the reference single-shot
+valuation (`exact_knn_shapley`) on the mutated dataset by >= 5x, while
+agreeing to <= 1e-12 — and an add followed by the matching remove must
+restore the canonical Shapley vector bit-for-bit.  The engine path
+(fresh `ValuationEngine` per event, the fastest full recompute in the
+repo) is reported alongside as the stronger baseline.
+"""
+
+from repro.experiments import incremental_churn
+from repro.experiments.reporting import format_result
+
+
+def test_incremental_beats_full_recompute(once):
+    result = once(
+        lambda: incremental_churn(
+            sizes=(5000, 20000),
+            n_test=128,
+            n_features=128,
+            k=5,
+            repeat=5,
+            seed=0,
+        )
+    )
+    print()
+    print(format_result(result))
+    for row in result.rows:
+        # exactness: incremental values match the full recompute
+        assert row["max_err"] < 1e-12
+        # add-then-remove restores the canonical vector bit-for-bit
+        assert row["roundtrip_exact"]
+    big = [r for r in result.rows if r["n_train"] >= 20000]
+    assert big, "sweep must include an N >= 20k point"
+    for row in big:
+        # the headline: single-point churn beats the single-shot full
+        # recompute >= 5x ...
+        assert row["add_speedup"] >= 5.0, (
+            f"add repair {row['add_s']:.3f}s not 5x faster than single-shot "
+            f"{row['single_shot_s']:.3f}s at N={row['n_train']}"
+        )
+        assert row["remove_speedup"] >= 5.0, (
+            f"remove repair {row['remove_s']:.3f}s not 5x faster than "
+            f"single-shot {row['single_shot_s']:.3f}s at N={row['n_train']}"
+        )
+        # ... and clearly beats even a fresh chunked engine per event
+        assert row["add_vs_engine"] > 1.5

@@ -1,0 +1,172 @@
+"""Emit (or check) the machine-readable engine benchmark, BENCH_engine.json.
+
+The CI benchmark-regression gate runs this twice:
+
+    python benchmarks/bench_to_json.py --out BENCH_engine.json
+    python benchmarks/bench_to_json.py --check benchmarks/BENCH_engine.json \\
+        BENCH_engine.json --tolerance 0.30
+
+The first command measures a small fixed workload and writes a JSON
+report; the second compares a freshly measured candidate against the
+committed baseline and exits non-zero when any gated metric regressed
+by more than the tolerance.
+
+Every gated metric is a *speed ratio* (engine vs single-shot, cached
+vs cold, incremental repair vs full recompute), not an absolute time:
+ratios compare two measurements taken on the same machine in the same
+process, so they transfer across hardware generations and CI runner
+classes in a way wall-clock seconds never could.  Absolute timings are
+recorded under ``"info"`` for humans but never gated.  The gate is
+one-sided — faster than baseline always passes.
+
+Run single-core (``OMP_NUM_THREADS=1`` etc., as the CI job does) so
+BLAS thread fan-out does not skew the single-shot side of the ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+#: Schema version for the JSON artifact.
+SCHEMA = 1
+
+#: The small fixed workload the gate measures.  Big enough that the
+#: chunked/incremental machinery engages, small enough for a CI minute.
+WORKLOAD = {
+    "n_train": 6000,
+    "n_test": 64,
+    "n_features": 64,
+    "k": 5,
+    "repeat": 3,
+    "seed": 0,
+}
+
+
+def measure() -> dict:
+    """Run the gate workload and return the JSON-ready report."""
+    from repro.experiments import engine_throughput, incremental_churn
+
+    throughput = engine_throughput(
+        sizes=(WORKLOAD["n_train"],),
+        n_test=WORKLOAD["n_test"],
+        n_features=WORKLOAD["n_features"],
+        k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
+    churn = incremental_churn(
+        sizes=(WORKLOAD["n_train"],),
+        n_test=WORKLOAD["n_test"],
+        n_features=WORKLOAD["n_features"],
+        k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
+    return {
+        "schema": SCHEMA,
+        "workload": dict(WORKLOAD),
+        "metrics": {
+            "engine_speedup": throughput["speedup"],
+            "cached_speedup": throughput["cached_speedup"],
+            "incremental_add_speedup": churn["add_speedup"],
+            "incremental_remove_speedup": churn["remove_speedup"],
+        },
+        "info": {
+            "single_shot_s": throughput["single_shot_s"],
+            "engine_s": throughput["engine_s"],
+            "engine_cached_s": throughput["engine_cached_s"],
+            "incremental_add_s": churn["add_s"],
+            "incremental_remove_s": churn["remove_s"],
+            "incremental_max_err": churn["max_err"],
+            "roundtrip_exact": churn["roundtrip_exact"],
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Return a failure message per regressed metric (empty = pass)."""
+    failures = []
+    if baseline.get("workload") != candidate.get("workload"):
+        failures.append(
+            "workload mismatch: baseline "
+            f"{baseline.get('workload')} vs candidate "
+            f"{candidate.get('workload')}; regenerate the baseline"
+        )
+        return failures
+    for name, base_value in baseline["metrics"].items():
+        got = candidate["metrics"].get(name)
+        if got is None:
+            failures.append(f"{name}: missing from candidate")
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.3f} fell below {floor:.3f} "
+                f"(baseline {base_value:.3f} - {tolerance:.0%})"
+            )
+    # correctness must not drift, whatever the speed
+    err = candidate["info"].get("incremental_max_err")
+    if err is not None and err > 1e-12:
+        failures.append(f"incremental_max_err: {err:g} exceeds 1e-12")
+    if candidate["info"].get("roundtrip_exact") is False:
+        failures.append("roundtrip_exact: add-then-remove no longer bit-exact")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--out", metavar="PATH", help="measure and write the JSON report"
+    )
+    mode.add_argument(
+        "--check",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="compare a candidate report against the committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown per metric (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.out:
+        report = measure()
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+        for name, value in sorted(report["metrics"].items()):
+            print(f"  {name:>28s}: {value:.3f}")
+        return 0
+
+    baseline_path, candidate_path = args.check
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(candidate_path) as fh:
+        candidate = json.load(fh)
+    failures = check(baseline, candidate, args.tolerance)
+    for name in sorted(baseline["metrics"]):
+        base_value = baseline["metrics"][name]
+        got = candidate["metrics"].get(name, float("nan"))
+        print(f"  {name:>28s}: baseline {base_value:7.3f}  candidate {got:7.3f}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed "
+              f"beyond {args.tolerance:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: no metric regressed beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

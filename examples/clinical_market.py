@@ -15,7 +15,6 @@ Run:  python examples/clinical_market.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets import assign_sellers, gaussian_blobs
 from repro.market import (

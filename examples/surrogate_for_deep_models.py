@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.core import baseline_mc_shapley
 from repro.datasets import iris_like

@@ -18,7 +18,7 @@ Quickstart::
     print(result.top(10))          # ten most valuable training points
 """
 
-from .engine import ValuationEngine, ValuationService
+from .engine import IncrementalValuator, ValuationEngine, ValuationService
 from .exceptions import (
     ConvergenceError,
     DataValidationError,
@@ -38,6 +38,7 @@ __all__ = [
     "ValuationResult",
     "KNNShapleyValuator",
     "ValuationEngine",
+    "IncrementalValuator",
     "ValuationService",
     "surrogate_values",
     "ReproError",

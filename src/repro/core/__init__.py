@@ -19,6 +19,12 @@ Oracles and bounds
 * :mod:`repro.core.brute` — exponential-time reference implementations
 * :mod:`repro.core.bounds` — permutation budgets (Theorem 5)
 * :mod:`repro.core.piecewise` — Appendix F counting framework
+
+Dynamic datasets
+----------------
+* :mod:`repro.core.delta` — rank-local insert/delete repairs of the
+  Theorem 1 recursion (the math under
+  :class:`repro.engine.incremental.IncrementalValuator`)
 """
 
 from .bounds import (
@@ -34,6 +40,15 @@ from .composite import (
     composite_knn_regression_shapley,
     composite_knn_shapley,
     composite_weighted_knn_shapley,
+)
+from .delta import (
+    insert_rank_values,
+    insertion_position,
+    rank_factor,
+    removal_position,
+    remove_rank_values,
+    suffix_rank_values,
+    suffix_rank_values_rows,
 )
 from .exact import (
     exact_knn_shapley,
@@ -62,6 +77,13 @@ __all__ = [
     "exact_knn_shapley",
     "exact_knn_shapley_from_order",
     "knn_shapley_single_test",
+    "rank_factor",
+    "insertion_position",
+    "removal_position",
+    "suffix_rank_values",
+    "suffix_rank_values_rows",
+    "insert_rank_values",
+    "remove_rank_values",
     "exact_knn_regression_shapley",
     "regression_shapley_from_order",
     "exact_weighted_knn_shapley",

@@ -134,13 +134,13 @@ def _composite_regression_single(y: np.ndarray, t: float, k: int) -> np.ndarray:
     )
 
     w = np.zeros(n + 1, dtype=np.float64)
-    l = np.arange(3, n + 1, dtype=np.float64)
+    ell = np.arange(3, n + 1, dtype=np.float64)
     w[3:] = (
         2.0
-        * np.minimum(float(k + 1), l)
-        * np.minimum(float(k), l - 1.0)
-        * np.minimum(float(k - 1), l - 2.0)
-        / (3.0 * l * (l - 1.0) * (l - 2.0))
+        * np.minimum(float(k + 1), ell)
+        * np.minimum(float(k), ell - 1.0)
+        * np.minimum(float(k - 1), ell - 2.0)
+        / (3.0 * ell * (ell - 1.0) * (ell - 2.0))
     )
     wy = w[1:] * y
     suffix = np.concatenate((np.cumsum(wy[::-1])[::-1], [0.0]))

@@ -85,9 +85,9 @@ def _single_test_rank_values(
     # suffix sums T_{i+2} = sum_{l >= i+2} w_l y_l with
     # w_l = min(K, l-1) * min(K-1, l-2) / ((l-1)(l-2)), defined for l >= 3.
     w = np.zeros(n + 1, dtype=np.float64)  # w[l] for 1-based l
-    l = np.arange(3, n + 1, dtype=np.float64)
-    w[3:] = np.minimum(float(k), l - 1.0) * np.minimum(float(k - 1), l - 2.0) / (
-        (l - 1.0) * (l - 2.0)
+    ell = np.arange(3, n + 1, dtype=np.float64)
+    w[3:] = np.minimum(float(k), ell - 1.0) * np.minimum(float(k - 1), ell - 2.0) / (
+        (ell - 1.0) * (ell - 2.0)
     )
     wy = w[1:] * y  # weighted labels, 0-indexed position l-1
     suffix = np.concatenate((np.cumsum(wy[::-1])[::-1], [0.0]))  # suffix[p] = sum_{l>=p+1} wy

@@ -26,7 +26,12 @@ import numpy as np
 
 from ..exceptions import ParameterError
 from ..rng import SeedLike
-from ..types import ValuationResult, as_float_matrix, as_label_vector
+from ..types import (
+    ValuationResult,
+    as_float_matrix,
+    as_label_vector,
+    as_new_points,
+)
 from .exact import knn_shapley_single_test
 from .truncated import truncated_values_from_labels, truncation_rank
 
@@ -36,10 +41,14 @@ __all__ = ["StreamingKNNShapley"]
 class StreamingKNNShapley:
     """Accumulate KNN Shapley values as test points stream in.
 
+    The training set need not stay fixed: :meth:`add_points` /
+    :meth:`remove_points` mutate it between queries, splicing sellers
+    in and out of the running accumulation.
+
     Parameters
     ----------
     x_train, y_train:
-        The (fixed) training set being valued.
+        The initial training set being valued.
     k:
         The K of KNN.
     backend:
@@ -155,6 +164,54 @@ class StreamingKNNShapley:
         self._totals += contribution
         self._n_queries += 1
         return contribution
+
+    # ------------------------------------------------------------------
+    # dynamic training sets: mutations between queries
+    def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
+        """Add training points between queries; returns their indices.
+
+        The running totals are additive per query (eq 8), so a new
+        point simply starts accumulating from zero: queries consumed
+        *before* it joined contribute nothing to its value, which is
+        the natural online semantics for a seller entering the market
+        mid-stream.  Exact backends absorb the append in place;
+        backends with derived index structures (LSH) refit, emitting a
+        ``RuntimeWarning``.
+        """
+        x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
+        first = self.n_train
+        self.y_train = np.concatenate((self.y_train, y_new))
+        self._totals = np.concatenate(
+            (self._totals, np.zeros(x_new.shape[0], dtype=np.float64))
+        )
+        self._backend.partial_fit(x_new)
+        # alias the backend's index — one training-set copy, not two
+        self.x_train = self._backend.data
+        self.n_train = self.x_train.shape[0]
+        if not self._exact_updates:
+            # rebuild the truncated-path index eagerly, as in __init__
+            self._backend.prepare(None, min(self._k_star, self.n_train))
+        return np.arange(first, self.n_train, dtype=np.intp)
+
+    def remove_points(self, idx) -> None:
+        """Drop training points by index (``numpy.delete`` semantics).
+
+        The departed points' accumulated totals leave with them; the
+        surviving points keep theirs, so :meth:`values` keeps averaging
+        over every query consumed so far.
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.intp))
+        if idx.size == 0:
+            return
+        # the backend validates range/uniqueness/non-emptiness against
+        # the same n before anything is touched
+        self._backend.forget(idx)
+        self.x_train = self._backend.data
+        self.y_train = np.delete(self.y_train, idx)
+        self._totals = np.delete(self._totals, idx)
+        self.n_train = self.x_train.shape[0]
+        if not self._exact_updates:
+            self._backend.prepare(None, min(self._k_star, self.n_train))
 
     def update_batch(
         self, x_test: np.ndarray, y_test: np.ndarray

@@ -13,8 +13,12 @@ the part the paper's Section 3.2 serving scenario actually needs:
 * :mod:`~repro.engine.engine` — :class:`ValuationEngine`, chunking test
   batches, running chunks on a thread pool, and merging Shapley partial
   sums exactly (additivity, eq 8);
+* :mod:`~repro.engine.incremental` — :class:`IncrementalValuator`,
+  exact delta updates of fitted rank state under training-set churn
+  (the dynamic data-market workload);
 * :mod:`~repro.engine.service` — :class:`ValuationService`, a queue of
-  :class:`ValuationRequest` jobs with per-job latency stats.
+  :class:`ValuationRequest` and :class:`MutationRequest` jobs with
+  per-job latency stats.
 """
 
 from .backends import (
@@ -28,7 +32,14 @@ from .backends import (
 )
 from .cache import CacheStats, RankCache, array_fingerprint, dataset_fingerprint
 from .engine import ValuationEngine
-from .service import ValuationJob, ValuationRequest, ValuationService
+from .incremental import IncrementalValuator
+from .service import (
+    MutationRequest,
+    MutationResult,
+    ValuationJob,
+    ValuationRequest,
+    ValuationService,
+)
 
 __all__ = [
     "NeighborBackend",
@@ -43,7 +54,10 @@ __all__ = [
     "array_fingerprint",
     "dataset_fingerprint",
     "ValuationEngine",
+    "IncrementalValuator",
     "ValuationService",
     "ValuationRequest",
+    "MutationRequest",
+    "MutationResult",
     "ValuationJob",
 ]

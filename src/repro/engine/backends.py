@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional, Sequence, Union
 
@@ -63,6 +64,9 @@ class NeighborBackend(ABC):
     name: str = "abstract"
     #: whether :meth:`rank` is implemented (exact backends only)
     supports_full_ranking: bool = False
+    #: whether :meth:`partial_fit` / :meth:`forget` update the index in
+    #: place; ``False`` means mutation falls back to a full refit
+    supports_incremental_mutation: bool = False
 
     def __init__(self) -> None:
         self._data: np.ndarray | None = None
@@ -91,9 +95,71 @@ class NeighborBackend(ABC):
         return int(self._require_fitted().shape[0])
 
     @property
+    def data(self) -> np.ndarray:
+        """The indexed points, ``(n, d)``.
+
+        Callers must treat this as read-only; mutation goes through
+        :meth:`partial_fit` / :meth:`forget`.  Exposed so owners (the
+        incremental valuator, the engine) can alias the index's array
+        instead of keeping a second copy of the training set.
+        """
+        return self._require_fitted()
+
+    @property
     def n_features(self) -> int:
         """Feature dimensionality of the indexed points."""
         return int(self._require_fitted().shape[1])
+
+    # ------------------------------------------------------------------
+    # dynamic datasets: append / delete indexed points
+    def partial_fit(self, points: np.ndarray) -> None:
+        """Append ``points`` to the index; they take the next indices.
+
+        Exact backends (whose index *is* the data matrix) absorb the
+        append in place; backends with derived structures fall back to
+        a refit via the :meth:`_partial_fit` hook.
+        """
+        data = self._require_fitted()
+        points = np.ascontiguousarray(np.atleast_2d(points), dtype=np.float64)
+        if points.shape[0] == 0:
+            return
+        if points.shape[1] != data.shape[1]:
+            raise ParameterError(
+                f"new points have {points.shape[1]} features, expected "
+                f"{data.shape[1]}"
+            )
+        self._data = np.ascontiguousarray(np.vstack((data, points)))
+        self._partial_fit(points)
+
+    def _partial_fit(self, points: np.ndarray) -> None:
+        """Subclass hook after an append; the default refits."""
+        self._fit(self._data)
+
+    def forget(self, idx) -> None:
+        """Delete the points at ``idx``; later indices shift down.
+
+        Index semantics match ``numpy.delete``: all positions refer to
+        the indexing *before* the call.
+        """
+        data = self._require_fitted()
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.intp))
+        if idx.size == 0:
+            return
+        n = data.shape[0]
+        if np.any(idx < 0) or np.any(idx >= n):
+            raise ParameterError(
+                f"forget indices must lie in [0, {n}), got {idx.tolist()}"
+            )
+        if np.unique(idx).size != idx.size:
+            raise ParameterError(f"forget indices must be unique, got {idx.tolist()}")
+        if idx.size >= n:
+            raise ParameterError("cannot forget every indexed point")
+        self._data = np.ascontiguousarray(np.delete(data, idx, axis=0))
+        self._forget(idx)
+
+    def _forget(self, idx: np.ndarray) -> None:
+        """Subclass hook after a delete; the default refits."""
+        self._fit(self._data)
 
     # ------------------------------------------------------------------
     def prepare(self, queries: np.ndarray, k: int) -> None:
@@ -128,6 +194,20 @@ class NeighborBackend(ABC):
             "use the truncated / LSH valuation path"
         )
 
+    def rank_with_distances(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full ranking plus the sorted distances, each ``(q, n)``.
+
+        The incremental valuation path needs both: the sorted distance
+        rows are what new points binary-search into.  Exact backends
+        implement it; the default raises like :meth:`rank`.
+        """
+        raise ParameterError(
+            f"backend {self.name!r} cannot produce full rankings; "
+            "use the truncated / LSH valuation path"
+        )
+
     def cache_token(self) -> str:
         """A string identifying this backend's *result semantics*.
 
@@ -151,6 +231,7 @@ class BruteForceBackend(NeighborBackend):
 
     name = "brute"
     supports_full_ranking = True
+    supports_incremental_mutation = True
 
     def __init__(self, metric: str = "euclidean") -> None:
         super().__init__()
@@ -168,6 +249,21 @@ class BruteForceBackend(NeighborBackend):
         data = self._require_fitted()
         dist = get_metric(self.metric)(queries, data)
         return stable_argsort_rows(dist)
+
+    def rank_with_distances(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        data = self._require_fitted()
+        dist = get_metric(self.metric)(queries, data)
+        order = stable_argsort_rows(dist)
+        return order, np.take_along_axis(dist, order, axis=1)
+
+    # the index *is* the data matrix: base-class mutation needs no refit
+    def _partial_fit(self, points: np.ndarray) -> None:
+        pass
+
+    def _forget(self, idx: np.ndarray) -> None:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +289,7 @@ class BlockedExactBackend(NeighborBackend):
 
     name = "blocked"
     supports_full_ranking = True
+    supports_incremental_mutation = True
 
     def __init__(
         self,
@@ -243,11 +340,28 @@ class BlockedExactBackend(NeighborBackend):
         return out_idx, out_dist
 
     def rank(self, queries: np.ndarray) -> np.ndarray:
+        return self._rank_slabs(queries, want_distances=False)[0]
+
+    def rank_with_distances(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        order, sorted_dist = self._rank_slabs(queries, want_distances=True)
+        assert sorted_dist is not None
+        return order, sorted_dist
+
+    def _rank_slabs(
+        self, queries: np.ndarray, want_distances: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
         data = self._require_fitted()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n = data.shape[0]
         kernel = get_metric(self.metric)
         order = np.empty((queries.shape[0], n), dtype=np.intp)
+        sorted_dist = (
+            np.empty((queries.shape[0], n), dtype=np.float64)
+            if want_distances
+            else None
+        )
         dist = np.empty((self.query_block, n), dtype=np.float64)
         for qs in range(0, queries.shape[0], self.query_block):
             qe = min(queries.shape[0], qs + self.query_block)
@@ -256,7 +370,18 @@ class BlockedExactBackend(NeighborBackend):
                 te = min(n, ts + self.block_size)
                 buf[:, ts:te] = kernel(queries[qs:qe], data[ts:te])
             order[qs:qe] = stable_argsort_rows(buf)
-        return order
+            if sorted_dist is not None:
+                sorted_dist[qs:qe] = np.take_along_axis(
+                    buf, order[qs:qe], axis=1
+                )
+        return order, sorted_dist
+
+    # the index *is* the data matrix: base-class mutation needs no refit
+    def _partial_fit(self, points: np.ndarray) -> None:
+        pass
+
+    def _forget(self, idx: np.ndarray) -> None:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +454,30 @@ class LSHNeighborBackend(NeighborBackend):
         # tuning is deferred to the first prepare/query, when k is known
         self._index = None
         self._built_k = 0
+
+    def _partial_fit(self, points: np.ndarray) -> None:
+        # hash tables cannot absorb new points without re-tuning (the
+        # table count and widths depend on n and the contrast), so the
+        # mutation degrades to a refit: drop the index and rebuild
+        # lazily on the next prepare/query
+        warnings.warn(
+            "the LSH backend cannot update its tables incrementally; "
+            "falling back to a full refit on the next query",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        with self._build_lock:
+            self._fit(self._data)
+
+    def _forget(self, idx: np.ndarray) -> None:
+        warnings.warn(
+            "the LSH backend cannot delete from its tables incrementally; "
+            "falling back to a full refit on the next query",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        with self._build_lock:
+            self._fit(self._data)
 
     def _build(self, queries: Optional[np.ndarray], k: int) -> None:
         from ..lsh.contrast import (

@@ -71,6 +71,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     def as_dict(self) -> dict:
         """Snapshot as a plain dict (for ``ValuationResult.extra``)."""
@@ -78,6 +79,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -190,6 +192,37 @@ class RankCache:
             return True
 
     # ------------------------------------------------------------------
+    def invalidate(self, fingerprint: Hashable) -> int:
+        """Evict every entry whose key references ``fingerprint``.
+
+        Keys are matched three ways: the key *is* the fingerprint, the
+        key is a tuple *containing* it (the engine keys entries as
+        ``(train_fp, test_fp, backend_token)``), or the key is a string
+        containing it as a substring.  Returns the number of entries
+        dropped.
+
+        This is the delta path for dynamic datasets: mutating one
+        training set evicts only that set's rankings, leaving entries
+        for other datasets sharing the cache untouched.  A full
+        :meth:`clear` remains the right call after a wholesale refit.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key == fingerprint
+                or (isinstance(key, tuple) and fingerprint in key)
+                or (
+                    isinstance(key, str)
+                    and isinstance(fingerprint, str)
+                    and fingerprint in key
+                )
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
         with self._lock:

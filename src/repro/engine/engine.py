@@ -30,8 +30,10 @@ The engine serves every fast path of the paper:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 import numpy as np
@@ -40,7 +42,13 @@ from ..core.exact import exact_knn_shapley_from_order
 from ..core.regression import regression_shapley_from_order
 from ..core.truncated import truncated_values_from_labels, truncation_rank
 from ..exceptions import ParameterError
-from ..types import Dataset, ValuationResult, as_float_matrix, as_label_vector
+from ..types import (
+    Dataset,
+    ValuationResult,
+    as_float_matrix,
+    as_label_vector,
+    as_new_points,
+)
 from .backends import LSHNeighborBackend, NeighborBackend, make_backend
 from .cache import RankCache, array_fingerprint
 
@@ -52,6 +60,50 @@ _TOPK_METHODS = ("truncated", "lsh")
 
 def _default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
+
+
+class _RWLock:
+    """Many concurrent readers or one exclusive writer.
+
+    Valuations (reads) dominate and run concurrently; mutations
+    (writes) are rare and must see no in-flight valuation while they
+    swap the training arrays, backend index, and fingerprint as a
+    unit.  No writer preference — under sustained read load a writer
+    waits, which matches the serving workload (mutations are market
+    events, not the hot path).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
 
 
 class ValuationEngine:
@@ -132,6 +184,7 @@ class ValuationEngine:
             raise ParameterError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
         self._train_fp = array_fingerprint(self.x_train)
+        self._state_lock = _RWLock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -196,15 +249,22 @@ class ValuationEngine:
         """
         x_test = as_float_matrix(x_test, "x_test")
         y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
-        if x_test.shape[1] != self.x_train.shape[1]:
+        if method not in _EXACT_METHODS + _TOPK_METHODS:
             raise ParameterError(
-                f"x_test has {x_test.shape[1]} features, expected "
-                f"{self.x_train.shape[1]}"
+                f"unknown method {method!r}; expected one of "
+                f"{_EXACT_METHODS + _TOPK_METHODS}"
             )
-        if method in _EXACT_METHODS:
-            return self._value_exact(x_test, y_test, store_per_test)
-        if method in _TOPK_METHODS:
-            if method == "lsh" and not isinstance(self.backend, LSHNeighborBackend):
+        with self._state_lock.read():
+            if x_test.shape[1] != self.x_train.shape[1]:
+                raise ParameterError(
+                    f"x_test has {x_test.shape[1]} features, expected "
+                    f"{self.x_train.shape[1]}"
+                )
+            if method in _EXACT_METHODS:
+                return self._value_exact(x_test, y_test, store_per_test)
+            if method == "lsh" and not isinstance(
+                self.backend, LSHNeighborBackend
+            ):
                 raise ParameterError(
                     "method='lsh' requires the 'lsh' backend; this engine "
                     f"runs {self.backend.name!r}"
@@ -217,10 +277,6 @@ class ValuationEngine:
             return self._value_truncated(
                 x_test, y_test, epsilon, method, store_per_test
             )
-        raise ParameterError(
-            f"unknown method {method!r}; expected one of "
-            f"{_EXACT_METHODS + _TOPK_METHODS}"
-        )
 
     # convenience wrappers -------------------------------------------------
     def exact(self, x_test, y_test, **kwargs) -> ValuationResult:
@@ -236,6 +292,47 @@ class ValuationEngine:
     def lsh(self, x_test, y_test, epsilon: float = 0.1, **kwargs):
         """(epsilon, delta)-approximate values (Theorem 4); see :meth:`value`."""
         return self.value(x_test, y_test, method="lsh", epsilon=epsilon, **kwargs)
+
+    # ------------------------------------------------------------------
+    # dynamic datasets: mutate the training set being valued
+    def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
+        """Append training points; returns the indices they received.
+
+        Runs under the exclusive side of the engine's reader-writer
+        lock, so no valuation observes a half-applied mutation.  Exact
+        backends absorb the append in place; the LSH backend refits
+        (with a ``RuntimeWarning``).  Cached rankings of the *old*
+        training set are evicted by fingerprint — entries for other
+        datasets sharing the cache survive.
+        """
+        with self._state_lock.write():
+            x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
+            first = self.n_train
+            self.y_train = np.concatenate((self.y_train, y_new))
+            self.backend.partial_fit(x_new)
+            # alias the backend's index — one training-set copy, not two
+            self.x_train = self.backend.data
+            self._invalidate_train_fp()
+            return np.arange(first, first + x_new.shape[0], dtype=np.intp)
+
+    def remove_points(self, idx) -> None:
+        """Delete training points by index (``numpy.delete`` semantics)."""
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.intp))
+        if idx.size == 0:
+            return
+        with self._state_lock.write():
+            # backend.forget validates range/uniqueness/non-emptiness
+            # against the same n before anything is touched
+            self.backend.forget(idx)
+            self.x_train = self.backend.data
+            self.y_train = np.delete(self.y_train, idx)
+            self._invalidate_train_fp()
+
+    def _invalidate_train_fp(self) -> None:
+        old_fp = self._train_fp
+        self._train_fp = array_fingerprint(self.x_train)
+        if self.cache is not None:
+            self.cache.invalidate(old_fp)
 
     # ------------------------------------------------------------------
     def _value_exact(

@@ -1,12 +1,22 @@
 """Queue-based serving of concurrent valuation requests.
 
 The serving story of Section 3.2: a deployed system receives valuation
-requests — batches of test queries against a fixed training set — from
+requests — batches of test queries against the training set — from
 many clients at once.  :class:`ValuationService` puts a thread pool in
 front of a :class:`~repro.engine.engine.ValuationEngine`: requests
 enter a bounded queue as :class:`ValuationJob` handles, workers drain
 the queue, and every job records its own latency split (queue wait vs
 compute) so an operator can see where time goes under load.
+
+Dynamic datasets ride the same queue: a :class:`MutationRequest`
+(sellers joining or leaving) is just another job, applied atomically
+under the engine's reader-writer lock — every valuation sees a fully
+before- or fully after-mutation training set, never a torn one.  Jobs
+are *popped* in submission order, but with more than one worker they
+execute concurrently, so only a single-worker service guarantees that
+a valuation submitted after a mutation observes it; multi-worker
+clients that need that ordering should wait on the mutation job's
+``result()`` first.
 
 Because the engine is fit-once and its backends and cache are
 thread-safe for reads, all workers share one engine: the index is
@@ -20,8 +30,8 @@ import itertools
 import queue
 import threading
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 import numpy as np
 
@@ -29,7 +39,13 @@ from ..exceptions import ParameterError
 from ..types import ValuationResult
 from .engine import ValuationEngine
 
-__all__ = ["ValuationRequest", "ValuationJob", "ValuationService"]
+__all__ = [
+    "ValuationRequest",
+    "MutationRequest",
+    "MutationResult",
+    "ValuationJob",
+    "ValuationService",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,69 @@ class ValuationRequest:
     tag: str = ""
 
 
+@dataclass(frozen=True)
+class MutationRequest:
+    """One training-set mutation: sellers joining or leaving the market.
+
+    Mutations ride the same queue as valuations; the engine's
+    reader-writer lock keeps each one atomic with respect to
+    concurrently running valuations.  (Submission order is the
+    *execution* order only for a single-worker service — see the
+    module docstring.)
+
+    Attributes
+    ----------
+    kind:
+        ``"add"`` (requires ``x``, ``y``) or ``"remove"`` (requires
+        ``idx``, ``numpy.delete`` semantics).
+    x, y:
+        Points and labels to append.
+    idx:
+        Training indices to delete.
+    tag:
+        Free-form client identifier echoed in job stats.
+    """
+
+    kind: str
+    x: Optional[np.ndarray] = None
+    y: Optional[np.ndarray] = None
+    idx: Optional[np.ndarray] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ParameterError(
+                f"kind must be 'add' or 'remove', got {self.kind!r}"
+            )
+        if self.kind == "add" and (self.x is None or self.y is None):
+            raise ParameterError("an 'add' mutation requires x and y")
+        if self.kind == "remove" and self.idx is None:
+            raise ParameterError("a 'remove' mutation requires idx")
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of a served :class:`MutationRequest`.
+
+    Attributes
+    ----------
+    kind:
+        Echo of the request kind.
+    indices:
+        Indices the new points received (``"add"``) or the indices
+        removed (``"remove"``).
+    n_train:
+        Training-set size after the mutation.
+    extra:
+        Free-form provenance.
+    """
+
+    kind: str
+    indices: np.ndarray
+    n_train: int
+    extra: dict = field(default_factory=dict)
+
+
 class ValuationJob:
     """Handle for a submitted request; thread-safe future-like object.
 
@@ -65,7 +144,9 @@ class ValuationJob:
     cancelled``).  :meth:`result` blocks until settled.
     """
 
-    def __init__(self, job_id: int, request: ValuationRequest) -> None:
+    def __init__(
+        self, job_id: int, request: Union[ValuationRequest, MutationRequest]
+    ) -> None:
         self.job_id = job_id
         self.request = request
         self.status = "queued"
@@ -73,7 +154,7 @@ class ValuationJob:
         self.submitted_at = time.perf_counter()
         self.started_at: float | None = None
         self.finished_at: float | None = None
-        self._result: ValuationResult | None = None
+        self._result: ValuationResult | MutationResult | None = None
         self._done = threading.Event()
 
     # ------------------------------------------------------------------
@@ -96,7 +177,9 @@ class ValuationJob:
             return None
         return self.finished_at - self.started_at
 
-    def result(self, timeout: Optional[float] = None) -> ValuationResult:
+    def result(
+        self, timeout: Optional[float] = None
+    ) -> Union[ValuationResult, MutationResult]:
         """Block until the job settles and return its result.
 
         Raises
@@ -120,11 +203,17 @@ class ValuationJob:
 
     def stats(self) -> dict:
         """Per-job bookkeeping snapshot."""
+        if isinstance(self.request, MutationRequest):
+            method = f"mutate-{self.request.kind}"
+            n_test = 0
+        else:
+            method = self.request.method
+            n_test = int(np.atleast_2d(self.request.x_test).shape[0])
         return {
             "job_id": self.job_id,
             "tag": self.request.tag,
-            "method": self.request.method,
-            "n_test": int(np.atleast_2d(self.request.x_test).shape[0]),
+            "method": method,
+            "n_test": n_test,
             "status": self.status,
             "queue_seconds": self.queue_seconds,
             "compute_seconds": self.compute_seconds,
@@ -181,13 +270,16 @@ class ValuationService:
                 job.status = "running"
                 try:
                     req = job.request
-                    job._result = self.engine.value(
-                        req.x_test,
-                        req.y_test,
-                        method=req.method,
-                        epsilon=req.epsilon,
-                        store_per_test=req.store_per_test,
-                    )
+                    if isinstance(req, MutationRequest):
+                        job._result = self._apply_mutation(req)
+                    else:
+                        job._result = self.engine.value(
+                            req.x_test,
+                            req.y_test,
+                            method=req.method,
+                            epsilon=req.epsilon,
+                            store_per_test=req.store_per_test,
+                        )
                     job.status = "done"
                 except BaseException as exc:  # surfaced via job.result()
                     job.error = exc
@@ -198,8 +290,20 @@ class ValuationService:
             finally:
                 self._queue.task_done()
 
+    def _apply_mutation(self, req: MutationRequest) -> MutationResult:
+        if req.kind == "add":
+            indices = self.engine.add_points(req.x, req.y)
+        else:
+            indices = np.atleast_1d(np.asarray(req.idx, dtype=np.intp))
+            self.engine.remove_points(indices)
+        return MutationResult(
+            kind=req.kind, indices=indices, n_train=self.engine.n_train
+        )
+
     # ------------------------------------------------------------------
-    def submit(self, request: ValuationRequest) -> ValuationJob:
+    def submit(
+        self, request: Union[ValuationRequest, MutationRequest]
+    ) -> ValuationJob:
         """Enqueue a request; returns its :class:`ValuationJob` handle.
 
         Blocks while the queue is at ``max_queue``.  The enqueue happens
@@ -221,6 +325,16 @@ class ValuationService:
     ) -> ValuationJob:
         """Convenience wrapper building the :class:`ValuationRequest`."""
         return self.submit(ValuationRequest(x_test, y_test, **kwargs))
+
+    def submit_add(
+        self, x_new: np.ndarray, y_new: np.ndarray, tag: str = ""
+    ) -> ValuationJob:
+        """Enqueue an ``"add"`` :class:`MutationRequest`."""
+        return self.submit(MutationRequest(kind="add", x=x_new, y=y_new, tag=tag))
+
+    def submit_remove(self, idx, tag: str = "") -> ValuationJob:
+        """Enqueue a ``"remove"`` :class:`MutationRequest`."""
+        return self.submit(MutationRequest(kind="remove", idx=idx, tag=tag))
 
     def job(self, job_id: int) -> ValuationJob:
         """Look up a job handle by id."""

@@ -3,6 +3,7 @@
 from .fig_accuracy import figure8_accuracy_table
 from .fig_correctness import figure5_mc_convergence
 from .fig_engine import engine_throughput
+from .fig_incremental import incremental_churn
 from .fig_lsh import (
     figure9_contrast_vs_kstar,
     figure9_error_vs_recall,
@@ -54,4 +55,5 @@ __all__ = [
     "figure16_surrogate_correlation",
     "figure17_dataset_table_k25",
     "engine_throughput",
+    "incremental_churn",
 ]

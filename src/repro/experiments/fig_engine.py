@@ -18,7 +18,6 @@ Values agree to ~1e-15; the comparison is purely wall-clock.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.exact import exact_knn_shapley
 from ..datasets.synthetic import gaussian_blobs

@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.bounds import (
     bennett_approx_permutations,

@@ -13,7 +13,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.exact import exact_knn_shapley
 from ..core.montecarlo import baseline_mc_shapley, improved_mc_shapley

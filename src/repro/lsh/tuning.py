@@ -20,7 +20,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..exceptions import ParameterError
 from .contrast import ContrastEstimate, g_exponent
@@ -127,8 +126,8 @@ def choose_n_tables(
         return max_tables
     if p_catch >= 1:
         return 1
-    l = math.ceil(math.log(k_star / delta) / -math.log1p(-p_catch))
-    return int(min(max(1, l), max_tables))
+    tables = math.ceil(math.log(k_star / delta) / -math.log1p(-p_catch))
+    return int(min(max(1, tables), max_tables))
 
 
 def tune_lsh(

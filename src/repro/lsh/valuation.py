@@ -20,7 +20,7 @@ from ..core.truncated import truncated_values_from_labels, truncation_rank
 from ..exceptions import ParameterError
 from ..rng import SeedLike
 from ..types import Dataset, ValuationResult
-from .contrast import estimate_relative_contrast, normalize_to_unit_dmean
+from .contrast import normalize_to_unit_dmean
 from .tables import LSHIndex
 from .tuning import LSHParameters, tune_lsh
 

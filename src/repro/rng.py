@@ -8,7 +8,7 @@ forms so algorithm code never touches global numpy random state.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

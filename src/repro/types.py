@@ -23,7 +23,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from .exceptions import DataValidationError
+from .exceptions import DataValidationError, ParameterError
 
 __all__ = [
     "Dataset",
@@ -31,6 +31,7 @@ __all__ = [
     "ValuationResult",
     "as_float_matrix",
     "as_label_vector",
+    "as_new_points",
 ]
 
 
@@ -78,6 +79,35 @@ def as_label_vector(y: Any, n: int, name: str = "y") -> np.ndarray:
     if arr.dtype.kind == "f" and arr.size and not np.all(np.isfinite(arr)):
         raise DataValidationError(f"{name} contains non-finite values")
     return arr
+
+
+def as_new_points(
+    x_new: Any, y_new: Any, n_features: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce one mutation batch: points joining a training set.
+
+    The shared front door of every dynamic-dataset ``add_points``
+    (engine, incremental valuator, streaming accumulator): a single
+    1-D vector is one *point* (not one feature column), labels may be
+    scalar for a single point, and the feature width must match the
+    set being joined.
+
+    Returns ``(x_new, y_new)`` with ``x_new`` a C-contiguous float64
+    ``(m, n_features)`` matrix and ``y_new`` a length-``m`` label
+    vector.
+    """
+    x_arr = np.asarray(x_new, dtype=np.float64)
+    if x_arr.ndim == 1:
+        x_arr = x_arr.reshape(1, -1)
+    x_arr = as_float_matrix(x_arr, "x_new")
+    y_arr = as_label_vector(
+        np.atleast_1d(np.asarray(y_new)), x_arr.shape[0], "y_new"
+    )
+    if x_arr.shape[1] != n_features:
+        raise ParameterError(
+            f"new points have {x_arr.shape[1]} features, expected {n_features}"
+        )
+    return x_arr, y_arr
 
 
 @dataclass(frozen=True)

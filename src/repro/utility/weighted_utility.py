@@ -17,7 +17,6 @@ weighted Shapley value costs O(N^K) instead of O(N log N) (Theorem 7).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..core.exact import exact_knn_shapley
 from ..exceptions import ParameterError

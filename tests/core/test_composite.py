@@ -11,7 +11,6 @@ from repro.core import (
     exact_knn_shapley,
     shapley_by_subsets,
 )
-from repro.datasets import assign_sellers
 from repro.exceptions import ParameterError
 from repro.utility import (
     CompositeUtility,

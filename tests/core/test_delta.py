@@ -1,0 +1,148 @@
+"""Tests for the rank-local delta updates (repro.core.delta).
+
+Every delta function is checked against the reference Theorem 1
+recursion run from scratch on the mutated ranking: the suffix must be
+*bit-identical*, the shifted prefix within a rounding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import (
+    insert_rank_values,
+    insertion_position,
+    removal_position,
+    remove_rank_values,
+    suffix_rank_values,
+)
+from repro.core.exact import knn_shapley_single_test
+from repro.exceptions import ParameterError
+
+
+def _full(match, k):
+    """Reference rank-space values via the Theorem 1 recursion."""
+    labels = np.asarray(match, dtype=np.int64)
+    return knn_shapley_single_test(labels, 1, k)
+
+
+# ------------------------------------------------------------ positions
+def test_insertion_position_ties_go_right():
+    dist = np.array([0.5, 1.0, 1.0, 2.0])
+    # the new point has the largest training index, so among equal
+    # distances it ranks last
+    assert insertion_position(dist, 1.0) == 3
+    assert insertion_position(dist, 0.1) == 0
+    assert insertion_position(dist, 3.0) == 4
+
+
+def test_removal_position_finds_unique_entry():
+    order = np.array([4, 2, 0, 3, 1])
+    assert removal_position(order, 3) == 3
+    with pytest.raises(ParameterError):
+        removal_position(order, 9)  # absent
+    with pytest.raises(ParameterError):
+        removal_position(np.array([1, 1, 2]), 1)  # duplicated
+
+
+# --------------------------------------------------------------- suffix
+@pytest.mark.parametrize("k", [1, 3, 10, 40])
+def test_suffix_matches_full_recursion_bitwise(rng, k):
+    match = (rng.random(30) < 0.4).astype(np.float64)
+    full = _full(match, k)
+    for start in (0, 1, 7, 28, 29):
+        np.testing.assert_array_equal(
+            suffix_rank_values(match, start, k), full[start:]
+        )
+
+
+def test_suffix_single_point():
+    np.testing.assert_array_equal(
+        suffix_rank_values(np.array([1.0]), 0, 2), _full([1.0], 2)
+    )
+
+
+def test_suffix_validates_inputs():
+    with pytest.raises(ParameterError):
+        suffix_rank_values(np.array([1.0, 0.0]), 2, 3)
+    with pytest.raises(ParameterError):
+        suffix_rank_values(np.array([1.0, 0.0]), 0, 0)
+
+
+# --------------------------------------------------------------- insert
+@pytest.mark.parametrize("k", [1, 2, 5, 25])
+@pytest.mark.parametrize("n", [1, 2, 3, 20])
+def test_insert_matches_full_recursion_everywhere(rng, k, n):
+    match = (rng.random(n) < 0.5).astype(np.float64)
+    s_old = _full(match, k)
+    for pos in range(n + 1):
+        for m_new in (0.0, 1.0):
+            grown = np.insert(match, pos, m_new)
+            got = insert_rank_values(s_old, grown, pos, k)
+            want = _full(grown, k)
+            # recomputed suffix: bit-identical to a from-scratch run
+            np.testing.assert_array_equal(got[pos:], want[pos:])
+            # boundary + shifted prefix: within a rounding
+            np.testing.assert_allclose(got, want, rtol=0, atol=1e-15)
+
+
+def test_insert_validates_shapes():
+    with pytest.raises(ParameterError):
+        insert_rank_values(np.zeros(3), np.zeros(3), 0, 2)
+    with pytest.raises(ParameterError):
+        insert_rank_values(np.zeros(3), np.zeros(4), 5, 2)
+
+
+# --------------------------------------------------------------- remove
+@pytest.mark.parametrize("k", [1, 2, 5, 25])
+@pytest.mark.parametrize("n", [2, 3, 4, 20])
+def test_remove_matches_full_recursion_everywhere(rng, k, n):
+    match = (rng.random(n) < 0.5).astype(np.float64)
+    s_old = _full(match, k)
+    for pos in range(n):
+        shrunk = np.delete(match, pos)
+        got = remove_rank_values(s_old, shrunk, pos, k)
+        want = _full(shrunk, k)
+        start = min(pos, n - 2)  # the recomputed suffix: bit-identical
+        np.testing.assert_array_equal(got[start:], want[start:])
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-15)
+
+
+def test_remove_validates_shapes():
+    with pytest.raises(ParameterError):
+        remove_rank_values(np.zeros(1), np.zeros(0), 0, 2)
+    with pytest.raises(ParameterError):
+        remove_rank_values(np.zeros(3), np.zeros(3), 0, 2)
+    with pytest.raises(ParameterError):
+        remove_rank_values(np.zeros(3), np.zeros(2), 4, 2)
+
+
+# ----------------------------------------------------------- round trip
+@pytest.mark.parametrize("k", [1, 3, 7])
+def test_insert_then_remove_suffix_is_bit_exact(rng, k):
+    """The delta pair restores the suffix bit-for-bit, prefix to ~1 ulp."""
+    match = (rng.random(50) < 0.5).astype(np.float64)
+    s0 = _full(match, k)
+    for pos in (0, 13, 50):
+        grown = np.insert(match, pos, 1.0)
+        s1 = insert_rank_values(s0, grown, pos, k)
+        s2 = remove_rank_values(s1, match, pos, k)
+        np.testing.assert_array_equal(s2[pos:], s0[pos:])
+        np.testing.assert_allclose(s2, s0, rtol=0, atol=1e-16)
+
+
+def test_many_random_mutations_stay_exact(rng):
+    """A churn sequence of 60 random inserts/removes tracks the
+    reference recursion to well under the 1e-12 acceptance bound."""
+    k = 5
+    match = (rng.random(40) < 0.5).astype(np.float64)
+    s = _full(match, k)
+    for _ in range(60):
+        if match.size > 2 and rng.random() < 0.5:
+            pos = int(rng.integers(0, match.size))
+            match = np.delete(match, pos)
+            s = remove_rank_values(s, match, pos, k)
+        else:
+            pos = int(rng.integers(0, match.size + 1))
+            match = np.insert(match, pos, float(rng.integers(0, 2)))
+            s = insert_rank_values(s, match, pos, k)
+        np.testing.assert_allclose(s, _full(match, k), rtol=0, atol=1e-13)

@@ -8,7 +8,7 @@ from repro.core import (
     exact_knn_shapley,
     shapley_by_subsets,
 )
-from repro.datasets import assign_sellers, gaussian_blobs, regression_dataset
+from repro.datasets import assign_sellers, gaussian_blobs
 from repro.exceptions import ParameterError
 from repro.types import GroupedDataset
 from repro.utility import (

@@ -8,7 +8,6 @@ from repro.core import (
     improved_mc_shapley,
     shapley_by_subsets,
 )
-from repro.datasets import assign_sellers
 from repro.exceptions import ParameterError
 from repro.metrics import max_abs_error
 from repro.utility import (

@@ -80,3 +80,72 @@ def test_parameter_validation(data):
         StreamingKNNShapley(
             data.x_train, data.y_train, k=2, backend="kdtree"
         )
+
+
+# ------------------------------------------------------- dynamic training set
+def test_add_points_mid_stream(data):
+    """A point added mid-stream accumulates only from its arrival."""
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=3)
+    stream.update_batch(data.x_test[:4], data.y_test[:4])
+    newcomer = data.x_train[0] + 0.25
+    idx = stream.add_points(newcomer, data.y_train[0])
+    np.testing.assert_array_equal(idx, [120])
+    assert stream.n_train == 121
+    stream.update_batch(data.x_test[4:], data.y_test[4:])
+    # reference: replay the same split by hand over two accumulators
+    grown_x = np.vstack((data.x_train, newcomer[None, :]))
+    grown_y = np.concatenate((data.y_train, data.y_train[:1]))
+    ref = StreamingKNNShapley(grown_x, grown_y, k=3)
+    phase1 = np.zeros(121)
+    small = StreamingKNNShapley(data.x_train, data.y_train, k=3)
+    for j in range(4):
+        phase1[:120] += small.update(data.x_test[j], data.y_test[j])
+    phase2 = np.zeros(121)
+    for j in range(4, data.n_test):
+        phase2 += ref.update(data.x_test[j], data.y_test[j])
+    np.testing.assert_allclose(
+        stream.values().values,
+        (phase1 + phase2) / data.n_test,
+        atol=1e-12,
+    )
+
+
+def test_remove_points_mid_stream(data):
+    """Departed sellers leave; survivors keep their accumulated totals."""
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    c1 = stream.update(data.x_test[0], data.y_test[0])
+    stream.remove_points([5, 50])
+    assert stream.n_train == 118
+    c2 = stream.update(data.x_test[1], data.y_test[1])
+    shrunk_x = np.delete(data.x_train, [5, 50], axis=0)
+    shrunk_y = np.delete(data.y_train, [5, 50])
+    ref = StreamingKNNShapley(shrunk_x, shrunk_y, k=2)
+    ref_c2 = ref.update(data.x_test[1], data.y_test[1])
+    np.testing.assert_allclose(c2, ref_c2, atol=1e-12)
+    np.testing.assert_allclose(
+        stream.values().values, (np.delete(c1, [5, 50]) + c2) / 2, atol=1e-12
+    )
+
+
+def test_mutation_validation(data):
+    stream = StreamingKNNShapley(data.x_train, data.y_train, k=2)
+    with pytest.raises(ParameterError):
+        stream.add_points(np.zeros((1, 3)), [0])  # wrong width
+    with pytest.raises(ParameterError):
+        stream.remove_points([500])
+    stream.remove_points([])  # no-op
+    assert stream.n_train == 120
+
+
+def test_lsh_backend_mutation_refits_with_warning(data):
+    stream = StreamingKNNShapley(
+        data.x_train, data.y_train, k=1, backend="lsh",
+        epsilon=0.2, delta=0.2, seed=0,
+    )
+    stream.update(data.x_test[0], data.y_test[0])
+    with pytest.warns(RuntimeWarning, match="full refit"):
+        stream.add_points(data.x_train[3] + 0.1, data.y_train[3])
+    assert stream.n_train == 121
+    # the rebuilt index serves subsequent queries
+    stream.update(data.x_test[1], data.y_test[1])
+    assert stream.n_queries == 2

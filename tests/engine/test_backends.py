@@ -163,3 +163,85 @@ def test_custom_backend_registration(rng):
         from repro.engine.backends import _BACKEND_REGISTRY
 
         _BACKEND_REGISTRY.pop("echo-test", None)
+
+
+# -------------------------------------------------- mutation (partial_fit/forget)
+@pytest.mark.parametrize("name", ["brute", "blocked"])
+def test_exact_backend_partial_fit_equals_refit(rng, name):
+    data = rng.standard_normal((25, 4))
+    extra = rng.standard_normal((3, 4))
+    queries = rng.standard_normal((4, 4))
+    mutated = make_backend(name).fit(data)
+    assert mutated.supports_incremental_mutation
+    mutated.partial_fit(extra)
+    refit = make_backend(name).fit(np.vstack((data, extra)))
+    np.testing.assert_array_equal(mutated.rank(queries), refit.rank(queries))
+    mi, md = mutated.query(queries, 5)
+    ri, rd = refit.query(queries, 5)
+    np.testing.assert_array_equal(mi, ri)
+    np.testing.assert_array_equal(md, rd)
+
+
+@pytest.mark.parametrize("name", ["brute", "blocked"])
+def test_exact_backend_forget_equals_refit(rng, name):
+    data = rng.standard_normal((25, 4))
+    queries = rng.standard_normal((4, 4))
+    doomed = [0, 7, 24]
+    mutated = make_backend(name).fit(data)
+    mutated.forget(doomed)
+    refit = make_backend(name).fit(np.delete(data, doomed, axis=0))
+    assert mutated.n == 22
+    np.testing.assert_array_equal(mutated.rank(queries), refit.rank(queries))
+
+
+@pytest.mark.parametrize("name", ["brute", "blocked"])
+def test_rank_with_distances_consistent(rng, name):
+    data = rng.standard_normal((30, 3))
+    queries = rng.standard_normal((6, 3))
+    backend = make_backend(name).fit(data)
+    order, dist = backend.rank_with_distances(queries)
+    np.testing.assert_array_equal(order, backend.rank(queries))
+    assert np.all(np.diff(dist, axis=1) >= 0)  # ascending rows
+    # distances belong to the returned order
+    brute_order, brute_dist = make_backend("brute").fit(data).rank_with_distances(queries)
+    np.testing.assert_array_equal(order, brute_order)
+    np.testing.assert_array_equal(dist, brute_dist)
+
+
+def test_forget_validates_indices(rng):
+    backend = make_backend("brute").fit(rng.standard_normal((10, 2)))
+    with pytest.raises(ParameterError):
+        backend.forget([10])
+    with pytest.raises(ParameterError):
+        backend.forget([-1])
+    with pytest.raises(ParameterError):
+        backend.forget([2, 2])
+    with pytest.raises(ParameterError):
+        backend.forget(np.arange(10))  # cannot empty the index
+    backend.forget([])  # no-op
+    assert backend.n == 10
+
+
+def test_partial_fit_validates_width(rng):
+    backend = make_backend("brute").fit(rng.standard_normal((10, 2)))
+    with pytest.raises(ParameterError):
+        backend.partial_fit(rng.standard_normal((2, 5)))
+    backend.partial_fit(np.empty((0, 2)))  # no-op
+    assert backend.n == 10
+
+
+def test_lsh_mutation_warns_and_refits(rng):
+    data = rng.standard_normal((40, 3))
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(data)
+    backend.prepare(None, 3)
+    assert backend._index is not None
+    assert not backend.supports_incremental_mutation
+    with pytest.warns(RuntimeWarning, match="full refit"):
+        backend.partial_fit(rng.standard_normal((2, 3)))
+    assert backend.n == 42
+    assert backend._index is None  # rebuilt lazily on next query
+    idx, _ = backend.query(rng.standard_normal((1, 3)), 3)
+    assert backend._index is not None
+    with pytest.warns(RuntimeWarning, match="full refit"):
+        backend.forget([0])
+    assert backend.n == 41

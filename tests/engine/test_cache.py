@@ -98,3 +98,60 @@ def test_clear_keeps_stats():
 def test_validates_max_entries():
     with pytest.raises(ParameterError):
         RankCache(max_entries=0)
+
+
+# ------------------------------------------------- fingerprint invalidation
+def test_invalidate_single_fingerprint():
+    cache = RankCache()
+    order = np.zeros((1, 4), dtype=np.intp)
+    cache.put_ranking(("train-a", "test-1", "exact"), order)
+    cache.put_ranking(("train-a", "test-2", "exact"), order)
+    cache.put_ranking(("train-b", "test-1", "exact"), order)
+    cache.put_ranking("train-a", order)  # bare-string key
+    assert cache.invalidate("train-a") == 3
+    # only the other training set's entry survives
+    assert len(cache) == 1
+    assert cache.get_ranking(("train-b", "test-1", "exact")) is not None
+    assert cache.stats.invalidations == 3
+
+
+def test_invalidate_matches_string_keys_by_substring():
+    cache = RankCache()
+    order = np.zeros((1, 3), dtype=np.intp)
+    cache.put_ranking("abc123|test", order)
+    cache.put_ranking("zzz999|test", order)
+    assert cache.invalidate("abc123") == 1
+    assert len(cache) == 1
+
+
+def test_invalidate_missing_fingerprint_is_noop():
+    cache = RankCache()
+    cache.put_ranking("k", np.zeros((1, 2), dtype=np.intp))
+    assert cache.invalidate("absent") == 0
+    assert len(cache) == 1
+    assert cache.stats.invalidations == 0
+
+
+def test_engine_mutation_evicts_only_its_training_set(rng):
+    """Invalidation under mutation: a shared cache keeps entries for
+    other engines' training sets when one engine's data churns."""
+    from repro.engine import ValuationEngine
+
+    x1, y1 = rng.standard_normal((40, 4)), rng.integers(0, 2, 40)
+    x2, y2 = rng.standard_normal((30, 4)), rng.integers(0, 2, 30)
+    xt, yt = rng.standard_normal((5, 4)), rng.integers(0, 2, 5)
+    shared = RankCache()
+    eng1 = ValuationEngine(x1, y1, 3, cache=shared)
+    eng2 = ValuationEngine(x2, y2, 3, cache=shared)
+    eng1.value(xt, yt)
+    eng2.value(xt, yt)
+    assert len(shared) == 2
+    eng1.add_points(rng.standard_normal((1, 4)), [1])
+    # only eng1's ranking was evicted
+    assert len(shared) == 1
+    hits_before = shared.stats.hits
+    eng2.value(xt, yt)
+    assert shared.stats.hits == hits_before + 1
+    # eng1 revalues against the mutated set and repopulates the cache
+    eng1.value(xt, yt)
+    assert len(shared) == 2

@@ -207,3 +207,49 @@ def test_from_dataset_and_wrappers(data):
     trunc = engine.truncated(data.x_test, data.y_test, epsilon=0.1)
     assert exact.method == "exact"
     assert trunc.method == "truncated"
+
+
+# -------------------------------------------------- dynamic training sets
+@pytest.mark.parametrize("backend", ["brute", "blocked", "lsh"])
+def test_engine_mutation_matches_full_recompute(data, backend, full_recall_params, rng):
+    """Engine-level add/remove matches a freshly built engine on the
+    mutated dataset, on every backend (LSH mutates by warned refit)."""
+    options = {"params": full_recall_params(3), "seed": 0} if backend == "lsh" else None
+    method = "lsh" if backend == "lsh" else "exact"
+    epsilon = 1.0 / (data.n_train + 2)
+    engine = ValuationEngine(
+        data.x_train, data.y_train, 3, backend=backend, backend_options=options
+    )
+    x_new = rng.standard_normal((2, 12))
+    y_new = rng.integers(0, 2, 2)
+    if backend == "lsh":
+        with pytest.warns(RuntimeWarning, match="full refit"):
+            engine.add_points(x_new, y_new)
+    else:
+        engine.add_points(x_new, y_new)
+    got = engine.value(data.x_test, data.y_test, method=method, epsilon=epsilon)
+    fresh = ValuationEngine(
+        np.vstack((data.x_train, x_new)),
+        np.concatenate((data.y_train, y_new)),
+        3,
+        backend=backend,
+        backend_options=options,
+    ).value(data.x_test, data.y_test, method=method, epsilon=epsilon)
+    np.testing.assert_allclose(got.values, fresh.values, rtol=0, atol=1e-12)
+
+    doomed = [0, data.n_train]  # one incumbent, one newcomer
+    if backend == "lsh":
+        with pytest.warns(RuntimeWarning, match="full refit"):
+            engine.remove_points(doomed)
+    else:
+        engine.remove_points(doomed)
+    got = engine.value(data.x_test, data.y_test, method=method, epsilon=epsilon)
+    fresh = ValuationEngine(
+        np.delete(np.vstack((data.x_train, x_new)), doomed, axis=0),
+        np.delete(np.concatenate((data.y_train, y_new)), doomed),
+        3,
+        backend=backend,
+        backend_options=options,
+    ).value(data.x_test, data.y_test, method=method, epsilon=epsilon)
+    np.testing.assert_allclose(got.values, fresh.values, rtol=0, atol=1e-12)
+    assert engine.n_train == data.n_train

@@ -128,3 +128,74 @@ def test_shared_cache_across_jobs(data):
         service.submit_batch(data.x_test, data.y_test).result(timeout=60)
         second = service.submit_batch(data.x_test, data.y_test).result(timeout=60)
     assert second.extra["cache"]["hits"] >= 1
+
+
+# ------------------------------------------------------------ mutation jobs
+def test_mutation_jobs_ride_the_queue(data):
+    from repro.engine import MutationRequest, MutationResult
+
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    extra = data.x_train[:2] + 0.5
+    # one worker: jobs apply strictly in submission order, so the
+    # assertions below on sizes/indices are deterministic (with more
+    # workers only atomicity is guaranteed — see the sibling
+    # interleaving test)
+    with ValuationService(engine, n_workers=1) as service:
+        before = service.submit_batch(data.x_test, data.y_test).result(timeout=60)
+        add = service.submit_add(extra, data.y_train[:2], tag="joiner")
+        after = service.submit_batch(data.x_test, data.y_test)
+        drop = service.submit_remove([0, 1], tag="leaver")
+        added = add.result(timeout=60)
+        assert isinstance(added, MutationResult)
+        assert added.kind == "add"
+        np.testing.assert_array_equal(added.indices, [150, 151])
+        assert added.n_train == 152
+        assert drop.result(timeout=60).n_train == 150
+        assert add.stats()["method"] == "mutate-add"
+        assert add.stats()["n_test"] == 0
+    # the valuation after the add saw 152 training points
+    assert after.result().values.shape[0] == 152
+    assert before.values.shape[0] == 150
+    assert engine.n_train == 150
+    # request validation
+    with pytest.raises(ParameterError):
+        MutationRequest(kind="upsert")
+    with pytest.raises(ParameterError):
+        MutationRequest(kind="add")
+    with pytest.raises(ParameterError):
+        MutationRequest(kind="remove")
+
+
+def test_mutations_interleaved_with_valuations_under_load(data):
+    """Hammer one engine with valuations while a mutation lands; every
+    result must reflect either the before- or after-state, never a
+    torn one (the reader-writer lock keeps mutations atomic)."""
+    from repro.core import exact_knn_shapley
+    from repro.types import Dataset
+
+    engine = ValuationEngine(data.x_train, data.y_train, 3, cache=False)
+    with ValuationService(engine, n_workers=3) as service:
+        jobs = [service.submit_batch(data.x_test, data.y_test) for _ in range(4)]
+        mutation = service.submit_add(data.x_train[:1] + 1.0, data.y_train[:1])
+        jobs += [service.submit_batch(data.x_test, data.y_test) for _ in range(4)]
+        results = [j.result(timeout=120) for j in jobs]
+        mutation.result(timeout=120)
+    before = exact_knn_shapley(data, 3).values
+    after_data = Dataset(
+        np.vstack((data.x_train, data.x_train[:1] + 1.0)),
+        np.concatenate((data.y_train, data.y_train[:1])),
+        data.x_test,
+        data.y_test,
+    )
+    after = exact_knn_shapley(after_data, 3).values
+    for res in results:
+        ref = before if res.values.shape[0] == 150 else after
+        np.testing.assert_allclose(res.values, ref, rtol=0, atol=1e-12)
+
+
+def test_failed_mutation_surfaces_via_result(data, engine):
+    with ValuationService(engine, n_workers=1) as service:
+        job = service.submit_remove([10_000])
+        with pytest.raises(ParameterError):
+            job.result(timeout=60)
+        assert job.status == "failed"

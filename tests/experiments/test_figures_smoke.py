@@ -1,8 +1,6 @@
 """Smoke tests: every experiment function runs at miniature scale and
 returns a structurally valid result whose headline shape holds."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import (
     figure5_mc_convergence,
@@ -64,7 +62,7 @@ def test_figure10b_g_decreases_with_contrast():
     res = figure10_g_vs_width(contrasts=(1.2, 2.0), widths=(1.0, 2.0, 4.0))
     low = [r["g"] for r in res.rows if r["contrast"] == 1.2]
     high = [r["g"] for r in res.rows if r["contrast"] == 2.0]
-    assert all(h < l for h, l in zip(high, low))
+    assert all(h < lo for h, lo in zip(high, low))
 
 
 def test_figure11_budget_trends():

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.metrics import TimingResult, fit_loglog_slope, time_call
+from repro.metrics import fit_loglog_slope, time_call
 
 
 def test_time_call_returns_value_and_positive_time():

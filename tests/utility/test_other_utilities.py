@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.types import GroupedDataset
 from repro.utility import (
     CompositeUtility,
     GroupedUtility,
