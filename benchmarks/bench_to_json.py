@@ -42,12 +42,24 @@ WORKLOAD = {
     "k": 5,
     "repeat": 3,
     "seed": 0,
+    # weighted-method workload (PR 3: the engine's kernel registry).
+    # The single-shot Theorem 7 reference is O(N^K)-expensive, so the
+    # engine-vs-single-shot ratio runs at a small N; the cached ratio
+    # exercises the serving-scale N through the engine only.
+    "weighted_n_single": 300,
+    "weighted_n_cached": 20000,
+    "weighted_n_test": 4,
+    "weighted_k": 1,
 }
 
 
 def measure() -> dict:
     """Run the gate workload and return the JSON-ready report."""
-    from repro.experiments import engine_throughput, incremental_churn
+    from repro.experiments import (
+        engine_throughput,
+        incremental_churn,
+        weighted_engine,
+    )
 
     throughput = engine_throughput(
         sizes=(WORKLOAD["n_train"],),
@@ -65,6 +77,15 @@ def measure() -> dict:
         repeat=WORKLOAD["repeat"],
         seed=WORKLOAD["seed"],
     ).rows[0]
+    weighted = weighted_engine(
+        n_single=WORKLOAD["weighted_n_single"],
+        n_cached=WORKLOAD["weighted_n_cached"],
+        n_test=WORKLOAD["weighted_n_test"],
+        n_features=WORKLOAD["n_features"],
+        k=WORKLOAD["weighted_k"],
+        cached_repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows
     return {
         "schema": SCHEMA,
         "workload": dict(WORKLOAD),
@@ -73,6 +94,15 @@ def measure() -> dict:
             "cached_speedup": throughput["cached_speedup"],
             "incremental_add_speedup": churn["add_speedup"],
             "incremental_remove_speedup": churn["remove_speedup"],
+            # capped: the raw ratio (in "info") divides a ~0.3 s
+            # single-shot by a sub-millisecond engine time, so runner
+            # load could swing it far more than 30% with no real
+            # regression; losing the kernel fast path would still
+            # collapse the capped value to ~1 and fail the gate
+            "weighted_engine_vs_single_shot": min(
+                weighted[0]["speedup"], 50.0
+            ),
+            "weighted_cached_speedup": weighted[1]["cached_speedup"],
         },
         "info": {
             "single_shot_s": throughput["single_shot_s"],
@@ -82,6 +112,12 @@ def measure() -> dict:
             "incremental_remove_s": churn["remove_s"],
             "incremental_max_err": churn["max_err"],
             "roundtrip_exact": churn["roundtrip_exact"],
+            "weighted_single_shot_s": weighted[0]["single_shot_s"],
+            "weighted_engine_s": weighted[0]["engine_s"],
+            "weighted_engine_vs_single_shot_raw": weighted[0]["speedup"],
+            "weighted_engine_cold_s": weighted[1]["engine_cold_s"],
+            "weighted_engine_cached_s": weighted[1]["engine_cached_s"],
+            "weighted_max_err": weighted[0]["max_err"],
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -115,6 +151,9 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
         failures.append(f"incremental_max_err: {err:g} exceeds 1e-12")
     if candidate["info"].get("roundtrip_exact") is False:
         failures.append("roundtrip_exact: add-then-remove no longer bit-exact")
+    werr = candidate["info"].get("weighted_max_err")
+    if werr is not None and werr > 1e-12:
+        failures.append(f"weighted_max_err: {werr:g} exceeds 1e-12")
     return failures
 
 

@@ -25,6 +25,16 @@ Dynamic datasets
 * :mod:`repro.core.delta` — rank-local insert/delete repairs of the
   Theorem 1 recursion (the math under
   :class:`repro.engine.incremental.IncrementalValuator`)
+
+Kernel layer
+------------
+* :mod:`repro.core.kernels` — the :class:`~repro.core.kernels.RankPlan`
+  rank-space input, the registry of vectorized
+  :class:`~repro.core.kernels.ValuationKernel` recursions (``exact``,
+  ``truncated``, ``regression``, ``weighted``) and their capability
+  records.  The modules above are thin wrappers over it, and the
+  execution layers (:mod:`repro.engine`, streaming, LSH) dispatch
+  through it.
 """
 
 from .bounds import (
@@ -57,6 +67,18 @@ from .exact import (
 )
 from .grouped import exact_grouped_knn_shapley, grouped_shapley_single_test
 from .heap import KNearestHeap
+from .kernels import (
+    KernelCapabilities,
+    RankPlan,
+    ValuationKernel,
+    available_kernels,
+    classification_rank_values,
+    get_kernel,
+    register_kernel,
+    regression_rank_values,
+    truncated_rank_values,
+    weighted_rank_values,
+)
 from .montecarlo import baseline_mc_shapley, improved_mc_shapley
 from .piecewise import (
     chain_values_from_differences,
@@ -74,6 +96,16 @@ from .truncated import (
 from .weighted import exact_weighted_knn_shapley, weighted_shapley_single_test
 
 __all__ = [
+    "RankPlan",
+    "ValuationKernel",
+    "KernelCapabilities",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+    "classification_rank_values",
+    "truncated_rank_values",
+    "regression_rank_values",
+    "weighted_rank_values",
     "exact_knn_shapley",
     "exact_knn_shapley_from_order",
     "knn_shapley_single_test",

@@ -16,6 +16,11 @@ neighbor of the test point::
 
 For several test points, the additivity property makes the multi-test
 Shapley value the average of single-test values (eq 8 / Algorithm 1).
+
+This module is a thin wrapper over the shared ``exact`` kernel in
+:mod:`repro.core.kernels` — the recursion itself lives there, once,
+behind the same :class:`~repro.core.kernels.RankPlan` interface every
+other theorem uses.
 """
 
 from __future__ import annotations
@@ -25,44 +30,9 @@ import numpy as np
 from ..exceptions import ParameterError
 from ..knn.search import argsort_by_distance
 from ..types import Dataset, ValuationResult
+from .kernels import RankPlan, classification_rank_values, get_kernel
 
 __all__ = ["exact_knn_shapley", "exact_knn_shapley_from_order", "knn_shapley_single_test"]
-
-
-def _recursion_from_match(match_sorted: np.ndarray, k: int) -> np.ndarray:
-    """Run the Theorem 1 recursion for every row of ``match_sorted``.
-
-    Parameters
-    ----------
-    match_sorted:
-        Array of shape ``(n_test, n)``; entry ``[j, p]`` is 1.0 when
-        the (p+1)-th nearest neighbor of test point ``j`` carries the
-        test label, else 0.0.
-    k:
-        The K of KNN.
-
-    Returns
-    -------
-    numpy.ndarray
-        Shapley values in *rank* space, shape ``(n_test, n)``:
-        column ``p`` holds ``s_{alpha_{p+1}}``.
-    """
-    n_test, n = match_sorted.shape
-    s = np.empty((n_test, n), dtype=np.float64)
-    # Anchor: the farthest point only matters for coalitions of size
-    # < K, each contributing 1[match]/K.  For K < N that telescopes to
-    # 1[match]/N (eq 17); in general it is 1[match] * min(K, N)/(N K),
-    # which covers the K >= N corner the paper leaves implicit.
-    s[:, -1] = match_sorted[:, -1] * (min(k, n) / (n * k))
-    if n == 1:
-        return s
-    ranks = np.arange(1, n, dtype=np.float64)  # i = 1 .. n-1
-    factors = np.minimum(float(k), ranks) / (k * ranks)
-    diffs = (match_sorted[:, :-1] - match_sorted[:, 1:]) * factors[None, :]
-    # s_{alpha_i} = s_{alpha_N} + sum_{j=i}^{N-1} diff_j  -> reverse cumsum
-    tail = np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
-    s[:, :-1] = tail + s[:, -1:]
-    return s
 
 
 def exact_knn_shapley_from_order(
@@ -91,15 +61,8 @@ def exact_knn_shapley_from_order(
         ``(n_test, n_train)`` with the single-test values (in original
         training index order).
     """
-    if k <= 0:
-        raise ParameterError(f"k must be positive, got {k}")
-    order = np.asarray(order, dtype=np.intp)
-    y_train = np.asarray(y_train)
-    y_test = np.asarray(y_test)
-    match_sorted = (y_train[order] == y_test[:, None]).astype(np.float64)
-    s_rank = _recursion_from_match(match_sorted, k)
-    per_test = np.empty_like(s_rank)
-    np.put_along_axis(per_test, order, s_rank, axis=1)
+    plan = RankPlan.from_order(order, y_train, y_test)
+    per_test = get_kernel("exact").values_from_plan(plan, k)
     return per_test.mean(axis=0), per_test
 
 
@@ -150,4 +113,4 @@ def knn_shapley_single_test(
         raise ParameterError(f"k must be positive, got {k}")
     y_sorted = np.asarray(y_sorted)
     match = (y_sorted == y_test).astype(np.float64)[None, :]
-    return _recursion_from_match(match, k)[0]
+    return classification_rank_values(match, k)[0]

@@ -1,0 +1,866 @@
+"""Rank-space valuation kernels: one audited recursion core per theorem.
+
+Every fast algorithm in the paper (Jia et al., PVLDB'19) is, at heart,
+an O(N)-per-test recursion over the *same* inputs: the training points
+re-indexed by ascending distance to a test point, together with their
+labels (and, for the weighted variants, their distances).  This module
+names that shared input a :class:`RankPlan` and collects the
+recursions themselves behind one :class:`ValuationKernel` interface:
+
+==============  ===========================================  ==========
+kernel          recursion                                    complexity
+==============  ===========================================  ==========
+``exact``       Theorem 1 (unweighted classification)        O(N)
+``truncated``   Theorem 2 (zero beyond rank ``K*``)          O(K*)
+``regression``  Theorem 6 (unweighted regression)            O(N)
+``weighted``    Theorem 7 / eq (75) (weighted KNN)           O(N^K)
+==============  ===========================================  ==========
+
+The public modules :mod:`repro.core.exact`, :mod:`repro.core.truncated`,
+:mod:`repro.core.regression` and :mod:`repro.core.weighted` are thin
+wrappers over the rank-space functions here, and the batched/cached/
+parallel :class:`repro.engine.ValuationEngine` dispatches every request
+through the kernel registry — so the recursion each theorem depends on
+exists exactly once, is audited once, and every execution layer (single
+shot, engine, streaming, LSH) produces bit-identical values from the
+same plan.
+
+Capabilities
+------------
+Each kernel carries a :class:`KernelCapabilities` record so execution
+layers can route generically instead of hard-coding method names:
+
+* ``needs_full_ranking`` — the recursion consumes the whole ranking
+  (Theorems 1/6/7); ``False`` means a top-``K*`` prefix suffices
+  (Theorem 2, and therefore the LSH path of Theorem 4).
+* ``supports_incremental`` — the recursion is *rank-local* (see
+  :mod:`repro.core.delta`), so
+  :class:`repro.engine.incremental.IncrementalValuator` can repair
+  fitted state after insertions/deletions instead of recomputing.
+* ``supports_regression`` — the kernel consumes real-valued labels.
+* ``needs_distances`` — the kernel needs the sorted distance rows of
+  the plan (the weighted kernel's weight functions do).
+
+Dtype contract
+--------------
+``values_from_plan`` always returns a C-contiguous float64
+``(n_test, n_train)`` matrix in *original training-index order*
+(see :func:`repro.types.as_value_matrix`); the multi-test Shapley
+value is its column mean by additivity (eq 8).
+
+Third parties can register additional kernels with
+:func:`register_kernel`; the engine accepts any registered name as a
+``method``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..knn.weights import WeightFunction, get_weight_function
+from ..types import as_value_matrix
+
+__all__ = [
+    "KernelCapabilities",
+    "RankPlan",
+    "ValuationKernel",
+    "ExactClassificationKernel",
+    "TruncatedKernel",
+    "RegressionKernel",
+    "WeightedKernel",
+    "classification_rank_values",
+    "truncated_rank_values",
+    "regression_rank_values",
+    "weighted_rank_values",
+    "truncation_rank",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+]
+
+
+# ======================================================================
+# rank-space recursions (the audited cores)
+# ======================================================================
+def classification_rank_values(match_sorted: np.ndarray, k: int) -> np.ndarray:
+    """Run the Theorem 1 recursion for every row of ``match_sorted``.
+
+    Parameters
+    ----------
+    match_sorted:
+        Array of shape ``(n_test, n)``; entry ``[j, p]`` is 1.0 when
+        the (p+1)-th nearest neighbor of test point ``j`` carries the
+        test label, else 0.0.  (Any per-rank payload works — the
+        recursion only assumes the utility of a coalition is the mean
+        payload of its ``K`` nearest members, which is what the K=1
+        weighted fast path exploits.)
+    k:
+        The K of KNN.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shapley values in *rank* space, shape ``(n_test, n)``:
+        column ``p`` holds ``s_{alpha_{p+1}}``.
+    """
+    n_test, n = match_sorted.shape
+    s = np.empty((n_test, n), dtype=np.float64)
+    # Anchor: the farthest point only matters for coalitions of size
+    # < K, each contributing 1[match]/K.  For K < N that telescopes to
+    # 1[match]/N (eq 17); in general it is 1[match] * min(K, N)/(N K),
+    # which covers the K >= N corner the paper leaves implicit.
+    s[:, -1] = match_sorted[:, -1] * (min(k, n) / (n * k))
+    if n == 1:
+        return s
+    ranks = np.arange(1, n, dtype=np.float64)  # i = 1 .. n-1
+    factors = np.minimum(float(k), ranks) / (k * ranks)
+    diffs = (match_sorted[:, :-1] - match_sorted[:, 1:]) * factors[None, :]
+    # s_{alpha_i} = s_{alpha_N} + sum_{j=i}^{N-1} diff_j  -> reverse cumsum
+    tail = np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
+    s[:, :-1] = tail + s[:, -1:]
+    return s
+
+
+def truncation_rank(k: int, epsilon: float) -> int:
+    """The rank ``K* = max(K, ceil(1/epsilon))`` of Theorem 2.
+
+    The single implementation: :mod:`repro.core.truncated`, the engine's
+    top-``K*`` path and the LSH valuation all call this function.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    return max(k, math.ceil(1.0 / epsilon))
+
+
+def truncated_rank_values(
+    neighbor_labels: np.ndarray,
+    y_test: object,
+    k: int,
+    k_star: int,
+    n_train: int | None = None,
+) -> np.ndarray:
+    """Run the truncated recursion given the labels of ranked neighbors.
+
+    Parameters
+    ----------
+    neighbor_labels:
+        Labels of (at least the first ``k_star``) training points in
+        ascending-distance order for one test point.  Fewer labels are
+        accepted — the recursion then starts from the last available
+        rank, which is what happens when an approximate index returns
+        fewer than ``k_star`` candidates.
+    y_test:
+        The test label.
+    k:
+        The K of KNN.
+    k_star:
+        Truncation rank (ranks ``>= k_star`` get value 0).
+    n_train:
+        Total training-set size.  Only needed for the degenerate case
+        ``k_star >= n_train`` where no rank is truncated: the recursion
+        then anchors at the *exact* farthest-point value
+        ``1[match] * min(K, N) / (N K)`` and reproduces Theorem 1
+        exactly.  Defaults to "the labels are a strict prefix", i.e.
+        ranks at and beyond ``k_star`` exist and are zeroed.
+
+    Returns
+    -------
+    numpy.ndarray
+        Approximate Shapley values in rank space, one per supplied
+        label (zeros beyond rank ``k_star``).
+    """
+    labels = np.asarray(neighbor_labels)
+    n = labels.shape[0]
+    values = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return values
+    match = (labels == y_test).astype(np.float64)
+    if n_train is not None and k_star >= n_train and n == n_train:
+        # Nothing is truncated: anchor exactly (Theorem 1).
+        running = float(match[-1]) * min(k, n_train) / (n_train * k)
+        values[-1] = running
+        start = n - 1
+    else:
+        # s_{alpha_i} = 0 for ranks >= k_star; recurse below them.
+        running = 0.0
+        start = min(k_star - 1, n - 1)
+    for i in range(start, 0, -1):  # i is the 1-based rank of alpha_i
+        running += (match[i - 1] - match[i]) / k * min(k, i) / i
+        values[i - 1] = running
+    return values
+
+
+def regression_rank_values(
+    y_sorted: np.ndarray, t: float, k: int
+) -> np.ndarray:
+    """Theorem 6 recursion for one test point, in rank space.
+
+    See :mod:`repro.core.regression` for the derivation of the prefix/
+    suffix-sum form implemented here.
+    """
+    n = y_sorted.shape[0]
+    y = np.asarray(y_sorted, dtype=np.float64)
+    s = np.empty(n, dtype=np.float64)
+
+    if n == 1:
+        # Only coalition sizes 0/1 exist: s_1 = v({1}) - v(∅).
+        s[0] = -((y[0] / k - t) ** 2) + t**2
+        return s
+
+    total = float(y.sum())
+    if k >= n:
+        # Every coalition has size < K, so the farthest point always
+        # contributes; averaging its marginal -(y_N/K)(2*sum(S)/K +
+        # y_N/K - 2t) over the Shapley weights gives the closed form
+        # below (the paper's eq 62 assumes K < N).
+        s[-1] = -(y[-1] / k) * (total / k - 2.0 * t)
+    else:
+        # The paper's eq (62) silently uses v(∅) = 0, but eq (25) gives
+        # v(∅) = -t^2.  The empty coalition contributes (v({i}) -
+        # v(∅))/N to every player, so honoring eq (25) adds t^2/N to
+        # the anchor (and thereby, through the telescoping, to every
+        # value) — this is what makes group rationality sum to
+        # v(I) - v(∅) exactly.
+        s[-1] = (
+            -((k - 1) / (n * k))
+            * y[-1]
+            * (y[-1] / k - 2.0 * t + (total - y[-1]) / (n - 1))
+            - (1.0 / n) * (y[-1] / k - t) ** 2
+            + t**2 / n
+        )
+
+    i = np.arange(1, n, dtype=np.float64)  # ranks 1 .. n-1
+    min_ki = np.minimum(float(k), i)
+    min_k1 = np.minimum(float(k - 1), i - 1.0)
+
+    # prefix sums P_{i-1} = sum_{l <= i-1} y_l  (P_0 = 0); note
+    # prefix[i-1] = sum of y_1..y_{i-1}, arrays are 0-indexed below
+    prefix = np.concatenate(([0.0], np.cumsum(y)[:-1]))  # prefix[j] = sum of first j labels
+    p_im1 = prefix[0 : n - 1]  # for i = 1..n-1: prefix of i-1 labels
+
+    # suffix sums T_{i+2} = sum_{l >= i+2} w_l y_l with
+    # w_l = min(K, l-1) * min(K-1, l-2) / ((l-1)(l-2)), defined for l >= 3.
+    w = np.zeros(n + 1, dtype=np.float64)  # w[l] for 1-based l
+    ell = np.arange(3, n + 1, dtype=np.float64)
+    w[3:] = np.minimum(float(k), ell - 1.0) * np.minimum(float(k - 1), ell - 2.0) / (
+        (ell - 1.0) * (ell - 2.0)
+    )
+    wy = w[1:] * y  # weighted labels, 0-indexed position l-1
+    suffix = np.concatenate((np.cumsum(wy[::-1])[::-1], [0.0]))  # suffix[p] = sum_{l>=p+1} wy
+    # T_{i+2} = sum over l >= i+2 -> suffix at 0-indexed position i+1
+    t_suffix = suffix[2 : n + 1]  # for i = 1..n-1: suffix[i+1]
+
+    u1 = (min_ki / i) * ((y[:-1] + y[1:]) / k - 2.0 * t)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        prefix_coeff = np.where(
+            i > 1.0, min_ki * min_k1 / (np.maximum(i - 1.0, 1.0) * i), 0.0
+        )
+    u2 = (p_im1 * prefix_coeff + t_suffix) / k
+    deltas = (y[1:] - y[:-1]) / k * (u1 + u2)  # s_i - s_{i+1} for i = 1..n-1
+
+    tail = np.cumsum(deltas[::-1])[::-1]
+    s[:-1] = s[-1] + tail
+    return s
+
+
+def _pad_weight(n: int, k: int, rmax: int) -> float:
+    """``sum_{k'=K-1}^{N-2} C(N - rmax, k' - K + 1) / C(N-2, k')``.
+
+    The total Lemma-1 weight of one size-(K-1) configuration whose
+    worst member (including the pair i, i+1) has rank ``rmax``.
+    """
+    avail = n - rmax
+    total = 0.0
+    for pad in range(avail + 1):
+        kk = k - 1 + pad
+        if kk > n - 2:
+            break
+        total += math.comb(avail, pad) / math.comb(n - 2, kk)
+    return total
+
+
+def weighted_rank_values(
+    v: Callable[[Tuple[int, ...]], float], n: int, k: int
+) -> np.ndarray:
+    """Theorem 7 for one test point, given a coalition-value oracle.
+
+    Parameters
+    ----------
+    v:
+        Maps a tuple of sorted 1-based *ranks* to the coalition's
+        single-test utility.  Evaluations are memoized here, so the
+        oracle may be arbitrarily expensive.
+    n:
+        Number of players (training points).
+    k:
+        The K of KNN.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shapley values in rank space, length ``n``.
+
+    Complexity: ``O(C(N-2, K-1) * N)`` utility evaluations — exponential
+    in K but polynomial in N, matching the paper's ``O(N^K)``.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be positive, got {n}")
+    value_cache: dict[tuple[int, ...], float] = {}
+
+    def cv(rank_members: tuple[int, ...]) -> float:
+        """Memoized utility of a coalition of sorted 1-based ranks."""
+        cached = value_cache.get(rank_members)
+        if cached is None:
+            cached = v(rank_members)
+            value_cache[rank_members] = cached
+        return cached
+
+    if n < 2:
+        # single training point: s = v({1}) - v(∅)
+        return np.array([cv((1,)) - cv(())])
+
+    s_rank = np.empty(n, dtype=np.float64)
+
+    # ---- anchor: the farthest point (eq 74) -------------------------
+    others = range(1, n)  # ranks 1..N-1
+    total = 0.0
+    for size in range(0, k):
+        inv_binom = 1.0 / math.comb(n - 1, size)
+        level = 0.0
+        for combo in itertools.combinations(others, size):
+            with_n = tuple(sorted(combo + (n,)))
+            level += cv(with_n) - cv(combo)
+        total += inv_binom * level
+    s_rank[n - 1] = total / n
+
+    # ---- recursion over adjacent ranks (eq 75) ----------------------
+    pool = list(range(1, n + 1))
+    for i in range(n - 1, 0, -1):  # compute s_i from s_{i+1}
+        rest = [r for r in pool if r != i and r != i + 1]
+        acc = 0.0
+        # small coalitions: |S| <= K-2, every subset counts once
+        for size in range(0, max(0, k - 1)):
+            inv_binom = 1.0 / math.comb(n - 2, size)
+            level = 0.0
+            for combo in itertools.combinations(rest, size):
+                si = tuple(sorted(combo + (i,)))
+                sj = tuple(sorted(combo + (i + 1,)))
+                level += cv(si) - cv(sj)
+            acc += inv_binom * level
+        # large coalitions: top-(K-1) configurations with pad weights
+        if n - 2 >= k - 1:
+            for combo in itertools.combinations(rest, k - 1):
+                rmax = max(combo + (i + 1,))
+                si = tuple(sorted(combo + (i,)))
+                sj = tuple(sorted(combo + (i + 1,)))
+                diff = cv(si) - cv(sj)
+                if diff != 0.0:
+                    acc += _pad_weight(n, k, rmax) * diff
+        s_rank[i - 1] = s_rank[i] + acc / (n - 1)
+
+    return s_rank
+
+
+# ======================================================================
+# RankPlan: the one input every theorem consumes
+# ======================================================================
+@dataclass
+class RankPlan:
+    """Per-test rank-space inputs for the valuation kernels.
+
+    A plan packages, for a batch of test points, everything the
+    theorems' recursions consume: the ascending-distance rank order,
+    the training labels in that order, the test labels, and (when a
+    kernel needs them) the sorted distances.  Plans come in three
+    physical shapes:
+
+    * **full ranking** — ``order`` is a ``(n_test, n_train)``
+      permutation per row (``lengths is None``); required by the
+      ``exact``, ``regression`` and ``weighted`` kernels;
+    * **rectangular prefix** — the first ``m < n_train`` ranks per row
+      (exact top-``K*`` retrieval);
+    * **ragged** — per-row prefixes of varying length, padded to the
+      longest with ``lengths`` recording each row's valid width
+      (approximate LSH retrieval may return fewer than ``K*``).
+
+    Attributes
+    ----------
+    order:
+        ``(n_test, m)`` training indices, nearest first.
+    labels_sorted:
+        ``(n_test, m)`` training labels in rank order
+        (``y_train[order]``).
+    y_test:
+        ``(n_test,)`` test labels.
+    n_train:
+        Total training-set size (``m <= n_train``).
+    distances_sorted:
+        Optional ``(n_test, m)`` ascending distances matching
+        ``order``.
+    lengths:
+        Optional ``(n_test,)`` valid-prefix lengths for ragged plans;
+        entries beyond a row's length are padding and never read.
+    y_train:
+        Optional reference to the labels in original index order
+        (kept by the constructors; the weighted kernel indexes labels
+        by training index rather than by rank).
+    """
+
+    order: np.ndarray
+    labels_sorted: np.ndarray
+    y_test: np.ndarray
+    n_train: int
+    distances_sorted: Optional[np.ndarray] = None
+    lengths: Optional[np.ndarray] = None
+    y_train: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_order(
+        cls,
+        order: np.ndarray,
+        y_train: np.ndarray,
+        y_test: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+    ) -> "RankPlan":
+        """Build a rectangular plan from a precomputed ranking.
+
+        ``order`` may be the full ``(n_test, n_train)`` ranking or a
+        top-``m`` prefix; ``distances`` (if given) must match its
+        shape.
+        """
+        order = np.atleast_2d(np.asarray(order, dtype=np.intp))
+        y_train = np.asarray(y_train)
+        y_test = np.atleast_1d(np.asarray(y_test))
+        if y_test.shape[0] != order.shape[0]:
+            raise ParameterError(
+                f"y_test has length {y_test.shape[0]}, expected "
+                f"{order.shape[0]} (one label per ranked test point)"
+            )
+        if distances is not None:
+            distances = np.atleast_2d(np.asarray(distances, dtype=np.float64))
+            if distances.shape != order.shape:
+                raise ParameterError(
+                    f"distances shape {distances.shape} does not match "
+                    f"order shape {order.shape}"
+                )
+        return cls(
+            order=order,
+            labels_sorted=y_train[order],
+            y_test=y_test,
+            n_train=int(y_train.shape[0]),
+            distances_sorted=distances,
+            y_train=y_train,
+        )
+
+    @classmethod
+    def from_neighbor_rows(
+        cls,
+        rows: Sequence[np.ndarray],
+        y_train: np.ndarray,
+        y_test: np.ndarray,
+    ) -> "RankPlan":
+        """Build a (possibly ragged) plan from per-test neighbor lists.
+
+        ``rows[j]`` lists the retrieved training indices of test point
+        ``j``, nearest first; rows may differ in length or be empty
+        (an approximate index with sparse buckets).
+        """
+        y_train = np.asarray(y_train)
+        y_test = np.atleast_1d(np.asarray(y_test))
+        if len(rows) != y_test.shape[0]:
+            raise ParameterError(
+                f"got {len(rows)} neighbor rows for {y_test.shape[0]} "
+                "test labels"
+            )
+        lengths = np.array([np.asarray(r).shape[0] for r in rows], dtype=np.intp)
+        width = int(lengths.max()) if lengths.size else 0
+        order = np.zeros((len(rows), width), dtype=np.intp)
+        for j, row in enumerate(rows):
+            row = np.asarray(row, dtype=np.intp)
+            order[j, : row.shape[0]] = row
+        # lengths are always kept: retrieval rows carry no permutation
+        # guarantee, so these plans never take the full-ranking
+        # scatter even when a row happens to span the training set
+        return cls(
+            order=order,
+            labels_sorted=y_train[order],
+            y_test=y_test,
+            n_train=int(y_train.shape[0]),
+            lengths=lengths,
+            y_train=y_train,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_test(self) -> int:
+        """Number of test points in the plan."""
+        return int(self.order.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of ranks materialized per row (``<= n_train``)."""
+        return int(self.order.shape[1])
+
+    @property
+    def is_full_ranking(self) -> bool:
+        """Whether every row is a full permutation of the training set."""
+        return self.lengths is None and self.width == self.n_train
+
+    def row_length(self, j: int) -> int:
+        """Valid prefix length of row ``j``."""
+        return self.width if self.lengths is None else int(self.lengths[j])
+
+    def match_sorted(self) -> np.ndarray:
+        """0/1 label-match matrix in rank order, float64.
+
+        Entry ``[j, p]`` is 1.0 when the (p+1)-th nearest neighbor of
+        test point ``j`` carries the test label.
+        """
+        return (self.labels_sorted == self.y_test[:, None]).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def scatter(self, values_rank: np.ndarray) -> np.ndarray:
+        """Scatter rank-space values to original training-index order.
+
+        Returns the C-contiguous float64 ``(n_test, n_train)`` per-test
+        value matrix of the kernel output contract; ranks a plan does
+        not cover receive exactly 0 (Theorem 2's truncation).
+        """
+        if self.is_full_ranking:
+            per_test = np.empty((self.n_test, self.n_train), dtype=np.float64)
+            np.put_along_axis(per_test, self.order, values_rank, axis=1)
+        else:
+            per_test = np.zeros((self.n_test, self.n_train), dtype=np.float64)
+            for j in range(self.n_test):
+                lj = self.row_length(j)
+                if lj:
+                    per_test[j, self.order[j, :lj]] = values_rank[j, :lj]
+        return as_value_matrix(per_test)
+
+
+# ======================================================================
+# kernels
+# ======================================================================
+@dataclass(frozen=True)
+class KernelCapabilities:
+    """What a kernel consumes and which execution paths it supports."""
+
+    needs_full_ranking: bool
+    supports_incremental: bool
+    supports_regression: bool
+    needs_distances: bool = False
+
+
+class ValuationKernel(ABC):
+    """A vectorized rank-space Shapley recursion behind the registry.
+
+    Subclasses implement :meth:`values_from_plan` and publish a
+    :attr:`capabilities` record; the engine, streaming accumulator and
+    incremental valuator route on those capabilities instead of on
+    method names.
+    """
+
+    #: registry name; overridden by subclasses
+    name: str = "abstract"
+    capabilities: KernelCapabilities
+
+    @abstractmethod
+    def values_from_plan(
+        self, plan: RankPlan, k: int, **params
+    ) -> np.ndarray:
+        """Per-test Shapley values for ``plan``.
+
+        Returns a C-contiguous float64 ``(n_test, n_train)`` matrix in
+        original training-index order (the dtype contract of
+        :mod:`repro.types`); the multi-test value is its column mean.
+        """
+
+    # ------------------------------------------------------------------
+    def _check_k(self, k: int) -> int:
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        return int(k)
+
+    def _require_full_ranking(self, plan: RankPlan) -> None:
+        if not plan.is_full_ranking:
+            raise ParameterError(
+                f"the {self.name!r} kernel needs a full ranking; the plan "
+                f"covers {plan.width} of {plan.n_train} ranks"
+            )
+
+
+class ExactClassificationKernel(ValuationKernel):
+    """Theorem 1: exact values for the unweighted KNN classifier."""
+
+    name = "exact"
+    capabilities = KernelCapabilities(
+        needs_full_ranking=True,
+        supports_incremental=True,
+        supports_regression=False,
+    )
+
+    def values_from_plan(self, plan: RankPlan, k: int) -> np.ndarray:
+        k = self._check_k(k)
+        self._require_full_ranking(plan)
+        s_rank = classification_rank_values(plan.match_sorted(), k)
+        return plan.scatter(s_rank)
+
+
+class TruncatedKernel(ValuationKernel):
+    """Theorem 2: the (epsilon, 0) truncation of the exact recursion.
+
+    Also serves Theorem 4 — the LSH path is this kernel over a ragged
+    plan of approximate neighbors.
+    """
+
+    name = "truncated"
+    capabilities = KernelCapabilities(
+        needs_full_ranking=False,
+        supports_incremental=False,
+        supports_regression=False,
+    )
+
+    def values_from_plan(
+        self,
+        plan: RankPlan,
+        k: int,
+        epsilon: Optional[float] = None,
+        k_star: Optional[int] = None,
+        exact_anchor: bool = True,
+    ) -> np.ndarray:
+        """Truncated values; give either ``epsilon`` or ``k_star``.
+
+        ``exact_anchor`` anchors the recursion at the exact
+        farthest-point value whenever a row covers the whole training
+        set (``k_star >= n_train``); disable it to reproduce the pure
+        zero-anchored truncation regardless of coverage.
+        """
+        k = self._check_k(k)
+        if k_star is None:
+            if epsilon is None:
+                raise ParameterError(
+                    "the truncated kernel needs epsilon or k_star"
+                )
+            k_star = truncation_rank(k, epsilon)
+        n_train = plan.n_train if exact_anchor else None
+        vals = np.zeros((plan.n_test, plan.width), dtype=np.float64)
+        for j in range(plan.n_test):
+            lj = plan.row_length(j)
+            if lj == 0:
+                continue
+            vals[j, :lj] = truncated_rank_values(
+                plan.labels_sorted[j, :lj],
+                plan.y_test[j],
+                k,
+                k_star,
+                n_train=n_train,
+            )
+        return plan.scatter(vals)
+
+
+class RegressionKernel(ValuationKernel):
+    """Theorem 6: exact values for the unweighted KNN regressor."""
+
+    name = "regression"
+    capabilities = KernelCapabilities(
+        needs_full_ranking=True,
+        supports_incremental=False,
+        supports_regression=True,
+    )
+
+    def values_from_plan(self, plan: RankPlan, k: int) -> np.ndarray:
+        k = self._check_k(k)
+        self._require_full_ranking(plan)
+        y_sorted = np.asarray(plan.labels_sorted, dtype=np.float64)
+        y_test = np.asarray(plan.y_test, dtype=np.float64)
+        s_rank = np.empty((plan.n_test, plan.width), dtype=np.float64)
+        for j in range(plan.n_test):
+            s_rank[j] = regression_rank_values(y_sorted[j], float(y_test[j]), k)
+        return plan.scatter(s_rank)
+
+
+class WeightedKernel(ValuationKernel):
+    """Theorem 7: exact values for weighted KNN (classification and
+    regression, eqs 26/27).
+
+    The reference path evaluates the eq (74)/(75) recursion through a
+    coalition-value oracle built from the plan — ``O(N^K)`` utility
+    evaluations, bit-identical to
+    :func:`repro.core.weighted.exact_weighted_knn_shapley`.  For
+    ``K = 1`` with a built-in (normalizing) weight function, a
+    single neighbor always receives weight exactly 1.0, so the game
+    collapses to the Theorem 1 recursion over a per-rank payload and
+    the kernel runs the vectorized O(N) fast path instead (equal to
+    the reference within accumulated rounding, ~1e-15).
+    """
+
+    name = "weighted"
+    capabilities = KernelCapabilities(
+        needs_full_ranking=True,
+        supports_incremental=False,
+        supports_regression=True,
+        needs_distances=True,
+    )
+
+    def values_from_plan(
+        self,
+        plan: RankPlan,
+        k: int,
+        weights: Union[str, WeightFunction] = "inverse_distance",
+        task: str = "classification",
+        mode: str = "auto",
+    ) -> np.ndarray:
+        """Weighted values from a full ranking with distances.
+
+        Parameters
+        ----------
+        weights:
+            Weight-function name or callable
+            (:mod:`repro.knn.weights`).
+        task:
+            ``"classification"`` (eq 26) or ``"regression"`` (eq 27).
+        mode:
+            ``"auto"`` (default) picks the O(N) fast path when it is
+            exact-equivalent (``k == 1`` with a named built-in weight
+            function); ``"reference"`` forces the Theorem 7
+            combinatorial path.
+        """
+        k = self._check_k(k)
+        self._require_full_ranking(plan)
+        if task not in ("classification", "regression"):
+            raise ParameterError(
+                f"task must be 'classification' or 'regression', got {task!r}"
+            )
+        if mode not in ("auto", "reference"):
+            raise ParameterError(
+                f"mode must be 'auto' or 'reference', got {mode!r}"
+            )
+        if callable(weights):
+            weight_fn: WeightFunction = weights
+        else:
+            weight_fn = get_weight_function(weights)
+        if mode == "auto" and k == 1 and not callable(weights):
+            # every built-in weight function normalizes, so the lone
+            # neighbor of a K=1 coalition weighs exactly 1.0
+            return self._k1_fast_path(plan, task)
+        return self._reference_path(plan, k, weight_fn, task)
+
+    # ------------------------------------------------------------------
+    def _k1_fast_path(self, plan: RankPlan, task: str) -> np.ndarray:
+        if task == "classification":
+            payload = plan.match_sorted()
+        else:
+            # v(S) = -(y_nearest - t)^2 with v(∅) = -t^2; running the
+            # Theorem 1 recursion on g' = v - v(∅) yields the Shapley
+            # values of the shifted game, which equal the originals.
+            y = np.asarray(plan.labels_sorted, dtype=np.float64)
+            t = np.asarray(plan.y_test, dtype=np.float64)[:, None]
+            payload = t**2 - (y - t) ** 2
+        return plan.scatter(classification_rank_values(payload, 1))
+
+    def _reference_path(
+        self, plan: RankPlan, k: int, weight_fn: WeightFunction, task: str
+    ) -> np.ndarray:
+        if plan.distances_sorted is None:
+            raise ParameterError(
+                "the weighted kernel needs the plan's sorted distances; "
+                "build it with RankPlan.from_order(..., distances=...)"
+            )
+        if plan.y_train is None:
+            raise ParameterError(
+                "the weighted kernel needs plan.y_train (labels in "
+                "original index order)"
+            )
+        order = plan.order
+        q, n = order.shape
+        # rank of training point i for test j, and its distance, both
+        # addressed by original index — the same precomputation the
+        # weighted utility objects perform
+        inv_order = np.empty_like(order)
+        rows = np.arange(q)[:, None]
+        inv_order[rows, order] = np.arange(n)[None, :]
+        dist_by_index = np.empty_like(plan.distances_sorted)
+        np.put_along_axis(dist_by_index, order, plan.distances_sorted, axis=1)
+        y_train = plan.y_train
+        y_test = plan.y_test
+        classification = task == "classification"
+
+        s_by_index = np.empty((q, n), dtype=np.float64)
+        for j in range(q):
+            order_j = order[j]
+            inv_j = inv_order[j]
+            dist_j = dist_by_index[j]
+            t = y_test[j] if classification else float(y_test[j])
+
+            def v(rank_members: tuple[int, ...]) -> float:
+                members = order_j[np.asarray(rank_members, dtype=np.intp) - 1]
+                members = np.sort(members)
+                if members.size == 0:
+                    return 0.0 if classification else -(t**2)
+                kk = min(k, members.size)
+                ranks = inv_j[members]
+                nearest = members[np.argsort(ranks, kind="stable")[:kk]]
+                w = weight_fn(dist_j[nearest])
+                if classification:
+                    match = (y_train[nearest] == t).astype(np.float64)
+                    return float(np.dot(w, match))
+                pred = float(
+                    np.dot(w, np.asarray(y_train, dtype=np.float64)[nearest])
+                )
+                return -((pred - t) ** 2)
+
+            s_rank = weighted_rank_values(v, n, k)
+            s_by_index[j, order_j] = s_rank
+        return as_value_matrix(s_by_index)
+
+
+# ======================================================================
+# registry
+# ======================================================================
+_KERNEL_REGISTRY: Dict[str, ValuationKernel] = {}
+
+
+def register_kernel(
+    kernel: ValuationKernel, name: Optional[str] = None
+) -> None:
+    """Register a kernel instance under ``name`` (overwrites quietly).
+
+    Third-party kernels registered here become valid ``method`` names
+    for :meth:`repro.engine.ValuationEngine.value`.
+    """
+    key = name or kernel.name
+    if not key:
+        raise ParameterError("kernel name must be non-empty")
+    _KERNEL_REGISTRY[key] = kernel
+
+
+def get_kernel(name: str) -> ValuationKernel:
+    """Look up a registered kernel by name."""
+    try:
+        return _KERNEL_REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown valuation kernel {name!r}; available: "
+            f"{available_kernels()}"
+        ) from None
+
+
+def available_kernels() -> list[str]:
+    """Sorted names of all registered kernels."""
+    return sorted(_KERNEL_REGISTRY)
+
+
+register_kernel(ExactClassificationKernel())
+register_kernel(TruncatedKernel())
+register_kernel(RegressionKernel())
+register_kernel(WeightedKernel())

@@ -10,7 +10,7 @@ Prefix and suffix sums therefore reduce the whole recursion to O(N)
 after the O(N log N) sort — the same asymptotics as classification.
 
 With points sorted by distance (y_i the label of the i-th nearest,
-t the test label), the recursion implemented here is::
+t the test label), the recursion is::
 
     s_N = -((K-1)/(N K)) * y_N * [ y_N/K - 2t + (sum_{l != N} y_l)/(N-1) ]
           - (1/N) * (y_N/K - t)^2
@@ -24,87 +24,21 @@ t the test label), the recursion implemented here is::
 where ``P_{i-1}`` is the label prefix sum and ``T_{i+2}`` the weighted
 label suffix sum.  (This is eq (63) with the coefficient table (64)
 expanded; the two forms are algebraically identical.)
+
+The recursion is implemented once, as
+:func:`repro.core.kernels.regression_rank_values` behind the shared
+``regression`` kernel; this module is the dataset-level wrapper.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ParameterError
 from ..knn.search import argsort_by_distance
 from ..types import Dataset, ValuationResult
+from .kernels import RankPlan, get_kernel
 
 __all__ = ["exact_knn_regression_shapley", "regression_shapley_from_order"]
-
-
-def _single_test_rank_values(
-    y_sorted: np.ndarray, t: float, k: int
-) -> np.ndarray:
-    """Theorem 6 recursion for one test point, in rank space."""
-    n = y_sorted.shape[0]
-    y = np.asarray(y_sorted, dtype=np.float64)
-    s = np.empty(n, dtype=np.float64)
-
-    if n == 1:
-        # Only coalition sizes 0/1 exist: s_1 = v({1}) - v(∅).
-        s[0] = -((y[0] / k - t) ** 2) + t**2
-        return s
-
-    total = float(y.sum())
-    if k >= n:
-        # Every coalition has size < K, so the farthest point always
-        # contributes; averaging its marginal -(y_N/K)(2*sum(S)/K +
-        # y_N/K - 2t) over the Shapley weights gives the closed form
-        # below (the paper's eq 62 assumes K < N).
-        s[-1] = -(y[-1] / k) * (total / k - 2.0 * t)
-    else:
-        # The paper's eq (62) silently uses v(∅) = 0, but eq (25) gives
-        # v(∅) = -t^2.  The empty coalition contributes (v({i}) -
-        # v(∅))/N to every player, so honoring eq (25) adds t^2/N to
-        # the anchor (and thereby, through the telescoping, to every
-        # value) — this is what makes group rationality sum to
-        # v(I) - v(∅) exactly.
-        s[-1] = (
-            -((k - 1) / (n * k))
-            * y[-1]
-            * (y[-1] / k - 2.0 * t + (total - y[-1]) / (n - 1))
-            - (1.0 / n) * (y[-1] / k - t) ** 2
-            + t**2 / n
-        )
-
-    i = np.arange(1, n, dtype=np.float64)  # ranks 1 .. n-1
-    min_ki = np.minimum(float(k), i)
-    min_k1 = np.minimum(float(k - 1), i - 1.0)
-
-    # prefix sums P_{i-1} = sum_{l <= i-1} y_l  (P_0 = 0)
-    prefix = np.concatenate(([0.0], np.cumsum(y)[:-1]))  # prefix[j] = sum of first j labels
-    p_im1 = prefix[:-1][: n - 1]  # for i = 1..n-1: prefix of i-1 labels
-    # Note prefix[i-1] = sum of y_1..y_{i-1}; arrays are 0-indexed below.
-    p_im1 = prefix[0 : n - 1]
-
-    # suffix sums T_{i+2} = sum_{l >= i+2} w_l y_l with
-    # w_l = min(K, l-1) * min(K-1, l-2) / ((l-1)(l-2)), defined for l >= 3.
-    w = np.zeros(n + 1, dtype=np.float64)  # w[l] for 1-based l
-    ell = np.arange(3, n + 1, dtype=np.float64)
-    w[3:] = np.minimum(float(k), ell - 1.0) * np.minimum(float(k - 1), ell - 2.0) / (
-        (ell - 1.0) * (ell - 2.0)
-    )
-    wy = w[1:] * y  # weighted labels, 0-indexed position l-1
-    suffix = np.concatenate((np.cumsum(wy[::-1])[::-1], [0.0]))  # suffix[p] = sum_{l>=p+1} wy
-    # T_{i+2} = sum over l >= i+2 -> suffix at 0-indexed position i+1
-    t_suffix = suffix[2 : n + 1]  # for i = 1..n-1: suffix[i+1]
-
-    u1 = (min_ki / i) * ((y[:-1] + y[1:]) / k - 2.0 * t)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        prefix_coeff = np.where(
-            i > 1.0, min_ki * min_k1 / (np.maximum(i - 1.0, 1.0) * i), 0.0
-        )
-    u2 = (p_im1 * prefix_coeff + t_suffix) / k
-    deltas = (y[1:] - y[:-1]) / k * (u1 + u2)  # s_i - s_{i+1} for i = 1..n-1
-
-    tail = np.cumsum(deltas[::-1])[::-1]
-    s[:-1] = s[-1] + tail
-    return s
 
 
 def regression_shapley_from_order(
@@ -118,16 +52,10 @@ def regression_shapley_from_order(
     Returns ``(values, per_test)`` exactly as
     :func:`repro.core.exact.exact_knn_shapley_from_order` does.
     """
-    if k <= 0:
-        raise ParameterError(f"k must be positive, got {k}")
-    order = np.asarray(order, dtype=np.intp)
-    y_train = np.asarray(y_train, dtype=np.float64)
-    y_test = np.asarray(y_test, dtype=np.float64)
-    n_test, n = order.shape
-    per_test = np.empty((n_test, n), dtype=np.float64)
-    for j in range(n_test):
-        s_rank = _single_test_rank_values(y_train[order[j]], float(y_test[j]), k)
-        per_test[j, order[j]] = s_rank
+    plan = RankPlan.from_order(
+        order, np.asarray(y_train, dtype=np.float64), y_test
+    )
+    per_test = get_kernel("regression").values_from_plan(plan, k)
     return per_test.mean(axis=0), per_test
 
 

@@ -32,8 +32,7 @@ from ..types import (
     as_label_vector,
     as_new_points,
 )
-from .exact import knn_shapley_single_test
-from .truncated import truncated_values_from_labels, truncation_rank
+from .kernels import RankPlan, get_kernel, truncation_rank
 
 __all__ = ["StreamingKNNShapley"]
 
@@ -140,27 +139,21 @@ class StreamingKNNShapley:
                 f"query has {x_test.shape[1]} features, expected "
                 f"{self.x_train.shape[1]}"
             )
-        contribution = np.zeros(self.n_train, dtype=np.float64)
+        # one incremental RankPlan per arriving query; the kernels
+        # scatter rank-space values back to training-index order
+        y_row = np.atleast_1d(np.asarray(y_test))[:1]
         if self._exact_updates:
             order = self._backend.rank(x_test)
-            vals = knn_shapley_single_test(
-                self.y_train[order[0]], y_test, self.k
-            )
-            contribution[order[0]] = vals
+            plan = RankPlan.from_order(order, self.y_train, y_row)
+            contribution = get_kernel("exact").values_from_plan(plan, self.k)[0]
         else:
             idx, _ = self._backend.query(
                 x_test, min(self._k_star, self.n_train)
             )
-            neighbors = np.asarray(idx[0], dtype=np.intp)
-            if neighbors.size:
-                vals = truncated_values_from_labels(
-                    self.y_train[neighbors],
-                    y_test,
-                    self.k,
-                    self._k_star,
-                    n_train=self.n_train,
-                )
-                contribution[neighbors] = vals
+            plan = RankPlan.from_neighbor_rows(idx[:1], self.y_train, y_row)
+            contribution = get_kernel("truncated").values_from_plan(
+                plan, self.k, k_star=self._k_star, exact_anchor=True
+            )[0]
         self._totals += contribution
         self._n_queries += 1
         return contribution
@@ -174,9 +167,10 @@ class StreamingKNNShapley:
         point simply starts accumulating from zero: queries consumed
         *before* it joined contribute nothing to its value, which is
         the natural online semantics for a seller entering the market
-        mid-stream.  Exact backends absorb the append in place;
-        backends with derived index structures (LSH) refit, emitting a
-        ``RuntimeWarning``.
+        mid-stream.  Exact backends absorb the append in place; the
+        LSH backend hashes the newcomers into its existing buckets and
+        only refits (with a ``RuntimeWarning``) once ``n`` drifts
+        beyond the size its tables were tuned for.
         """
         x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
         first = self.n_train

@@ -11,17 +11,23 @@ nearest neighbors.
 This is the bridge to the LSH method: the problem reduces to retrieving
 the K* nearest neighbors, which approximate indexes do in sublinear
 time (Theorems 3-4).
+
+The recursion itself lives in the shared ``truncated`` kernel of
+:mod:`repro.core.kernels`; this module re-exports the rank-space
+entry points under their historical names and provides the
+single-shot dataset API.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
-from ..exceptions import ParameterError
 from ..knn.search import top_k
 from ..types import Dataset, ValuationResult
+from .kernels import (
+    RankPlan,
+    get_kernel,
+    truncated_rank_values,
+    truncation_rank,
+)
 
 __all__ = [
     "truncation_rank",
@@ -29,72 +35,8 @@ __all__ = [
     "truncated_knn_shapley",
 ]
 
-
-def truncation_rank(k: int, epsilon: float) -> int:
-    """The rank ``K* = max(K, ceil(1/epsilon))`` of Theorem 2."""
-    if k <= 0:
-        raise ParameterError(f"k must be positive, got {k}")
-    if epsilon <= 0:
-        raise ParameterError(f"epsilon must be positive, got {epsilon}")
-    return max(k, math.ceil(1.0 / epsilon))
-
-
-def truncated_values_from_labels(
-    neighbor_labels: np.ndarray,
-    y_test: object,
-    k: int,
-    k_star: int,
-    n_train: int | None = None,
-) -> np.ndarray:
-    """Run the truncated recursion given the labels of ranked neighbors.
-
-    Parameters
-    ----------
-    neighbor_labels:
-        Labels of (at least the first ``k_star``) training points in
-        ascending-distance order for one test point.  Fewer labels are
-        accepted — the recursion then starts from the last available
-        rank, which is what happens when an approximate index returns
-        fewer than ``k_star`` candidates.
-    y_test:
-        The test label.
-    k:
-        The K of KNN.
-    k_star:
-        Truncation rank (ranks ``>= k_star`` get value 0).
-    n_train:
-        Total training-set size.  Only needed for the degenerate case
-        ``k_star >= n_train`` where no rank is truncated: the recursion
-        then anchors at the *exact* farthest-point value
-        ``1[match] * min(K, N) / (N K)`` and reproduces Theorem 1
-        exactly.  Defaults to "the labels are a strict prefix", i.e.
-        ranks at and beyond ``k_star`` exist and are zeroed.
-
-    Returns
-    -------
-    numpy.ndarray
-        Approximate Shapley values in rank space, one per supplied
-        label (zeros beyond rank ``k_star``).
-    """
-    labels = np.asarray(neighbor_labels)
-    n = labels.shape[0]
-    values = np.zeros(n, dtype=np.float64)
-    if n == 0:
-        return values
-    match = (labels == y_test).astype(np.float64)
-    if n_train is not None and k_star >= n_train and n == n_train:
-        # Nothing is truncated: anchor exactly (Theorem 1).
-        running = float(match[-1]) * min(k, n_train) / (n_train * k)
-        values[-1] = running
-        start = n - 1
-    else:
-        # s_{alpha_i} = 0 for ranks >= k_star; recurse below them.
-        running = 0.0
-        start = min(k_star - 1, n - 1)
-    for i in range(start, 0, -1):  # i is the 1-based rank of alpha_i
-        running += (match[i - 1] - match[i]) / k * min(k, i) / i
-        values[i - 1] = running
-    return values
+#: Historical name of :func:`repro.core.kernels.truncated_rank_values`.
+truncated_values_from_labels = truncated_rank_values
 
 
 def truncated_knn_shapley(
@@ -118,12 +60,10 @@ def truncated_knn_shapley(
     k_star = truncation_rank(k, epsilon)
     n = dataset.n_train
     idx, _ = top_k(dataset.x_test, dataset.x_train, min(k_star, n), metric=metric)
-    per_test = np.zeros((dataset.n_test, n), dtype=np.float64)
-    for j in range(dataset.n_test):
-        vals = truncated_values_from_labels(
-            dataset.y_train[idx[j]], dataset.y_test[j], k, k_star, n_train=n
-        )
-        per_test[j, idx[j]] = vals
+    plan = RankPlan.from_order(idx, dataset.y_train, dataset.y_test)
+    per_test = get_kernel("truncated").values_from_plan(
+        plan, k, k_star=k_star, exact_anchor=True
+    )
     values = per_test.mean(axis=0)
     return ValuationResult(
         values=values,

@@ -7,9 +7,11 @@ gone.  What remains is that only ``O(N^K)`` distinct K-neighbor
 configurations exist, which Theorem 7 exploits to compute the exact
 Shapley value in ``O(N^K)`` utility evaluations instead of ``O(2^N)``.
 
-The implementation works per test point in rank space (training points
-re-indexed by ascending distance) and follows Lemma 1: for neighboring
-ranks ``i`` and ``i+1``::
+The eq (74)/(75) recursion itself lives in
+:func:`repro.core.kernels.weighted_rank_values` behind the shared
+``weighted`` kernel — this module keeps the historical utility-object
+entry points.  The recursion works per test point in rank space and
+follows Lemma 1: for neighboring ranks ``i`` and ``i+1``::
 
     s_i - s_{i+1} = (1/(N-1)) * sum_k  (1/C(N-2, k)) *
                     sum_{S in D_{i,k}} A_{i,k}(S) *
@@ -35,8 +37,6 @@ so classification (eq 26) and regression (eq 27) share this module.
 
 from __future__ import annotations
 
-import itertools
-import math
 from typing import Union
 
 import numpy as np
@@ -47,28 +47,13 @@ from ..utility.weighted_utility import (
     WeightedKNNClassificationUtility,
     WeightedKNNRegressionUtility,
 )
+from .kernels import weighted_rank_values
 
 __all__ = ["exact_weighted_knn_shapley", "weighted_shapley_single_test"]
 
 WeightedUtility = Union[
     WeightedKNNClassificationUtility, WeightedKNNRegressionUtility
 ]
-
-
-def _pad_weight(n: int, k: int, rmax: int) -> float:
-    """``sum_{k'=K-1}^{N-2} C(N - rmax, k' - K + 1) / C(N-2, k')``.
-
-    The total Lemma-1 weight of one size-(K-1) configuration whose
-    worst member (including the pair i, i+1) has rank ``rmax``.
-    """
-    avail = n - rmax
-    total = 0.0
-    for pad in range(avail + 1):
-        kk = k - 1 + pad
-        if kk > n - 2:
-            break
-        total += math.comb(avail, pad) / math.comb(n - 2, kk)
-    return total
 
 
 def weighted_shapley_single_test(
@@ -83,62 +68,14 @@ def weighted_shapley_single_test(
     """
     n = utility.n_players
     k = utility.k
-    if n < 2:
-        # single training point: s = v({0}) - v(∅)
-        single = utility.per_test_value(np.array([0], dtype=np.intp), test_index)
-        empty = utility.per_test_value(np.empty(0, dtype=np.intp), test_index)
-        return np.array([single - empty])
     order = utility.order[test_index]  # rank -> original index
-    value_cache: dict[tuple[int, ...], float] = {}
 
     def v(rank_members: tuple[int, ...]) -> float:
         """Utility of a coalition given by sorted 1-based ranks."""
-        cached = value_cache.get(rank_members)
-        if cached is None:
-            members = order[np.asarray(rank_members, dtype=np.intp) - 1]
-            cached = utility.per_test_value(np.sort(members), test_index)
-            value_cache[rank_members] = cached
-        return cached
+        members = order[np.asarray(rank_members, dtype=np.intp) - 1]
+        return utility.per_test_value(np.sort(members), test_index)
 
-    s_rank = np.empty(n, dtype=np.float64)
-
-    # ---- anchor: the farthest point (eq 74) -------------------------
-    others = range(1, n)  # ranks 1..N-1
-    total = 0.0
-    for size in range(0, k):
-        inv_binom = 1.0 / math.comb(n - 1, size)
-        level = 0.0
-        for combo in itertools.combinations(others, size):
-            with_n = tuple(sorted(combo + (n,)))
-            level += v(with_n) - v(combo)
-        total += inv_binom * level
-    s_rank[n - 1] = total / n
-
-    # ---- recursion over adjacent ranks (eq 75) ----------------------
-    pool = list(range(1, n + 1))
-    for i in range(n - 1, 0, -1):  # compute s_i from s_{i+1}
-        rest = [r for r in pool if r != i and r != i + 1]
-        acc = 0.0
-        # small coalitions: |S| <= K-2, every subset counts once
-        for size in range(0, max(0, k - 1)):
-            inv_binom = 1.0 / math.comb(n - 2, size)
-            level = 0.0
-            for combo in itertools.combinations(rest, size):
-                si = tuple(sorted(combo + (i,)))
-                sj = tuple(sorted(combo + (i + 1,)))
-                level += v(si) - v(sj)
-            acc += inv_binom * level
-        # large coalitions: top-(K-1) configurations with pad weights
-        if n - 2 >= k - 1:
-            for combo in itertools.combinations(rest, k - 1):
-                rmax = max(combo + (i + 1,))
-                si = tuple(sorted(combo + (i,)))
-                sj = tuple(sorted(combo + (i + 1,)))
-                diff = v(si) - v(sj)
-                if diff != 0.0:
-                    acc += _pad_weight(n, k, rmax) * diff
-        s_rank[i - 1] = s_rank[i] + acc / (n - 1)
-
+    s_rank = weighted_rank_values(v, n, k)
     values = np.empty(n, dtype=np.float64)
     values[order] = s_rank
     return values

@@ -393,6 +393,16 @@ class LSHNeighborBackend(NeighborBackend):
     Theorem 2 tolerates.  Distances are Euclidean (the 2-stable family
     hashes l2 space).
 
+    Mutations are absorbed in place while the indexed size stays close
+    to the size the tables were tuned for: :meth:`partial_fit` hashes
+    new points into the existing per-table buckets, and :meth:`forget`
+    tombstones (queries skip the dead; buckets are not scrubbed).  Once
+    ``n`` drifts more than :attr:`refit_drift` (25%) from the tuned
+    size, the tuning assumptions of Section 6.1 no longer hold and the
+    backend falls back to a full refit — that path alone emits the
+    ``RuntimeWarning``.  Re-tuning the contrast estimate under drift
+    stays an open item (see ROADMAP).
+
     Tuning follows the paper's Section 6.1 recipe and happens lazily,
     because the table count depends on how many neighbors (``K*``) the
     valuation will request.  Two modes:
@@ -422,6 +432,11 @@ class LSHNeighborBackend(NeighborBackend):
 
     name = "lsh"
     supports_full_ranking = False
+    supports_incremental_mutation = True
+
+    #: fractional drift of ``n`` from the tuned size beyond which
+    #: mutations degrade to a warned full refit
+    refit_drift = 0.25
 
     def __init__(
         self,
@@ -444,6 +459,13 @@ class LSHNeighborBackend(NeighborBackend):
         self._index = None
         self._scale = 1.0
         self._built_k = 0
+        self._tuned_n = 0
+        #: external index -> internal LSHIndex id; ``None`` = identity
+        #: (the two diverge only after a tombstoning ``forget``)
+        self._ids: np.ndarray | None = None
+        #: in-place mutations absorbed since the last (re)build — part
+        #: of the cache token, since they change query results
+        self._churn = 0
         self.build_seconds = 0.0
         self.last_stats = None
         # guards rebuilds: ValuationService workers share one backend,
@@ -454,30 +476,68 @@ class LSHNeighborBackend(NeighborBackend):
         # tuning is deferred to the first prepare/query, when k is known
         self._index = None
         self._built_k = 0
+        self._ids = None
+
+    def _drifted(self) -> bool:
+        """Whether the index left the band the tables were tuned for.
+
+        Two signals: the *alive* count (tuning assumed it), and the
+        index's *internal* row count — tombstones and appends both
+        leave rows in the tables, so balanced add/remove churn grows
+        the internal size without moving the alive count.  Bounding
+        both means a refit (which compacts) always arrives before the
+        index outgrows its tuned band, whatever the churn pattern.
+        """
+        n_now = self._data.shape[0]
+        if abs(n_now - self._tuned_n) > self.refit_drift * self._tuned_n:
+            return True
+        return (
+            self._index is not None
+            and self._index.n > (1.0 + self.refit_drift) * self._tuned_n
+        )
+
+    def _refit_for_drift(self) -> None:
+        warnings.warn(
+            "the LSH backend's indexed size drifted more than "
+            f"{self.refit_drift:.0%} from the tuned size "
+            f"({self._tuned_n}); falling back to a full refit on the "
+            "next query",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._fit(self._data)
 
     def _partial_fit(self, points: np.ndarray) -> None:
-        # hash tables cannot absorb new points without re-tuning (the
-        # table count and widths depend on n and the contrast), so the
-        # mutation degrades to a refit: drop the index and rebuild
-        # lazily on the next prepare/query
-        warnings.warn(
-            "the LSH backend cannot update its tables incrementally; "
-            "falling back to a full refit on the next query",
-            RuntimeWarning,
-            stacklevel=3,
-        )
         with self._build_lock:
-            self._fit(self._data)
+            if self._index is None:
+                # not built yet — the lazy build will index everything
+                return
+            if self._drifted():
+                self._refit_for_drift()
+                return
+            # in-place: hash the new points into the existing buckets
+            # (in the index's normalized space); identity of external
+            # and internal ids is preserved because appends land at the
+            # end of both numberings
+            new_internal = self._index.insert(points * self._scale)
+            if self._ids is not None:
+                self._ids = np.concatenate((self._ids, new_internal))
+            self._churn += 1
 
     def _forget(self, idx: np.ndarray) -> None:
-        warnings.warn(
-            "the LSH backend cannot delete from its tables incrementally; "
-            "falling back to a full refit on the next query",
-            RuntimeWarning,
-            stacklevel=3,
-        )
         with self._build_lock:
-            self._fit(self._data)
+            if self._index is None:
+                return
+            if self._drifted():
+                self._refit_for_drift()
+                return
+            if self._ids is None:
+                # identity held until now: the index's internal count
+                # equals the pre-delete external count
+                self._ids = np.arange(self._data.shape[0] + idx.size, dtype=np.intp)
+            self._index.remove(self._ids[idx])
+            self._ids = np.delete(self._ids, idx)
+            self._churn += 1
 
     def _build(self, queries: Optional[np.ndarray], k: int) -> None:
         from ..lsh.contrast import (
@@ -524,6 +584,8 @@ class LSHNeighborBackend(NeighborBackend):
             seed=self._seed,
         ).build(data * self._scale)
         self._built_k = k
+        self._tuned_n = n
+        self._ids = None
         self.build_seconds = time.perf_counter() - start
 
     def prepare(self, queries: Optional[np.ndarray], k: int) -> None:
@@ -554,6 +616,12 @@ class LSHNeighborBackend(NeighborBackend):
         index, scale = self._ensure_built(queries, k)
         idx, dist, stats = index.query(queries * scale, min(k, self.n))
         self.last_stats = stats
+        if self._ids is not None:
+            # tombstoning broke id identity: translate the index's
+            # internal ids back to current external training indices
+            lookup = np.full(index.n, -1, dtype=np.intp)
+            lookup[self._ids] = np.arange(self._ids.shape[0], dtype=np.intp)
+            idx = [lookup[row] for row in idx]
         # the index works in normalized space; report true distances
         inv = 1.0 / scale if scale != 0 else 1.0
         return idx, [d * inv for d in dist]
@@ -563,7 +631,10 @@ class LSHNeighborBackend(NeighborBackend):
         tuned = (
             f"w={p.width},m={p.n_bits},l={p.n_tables}" if p is not None else "untuned"
         )
-        return f"lsh:{tuned}:scale={self._scale!r}:seed={self._seed!r}"
+        return (
+            f"lsh:{tuned}:scale={self._scale!r}:seed={self._seed!r}"
+            f":churn={self._churn}"
+        )
 
 
 # ----------------------------------------------------------------------

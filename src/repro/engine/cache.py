@@ -86,10 +86,11 @@ class CacheStats:
 class _Entry:
     """Cached retrieval results for one (train, test, metric) key."""
 
-    __slots__ = ("order", "topk_k", "topk_idx")
+    __slots__ = ("order", "dist", "topk_k", "topk_idx")
 
     def __init__(self) -> None:
         self.order: np.ndarray | None = None
+        self.dist: np.ndarray | None = None
         self.topk_k: int = 0
         self.topk_idx: np.ndarray | None = None
 
@@ -154,14 +155,48 @@ class RankCache:
             self.stats.misses += 1
             return None
 
-    def put_ranking(self, key: Hashable, order: np.ndarray) -> bool:
-        """Store a full ranking; returns whether it was retained."""
+    def put_ranking(
+        self,
+        key: Hashable,
+        order: np.ndarray,
+        distances: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Store a full ranking; returns whether it was retained.
+
+        ``distances`` (the matching sorted distance matrix) is kept
+        alongside the permutation when given — the weighted kernel
+        needs both.  Storing a ranking without distances never drops
+        distances already cached for the key.
+        """
         if order.size > self.max_entry_elements:
             return False
         with self._lock:
             entry = self._touch(key, create=True)
             entry.order = _freeze(order)
+            if distances is not None:
+                entry.dist = _freeze(distances)
             return True
+
+    def get_ranking_with_distances(
+        self, key: Hashable
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Cached ``(order, sorted_distances)`` pair, or ``None``.
+
+        A hit requires both halves: a ranking cached by a
+        distance-free path does not serve a caller that needs the
+        distances too.
+        """
+        with self._lock:
+            entry = self._touch(key)
+            if (
+                entry is not None
+                and entry.order is not None
+                and entry.dist is not None
+            ):
+                self.stats.hits += 1
+                return entry.order, entry.dist
+            self.stats.misses += 1
+            return None
 
     # ------------------------------------------------------------------
     def get_topk(self, key: Hashable, k: int) -> Optional[np.ndarray]:

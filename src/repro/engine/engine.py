@@ -17,14 +17,23 @@ bounds memory — the ``(n_test, n_train)`` rank and per-test value
 matrices of the single-shot path never fully materialize — and is what
 the cache and the parallelism hang off.
 
-The engine serves every fast path of the paper:
+The engine serves every fast path of the paper by dispatching through
+the kernel registry of :mod:`repro.core.kernels` — each request builds
+:class:`~repro.core.kernels.RankPlan` chunks from the backend and hands
+them to the named kernel, so any registered kernel (including
+third-party ones) gets batching, caching and parallel merging for
+free:
 
 * ``method="exact"`` — Theorem 1 (classification) / Theorem 6
   (regression) over a full ranking; exact-search backends only.
 * ``method="truncated"`` — Theorem 2 over top-``K*`` neighbors, any
   backend.
-* ``method="lsh"`` — Theorem 4: the truncated recursion over an LSH
+* ``method="lsh"`` — Theorem 4: the truncated kernel over an LSH
   backend's approximate neighbors.
+* ``method="weighted"`` — Theorem 7 over a full ranking with
+  distances (classification eq 26 / regression eq 27).
+* any other name — looked up in the kernel registry and routed by its
+  :class:`~repro.core.kernels.KernelCapabilities`.
 """
 
 from __future__ import annotations
@@ -38,9 +47,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.exact import exact_knn_shapley_from_order
-from ..core.regression import regression_shapley_from_order
-from ..core.truncated import truncated_values_from_labels, truncation_rank
+from ..core.kernels import (
+    RankPlan,
+    ValuationKernel,
+    available_kernels,
+    get_kernel,
+)
+from ..core.truncated import truncation_rank
 from ..exceptions import ParameterError
 from ..types import (
     Dataset,
@@ -54,8 +67,14 @@ from .cache import RankCache, array_fingerprint
 
 __all__ = ["ValuationEngine"]
 
-_EXACT_METHODS = ("exact",)
-_TOPK_METHODS = ("truncated", "lsh")
+#: Built-in method names and the registered kernel each resolves to
+#: (``None`` marks task-dependent resolution).
+_METHOD_KERNELS = {
+    "exact": None,  # "exact" kernel for classification, "regression" else
+    "truncated": "truncated",
+    "lsh": "truncated",
+    "weighted": "weighted",
+}
 
 
 def _default_workers() -> int:
@@ -224,6 +243,22 @@ class ValuationEngine:
         return (self._train_fp, test_fp, self.backend.cache_token())
 
     # ------------------------------------------------------------------
+    def _resolve_kernel(self, method: str) -> ValuationKernel:
+        """Map a request method to a registered valuation kernel."""
+        if method in _METHOD_KERNELS:
+            name = _METHOD_KERNELS[method]
+            if name is None:
+                name = "exact" if self.task == "classification" else "regression"
+            return get_kernel(name)
+        if method in available_kernels():
+            # third-party kernels dispatch under their registry name
+            return get_kernel(method)
+        raise ParameterError(
+            f"unknown method {method!r}; expected one of "
+            f"{tuple(_METHOD_KERNELS)} or a registered kernel "
+            f"{available_kernels()}"
+        )
+
     def value(
         self,
         x_test: np.ndarray,
@@ -231,6 +266,7 @@ class ValuationEngine:
         method: str = "exact",
         epsilon: float = 0.1,
         store_per_test: bool = False,
+        weights: str = "inverse_distance",
     ) -> ValuationResult:
         """Shapley values of the training set for one test batch.
 
@@ -239,29 +275,34 @@ class ValuationEngine:
         x_test, y_test:
             The query batch (labels of the training task's type).
         method:
-            ``"exact"``, ``"truncated"``, or ``"lsh"``.
+            ``"exact"``, ``"truncated"``, ``"lsh"``, ``"weighted"``,
+            or the name of any kernel registered with
+            :func:`repro.core.kernels.register_kernel`.
         epsilon:
             Truncation target for the approximate methods.
         store_per_test:
             Keep the full ``(n_test, n_train)`` per-test value matrix
             in ``extra["per_test"]``.  Off by default: it is the one
             thing that cannot be memory-bounded.
+        weights:
+            Weight-function name for ``method="weighted"`` (see
+            :mod:`repro.knn.weights`); ignored by the other methods.
         """
         x_test = as_float_matrix(x_test, "x_test")
         y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
-        if method not in _EXACT_METHODS + _TOPK_METHODS:
-            raise ParameterError(
-                f"unknown method {method!r}; expected one of "
-                f"{_EXACT_METHODS + _TOPK_METHODS}"
-            )
+        kernel = self._resolve_kernel(method)
+        caps = kernel.capabilities
         with self._state_lock.read():
             if x_test.shape[1] != self.x_train.shape[1]:
                 raise ParameterError(
                     f"x_test has {x_test.shape[1]} features, expected "
                     f"{self.x_train.shape[1]}"
                 )
-            if method in _EXACT_METHODS:
-                return self._value_exact(x_test, y_test, store_per_test)
+            if self.task != "classification" and not caps.supports_regression:
+                raise ParameterError(
+                    "the truncated/LSH approximations are defined for "
+                    "classification"
+                )
             if method == "lsh" and not isinstance(
                 self.backend, LSHNeighborBackend
             ):
@@ -269,14 +310,20 @@ class ValuationEngine:
                     "method='lsh' requires the 'lsh' backend; this engine "
                     f"runs {self.backend.name!r}"
                 )
-            if self.task != "classification":
-                raise ParameterError(
-                    "the truncated/LSH approximations are defined for "
-                    "classification"
+            params: dict = {}
+            if kernel.name == "weighted":
+                params = {"weights": weights, "task": self.task}
+            if caps.needs_full_ranking:
+                return self._value_ranked(
+                    kernel, method, x_test, y_test, params, store_per_test
                 )
-            return self._value_truncated(
-                x_test, y_test, epsilon, method, store_per_test
+            return self._value_topk(
+                kernel, method, x_test, y_test, epsilon, store_per_test
             )
+
+    def run(self, *args, **kwargs) -> ValuationResult:
+        """Alias of :meth:`value` (the serving-layer verb)."""
+        return self.value(*args, **kwargs)
 
     # convenience wrappers -------------------------------------------------
     def exact(self, x_test, y_test, **kwargs) -> ValuationResult:
@@ -293,6 +340,12 @@ class ValuationEngine:
         """(epsilon, delta)-approximate values (Theorem 4); see :meth:`value`."""
         return self.value(x_test, y_test, method="lsh", epsilon=epsilon, **kwargs)
 
+    def weighted(self, x_test, y_test, weights: str = "inverse_distance", **kwargs):
+        """Exact weighted-KNN values (Theorem 7); see :meth:`value`."""
+        return self.value(
+            x_test, y_test, method="weighted", weights=weights, **kwargs
+        )
+
     # ------------------------------------------------------------------
     # dynamic datasets: mutate the training set being valued
     def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
@@ -300,10 +353,11 @@ class ValuationEngine:
 
         Runs under the exclusive side of the engine's reader-writer
         lock, so no valuation observes a half-applied mutation.  Exact
-        backends absorb the append in place; the LSH backend refits
-        (with a ``RuntimeWarning``).  Cached rankings of the *old*
-        training set are evicted by fingerprint — entries for other
-        datasets sharing the cache survive.
+        backends absorb the append in place; the LSH backend inserts
+        into its existing buckets and only falls back to a warned
+        refit when ``n`` drifts beyond its tuned size.  Cached
+        rankings of the *old* training set are evicted by fingerprint
+        — entries for other datasets sharing the cache survive.
         """
         with self._state_lock.write():
             x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
@@ -335,28 +389,37 @@ class ValuationEngine:
             self.cache.invalidate(old_fp)
 
     # ------------------------------------------------------------------
-    def _value_exact(
-        self, x_test: np.ndarray, y_test: np.ndarray, store_per_test: bool
+    def _value_ranked(
+        self,
+        kernel: ValuationKernel,
+        method: str,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        params: dict,
+        store_per_test: bool,
     ) -> ValuationResult:
+        """Generic chunked execution of a full-ranking kernel."""
         if not self.backend.supports_full_ranking:
             raise ParameterError(
                 f"backend {self.backend.name!r} cannot produce the full "
-                "rankings the exact method needs; use method='truncated' "
-                "or 'lsh'"
+                f"rankings the {method!r} method needs; use "
+                "method='truncated' or 'lsh'"
             )
         start = time.perf_counter()
         n, n_test = self.n_train, x_test.shape[0]
+        need_dist = kernel.capabilities.needs_distances
         key = None
         cached_order = None
+        cached_dist = None
         if self.cache is not None:
             key = self._cache_key(array_fingerprint(x_test))
-            cached_order = self.cache.get_ranking(key)
+            if need_dist:
+                got = self.cache.get_ranking_with_distances(key)
+                if got is not None:
+                    cached_order, cached_dist = got
+            else:
+                cached_order = self.cache.get_ranking(key)
         spans = self._chunk_spans(n_test)
-        from_order = (
-            exact_knn_shapley_from_order
-            if self.task == "classification"
-            else regression_shapley_from_order
-        )
         collect_order = (
             self.cache is not None
             and cached_order is None
@@ -364,31 +427,47 @@ class ValuationEngine:
         )
 
         def worker(s: int, e: int):
+            dist = None
             if cached_order is not None:
                 order = cached_order[s:e]
+                if need_dist:
+                    dist = cached_dist[s:e]
+            elif need_dist:
+                order, dist = self.backend.rank_with_distances(x_test[s:e])
             else:
                 order = self.backend.rank(x_test[s:e])
-            _, per_test = from_order(order, self.y_train, y_test[s:e], self.k)
+            plan = RankPlan.from_order(
+                order, self.y_train, y_test[s:e], distances=dist
+            )
+            per_test = kernel.values_from_plan(plan, self.k, **params)
             partial = per_test.sum(axis=0)
             return (
                 partial,
                 order if collect_order else None,
+                dist if (collect_order and need_dist) else None,
                 per_test if store_per_test else None,
             )
 
         results = self._run_chunks(worker, spans)
         total = np.zeros(n, dtype=np.float64)
-        for partial, _, _ in results:
+        for partial, _, _, _ in results:
             total += partial
         values = total / n_test
         if collect_order and key is not None:
             self.cache.put_ranking(
-                key, np.concatenate([r[1] for r in results], axis=0)
+                key,
+                np.concatenate([r[1] for r in results], axis=0),
+                distances=(
+                    np.concatenate([r[2] for r in results], axis=0)
+                    if need_dist
+                    else None
+                ),
             )
         extra = {
             "k": self.k,
             "metric": self.metric,
             "backend": self.backend.name,
+            "kernel": kernel.name,
             "n_chunks": len(spans),
             "n_workers": self.n_workers,
             "cache": (
@@ -396,20 +475,32 @@ class ValuationEngine:
             ),
             "elapsed_seconds": time.perf_counter() - start,
         }
+        if kernel.name == "weighted":
+            extra["weights"] = params.get("weights")
+            extra["task"] = params.get("task")
         if store_per_test:
-            extra["per_test"] = np.concatenate([r[2] for r in results], axis=0)
-        method = "exact" if self.task == "classification" else "exact-regression"
-        return ValuationResult(values=values, method=method, extra=extra)
+            extra["per_test"] = np.concatenate([r[3] for r in results], axis=0)
+        if method == "exact":
+            out_method = (
+                "exact" if self.task == "classification" else "exact-regression"
+            )
+        elif method == "weighted":
+            out_method = "exact-weighted"
+        else:
+            out_method = method
+        return ValuationResult(values=values, method=out_method, extra=extra)
 
     # ------------------------------------------------------------------
-    def _value_truncated(
+    def _value_topk(
         self,
+        kernel: ValuationKernel,
+        method: str,
         x_test: np.ndarray,
         y_test: np.ndarray,
         epsilon: float,
-        method: str,
         store_per_test: bool,
     ) -> ValuationResult:
+        """Generic chunked execution of a top-``K*`` (prefix) kernel."""
         start = time.perf_counter()
         n, n_test = self.n_train, x_test.shape[0]
         k_star = truncation_rank(self.k, epsilon)
@@ -428,17 +519,15 @@ class ValuationEngine:
                 idx_rows = cached_idx[s:e]
             else:
                 idx_rows, _ = self.backend.query(x_test[s:e], k_eff)
-            dense = np.zeros((e - s, n), dtype=np.float64)
-            rectangular = True
-            for j in range(e - s):
-                row = np.asarray(idx_rows[j], dtype=np.intp)
-                rectangular = rectangular and row.size == k_eff
-                if row.size == 0:
-                    continue
-                vals = truncated_values_from_labels(
-                    self.y_train[row], y_test[s + j], self.k, k_star, n_train=n
-                )
-                dense[j, row] = vals
+            rectangular = all(
+                np.asarray(row).shape[0] == k_eff for row in idx_rows
+            )
+            plan = RankPlan.from_neighbor_rows(
+                idx_rows, self.y_train, y_test[s:e]
+            )
+            dense = kernel.values_from_plan(
+                plan, self.k, k_star=k_star, exact_anchor=True
+            )
             partial = dense.sum(axis=0)
             return (
                 partial,
@@ -467,6 +556,7 @@ class ValuationEngine:
             "k": self.k,
             "metric": self.metric,
             "backend": self.backend.name,
+            "kernel": kernel.name,
             "epsilon": epsilon,
             "k_star": k_star,
             "n_chunks": len(spans),

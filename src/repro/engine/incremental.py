@@ -32,9 +32,14 @@ vector itself carries one rounding per prefix shift (see
 :mod:`repro.core.delta`), keeping ``values()`` within ~1e-15 — and
 always within the 1e-12 acceptance bound — of a full recompute.
 
-Classification only: the Theorem 6 regression recursion needs global
-rank-weighted label sums, which are not rank-local, so regression
-mutations must re-value from scratch.
+Which valuations can be maintained this way is a property of the
+*kernel*, not of this class: the valuator asks the registered kernel's
+:class:`~repro.core.kernels.KernelCapabilities` for
+``supports_incremental`` instead of hard-coding a task.  Today only the
+``exact`` classification kernel is rank-local — the Theorem 6
+regression recursion needs global rank-weighted label sums and the
+weighted game is coalition-dependent — but a third-party kernel that
+advertises the capability plugs straight in.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.delta import rank_factor, suffix_rank_values_rows
-from ..core.exact import exact_knn_shapley_from_order
+from ..core.kernels import RankPlan, get_kernel
 from ..exceptions import NotFittedError, ParameterError
 from ..knn.distance import get_metric
 from ..types import (
@@ -81,6 +86,12 @@ class IncrementalValuator:
         refit instead — see the engine-level mutation path).
     backend_options:
         Keyword arguments for the backend factory.
+    kernel:
+        Name of the valuation kernel whose state is maintained.  The
+        kernel must advertise ``supports_incremental`` in its
+        capabilities (the delta repair assumes a rank-local
+        recursion); today that is the ``exact`` classification
+        kernel.
 
     Not thread-safe: one mutator at a time (the engine/service layers
     add locking when serving concurrently).
@@ -94,9 +105,19 @@ class IncrementalValuator:
         metric: Optional[str] = None,
         backend="brute",
         backend_options: Optional[dict] = None,
+        kernel: str = "exact",
     ) -> None:
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
+        self.valuation_kernel = get_kernel(kernel)
+        caps = self.valuation_kernel.capabilities
+        if not caps.supports_incremental:
+            raise ParameterError(
+                f"kernel {kernel!r} does not support incremental repair "
+                "(capabilities: supports_incremental=False); its "
+                "recursion is not rank-local, so mutations must re-value "
+                "through ValuationEngine instead"
+            )
         self.x_train = as_float_matrix(x_train, "x_train")
         self.y_train = as_label_vector(y_train, self.x_train.shape[0], "y_train")
         self.k = int(k)
@@ -178,9 +199,9 @@ class IncrementalValuator:
 
     def _resync(self) -> ValuationResult:
         """Re-derive rank-space values from the rankings (no sort)."""
-        values, per_test = exact_knn_shapley_from_order(
-            self._order, self.y_train, self.y_test, self.k
-        )
+        plan = RankPlan.from_order(self._order, self.y_train, self.y_test)
+        per_test = self.valuation_kernel.values_from_plan(plan, self.k)
+        values = per_test.mean(axis=0)
         self._s = np.take_along_axis(per_test, self._order, axis=1)
         self._values = values
         return self._result(values, resynced=True)

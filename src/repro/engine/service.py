@@ -57,9 +57,12 @@ class ValuationRequest:
     x_test, y_test:
         The query batch.
     method:
-        ``"exact"``, ``"truncated"``, or ``"lsh"``.
+        ``"exact"``, ``"truncated"``, ``"lsh"``, ``"weighted"``, or
+        any registered kernel name (see :mod:`repro.core.kernels`).
     epsilon:
         Truncation target for the approximate methods.
+    weights:
+        Weight-function name for ``method="weighted"``.
     store_per_test:
         Forwarded to :meth:`ValuationEngine.value`.
     tag:
@@ -72,6 +75,9 @@ class ValuationRequest:
     epsilon: float = 0.1
     store_per_test: bool = False
     tag: str = ""
+    # appended last: positional construction predating this field keeps
+    # its meaning
+    weights: str = "inverse_distance"
 
 
 @dataclass(frozen=True)
@@ -278,6 +284,7 @@ class ValuationService:
                             req.y_test,
                             method=req.method,
                             epsilon=req.epsilon,
+                            weights=req.weights,
                             store_per_test=req.store_per_test,
                         )
                     job.status = "done"

@@ -2,7 +2,7 @@
 
 from .fig_accuracy import figure8_accuracy_table
 from .fig_correctness import figure5_mc_convergence
-from .fig_engine import engine_throughput
+from .fig_engine import engine_throughput, weighted_engine
 from .fig_incremental import incremental_churn
 from .fig_lsh import (
     figure9_contrast_vs_kstar,
@@ -55,5 +55,6 @@ __all__ = [
     "figure16_surrogate_correlation",
     "figure17_dataset_table_k25",
     "engine_throughput",
+    "weighted_engine",
     "incremental_churn",
 ]

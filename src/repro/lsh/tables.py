@@ -6,6 +6,15 @@ the union of its matching buckets across tables and re-ranks those
 candidates by true l2 distance.  A K-nearest query succeeds when every
 true neighbor landed in at least one shared bucket — Theorem 3 sizes
 ``l`` so this holds with probability ``1 - delta``.
+
+The index also supports bounded churn without a rebuild: hashing is
+per-point, so :meth:`LSHIndex.insert` appends new points into the
+existing buckets in place, and :meth:`LSHIndex.remove` *tombstones*
+points (queries skip them; buckets are left untouched, since scrubbing
+every table would cost a full pass).  The hash parameters were tuned
+for the build-time ``n`` and contrast, so owners should fall back to a
+full rebuild once the alive count drifts far from the tuned size —
+:class:`repro.engine.backends.LSHNeighborBackend` refits past 25%.
 """
 
 from __future__ import annotations
@@ -76,6 +85,8 @@ class LSHIndex:
         self._families: list[GaussianHashFamily] = []
         self._tables: list[dict[bytes, list[int]]] = []
         self._data: np.ndarray | None = None
+        #: tombstone mask over internal ids; ``None`` means all alive
+        self._alive: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def build(self, data: np.ndarray) -> "LSHIndex":
@@ -106,6 +117,7 @@ class LSHIndex:
             for start, stop in zip(starts, stops):
                 table[sorted_keys[start].tobytes()] = sort_order[start:stop]
             self._tables.append(table)
+        self._alive = None
         return self
 
     def _require_built(self) -> np.ndarray:
@@ -115,12 +127,84 @@ class LSHIndex:
 
     @property
     def n(self) -> int:
-        """Number of indexed points."""
+        """Number of internal ids (including tombstoned points)."""
         return int(self._require_built().shape[0])
+
+    @property
+    def n_alive(self) -> int:
+        """Number of indexed points that queries can still return."""
+        if self._alive is None:
+            return self.n
+        return int(self._alive.sum())
+
+    # ------------------------------------------------------------------
+    # bounded churn: per-table bucket insertion and tombstoning
+    def insert(self, points: np.ndarray) -> np.ndarray:
+        """Hash ``points`` into the existing buckets in place.
+
+        New points take the next internal ids (returned).  No table is
+        rebuilt and no incumbent is rehashed — an O(m l) update for
+        ``m`` new points over ``l`` tables.  The hash parameters stay
+        those tuned at build time, so callers should rebuild once the
+        indexed size drifts materially (see the module docstring).
+        """
+        data = self._require_built()
+        points = np.ascontiguousarray(np.atleast_2d(points), dtype=np.float64)
+        if points.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        if points.shape[1] != data.shape[1]:
+            raise ParameterError(
+                f"new points have {points.shape[1]} features, expected "
+                f"{data.shape[1]}"
+            )
+        start = data.shape[0]
+        ids = np.arange(start, start + points.shape[0], dtype=np.intp)
+        self._data = np.ascontiguousarray(np.vstack((data, points)))
+        if self._alive is not None:
+            self._alive = np.concatenate(
+                (self._alive, np.ones(points.shape[0], dtype=bool))
+            )
+        for family, table in zip(self._families, self._tables):
+            keys = family.bucket_keys(points)
+            for offset, key in enumerate(keys):
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = ids[offset : offset + 1].copy()
+                else:
+                    table[key] = np.append(bucket, ids[offset])
+        return ids
+
+    def remove(self, ids) -> None:
+        """Tombstone internal ids: queries skip them from now on.
+
+        Buckets are not scrubbed (that would touch every table); the
+        rows stay in memory until the owner rebuilds.  Removing an
+        already-dead id is rejected — it indicates a stale external
+        mapping.
+        """
+        data = self._require_built()
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.intp))
+        if ids.size == 0:
+            return
+        n = data.shape[0]
+        if np.any(ids < 0) or np.any(ids >= n):
+            raise ParameterError(
+                f"remove ids must lie in [0, {n}), got {ids.tolist()}"
+            )
+        if self._alive is None:
+            self._alive = np.ones(n, dtype=bool)
+        if not np.all(self._alive[ids]):
+            raise ParameterError(
+                f"ids {ids[~self._alive[ids]].tolist()} are already removed"
+            )
+        self._alive[ids] = False
+        if not self._alive.any():
+            self._alive[ids] = True
+            raise ParameterError("cannot remove every indexed point")
 
     # ------------------------------------------------------------------
     def candidates(self, queries: np.ndarray) -> list[np.ndarray]:
-        """Union of matching-bucket members per query."""
+        """Union of matching-bucket members per query (alive only)."""
         self._require_built()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         per_query: list[list[np.ndarray]] = [[] for _ in range(queries.shape[0])]
@@ -133,7 +217,10 @@ class LSHIndex:
         out: list[np.ndarray] = []
         for parts in per_query:
             if parts:
-                out.append(np.unique(np.concatenate(parts)).astype(np.intp))
+                cand = np.unique(np.concatenate(parts)).astype(np.intp)
+                if self._alive is not None:
+                    cand = cand[self._alive[cand]]
+                out.append(cand)
             else:
                 out.append(np.empty(0, dtype=np.intp))
         return out

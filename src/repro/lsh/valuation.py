@@ -14,9 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..core.truncated import truncated_values_from_labels, truncation_rank
+from ..core.kernels import RankPlan, get_kernel, truncation_rank
 from ..exceptions import ParameterError
 from ..rng import SeedLike
 from ..types import Dataset, ValuationResult
@@ -98,15 +96,15 @@ def lsh_knn_shapley(
     neighbor_idx, _, stats = index.query(x_test, k_star_eff)
     query_seconds = time.perf_counter() - query_start
 
-    per_test = np.zeros((dataset.n_test, n), dtype=np.float64)
-    for j in range(dataset.n_test):
-        idx = neighbor_idx[j]
-        if idx.size == 0:
-            continue
-        vals = truncated_values_from_labels(
-            dataset.y_train[idx], dataset.y_test[j], k, k_star
-        )
-        per_test[j, idx] = vals
+    # the same truncated kernel the engine dispatches, over a ragged
+    # plan of approximate neighbors; the zero anchor reflects that an
+    # LSH index never certifies full coverage of the training set
+    plan = RankPlan.from_neighbor_rows(
+        neighbor_idx, dataset.y_train, dataset.y_test
+    )
+    per_test = get_kernel("truncated").values_from_plan(
+        plan, k, k_star=k_star, exact_anchor=False
+    )
     values = per_test.mean(axis=0)
     return ValuationResult(
         values=values,

@@ -13,6 +13,25 @@ The library passes data around in three shapes:
 All arrays are numpy arrays.  Constructors validate shapes eagerly so
 that failures surface at the boundary instead of deep inside an
 algorithm.
+
+Dtype contract
+--------------
+The library normalizes array dtypes at its boundaries so the numeric
+core never has to defend against surprises:
+
+* **Features** (``x_train``, ``x_test``, mutation batches) are
+  C-contiguous float64 ``(n, d)`` matrices — :func:`as_float_matrix`
+  and :func:`as_new_points` enforce this on every entry path.
+* **Labels** stay in their native dtype (integers for classification,
+  float for regression); algorithms cast locally where arithmetic
+  demands it.
+* **Valuation outputs** — every ``ValuationResult.values`` vector and
+  every per-test value matrix produced by a kernel in
+  :mod:`repro.core.kernels` — are C-contiguous float64;
+  :func:`as_value_matrix` is the single chokepoint kernels route their
+  ``(n_test, n_train)`` outputs through, so downstream consumers
+  (engine partial-sum merging, caching, serialization) can rely on the
+  layout without re-checking.
 """
 
 from __future__ import annotations
@@ -32,6 +51,7 @@ __all__ = [
     "as_float_matrix",
     "as_label_vector",
     "as_new_points",
+    "as_value_matrix",
 ]
 
 
@@ -108,6 +128,23 @@ def as_new_points(
             f"new points have {x_arr.shape[1]} features, expected {n_features}"
         )
     return x_arr, y_arr
+
+
+def as_value_matrix(values: Any, name: str = "values") -> np.ndarray:
+    """Enforce the kernel output contract: C-contiguous float64 2-D.
+
+    Every :class:`repro.core.kernels.ValuationKernel` routes its
+    ``(n_test, n_train)`` per-test value matrix through this function
+    before returning, so the contract documented in the module
+    docstring holds at a single chokepoint.  Arrays that already
+    satisfy it pass through without copying.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataValidationError(
+            f"{name} must be a 2-D per-test matrix, got ndim={arr.ndim}"
+        )
+    return arr
 
 
 @dataclass(frozen=True)

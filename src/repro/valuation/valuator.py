@@ -60,9 +60,11 @@ class KNNShapleyValuator:
 
     Notes
     -----
-    ``exact``, ``truncated`` and ``lsh`` delegate to a shared
-    :class:`~repro.engine.ValuationEngine`, so the neighbor index is
-    fit once per valuator and repeated calls reuse cached rankings.
+    ``exact``, ``truncated``, ``weighted`` and ``lsh`` delegate to a
+    shared :class:`~repro.engine.ValuationEngine`, so the neighbor
+    index is fit once per valuator and repeated calls reuse cached
+    rankings (``weighted`` additionally reuses cached sorted
+    distances).
     """
 
     def __init__(
@@ -194,9 +196,30 @@ class KNNShapleyValuator:
     def weighted(
         self, weights: str = "inverse_distance"
     ) -> ValuationResult:
-        """Exact weighted-KNN values (Theorem 7), O(N^K)."""
-        return exact_weighted_knn_shapley(
-            self.dataset, self.k, weights=weights, task=self.task, metric=self.metric
+        """Exact weighted-KNN values (Theorem 7), O(N^K).
+
+        Served by the shared engine: the ranking and sorted distances
+        are cached across calls, and with ``k == 1`` and a built-in
+        weight function the engine runs the O(N) fast path of the
+        ``weighted`` kernel.  A backend that cannot produce full
+        rankings (``"lsh"``) falls back to the single-shot path —
+        Theorem 7 needs the whole ranking, whatever executes it.
+        """
+        engine = self.engine()
+        if not engine.backend.supports_full_ranking:
+            return exact_weighted_knn_shapley(
+                self.dataset,
+                self.k,
+                weights=weights,
+                task=self.task,
+                metric=self.metric,
+            )
+        return engine.value(
+            self.dataset.x_test,
+            self.dataset.y_test,
+            method="weighted",
+            weights=weights,
+            store_per_test=True,
         )
 
     def grouped(self, grouped: GroupedDataset) -> ValuationResult:

@@ -1,5 +1,7 @@
 """Tests for the streaming valuation accumulator."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -137,15 +139,35 @@ def test_mutation_validation(data):
     assert stream.n_train == 120
 
 
-def test_lsh_backend_mutation_refits_with_warning(data):
+def test_lsh_backend_small_mutation_updates_in_place(data):
     stream = StreamingKNNShapley(
         data.x_train, data.y_train, k=1, backend="lsh",
         epsilon=0.2, delta=0.2, seed=0,
     )
     stream.update(data.x_test[0], data.y_test[0])
-    with pytest.warns(RuntimeWarning, match="full refit"):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # bounded churn must not warn
         stream.add_points(data.x_train[3] + 0.1, data.y_train[3])
-    assert stream.n_train == 121
+        stream.remove_points([5])
+    assert stream.n_train == 120
+    # the updated index serves subsequent queries
+    stream.update(data.x_test[1], data.y_test[1])
+    assert stream.n_queries == 2
+
+
+def test_lsh_backend_drift_refits_with_warning(data, rng):
+    stream = StreamingKNNShapley(
+        data.x_train, data.y_train, k=1, backend="lsh",
+        epsilon=0.2, delta=0.2, seed=0,
+    )
+    stream.update(data.x_test[0], data.y_test[0])
+    grow = data.n_train // 3  # > 25% drift from the tuned size
+    with pytest.warns(RuntimeWarning, match="full refit"):
+        stream.add_points(
+            rng.standard_normal((grow, data.n_features)),
+            rng.integers(0, 2, grow),
+        )
+    assert stream.n_train == data.n_train + grow
     # the rebuilt index serves subsequent queries
     stream.update(data.x_test[1], data.y_test[1])
     assert stream.n_queries == 2

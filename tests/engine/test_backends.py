@@ -1,5 +1,7 @@
 """Tests for the pluggable neighbor backends and their registry."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -230,18 +232,86 @@ def test_partial_fit_validates_width(rng):
     assert backend.n == 10
 
 
-def test_lsh_mutation_warns_and_refits(rng):
+def test_lsh_small_mutations_update_in_place(rng, full_recall_params):
+    """Bounded churn is absorbed into the existing buckets: no warning,
+    no rebuild, and (with full-recall tables) exact-equivalent results."""
+    data = rng.standard_normal((40, 3))
+    backend = LSHNeighborBackend(params=full_recall_params(3), seed=0).fit(data)
+    backend.prepare(None, 5)
+    index_before = backend._index
+    assert index_before is not None
+    assert backend.supports_incremental_mutation
+    queries = rng.standard_normal((3, 3))
+
+    extra = rng.standard_normal((2, 3))
+    backend.partial_fit(extra)  # 5% growth: in place, warning-free
+    assert backend.n == 42
+    assert backend._index is index_before  # same tables, new buckets
+    idx, dist = backend.query(queries, 5)
+    oracle = make_backend("brute").fit(np.vstack((data, extra)))
+    oi, od = oracle.query(queries, 5)
+    for j in range(queries.shape[0]):
+        np.testing.assert_array_equal(idx[j], oi[j])
+        np.testing.assert_allclose(dist[j], od[j], atol=1e-12)
+
+    doomed = [0, 41]  # one incumbent, one newcomer
+    backend.forget(doomed)  # tombstoned, warning-free
+    assert backend.n == 40
+    assert backend._index is index_before
+    idx, _ = backend.query(queries, 5)
+    oracle = make_backend("brute").fit(
+        np.delete(np.vstack((data, extra)), doomed, axis=0)
+    )
+    oi, _ = oracle.query(queries, 5)
+    for j in range(queries.shape[0]):
+        np.testing.assert_array_equal(idx[j], oi[j])
+
+
+def test_lsh_mutation_beyond_drift_warns_and_refits(rng):
     data = rng.standard_normal((40, 3))
     backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(data)
     backend.prepare(None, 3)
     assert backend._index is not None
-    assert not backend.supports_incremental_mutation
     with pytest.warns(RuntimeWarning, match="full refit"):
-        backend.partial_fit(rng.standard_normal((2, 3)))
-    assert backend.n == 42
+        backend.partial_fit(rng.standard_normal((12, 3)))  # 30% > 25% drift
+    assert backend.n == 52
     assert backend._index is None  # rebuilt lazily on next query
     idx, _ = backend.query(rng.standard_normal((1, 3)), 3)
     assert backend._index is not None
     with pytest.warns(RuntimeWarning, match="full refit"):
-        backend.forget([0])
-    assert backend.n == 41
+        backend.forget(list(range(14)))  # shrink past the tuned band
+    assert backend.n == 38
+
+
+def test_lsh_balanced_churn_is_compacted_by_refit(rng, full_recall_params):
+    """Tombstones and appends both leave rows in the tables, so
+    balanced add/remove churn must eventually trip the drift refit —
+    otherwise the index grows without bound while n stays constant."""
+    data = rng.standard_normal((40, 3))
+    backend = LSHNeighborBackend(params=full_recall_params(3), seed=0).fit(data)
+    backend.prepare(None, 3)
+    refitted = False
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(12):
+            backend.partial_fit(rng.standard_normal((2, 3)))
+            backend.forget([0, 1])
+            if any("full refit" in str(w.message) for w in caught):
+                refitted = True
+                break
+    assert refitted, "internal index growth never triggered a compaction"
+    assert backend.n == 40  # alive count untouched by the refit
+    backend.prepare(None, 3)
+    assert backend._index.n == 40  # rebuilt compact: tombstones reclaimed
+
+
+def test_lsh_churn_changes_cache_token(rng, full_recall_params):
+    data = rng.standard_normal((30, 3))
+    backend = LSHNeighborBackend(params=full_recall_params(3), seed=0).fit(data)
+    backend.prepare(None, 3)
+    t0 = backend.cache_token()
+    backend.partial_fit(rng.standard_normal((1, 3)))
+    t1 = backend.cache_token()
+    assert t0 != t1
+    backend.forget([5])
+    assert backend.cache_token() != t1

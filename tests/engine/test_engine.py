@@ -213,7 +213,8 @@ def test_from_dataset_and_wrappers(data):
 @pytest.mark.parametrize("backend", ["brute", "blocked", "lsh"])
 def test_engine_mutation_matches_full_recompute(data, backend, full_recall_params, rng):
     """Engine-level add/remove matches a freshly built engine on the
-    mutated dataset, on every backend (LSH mutates by warned refit)."""
+    mutated dataset, on every backend (LSH absorbs bounded churn into
+    its buckets in place — no refit warning)."""
     options = {"params": full_recall_params(3), "seed": 0} if backend == "lsh" else None
     method = "lsh" if backend == "lsh" else "exact"
     epsilon = 1.0 / (data.n_train + 2)
@@ -222,11 +223,7 @@ def test_engine_mutation_matches_full_recompute(data, backend, full_recall_param
     )
     x_new = rng.standard_normal((2, 12))
     y_new = rng.integers(0, 2, 2)
-    if backend == "lsh":
-        with pytest.warns(RuntimeWarning, match="full refit"):
-            engine.add_points(x_new, y_new)
-    else:
-        engine.add_points(x_new, y_new)
+    engine.add_points(x_new, y_new)
     got = engine.value(data.x_test, data.y_test, method=method, epsilon=epsilon)
     fresh = ValuationEngine(
         np.vstack((data.x_train, x_new)),
@@ -238,11 +235,7 @@ def test_engine_mutation_matches_full_recompute(data, backend, full_recall_param
     np.testing.assert_allclose(got.values, fresh.values, rtol=0, atol=1e-12)
 
     doomed = [0, data.n_train]  # one incumbent, one newcomer
-    if backend == "lsh":
-        with pytest.warns(RuntimeWarning, match="full refit"):
-            engine.remove_points(doomed)
-    else:
-        engine.remove_points(doomed)
+    engine.remove_points(doomed)
     got = engine.value(data.x_test, data.y_test, method=method, epsilon=epsilon)
     fresh = ValuationEngine(
         np.delete(np.vstack((data.x_train, x_new)), doomed, axis=0),
@@ -253,3 +246,61 @@ def test_engine_mutation_matches_full_recompute(data, backend, full_recall_param
     ).value(data.x_test, data.y_test, method=method, epsilon=epsilon)
     np.testing.assert_allclose(got.values, fresh.values, rtol=0, atol=1e-12)
     assert engine.n_train == data.n_train
+
+
+# ------------------------------------------------------------- weighted
+@pytest.mark.parametrize("k", [1, 2])
+def test_weighted_matches_single_shot(k):
+    """Engine weighted valuation (chunked, via the kernel registry)
+    matches the single-shot Theorem 7 path to 1e-12."""
+    from repro.core import exact_weighted_knn_shapley
+    from repro.datasets import gaussian_blobs
+
+    data = gaussian_blobs(n_train=45, n_test=6, n_features=5, seed=97)
+    reference = exact_weighted_knn_shapley(data, k, weights="inverse_distance")
+    engine = ValuationEngine(data.x_train, data.y_train, k, chunk_size=2)
+    result = engine.value(
+        data.x_test, data.y_test, method="weighted", store_per_test=True
+    )
+    assert result.method == "exact-weighted"
+    assert result.extra["kernel"] == "weighted"
+    np.testing.assert_allclose(
+        result.values, reference.values, rtol=0, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        result.extra["per_test"], reference.extra["per_test"], atol=1e-12
+    )
+
+
+def test_weighted_regression_matches_single_shot():
+    from repro.core import exact_weighted_knn_shapley
+    from repro.datasets import regression_dataset
+
+    data = regression_dataset(n_train=30, n_test=4, n_features=4, seed=98)
+    reference = exact_weighted_knn_shapley(
+        data, 2, weights="uniform", task="regression"
+    )
+    engine = ValuationEngine(
+        data.x_train, data.y_train, 2, task="regression", chunk_size=3
+    )
+    result = engine.value(
+        data.x_test, data.y_test, method="weighted", weights="uniform"
+    )
+    np.testing.assert_allclose(
+        result.values, reference.values, rtol=0, atol=1e-12
+    )
+
+
+def test_weighted_caches_ranking_with_distances():
+    from repro.datasets import gaussian_blobs
+
+    data = gaussian_blobs(n_train=40, n_test=5, n_features=4, seed=99)
+    engine = ValuationEngine(data.x_train, data.y_train, 1)
+    first = engine.value(data.x_test, data.y_test, method="weighted")
+    assert first.extra["cache"]["hits"] == 0
+    second = engine.value(data.x_test, data.y_test, method="weighted")
+    assert second.extra["cache"]["hits"] == 1
+    np.testing.assert_array_equal(first.values, second.values)
+    # an exact request rides the same cached permutation
+    exact = engine.value(data.x_test, data.y_test, method="exact")
+    assert exact.extra["cache"]["hits"] == 2

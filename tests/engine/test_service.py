@@ -199,3 +199,25 @@ def test_failed_mutation_surfaces_via_result(data, engine):
         with pytest.raises(ParameterError):
             job.result(timeout=60)
         assert job.status == "failed"
+
+
+def test_weighted_requests_ride_the_queue(data):
+    from repro.core import exact_weighted_knn_shapley
+
+    reference = exact_weighted_knn_shapley(data, 1, weights="inverse_distance")
+    k1_engine = ValuationEngine(data.x_train, data.y_train, 1)
+    with ValuationService(k1_engine, n_workers=2) as service:
+        jobs = [
+            service.submit(
+                ValuationRequest(
+                    data.x_test, data.y_test, method="weighted", tag=f"w{i}"
+                )
+            )
+            for i in range(3)
+        ]
+        for job in jobs:
+            result = job.result(timeout=120)
+            assert result.method == "exact-weighted"
+            np.testing.assert_allclose(
+                result.values, reference.values, rtol=0, atol=1e-12
+            )

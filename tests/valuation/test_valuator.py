@@ -101,3 +101,15 @@ def test_result_helpers(tiny_cls):
     ranking = result.ranking()
     assert ranking.shape == (tiny_cls.n_train,)
     assert set(top3.tolist()) <= set(ranking[:3].tolist())
+
+
+def test_weighted_falls_back_for_non_ranking_backend(tiny_cls):
+    """An LSH-configured valuator still serves weighted(): Theorem 7
+    needs full rankings, so it falls back to the single-shot path."""
+    from repro.core import exact_weighted_knn_shapley
+
+    valuator = KNNShapleyValuator(tiny_cls, k=2, backend="lsh")
+    result = valuator.weighted()
+    assert result.method == "exact-weighted"
+    reference = exact_weighted_knn_shapley(tiny_cls, 2)
+    np.testing.assert_array_equal(result.values, reference.values)
