@@ -1,0 +1,45 @@
+"""Monitoring subsystem: overhead and recovery acceptance gates.
+
+Two bars from the monitoring PR's acceptance criteria:
+
+* leaving telemetry + an idle maintenance scheduler attached must cost
+  at most 5% on the steady-state LSH serving path;
+* after an injected distribution shift (full cluster migration at
+  constant ``n``), one background maintenance cycle must re-tune the
+  index to a recall proxy within 2% of a freshly tuned control — with
+  zero warnings and at least one drift-signal-driven re-tune.
+
+The experiment itself runs the migration under
+``warnings.simplefilter("error")``, so any resurrection of the legacy
+``RuntimeWarning`` refit path fails this benchmark outright.
+"""
+
+from repro.experiments import monitor_maintenance
+from repro.experiments.reporting import format_result
+
+
+def test_monitor_overhead_and_drift_recovery(once):
+    result = once(lambda: monitor_maintenance())
+    print()
+    print(format_result(result))
+    overhead, recovery = result.rows
+
+    # steady state: monitoring is leave-on-able
+    assert overhead["monitored_s"] <= 1.05 * overhead["plain_s"], (
+        f"monitoring overhead {overhead['overhead_ratio']:.3f}x exceeds "
+        "the 5% budget on the serving path"
+    )
+    # a stable workload must not trigger maintenance actions
+    assert overhead["idle_actions"] == 0
+
+    # drift: the background re-tune restores recall to fresh-tune level
+    assert recovery["retunes"] >= 1, "no background re-tune happened"
+    assert recovery["n_signals"] >= 1, "maintenance ran without a signal"
+    assert recovery["recall_fresh"] > 0.8, "the fresh control is unhealthy"
+    assert recovery["recall_after"] >= recovery["recall_fresh"] - 0.02, (
+        f"post-maintenance recall {recovery['recall_after']:.3f} not within "
+        f"2% of a freshly tuned index ({recovery['recall_fresh']:.3f})"
+    )
+    assert recovery["recall_after"] >= recovery["recall_degraded"] + 0.2, (
+        "the injected shift did not degrade-and-recover as designed"
+    )

@@ -50,6 +50,11 @@ WORKLOAD = {
     "weighted_n_cached": 20000,
     "weighted_n_test": 4,
     "weighted_k": 1,
+    # monitoring workload (PR 4): steady-state serving overhead of an
+    # attached telemetry hub + idle scheduler, and recall recovery of a
+    # drift-triggered background re-tune vs a freshly tuned control
+    "monitor_n_train": 4000,
+    "monitor_requests": 6,
 }
 
 
@@ -58,6 +63,7 @@ def measure() -> dict:
     from repro.experiments import (
         engine_throughput,
         incremental_churn,
+        monitor_maintenance,
         weighted_engine,
     )
 
@@ -86,6 +92,13 @@ def measure() -> dict:
         cached_repeat=WORKLOAD["repeat"],
         seed=WORKLOAD["seed"],
     ).rows
+    monitor_overhead, monitor_recovery = monitor_maintenance(
+        n_train=WORKLOAD["monitor_n_train"],
+        n_requests=WORKLOAD["monitor_requests"],
+        k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows
     return {
         "schema": SCHEMA,
         "workload": dict(WORKLOAD),
@@ -103,6 +116,12 @@ def measure() -> dict:
                 weighted[0]["speedup"], 50.0
             ),
             "weighted_cached_speedup": weighted[1]["cached_speedup"],
+            # ~1.0 = monitoring is free on the serving path; dropping
+            # toward 0.95 means ~5% overhead (the bench_monitor bar)
+            "monitor_overhead_margin": monitor_overhead["overhead_margin"],
+            # ~1.0 = the background re-tune restores the recall of a
+            # freshly tuned index after an injected distribution shift
+            "monitor_retune_recovery": monitor_recovery["recovery_ratio"],
         },
         "info": {
             "single_shot_s": throughput["single_shot_s"],
@@ -118,6 +137,12 @@ def measure() -> dict:
             "weighted_engine_cold_s": weighted[1]["engine_cold_s"],
             "weighted_engine_cached_s": weighted[1]["engine_cached_s"],
             "weighted_max_err": weighted[0]["max_err"],
+            "monitor_plain_s": monitor_overhead["plain_s"],
+            "monitor_monitored_s": monitor_overhead["monitored_s"],
+            "monitor_recall_degraded": monitor_recovery["recall_degraded"],
+            "monitor_recall_after": monitor_recovery["recall_after"],
+            "monitor_recall_fresh": monitor_recovery["recall_fresh"],
+            "monitor_retunes": monitor_recovery["retunes"],
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -154,6 +179,15 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
     werr = candidate["info"].get("weighted_max_err")
     if werr is not None and werr > 1e-12:
         failures.append(f"weighted_max_err: {werr:g} exceeds 1e-12")
+    # the maintenance acceptance bar is absolute (within 2% of a fresh
+    # tune), tighter than the ratio gate's tolerance
+    after = candidate["info"].get("monitor_recall_after")
+    fresh = candidate["info"].get("monitor_recall_fresh")
+    if after is not None and fresh is not None and after < fresh - 0.02:
+        failures.append(
+            f"monitor_recall_after: {after:.3f} more than 2% below the "
+            f"freshly tuned control ({fresh:.3f})"
+        )
     return failures
 
 

@@ -19,6 +19,12 @@ Quickstart::
 """
 
 from .engine import IncrementalValuator, ValuationEngine, ValuationService
+from .monitor import (
+    DriftSignal,
+    MaintenanceScheduler,
+    TelemetryHub,
+    attach_monitoring,
+)
 from .exceptions import (
     ConvergenceError,
     DataValidationError,
@@ -40,6 +46,10 @@ __all__ = [
     "ValuationEngine",
     "IncrementalValuator",
     "ValuationService",
+    "TelemetryHub",
+    "DriftSignal",
+    "MaintenanceScheduler",
+    "attach_monitoring",
     "surrogate_values",
     "ReproError",
     "DataValidationError",

@@ -19,6 +19,11 @@ the part the paper's Section 3.2 serving scenario actually needs:
 * :mod:`~repro.engine.service` — :class:`ValuationService`, a queue of
   :class:`ValuationRequest` and :class:`MutationRequest` jobs with
   per-job latency stats.
+
+Every component answers ``stats()`` with the unified schema of
+:mod:`repro.stats`, and publishes runtime streams into an attached
+:class:`repro.monitor.TelemetryHub` — the collection surface of the
+monitoring/adaptive-maintenance subsystem (:mod:`repro.monitor`).
 """
 
 from .backends import (

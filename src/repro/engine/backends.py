@@ -41,6 +41,7 @@ from ..exceptions import NotFittedError, ParameterError
 from ..knn.distance import get_metric
 from ..knn.search import stable_argsort_rows, top_k
 from ..rng import SeedLike
+from ..stats import component_stats
 
 __all__ = [
     "NeighborBackend",
@@ -70,6 +71,17 @@ class NeighborBackend(ABC):
 
     def __init__(self) -> None:
         self._data: np.ndarray | None = None
+        #: optional :class:`repro.monitor.TelemetryHub`; when attached,
+        #: retrieval calls publish latency (and, for LSH, candidate
+        #: statistics plus a query reservoir) into it
+        self.telemetry = None
+        self._ops_lock = threading.Lock()
+        self._ops: Dict[str, int] = {
+            "queries": 0,
+            "fits": 0,
+            "partial_fits": 0,
+            "forgets": 0,
+        }
 
     # ------------------------------------------------------------------
     def fit(self, data: np.ndarray) -> "NeighborBackend":
@@ -79,6 +91,7 @@ class NeighborBackend(ABC):
             raise ParameterError("cannot fit a backend on zero points")
         self._data = data
         self._fit(data)
+        self._count("fits")
         return self
 
     def _fit(self, data: np.ndarray) -> None:
@@ -130,6 +143,7 @@ class NeighborBackend(ABC):
             )
         self._data = np.ascontiguousarray(np.vstack((data, points)))
         self._partial_fit(points)
+        self._count("partial_fits")
 
     def _partial_fit(self, points: np.ndarray) -> None:
         """Subclass hook after an append; the default refits."""
@@ -156,10 +170,56 @@ class NeighborBackend(ABC):
             raise ParameterError("cannot forget every indexed point")
         self._data = np.ascontiguousarray(np.delete(data, idx, axis=0))
         self._forget(idx)
+        self._count("forgets")
 
     def _forget(self, idx: np.ndarray) -> None:
         """Subclass hook after a delete; the default refits."""
         self._fit(self._data)
+
+    # ------------------------------------------------------------------
+    # telemetry: counters and the publishing chokepoint
+    def _count(self, op: str, n: int = 1) -> None:
+        with self._ops_lock:
+            self._ops[op] = self._ops.get(op, 0) + int(n)
+
+    def record_retrieval(self, n_queries: int, seconds: float) -> None:
+        """Publish one retrieval batch (count + latency) to telemetry.
+
+        Concrete backends call this from their ``query`` / ``rank``
+        paths; with no hub attached it is a counter bump and nothing
+        else, cheap enough for the serving hot path.
+        """
+        self._count("queries", n_queries)
+        hub = self.telemetry
+        if hub is not None:
+            hub.record(f"backend.{self.name}.query_seconds", seconds)
+            hub.count(f"backend.{self.name}.queries", n_queries)
+
+    def spot_query(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[Sequence[np.ndarray], Sequence[np.ndarray]]:
+        """Top-``k`` retrieval *without* telemetry publication.
+
+        Monitoring spot checks (recall proxies) retrieve through the
+        backend they are measuring; routing them through :meth:`query`
+        would feed the check's own traffic back into the drift streams
+        it informs.  The LSH backend (the one the recall detectors
+        watch) overrides this to skip its publication; the default
+        simply forwards.
+        """
+        return self.query(queries, k)
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot (see :mod:`repro.stats`)."""
+        with self._ops_lock:
+            counters = dict(self._ops)
+        gauges: dict = {}
+        if self._data is not None:
+            gauges["n"] = int(self._data.shape[0])
+            gauges["n_features"] = int(self._data.shape[1])
+        return component_stats(
+            f"backend.{self.name}", counters=counters, gauges=gauges
+        )
 
     # ------------------------------------------------------------------
     def prepare(self, queries: np.ndarray, k: int) -> None:
@@ -240,23 +300,32 @@ class BruteForceBackend(NeighborBackend):
 
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         data = self._require_fitted()
-        return top_k(queries, data, k, metric=self.metric)
+        start = time.perf_counter()
+        idx, dist = top_k(queries, data, k, metric=self.metric)
+        self.record_retrieval(idx.shape[0], time.perf_counter() - start)
+        return idx, dist
 
     def rank(self, queries: np.ndarray) -> np.ndarray:
         # same metric as query() — not a rank-equivalent shortcut — so
         # tie-breaks agree bit-for-bit with top_k and a cached full
         # ranking can serve top-k requests interchangeably
         data = self._require_fitted()
+        start = time.perf_counter()
         dist = get_metric(self.metric)(queries, data)
-        return stable_argsort_rows(dist)
+        order = stable_argsort_rows(dist)
+        self.record_retrieval(order.shape[0], time.perf_counter() - start)
+        return order
 
     def rank_with_distances(
         self, queries: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         data = self._require_fitted()
+        start = time.perf_counter()
         dist = get_metric(self.metric)(queries, data)
         order = stable_argsort_rows(dist)
-        return order, np.take_along_axis(dist, order, axis=1)
+        sorted_dist = np.take_along_axis(dist, order, axis=1)
+        self.record_retrieval(order.shape[0], time.perf_counter() - start)
+        return order, sorted_dist
 
     # the index *is* the data matrix: base-class mutation needs no refit
     def _partial_fit(self, points: np.ndarray) -> None:
@@ -312,6 +381,7 @@ class BlockedExactBackend(NeighborBackend):
             raise ParameterError(f"k must be positive, got {k}")
         data = self._require_fitted()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        start = time.perf_counter()
         n = data.shape[0]
         k_eff = min(k, n)
         kernel = get_metric(self.metric)
@@ -337,16 +407,22 @@ class BlockedExactBackend(NeighborBackend):
                 best_idx = np.take_along_axis(cand_idx, order, axis=1)
             out_idx[qs:qe] = best_idx
             out_dist[qs:qe] = best_dist
+        self.record_retrieval(out_idx.shape[0], time.perf_counter() - start)
         return out_idx, out_dist
 
     def rank(self, queries: np.ndarray) -> np.ndarray:
-        return self._rank_slabs(queries, want_distances=False)[0]
+        start = time.perf_counter()
+        order = self._rank_slabs(queries, want_distances=False)[0]
+        self.record_retrieval(order.shape[0], time.perf_counter() - start)
+        return order
 
     def rank_with_distances(
         self, queries: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
+        start = time.perf_counter()
         order, sorted_dist = self._rank_slabs(queries, want_distances=True)
         assert sorted_dist is not None
+        self.record_retrieval(order.shape[0], time.perf_counter() - start)
         return order, sorted_dist
 
     def _rank_slabs(
@@ -396,12 +472,26 @@ class LSHNeighborBackend(NeighborBackend):
     Mutations are absorbed in place while the indexed size stays close
     to the size the tables were tuned for: :meth:`partial_fit` hashes
     new points into the existing per-table buckets, and :meth:`forget`
-    tombstones (queries skip the dead; buckets are not scrubbed).  Once
+    tombstones (queries skip the dead; :meth:`compact` scrubs them out
+    without rehashing, preserving query results bit-for-bit).  Once
     ``n`` drifts more than :attr:`refit_drift` (25%) from the tuned
-    size, the tuning assumptions of Section 6.1 no longer hold and the
-    backend falls back to a full refit — that path alone emits the
-    ``RuntimeWarning``.  Re-tuning the contrast estimate under drift
-    stays an open item (see ROADMAP).
+    size, the tuning assumptions of Section 6.1 no longer hold.  What
+    happens then depends on whether a maintenance owner is attached:
+
+    * with an :attr:`on_drift` hook (a
+      :class:`repro.monitor.MaintenanceScheduler` installs one), the
+      backend keeps absorbing mutations in place and the hook schedules
+      a silent background :meth:`retune` — serving never warns and
+      never stalls on an inline rebuild;
+    * without one, the legacy escape hatch fires: a ``RuntimeWarning``
+      and a full refit on the next query.
+
+    :meth:`retune` is the adaptive-maintenance entry point: it
+    re-estimates the relative contrast from current data (and, when
+    given, a sample of recent queries — the telemetry reservoir),
+    re-runs the Section 6.1 selection, and rebuilds.  Per-index
+    telemetry counters (in-place inserts, tombstones) reset on every
+    (re)build so monitored ratios always describe the live index.
 
     Tuning follows the paper's Section 6.1 recipe and happens lazily,
     because the table count depends on how many neighbors (``K*``) the
@@ -460,6 +550,21 @@ class LSHNeighborBackend(NeighborBackend):
         self._scale = 1.0
         self._built_k = 0
         self._tuned_n = 0
+        #: drift hook: called with this backend when a mutation finds
+        #: the index outside its tuned band; returning True means a
+        #: maintenance owner scheduled the recovery (keep mutating in
+        #: place, no warning), False/None falls back to the warned refit
+        self.on_drift: Optional[Callable[["LSHNeighborBackend"], bool]] = None
+        self._baseline_candidates: float | None = None
+        self._ops.update(
+            builds=0,
+            retunes=0,
+            compactions=0,
+            inserts_in_place=0,
+            tombstones_in_place=0,
+            deferred_refits=0,
+            warned_refits=0,
+        )
         #: external index -> internal LSHIndex id; ``None`` = identity
         #: (the two diverge only after a tombstoning ``forget``)
         self._ids: np.ndarray | None = None
@@ -496,7 +601,67 @@ class LSHNeighborBackend(NeighborBackend):
             and self._index.n > (1.0 + self.refit_drift) * self._tuned_n
         )
 
-    def _refit_for_drift(self) -> None:
+    # ------------------------------------------------------------------
+    # the monitoring surface (read by repro.monitor detectors)
+    @property
+    def built_k(self) -> int:
+        """The ``k`` the live index was built for (0 before any build)."""
+        return self._built_k
+
+    @property
+    def scale(self) -> float:
+        """Normalization scale the live index applies to raw data."""
+        return self._scale
+
+    @property
+    def tuned_n(self) -> int:
+        """Indexed size the live tuning assumed (0 before any build)."""
+        return self._tuned_n
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of internal index rows that are tombstoned."""
+        index = self._index
+        return 0.0 if index is None else index.tombstone_ratio
+
+    @property
+    def internal_n(self) -> int:
+        """Internal index rows including tombstones (0 before a build).
+
+        Balanced add/remove churn grows this without moving the alive
+        count — the second signal :meth:`_drifted` bounds.
+        """
+        index = self._index
+        return 0 if index is None else index.n
+
+    @property
+    def baseline_candidates(self) -> float | None:
+        """Mean candidate-set size of the first batch after a build.
+
+        The reference level candidate-distribution drift is measured
+        against; ``None`` until the first post-build query.
+        """
+        return self._baseline_candidates
+
+    @property
+    def needs_refit(self) -> bool:
+        """Whether the live index has left its tuned band."""
+        with self._build_lock:
+            return self._index is not None and self._drifted()
+
+    def _handle_drift(self) -> bool:
+        """Dispatch a drifted mutation; True = keep mutating in place.
+
+        With an :attr:`on_drift` hook that accepts the signal, the
+        recovery (a re-tune) is the hook owner's job and the mutation
+        proceeds in place, silently.  Without one, the legacy escape
+        hatch warns and drops the index for a full refit on the next
+        query.
+        """
+        hook = self.on_drift
+        if hook is not None and hook(self):
+            self._count("deferred_refits")
+            return True
         warnings.warn(
             "the LSH backend's indexed size drifted more than "
             f"{self.refit_drift:.0%} from the tuned size "
@@ -505,15 +670,18 @@ class LSHNeighborBackend(NeighborBackend):
             RuntimeWarning,
             stacklevel=4,
         )
+        self._count("warned_refits")
         self._fit(self._data)
+        return False
 
     def _partial_fit(self, points: np.ndarray) -> None:
         with self._build_lock:
             if self._index is None:
                 # not built yet — the lazy build will index everything
                 return
-            if self._drifted():
-                self._refit_for_drift()
+            if self._drifted() and not self._handle_drift():
+                # warned path: the index is dropped, the next query's
+                # lazy rebuild indexes everything including `points`
                 return
             # in-place: hash the new points into the existing buckets
             # (in the index's normalized space); identity of external
@@ -523,13 +691,13 @@ class LSHNeighborBackend(NeighborBackend):
             if self._ids is not None:
                 self._ids = np.concatenate((self._ids, new_internal))
             self._churn += 1
+            self._count("inserts_in_place", points.shape[0])
 
     def _forget(self, idx: np.ndarray) -> None:
         with self._build_lock:
             if self._index is None:
                 return
-            if self._drifted():
-                self._refit_for_drift()
+            if self._drifted() and not self._handle_drift():
                 return
             if self._ids is None:
                 # identity held until now: the index's internal count
@@ -538,13 +706,10 @@ class LSHNeighborBackend(NeighborBackend):
             self._index.remove(self._ids[idx])
             self._ids = np.delete(self._ids, idx)
             self._churn += 1
+            self._count("tombstones_in_place", idx.size)
 
     def _build(self, queries: Optional[np.ndarray], k: int) -> None:
-        from ..lsh.contrast import (
-            ContrastEstimate,
-            estimate_relative_contrast,
-            normalize_to_unit_dmean,
-        )
+        from ..lsh.contrast import ContrastEstimate, estimate_relative_contrast
         from ..lsh.tables import LSHIndex
         from ..lsh.tuning import tune_lsh
 
@@ -556,13 +721,27 @@ class LSHNeighborBackend(NeighborBackend):
             contrast = params.contrast
             self._scale = 1.0 / contrast.d_mean if contrast.d_mean > 0 else 1.0
         elif self.tune_with_queries and queries is not None:
-            _, _, contrast = normalize_to_unit_dmean(
-                data, queries, k=min(k, n), seed=self._seed
+            # the paper's procedure (lsh_knn_shapley): estimate in raw
+            # space, normalize so D_mean = 1, tune in normalized space.
+            # The scale must come from the *raw* estimate — the
+            # normalized one reports d_mean = 1.0 by construction, and
+            # deriving the scale from it builds the index on
+            # unnormalized data with a width tuned for unit space (the
+            # recall collapse the monitor's spot checks flag instantly)
+            k_c = min(k, n)
+            est = estimate_relative_contrast(
+                data, queries, k=k_c, seed=self._seed
+            )
+            self._scale = 1.0 / est.d_mean if est.d_mean > 0 else 1.0
+            contrast = ContrastEstimate(
+                d_mean=1.0,
+                d_k=est.d_k * self._scale,
+                contrast=est.contrast,
+                k=k_c,
             )
             params = tune_lsh(
-                contrast, n=n, k_star=min(k, n), delta=self.delta, alpha=self.alpha
+                contrast, n=n, k_star=k_c, delta=self.delta, alpha=self.alpha
             )
-            self._scale = 1.0 / contrast.d_mean if contrast.d_mean > 0 else 1.0
         else:
             k_c = min(k, max(1, n - 1))
             est = estimate_relative_contrast(data, data, k=k_c, seed=self._seed)
@@ -586,7 +765,20 @@ class LSHNeighborBackend(NeighborBackend):
         self._built_k = k
         self._tuned_n = n
         self._ids = None
+        # a fresh index has no tombstones and no in-place churn: reset
+        # the per-index telemetry so monitored ratios (tombstones /
+        # internal rows, inserts since build) describe the live tables
+        # instead of going negative against a compacted index
+        self._churn = 0
+        self._baseline_candidates = None
+        with self._ops_lock:
+            self._ops["builds"] += 1
+            self._ops["inserts_in_place"] = 0
+            self._ops["tombstones_in_place"] = 0
         self.build_seconds = time.perf_counter() - start
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("lsh.build_seconds", self.build_seconds)
 
     def prepare(self, queries: Optional[np.ndarray], k: int) -> None:
         """Tune and build the index for batches requesting ``k``.
@@ -600,40 +792,171 @@ class LSHNeighborBackend(NeighborBackend):
 
     def _ensure_built(
         self, queries: Optional[np.ndarray], k: int
-    ) -> tuple["object", float]:
-        """Build if needed; return a consistent ``(index, scale)`` pair."""
+    ) -> tuple["object", float, Optional[np.ndarray]]:
+        """Build if needed; return a consistent ``(index, scale, ids)``.
+
+        The triple is captured under the build lock as one snapshot:
+        maintenance (a retune or compaction) swaps ``_index`` and
+        ``_ids`` together, so a query that keeps using its snapshot
+        stays internally consistent even while a swap lands.
+        """
         with self._build_lock:
             if self._index is None or k > self._built_k:
                 self._build(queries, k)
-            return self._index, self._scale
+            return self._index, self._scale, self._ids
 
     def query(
         self, queries: np.ndarray, k: int
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        start = time.perf_counter()
+        idx, dist, stats = self._query_impl(queries, k)
+        seconds = time.perf_counter() - start
+        if self._baseline_candidates is None:
+            # the first batch against a fresh index anchors the level
+            # candidate-distribution drift is measured from
+            self._baseline_candidates = stats.mean_candidates
+        self.record_retrieval(len(idx), seconds)
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("lsh.mean_candidates", stats.mean_candidates)
+            if stats.n_returned.size:
+                hub.record(
+                    "lsh.fill",
+                    float(stats.n_returned.mean()) / max(1, min(k, self.n)),
+                )
+            # the query reservoir: what contrast re-estimation samples
+            hub.observe("queries", queries)
+        return idx, dist
+
+    def spot_query(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        idx, dist, _ = self._query_impl(queries, k)
+        return idx, dist
+
+    def _query_impl(self, queries: np.ndarray, k: int):
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        index, scale = self._ensure_built(queries, k)
+        index, scale, ids = self._ensure_built(queries, k)
         idx, dist, stats = index.query(queries * scale, min(k, self.n))
         self.last_stats = stats
-        if self._ids is not None:
+        if ids is not None:
             # tombstoning broke id identity: translate the index's
             # internal ids back to current external training indices
+            # (using the snapshot taken with the index — re-reading
+            # self._ids here could pair an old index with a mapping a
+            # concurrent compaction already reset)
             lookup = np.full(index.n, -1, dtype=np.intp)
-            lookup[self._ids] = np.arange(self._ids.shape[0], dtype=np.intp)
+            lookup[ids] = np.arange(ids.shape[0], dtype=np.intp)
             idx = [lookup[row] for row in idx]
         # the index works in normalized space; report true distances
         inv = 1.0 / scale if scale != 0 else 1.0
-        return idx, [d * inv for d in dist]
+        return idx, [d * inv for d in dist], stats
+
+    # ------------------------------------------------------------------
+    # adaptive maintenance: re-tune and compact without interrupting
+    # service (owners run these under their exclusive lock — see
+    # ValuationEngine.run_exclusive)
+    def retune(self, queries: Optional[np.ndarray] = None, k: Optional[int] = None):
+        """Re-estimate the contrast on current data and rebuild, silently.
+
+        The background-maintenance replacement for both the warned
+        drift refit and the never-refreshed contrast estimate: the
+        Section 6.1 selection (:func:`repro.lsh.tuning.tune_lsh`) is
+        re-run against a *fresh* :class:`~repro.lsh.contrast.ContrastEstimate`
+        measured on the data as it is now — against ``queries`` (a
+        telemetry reservoir sample of recent traffic, the
+        ``tune_with_queries`` mode) when given, else against the data
+        itself — and the tables are rebuilt with the new parameters,
+        compacting all tombstones as a side effect.
+
+        With fixed ``params`` (user-pinned tuning) the rebuild still
+        happens — it compacts and re-indexes — but the parameters stay
+        pinned.  Returns the parameters now live, or ``None`` when the
+        index was never built (nothing to re-tune; the lazy build will
+        tune from scratch).
+        """
+        with self._build_lock:
+            if self._index is None:
+                return None
+            if queries is not None:
+                queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+                if queries.shape[0] == 0:
+                    queries = None
+            self._build(queries, int(k or self._built_k or 1))
+            self._count("retunes")
+            return self.params
+
+    def compact(self) -> int:
+        """Scrub tombstones from the live index; results are unchanged.
+
+        Delegates to :meth:`repro.lsh.tables.LSHIndex.compact`, which
+        filters bucket arrays in place without rehashing, so query
+        results are bit-identical before and after — the cache token
+        deliberately does not change.  Restores the identity mapping
+        between external training indices and internal ids (appends
+        land at the end of both numberings and deletions preserve
+        order, so the alive internal order *is* the external order).
+        Returns the number of rows scrubbed.
+
+        Like :meth:`retune`, this *swaps in* a new index object
+        (:meth:`~repro.lsh.tables.LSHIndex.compacted`) rather than
+        mutating the live one, and the swap replaces ``_index`` and
+        ``_ids`` as one unit under the build lock — an in-flight query
+        holding the previous snapshot finishes against the old tables
+        and old mapping, consistently.
+        """
+        with self._build_lock:
+            if self._index is None:
+                return 0
+            dead = self._index.n - self._index.n_alive
+            if dead == 0:
+                return 0
+            self._index, _ = self._index.compacted()
+            self._ids = None
+            self._count("compactions")
+            return dead
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot including per-index LSH gauges."""
+        out = super().stats()
+        index = self._index
+        params = self.params
+        gauges = out["gauges"]
+        gauges.update(
+            tuned_n=self._tuned_n,
+            built_k=self._built_k,
+            scale=self._scale,
+            churn=self._churn,
+            tombstone_ratio=self.tombstone_ratio,
+        )
+        if index is not None:
+            gauges["internal_n"] = index.n
+            gauges["n_alive"] = index.n_alive
+        if params is not None:
+            gauges.update(
+                width=params.width,
+                n_bits=params.n_bits,
+                n_tables=params.n_tables,
+                tuned_contrast=params.contrast.contrast,
+            )
+        if self._baseline_candidates is not None:
+            gauges["baseline_candidates"] = self._baseline_candidates
+        out["timings"]["build_seconds"] = self.build_seconds
+        return out
 
     def cache_token(self) -> str:
         p = self.params
         tuned = (
             f"w={p.width},m={p.n_bits},l={p.n_tables}" if p is not None else "untuned"
         )
+        # `build` counts rebuilds: an unseeded rebuild redraws its hash
+        # projections, so entries cached against the previous index
+        # must not be served even when the tuning round-trips
         return (
             f"lsh:{tuned}:scale={self._scale!r}:seed={self._seed!r}"
-            f":churn={self._churn}"
+            f":build={self._ops['builds']}:churn={self._churn}"
         )
 
 

@@ -26,6 +26,7 @@ from typing import Hashable, Optional
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..stats import component_stats
 
 __all__ = [
     "array_fingerprint",
@@ -66,7 +67,15 @@ def dataset_fingerprint(*arrays: np.ndarray, extra: tuple = ()) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`RankCache`."""
+    """Hit/miss/eviction counters for one :class:`RankCache`.
+
+    Lives on the cache as the ``stats`` attribute, so field reads
+    (``cache.stats.hits``) stay cheap; *calling* it —
+    ``cache.stats()`` — returns the unified component-stats schema
+    (:mod:`repro.stats`), the same shape every other serving component
+    answers ``stats()`` with, so the telemetry hub consumes the cache
+    like anything else.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -81,6 +90,20 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
         }
+
+    def __call__(self) -> dict:
+        """Unified-schema snapshot (see the class docstring)."""
+        gauges = {}
+        cache = getattr(self, "_cache", None)
+        if cache is not None:
+            gauges = {
+                "entries": len(cache),
+                "max_entries": cache.max_entries,
+                "max_entry_elements": cache.max_entry_elements,
+            }
+        return component_stats(
+            "rank_cache", counters=self.as_dict(), gauges=gauges
+        )
 
 
 class _Entry:
@@ -127,6 +150,8 @@ class RankCache:
         self.max_entries = int(max_entries)
         self.max_entry_elements = int(max_entry_elements)
         self.stats = CacheStats()
+        # backref for the unified stats() snapshot (entry-count gauges)
+        self.stats._cache = self
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._lock = threading.RLock()
 

@@ -55,6 +55,7 @@ from ..core.kernels import (
 )
 from ..core.truncated import truncation_rank
 from ..exceptions import ParameterError
+from ..stats import component_stats
 from ..types import (
     Dataset,
     ValuationResult,
@@ -204,6 +205,16 @@ class ValuationEngine:
         self.chunk_size = chunk_size
         self._train_fp = array_fingerprint(self.x_train)
         self._state_lock = _RWLock()
+        #: optional :class:`repro.monitor.TelemetryHub` (see
+        #: :meth:`attach_telemetry`)
+        self.telemetry = None
+        self._ops_lock = threading.Lock()
+        self._ops = {"requests": 0, "chunks": 0, "mutations": 0}
+        self._timings = {
+            "compute_seconds": 0.0,
+            "merge_seconds": 0.0,
+            "last_request_seconds": 0.0,
+        }
 
     # ------------------------------------------------------------------
     @classmethod
@@ -241,6 +252,80 @@ class ValuationEngine:
 
     def _cache_key(self, test_fp: str) -> tuple:
         return (self._train_fp, test_fp, self.backend.cache_token())
+
+    # ------------------------------------------------------------------
+    # observability and maintenance (the repro.monitor surface)
+    def attach_telemetry(self, hub) -> "ValuationEngine":
+        """Publish engine and backend streams into ``hub`` from now on.
+
+        Returns ``self`` for chaining.  The hub sees per-request
+        compute and partial-sum-merge timings from the engine plus the
+        backend's retrieval streams; the cache keeps its own counters,
+        consumed via :meth:`stats`.
+        """
+        self.telemetry = hub
+        self.backend.telemetry = hub
+        return self
+
+    def _record_request(
+        self, n_chunks: int, elapsed: float, merge_seconds: float
+    ) -> None:
+        with self._ops_lock:
+            self._ops["requests"] += 1
+            self._ops["chunks"] += n_chunks
+            self._timings["compute_seconds"] += elapsed
+            self._timings["merge_seconds"] += merge_seconds
+            self._timings["last_request_seconds"] = elapsed
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("engine.request_seconds", elapsed)
+            hub.record("engine.merge_seconds", merge_seconds)
+            hub.record("engine.chunks", n_chunks)
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot (see :mod:`repro.stats`).
+
+        The cache's and backend's own snapshots ride along under
+        ``"cache"`` / ``"backend"`` so one call captures the engine
+        stack; each nested dict follows the same schema.
+        """
+        with self._ops_lock:
+            counters = dict(self._ops)
+            timings = dict(self._timings)
+        return component_stats(
+            "valuation_engine",
+            counters=counters,
+            timings=timings,
+            gauges={
+                "n_train": self.n_train,
+                "n_workers": self.n_workers,
+                "k": self.k,
+            },
+            cache=self.cache.stats() if self.cache is not None else None,
+            backend=self.backend.stats(),
+        )
+
+    def run_exclusive(self, fn):
+        """Run ``fn()`` under the exclusive side of the state lock.
+
+        The maintenance entry point: a background scheduler re-tuning
+        or compacting this engine's backend must not interleave with
+        in-flight valuations (they read the backend mid-request).  Any
+        cache entries keyed by the backend's *previous* result
+        semantics become unreachable when the token changes, so they
+        are pre-invalidated here rather than left to age out of the
+        LRU.  Returns ``fn()``'s result.
+        """
+        with self._state_lock.write():
+            token_before = self.backend.cache_token()
+            try:
+                return fn()
+            finally:
+                if (
+                    self.cache is not None
+                    and self.backend.cache_token() != token_before
+                ):
+                    self.cache.invalidate(self._train_fp)
 
     # ------------------------------------------------------------------
     def _resolve_kernel(self, method: str) -> ValuationKernel:
@@ -387,6 +472,11 @@ class ValuationEngine:
         self._train_fp = array_fingerprint(self.x_train)
         if self.cache is not None:
             self.cache.invalidate(old_fp)
+        with self._ops_lock:
+            self._ops["mutations"] += 1
+        hub = self.telemetry
+        if hub is not None:
+            hub.count("engine.mutations")
 
     # ------------------------------------------------------------------
     def _value_ranked(
@@ -449,10 +539,12 @@ class ValuationEngine:
             )
 
         results = self._run_chunks(worker, spans)
+        merge_start = time.perf_counter()
         total = np.zeros(n, dtype=np.float64)
         for partial, _, _, _ in results:
             total += partial
         values = total / n_test
+        merge_seconds = time.perf_counter() - merge_start
         if collect_order and key is not None:
             self.cache.put_ranking(
                 key,
@@ -463,6 +555,8 @@ class ValuationEngine:
                     else None
                 ),
             )
+        elapsed = time.perf_counter() - start
+        self._record_request(len(spans), elapsed, merge_seconds)
         extra = {
             "k": self.k,
             "metric": self.metric,
@@ -473,7 +567,7 @@ class ValuationEngine:
             "cache": (
                 self.cache.stats.as_dict() if self.cache is not None else None
             ),
-            "elapsed_seconds": time.perf_counter() - start,
+            "elapsed_seconds": elapsed,
         }
         if kernel.name == "weighted":
             extra["weights"] = params.get("weights")
@@ -537,11 +631,13 @@ class ValuationEngine:
             )
 
         results = self._run_chunks(worker, spans)
+        merge_start = time.perf_counter()
         total = np.zeros(n, dtype=np.float64)
         for partial, _, rect, _ in results:
             total += partial
             exactly_k = exactly_k and rect
         values = total / n_test
+        merge_seconds = time.perf_counter() - merge_start
         if (
             key is not None
             and cached_idx is None
@@ -552,6 +648,8 @@ class ValuationEngine:
                 [np.asarray(r[1], dtype=np.intp).reshape(-1, k_eff) for r in results]
             )
             self.cache.put_topk(key, k_eff, idx)
+        elapsed = time.perf_counter() - start
+        self._record_request(len(spans), elapsed, merge_seconds)
         extra = {
             "k": self.k,
             "metric": self.metric,
@@ -564,7 +662,7 @@ class ValuationEngine:
             "cache": (
                 self.cache.stats.as_dict() if self.cache is not None else None
             ),
-            "elapsed_seconds": time.perf_counter() - start,
+            "elapsed_seconds": elapsed,
         }
         if isinstance(self.backend, LSHNeighborBackend):
             extra["delta"] = self.backend.delta

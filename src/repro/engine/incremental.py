@@ -53,6 +53,7 @@ from ..core.delta import rank_factor, suffix_rank_values_rows
 from ..core.kernels import RankPlan, get_kernel
 from ..exceptions import NotFittedError, ParameterError
 from ..knn.distance import get_metric
+from ..stats import component_stats
 from ..types import (
     ValuationResult,
     as_float_matrix,
@@ -153,6 +154,9 @@ class IncrementalValuator:
         self._values: np.ndarray | None = None  # aggregate, None = dirty
         self.n_mutations = 0
         self.last_mutation_seconds = 0.0
+        self.total_mutation_seconds = 0.0
+        #: optional :class:`repro.monitor.TelemetryHub`
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     @property
@@ -170,6 +174,34 @@ class IncrementalValuator:
             raise NotFittedError(
                 "IncrementalValuator.fit must be called with a test batch first"
             )
+
+    def attach_telemetry(self, hub) -> "IncrementalValuator":
+        """Publish mutation latency into ``hub`` (and the backend's
+        retrieval streams alongside); returns ``self`` for chaining."""
+        self.telemetry = hub
+        self.backend.telemetry = hub
+        return self
+
+    def _record_mutation(self, kind: str, n_points: int, seconds: float) -> None:
+        self.last_mutation_seconds = seconds
+        self.total_mutation_seconds += seconds
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("incremental.mutation_seconds", seconds)
+            hub.count(f"incremental.{kind}", n_points)
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot (see :mod:`repro.stats`)."""
+        return component_stats(
+            "incremental_valuator",
+            counters={"mutations": self.n_mutations},
+            timings={
+                "last_mutation_seconds": self.last_mutation_seconds,
+                "total_mutation_seconds": self.total_mutation_seconds,
+            },
+            gauges={"n_train": self.n_train, "n_test": self.n_test},
+            backend=self.backend.stats(),
+        )
 
     # ------------------------------------------------------------------
     def fit(self, x_test: np.ndarray, y_test: np.ndarray) -> "IncrementalValuator":
@@ -226,7 +258,9 @@ class IncrementalValuator:
         # alias the backend's index — one copy of the training set, not two
         self.x_train = self.backend.data
         self._values = None
-        self.last_mutation_seconds = time.perf_counter() - start
+        self._record_mutation(
+            "adds", x_new.shape[0], time.perf_counter() - start
+        )
         return np.arange(first, first + x_new.shape[0], dtype=np.intp)
 
     def remove_points(self, idx) -> None:
@@ -264,7 +298,7 @@ class IncrementalValuator:
         # alias the backend's index — one copy of the training set, not two
         self.x_train = self.backend.data
         self._values = None
-        self.last_mutation_seconds = time.perf_counter() - start
+        self._record_mutation("removes", idx.size, time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     def _insert_one(self, x_row: np.ndarray, y_val) -> None:

@@ -36,6 +36,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..stats import component_stats
 from ..types import ValuationResult
 from .engine import ValuationEngine
 
@@ -294,8 +295,20 @@ class ValuationService:
                 finally:
                     job.finished_at = time.perf_counter()
                     job._done.set()
+                    self._publish_job(job)
             finally:
                 self._queue.task_done()
+
+    def _publish_job(self, job: ValuationJob) -> None:
+        """Stream one settled job's latency split into telemetry."""
+        hub = getattr(self.engine, "telemetry", None)
+        if hub is None:
+            return
+        hub.count(f"service.jobs_{job.status}")
+        if job.queue_seconds is not None:
+            hub.record("service.queue_seconds", job.queue_seconds)
+        if job.compute_seconds is not None:
+            hub.record("service.compute_seconds", job.compute_seconds)
 
     def _apply_mutation(self, req: MutationRequest) -> MutationResult:
         if req.kind == "add":
@@ -364,25 +377,47 @@ class ValuationService:
                 raise TimeoutError("jobs still pending at timeout")
 
     def stats(self) -> dict:
-        """Aggregate serving statistics."""
+        """Aggregate serving statistics.
+
+        Conforms to the unified component-stats schema
+        (:mod:`repro.stats`); the pre-schema keys (``n_jobs``,
+        ``by_status``, ...) are kept at the top level for existing
+        dashboards.
+        """
         with self._lock:
             jobs = list(self._jobs.values())
         by_status: dict[str, int] = {}
         for j in jobs:
             by_status[j.status] = by_status.get(j.status, 0) + 1
         settled = [j for j in jobs if j.compute_seconds is not None]
-        return {
-            "n_jobs": len(jobs),
-            "by_status": by_status,
-            "queue_depth": self._queue.qsize(),
-            "n_workers": self.n_workers,
-            "total_compute_seconds": sum(j.compute_seconds for j in settled),
-            "mean_queue_seconds": (
-                sum(j.queue_seconds for j in settled) / len(settled)
-                if settled
-                else 0.0
-            ),
-        }
+        total_compute = sum(j.compute_seconds for j in settled)
+        mean_queue = (
+            sum(j.queue_seconds for j in settled) / len(settled)
+            if settled
+            else 0.0
+        )
+        return component_stats(
+            "valuation_service",
+            counters={
+                "jobs": len(jobs),
+                **{f"jobs_{s}": c for s, c in sorted(by_status.items())},
+            },
+            timings={
+                "total_compute_seconds": total_compute,
+                "mean_queue_seconds": mean_queue,
+            },
+            gauges={
+                "queue_depth": self._queue.qsize(),
+                "n_workers": self.n_workers,
+            },
+            # legacy keys
+            n_jobs=len(jobs),
+            by_status=by_status,
+            queue_depth=self._queue.qsize(),
+            n_workers=self.n_workers,
+            total_compute_seconds=total_compute,
+            mean_queue_seconds=mean_queue,
+        )
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

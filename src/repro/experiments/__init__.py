@@ -11,6 +11,7 @@ from .fig_lsh import (
     figure10_g_vs_epsilon,
     figure10_g_vs_width,
 )
+from .fig_monitor import monitor_maintenance
 from .fig_mc import (
     figure11_permutation_sizes,
     figure12_weighted_runtime,
@@ -57,4 +58,5 @@ __all__ = [
     "engine_throughput",
     "weighted_engine",
     "incremental_churn",
+    "monitor_maintenance",
 ]

@@ -1,0 +1,214 @@
+"""Monitoring subsystem: serving overhead and drift recovery.
+
+Not a figure from the paper — this experiment measures the system
+contribution of :mod:`repro.monitor` on the long-lived deployment
+scenario the ROADMAP's top open item described (stale LSH tuning under
+distribution shift):
+
+* **overhead**: the steady-state serving path with full telemetry and
+  an (idle) maintenance scheduler attached vs the bare engine — the
+  monitoring must cost ≤ 5% wall-clock to be leave-on-able;
+* **recovery**: a synthetic cluster migration at constant ``n`` (every
+  seller replaced by one drawn from a ``shift_scale``-times wider
+  distribution, through in-band add/remove churn) degrades the live
+  index's recall; one background maintenance cycle re-tunes from the
+  telemetry query reservoir, and the recovered recall is compared to a
+  freshly tuned index given the same information — the two must agree
+  within 2%.
+
+The migration runs under ``warnings.simplefilter("error")``: the
+scheduler's deferred-refit hook must keep the whole scenario free of
+the legacy ``RuntimeWarning`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import warnings
+
+import numpy as np
+
+from ..engine import LSHNeighborBackend, ValuationEngine
+from ..knn.search import top_k
+from ..monitor import MaintenanceScheduler
+from ..rng import SeedLike
+from .reporting import ExperimentResult
+
+__all__ = ["monitor_maintenance"]
+
+
+def _recall(backend, queries: np.ndarray, k: int) -> float:
+    """Brute-force recall proxy of ``backend`` on held-out queries."""
+    data = backend.data
+    k_eff = min(k, data.shape[0])
+    true_idx, _ = top_k(queries, data, k_eff)
+    got_idx, _ = backend.spot_query(queries, k_eff)
+    hits = sum(
+        int(np.isin(true_idx[j], got_idx[j]).sum())
+        for j in range(true_idx.shape[0])
+    )
+    return hits / float(true_idx.size)
+
+
+def monitor_maintenance(
+    n_train: int = 4000,
+    n_test: int = 64,
+    n_features: int = 16,
+    k: int = 5,
+    n_requests: int = 6,
+    repeat: int = 5,
+    migrate_batches: int = 5,
+    shift_scale: float = 6.0,
+    n_eval: int = 64,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Measure monitoring overhead and re-tune recall recovery.
+
+    Parameters
+    ----------
+    n_train, n_test, n_features, k:
+        Workload shape (LSH serving path throughout).
+    n_requests:
+        Valuation requests per timed serving loop (overhead row).
+    repeat:
+        Timed repetitions; best run is reported.
+    migrate_batches:
+        The migration replaces ``n_train / migrate_batches`` points per
+        batch, keeping ``n`` constant.
+    shift_scale:
+        Width multiplier of the post-shift distribution.
+    n_eval:
+        Held-out queries the recall proxies are measured on.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n_train, n_features))
+    y = rng.integers(0, 2, n_train)
+    x_test = rng.standard_normal((n_test, n_features))
+    y_test = rng.integers(0, 2, n_test)
+
+    # ------------------------------------------------------------------
+    # row 1: steady-state serving overhead of leaving monitoring on
+    def build_engine() -> ValuationEngine:
+        return ValuationEngine(
+            x, y, k, backend="lsh", backend_options={"seed": seed}, cache=False
+        )
+
+    def serve(engine: ValuationEngine) -> None:
+        for _ in range(n_requests):
+            engine.value(x_test, y_test, method="lsh")
+
+    plain_engine = build_engine()
+    serve(plain_engine)  # warm up: builds + tunes the index
+    monitored_engine = build_engine()
+    scheduler = MaintenanceScheduler(engine=monitored_engine, interval=3600.0)
+    serve(monitored_engine)  # warm up with telemetry attached
+
+    # interleaved best-of-N with the cyclic collector off: alternating
+    # the two loops round by round keeps machine-state drift (page
+    # cache, thermal, background load) out of the ratio, and pausing
+    # gc keeps its arbitrary collection points from landing inside one
+    # side of a round — both swing a sequential measurement by several
+    # percent, far more than the telemetry itself costs
+    plain_s = monitored_s = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            start = time.perf_counter()
+            serve(plain_engine)
+            plain_s = min(plain_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            serve(monitored_engine)
+            monitored_s = min(monitored_s, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    idle_events = scheduler.run_once()  # stable workload: must be a no-op
+
+    overhead_row = {
+        "n_train": n_train,
+        "plain_s": plain_s,
+        "monitored_s": monitored_s,
+        "overhead_ratio": monitored_s / max(plain_s, 1e-12),
+        "overhead_margin": plain_s / max(monitored_s, 1e-12),
+        "idle_actions": len(idle_events),
+    }
+
+    # ------------------------------------------------------------------
+    # row 2: injected distribution shift at constant n, then recovery
+    engine = ValuationEngine(
+        x.copy(), y.copy(), k, backend="lsh", backend_options={"seed": seed}
+    )
+    scheduler = MaintenanceScheduler(engine=engine, interval=3600.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the scenario must stay silent
+        engine.value(x_test, y_test, method="lsh")  # tune + build + reservoir
+        batch = n_train // migrate_batches
+        for _ in range(migrate_batches):
+            x_new = rng.standard_normal((batch, n_features)) * shift_scale
+            engine.add_points(x_new, rng.integers(0, 2, batch))
+            engine.remove_points(np.arange(batch))
+            q_new = rng.standard_normal((16, n_features)) * shift_scale
+            engine.value(q_new, rng.integers(0, 2, 16), method="lsh")
+        backend = engine.backend
+        k_built = backend.built_k
+        eval_q = rng.standard_normal((n_eval, n_features)) * shift_scale
+        recall_degraded = _recall(backend, eval_q, k_built)
+        events = scheduler.run_once()  # the background maintenance cycle
+        recall_after = _recall(backend, eval_q, k_built)
+
+    # control: a freshly tuned index given the same information — the
+    # same migrated data and the same reservoir sample of live traffic
+    assert isinstance(backend, LSHNeighborBackend)
+    sample = scheduler.hub.reservoir("queries")
+    fresh = LSHNeighborBackend(seed=seed).fit(backend.data)
+    fresh.prepare(sample, k_built)
+    recall_fresh = _recall(fresh, eval_q, k_built)
+
+    retunes = backend.stats()["counters"]["retunes"]
+    recovery_row = {
+        "n_train": n_train,
+        "recall_degraded": recall_degraded,
+        "recall_after": recall_after,
+        "recall_fresh": recall_fresh,
+        "recovery_ratio": recall_after / max(recall_fresh, 1e-12),
+        "n_signals": len(events[0].signals) if events else 0,
+        "retunes": retunes,
+    }
+
+    return ExperimentResult(
+        experiment_id="monitor-maintenance",
+        title="Monitoring: serving overhead and drift-triggered re-tuning",
+        columns=(
+            "n_train",
+            "plain_s",
+            "monitored_s",
+            "overhead_ratio",
+            "recall_degraded",
+            "recall_after",
+            "recall_fresh",
+            "recovery_ratio",
+            "retunes",
+        ),
+        rows=[overhead_row, recovery_row],
+        paper_claim=(
+            "Section 6.1 tunes the LSH index from a one-shot relative-"
+            "contrast estimate; the tuning is only valid for the "
+            "distribution it was measured on"
+        ),
+        observed=(
+            "telemetry + an idle scheduler cost a few percent on the "
+            "serving path; after a full cluster migration at constant n "
+            "the drift detectors trigger a background re-tune whose "
+            "recall matches a freshly tuned index, with zero warnings"
+        ),
+        metadata={
+            "n_test": n_test,
+            "n_features": n_features,
+            "k": k,
+            "shift_scale": shift_scale,
+            "migrate_batches": migrate_batches,
+            "seed": seed,
+        },
+    )

@@ -7,6 +7,7 @@ LSH-accelerated Shapley approximation.
 
 from .contrast import (
     ContrastEstimate,
+    contrast_drift,
     estimate_relative_contrast,
     g_exponent,
     normalize_to_unit_dmean,
@@ -23,6 +24,7 @@ from .tuning import (
     choose_n_bits,
     choose_n_tables,
     choose_width,
+    retune_lsh,
     tune_lsh,
 )
 from .valuation import lsh_knn_shapley
@@ -34,6 +36,7 @@ __all__ = [
     "LSHIndex",
     "LSHQueryStats",
     "ContrastEstimate",
+    "contrast_drift",
     "estimate_relative_contrast",
     "g_exponent",
     "normalize_to_unit_dmean",
@@ -42,6 +45,7 @@ __all__ = [
     "choose_n_bits",
     "choose_n_tables",
     "tune_lsh",
+    "retune_lsh",
     "DEFAULT_WIDTH_GRID",
     "lsh_knn_shapley",
 ]

@@ -32,6 +32,7 @@ from .pstable import collision_probability
 
 __all__ = [
     "ContrastEstimate",
+    "contrast_drift",
     "estimate_relative_contrast",
     "g_exponent",
     "normalize_to_unit_dmean",
@@ -109,6 +110,37 @@ def estimate_relative_contrast(
     return ContrastEstimate(
         d_mean=d_mean, d_k=d_k, contrast=d_mean / d_k, k=k
     )
+
+
+def contrast_drift(
+    tuned: ContrastEstimate, fresh: ContrastEstimate, scale: float = 1.0
+) -> float:
+    """How far a fresh contrast estimate has moved from the tuned one.
+
+    Two distinct distance statistics can go stale under distribution
+    shift, and either invalidates the Section 6.1 tuning:
+
+    * the *relative contrast* ``C_K`` — drives the width grid choice
+      and the table count through ``g(C_K)``;
+    * the *mean distance* ``D_mean`` — drives the normalization scale,
+      and with it the effective quantization width of every hash
+      function.  (A pure rescaling of the data leaves ``C_K`` untouched
+      while making the tuned width arbitrarily wrong.)
+
+    ``fresh`` is measured in raw data space; ``scale`` is the
+    normalization the index applies (``tuned`` lives in that normalized
+    space, usually with ``d_mean == 1``).  Returns the larger of the
+    two relative deviations — 0 means the tuning still describes the
+    data, 1 means a statistic is off by 100%.
+    """
+    if tuned.contrast <= 0 or tuned.d_mean <= 0:
+        raise ParameterError(
+            f"tuned estimate must have positive contrast and d_mean, got "
+            f"contrast={tuned.contrast}, d_mean={tuned.d_mean}"
+        )
+    dev_contrast = abs(fresh.contrast / tuned.contrast - 1.0)
+    dev_scale = abs(fresh.d_mean * scale / tuned.d_mean - 1.0)
+    return float(max(dev_contrast, dev_scale))
 
 
 def g_exponent(contrast: float, width: float) -> float:

@@ -11,10 +11,15 @@ The index also supports bounded churn without a rebuild: hashing is
 per-point, so :meth:`LSHIndex.insert` appends new points into the
 existing buckets in place, and :meth:`LSHIndex.remove` *tombstones*
 points (queries skip them; buckets are left untouched, since scrubbing
-every table would cost a full pass).  The hash parameters were tuned
-for the build-time ``n`` and contrast, so owners should fall back to a
-full rebuild once the alive count drifts far from the tuned size —
-:class:`repro.engine.backends.LSHNeighborBackend` refits past 25%.
+every table would cost a full pass).  Once tombstones accumulate,
+:meth:`LSHIndex.compact` scrubs them in one pass over the bucket
+arrays — no rehashing, the families stay fixed, and query results are
+bit-identical before and after (the alive candidate sets do not
+change).  The hash parameters were tuned for the build-time ``n`` and
+contrast, so owners should still fall back to a full rebuild (or a
+re-tune — see :mod:`repro.monitor`) once the alive count drifts far
+from the tuned size — :class:`repro.engine.backends.LSHNeighborBackend`
+refits past 25%.
 """
 
 from __future__ import annotations
@@ -137,6 +142,33 @@ class LSHIndex:
             return self.n
         return int(self._alive.sum())
 
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of internal rows that are tombstoned, in [0, 1)."""
+        n = self.n
+        return 0.0 if n == 0 else 1.0 - self.n_alive / n
+
+    def bucket_stats(self) -> dict:
+        """Occupancy of the live tables (for monitoring dashboards).
+
+        ``n_entries`` counts bucket memberships including tombstoned
+        ids (they occupy memory until :meth:`compact`); ``max_bucket``
+        is the largest single bucket across all tables.
+        """
+        n_entries = 0
+        max_bucket = 0
+        for table in self._tables:
+            for bucket in table.values():
+                n_entries += int(bucket.size)
+                if bucket.size > max_bucket:
+                    max_bucket = int(bucket.size)
+        return {
+            "n_tables": len(self._tables),
+            "n_buckets": sum(len(t) for t in self._tables),
+            "n_entries": n_entries,
+            "max_bucket": max_bucket,
+        }
+
     # ------------------------------------------------------------------
     # bounded churn: per-table bucket insertion and tombstoning
     def insert(self, points: np.ndarray) -> np.ndarray:
@@ -201,6 +233,69 @@ class LSHIndex:
         if not self._alive.any():
             self._alive[ids] = True
             raise ParameterError("cannot remove every indexed point")
+
+    def compacted(self) -> tuple["LSHIndex", np.ndarray]:
+        """A tombstone-free copy of this index, plus the id renumbering.
+
+        The copy shares the hash families (immutable after
+        :meth:`build`) but owns fresh data and bucket arrays with every
+        tombstoned row scrubbed.  Internal ids are renumbered
+        compactly, *preserving the relative order of alive ids* — and
+        since buckets are filtered through that monotonic remap (no
+        rehashing), every query returns bit-identical results against
+        the copy: the alive candidate sets, their distances, and all
+        tie-breaks are unchanged.  Cost is one pass over the bucket
+        arrays, O(total bucket entries).
+
+        Because the original is left untouched, owners can swap the
+        copy in while in-flight queries finish against the old tables
+        — the concurrency story behind
+        :meth:`repro.engine.backends.LSHNeighborBackend.compact`.
+
+        Returns ``(index, remap)`` where ``remap`` maps old ids to new
+        (``-1`` for scrubbed ids).
+        """
+        data = self._require_built()
+        n = data.shape[0]
+        clone = LSHIndex(
+            n_tables=self.n_tables,
+            n_bits=self.n_bits,
+            width=self.width,
+            seed=self._seed,
+        )
+        clone._families = self._families
+        if self._alive is None:
+            clone._data = data
+            clone._tables = [dict(table) for table in self._tables]
+            return clone, np.arange(n, dtype=np.intp)
+        keep = np.flatnonzero(self._alive)
+        remap = np.full(n, -1, dtype=np.intp)
+        remap[keep] = np.arange(keep.size, dtype=np.intp)
+        clone._data = np.ascontiguousarray(data[keep])
+        clone._tables = []
+        for table in self._tables:
+            new_table: dict[bytes, np.ndarray] = {}
+            for key, bucket in table.items():
+                new_bucket = remap[bucket]
+                new_bucket = new_bucket[new_bucket >= 0]
+                if new_bucket.size:
+                    new_table[key] = new_bucket
+            clone._tables.append(new_table)
+        return clone, remap
+
+    def compact(self) -> np.ndarray:
+        """Scrub tombstones in place; see :meth:`compacted`.
+
+        Adopts a compacted copy's state, so the result-preservation
+        guarantees are those of :meth:`compacted`.  Returns the old-id
+        -> new-id mapping (``-1`` for scrubbed ids) so owners holding
+        external-id translations can update them.
+        """
+        clone, remap = self.compacted()
+        self._data = clone._data
+        self._tables = clone._tables
+        self._alive = None
+        return remap
 
     # ------------------------------------------------------------------
     def candidates(self, queries: np.ndarray) -> list[np.ndarray]:

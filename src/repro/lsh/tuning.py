@@ -31,6 +31,7 @@ __all__ = [
     "choose_n_bits",
     "choose_n_tables",
     "tune_lsh",
+    "retune_lsh",
     "DEFAULT_WIDTH_GRID",
 ]
 
@@ -166,3 +167,40 @@ def tune_lsh(
     return LSHParameters(
         width=width, n_bits=n_bits, n_tables=n_tables, g=g, contrast=contrast
     )
+
+
+def retune_lsh(
+    old: LSHParameters,
+    contrast: ContrastEstimate,
+    n: int,
+    k_star: int,
+    delta: float,
+    alpha: float = 1.0,
+    width_grid: tuple[float, ...] = DEFAULT_WIDTH_GRID,
+    max_tables: int = 4096,
+) -> LSHParameters:
+    """Re-run the Section 6.1 selection against a *fresh* contrast.
+
+    The maintenance entry point for long-lived indexes: a deployment
+    tuned once keeps serving while the data distribution shifts, and
+    only the contrast estimate changes — the recipe itself does not.
+    This re-derives ``(r, m, l)`` from ``contrast`` with the same
+    knobs, returning ``old`` unchanged (``is``-identical) when the new
+    estimate leads to the same configuration, so callers can cheaply
+    test whether a rebuild is actually warranted.
+    """
+    fresh = tune_lsh(
+        contrast,
+        n=n,
+        k_star=k_star,
+        delta=delta,
+        alpha=alpha,
+        width_grid=width_grid,
+        max_tables=max_tables,
+    )
+    unchanged = (
+        fresh.width == old.width
+        and fresh.n_bits == old.n_bits
+        and fresh.n_tables == old.n_tables
+    )
+    return old if unchanged else fresh

@@ -1,0 +1,63 @@
+"""Monitoring and adaptive maintenance for long-lived deployments.
+
+The paper's fast paths are tuned once — LSH width/bits/tables from a
+one-shot relative-contrast estimate (Section 6.1), truncation ranks
+from an epsilon target — but a production valuation service keeps
+serving while its training set churns and its query distribution
+shifts.  This package keeps such a deployment *self-maintaining*, in
+three layers:
+
+* :mod:`~repro.monitor.telemetry` — :class:`TelemetryHub`, the
+  lock-safe stream registry (counters, rolling windows, query
+  reservoirs) that backends, the engine, the cache, and the service
+  publish into;
+* :mod:`~repro.monitor.drift` — typed :class:`DriftSignal` s from
+  detectors over those streams: size drift, tombstone pressure,
+  reservoir-based contrast re-estimation, candidate-set-size shift,
+  brute-force recall spot checks;
+* :mod:`~repro.monitor.maintenance` — :class:`MaintenanceScheduler`,
+  the background detect-plan-act loop executing re-tunes and
+  compactions under the engine's exclusive lock, so valuations keep
+  serving (bit-identically, on unchanged data) throughout.
+
+The one-liner::
+
+    from repro.monitor import attach_monitoring
+    scheduler = attach_monitoring(engine, interval=30.0)
+
+instruments an engine end to end and silences the LSH backend's
+warned-refit escape hatch in favor of scheduled background re-tuning.
+"""
+
+from .drift import (
+    CandidateDriftDetector,
+    ContrastDriftDetector,
+    DriftDetector,
+    DriftSignal,
+    RecallProxyDetector,
+    SizeDriftDetector,
+    TombstoneDetector,
+    default_detectors,
+)
+from .maintenance import (
+    MaintenanceEvent,
+    MaintenanceScheduler,
+    attach_monitoring,
+)
+from .telemetry import Reservoir, TelemetryHub
+
+__all__ = [
+    "TelemetryHub",
+    "Reservoir",
+    "DriftSignal",
+    "DriftDetector",
+    "SizeDriftDetector",
+    "TombstoneDetector",
+    "ContrastDriftDetector",
+    "CandidateDriftDetector",
+    "RecallProxyDetector",
+    "default_detectors",
+    "MaintenanceEvent",
+    "MaintenanceScheduler",
+    "attach_monitoring",
+]

@@ -1,0 +1,460 @@
+"""Drift detectors over the telemetry streams.
+
+The paper's fast paths are only fast while their tuning describes the
+data: the LSH parameters (width, code length, table count — Section
+6.1 / Theorem 3) are derived from a one-shot relative-contrast
+estimate, and churn (:meth:`~repro.engine.ValuationEngine.add_points` /
+``remove_points``) slowly walks the live distribution away from that
+snapshot without the index ever noticing.  Each detector here reads
+the :class:`~repro.monitor.telemetry.TelemetryHub` streams (and the
+backend's public monitoring surface) and answers one question — *has a
+specific tuning assumption stopped holding?* — as zero or more typed
+:class:`DriftSignal` s:
+
+=========================== ======================================== =========
+detector                    watches                                  action
+=========================== ======================================== =========
+:class:`SizeDriftDetector`  alive / internal count vs tuned ``n``    refit
+:class:`TombstoneDetector`  tombstoned fraction of the index rows    compact
+:class:`ContrastDriftDetector` fresh contrast + D_mean vs the tuned  retune
+                            estimate (query-reservoir re-estimation)
+:class:`CandidateDriftDetector` candidate-set-size window vs the     retune
+                            post-build baseline
+:class:`RecallProxyDetector` brute-force spot-check recall on a      retune
+                            reservoir sample
+=========================== ======================================== =========
+
+Detectors are cheap by construction — the expensive ones (contrast
+re-estimation, recall spot checks) run over bounded reservoir samples,
+and all of them are meant to be called at maintenance cadence (the
+:class:`~repro.monitor.maintenance.MaintenanceScheduler` interval),
+not per request.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..engine.backends import LSHNeighborBackend
+from ..exceptions import ParameterError
+from ..knn.search import top_k
+from ..lsh.contrast import (
+    ContrastEstimate,
+    contrast_drift,
+    estimate_relative_contrast,
+)
+from ..lsh.tuning import retune_lsh
+from ..rng import SeedLike, ensure_rng
+from .telemetry import TelemetryHub
+
+__all__ = [
+    "DriftSignal",
+    "DriftDetector",
+    "SizeDriftDetector",
+    "TombstoneDetector",
+    "ContrastDriftDetector",
+    "CandidateDriftDetector",
+    "RecallProxyDetector",
+    "default_detectors",
+]
+
+#: Severity levels, mildest first.
+SEVERITIES = ("info", "warn", "critical")
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One detected deviation from the tuned operating point.
+
+    Attributes
+    ----------
+    kind:
+        What drifted: ``"size-drift"``, ``"tombstone-pressure"``,
+        ``"contrast-drift"``, ``"candidate-drift"``,
+        ``"recall-degraded"``.
+    severity:
+        ``"info"`` (worth logging), ``"warn"`` (act at the next
+        maintenance window), ``"critical"`` (act now).
+    value:
+        The measured statistic (ratio, fraction, recall — see
+        ``kind``).
+    threshold:
+        The configured trip level ``value`` crossed.
+    action:
+        Suggested maintenance action: ``"retune"``, ``"compact"``,
+        ``"refit"``, or ``"none"``.
+    detector:
+        Name of the emitting detector.
+    details:
+        Free-form diagnostic payload.
+    """
+
+    kind: str
+    severity: str
+    value: float
+    threshold: float
+    action: str
+    detector: str
+    details: dict = field(default_factory=dict)
+
+
+def _severity(value: float, threshold: float) -> str:
+    """``warn`` past the threshold, ``critical`` past twice it."""
+    return "critical" if value > 2.0 * threshold else "warn"
+
+
+class DriftDetector(ABC):
+    """One tuning assumption, watched.
+
+    Subclasses hold references to what they watch (a backend, a hub)
+    and implement :meth:`check`, returning the signals currently
+    firing (usually zero or one).  ``check`` must be safe to call from
+    a background thread while the watched components serve traffic.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def check(self) -> list[DriftSignal]:
+        """Evaluate the watched streams now."""
+
+
+class SizeDriftDetector(DriftDetector):
+    """The indexed size left the band the tables were tuned for.
+
+    Mirrors the backend's own 25% mutation-path check
+    (:attr:`~repro.engine.backends.LSHNeighborBackend.refit_drift`),
+    but from the outside and on a schedule — so a deployment whose
+    mutations stopped arriving (and therefore never re-trips the
+    mutation-path check) still gets its refit scheduled.
+    """
+
+    name = "size-drift"
+
+    def __init__(self, backend: LSHNeighborBackend) -> None:
+        self.backend = backend
+
+    def check(self) -> list[DriftSignal]:
+        backend = self.backend
+        if not backend.needs_refit:
+            return []
+        tuned = max(1, backend.tuned_n)
+        # the same two statistics the backend's own _drifted() bounds:
+        # external (alive) drift either way, and internal-row growth
+        # from balanced churn — report whichever actually tripped
+        external = abs(backend.n - backend.tuned_n) / tuned
+        internal = max(0.0, backend.internal_n / tuned - 1.0)
+        value = max(external, internal)
+        return [
+            DriftSignal(
+                kind="size-drift",
+                severity=_severity(value, backend.refit_drift),
+                value=float(value),
+                threshold=float(backend.refit_drift),
+                action="refit",
+                detector=self.name,
+                details={
+                    "n": backend.n,
+                    "internal_n": backend.internal_n,
+                    "tuned_n": backend.tuned_n,
+                },
+            )
+        ]
+
+
+class TombstoneDetector(DriftDetector):
+    """Tombstones occupy too large a fraction of the index rows.
+
+    Tombstoned rows cost memory, inflate candidate scans, and — left
+    unchecked — push the internal row count over the refit band even
+    when the alive count never moves.  Compaction
+    (:meth:`~repro.engine.backends.LSHNeighborBackend.compact`) is
+    result-preserving, so this signal is always safe to act on.
+    """
+
+    name = "tombstone-pressure"
+
+    def __init__(
+        self, backend: LSHNeighborBackend, max_ratio: float = 0.1
+    ) -> None:
+        if not 0 < max_ratio < 1:
+            raise ParameterError(
+                f"max_ratio must lie in (0, 1), got {max_ratio}"
+            )
+        self.backend = backend
+        self.max_ratio = float(max_ratio)
+
+    def check(self) -> list[DriftSignal]:
+        ratio = self.backend.tombstone_ratio
+        if ratio <= self.max_ratio:
+            return []
+        return [
+            DriftSignal(
+                kind="tombstone-pressure",
+                severity=_severity(ratio, self.max_ratio),
+                value=float(ratio),
+                threshold=self.max_ratio,
+                action="compact",
+                detector=self.name,
+                details={"tombstone_ratio": float(ratio)},
+            )
+        ]
+
+
+class ContrastDriftDetector(DriftDetector):
+    """The tuned contrast estimate no longer describes the data.
+
+    Re-runs :func:`~repro.lsh.contrast.estimate_relative_contrast` on
+    the *current* data against the telemetry query reservoir — a
+    bounded, uniform sample of recent traffic — and compares with the
+    estimate the live parameters were tuned from
+    (:func:`~repro.lsh.contrast.contrast_drift` covers both the
+    relative contrast and the normalization scale).  When the fresh
+    estimate would also change the *discrete* parameters
+    (:func:`~repro.lsh.tuning.retune_lsh`), the signal escalates to
+    critical: the index is provably mis-tuned, not just drifting.
+    """
+
+    name = "contrast-drift"
+
+    def __init__(
+        self,
+        backend: LSHNeighborBackend,
+        hub: TelemetryHub,
+        rel_tol: float = 0.25,
+        min_queries: int = 8,
+        reservoir: str = "queries",
+        seed: SeedLike = 0,
+    ) -> None:
+        if rel_tol <= 0:
+            raise ParameterError(f"rel_tol must be positive, got {rel_tol}")
+        self.backend = backend
+        self.hub = hub
+        self.rel_tol = float(rel_tol)
+        self.min_queries = int(min_queries)
+        self.reservoir = reservoir
+        self._seed = seed
+
+    def check(self) -> list[DriftSignal]:
+        backend = self.backend
+        params = backend.params
+        if params is None:
+            return []
+        sample = self.hub.reservoir(self.reservoir)
+        if sample.shape[0] < self.min_queries:
+            return []
+        data = backend.data
+        k = min(params.contrast.k, max(1, data.shape[0] - 1))
+        fresh = estimate_relative_contrast(
+            data, sample, k=k, seed=self._seed
+        )
+        value = contrast_drift(params.contrast, fresh, scale=backend.scale)
+        self.hub.record("lsh.contrast_drift", value)
+        if value <= self.rel_tol:
+            return []
+        retuned = retune_lsh(
+            params,
+            # compare in the fresh normalized space, as a rebuild would
+            ContrastEstimate(
+                d_mean=1.0,
+                d_k=fresh.d_k / fresh.d_mean if fresh.d_mean > 0 else fresh.d_k,
+                contrast=fresh.contrast,
+                k=fresh.k,
+            ),
+            n=data.shape[0],
+            k_star=max(1, backend.built_k),
+            delta=backend.delta,
+            alpha=backend.alpha,
+        )
+        params_changed = retuned is not params
+        severity = "critical" if params_changed else _severity(value, self.rel_tol)
+        return [
+            DriftSignal(
+                kind="contrast-drift",
+                severity=severity,
+                value=float(value),
+                threshold=self.rel_tol,
+                action="retune",
+                detector=self.name,
+                details={
+                    "tuned_contrast": params.contrast.contrast,
+                    "fresh_contrast": fresh.contrast,
+                    "fresh_d_mean": fresh.d_mean,
+                    "scale": backend.scale,
+                    "params_changed": params_changed,
+                    "sample_size": int(sample.shape[0]),
+                },
+            )
+        ]
+
+
+class CandidateDriftDetector(DriftDetector):
+    """The candidate-set-size distribution moved away from its baseline.
+
+    The cheapest drift proxy: every LSH query already counts its
+    candidates (:class:`~repro.lsh.tables.LSHQueryStats`), the backend
+    streams the per-batch mean into the hub, and the post-build
+    baseline is the reference.  Collapsing candidate counts mean the
+    effective width is now too narrow (queries hash away from their
+    neighbors); exploding counts mean the index degenerated toward a
+    linear scan.  Either way the tuning is stale.
+    """
+
+    name = "candidate-drift"
+
+    def __init__(
+        self,
+        backend: LSHNeighborBackend,
+        hub: TelemetryHub,
+        rel_tol: float = 0.5,
+        min_batches: int = 3,
+        window: int = 8,
+        metric: str = "lsh.mean_candidates",
+    ) -> None:
+        if rel_tol <= 0:
+            raise ParameterError(f"rel_tol must be positive, got {rel_tol}")
+        self.backend = backend
+        self.hub = hub
+        self.rel_tol = float(rel_tol)
+        self.min_batches = int(min_batches)
+        self.window = int(window)
+        self.metric = metric
+
+    def check(self) -> list[DriftSignal]:
+        baseline = self.backend.baseline_candidates
+        if baseline is None or baseline <= 0:
+            return []
+        series = self.hub.series(self.metric)
+        if series.size < self.min_batches:
+            return []
+        recent = float(series[-self.window:].mean())
+        value = abs(recent / baseline - 1.0)
+        if value <= self.rel_tol:
+            return []
+        return [
+            DriftSignal(
+                kind="candidate-drift",
+                severity=_severity(value, self.rel_tol),
+                value=float(value),
+                threshold=self.rel_tol,
+                action="retune",
+                detector=self.name,
+                details={
+                    "baseline_candidates": float(baseline),
+                    "recent_candidates": recent,
+                    "batches": int(series.size),
+                },
+            )
+        ]
+
+
+class RecallProxyDetector(DriftDetector):
+    """Periodic brute-force spot check of the index's effective recall.
+
+    Draws a bounded sample from the query reservoir, computes the true
+    top-``k`` by brute force (O(sample x n) — why this runs at
+    maintenance cadence), retrieves through the backend's
+    telemetry-silent :meth:`~repro.engine.backends.NeighborBackend.spot_query`,
+    and compares.  The measured proxy is streamed back into the hub as
+    ``"lsh.recall_proxy"`` so operators can chart it.
+    """
+
+    name = "recall-proxy"
+
+    def __init__(
+        self,
+        backend: LSHNeighborBackend,
+        hub: TelemetryHub,
+        k: Optional[int] = None,
+        floor: float = 0.85,
+        sample_size: int = 16,
+        min_queries: int = 4,
+        reservoir: str = "queries",
+        seed: SeedLike = 0,
+    ) -> None:
+        if not 0 < floor <= 1:
+            raise ParameterError(f"floor must lie in (0, 1], got {floor}")
+        self.backend = backend
+        self.hub = hub
+        self.k = k
+        self.floor = float(floor)
+        self.sample_size = int(sample_size)
+        self.min_queries = int(min_queries)
+        self.reservoir = reservoir
+        self._seed = seed
+
+    def measure(self) -> float | None:
+        """The current recall proxy, or ``None`` when unmeasurable."""
+        backend = self.backend
+        k = self.k or backend.built_k
+        if k <= 0:
+            return None
+        sample = self.hub.reservoir(self.reservoir)
+        if sample.shape[0] < self.min_queries:
+            return None
+        if sample.shape[0] > self.sample_size:
+            rng = ensure_rng(self._seed)
+            sel = rng.choice(sample.shape[0], size=self.sample_size, replace=False)
+            sample = sample[sel]
+        data = backend.data
+        k_eff = min(k, data.shape[0])
+        true_idx, _ = top_k(sample, data, k_eff)
+        got_idx, _ = backend.spot_query(sample, k_eff)
+        hits = 0
+        for j in range(true_idx.shape[0]):
+            hits += int(np.isin(true_idx[j], got_idx[j]).sum())
+        recall = hits / float(true_idx.size)
+        self.hub.record("lsh.recall_proxy", recall)
+        return recall
+
+    def check(self) -> list[DriftSignal]:
+        recall = self.measure()
+        if recall is None or recall >= self.floor:
+            return []
+        shortfall = self.floor - recall
+        return [
+            DriftSignal(
+                kind="recall-degraded",
+                severity=_severity(shortfall, max(1e-9, 1.0 - self.floor)),
+                value=float(recall),
+                threshold=self.floor,
+                action="retune",
+                detector=self.name,
+                details={"recall": float(recall), "k": int(self.k or self.backend.built_k)},
+            )
+        ]
+
+
+def default_detectors(
+    backend,
+    hub: TelemetryHub,
+    k: Optional[int] = None,
+    contrast_tol: float = 0.25,
+    candidate_tol: float = 0.5,
+    tombstone_ratio: float = 0.1,
+    recall_floor: float = 0.85,
+    seed: SeedLike = 0,
+) -> list[DriftDetector]:
+    """The standard detector battery for a backend.
+
+    LSH backends get the full set; exact backends have no tuned
+    parameters to drift, so they get none (their serving health is
+    visible through the hub's latency series instead).
+    """
+    if not isinstance(backend, LSHNeighborBackend):
+        return []
+    return [
+        SizeDriftDetector(backend),
+        TombstoneDetector(backend, max_ratio=tombstone_ratio),
+        ContrastDriftDetector(
+            backend, hub, rel_tol=contrast_tol, seed=seed
+        ),
+        CandidateDriftDetector(backend, hub, rel_tol=candidate_tol),
+        RecallProxyDetector(
+            backend, hub, k=k, floor=recall_floor, seed=seed
+        ),
+    ]

@@ -1,0 +1,371 @@
+"""Background maintenance: mapping drift signals to corrective actions.
+
+The closing layer of the monitoring subsystem.  A
+:class:`MaintenanceScheduler` owns a detector battery
+(:mod:`repro.monitor.drift`) and a worker thread (the same shape as
+:class:`repro.engine.service.ValuationService`'s workers) that wakes on
+an interval — or immediately, when the backend's mutation path trips
+its drift check — runs the detectors, plans *one* corrective action,
+and executes it under the engine's exclusive lock:
+
+=================== ==================================================
+signal action       executed as
+=================== ==================================================
+``refit``/``retune`` :meth:`LSHNeighborBackend.retune` — fresh
+                    contrast estimate from the telemetry query
+                    reservoir, Section 6.1 re-selection, rebuild
+                    (which also compacts)
+``compact``         :meth:`LSHNeighborBackend.compact` — tombstone
+                    scrub, bit-identical results
+=================== ==================================================
+
+Because a retune rebuilds (and a rebuild compacts), the planner
+collapses the signal set to the strongest applicable action instead of
+running them all.  Execution goes through
+:meth:`~repro.engine.ValuationEngine.run_exclusive` when an engine is
+attached, so concurrent ``valuate`` requests never observe a
+half-swapped index and stale cache entries are pre-invalidated the
+moment the backend's result semantics change.
+
+Attaching a scheduler also *replaces the warned-refit escape hatch*:
+it installs itself as the backend's ``on_drift`` hook, so a mutation
+that leaves the tuned band no longer emits a ``RuntimeWarning`` and
+pays an inline refit — it keeps absorbing in place and the scheduler
+re-tunes in the background.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..engine.backends import LSHNeighborBackend, NeighborBackend
+from ..engine.engine import ValuationEngine
+from ..exceptions import ParameterError
+from ..stats import component_stats
+from .drift import DriftDetector, DriftSignal, default_detectors
+from .telemetry import TelemetryHub
+
+__all__ = ["MaintenanceEvent", "MaintenanceScheduler", "attach_monitoring"]
+
+#: Actions the planner knows, strongest first.  ``retune`` subsumes
+#: ``refit`` (it *is* a refit, with a fresh contrast estimate) and both
+#: subsume ``compact`` (a rebuild starts from scratch, tombstone-free).
+ACTION_ORDER = ("retune", "refit", "compact")
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """One executed (or failed) maintenance action, for the audit log."""
+
+    action: str
+    signals: tuple[DriftSignal, ...]
+    seconds: float
+    ok: bool
+    error: Optional[str] = None
+    details: dict = field(default_factory=dict)
+
+
+class MaintenanceScheduler:
+    """Detect-plan-act loop keeping a live deployment tuned.
+
+    Parameters
+    ----------
+    engine:
+        The served :class:`~repro.engine.ValuationEngine`; maintenance
+        then runs under its exclusive lock and its backend is the
+        maintained index.  Omit to maintain a bare ``backend``.
+    backend:
+        The maintained backend when no engine is given.
+    hub:
+        Telemetry hub; a private one is created when omitted.  If the
+        engine/backend has no hub attached yet, this one is attached,
+        so ``MaintenanceScheduler(engine=engine)`` alone instruments a
+        deployment end to end.
+    detectors:
+        Detector battery; defaults to
+        :func:`~repro.monitor.drift.default_detectors` for the
+        backend.
+    interval:
+        Seconds between background cycles once :meth:`start` ed.  The
+        loop also wakes immediately when the backend defers a drifted
+        mutation to it.
+    history:
+        Audit-log length (:attr:`log`).
+
+    Use as a context manager (starts/stops the thread), drive manually
+    with :meth:`run_once`, or :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[ValuationEngine] = None,
+        backend: Optional[NeighborBackend] = None,
+        hub: Optional[TelemetryHub] = None,
+        detectors: Optional[Sequence[DriftDetector]] = None,
+        interval: float = 60.0,
+        history: int = 256,
+    ) -> None:
+        if engine is None and backend is None:
+            raise ParameterError(
+                "a MaintenanceScheduler needs an engine or a backend to maintain"
+            )
+        if interval <= 0:
+            raise ParameterError(f"interval must be positive, got {interval}")
+        self.engine = engine
+        self.backend = backend if backend is not None else engine.backend
+        # one hub end to end — and it must be the hub the components
+        # already publish into, or the stream-based detectors would
+        # watch an empty private hub and monitoring would be silently
+        # inert.  Precedence: an explicit `hub`, then whatever is
+        # already attached, then a fresh one.
+        if hub is None:
+            hub = engine.telemetry if engine is not None else None
+        if hub is None:
+            hub = self.backend.telemetry
+        self.hub = hub if hub is not None else TelemetryHub()
+        if engine is not None:
+            if engine.telemetry is not self.hub:
+                engine.attach_telemetry(self.hub)
+        elif self.backend.telemetry is not self.hub:
+            self.backend.telemetry = self.hub
+        if detectors is None:
+            k = engine.k if engine is not None else None
+            detectors = default_detectors(self.backend, self.hub, k=k)
+        self.detectors: list[DriftDetector] = list(detectors)
+        self.interval = float(interval)
+        self.log: deque[MaintenanceEvent] = deque(maxlen=history)
+        self.last_signals: list[DriftSignal] = []
+        self._pending: set[str] = set()
+        self._pending_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._cycles = 0
+        # silence the warned-refit escape hatch: drifted mutations are
+        # now this scheduler's problem (satellite of the monitor PR)
+        self._install_hook()
+
+    def _install_hook(self) -> None:
+        if isinstance(self.backend, LSHNeighborBackend):
+            self.backend.on_drift = self._defer_refit
+
+    def _uninstall_hook(self) -> None:
+        if getattr(self.backend, "on_drift", None) == self._defer_refit:
+            self.backend.on_drift = None
+
+    # ------------------------------------------------------------------
+    def _defer_refit(self, backend: NeighborBackend) -> bool:
+        """Backend drift hook: schedule a silent re-tune, wake the loop."""
+        with self._pending_lock:
+            self._pending.add("refit")
+        self.hub.count("maintenance.deferred_refits")
+        self._wake.set()
+        return True
+
+    def _exclusive(self, fn: Callable):
+        if self.engine is not None:
+            return self.engine.run_exclusive(fn)
+        return fn()
+
+    # ------------------------------------------------------------------
+    def check(self) -> list[DriftSignal]:
+        """Run every detector once; returns (and records) the signals."""
+        signals: list[DriftSignal] = []
+        for detector in self.detectors:
+            signals.extend(detector.check())
+        for signal in signals:
+            self.hub.count(f"drift.{signal.kind}")
+        self.last_signals = signals
+        return signals
+
+    def plan(self, signals: Sequence[DriftSignal]) -> Optional[str]:
+        """Collapse signals (plus deferred refits) to one action."""
+        with self._pending_lock:
+            wanted = set(self._pending)
+            self._pending.clear()
+        wanted.update(s.action for s in signals if s.action != "none")
+        for action in ACTION_ORDER:
+            if action in wanted:
+                # refit and retune both execute as a retune: the whole
+                # point of the subsystem is that a refit forced by size
+                # drift should refresh the contrast estimate too
+                return "retune" if action in ("refit", "retune") else action
+        return None
+
+    def run_once(self) -> list[MaintenanceEvent]:
+        """One synchronous detect-plan-act cycle; returns what ran."""
+        self._cycles += 1
+        signals = self.check()
+        action = self.plan(signals)
+        if action is None:
+            return []
+        event = self._execute(action, tuple(signals))
+        self.log.append(event)
+        return [event]
+
+    def _execute(
+        self, action: str, signals: tuple[DriftSignal, ...]
+    ) -> MaintenanceEvent:
+        start = time.perf_counter()
+        details: dict = {}
+        try:
+            if action == "retune":
+                if isinstance(self.backend, LSHNeighborBackend):
+                    sample = self.hub.reservoir("queries")
+                    queries = sample if sample.shape[0] else None
+                    params = self._exclusive(
+                        lambda: self.backend.retune(queries=queries)
+                    )
+                    if params is not None:
+                        details = {
+                            "width": params.width,
+                            "n_bits": params.n_bits,
+                            "n_tables": params.n_tables,
+                        }
+                else:
+                    # exact backends have nothing tuned; refitting is a
+                    # no-op beyond re-validating the data pointer
+                    self._exclusive(lambda: None)
+            elif action == "compact":
+                scrubbed = self._exclusive(
+                    lambda: self.backend.compact()
+                    if isinstance(self.backend, LSHNeighborBackend)
+                    else 0
+                )
+                details = {"scrubbed": int(scrubbed)}
+            else:
+                raise ParameterError(f"unknown maintenance action {action!r}")
+            seconds = time.perf_counter() - start
+            self.hub.count(f"maintenance.{action}")
+            self.hub.record("maintenance.seconds", seconds)
+            return MaintenanceEvent(
+                action=action,
+                signals=signals,
+                seconds=seconds,
+                ok=True,
+                details=details,
+            )
+        except Exception as exc:  # noqa: BLE001 - background robustness:
+            # a failed action must not kill the loop; it lands in the
+            # audit log and the error counter instead
+            self.hub.count("maintenance.errors")
+            return MaintenanceEvent(
+                action=action,
+                signals=signals,
+                seconds=time.perf_counter() - start,
+                ok=False,
+                error=repr(exc),
+            )
+
+    # ------------------------------------------------------------------
+    # the background thread
+    def start(self) -> "MaintenanceScheduler":
+        """Start the background loop (idempotent); returns ``self``."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._install_hook()  # re-arm after a previous stop()
+        self._stopped.clear()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="maintenance"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the background loop, join it, and re-arm the warnings.
+
+        A stopped scheduler must not keep swallowing the backend's
+        drift escape hatch — nothing would drain the deferrals and the
+        backend would serve a mis-tuned index forever, silently — so
+        the ``on_drift`` hook is uninstalled and the legacy warned
+        refit applies again.  (Driving :meth:`run_once` manually
+        without ever starting the thread keeps the hook installed;
+        whoever calls ``run_once`` is the drain.)
+        """
+        self._stopped.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+        self._uninstall_hook()
+
+    def poke(self) -> None:
+        """Wake the background loop for an immediate cycle."""
+        self._wake.set()
+
+    def _loop(self) -> None:
+        while not self._stopped.is_set():
+            self._wake.wait(self.interval)
+            self._wake.clear()
+            if self._stopped.is_set():
+                return
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - detector bugs must not
+                # kill the maintenance thread; the error counter is the
+                # operator's signal to look at the detector battery
+                self.hub.count("maintenance.cycle_errors")
+
+    def __enter__(self) -> "MaintenanceScheduler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the maintenance loop."""
+        executed: dict[str, int] = {}
+        failures = 0
+        total_seconds = 0.0
+        for event in self.log:
+            executed[event.action] = executed.get(event.action, 0) + 1
+            failures += 0 if event.ok else 1
+            total_seconds += event.seconds
+        return component_stats(
+            "maintenance_scheduler",
+            counters={
+                "cycles": self._cycles,
+                "failures": failures,
+                **{f"action_{a}": c for a, c in sorted(executed.items())},
+            },
+            timings={"total_action_seconds": total_seconds},
+            gauges={
+                "running": int(self.running),
+                "n_detectors": len(self.detectors),
+                "interval": self.interval,
+            },
+        )
+
+
+def attach_monitoring(
+    engine: ValuationEngine,
+    interval: float = 60.0,
+    hub: Optional[TelemetryHub] = None,
+    detectors: Optional[Sequence[DriftDetector]] = None,
+    start: bool = True,
+) -> MaintenanceScheduler:
+    """One-call instrumentation of a served engine.
+
+    Creates (or adopts) a hub, attaches it through the engine to the
+    backend and cache, builds the default detector battery, installs
+    the silent-refit hook, and — by default — starts the background
+    loop.  Returns the scheduler; its :attr:`~MaintenanceScheduler.hub`
+    is the telemetry handle.
+    """
+    scheduler = MaintenanceScheduler(
+        engine=engine, hub=hub, detectors=detectors, interval=interval
+    )
+    if start:
+        scheduler.start()
+    return scheduler

@@ -1,0 +1,268 @@
+"""Lock-safe rolling telemetry for long-lived valuation deployments.
+
+A production valuation service keeps serving while its data churns,
+and the fast paths it serves with (LSH tables, truncation ranks) were
+tuned against a distribution observed once, at fit time.  Detecting
+that the deployment has drifted away from that snapshot needs *streams*
+of runtime observations, not point measurements.  This module is the
+collection side of the monitoring subsystem:
+
+* :class:`TelemetryHub` — a thread-safe registry of named monotonic
+  counters, rolling scalar windows (query latency, candidate-set
+  sizes, recall proxies, merge timings), and row reservoirs, published
+  into through a narrow API: :meth:`~TelemetryHub.count`,
+  :meth:`~TelemetryHub.record`, :meth:`~TelemetryHub.observe`.
+* :class:`Reservoir` — a uniform sample (Vitter's Algorithm R) over
+  every row ever offered, bounded in memory.  The maintained query
+  reservoir is what lets the drift layer re-estimate relative contrast
+  (:func:`repro.lsh.contrast.estimate_relative_contrast`) on *current*
+  traffic without retaining it all.
+
+Producers hold no references to detectors and vice versa: backends,
+the engine, the cache, and the service publish named streams into the
+hub; :mod:`repro.monitor.drift` reads them back out.  Publishing is a
+few dict operations under one lock per call — cheap enough to leave on
+in the serving hot path (the ``bench_monitor`` gate holds the
+steady-state overhead under 5%).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import SeedLike, ensure_rng
+from ..stats import component_stats
+
+__all__ = ["Reservoir", "TelemetryHub"]
+
+
+class Reservoir:
+    """Bounded uniform sample of the rows offered so far (Algorithm R).
+
+    After ``seen`` rows have been offered, each of them is present in
+    the sample with probability ``capacity / seen`` — the classic
+    single-pass reservoir.  Rows are copied on entry, so callers may
+    reuse their buffers.
+
+    Not thread-safe on its own; the owning :class:`TelemetryHub`
+    serializes access.
+    """
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        if capacity <= 0:
+            raise ParameterError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = ensure_rng(seed)
+        self._rows: list[np.ndarray] = []
+        self.seen = 0
+
+    def offer(self, rows: np.ndarray) -> None:
+        """Feed a batch of rows through the reservoir.
+
+        The steady-state path (reservoir already full) is vectorized —
+        one RNG draw for the whole batch, then a Python loop only over
+        the accepted rows (in expectation ``capacity * ln(...)`` of
+        them, a vanishing fraction of a large stream) — because this
+        runs under the hub lock on every served query batch.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        i = 0
+        # fill phase: everything is kept until the reservoir is full
+        while len(self._rows) < self.capacity and i < rows.shape[0]:
+            self._rows.append(rows[i].copy())
+            self.seen += 1
+            i += 1
+        rest = rows.shape[0] - i
+        if rest <= 0:
+            return
+        # Algorithm R, batched: the t-th remaining row replaces a slot
+        # with probability capacity / (seen + t), via one uniform draw
+        # per row taken in a single vectorized call
+        seen_at = self.seen + np.arange(1, rest + 1, dtype=np.float64)
+        draws = np.floor(self._rng.random(rest) * seen_at).astype(np.intp)
+        for t in np.flatnonzero(draws < self.capacity):
+            self._rows[draws[t]] = rows[i + t].copy()
+        self.seen += rest
+
+    def sample(self) -> np.ndarray:
+        """The current sample as a ``(m, d)`` matrix (``m`` may be 0)."""
+        if not self._rows:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.vstack(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class _Series:
+    """A rolling window of scalars plus all-time count/sum."""
+
+    __slots__ = ("window", "count", "total")
+
+    def __init__(self, maxlen: int) -> None:
+        self.window: deque = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.window.append(value)
+        self.count += 1
+        self.total += value
+
+
+class TelemetryHub:
+    """Named counters, rolling windows, and reservoirs behind one lock.
+
+    Parameters
+    ----------
+    window:
+        Rolling-window length for scalar series (:meth:`record`).
+    reservoir_size:
+        Row capacity of each reservoir (:meth:`observe`).
+    seed:
+        Seed for reservoir replacement draws (deterministic telemetry
+        makes maintenance decisions reproducible in tests).
+    """
+
+    def __init__(
+        self,
+        window: int = 512,
+        reservoir_size: int = 256,
+        seed: SeedLike = 0,
+    ) -> None:
+        if window <= 0:
+            raise ParameterError(f"window must be positive, got {window}")
+        if reservoir_size <= 0:
+            raise ParameterError(
+                f"reservoir_size must be positive, got {reservoir_size}"
+            )
+        self.window = int(window)
+        self.reservoir_size = int(reservoir_size)
+        self._seed = seed
+        self._lock = threading.RLock()
+        self._counters: dict[str, int] = {}
+        self._series: dict[str, _Series] = {}
+        self._reservoirs: dict[str, Reservoir] = {}
+        self._components: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # the narrow publishing API
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump the monotonic counter ``name`` by ``n``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def record(self, name: str, value: float) -> None:
+        """Append a scalar observation to the rolling series ``name``."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series(self.window)
+            series.add(float(value))
+
+    def observe(self, name: str, rows: np.ndarray) -> None:
+        """Feed rows into the reservoir ``name`` (created on first use)."""
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            if reservoir is None:
+                reservoir = self._reservoirs[name] = Reservoir(
+                    self.reservoir_size, seed=self._seed
+                )
+            reservoir.offer(rows)
+
+    def consume(self, stats: dict) -> None:
+        """Ingest one component ``stats()`` snapshot (latest wins).
+
+        Components keep their own cumulative counters; re-adding them
+        on every consume would double-count, so the hub stores the most
+        recent snapshot per component name instead.
+        """
+        component = stats.get("component")
+        if not component:
+            raise ParameterError(
+                "stats dict lacks the 'component' key of the unified schema"
+            )
+        with self._lock:
+            self._components[str(component)] = stats
+
+    # ------------------------------------------------------------------
+    # the reading API (the drift layer)
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def series(self, name: str) -> np.ndarray:
+        """Copy of the rolling window for ``name`` (empty if unknown)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return np.empty(0, dtype=np.float64)
+            return np.asarray(series.window, dtype=np.float64)
+
+    def mean(self, name: str, last: int | None = None) -> float:
+        """Mean of the (tail of the) rolling window; NaN when empty."""
+        values = self.series(name)
+        if last is not None:
+            values = values[-int(last):]
+        return float(values.mean()) if values.size else float("nan")
+
+    def last(self, name: str) -> float:
+        """Most recent observation in series ``name``; NaN when empty."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or not series.window:
+                return float("nan")
+            return float(series.window[-1])
+
+    def n_recorded(self, name: str) -> int:
+        """All-time number of observations recorded into ``name``."""
+        with self._lock:
+            series = self._series.get(name)
+            return 0 if series is None else series.count
+
+    def reservoir(self, name: str) -> np.ndarray:
+        """Current sample of reservoir ``name`` (``(0, 0)`` if unknown)."""
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            if reservoir is None:
+                return np.empty((0, 0), dtype=np.float64)
+            return reservoir.sample()
+
+    def component(self, name: str) -> dict | None:
+        """Latest consumed snapshot for ``name``, or ``None``."""
+        with self._lock:
+            return self._components.get(name)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The hub's own unified-schema snapshot.
+
+        ``timings`` summarizes each rolling series as its window mean;
+        ``gauges`` reports stream shapes; the latest consumed component
+        snapshots ride along under ``"components"``.
+        """
+        with self._lock:
+            timings = {
+                name: (
+                    float(np.mean(series.window)) if series.window else 0.0
+                )
+                for name, series in self._series.items()
+            }
+            gauges: dict = {
+                f"reservoir.{name}": len(reservoir)
+                for name, reservoir in self._reservoirs.items()
+            }
+            gauges["n_series"] = len(self._series)
+            gauges["n_counters"] = len(self._counters)
+            return component_stats(
+                "telemetry_hub",
+                counters=dict(self._counters),
+                timings=timings,
+                gauges=gauges,
+                components=dict(self._components),
+            )

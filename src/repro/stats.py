@@ -1,0 +1,50 @@
+"""The unified component-stats schema.
+
+Every observable component in the serving stack — the rank cache, the
+valuation engine, the serving queue, the neighbor backends, the
+telemetry hub itself — answers ``stats()`` with one dict shape, so the
+monitoring layer (:mod:`repro.monitor`) can consume any of them without
+per-component adapters:
+
+``component``
+    Dotted component name, e.g. ``"backend.lsh"``.
+``counters``
+    Monotonic event counts (ints): requests served, cache hits,
+    in-place inserts, refits, ...
+``timings``
+    Accumulated / last-observed durations in seconds (floats).
+``gauges``
+    Point-in-time levels that move both ways: live entry counts,
+    tombstone ratios, tuned sizes, ...
+
+Components may add extra keys after these four (the serving queue keeps
+its legacy keys, for instance); consumers must tolerate extras but can
+rely on the four schema keys always being present.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+__all__ = ["STATS_SCHEMA_KEYS", "component_stats"]
+
+#: The keys every component ``stats()`` dict carries.
+STATS_SCHEMA_KEYS = ("component", "counters", "timings", "gauges")
+
+
+def component_stats(
+    component: str,
+    counters: Optional[Mapping] = None,
+    timings: Optional[Mapping] = None,
+    gauges: Optional[Mapping] = None,
+    **extra,
+) -> dict:
+    """Build a schema-conforming stats dict (missing sections empty)."""
+    out = {
+        "component": str(component),
+        "counters": dict(counters or {}),
+        "timings": dict(timings or {}),
+        "gauges": dict(gauges or {}),
+    }
+    out.update(extra)
+    return out

@@ -1,0 +1,197 @@
+"""The unified component-stats schema across the serving stack.
+
+Satellite of the monitoring PR: every observable component — rank
+cache, engine, service, backends, incremental valuator, telemetry hub,
+maintenance scheduler — answers ``stats()`` with the same dict shape
+(:mod:`repro.stats`), so the hub consumes any of them uniformly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs
+from repro.engine import (
+    BlockedExactBackend,
+    BruteForceBackend,
+    IncrementalValuator,
+    LSHNeighborBackend,
+    RankCache,
+    ValuationEngine,
+    ValuationService,
+    ValuationRequest,
+)
+from repro.monitor import MaintenanceScheduler, TelemetryHub
+from repro.stats import STATS_SCHEMA_KEYS, component_stats
+
+
+def _assert_schema(stats: dict) -> None:
+    for key in STATS_SCHEMA_KEYS:
+        assert key in stats, f"missing schema key {key!r}"
+    assert isinstance(stats["component"], str) and stats["component"]
+    assert all(isinstance(v, int) for v in stats["counters"].values())
+    assert all(isinstance(v, float) for v in stats["timings"].values())
+
+
+@pytest.fixture(scope="module")
+def served_engine():
+    data = gaussian_blobs(n_train=300, n_test=16, n_features=6, seed=0)
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    engine.value(data.x_test, data.y_test)
+    engine.value(data.x_test, data.y_test)  # cache hit
+    return engine, data
+
+
+def test_component_stats_helper():
+    stats = component_stats("x", counters={"a": 1}, extra_key="kept")
+    _assert_schema(stats)
+    assert stats["extra_key"] == "kept"
+    assert stats["gauges"] == {}
+
+
+def test_rank_cache_stats_callable_and_attribute():
+    cache = RankCache(max_entries=4)
+    cache.put_ranking("k1", np.arange(6).reshape(2, 3))
+    cache.get_ranking("k1")
+    cache.get_ranking("missing")
+    # attribute reads keep working (the pre-schema surface)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    # calling it yields the unified schema
+    stats = cache.stats()
+    _assert_schema(stats)
+    assert stats["component"] == "rank_cache"
+    assert stats["counters"] == {
+        "hits": 1,
+        "misses": 1,
+        "evictions": 0,
+        "invalidations": 0,
+    }
+    assert stats["gauges"]["entries"] == 1
+    assert stats["gauges"]["max_entries"] == 4
+
+
+def test_engine_stats_counts_requests_and_merge_timings(served_engine):
+    engine, _ = served_engine
+    stats = engine.stats()
+    _assert_schema(stats)
+    assert stats["component"] == "valuation_engine"
+    assert stats["counters"]["requests"] == 2
+    assert stats["counters"]["chunks"] >= 2
+    assert stats["timings"]["merge_seconds"] >= 0.0
+    assert stats["timings"]["compute_seconds"] >= stats["timings"]["merge_seconds"]
+    assert stats["timings"]["last_request_seconds"] > 0.0
+    # the nested cache / backend snapshots follow the same schema
+    _assert_schema(stats["cache"])
+    _assert_schema(stats["backend"])
+    assert stats["backend"]["component"] == "backend.brute"
+    assert stats["backend"]["counters"]["queries"] >= 16
+
+
+def test_backend_stats_all_kinds():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((80, 4))
+    q = rng.standard_normal((5, 4))
+    for backend in (
+        BruteForceBackend(),
+        BlockedExactBackend(block_size=32, query_block=2),
+        LSHNeighborBackend(seed=0, tune_with_queries=False),
+    ):
+        backend.fit(x)
+        backend.query(q, 3)
+        stats = backend.stats()
+        _assert_schema(stats)
+        assert stats["component"] == f"backend.{backend.name}"
+        assert stats["counters"]["queries"] == 5
+        assert stats["counters"]["fits"] == 1
+        assert stats["gauges"]["n"] == 80
+
+
+def test_lsh_backend_stats_gauges():
+    rng = np.random.default_rng(1)
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(
+        rng.standard_normal((90, 4))
+    )
+    backend.prepare(None, 3)
+    backend.forget(np.arange(9))
+    stats = backend.stats()
+    gauges = stats["gauges"]
+    assert gauges["tuned_n"] == 90
+    assert gauges["built_k"] == 3
+    assert gauges["internal_n"] == 90
+    assert gauges["n_alive"] == 81
+    assert gauges["tombstone_ratio"] == pytest.approx(0.1)
+    assert gauges["n_tables"] >= 1
+    assert stats["timings"]["build_seconds"] > 0.0
+
+
+def test_service_stats_schema_plus_legacy_keys():
+    data = gaussian_blobs(n_train=120, n_test=8, n_features=4, seed=1)
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    with ValuationService(engine, n_workers=1) as service:
+        job = service.submit(ValuationRequest(data.x_test, data.y_test))
+        job.result(timeout=60)
+        stats = service.stats()
+    _assert_schema(stats)
+    assert stats["component"] == "valuation_service"
+    assert stats["counters"]["jobs"] == 1
+    assert stats["counters"]["jobs_done"] == 1
+    # the pre-schema keys stay for existing dashboards
+    assert stats["n_jobs"] == 1
+    assert stats["by_status"] == {"done": 1}
+    assert stats["timings"]["total_compute_seconds"] > 0.0
+
+
+def test_incremental_stats():
+    data = gaussian_blobs(n_train=100, n_test=8, n_features=4, seed=2)
+    valuator = IncrementalValuator(data.x_train, data.y_train, 3)
+    valuator.fit(data.x_test, data.y_test)
+    idx = valuator.add_points(np.zeros((1, 4)), [0])
+    valuator.remove_points(idx)
+    stats = valuator.stats()
+    _assert_schema(stats)
+    assert stats["counters"]["mutations"] == 2
+    assert stats["timings"]["total_mutation_seconds"] > 0.0
+    _assert_schema(stats["backend"])
+
+
+def test_hub_consumes_every_component_uniformly(served_engine):
+    engine, data = served_engine
+    hub = TelemetryHub()
+    sched = MaintenanceScheduler(engine=engine, hub=hub, interval=100.0)
+    for stats in (
+        engine.stats(),
+        engine.cache.stats(),
+        engine.backend.stats(),
+        sched.stats(),
+        hub.stats(),
+    ):
+        hub.consume(stats)
+    assert hub.component("valuation_engine")["counters"]["requests"] >= 2
+    assert hub.component("rank_cache") is not None
+    assert hub.component("backend.brute") is not None
+    assert hub.component("maintenance_scheduler") is not None
+
+
+def test_telemetry_attach_streams_engine_and_backend(served_engine):
+    data = gaussian_blobs(n_train=150, n_test=8, n_features=4, seed=3)
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    hub = TelemetryHub()
+    engine.attach_telemetry(hub)
+    engine.value(data.x_test, data.y_test)
+    assert hub.n_recorded("engine.request_seconds") == 1
+    assert hub.n_recorded("engine.merge_seconds") == 1
+    assert hub.n_recorded("backend.brute.query_seconds") >= 1
+    engine.add_points(np.zeros((1, 4)), [0])
+    assert hub.counter("engine.mutations") == 1
+
+
+def test_service_publishes_job_latency_when_hub_attached():
+    data = gaussian_blobs(n_train=120, n_test=8, n_features=4, seed=4)
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    hub = TelemetryHub()
+    engine.attach_telemetry(hub)
+    with ValuationService(engine, n_workers=1) as service:
+        service.submit(ValuationRequest(data.x_test, data.y_test)).result(60)
+    assert hub.counter("service.jobs_done") == 1
+    assert hub.n_recorded("service.compute_seconds") == 1
+    assert hub.n_recorded("service.queue_seconds") == 1

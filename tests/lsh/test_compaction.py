@@ -1,0 +1,173 @@
+"""LSH tombstone compaction under adversarial churn.
+
+Two levels: :meth:`LSHIndex.compact` must preserve query results
+bit-for-bit (modulo the internal renumbering it returns), and a
+monitored :class:`LSHNeighborBackend` under repeated in-band add/remove
+cycles must keep answering exactly like a fresh-fit brute-force oracle
+while compaction keeps the internal size (and with it every bucket)
+bounded — with zero warnings.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine import LSHNeighborBackend
+from repro.knn.search import top_k
+from repro.lsh import ContrastEstimate, LSHIndex, LSHParameters
+from repro.monitor import MaintenanceScheduler, TombstoneDetector
+
+
+def _full_recall_params(k: int = 3) -> LSHParameters:
+    """One bucket per table: exhaustive re-ranking, brute-equivalent."""
+    return LSHParameters(
+        width=1e9,
+        n_bits=1,
+        n_tables=2,
+        g=0.5,
+        contrast=ContrastEstimate(d_mean=1.0, d_k=0.5, contrast=2.0, k=k),
+    )
+
+
+def test_index_compact_preserves_results_bitwise():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((300, 8))
+    q = rng.standard_normal((20, 8))
+    index = LSHIndex(n_tables=8, n_bits=3, width=2.0, seed=0).build(x)
+    dead = np.arange(0, 120, 2)
+    index.remove(dead)
+    assert index.tombstone_ratio == pytest.approx(60 / 300)
+    idx_before, dist_before, _ = index.query(q, 5)
+    entries_before = index.bucket_stats()["n_entries"]
+
+    remap = index.compact()
+
+    assert index.n == 240
+    assert index.n_alive == 240
+    assert index.tombstone_ratio == 0.0
+    assert np.all(remap[dead] == -1)
+    # scrubbed ids vanished from every bucket: each point occupies one
+    # bucket entry per table
+    assert index.bucket_stats()["n_entries"] == entries_before - 60 * 8
+    idx_after, dist_after, _ = index.query(q, 5)
+    for j in range(len(idx_before)):
+        # identical neighbors under the returned renumbering, and
+        # bit-identical distances: compaction never rehashes
+        assert np.array_equal(remap[idx_before[j]], idx_after[j])
+        assert np.array_equal(dist_before[j], dist_after[j])
+
+
+def test_index_compact_without_tombstones_is_identity():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((50, 4))
+    index = LSHIndex(n_tables=3, n_bits=2, width=2.0, seed=0).build(x)
+    remap = index.compact()
+    assert np.array_equal(remap, np.arange(50))
+    assert index.n == 50
+
+
+def test_backend_compact_restores_id_identity():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((120, 5))
+    q = rng.standard_normal((8, 5))
+    backend = LSHNeighborBackend(params=_full_recall_params(), seed=0).fit(x)
+    backend.prepare(q, 4)
+    backend.forget(np.arange(10, 40))
+    idx_before, dist_before = backend.spot_query(q, 4)
+    token_before = backend.cache_token()
+    scrubbed = backend.compact()
+    assert scrubbed == 30
+    assert backend._ids is None  # identity mapping restored
+    idx_after, dist_after = backend.spot_query(q, 4)
+    for j in range(len(idx_before)):
+        # external indices: unchanged by compaction, bit for bit
+        assert np.array_equal(idx_before[j], idx_after[j])
+        assert np.array_equal(dist_before[j], dist_after[j])
+    # result-preserving maintenance keeps the cache token: cached
+    # rankings stay valid
+    assert backend.cache_token() == token_before
+    assert backend.compact() == 0  # idempotent
+
+
+def test_adversarial_churn_matches_brute_oracle_with_bounded_index():
+    """Repeated in-band add/remove cycles, compacted by the scheduler.
+
+    Every cycle stays inside the 25% drift band; the tombstone detector
+    triggers compaction; queries must equal a fresh brute-force oracle
+    on the live data at every step, the internal index must stay inside
+    its band, and nothing may warn.
+    """
+    n, d, k = 200, 6, 4
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((n, d))
+    q = rng.standard_normal((12, d))
+    backend = LSHNeighborBackend(params=_full_recall_params(k), seed=0).fit(x)
+    backend.prepare(q, k)
+    sched = MaintenanceScheduler(
+        backend=backend,
+        interval=1000.0,
+        detectors=[TombstoneDetector(backend, max_ratio=0.15)],
+    )
+    compactions = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for cycle in range(12):
+            # adversarial pattern: every cycle adds and removes the
+            # same count, so the alive size never moves while internal
+            # rows and tombstones ratchet up
+            fresh_rows = rng.standard_normal((10, d)) + (cycle % 3)
+            backend.partial_fit(fresh_rows)
+            doomed = rng.choice(backend.n, size=10, replace=False)
+            backend.forget(np.sort(doomed))
+            assert backend.n == n
+
+            idx, dist = backend.spot_query(q, k)
+            oracle_idx, oracle_dist = top_k(q, backend.data, k)
+            for j in range(q.shape[0]):
+                assert np.array_equal(np.asarray(idx[j]), oracle_idx[j])
+                np.testing.assert_allclose(
+                    np.asarray(dist[j]), oracle_dist[j], rtol=0, atol=1e-9
+                )
+
+            events = sched.run_once()
+            compactions += sum(1 for e in events if e.action == "compact")
+            # the live index never outgrows its tuned band, so the
+            # warned-refit escape hatch has nothing to do
+            internal = backend._index.n
+            assert internal <= (1 + backend.refit_drift) * backend.tuned_n
+            # full-recall tables have one bucket per table: its size is
+            # the internal row count, so bounded internal rows bound
+            # every bucket
+            assert backend._index.bucket_stats()["max_bucket"] <= internal
+    assert compactions >= 2  # the detector actually drove compactions
+    counters = backend.stats()["counters"]
+    assert counters["warned_refits"] == 0
+    assert counters["compactions"] == compactions
+
+
+def test_per_index_counters_reset_on_rebuild():
+    """The refit escape hatch must not leak stale per-index counters.
+
+    After a rebuild the index has no tombstones and no in-place churn;
+    counters claiming otherwise would drive monitored ratios negative.
+    """
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((100, 4))
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(x)
+    backend.prepare(None, 3)
+    backend.partial_fit(rng.standard_normal((5, 4)))
+    backend.forget(np.arange(3))
+    counters = backend.stats()["counters"]
+    assert counters["inserts_in_place"] == 5
+    assert counters["tombstones_in_place"] == 3
+    with pytest.warns(RuntimeWarning):
+        backend.partial_fit(rng.standard_normal((60, 4)))  # past the band
+    backend.prepare(None, 3)  # the lazy rebuild
+    counters = backend.stats()["counters"]
+    assert counters["inserts_in_place"] == 0
+    assert counters["tombstones_in_place"] == 0
+    assert backend.tombstone_ratio == 0.0
+    gauges = backend.stats()["gauges"]
+    assert gauges["churn"] == 0
+    assert gauges["internal_n"] == gauges["n_alive"] == 162

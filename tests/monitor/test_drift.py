@@ -1,0 +1,196 @@
+"""Tests for the drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BruteForceBackend, LSHNeighborBackend
+from repro.exceptions import ParameterError
+from repro.lsh import ContrastEstimate, LSHParameters, contrast_drift
+from repro.monitor import (
+    CandidateDriftDetector,
+    ContrastDriftDetector,
+    RecallProxyDetector,
+    SizeDriftDetector,
+    TelemetryHub,
+    TombstoneDetector,
+    default_detectors,
+)
+
+
+@pytest.fixture()
+def fitted_backend():
+    """A tuned LSH backend serving a stable workload."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((400, 8))
+    q = rng.standard_normal((32, 8))
+    backend = LSHNeighborBackend(seed=0).fit(x)
+    hub = TelemetryHub(seed=0)
+    backend.telemetry = hub
+    backend.prepare(q, 5)
+    backend.query(q, 5)  # sets the candidate baseline, fills the reservoir
+    return backend, hub, x, q
+
+
+def test_contrast_drift_helper():
+    tuned = ContrastEstimate(d_mean=1.0, d_k=0.5, contrast=2.0, k=5)
+    same = ContrastEstimate(d_mean=4.0, d_k=2.0, contrast=2.0, k=5)
+    assert contrast_drift(tuned, same, scale=0.25) == pytest.approx(0.0)
+    shifted = ContrastEstimate(d_mean=8.0, d_k=4.0, contrast=2.0, k=5)
+    # pure rescaling: contrast unchanged, normalized d_mean off by 2x
+    assert contrast_drift(tuned, shifted, scale=0.25) == pytest.approx(1.0)
+    sharper = ContrastEstimate(d_mean=4.0, d_k=1.0, contrast=4.0, k=5)
+    assert contrast_drift(tuned, sharper, scale=0.25) == pytest.approx(1.0)
+    with pytest.raises(ParameterError):
+        contrast_drift(
+            ContrastEstimate(d_mean=0.0, d_k=1.0, contrast=0.0, k=1), same
+        )
+
+
+def test_contrast_detector_quiet_on_stable_data(fitted_backend):
+    backend, hub, _, _ = fitted_backend
+    det = ContrastDriftDetector(backend, hub, rel_tol=0.25, seed=0)
+    assert det.check() == []
+    # the measured drift is streamed for dashboards either way
+    assert hub.n_recorded("lsh.contrast_drift") == 1
+
+
+def test_contrast_detector_fires_on_scale_shift(fitted_backend):
+    backend, hub, _, q = fitted_backend
+    # traffic moved to a 8x wider distribution: D_mean blows up while
+    # the relative contrast stays put — exactly the drift a width tuned
+    # in normalized space cannot survive
+    hub.observe("queries", q * 8.0)
+    det = ContrastDriftDetector(backend, hub, rel_tol=0.25, seed=0)
+    signals = det.check()
+    assert len(signals) == 1
+    sig = signals[0]
+    assert sig.kind == "contrast-drift"
+    assert sig.action == "retune"
+    assert sig.value > 0.25
+    assert sig.severity in ("warn", "critical")
+    assert sig.details["sample_size"] >= det.min_queries
+
+
+def test_contrast_detector_needs_reservoir(fitted_backend):
+    backend, _, _, _ = fitted_backend
+    empty = TelemetryHub()
+    det = ContrastDriftDetector(backend, empty, seed=0)
+    assert det.check() == []  # nothing sampled yet -> no opinion
+
+
+def test_candidate_detector(fitted_backend):
+    backend, hub, _, q = fitted_backend
+    det = CandidateDriftDetector(backend, hub, rel_tol=0.5, min_batches=3)
+    backend.query(q, 5)
+    backend.query(q, 5)
+    assert det.check() == []  # stable traffic, stable candidates
+    # candidate collapse: the effective width went stale
+    for _ in range(8):
+        hub.record("lsh.mean_candidates", 0.5)
+    signals = det.check()
+    assert len(signals) == 1
+    assert signals[0].kind == "candidate-drift"
+    assert signals[0].action == "retune"
+
+
+def test_tombstone_detector(fitted_backend):
+    backend, _, _, _ = fitted_backend
+    det = TombstoneDetector(backend, max_ratio=0.1)
+    assert det.check() == []
+    backend.forget(np.arange(60))  # 60/400 = 15% tombstoned
+    signals = det.check()
+    assert len(signals) == 1
+    assert signals[0].kind == "tombstone-pressure"
+    assert signals[0].action == "compact"
+    assert signals[0].value == pytest.approx(backend.tombstone_ratio)
+    with pytest.raises(ParameterError):
+        TombstoneDetector(backend, max_ratio=1.5)
+
+
+def test_size_drift_detector(fitted_backend):
+    backend, _, x, _ = fitted_backend
+    det = SizeDriftDetector(backend)
+    assert det.check() == []
+    backend.on_drift = lambda b: True  # silence: a scheduler would own this
+    rng = np.random.default_rng(1)
+    backend.partial_fit(rng.standard_normal((200, 8)))  # +50% of tuned n
+    signals = det.check()
+    assert len(signals) == 1
+    assert signals[0].kind == "size-drift"
+    assert signals[0].action == "refit"
+    assert signals[0].value > backend.refit_drift
+
+
+def test_recall_proxy_full_recall_is_quiet():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((150, 6))
+    q = rng.standard_normal((16, 6))
+    params = LSHParameters(
+        width=1e9,
+        n_bits=1,
+        n_tables=2,
+        g=0.5,
+        contrast=ContrastEstimate(d_mean=1.0, d_k=0.5, contrast=2.0, k=3),
+    )
+    backend = LSHNeighborBackend(params=params, seed=0).fit(x)
+    hub = TelemetryHub(seed=0)
+    backend.telemetry = hub
+    backend.prepare(q, 3)
+    backend.query(q, 3)
+    det = RecallProxyDetector(backend, hub, k=3, floor=0.9, seed=0)
+    assert det.check() == []
+    assert hub.last("lsh.recall_proxy") == pytest.approx(1.0)
+
+
+def test_recall_proxy_fires_on_bad_index():
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((150, 6))
+    q = rng.standard_normal((16, 6))
+    # a deliberately hopeless configuration: one table, long code,
+    # near-zero width -> essentially no collisions, recall ~ 0
+    params = LSHParameters(
+        width=0.01,
+        n_bits=12,
+        n_tables=1,
+        g=1.0,
+        contrast=ContrastEstimate(d_mean=1.0, d_k=0.5, contrast=2.0, k=3),
+    )
+    backend = LSHNeighborBackend(params=params, seed=0).fit(x)
+    hub = TelemetryHub(seed=0)
+    backend.telemetry = hub
+    backend.prepare(q, 3)
+    backend.query(q, 3)
+    det = RecallProxyDetector(backend, hub, k=3, floor=0.9, seed=0)
+    signals = det.check()
+    assert len(signals) == 1
+    assert signals[0].kind == "recall-degraded"
+    assert signals[0].value < 0.5
+    assert signals[0].action == "retune"
+
+
+def test_spot_checks_do_not_feed_telemetry(fitted_backend):
+    backend, hub, _, _ = fitted_backend
+    queries_before = backend.stats()["counters"]["queries"]
+    recorded_before = hub.n_recorded("lsh.mean_candidates")
+    det = RecallProxyDetector(backend, hub, k=5, floor=0.5, seed=0)
+    det.check()
+    # the spot check retrieved through the backend, but neither the
+    # query counter nor the candidate stream saw its traffic
+    assert backend.stats()["counters"]["queries"] == queries_before
+    assert hub.n_recorded("lsh.mean_candidates") == recorded_before
+    assert hub.n_recorded("lsh.recall_proxy") == 1
+
+
+def test_default_detectors_battery(fitted_backend):
+    backend, hub, _, _ = fitted_backend
+    battery = default_detectors(backend, hub, k=5)
+    kinds = {type(d).__name__ for d in battery}
+    assert kinds == {
+        "SizeDriftDetector",
+        "TombstoneDetector",
+        "ContrastDriftDetector",
+        "CandidateDriftDetector",
+        "RecallProxyDetector",
+    }
+    # exact backends have no tuned parameters to watch
+    assert default_detectors(BruteForceBackend(), hub) == []

@@ -1,0 +1,132 @@
+"""Tests for the telemetry hub and reservoir sampling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import Reservoir, TelemetryHub
+from repro.stats import STATS_SCHEMA_KEYS, component_stats
+
+
+def test_counters_accumulate():
+    hub = TelemetryHub()
+    hub.count("a")
+    hub.count("a", 3)
+    hub.count("b")
+    assert hub.counter("a") == 4
+    assert hub.counter("b") == 1
+    assert hub.counter("never") == 0
+
+
+def test_series_window_and_summaries():
+    hub = TelemetryHub(window=4)
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+        hub.record("lat", v)
+    window = hub.series("lat")
+    assert window.tolist() == [3.0, 4.0, 5.0, 6.0]  # window trims oldest
+    assert hub.mean("lat") == pytest.approx(4.5)
+    assert hub.mean("lat", last=2) == pytest.approx(5.5)
+    assert hub.last("lat") == 6.0
+    assert hub.n_recorded("lat") == 6  # all-time count survives the trim
+    assert hub.series("nope").size == 0
+    assert np.isnan(hub.mean("nope"))
+    assert np.isnan(hub.last("nope"))
+
+
+def test_reservoir_bounds_and_membership():
+    rng = np.random.default_rng(0)
+    rows = rng.standard_normal((1000, 3))
+    res = Reservoir(capacity=50, seed=1)
+    for start in range(0, 1000, 64):
+        res.offer(rows[start : start + 64])
+    assert len(res) == 50
+    assert res.seen == 1000
+    sample = res.sample()
+    assert sample.shape == (50, 3)
+    # every sampled row is one of the offered rows
+    for row in sample:
+        assert np.any(np.all(rows == row, axis=1))
+
+
+def test_reservoir_deterministic_and_copying():
+    rows = np.arange(40, dtype=np.float64).reshape(20, 2)
+    a, b = Reservoir(5, seed=7), Reservoir(5, seed=7)
+    a.offer(rows)
+    b.offer(rows)
+    assert np.array_equal(a.sample(), b.sample())
+    # rows are copied on entry: mutating the source does not leak in
+    src = np.ones((1, 2))
+    c = Reservoir(5, seed=0)
+    c.offer(src)
+    src[:] = 99.0
+    assert np.array_equal(c.sample(), np.ones((1, 2)))
+
+
+def test_reservoir_small_stream_keeps_everything():
+    res = Reservoir(capacity=16, seed=0)
+    rows = np.arange(10, dtype=np.float64)[:, None]
+    res.offer(rows)
+    assert np.array_equal(res.sample(), rows)
+
+
+def test_hub_reservoirs_via_observe():
+    hub = TelemetryHub(reservoir_size=8, seed=0)
+    hub.observe("queries", np.zeros((3, 4)))
+    hub.observe("queries", np.ones((3, 4)))
+    assert hub.reservoir("queries").shape == (6, 4)
+    assert hub.reservoir("unknown").shape == (0, 0)
+
+
+def test_consume_keeps_latest_snapshot():
+    hub = TelemetryHub()
+    hub.consume(component_stats("thing", counters={"x": 1}))
+    hub.consume(component_stats("thing", counters={"x": 5}))
+    assert hub.component("thing")["counters"]["x"] == 5
+    assert hub.component("ghost") is None
+    with pytest.raises(ParameterError):
+        hub.consume({"counters": {}})  # no component name
+
+
+def test_hub_stats_schema():
+    hub = TelemetryHub()
+    hub.count("c")
+    hub.record("t", 0.5)
+    hub.observe("r", np.zeros((2, 2)))
+    hub.consume(component_stats("thing"))
+    snap = hub.stats()
+    for key in STATS_SCHEMA_KEYS:
+        assert key in snap
+    assert snap["component"] == "telemetry_hub"
+    assert snap["counters"]["c"] == 1
+    assert snap["timings"]["t"] == 0.5
+    assert snap["gauges"]["reservoir.r"] == 2
+    assert "thing" in snap["components"]
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        TelemetryHub(window=0)
+    with pytest.raises(ParameterError):
+        TelemetryHub(reservoir_size=0)
+    with pytest.raises(ParameterError):
+        Reservoir(0)
+
+
+def test_thread_safety_of_counters():
+    hub = TelemetryHub()
+
+    def work():
+        for _ in range(500):
+            hub.count("hits")
+            hub.record("lat", 1.0)
+            hub.observe("rows", np.zeros((1, 2)))
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert hub.counter("hits") == 2000
+    assert hub.n_recorded("lat") == 2000
