@@ -55,6 +55,18 @@ WORKLOAD = {
     # drift-triggered background re-tune vs a freshly tuned control
     "monitor_n_train": 4000,
     "monitor_requests": 6,
+    # K>=2 weighted fast paths (PR 5).  Per-path workload params are
+    # recorded here so a regression is attributable to its path: the
+    # piecewise ratio crosses sizes by design (the acceptance bar is
+    # "piecewise at n_piecewise beats the reference at n_reference"),
+    # the vectorized ratio compares equal N, K on the named
+    # distance-based weights.
+    "weighted_fast_k": 2,
+    "weighted_fast_n_reference": 300,
+    "weighted_fast_n_piecewise": 2000,
+    "weighted_fast_n_test": 2,
+    "weighted_fast_rank_weights": "rank",
+    "weighted_fast_distance_weights": "inverse_distance",
 }
 
 
@@ -65,6 +77,7 @@ def measure() -> dict:
         incremental_churn,
         monitor_maintenance,
         weighted_engine,
+        weighted_fast_paths,
     )
 
     throughput = engine_throughput(
@@ -99,6 +112,16 @@ def measure() -> dict:
         repeat=WORKLOAD["repeat"],
         seed=WORKLOAD["seed"],
     ).rows
+    fast = weighted_fast_paths(
+        n_reference=WORKLOAD["weighted_fast_n_reference"],
+        n_piecewise=WORKLOAD["weighted_fast_n_piecewise"],
+        n_test=WORKLOAD["weighted_fast_n_test"],
+        n_features=WORKLOAD["n_features"],
+        k=WORKLOAD["weighted_fast_k"],
+        rank_only_weights=WORKLOAD["weighted_fast_rank_weights"],
+        distance_weights=WORKLOAD["weighted_fast_distance_weights"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
     return {
         "schema": SCHEMA,
         "workload": dict(WORKLOAD),
@@ -116,6 +139,17 @@ def measure() -> dict:
                 weighted[0]["speedup"], 50.0
             ),
             "weighted_cached_speedup": weighted[1]["cached_speedup"],
+            # K>=2 fast paths, capped for the same reason as above: the
+            # raw piecewise ratio divides seconds by ~0.1 ms, so runner
+            # noise could swing it arbitrarily; falling back to the
+            # reference recursion would still collapse the capped value
+            # to ~0 and fail the gate
+            "weighted_k2_piecewise_speedup": min(
+                fast["piecewise_speedup"], 50.0
+            ),
+            "weighted_k2_vectorized_speedup": min(
+                fast["vectorized_speedup"], 50.0
+            ),
             # ~1.0 = monitoring is free on the serving path; dropping
             # toward 0.95 means ~5% overhead (the bench_monitor bar)
             "monitor_overhead_margin": monitor_overhead["overhead_margin"],
@@ -137,6 +171,13 @@ def measure() -> dict:
             "weighted_engine_cold_s": weighted[1]["engine_cold_s"],
             "weighted_engine_cached_s": weighted[1]["engine_cached_s"],
             "weighted_max_err": weighted[0]["max_err"],
+            "weighted_k2_reference_rank_s": fast["reference_rank_s"],
+            "weighted_k2_reference_distance_s": fast["reference_distance_s"],
+            "weighted_k2_piecewise_s": fast["piecewise_s"],
+            "weighted_k2_vectorized_s": fast["vectorized_s"],
+            "weighted_k2_piecewise_speedup_raw": fast["piecewise_speedup"],
+            "weighted_k2_vectorized_speedup_raw": fast["vectorized_speedup"],
+            "weighted_max_err_k2": fast["max_err"],
             "monitor_plain_s": monitor_overhead["plain_s"],
             "monitor_monitored_s": monitor_overhead["monitored_s"],
             "monitor_recall_degraded": monitor_recovery["recall_degraded"],
@@ -179,6 +220,12 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
     werr = candidate["info"].get("weighted_max_err")
     if werr is not None and werr > 1e-12:
         failures.append(f"weighted_max_err: {werr:g} exceeds 1e-12")
+    werr_k2 = candidate["info"].get("weighted_max_err_k2")
+    if werr_k2 is not None and werr_k2 > 1e-12:
+        failures.append(
+            f"weighted_max_err_k2: {werr_k2:g} exceeds 1e-12 (K>=2 fast "
+            "paths drifted from the reference recursion)"
+        )
     # the maintenance acceptance bar is absolute (within 2% of a fresh
     # tune), tighter than the ratio gate's tolerance
     after = candidate["info"].get("monitor_recall_after")

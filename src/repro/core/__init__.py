@@ -68,23 +68,31 @@ from .exact import (
 from .grouped import exact_grouped_knn_shapley, grouped_shapley_single_test
 from .heap import KNearestHeap
 from .kernels import (
+    BatchedWeightedRecursion,
     KernelCapabilities,
     RankPlan,
     ValuationKernel,
     available_kernels,
     classification_rank_values,
     get_kernel,
+    pad_weight_table,
     register_kernel,
     regression_rank_values,
     truncated_rank_values,
+    weighted_rank_only_values,
     weighted_rank_values,
+    weighted_rank_values_batched,
 )
 from .montecarlo import baseline_mc_shapley, improved_mc_shapley
 from .piecewise import (
     chain_values_from_differences,
+    falling_binomial,
     knn_group_count,
     knn_group_weight_closed_form,
     shapley_difference_from_groups,
+    weighted_knn_anchor_coefficients,
+    weighted_knn_group_weight_totals,
+    weighted_knn_pair_groups,
 )
 from .regression import exact_knn_regression_shapley, regression_shapley_from_order
 from .streaming import StreamingKNNShapley
@@ -106,6 +114,10 @@ __all__ = [
     "truncated_rank_values",
     "regression_rank_values",
     "weighted_rank_values",
+    "weighted_rank_only_values",
+    "weighted_rank_values_batched",
+    "BatchedWeightedRecursion",
+    "pad_weight_table",
     "exact_knn_shapley",
     "exact_knn_shapley_from_order",
     "knn_shapley_single_test",
@@ -145,4 +157,8 @@ __all__ = [
     "knn_group_count",
     "knn_group_weight_closed_form",
     "chain_values_from_differences",
+    "falling_binomial",
+    "weighted_knn_pair_groups",
+    "weighted_knn_group_weight_totals",
+    "weighted_knn_anchor_coefficients",
 ]

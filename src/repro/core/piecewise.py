@@ -19,7 +19,22 @@ closed-form group-size counts for the unweighted KNN classifier
 
 It also provides :func:`chain_values_from_differences`, the generic
 "anchor plus telescoping differences" step shared by every recursion in
-:mod:`repro.core`.
+:mod:`repro.core`, and — new with the weighted fast path — the
+*weighted* generalization of the closed-form counts: for a rank-only
+weight function the difference ``v(S ∪ {i}) - v(S ∪ {i+1})`` of the
+weighted KNN classifier is piecewise constant over ``O(K^2)`` groups
+indexed by (position of rank ``i`` among the selected neighbors,
+number of selected neighbors), with constant ``w_{a+1}(m) * (1[y_i =
+y_test] - 1[y_{i+1} = y_test])``.  :func:`weighted_knn_pair_groups`
+reifies those groups for Lemma 1;
+:func:`weighted_knn_group_weight_totals` evaluates the whole counting
+sum for every adjacent pair at once via the same binomial identity
+that closes Theorem 1 (the full-size sum telescopes to
+``(N - 1) / i`` independently of the position ``a``), leaving only an
+``O(K^2)`` small-coalition correction per rank —
+``O(N * K^2)`` total, the heart of the O(N·poly(K)) piecewise path.
+:func:`weighted_knn_anchor_coefficients` closes the matching eq (74)
+anchor as one coefficient vector over match indicators.
 """
 
 from __future__ import annotations
@@ -36,6 +51,10 @@ __all__ = [
     "knn_group_count",
     "knn_group_weight_closed_form",
     "chain_values_from_differences",
+    "falling_binomial",
+    "weighted_knn_pair_groups",
+    "weighted_knn_group_weight_totals",
+    "weighted_knn_anchor_coefficients",
 ]
 
 
@@ -110,6 +129,173 @@ def knn_group_weight_closed_form(n: int, i: int, k_neighbors: int) -> float:
     if not 1 <= i <= n - 1:
         raise ParameterError(f"rank i must lie in [1, {n - 1}], got {i}")
     return min(k_neighbors, i) * (n - 1) / i
+
+
+def falling_binomial(a, b: int) -> np.ndarray:
+    """Vectorized ``C(a, b)`` for an array of ``a`` values, float64.
+
+    Computed as the falling product ``prod_{t<b} (a - t) / (t + 1)`` —
+    at most ``b`` multiplications regardless of how large ``a`` is, so
+    precision stays at a few ulps even where ``math.comb`` would build
+    thousand-digit integers.  For integer ``0 <= a < b`` a factor hits
+    exactly zero before any negative factor, so out-of-range entries
+    come back exactly 0.0 (the convention every counting sum here
+    relies on).
+    """
+    if b < 0:
+        raise ParameterError(f"b must be non-negative, got {b}")
+    a = np.asarray(a, dtype=np.float64)
+    out = np.ones_like(a)
+    for t in range(b):
+        out = out * ((a - t) / (t + 1.0))
+    return out
+
+
+def _check_weight_table(k_neighbors: int, weight_table) -> np.ndarray:
+    if k_neighbors <= 0:
+        raise ParameterError(f"k must be positive, got {k_neighbors}")
+    table = np.asarray(weight_table, dtype=np.float64)
+    if table.shape != (k_neighbors, k_neighbors):
+        raise ParameterError(
+            f"weight_table must have shape ({k_neighbors}, {k_neighbors}) "
+            f"(= (K, K)), got {table.shape}"
+        )
+    return table
+
+
+def weighted_knn_pair_groups(
+    n: int, i: int, k_neighbors: int, weight_table
+) -> tuple[list[float], list[Callable[[int], float]]]:
+    """The Appendix-F groups of one adjacent pair, for Lemma 1.
+
+    For the weighted KNN *classifier* under a rank-only weight function
+    (``weight_table[m-1, q-1] = w_q(m)``, see
+    :func:`repro.knn.weights.weight_position_table`), the utility
+    difference of the pair ``(alpha_i, alpha_{i+1})`` is ``w_{a+1}(m) *
+    (1[match_i] - 1[match_{i+1}])`` whenever exactly ``a <= K-1``
+    members of ``S`` are nearer than rank ``i`` (``m = min(K, |S|+1)``
+    neighbors get selected), and 0 when ``a >= K`` — every other
+    selected member appears at the same position with the same weight
+    on both sides and cancels.  This returns the ``(constants,
+    group_sizes)`` pair for :func:`shapley_difference_from_groups`,
+    with the match-indicator difference factored out of the constants:
+    feeding them through Lemma 1 yields ``(s_i - s_{i+1}) / (match_i -
+    match_{i+1})``.
+
+    ``O(K^2)`` groups: one per position ``a`` for the saturated band
+    ``|S| >= K-1``, plus one per ``(a, |S|)`` with ``|S| <= K-2``.
+    Intended for auditing/testing —
+    :func:`weighted_knn_group_weight_totals` evaluates the same sum
+    for *all* pairs in closed form.
+    """
+    table = _check_weight_table(k_neighbors, weight_table)
+    if not 1 <= i <= n - 1:
+        raise ParameterError(f"rank i must lie in [1, {n - 1}], got {i}")
+    k = k_neighbors
+
+    def count(a: int, size: int) -> float:
+        # |{S : |S| = size, exactly a members nearer than rank i}|
+        if a > size or a > i - 1 or size - a > n - i - 1:
+            return 0.0
+        return float(math.comb(i - 1, a) * math.comb(n - i - 1, size - a))
+
+    constants: list[float] = []
+    group_sizes: list[Callable[[int], float]] = []
+    for a in range(0, min(k, i) ):
+        # saturated band: |S| >= K-1 selects m = K neighbors
+        constants.append(float(table[k - 1, a]))
+        group_sizes.append(
+            lambda size, a=a: count(a, size) if size >= k - 1 else 0.0
+        )
+        # small coalitions: |S| = s <= K-2 selects m = s+1 neighbors
+        for s in range(a, k - 1):
+            constants.append(float(table[s, a]))
+            group_sizes.append(
+                lambda size, a=a, s=s: count(a, size) if size == s else 0.0
+            )
+    return constants, group_sizes
+
+
+def weighted_knn_group_weight_totals(
+    n: int, k_neighbors: int, weight_table
+) -> np.ndarray:
+    """Closed-form Lemma-1 counting sums for every adjacent pair.
+
+    Returns ``totals`` of length ``n - 1`` with ``totals[i-1] = (N-1) *
+    (s_i - s_{i+1}) / (match_i - match_{i+1})`` for the weighted KNN
+    classifier under a rank-only weight function — i.e. exactly
+    :func:`shapley_difference_from_groups` over
+    :func:`weighted_knn_pair_groups`, times ``N - 1``, evaluated for
+    all ``i`` at once in ``O(N * K^2)``.
+
+    The closed form uses the same identity that collapses Theorem 1:
+    summed over *all* coalition sizes, ``sum_s C(i-1, a) C(N-i-1, s-a)
+    / C(N-2, s) = (N-1)/i`` for every position ``a``, so the saturated
+    band contributes ``sum_a w_{a+1}(K) (N-1)/i`` and only the
+    ``K - 1`` small sizes need the explicit (vectorized) counts, with
+    the weight corrected from ``w_{a+1}(K)`` to ``w_{a+1}(s+1)``.
+    """
+    table = _check_weight_table(k_neighbors, weight_table)
+    if n < 2:
+        raise ParameterError(f"need at least two players, got {n}")
+    k = k_neighbors
+    i = np.arange(1, n, dtype=np.float64)
+    w_sat = table[k - 1]
+    cum_sat = np.cumsum(w_sat)
+    sat_idx = np.minimum(k, i).astype(np.intp) - 1
+    totals = cum_sat[sat_idx] * (n - 1) / i
+    for s in range(0, min(k - 1, n - 1)):
+        inv_binom = 1.0 / math.comb(n - 2, s)
+        for a in range(0, s + 1):
+            delta_w = table[s, a] - w_sat[a]
+            if delta_w == 0.0:
+                continue
+            counts = falling_binomial(i - 1.0, a) * falling_binomial(
+                n - 1.0 - i, s - a
+            )
+            totals = totals + (delta_w * inv_binom) * counts
+    return totals
+
+
+def weighted_knn_anchor_coefficients(
+    n: int, k_neighbors: int, weight_table
+) -> tuple[np.ndarray, float]:
+    """Close the eq (74) anchor of the rank-only weighted classifier.
+
+    The farthest point's value averages ``v(S ∪ {N}) - v(S)`` over all
+    coalitions of sizes ``0..K-1``; with rank-only weights the marginal
+    splits into the new member's own weight (position ``|S|+1`` of
+    ``|S|+1``) plus the re-weighting ``w_q(|S|+1) - w_q(|S|)`` of every
+    incumbent, so the whole anchor is linear in the match indicators::
+
+        s_N = ( last_coef * match_N + sum_r beta[r-1] * match_r ) / N
+
+    Returns ``(beta, last_coef)`` with ``beta`` of length ``n - 1``
+    (coefficient of rank ``r``'s match, ``r = 1..N-1``), computed in
+    ``O(N * K^2)`` via vectorized binomial counts of how often rank
+    ``r`` sits at position ``q`` of a random size-``size`` coalition.
+    """
+    table = _check_weight_table(k_neighbors, weight_table)
+    if n < 1:
+        raise ParameterError(f"n must be positive, got {n}")
+    k = k_neighbors
+    sizes = range(0, min(k, n))
+    last_coef = float(sum(table[size, size] for size in sizes))
+    beta = np.zeros(max(n - 1, 0), dtype=np.float64)
+    if n < 2:
+        return beta, last_coef
+    r = np.arange(1, n, dtype=np.float64)
+    for size in range(1, min(k, n)):
+        inv_binom = 1.0 / math.comb(n - 1, size)
+        for q in range(1, size + 1):
+            delta_w = table[size, q - 1] - table[size - 1, q - 1]
+            if delta_w == 0.0:
+                continue
+            counts = falling_binomial(r - 1.0, q - 1) * falling_binomial(
+                n - 1.0 - r, size - q
+            )
+            beta += (delta_w * inv_binom) * counts
+    return beta, last_coef
 
 
 def chain_values_from_differences(

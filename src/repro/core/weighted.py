@@ -47,7 +47,12 @@ from ..utility.weighted_utility import (
     WeightedKNNClassificationUtility,
     WeightedKNNRegressionUtility,
 )
-from .kernels import weighted_rank_values
+from .kernels import (
+    RankPlan,
+    get_kernel,
+    weighted_rank_values,
+    weighted_rank_values_batched,
+)
 
 __all__ = ["exact_weighted_knn_shapley", "weighted_shapley_single_test"]
 
@@ -57,25 +62,47 @@ WeightedUtility = Union[
 
 
 def weighted_shapley_single_test(
-    utility: WeightedUtility, test_index: int
+    utility: WeightedUtility, test_index: int, mode: str = "reference"
 ) -> np.ndarray:
     """Theorem 7 for one test point.
 
     Returns the Shapley values in original training-index order.
 
+    ``mode="reference"`` (default) drives the audited per-coalition
+    recursion through :meth:`per_test_value`;  ``mode="vectorized"``
+    drives the batched configuration engine
+    (:func:`repro.core.kernels.weighted_rank_values_batched`) through
+    the utility object's :meth:`per_test_value_many` — same sums,
+    whole blocks of coalitions per numpy pass, equal within
+    accumulated rounding (<= 1e-12).
+
     Complexity: ``O(C(N-2, K-1) * N)`` utility evaluations — exponential
     in K but polynomial in N, matching the paper's ``O(N^K)``.
     """
+    if mode not in ("reference", "vectorized"):
+        raise ParameterError(
+            f"mode must be 'reference' or 'vectorized', got {mode!r}"
+        )
     n = utility.n_players
     k = utility.k
     order = utility.order[test_index]  # rank -> original index
 
-    def v(rank_members: tuple[int, ...]) -> float:
-        """Utility of a coalition given by sorted 1-based ranks."""
-        members = order[np.asarray(rank_members, dtype=np.intp) - 1]
-        return utility.per_test_value(np.sort(members), test_index)
+    if mode == "vectorized":
 
-    s_rank = weighted_rank_values(v, n, k)
+        def v_many(ranks: np.ndarray) -> np.ndarray:
+            """Utilities of same-size coalitions of sorted 1-based ranks."""
+            members = order[np.asarray(ranks, dtype=np.intp) - 1]
+            return utility.per_test_value_many(members, test_index)
+
+        s_rank = weighted_rank_values_batched(v_many, n, k)
+    else:
+
+        def v(rank_members: tuple[int, ...]) -> float:
+            """Utility of a coalition given by sorted 1-based ranks."""
+            members = order[np.asarray(rank_members, dtype=np.intp) - 1]
+            return utility.per_test_value(np.sort(members), test_index)
+
+        s_rank = weighted_rank_values(v, n, k)
     values = np.empty(n, dtype=np.float64)
     values[order] = s_rank
     return values
@@ -87,6 +114,7 @@ def exact_weighted_knn_shapley(
     weights: str = "inverse_distance",
     task: str = "classification",
     metric: str = "euclidean",
+    mode: str = "reference",
 ) -> ValuationResult:
     """Exact Shapley values for weighted KNN (Theorem 7).
 
@@ -95,13 +123,21 @@ def exact_weighted_knn_shapley(
     dataset:
         Training and test data.
     k:
-        The K of KNN.  Runtime grows as ``N^K`` — keep K small.
+        The K of KNN.  Runtime grows as ``N^K`` on the reference and
+        vectorized paths — the piecewise path (rank-only weights,
+        classification) is polynomial in both N and K.
     weights:
         Weight-function name or callable (see :mod:`repro.knn.weights`).
     task:
         ``"classification"`` (eq 26) or ``"regression"`` (eq 27).
     metric:
         Distance metric name.
+    mode:
+        ``"reference"`` (default — this function is the audited
+        baseline the fast paths are tested against) runs the historical
+        per-coalition recursion; ``"auto"``, ``"piecewise"`` and
+        ``"vectorized"`` dispatch through the ``weighted`` kernel's
+        fast paths (:meth:`repro.core.kernels.WeightedKernel.select_path`).
 
     Returns
     -------
@@ -120,17 +156,36 @@ def exact_weighted_knn_shapley(
         raise ParameterError(
             f"task must be 'classification' or 'regression', got {task!r}"
         )
-    n_test = dataset.n_test
-    per_test = np.empty((n_test, dataset.n_train), dtype=np.float64)
-    for j in range(n_test):
-        per_test[j] = weighted_shapley_single_test(utility, j)
+    extra = {
+        "k": k,
+        "weights": getattr(utility, "weights_name", str(weights)),
+        "task": task,
+    }
+    if mode == "reference":
+        n_test = dataset.n_test
+        per_test = np.empty((n_test, dataset.n_train), dtype=np.float64)
+        for j in range(n_test):
+            per_test[j] = weighted_shapley_single_test(utility, j)
+        extra["weighted_path"] = "reference"
+    else:
+        # the utility object already ranked the training set; reuse its
+        # ordering (and distances) as the kernel's plan
+        kernel = get_kernel("weighted")
+        plan = RankPlan.from_order(
+            utility.order,
+            dataset.y_train,
+            dataset.y_test,
+            distances=utility.sorted_distances,
+        )
+        extra["weighted_path"] = kernel.select_path(
+            k, weights, task=task, mode=mode
+        )
+        per_test = kernel.values_from_plan(
+            plan, k, weights=weights, task=task, mode=mode
+        )
+    extra["per_test"] = per_test
     return ValuationResult(
         values=per_test.mean(axis=0),
         method="exact-weighted",
-        extra={
-            "k": k,
-            "weights": getattr(utility, "weights_name", str(weights)),
-            "task": task,
-            "per_test": per_test,
-        },
+        extra=extra,
     )

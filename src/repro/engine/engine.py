@@ -31,7 +31,13 @@ free:
 * ``method="lsh"`` — Theorem 4: the truncated kernel over an LSH
   backend's approximate neighbors.
 * ``method="weighted"`` — Theorem 7 over a full ranking with
-  distances (classification eq 26 / regression eq 27).
+  distances (classification eq 26 / regression eq 27).  The kernel
+  picks an execution path per request (``mode="auto"``: the O(N) K=1
+  collapse, the O(N·K^2) piecewise counting path for rank-only
+  weights, or the batched configuration engine — see
+  :meth:`repro.core.kernels.WeightedKernel.select_path`); the chosen
+  path is surfaced in ``ValuationResult.extra["weighted_path"]`` and
+  counted in :meth:`ValuationEngine.stats`.
 * any other name — looked up in the kernel registry and routed by its
   :class:`~repro.core.kernels.KernelCapabilities`.
 """
@@ -282,6 +288,15 @@ class ValuationEngine:
             hub.record("engine.merge_seconds", merge_seconds)
             hub.record("engine.chunks", n_chunks)
 
+    def _record_weighted_path(self, path: str) -> None:
+        """Count which weighted execution path served a request."""
+        key = f"weighted_path_{path}"
+        with self._ops_lock:
+            self._ops[key] = self._ops.get(key, 0) + 1
+        hub = self.telemetry
+        if hub is not None:
+            hub.count(f"engine.weighted_path.{path}")
+
     def stats(self) -> dict:
         """Unified-schema snapshot (see :mod:`repro.stats`).
 
@@ -352,6 +367,7 @@ class ValuationEngine:
         epsilon: float = 0.1,
         store_per_test: bool = False,
         weights: str = "inverse_distance",
+        mode: str = "auto",
     ) -> ValuationResult:
         """Shapley values of the training set for one test batch.
 
@@ -372,6 +388,13 @@ class ValuationEngine:
         weights:
             Weight-function name for ``method="weighted"`` (see
             :mod:`repro.knn.weights`); ignored by the other methods.
+        mode:
+            Execution-path selector for ``method="weighted"``
+            (``"auto"`` | ``"piecewise"`` | ``"vectorized"`` |
+            ``"reference"``, see
+            :meth:`repro.core.kernels.WeightedKernel.select_path`);
+            ignored by the other methods.  The resolved path lands in
+            ``extra["weighted_path"]`` and the engine's path counters.
         """
         x_test = as_float_matrix(x_test, "x_test")
         y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
@@ -397,7 +420,7 @@ class ValuationEngine:
                 )
             params: dict = {}
             if kernel.name == "weighted":
-                params = {"weights": weights, "task": self.task}
+                params = {"weights": weights, "task": self.task, "mode": mode}
             if caps.needs_full_ranking:
                 return self._value_ranked(
                     kernel, method, x_test, y_test, params, store_per_test
@@ -495,6 +518,17 @@ class ValuationEngine:
                 f"rankings the {method!r} method needs; use "
                 "method='truncated' or 'lsh'"
             )
+        weighted_path = None
+        if kernel.name == "weighted" and hasattr(kernel, "select_path"):
+            # resolve (and validate) the execution path once up front —
+            # the choice is deterministic, so every chunk takes it
+            weighted_path = kernel.select_path(
+                self.k,
+                params.get("weights", "inverse_distance"),
+                task=params.get("task", "classification"),
+                mode=params.get("mode", "auto"),
+            )
+            self._record_weighted_path(weighted_path)
         start = time.perf_counter()
         n, n_test = self.n_train, x_test.shape[0]
         need_dist = kernel.capabilities.needs_distances
@@ -572,6 +606,8 @@ class ValuationEngine:
         if kernel.name == "weighted":
             extra["weights"] = params.get("weights")
             extra["task"] = params.get("task")
+            extra["mode"] = params.get("mode")
+            extra["weighted_path"] = weighted_path
         if store_per_test:
             extra["per_test"] = np.concatenate([r[3] for r in results], axis=0)
         if method == "exact":

@@ -64,6 +64,9 @@ class ValuationRequest:
         Truncation target for the approximate methods.
     weights:
         Weight-function name for ``method="weighted"``.
+    mode:
+        Execution-path selector for ``method="weighted"`` (``"auto"``
+        picks the cheapest exact-equivalent path).
     store_per_test:
         Forwarded to :meth:`ValuationEngine.value`.
     tag:
@@ -76,9 +79,10 @@ class ValuationRequest:
     epsilon: float = 0.1
     store_per_test: bool = False
     tag: str = ""
-    # appended last: positional construction predating this field keeps
-    # its meaning
+    # appended last: positional construction predating these fields
+    # keeps its meaning
     weights: str = "inverse_distance"
+    mode: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -286,6 +290,7 @@ class ValuationService:
                             method=req.method,
                             epsilon=req.epsilon,
                             weights=req.weights,
+                            mode=req.mode,
                             store_per_test=req.store_per_test,
                         )
                     job.status = "done"

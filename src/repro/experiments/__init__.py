@@ -2,7 +2,7 @@
 
 from .fig_accuracy import figure8_accuracy_table
 from .fig_correctness import figure5_mc_convergence
-from .fig_engine import engine_throughput, weighted_engine
+from .fig_engine import engine_throughput, weighted_engine, weighted_fast_paths
 from .fig_incremental import incremental_churn
 from .fig_lsh import (
     figure9_contrast_vs_kstar,
@@ -57,6 +57,7 @@ __all__ = [
     "figure17_dataset_table_k25",
     "engine_throughput",
     "weighted_engine",
+    "weighted_fast_paths",
     "incremental_churn",
     "monitor_maintenance",
 ]

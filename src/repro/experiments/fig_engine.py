@@ -20,21 +20,29 @@ method (Theorem 7), which PR 3 routed through the engine's kernel
 registry: the single-shot combinatorial path vs the engine's
 ``method="weighted"`` (kernel fast path at K=1, cached rankings with
 distances on repeats).
+
+:func:`weighted_fast_paths` measures the K >= 2 weighted fast-path
+stack: the O(N·K^2) piecewise counting path (rank-only weights) and
+the batched configuration engine against the per-coalition reference
+recursion — the two gated ratios of ``BENCH_engine.json``'s
+``weighted_k2_*`` metrics.
 """
 
 from __future__ import annotations
 
 
 from ..core.exact import exact_knn_shapley
+from ..core.kernels import RankPlan, get_kernel
 from ..core.weighted import exact_weighted_knn_shapley
 from ..datasets.synthetic import gaussian_blobs
 from ..engine import ValuationEngine
+from ..knn.search import argsort_by_distance
 from ..metrics.errors import max_abs_error
 from ..metrics.timing import time_call
 from ..rng import SeedLike
 from .reporting import ExperimentResult
 
-__all__ = ["engine_throughput", "weighted_engine"]
+__all__ = ["engine_throughput", "weighted_engine", "weighted_fast_paths"]
 
 
 def engine_throughput(
@@ -248,6 +256,148 @@ def weighted_engine(
             "n_test": n_test,
             "n_features": n_features,
             "k": k,
+            "seed": seed,
+        },
+    )
+
+
+def weighted_fast_paths(
+    n_reference: int = 300,
+    n_piecewise: int = 2000,
+    n_test: int = 2,
+    n_features: int = 32,
+    k: int = 2,
+    rank_only_weights: str = "rank",
+    distance_weights: str = "inverse_distance",
+    repeat: int = 1,
+    fast_repeat: int = 3,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """The K >= 2 weighted fast paths vs the reference recursion.
+
+    Three timed comparisons over prebuilt :class:`RankPlan` s (ranking
+    cost excluded — the paths differ only in how they evaluate the
+    Theorem 7 sums):
+
+    * **reference** at ``n_reference`` with a rank-only weight function
+      and with a distance-based one — the O(N^K) per-coalition
+      recursion, timed as the denominator of both gated ratios;
+    * **vectorized** at the same ``n_reference`` / ``k`` with the
+      distance-based weights — the batched configuration engine,
+      expected >= 10x faster at equal N, K;
+    * **piecewise** at ``n_piecewise >> n_reference`` with the
+      rank-only weights — the O(N·K^2) counting path, expected to
+      value the much larger problem in less time than the reference
+      needs for the small one.
+
+    ``max_err`` is the worst absolute deviation of either fast path
+    from the reference at ``n_reference`` (both must stay <= 1e-12;
+    the benchmark gate hard-checks it).
+    """
+    kernel = get_kernel("weighted")
+    data = gaussian_blobs(
+        n_train=n_reference, n_test=n_test, n_features=n_features, seed=seed
+    )
+    order, dist = argsort_by_distance(data.x_test, data.x_train)
+    plan = RankPlan.from_order(
+        order, data.y_train, data.y_test, distances=dist
+    )
+    ref_rank = time_call(
+        lambda: kernel.values_from_plan(
+            plan, k, weights=rank_only_weights, mode="reference"
+        ),
+        repeat=repeat,
+    )
+    ref_dist = time_call(
+        lambda: kernel.values_from_plan(
+            plan, k, weights=distance_weights, mode="reference"
+        ),
+        repeat=repeat,
+    )
+    vectorized = time_call(
+        lambda: kernel.values_from_plan(
+            plan, k, weights=distance_weights, mode="vectorized"
+        ),
+        repeat=fast_repeat,
+        warmup=1,
+    )
+    piecewise_small = kernel.values_from_plan(
+        plan, k, weights=rank_only_weights, mode="piecewise"
+    )
+    max_err = max(
+        max_abs_error(piecewise_small, ref_rank.value),
+        max_abs_error(vectorized.value, ref_dist.value),
+    )
+
+    big = gaussian_blobs(
+        n_train=n_piecewise, n_test=n_test, n_features=n_features, seed=seed
+    )
+    big_order, big_dist = argsort_by_distance(big.x_test, big.x_train)
+    big_plan = RankPlan.from_order(
+        big_order, big.y_train, big.y_test, distances=big_dist
+    )
+    piecewise = time_call(
+        lambda: kernel.values_from_plan(
+            big_plan, k, weights=rank_only_weights, mode="piecewise"
+        ),
+        repeat=fast_repeat,
+        warmup=1,
+    )
+    rows = [
+        {
+            "k": k,
+            "n_reference": n_reference,
+            "n_piecewise": n_piecewise,
+            "reference_rank_s": ref_rank.seconds,
+            "reference_distance_s": ref_dist.seconds,
+            "vectorized_s": vectorized.seconds,
+            "piecewise_s": piecewise.seconds,
+            # the piecewise ratio crosses problem sizes on purpose: the
+            # acceptance bar is "N=2000 piecewise under N=300 reference"
+            "piecewise_speedup": ref_rank.seconds
+            / max(piecewise.seconds, 1e-12),
+            "vectorized_speedup": ref_dist.seconds
+            / max(vectorized.seconds, 1e-12),
+            "max_err": max_err,
+        }
+    ]
+    return ExperimentResult(
+        experiment_id="weighted-fast-paths",
+        title=(
+            "Weighted K>=2: piecewise counting and the vectorized "
+            "configuration engine vs the reference recursion"
+        ),
+        columns=(
+            "k",
+            "n_reference",
+            "n_piecewise",
+            "reference_rank_s",
+            "reference_distance_s",
+            "vectorized_s",
+            "piecewise_s",
+            "piecewise_speedup",
+            "vectorized_speedup",
+            "max_err",
+        ),
+        rows=rows,
+        paper_claim=(
+            "Theorem 7 needs O(N^K) utility evaluations; Appendix F's "
+            "piecewise framework turns the adjacent-rank difference "
+            "into a counting problem"
+        ),
+        observed=(
+            "rank-only weights take the closed-form O(N*K^2) counting "
+            "path (values N >> the reference's N in less wall-clock); "
+            "distance-based weights take the batched configuration "
+            "engine, >= 10x over the per-coalition recursion at equal "
+            "N, K — both within 1e-12 of the reference"
+        ),
+        metadata={
+            "n_test": n_test,
+            "n_features": n_features,
+            "k": k,
+            "rank_only_weights": rank_only_weights,
+            "distance_weights": distance_weights,
             "seed": seed,
         },
     )

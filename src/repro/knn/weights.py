@@ -13,11 +13,32 @@ NOT need to normalize to sum one — the paper's weighted utility (eq 26)
 uses raw weights — but every built-in here normalizes so the utility
 stays in ``[0, 1]`` for classification, which keeps the Monte Carlo
 range parameter ``r`` interpretable.
+
+Capabilities
+------------
+Weight functions carry a ``rank_only`` flag: ``True`` means the output
+depends only on the *length* of the distance vector (the neighbor
+positions), never on the distance values themselves.  ``uniform`` and
+``rank`` are rank-only; ``inverse_distance`` and ``gaussian`` are not.
+Rank-only weights are what the weighted kernel's O(N·poly(K))
+piecewise fast path requires (Appendix F): with them the utility
+difference of adjacent ranks collapses to a per-position constant, so
+the Shapley difference becomes a closed-form counting problem instead
+of an O(N^K) enumeration.  Custom callables can opt in by setting
+``fn.rank_only = True`` (:func:`is_rank_only` reads the attribute).
+
+Two batch helpers serve the vectorized execution paths:
+:func:`apply_weights_batched` evaluates a weight function over a whole
+``(M, m)`` block of sorted distance rows in one numpy pass (built-ins
+have hand-vectorized implementations, custom callables fall back to a
+row loop), and :func:`weight_position_table` tabulates a rank-only
+function's per-position weights ``w_q(m)`` for every selected-neighbor
+count ``m <= K``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Union
 
 import numpy as np
 
@@ -30,7 +51,11 @@ __all__ = [
     "rank_weights",
     "gaussian_weights",
     "get_weight_function",
+    "is_rank_only",
+    "apply_weights_batched",
+    "weight_position_table",
     "WEIGHT_FUNCTIONS",
+    "BATCHED_WEIGHT_FUNCTIONS",
 ]
 
 WeightFunction = Callable[[np.ndarray], np.ndarray]
@@ -89,6 +114,13 @@ def gaussian_weights(distances: np.ndarray, bandwidth: float = 1.0) -> np.ndarra
     return _normalize(np.exp(-(distances**2) / (2.0 * bandwidth**2)))
 
 
+#: depends only on the neighbor count, never on the distance values
+uniform_weights.rank_only = True
+rank_weights.rank_only = True
+inverse_distance_weights.rank_only = False
+gaussian_weights.rank_only = False
+
+
 WEIGHT_FUNCTIONS: Dict[str, WeightFunction] = {
     "uniform": uniform_weights,
     "inverse_distance": inverse_distance_weights,
@@ -106,3 +138,128 @@ def get_weight_function(name: str) -> WeightFunction:
             f"unknown weight function {name!r}; available: "
             f"{sorted(WEIGHT_FUNCTIONS)}"
         ) from None
+
+
+def is_rank_only(weights: Union[str, WeightFunction]) -> bool:
+    """Whether a weight function's output ignores the distance values.
+
+    Accepts a built-in name or a callable; callables declare the
+    capability through a ``rank_only`` attribute (absent means
+    ``False`` — the safe default, since a distance-dependent function
+    wrongly classified as rank-only would silently compute wrong
+    piecewise values, while the reverse merely costs speed).
+    """
+    fn = get_weight_function(weights) if isinstance(weights, str) else weights
+    return bool(getattr(fn, "rank_only", False))
+
+
+# ======================================================================
+# batched evaluation (the vectorized execution paths)
+# ======================================================================
+def _normalize_rows(w: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_normalize`: degenerate rows become uniform."""
+    if w.shape[1] == 0:
+        return w.copy()
+    total = w.sum(axis=1)
+    bad = (total <= 0) | ~np.isfinite(total)
+    out = w / np.where(bad, 1.0, total)[:, None]
+    if np.any(bad):
+        out[bad] = 1.0 / w.shape[1]
+    return out
+
+
+def _batched_uniform(distances: np.ndarray) -> np.ndarray:
+    m = distances.shape[1]
+    if m == 0:
+        return np.asarray(distances, dtype=np.float64).copy()
+    return np.full(distances.shape, 1.0 / m)
+
+
+def _batched_inverse_distance(
+    distances: np.ndarray, eps: float = 1e-8
+) -> np.ndarray:
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.shape[1] == 0:
+        return distances.copy()
+    return _normalize_rows(1.0 / (distances + eps))
+
+
+def _batched_rank(distances: np.ndarray) -> np.ndarray:
+    m = distances.shape[1]
+    if m == 0:
+        return np.asarray(distances, dtype=np.float64).copy()
+    row = np.arange(m, 0, -1, dtype=np.float64)
+    return np.broadcast_to(row / row.sum(), distances.shape).copy()
+
+
+def _batched_gaussian(
+    distances: np.ndarray, bandwidth: float = 1.0
+) -> np.ndarray:
+    if bandwidth <= 0:
+        raise ParameterError(f"bandwidth must be positive, got {bandwidth}")
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.shape[1] == 0:
+        return distances.copy()
+    return _normalize_rows(np.exp(-(distances**2) / (2.0 * bandwidth**2)))
+
+
+#: Vectorized counterparts of the built-ins, keyed by the scalar
+#: function object so both names and resolved callables route here.
+BATCHED_WEIGHT_FUNCTIONS: Dict[WeightFunction, WeightFunction] = {
+    uniform_weights: _batched_uniform,
+    inverse_distance_weights: _batched_inverse_distance,
+    rank_weights: _batched_rank,
+    gaussian_weights: _batched_gaussian,
+}
+
+
+def apply_weights_batched(
+    weights: Union[str, WeightFunction], distances: np.ndarray
+) -> np.ndarray:
+    """Apply a weight function to every row of ``(M, m)`` distances.
+
+    Rows are the sorted ascending distance vectors of ``M`` same-size
+    coalitions' selected neighbors.  Built-in functions run their
+    hand-vectorized implementation (elementwise identical to the
+    scalar form); unknown callables fall back to a per-row loop so any
+    :data:`WeightFunction` stays usable, just without the batching win.
+    """
+    fn = get_weight_function(weights) if isinstance(weights, str) else weights
+    distances = np.atleast_2d(np.asarray(distances, dtype=np.float64))
+    batched = BATCHED_WEIGHT_FUNCTIONS.get(fn)
+    if batched is not None:
+        return batched(distances)
+    out = np.empty(distances.shape, dtype=np.float64)
+    for r in range(distances.shape[0]):
+        out[r] = fn(distances[r])
+    return out
+
+
+def weight_position_table(
+    weights: Union[str, WeightFunction], k: int
+) -> np.ndarray:
+    """Tabulate a rank-only function: ``table[m-1, q-1] = w_q(m)``.
+
+    Row ``m-1`` holds the weights a coalition with ``m`` selected
+    neighbors assigns to positions ``1..m`` (entries beyond ``m`` are
+    zero).  Only meaningful — and only allowed — for rank-only weight
+    functions, whose output ignores the distance values; the dummy
+    distances used here are arbitrary ascending positives.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    fn = get_weight_function(weights) if isinstance(weights, str) else weights
+    if not is_rank_only(fn):
+        name = weights if isinstance(weights, str) else getattr(
+            fn, "__name__", "custom"
+        )
+        raise ParameterError(
+            f"weight function {name!r} is not rank-only; its per-position "
+            "weights depend on the distance values and cannot be tabulated"
+        )
+    table = np.zeros((k, k), dtype=np.float64)
+    for m in range(1, k + 1):
+        table[m - 1, :m] = np.asarray(
+            fn(np.arange(1.0, m + 1.0)), dtype=np.float64
+        )
+    return table

@@ -217,6 +217,14 @@ class ContrastDriftDetector(DriftDetector):
     estimate would also change the *discrete* parameters
     (:func:`~repro.lsh.tuning.retune_lsh`), the signal escalates to
     critical: the index is provably mis-tuned, not just drifting.
+
+    ``hysteresis`` (``>= 1``) puts a dead band above the threshold:
+    after the detector fires, the effective trip level becomes
+    ``rel_tol * hysteresis`` and only re-arms to ``rel_tol`` once the
+    measured drift drops back below ``rel_tol``.  A workload hovering
+    exactly at the threshold — the pathological re-tune-every-cycle
+    case — fires once instead of on every check.  ``1.0`` disables
+    the band.
     """
 
     name = "contrast-drift"
@@ -229,15 +237,20 @@ class ContrastDriftDetector(DriftDetector):
         min_queries: int = 8,
         reservoir: str = "queries",
         seed: SeedLike = 0,
+        hysteresis: float = 1.0,
     ) -> None:
         if rel_tol <= 0:
             raise ParameterError(f"rel_tol must be positive, got {rel_tol}")
+        if hysteresis < 1.0:
+            raise ParameterError(f"hysteresis must be >= 1, got {hysteresis}")
         self.backend = backend
         self.hub = hub
         self.rel_tol = float(rel_tol)
         self.min_queries = int(min_queries)
         self.reservoir = reservoir
         self._seed = seed
+        self.hysteresis = float(hysteresis)
+        self._armed = True
 
     def check(self) -> list[DriftSignal]:
         backend = self.backend
@@ -254,8 +267,12 @@ class ContrastDriftDetector(DriftDetector):
         )
         value = contrast_drift(params.contrast, fresh, scale=backend.scale)
         self.hub.record("lsh.contrast_drift", value)
-        if value <= self.rel_tol:
+        trip = self.rel_tol if self._armed else self.rel_tol * self.hysteresis
+        if value <= trip:
+            if value <= self.rel_tol:
+                self._armed = True  # back inside the band: re-arm
             return []
+        self._armed = False
         retuned = retune_lsh(
             params,
             # compare in the fresh normalized space, as a rebuild would
@@ -277,7 +294,7 @@ class ContrastDriftDetector(DriftDetector):
                 kind="contrast-drift",
                 severity=severity,
                 value=float(value),
-                threshold=self.rel_tol,
+                threshold=float(trip),
                 action="retune",
                 detector=self.name,
                 details={
@@ -287,6 +304,7 @@ class ContrastDriftDetector(DriftDetector):
                     "scale": backend.scale,
                     "params_changed": params_changed,
                     "sample_size": int(sample.shape[0]),
+                    "hysteresis": self.hysteresis,
                 },
             )
         ]
@@ -438,12 +456,15 @@ def default_detectors(
     tombstone_ratio: float = 0.1,
     recall_floor: float = 0.85,
     seed: SeedLike = 0,
+    contrast_hysteresis: float = 1.0,
 ) -> list[DriftDetector]:
     """The standard detector battery for a backend.
 
     LSH backends get the full set; exact backends have no tuned
     parameters to drift, so they get none (their serving health is
     visible through the hub's latency series instead).
+    ``contrast_hysteresis`` forwards to the
+    :class:`ContrastDriftDetector` dead band.
     """
     if not isinstance(backend, LSHNeighborBackend):
         return []
@@ -451,7 +472,11 @@ def default_detectors(
         SizeDriftDetector(backend),
         TombstoneDetector(backend, max_ratio=tombstone_ratio),
         ContrastDriftDetector(
-            backend, hub, rel_tol=contrast_tol, seed=seed
+            backend,
+            hub,
+            rel_tol=contrast_tol,
+            seed=seed,
+            hysteresis=contrast_hysteresis,
         ),
         CandidateDriftDetector(backend, hub, rel_tol=candidate_tol),
         RecallProxyDetector(

@@ -95,6 +95,25 @@ class MaintenanceScheduler:
         mutation to it.
     history:
         Audit-log length (:attr:`log`).
+    min_retune_interval:
+        Debounce: minimum seconds between two executed re-tunes.  A
+        re-tune planned sooner is *deferred*, not dropped — the intent
+        stays pending and executes once the spacing has elapsed — so a
+        pathological workload (e.g. traffic oscillating around a drift
+        threshold) cannot make the scheduler rebuild the index every
+        cycle.  ``0`` (default) keeps the historical immediate
+        behavior.  Compactions are never debounced: they are
+        result-preserving and cheap.
+    contrast_hysteresis:
+        Hysteresis factor (``>= 1``) on the contrast-drift threshold,
+        forwarded to the default
+        :class:`~repro.monitor.drift.ContrastDriftDetector` battery:
+        after the detector fires once, the effective trip level is
+        raised to ``rel_tol * contrast_hysteresis`` until the measured
+        drift falls back below ``rel_tol`` — a workload hovering right
+        at the threshold fires once, not every cycle.  ``1.0``
+        (default) disables the band.  Ignored when an explicit
+        ``detectors`` battery is supplied.
 
     Use as a context manager (starts/stops the thread), drive manually
     with :meth:`run_once`, or :meth:`start` / :meth:`stop` explicitly.
@@ -108,6 +127,8 @@ class MaintenanceScheduler:
         detectors: Optional[Sequence[DriftDetector]] = None,
         interval: float = 60.0,
         history: int = 256,
+        min_retune_interval: float = 0.0,
+        contrast_hysteresis: float = 1.0,
     ) -> None:
         if engine is None and backend is None:
             raise ParameterError(
@@ -115,6 +136,15 @@ class MaintenanceScheduler:
             )
         if interval <= 0:
             raise ParameterError(f"interval must be positive, got {interval}")
+        if min_retune_interval < 0:
+            raise ParameterError(
+                f"min_retune_interval must be non-negative, got "
+                f"{min_retune_interval}"
+            )
+        if contrast_hysteresis < 1.0:
+            raise ParameterError(
+                f"contrast_hysteresis must be >= 1, got {contrast_hysteresis}"
+            )
         self.engine = engine
         self.backend = backend if backend is not None else engine.backend
         # one hub end to end — and it must be the hub the components
@@ -132,9 +162,16 @@ class MaintenanceScheduler:
                 engine.attach_telemetry(self.hub)
         elif self.backend.telemetry is not self.hub:
             self.backend.telemetry = self.hub
+        self.min_retune_interval = float(min_retune_interval)
+        self.contrast_hysteresis = float(contrast_hysteresis)
         if detectors is None:
             k = engine.k if engine is not None else None
-            detectors = default_detectors(self.backend, self.hub, k=k)
+            detectors = default_detectors(
+                self.backend,
+                self.hub,
+                k=k,
+                contrast_hysteresis=self.contrast_hysteresis,
+            )
         self.detectors: list[DriftDetector] = list(detectors)
         self.interval = float(interval)
         self.log: deque[MaintenanceEvent] = deque(maxlen=history)
@@ -145,6 +182,8 @@ class MaintenanceScheduler:
         self._stopped = threading.Event()
         self._thread: threading.Thread | None = None
         self._cycles = 0
+        self._last_retune_monotonic: float | None = None
+        self._debounced = 0
         # silence the warned-refit escape hatch: drifted mutations are
         # now this scheduler's problem (satellite of the monitor PR)
         self._install_hook()
@@ -196,6 +235,24 @@ class MaintenanceScheduler:
                 return "retune" if action in ("refit", "retune") else action
         return None
 
+    def _debounce_retune(self) -> bool:
+        """Whether a planned re-tune must wait for the minimum spacing.
+
+        When debounced, the intent is re-queued as a pending refit so
+        a later cycle (past the spacing) still acts on it — deferral,
+        not loss.
+        """
+        if self.min_retune_interval <= 0 or self._last_retune_monotonic is None:
+            return False
+        elapsed = time.monotonic() - self._last_retune_monotonic
+        if elapsed >= self.min_retune_interval:
+            return False
+        with self._pending_lock:
+            self._pending.add("refit")
+        self._debounced += 1
+        self.hub.count("maintenance.debounced_retunes")
+        return True
+
     def run_once(self) -> list[MaintenanceEvent]:
         """One synchronous detect-plan-act cycle; returns what ran."""
         self._cycles += 1
@@ -203,7 +260,17 @@ class MaintenanceScheduler:
         action = self.plan(signals)
         if action is None:
             return []
+        if action == "retune" and self._debounce_retune():
+            # compaction is result-preserving and exempt from the
+            # debounce — a cycle whose re-tune is deferred must not
+            # also swallow a requested compact (the retune would have
+            # subsumed it; without it, tombstones keep accumulating)
+            if not any(s.action == "compact" for s in signals):
+                return []
+            action = "compact"
         event = self._execute(action, tuple(signals))
+        if event.ok and action == "retune":
+            self._last_retune_monotonic = time.monotonic()
         self.log.append(event)
         return [event]
 
@@ -332,18 +399,27 @@ class MaintenanceScheduler:
             executed[event.action] = executed.get(event.action, 0) + 1
             failures += 0 if event.ok else 1
             total_seconds += event.seconds
+        last = self._last_retune_monotonic
         return component_stats(
             "maintenance_scheduler",
             counters={
                 "cycles": self._cycles,
                 "failures": failures,
+                "debounced_retunes": self._debounced,
                 **{f"action_{a}": c for a, c in sorted(executed.items())},
             },
-            timings={"total_action_seconds": total_seconds},
+            timings={
+                "total_action_seconds": total_seconds,
+                "seconds_since_retune": (
+                    time.monotonic() - last if last is not None else -1.0
+                ),
+            },
             gauges={
                 "running": int(self.running),
                 "n_detectors": len(self.detectors),
                 "interval": self.interval,
+                "min_retune_interval": self.min_retune_interval,
+                "contrast_hysteresis": self.contrast_hysteresis,
             },
         )
 
@@ -354,6 +430,8 @@ def attach_monitoring(
     hub: Optional[TelemetryHub] = None,
     detectors: Optional[Sequence[DriftDetector]] = None,
     start: bool = True,
+    min_retune_interval: float = 0.0,
+    contrast_hysteresis: float = 1.0,
 ) -> MaintenanceScheduler:
     """One-call instrumentation of a served engine.
 
@@ -361,10 +439,17 @@ def attach_monitoring(
     backend and cache, builds the default detector battery, installs
     the silent-refit hook, and — by default — starts the background
     loop.  Returns the scheduler; its :attr:`~MaintenanceScheduler.hub`
-    is the telemetry handle.
+    is the telemetry handle.  ``min_retune_interval`` and
+    ``contrast_hysteresis`` forward to :class:`MaintenanceScheduler`
+    (re-tune debounce and contrast-threshold hysteresis).
     """
     scheduler = MaintenanceScheduler(
-        engine=engine, hub=hub, detectors=detectors, interval=interval
+        engine=engine,
+        hub=hub,
+        detectors=detectors,
+        interval=interval,
+        min_retune_interval=min_retune_interval,
+        contrast_hysteresis=contrast_hysteresis,
     )
     if start:
         scheduler.start()

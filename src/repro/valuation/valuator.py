@@ -194,16 +194,20 @@ class KNNShapleyValuator:
         )
 
     def weighted(
-        self, weights: str = "inverse_distance"
+        self, weights: str = "inverse_distance", mode: str = "auto"
     ) -> ValuationResult:
-        """Exact weighted-KNN values (Theorem 7), O(N^K).
+        """Exact weighted-KNN values (Theorem 7).
 
         Served by the shared engine: the ranking and sorted distances
-        are cached across calls, and with ``k == 1`` and a built-in
-        weight function the engine runs the O(N) fast path of the
-        ``weighted`` kernel.  A backend that cannot produce full
-        rankings (``"lsh"``) falls back to the single-shot path —
-        Theorem 7 needs the whole ranking, whatever executes it.
+        are cached across calls, and ``mode="auto"`` picks the
+        cheapest exact-equivalent execution path of the ``weighted``
+        kernel — the O(N) K=1 collapse, the O(N·K^2) piecewise
+        counting path for rank-only weight functions, or the batched
+        O(N^K) configuration engine (see
+        :meth:`repro.core.kernels.WeightedKernel.select_path`).  A
+        backend that cannot produce full rankings (``"lsh"``) falls
+        back to the single-shot path — Theorem 7 needs the whole
+        ranking, whatever executes it.
         """
         engine = self.engine()
         if not engine.backend.supports_full_ranking:
@@ -213,12 +217,14 @@ class KNNShapleyValuator:
                 weights=weights,
                 task=self.task,
                 metric=self.metric,
+                mode=mode,
             )
         return engine.value(
             self.dataset.x_test,
             self.dataset.y_test,
             method="weighted",
             weights=weights,
+            mode=mode,
             store_per_test=True,
         )
 

@@ -304,3 +304,63 @@ def test_weighted_caches_ranking_with_distances():
     # an exact request rides the same cached permutation
     exact = engine.value(data.x_test, data.y_test, method="exact")
     assert exact.extra["cache"]["hits"] == 2
+
+
+def test_weighted_mode_selection_surfaced_in_extra_and_stats():
+    """The engine routes the weighted mode through the kernel, reports
+    the chosen path in extra, and counts paths in stats()."""
+    from repro.datasets import gaussian_blobs
+    from repro.exceptions import ParameterError
+
+    data = gaussian_blobs(n_train=30, n_test=4, n_features=4, seed=97)
+    engine = ValuationEngine(data.x_train, data.y_train, 2, chunk_size=2)
+    auto = engine.value(
+        data.x_test, data.y_test, method="weighted", weights="rank"
+    )
+    assert auto.extra["weighted_path"] == "piecewise"
+    assert auto.extra["mode"] == "auto"
+    vec = engine.value(
+        data.x_test, data.y_test, method="weighted", weights="inverse_distance"
+    )
+    assert vec.extra["weighted_path"] == "vectorized"
+    ref = engine.value(
+        data.x_test,
+        data.y_test,
+        method="weighted",
+        weights="rank",
+        mode="reference",
+    )
+    assert ref.extra["weighted_path"] == "reference"
+    np.testing.assert_allclose(auto.values, ref.values, rtol=0, atol=1e-12)
+
+    counters = engine.stats()["counters"]
+    assert counters["weighted_path_piecewise"] == 1
+    assert counters["weighted_path_vectorized"] == 1
+    assert counters["weighted_path_reference"] == 1
+
+    # invalid modes are rejected up front, before any chunk runs
+    with pytest.raises(ParameterError):
+        engine.value(
+            data.x_test,
+            data.y_test,
+            method="weighted",
+            weights="inverse_distance",
+            mode="piecewise",
+        )
+
+
+def test_weighted_k2_auto_matches_single_shot_at_serving_scale():
+    """K=2 through the engine: fast paths, chunking and caching agree
+    with the single-shot reference."""
+    from repro.core import exact_weighted_knn_shapley
+    from repro.datasets import gaussian_blobs
+
+    data = gaussian_blobs(n_train=36, n_test=6, n_features=4, seed=96)
+    reference = exact_weighted_knn_shapley(data, 2, weights="rank")
+    engine = ValuationEngine(data.x_train, data.y_train, 2, chunk_size=2)
+    result = engine.value(
+        data.x_test, data.y_test, method="weighted", weights="rank"
+    )
+    np.testing.assert_allclose(
+        result.values, reference.values, rtol=0, atol=1e-12
+    )

@@ -122,3 +122,18 @@ def test_figure16_positive_correlation():
     )
     lookup = {r["metric"]: r["correlation"] for r in res.rows}
     assert lookup["pearson"] > 0
+
+
+def test_weighted_fast_paths_smoke():
+    """Tiny-scale smoke of the K>=2 fast-path experiment: correct
+    columns, sane ratios, 1e-12 agreement."""
+    from repro.experiments import weighted_fast_paths
+
+    res = weighted_fast_paths(
+        n_reference=40, n_piecewise=120, n_test=2, n_features=4, k=2, seed=0
+    )
+    assert res.experiment_id == "weighted-fast-paths"
+    row = res.rows[0]
+    assert row["max_err"] <= 1e-12
+    assert row["piecewise_s"] > 0 and row["vectorized_s"] > 0
+    assert row["n_reference"] == 40 and row["n_piecewise"] == 120

@@ -59,3 +59,66 @@ def test_lookup():
     assert get_weight_function("uniform") is uniform_weights
     with pytest.raises(ParameterError):
         get_weight_function("nope")
+
+
+def test_rank_only_capability_flags():
+    from repro.knn.weights import is_rank_only
+
+    assert is_rank_only("uniform") and is_rank_only("rank")
+    assert not is_rank_only("inverse_distance")
+    assert not is_rank_only("gaussian")
+    assert is_rank_only(uniform_weights) and is_rank_only(rank_weights)
+
+    def custom(d):
+        return np.full(d.shape, 1.0 / max(1, d.size))
+
+    assert not is_rank_only(custom)  # safe default: opt-in only
+    custom.rank_only = True
+    assert is_rank_only(custom)
+
+
+@pytest.mark.parametrize(
+    "name", ["uniform", "inverse_distance", "rank", "gaussian"]
+)
+def test_batched_weights_match_scalar(name, rng):
+    from repro.knn.weights import apply_weights_batched
+
+    fn = get_weight_function(name)
+    d = np.sort(rng.uniform(0.0, 5.0, size=(8, 4)), axis=1)
+    batched = apply_weights_batched(name, d)
+    for r in range(d.shape[0]):
+        np.testing.assert_array_equal(batched[r], fn(d[r]))
+    # the empty-width corner mirrors the scalar empty-input behavior
+    empty = apply_weights_batched(name, np.zeros((3, 0)))
+    assert empty.shape == (3, 0)
+
+
+def test_batched_weights_custom_callable_fallback(rng):
+    from repro.knn.weights import apply_weights_batched
+
+    def halving(distances):
+        w = 0.5 ** np.arange(1, distances.size + 1)
+        return w / w.sum() if w.size else w
+
+    d = np.sort(rng.uniform(0.1, 2.0, size=(5, 3)), axis=1)
+    batched = apply_weights_batched(halving, d)
+    for r in range(d.shape[0]):
+        np.testing.assert_array_equal(batched[r], halving(d[r]))
+
+
+def test_weight_position_table():
+    from repro.knn.weights import weight_position_table
+
+    table = weight_position_table("rank", 3)
+    assert table.shape == (3, 3)
+    np.testing.assert_allclose(table[0], [1.0, 0.0, 0.0])
+    np.testing.assert_allclose(table[1], [2 / 3, 1 / 3, 0.0])
+    np.testing.assert_allclose(table[2], [3 / 6, 2 / 6, 1 / 6])
+    # rows are the scalar function's output, zero-padded
+    np.testing.assert_array_equal(
+        weight_position_table("uniform", 2)[1], [0.5, 0.5]
+    )
+    with pytest.raises(ParameterError):
+        weight_position_table("inverse_distance", 2)  # not rank-only
+    with pytest.raises(ParameterError):
+        weight_position_table("rank", 0)

@@ -194,3 +194,45 @@ def test_default_detectors_battery(fitted_backend):
     }
     # exact backends have no tuned parameters to watch
     assert default_detectors(BruteForceBackend(), hub) == []
+
+
+def test_contrast_hysteresis_dead_band(fitted_backend):
+    """After firing once, the effective trip level rises to
+    rel_tol * hysteresis until the drift falls back below rel_tol — a
+    workload hovering at the threshold fires once, not every check."""
+    backend, hub, _, q = fitted_backend
+    hub.observe("queries", q * 8.0)  # large scale shift: way past trip
+    det = ContrastDriftDetector(
+        backend, hub, rel_tol=0.25, seed=0, hysteresis=1e9
+    )
+    first = det.check()
+    assert len(first) == 1
+    assert first[0].details["hysteresis"] == 1e9
+    # same drifted traffic, second check: inside the (huge) dead band
+    assert det.check() == []
+    # traffic back at the tuned distribution re-arms the detector
+    # (fresh hub: the reservoir is a sample of *all* queries ever seen,
+    # so the old shifted rows would otherwise linger in the estimate)
+    calm = TelemetryHub(seed=0)
+    calm.observe("queries", q)
+    det.hub = calm
+    assert det.check() == []
+    assert det._armed
+    # ...so the next excursion past rel_tol fires again
+    calm.observe("queries", q * 8.0)
+    assert len(det.check()) == 1
+
+
+def test_contrast_hysteresis_validation(fitted_backend):
+    backend, hub, _, _ = fitted_backend
+    with pytest.raises(ParameterError):
+        ContrastDriftDetector(backend, hub, hysteresis=0.9)
+
+
+def test_default_detectors_forward_hysteresis(fitted_backend):
+    backend, hub, _, _ = fitted_backend
+    battery = default_detectors(backend, hub, contrast_hysteresis=2.0)
+    contrast = [
+        d for d in battery if isinstance(d, ContrastDriftDetector)
+    ]
+    assert len(contrast) == 1 and contrast[0].hysteresis == 2.0

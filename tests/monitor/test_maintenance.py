@@ -346,3 +346,103 @@ def test_failed_action_lands_in_log_not_in_face():
     assert "boom" in events[0].error
     assert sched.hub.counter("maintenance.errors") == 1
     assert sched.stats()["counters"]["failures"] == 1
+
+
+def test_retune_debounce_defers_but_never_drops():
+    """With a minimum re-tune spacing, back-to-back drifted mutations
+    execute one re-tune; the second intent stays pending and runs once
+    the spacing elapses — deferral, not loss."""
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((200, 6))
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(x)
+    backend.prepare(None, 5)
+    sched = MaintenanceScheduler(
+        backend=backend, interval=100.0, min_retune_interval=30.0
+    )
+    backend.partial_fit(rng.standard_normal((110, 6)))  # drifted: defers
+    events = sched.run_once()
+    assert len(events) == 1 and events[0].action == "retune"
+    assert backend.stats()["counters"]["retunes"] == 1
+
+    backend.partial_fit(rng.standard_normal((160, 6)))  # drifts again
+    assert sched.run_once() == []  # debounced: inside the spacing window
+    stats = sched.stats()
+    assert stats["counters"]["debounced_retunes"] == 1
+    assert stats["gauges"]["min_retune_interval"] == 30.0
+    assert backend.stats()["counters"]["retunes"] == 1
+    assert backend.needs_refit  # the drift is still there, still pending
+
+    # once the spacing has elapsed the deferred intent executes
+    sched._last_retune_monotonic -= 31.0
+    events = sched.run_once()
+    assert len(events) == 1 and events[0].action == "retune"
+    assert backend.stats()["counters"]["retunes"] == 2
+    assert not backend.needs_refit
+
+
+def test_debounce_never_blocks_compactions():
+    rng = np.random.default_rng(8)
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(
+        rng.standard_normal((120, 4))
+    )
+    backend.prepare(None, 5)
+    sched = MaintenanceScheduler(
+        backend=backend,
+        interval=100.0,
+        min_retune_interval=1e6,
+        detectors=[TombstoneDetector(backend, max_ratio=0.05)],
+    )
+    sched._last_retune_monotonic = __import__("time").monotonic()
+    backend.forget(np.arange(10))  # tombstones past the detector ratio
+    events = sched.run_once()
+    assert len(events) == 1 and events[0].action == "compact"
+    assert sched.stats()["counters"]["debounced_retunes"] == 0
+
+
+def test_scheduler_validates_debounce_and_hysteresis():
+    backend = LSHNeighborBackend()
+    with pytest.raises(ParameterError):
+        MaintenanceScheduler(backend=backend, min_retune_interval=-1.0)
+    with pytest.raises(ParameterError):
+        MaintenanceScheduler(backend=backend, contrast_hysteresis=0.5)
+
+
+def test_scheduler_forwards_hysteresis_to_default_battery():
+    from repro.monitor import ContrastDriftDetector
+
+    rng = np.random.default_rng(9)
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(
+        rng.standard_normal((100, 4))
+    )
+    sched = MaintenanceScheduler(
+        backend=backend, interval=100.0, contrast_hysteresis=1.5
+    )
+    contrast = [
+        d for d in sched.detectors if isinstance(d, ContrastDriftDetector)
+    ]
+    assert len(contrast) == 1 and contrast[0].hysteresis == 1.5
+    assert sched.stats()["gauges"]["contrast_hysteresis"] == 1.5
+
+
+def test_debounced_retune_falls_back_to_requested_compact():
+    """A deferred re-tune must not also swallow a same-cycle compact:
+    compaction is result-preserving and exempt from the debounce."""
+    rng = np.random.default_rng(10)
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(
+        rng.standard_normal((200, 4))
+    )
+    backend.prepare(None, 5)
+    sched = MaintenanceScheduler(
+        backend=backend,
+        interval=100.0,
+        min_retune_interval=1e6,
+        detectors=[TombstoneDetector(backend, max_ratio=0.05)],
+    )
+    sched._last_retune_monotonic = time.monotonic()  # recent re-tune
+    backend.partial_fit(rng.standard_normal((110, 4)))  # drift: wants retune
+    backend.forget(np.arange(30))  # tombstones: wants compact
+    events = sched.run_once()
+    assert [e.action for e in events] == ["compact"]
+    assert sched.stats()["counters"]["debounced_retunes"] == 1
+    assert backend.stats()["counters"]["retunes"] == 0
+    assert backend.tombstone_ratio == 0.0  # the compact really ran

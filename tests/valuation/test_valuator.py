@@ -105,11 +105,18 @@ def test_result_helpers(tiny_cls):
 
 def test_weighted_falls_back_for_non_ranking_backend(tiny_cls):
     """An LSH-configured valuator still serves weighted(): Theorem 7
-    needs full rankings, so it falls back to the single-shot path."""
+    needs full rankings, so it falls back to the single-shot path
+    (mode='auto' there takes the kernel fast paths, within 1e-12 of
+    the reference; mode='reference' reproduces it bit-for-bit)."""
     from repro.core import exact_weighted_knn_shapley
 
     valuator = KNNShapleyValuator(tiny_cls, k=2, backend="lsh")
     result = valuator.weighted()
     assert result.method == "exact-weighted"
+    assert result.extra["weighted_path"] == "vectorized"
     reference = exact_weighted_knn_shapley(tiny_cls, 2)
-    np.testing.assert_array_equal(result.values, reference.values)
+    np.testing.assert_allclose(
+        result.values, reference.values, rtol=0, atol=1e-12
+    )
+    bitwise = valuator.weighted(mode="reference")
+    np.testing.assert_array_equal(bitwise.values, reference.values)
