@@ -67,6 +67,10 @@ WORKLOAD = {
     "weighted_fast_n_test": 2,
     "weighted_fast_rank_weights": "rank",
     "weighted_fast_distance_weights": "inverse_distance",
+    # tracing workload (PR 6): serving overhead of a fully enabled
+    # tracer (span log + hub streaming, cache off) vs the NOOP default
+    "trace_n_train": 4000,
+    "trace_requests": 6,
 }
 
 
@@ -76,6 +80,7 @@ def measure() -> dict:
         engine_throughput,
         incremental_churn,
         monitor_maintenance,
+        tracing_overhead,
         weighted_engine,
         weighted_fast_paths,
     )
@@ -112,6 +117,13 @@ def measure() -> dict:
         repeat=WORKLOAD["repeat"],
         seed=WORKLOAD["seed"],
     ).rows
+    traced = tracing_overhead(
+        n_train=WORKLOAD["trace_n_train"],
+        n_requests=WORKLOAD["trace_requests"],
+        k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
     fast = weighted_fast_paths(
         n_reference=WORKLOAD["weighted_fast_n_reference"],
         n_piecewise=WORKLOAD["weighted_fast_n_piecewise"],
@@ -156,6 +168,10 @@ def measure() -> dict:
             # ~1.0 = the background re-tune restores the recall of a
             # freshly tuned index after an injected distribution shift
             "monitor_retune_recovery": monitor_recovery["recovery_ratio"],
+            # ~1.0 = fully enabled tracing is free on the serving path;
+            # check() additionally enforces the absolute >= 0.95 floor
+            # (<= 5% overhead), the observability leave-on-able bar
+            "trace_overhead_margin": traced["trace_overhead_margin"],
         },
         "info": {
             "single_shot_s": throughput["single_shot_s"],
@@ -184,6 +200,9 @@ def measure() -> dict:
             "monitor_recall_after": monitor_recovery["recall_after"],
             "monitor_recall_fresh": monitor_recovery["recall_fresh"],
             "monitor_retunes": monitor_recovery["retunes"],
+            "trace_plain_s": traced["plain_s"],
+            "trace_traced_s": traced["traced_s"],
+            "trace_spans_per_request": traced["spans_per_request"],
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -234,6 +253,14 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
         failures.append(
             f"monitor_recall_after: {after:.3f} more than 2% below the "
             f"freshly tuned control ({fresh:.3f})"
+        )
+    # the tracing acceptance bar is absolute (enabled tracing costs at
+    # most 5% of untraced serving), tighter than the ratio gate
+    margin = candidate["metrics"].get("trace_overhead_margin")
+    if margin is not None and margin < 0.95:
+        failures.append(
+            f"trace_overhead_margin: {margin:.3f} below the 0.95 floor "
+            "(enabled tracing costs more than 5% of untraced serving)"
         )
     return failures
 

@@ -113,8 +113,8 @@ def main() -> None:
     print(
         f"\ntelemetry: {hub.counter('backend.lsh.queries')} queries "
         f"streamed, contrast drift last measured "
-        f"{hub.last('lsh.contrast_drift'):.2f}, "
-        f"recall series {np.round(hub.series('lsh.recall_proxy'), 3)}"
+        f"{hub.last('backend.lsh.contrast_drift'):.2f}, "
+        f"recall series {np.round(hub.series('backend.lsh.recall_proxy'), 3)}"
     )
     print("maintenance log:", [e.action for e in scheduler.log])
 

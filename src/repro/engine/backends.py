@@ -778,7 +778,7 @@ class LSHNeighborBackend(NeighborBackend):
         self.build_seconds = time.perf_counter() - start
         hub = self.telemetry
         if hub is not None:
-            hub.record("lsh.build_seconds", self.build_seconds)
+            hub.record("backend.lsh.build_seconds", self.build_seconds)
 
     def prepare(self, queries: Optional[np.ndarray], k: int) -> None:
         """Tune and build the index for batches requesting ``k``.
@@ -818,10 +818,10 @@ class LSHNeighborBackend(NeighborBackend):
         self.record_retrieval(len(idx), seconds)
         hub = self.telemetry
         if hub is not None:
-            hub.record("lsh.mean_candidates", stats.mean_candidates)
+            hub.record("backend.lsh.mean_candidates", stats.mean_candidates)
             if stats.n_returned.size:
                 hub.record(
-                    "lsh.fill",
+                    "backend.lsh.fill",
                     float(stats.n_returned.mean()) / max(1, min(k, self.n)),
                 )
             # the query reservoir: what contrast re-estimation samples

@@ -61,6 +61,7 @@ from ..core.kernels import (
 )
 from ..core.truncated import truncation_rank
 from ..exceptions import ParameterError
+from ..monitor.tracing import NOOP_TRACER
 from ..stats import component_stats
 from ..types import (
     Dataset,
@@ -214,6 +215,9 @@ class ValuationEngine:
         #: optional :class:`repro.monitor.TelemetryHub` (see
         #: :meth:`attach_telemetry`)
         self.telemetry = None
+        #: the request tracer; the shared no-op by default (see
+        #: :meth:`attach_tracer`), so untraced serving pays nothing
+        self.tracer = NOOP_TRACER
         self._ops_lock = threading.Lock()
         self._ops = {"requests": 0, "chunks": 0, "mutations": 0}
         self._timings = {
@@ -271,6 +275,22 @@ class ValuationEngine:
         """
         self.telemetry = hub
         self.backend.telemetry = hub
+        return self
+
+    def attach_tracer(self, tracer) -> "ValuationEngine":
+        """Trace every request through ``tracer`` from now on.
+
+        Returns ``self`` for chaining.  Each served request then opens
+        an ``engine.request`` root span with one ``engine.chunk`` child
+        per executed chunk (each holding its ``backend.rank`` /
+        ``backend.query`` retrieval and ``kernel.<name>`` spans), an
+        ``engine.merge`` child, and attributes for the cache outcome
+        and — for ``method="weighted"`` — the chosen execution path;
+        the finished tree lands in ``ValuationResult.extra["trace"]``.
+        Pass :data:`repro.monitor.NOOP_TRACER` to turn tracing off
+        again.
+        """
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         return self
 
     def _record_request(
@@ -421,13 +441,29 @@ class ValuationEngine:
             params: dict = {}
             if kernel.name == "weighted":
                 params = {"weights": weights, "task": self.task, "mode": mode}
-            if caps.needs_full_ranking:
-                return self._value_ranked(
-                    kernel, method, x_test, y_test, params, store_per_test
-                )
-            return self._value_topk(
-                kernel, method, x_test, y_test, epsilon, store_per_test
-            )
+            with self.tracer.span(
+                "engine.request",
+                method=method,
+                kernel=kernel.name,
+                backend=self.backend.name,
+                n_test=int(x_test.shape[0]),
+                n_train=self.n_train,
+            ) as root:
+                if caps.needs_full_ranking:
+                    result = self._value_ranked(
+                        kernel, method, x_test, y_test, params,
+                        store_per_test, root,
+                    )
+                else:
+                    result = self._value_topk(
+                        kernel, method, x_test, y_test, epsilon,
+                        store_per_test, root,
+                    )
+            if root:
+                # summarized after the span closed, so the root's own
+                # duration is final when it lands in the result
+                result.extra["trace"] = root.summary()
+            return result
 
     def run(self, *args, **kwargs) -> ValuationResult:
         """Alias of :meth:`value` (the serving-layer verb)."""
@@ -468,14 +504,16 @@ class ValuationEngine:
         — entries for other datasets sharing the cache survive.
         """
         with self._state_lock.write():
-            x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
-            first = self.n_train
-            self.y_train = np.concatenate((self.y_train, y_new))
-            self.backend.partial_fit(x_new)
-            # alias the backend's index — one training-set copy, not two
-            self.x_train = self.backend.data
-            self._invalidate_train_fp()
-            return np.arange(first, first + x_new.shape[0], dtype=np.intp)
+            with self.tracer.span("engine.mutate", kind="add") as span:
+                x_new, y_new = as_new_points(x_new, y_new, self.x_train.shape[1])
+                span.set("n_points", int(x_new.shape[0]))
+                first = self.n_train
+                self.y_train = np.concatenate((self.y_train, y_new))
+                self.backend.partial_fit(x_new)
+                # alias the backend's index — one training-set copy, not two
+                self.x_train = self.backend.data
+                self._invalidate_train_fp()
+                return np.arange(first, first + x_new.shape[0], dtype=np.intp)
 
     def remove_points(self, idx) -> None:
         """Delete training points by index (``numpy.delete`` semantics)."""
@@ -483,12 +521,15 @@ class ValuationEngine:
         if idx.size == 0:
             return
         with self._state_lock.write():
-            # backend.forget validates range/uniqueness/non-emptiness
-            # against the same n before anything is touched
-            self.backend.forget(idx)
-            self.x_train = self.backend.data
-            self.y_train = np.delete(self.y_train, idx)
-            self._invalidate_train_fp()
+            with self.tracer.span(
+                "engine.mutate", kind="remove", n_points=int(idx.size)
+            ):
+                # backend.forget validates range/uniqueness/non-emptiness
+                # against the same n before anything is touched
+                self.backend.forget(idx)
+                self.x_train = self.backend.data
+                self.y_train = np.delete(self.y_train, idx)
+                self._invalidate_train_fp()
 
     def _invalidate_train_fp(self) -> None:
         old_fp = self._train_fp
@@ -510,8 +551,15 @@ class ValuationEngine:
         y_test: np.ndarray,
         params: dict,
         store_per_test: bool,
+        root,
     ) -> ValuationResult:
-        """Generic chunked execution of a full-ranking kernel."""
+        """Generic chunked execution of a full-ranking kernel.
+
+        ``root`` is the request's root :class:`~repro.monitor.tracing.Span`
+        (the shared null span when tracing is off); chunk spans parent
+        to it *explicitly* because pool threads do not inherit the
+        caller's context.
+        """
         if not self.backend.supports_full_ranking:
             raise ParameterError(
                 f"backend {self.backend.name!r} cannot produce the full "
@@ -529,6 +577,7 @@ class ValuationEngine:
                 mode=params.get("mode", "auto"),
             )
             self._record_weighted_path(weighted_path)
+            root.set("weighted_path", weighted_path)
         start = time.perf_counter()
         n, n_test = self.n_train, x_test.shape[0]
         need_dist = kernel.capabilities.needs_distances
@@ -543,42 +592,55 @@ class ValuationEngine:
                     cached_order, cached_dist = got
             else:
                 cached_order = self.cache.get_ranking(key)
+            root.set("cache", "hit" if cached_order is not None else "miss")
+        else:
+            root.set("cache", "off")
         spans = self._chunk_spans(n_test)
         collect_order = (
             self.cache is not None
             and cached_order is None
             and n_test * n <= self.cache.max_entry_elements
         )
+        tracer = self.tracer
 
         def worker(s: int, e: int):
-            dist = None
-            if cached_order is not None:
-                order = cached_order[s:e]
-                if need_dist:
-                    dist = cached_dist[s:e]
-            elif need_dist:
-                order, dist = self.backend.rank_with_distances(x_test[s:e])
-            else:
-                order = self.backend.rank(x_test[s:e])
-            plan = RankPlan.from_order(
-                order, self.y_train, y_test[s:e], distances=dist
-            )
-            per_test = kernel.values_from_plan(plan, self.k, **params)
-            partial = per_test.sum(axis=0)
-            return (
-                partial,
-                order if collect_order else None,
-                dist if (collect_order and need_dist) else None,
-                per_test if store_per_test else None,
-            )
+            with tracer.span("engine.chunk", parent=root, start=s, stop=e) as chunk:
+                dist = None
+                if cached_order is not None:
+                    order = cached_order[s:e]
+                    if need_dist:
+                        dist = cached_dist[s:e]
+                else:
+                    with tracer.span(
+                        "backend.rank", parent=chunk, backend=self.backend.name
+                    ):
+                        if need_dist:
+                            order, dist = self.backend.rank_with_distances(
+                                x_test[s:e]
+                            )
+                        else:
+                            order = self.backend.rank(x_test[s:e])
+                plan = RankPlan.from_order(
+                    order, self.y_train, y_test[s:e], distances=dist
+                )
+                with tracer.span(f"kernel.{kernel.name}", parent=chunk):
+                    per_test = kernel.values_from_plan(plan, self.k, **params)
+                partial = per_test.sum(axis=0)
+                return (
+                    partial,
+                    order if collect_order else None,
+                    dist if (collect_order and need_dist) else None,
+                    per_test if store_per_test else None,
+                )
 
         results = self._run_chunks(worker, spans)
-        merge_start = time.perf_counter()
-        total = np.zeros(n, dtype=np.float64)
-        for partial, _, _, _ in results:
-            total += partial
-        values = total / n_test
-        merge_seconds = time.perf_counter() - merge_start
+        with tracer.span("engine.merge", parent=root, n_chunks=len(spans)):
+            merge_start = time.perf_counter()
+            total = np.zeros(n, dtype=np.float64)
+            for partial, _, _, _ in results:
+                total += partial
+            values = total / n_test
+            merge_seconds = time.perf_counter() - merge_start
         if collect_order and key is not None:
             self.cache.put_ranking(
                 key,
@@ -629,51 +691,68 @@ class ValuationEngine:
         y_test: np.ndarray,
         epsilon: float,
         store_per_test: bool,
+        root,
     ) -> ValuationResult:
-        """Generic chunked execution of a top-``K*`` (prefix) kernel."""
+        """Generic chunked execution of a top-``K*`` (prefix) kernel.
+
+        ``root`` is the request's root span (the shared null span when
+        tracing is off), explicitly parented into the chunk workers.
+        """
         start = time.perf_counter()
         n, n_test = self.n_train, x_test.shape[0]
         k_star = truncation_rank(self.k, epsilon)
         k_eff = min(k_star, n)
-        self.backend.prepare(x_test, k_eff)
+        tracer = self.tracer
+        with tracer.span("backend.prepare", parent=root, k=k_eff):
+            self.backend.prepare(x_test, k_eff)
         key = None
         cached_idx = None
         if self.cache is not None:
             key = self._cache_key(array_fingerprint(x_test))
             cached_idx = self.cache.get_topk(key, k_eff)
+            root.set("cache", "hit" if cached_idx is not None else "miss")
+        else:
+            root.set("cache", "off")
+        root.set("k_star", k_star)
         spans = self._chunk_spans(n_test)
         exactly_k = True  # rectangular results can be cached
 
         def worker(s: int, e: int):
-            if cached_idx is not None:
-                idx_rows = cached_idx[s:e]
-            else:
-                idx_rows, _ = self.backend.query(x_test[s:e], k_eff)
-            rectangular = all(
-                np.asarray(row).shape[0] == k_eff for row in idx_rows
-            )
-            plan = RankPlan.from_neighbor_rows(
-                idx_rows, self.y_train, y_test[s:e]
-            )
-            dense = kernel.values_from_plan(
-                plan, self.k, k_star=k_star, exact_anchor=True
-            )
-            partial = dense.sum(axis=0)
-            return (
-                partial,
-                idx_rows if cached_idx is None else None,
-                rectangular,
-                dense if store_per_test else None,
-            )
+            with tracer.span("engine.chunk", parent=root, start=s, stop=e) as chunk:
+                if cached_idx is not None:
+                    idx_rows = cached_idx[s:e]
+                else:
+                    with tracer.span(
+                        "backend.query", parent=chunk, backend=self.backend.name
+                    ):
+                        idx_rows, _ = self.backend.query(x_test[s:e], k_eff)
+                rectangular = all(
+                    np.asarray(row).shape[0] == k_eff for row in idx_rows
+                )
+                plan = RankPlan.from_neighbor_rows(
+                    idx_rows, self.y_train, y_test[s:e]
+                )
+                with tracer.span(f"kernel.{kernel.name}", parent=chunk):
+                    dense = kernel.values_from_plan(
+                        plan, self.k, k_star=k_star, exact_anchor=True
+                    )
+                partial = dense.sum(axis=0)
+                return (
+                    partial,
+                    idx_rows if cached_idx is None else None,
+                    rectangular,
+                    dense if store_per_test else None,
+                )
 
         results = self._run_chunks(worker, spans)
-        merge_start = time.perf_counter()
-        total = np.zeros(n, dtype=np.float64)
-        for partial, _, rect, _ in results:
-            total += partial
-            exactly_k = exactly_k and rect
-        values = total / n_test
-        merge_seconds = time.perf_counter() - merge_start
+        with tracer.span("engine.merge", parent=root, n_chunks=len(spans)):
+            merge_start = time.perf_counter()
+            total = np.zeros(n, dtype=np.float64)
+            for partial, _, rect, _ in results:
+                total += partial
+                exactly_k = exactly_k and rect
+            values = total / n_test
+            merge_seconds = time.perf_counter() - merge_start
         if (
             key is not None
             and cached_idx is None

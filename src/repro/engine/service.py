@@ -30,12 +30,14 @@ import itertools
 import queue
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..monitor.telemetry import Histogram
+from ..monitor.tracing import NOOP_TRACER, TraceContext
 from ..stats import component_stats
 from ..types import ValuationResult
 from .engine import ValuationEngine
@@ -71,6 +73,13 @@ class ValuationRequest:
         Forwarded to :meth:`ValuationEngine.value`.
     tag:
         Free-form client identifier echoed in job stats.
+    trace:
+        Optional :class:`~repro.monitor.tracing.TraceContext` the
+        served job should join.  Normally left ``None``:
+        :meth:`ValuationService.submit` captures the submitting
+        thread's current trace position automatically, which is how a
+        job executed on a worker thread attaches to its caller's
+        trace.
     """
 
     x_test: np.ndarray
@@ -83,6 +92,7 @@ class ValuationRequest:
     # keeps its meaning
     weights: str = "inverse_distance"
     mode: str = "auto"
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -106,6 +116,10 @@ class MutationRequest:
         Training indices to delete.
     tag:
         Free-form client identifier echoed in job stats.
+    trace:
+        Optional carried :class:`~repro.monitor.tracing.TraceContext`
+        (see :class:`ValuationRequest`; captured automatically by
+        :meth:`ValuationService.submit`).
     """
 
     kind: str
@@ -113,6 +127,7 @@ class MutationRequest:
     y: Optional[np.ndarray] = None
     idx: Optional[np.ndarray] = None
     tag: str = ""
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("add", "remove"):
@@ -262,6 +277,11 @@ class ValuationService:
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._shutdown = False
+        # per-job latency distributions: bounded-memory histograms (the
+        # stats()/export surface for p50/p95/p99), fed at job settle
+        self._hist_lock = threading.Lock()
+        self._queue_hist = Histogram()
+        self._compute_hist = Histogram()
         self._workers = [
             threading.Thread(target=self._worker, daemon=True, name=f"valuation-{i}")
             for i in range(self.n_workers)
@@ -279,33 +299,55 @@ class ValuationService:
                 job: ValuationJob = item
                 job.started_at = time.perf_counter()
                 job.status = "running"
-                try:
-                    req = job.request
-                    if isinstance(req, MutationRequest):
-                        job._result = self._apply_mutation(req)
-                    else:
-                        job._result = self.engine.value(
-                            req.x_test,
-                            req.y_test,
-                            method=req.method,
-                            epsilon=req.epsilon,
-                            weights=req.weights,
-                            mode=req.mode,
-                            store_per_test=req.store_per_test,
-                        )
-                    job.status = "done"
-                except BaseException as exc:  # surfaced via job.result()
-                    job.error = exc
-                    job.status = "failed"
-                finally:
-                    job.finished_at = time.perf_counter()
-                    job._done.set()
-                    self._publish_job(job)
+                req = job.request
+                tracer = getattr(self.engine, "tracer", None) or NOOP_TRACER
+                # re-enter the submitter's trace: worker threads do not
+                # inherit the caller's context, so the job carries its
+                # TraceContext across the queue and re-activates it here
+                with tracer.activate(req.trace):
+                    with tracer.span(
+                        "service.job", job_id=job.job_id, tag=req.tag
+                    ) as span:
+                        span.set("queue_seconds", job.queue_seconds)
+                        try:
+                            if isinstance(req, MutationRequest):
+                                span.set("kind", f"mutate-{req.kind}")
+                                job._result = self._apply_mutation(req)
+                            else:
+                                span.set("kind", req.method)
+                                job._result = self.engine.value(
+                                    req.x_test,
+                                    req.y_test,
+                                    method=req.method,
+                                    epsilon=req.epsilon,
+                                    weights=req.weights,
+                                    mode=req.mode,
+                                    store_per_test=req.store_per_test,
+                                )
+                            job.status = "done"
+                        except BaseException as exc:  # surfaced via job.result()
+                            job.error = exc
+                            job.status = "failed"
+                        finally:
+                            span.set("status", job.status)
+                            job.finished_at = time.perf_counter()
+                            job._done.set()
+                            self._publish_job(job)
             finally:
                 self._queue.task_done()
 
     def _publish_job(self, job: ValuationJob) -> None:
-        """Stream one settled job's latency split into telemetry."""
+        """Stream one settled job's latency split into telemetry.
+
+        The service's own :class:`Histogram` s always update (they are
+        the :meth:`stats` percentile source, hub or no hub); the
+        attached hub additionally receives the per-job streams.
+        """
+        with self._hist_lock:
+            if job.queue_seconds is not None:
+                self._queue_hist.add(job.queue_seconds)
+            if job.compute_seconds is not None:
+                self._compute_hist.add(job.compute_seconds)
         hub = getattr(self.engine, "telemetry", None)
         if hub is None:
             return
@@ -336,7 +378,18 @@ class ValuationService:
         retire the workers between the accept check and the put (which
         would strand the job unserved); workers keep draining, so a
         blocked put always completes.
+
+        If the submitting thread is inside a traced span and the
+        request carries no explicit ``trace``, the current
+        :class:`~repro.monitor.tracing.TraceContext` is captured onto
+        the request, so the job joins the caller's trace when a worker
+        thread serves it.
         """
+        if request.trace is None:
+            tracer = getattr(self.engine, "tracer", None) or NOOP_TRACER
+            ctx = tracer.current()
+            if ctx is not None:
+                request = replace(request, trace=ctx)
         with self._lock:
             if self._shutdown:
                 raise ParameterError("service is shut down")
@@ -385,22 +438,33 @@ class ValuationService:
         """Aggregate serving statistics.
 
         Conforms to the unified component-stats schema
-        (:mod:`repro.stats`); the pre-schema keys (``n_jobs``,
-        ``by_status``, ...) are kept at the top level for existing
-        dashboards.
+        (:mod:`repro.stats`).  Per-job latency is published through the
+        service's bounded :class:`Histogram` s — ``timings`` carries
+        p50/p95/p99 for the queue-wait and compute splits, and the full
+        bucket snapshots ride along under ``"histograms"`` — while the
+        pre-schema keys (``n_jobs``, ``by_status``,
+        ``total_compute_seconds``, ``mean_queue_seconds``, ...) are
+        kept as aliases at their historical positions for existing
+        dashboards (now derived from the histograms' exact
+        count/total moments).
         """
         with self._lock:
             jobs = list(self._jobs.values())
         by_status: dict[str, int] = {}
         for j in jobs:
             by_status[j.status] = by_status.get(j.status, 0) + 1
-        settled = [j for j in jobs if j.compute_seconds is not None]
-        total_compute = sum(j.compute_seconds for j in settled)
+        with self._hist_lock:
+            queue_snap = self._queue_hist.snapshot()
+            compute_snap = self._compute_hist.snapshot()
+        total_compute = float(compute_snap["total"])
         mean_queue = (
-            sum(j.queue_seconds for j in settled) / len(settled)
-            if settled
-            else 0.0
+            float(queue_snap["mean"]) if queue_snap["count"] else 0.0
         )
+        percentiles = {
+            f"{split}_p{p}": float(snap[f"p{p}"]) if snap["count"] else 0.0
+            for split, snap in (("queue", queue_snap), ("compute", compute_snap))
+            for p in (50, 95, 99)
+        }
         return component_stats(
             "valuation_service",
             counters={
@@ -410,10 +474,15 @@ class ValuationService:
             timings={
                 "total_compute_seconds": total_compute,
                 "mean_queue_seconds": mean_queue,
+                **percentiles,
             },
             gauges={
                 "queue_depth": self._queue.qsize(),
                 "n_workers": self.n_workers,
+            },
+            histograms={
+                "queue_seconds": queue_snap,
+                "compute_seconds": compute_snap,
             },
             # legacy keys
             n_jobs=len(jobs),

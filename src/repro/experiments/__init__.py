@@ -11,7 +11,7 @@ from .fig_lsh import (
     figure10_g_vs_epsilon,
     figure10_g_vs_width,
 )
-from .fig_monitor import monitor_maintenance
+from .fig_monitor import monitor_maintenance, tracing_overhead
 from .fig_mc import (
     figure11_permutation_sizes,
     figure12_weighted_runtime,
@@ -60,4 +60,5 @@ __all__ = [
     "weighted_fast_paths",
     "incremental_churn",
     "monitor_maintenance",
+    "tracing_overhead",
 ]

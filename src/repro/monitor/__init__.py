@@ -8,9 +8,16 @@ shifts.  This package keeps such a deployment *self-maintaining*, in
 three layers:
 
 * :mod:`~repro.monitor.telemetry` — :class:`TelemetryHub`, the
-  lock-safe stream registry (counters, rolling windows, query
-  reservoirs) that backends, the engine, the cache, and the service
-  publish into;
+  lock-safe stream registry (counters, rolling windows with
+  :class:`Histogram` percentiles, query reservoirs) that backends, the
+  engine, the cache, and the service publish into — shareable across
+  several components via :meth:`TelemetryHub.labeled` views and
+  exportable as Prometheus text or a JSON snapshot;
+* :mod:`~repro.monitor.tracing` — :class:`Tracer` / :class:`Span`
+  request tracing across facade, engine, chunk workers, kernels and
+  backends, with a bounded :class:`TraceLog` (JSONL-backed; inspect
+  with ``python -m repro.monitor.dump``) and a zero-cost
+  :data:`NOOP_TRACER` default;
 * :mod:`~repro.monitor.drift` — typed :class:`DriftSignal` s from
   detectors over those streams: size drift, tombstone pressure,
   reservoir-based contrast re-estimation, candidate-set-size shift,
@@ -44,11 +51,27 @@ from .maintenance import (
     MaintenanceScheduler,
     attach_monitoring,
 )
-from .telemetry import Reservoir, TelemetryHub
+from .telemetry import Histogram, LabeledHub, Reservoir, TelemetryHub
+from .tracing import (
+    NOOP_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    TraceLog,
+    Tracer,
+)
 
 __all__ = [
     "TelemetryHub",
+    "LabeledHub",
+    "Histogram",
     "Reservoir",
+    "Tracer",
+    "NullTracer",
+    "NOOP_TRACER",
+    "Span",
+    "TraceContext",
+    "TraceLog",
     "DriftSignal",
     "DriftDetector",
     "SizeDriftDetector",

@@ -266,7 +266,7 @@ class ContrastDriftDetector(DriftDetector):
             data, sample, k=k, seed=self._seed
         )
         value = contrast_drift(params.contrast, fresh, scale=backend.scale)
-        self.hub.record("lsh.contrast_drift", value)
+        self.hub.record("backend.lsh.contrast_drift", value)
         trip = self.rel_tol if self._armed else self.rel_tol * self.hysteresis
         if value <= trip:
             if value <= self.rel_tol:
@@ -331,7 +331,7 @@ class CandidateDriftDetector(DriftDetector):
         rel_tol: float = 0.5,
         min_batches: int = 3,
         window: int = 8,
-        metric: str = "lsh.mean_candidates",
+        metric: str = "backend.lsh.mean_candidates",
     ) -> None:
         if rel_tol <= 0:
             raise ParameterError(f"rel_tol must be positive, got {rel_tol}")
@@ -378,7 +378,7 @@ class RecallProxyDetector(DriftDetector):
     maintenance cadence), retrieves through the backend's
     telemetry-silent :meth:`~repro.engine.backends.NeighborBackend.spot_query`,
     and compares.  The measured proxy is streamed back into the hub as
-    ``"lsh.recall_proxy"`` so operators can chart it.
+    ``"backend.lsh.recall_proxy"`` so operators can chart it.
     """
 
     name = "recall-proxy"
@@ -426,7 +426,7 @@ class RecallProxyDetector(DriftDetector):
         for j in range(true_idx.shape[0]):
             hits += int(np.isin(true_idx[j], got_idx[j]).sum())
         recall = hits / float(true_idx.size)
-        self.hub.record("lsh.recall_proxy", recall)
+        self.hub.record("backend.lsh.recall_proxy", recall)
         return recall
 
     def check(self) -> list[DriftSignal]:

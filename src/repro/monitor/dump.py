@@ -1,0 +1,154 @@
+"""Inspect a JSONL span log: ``python -m repro.monitor.dump trace.jsonl``.
+
+The reading side of :class:`repro.monitor.tracing.TraceLog`: parses a
+JSONL file of flat span records, regroups them into traces, and
+renders each trace as an indented tree with durations and attributes —
+the operator's answer to *where did this request's time go?* without
+attaching a debugger to the service.
+
+Usage::
+
+    python -m repro.monitor.dump trace.jsonl              # all traces
+    python -m repro.monitor.dump trace.jsonl --last 3     # newest 3
+    python -m repro.monitor.dump trace.jsonl --trace <id> # one trace
+    python -m repro.monitor.dump trace.jsonl --summary    # per-name stats
+
+The functions are importable (:func:`load_spans`,
+:func:`format_trace`, :func:`summarize`) so tests and tooling can
+drive the same rendering without a subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Optional
+
+__all__ = ["load_spans", "group_traces", "format_trace", "summarize", "main"]
+
+
+def load_spans(path: str) -> list[dict]:
+    """Parse one span record per JSONL line (blank lines skipped)."""
+    spans: list[dict] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}") from exc
+    return spans
+
+
+def group_traces(spans: Iterable[dict]) -> dict[str, list[dict]]:
+    """Spans grouped by ``trace_id``, traces in first-seen order."""
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], []).append(span)
+    return traces
+
+
+def _format_attributes(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key, value in attributes.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " " + " ".join(parts)
+
+
+def format_trace(trace_id: str, spans: list[dict]) -> str:
+    """Render one trace as an indented span tree.
+
+    Spans whose parent is outside this trace's record set (e.g. a
+    client-side span that never finished into the same log) render as
+    roots.  Children print in start order.
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[Optional[str], list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("ts", 0.0))
+
+    total = sum(s["seconds"] for s in children.get(None, []))
+    lines = [f"trace {trace_id}  ({len(spans)} spans, {total * 1e3:.2f} ms)"]
+
+    def walk(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}- {span['name']}  {span['seconds'] * 1e3:.2f} ms"
+            f"{_format_attributes(span.get('attributes', {}))}"
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def summarize(spans: list[dict]) -> str:
+    """Per-span-name occurrence counts and duration aggregates."""
+    stats: dict[str, list[float]] = {}
+    for span in spans:
+        stats.setdefault(span["name"], []).append(float(span["seconds"]))
+    lines = [f"{'span':<28} {'count':>6} {'total ms':>10} {'mean ms':>9} {'max ms':>9}"]
+    for name in sorted(stats):
+        durations = stats[name]
+        total = sum(durations)
+        lines.append(
+            f"{name:<28} {len(durations):>6} {total * 1e3:>10.2f} "
+            f"{total / len(durations) * 1e3:>9.3f} {max(durations) * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.monitor.dump",
+        description="Render a repro trace log (JSONL of span records).",
+    )
+    parser.add_argument("path", help="JSONL file written by TraceLog(path=...)")
+    parser.add_argument("--trace", help="show only this trace id")
+    parser.add_argument(
+        "--last", type=int, default=None, metavar="N", help="show only the newest N traces"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="aggregate by span name instead of per-trace trees"
+    )
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.path)
+    if not spans:
+        print("(no spans)")
+        return 0
+    if args.summary:
+        print(summarize(spans))
+        return 0
+    traces = group_traces(spans)
+    if args.trace is not None:
+        if args.trace not in traces:
+            print(f"trace {args.trace!r} not found among {len(traces)} traces", file=sys.stderr)
+            return 1
+        traces = {args.trace: traces[args.trace]}
+    ids = list(traces)
+    if args.last is not None:
+        ids = ids[-args.last:]
+    for i, trace_id in enumerate(ids):
+        if i:
+            print()
+        print(format_trace(trace_id, traces[trace_id]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    raise SystemExit(main())

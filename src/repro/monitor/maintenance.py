@@ -40,14 +40,16 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..engine.backends import LSHNeighborBackend, NeighborBackend
-from ..engine.engine import ValuationEngine
 from ..exceptions import ParameterError
 from ..stats import component_stats
 from .drift import DriftDetector, DriftSignal, default_detectors
 from .telemetry import TelemetryHub
+
+if TYPE_CHECKING:  # imported lazily: engine.engine imports this package
+    from ..engine.engine import ValuationEngine
 
 __all__ = ["MaintenanceEvent", "MaintenanceScheduler", "attach_monitoring"]
 
@@ -254,8 +256,18 @@ class MaintenanceScheduler:
         return True
 
     def run_once(self) -> list[MaintenanceEvent]:
-        """One synchronous detect-plan-act cycle; returns what ran."""
+        """One synchronous detect-plan-act cycle; returns what ran.
+
+        Each cycle also routes the latest component snapshots into the
+        hub via :meth:`~repro.monitor.telemetry.TelemetryHub.consume`
+        — the engine's (whose counters carry the ``weighted_path_*``
+        execution-path tallies) and the scheduler's own — so the hub's
+        export surfaces describe the whole deployment, not just the
+        raw streams.  Drift-signal firings land as ``drift.{kind}``
+        counters inside :meth:`check`.
+        """
         self._cycles += 1
+        self._publish_snapshots()
         signals = self.check()
         action = self.plan(signals)
         if action is None:
@@ -273,6 +285,17 @@ class MaintenanceScheduler:
             self._last_retune_monotonic = time.monotonic()
         self.log.append(event)
         return [event]
+
+    def _publish_snapshots(self) -> None:
+        """Consume the stack's unified-schema snapshots into the hub."""
+        sources = [self.engine] if self.engine is not None else [self.backend]
+        sources.append(self)
+        for source in sources:
+            try:
+                self.hub.consume(source.stats())
+            except Exception:  # noqa: BLE001 - a stats() bug must not
+                # starve maintenance; the error counter is the signal
+                self.hub.count("maintenance.snapshot_errors")
 
     def _execute(
         self, action: str, signals: tuple[DriftSignal, ...]

@@ -11,23 +11,46 @@ collection side of the monitoring subsystem:
   counters, rolling scalar windows (query latency, candidate-set
   sizes, recall proxies, merge timings), and row reservoirs, published
   into through a narrow API: :meth:`~TelemetryHub.count`,
-  :meth:`~TelemetryHub.record`, :meth:`~TelemetryHub.observe`.
+  :meth:`~TelemetryHub.record`, :meth:`~TelemetryHub.observe`,
+  :meth:`~TelemetryHub.consume`.  One hub can aggregate *several*
+  engines/services/schedulers: :meth:`~TelemetryHub.labeled` returns a
+  per-component view that prefixes every stream name (and consumed
+  component name) with a label, so a sharded tier shares one hub with
+  ``shard0.engine.request_seconds`` next to ``shard1.…``.
+* :class:`Histogram` — fixed-bucket, log-spaced latency histograms
+  beside every rolling series: p50/p95/p99 over the *whole* stream
+  without retaining samples, the export shape Prometheus understands.
 * :class:`Reservoir` — a uniform sample (Vitter's Algorithm R) over
   every row ever offered, bounded in memory.  The maintained query
   reservoir is what lets the drift layer re-estimate relative contrast
   (:func:`repro.lsh.contrast.estimate_relative_contrast`) on *current*
   traffic without retaining it all.
 
+Export surfaces: :meth:`TelemetryHub.export_text` renders a
+Prometheus-style text exposition and :meth:`TelemetryHub.export_json`
+a JSON-serializable snapshot of the full hub state — the pull
+endpoints a deployment scrapes.
+
+Everything the hub holds is bounded: rolling windows by ``window``,
+reservoirs by ``reservoir_size``, and the *number* of distinct
+series/counters/reservoirs/components by ``max_*`` limits with FIFO
+eviction (oldest-registered stream drops first) counted in the
+``telemetry.evicted_*`` counters — the same bounded-plus-eviction-
+counter idiom as the engine's FIFO memos, so a long-lived deployment
+with pathological stream cardinality degrades measurably instead of
+growing without bound.
+
 Producers hold no references to detectors and vice versa: backends,
 the engine, the cache, and the service publish named streams into the
 hub; :mod:`repro.monitor.drift` reads them back out.  Publishing is a
-few dict operations under one lock per call — cheap enough to leave on
-in the serving hot path (the ``bench_monitor`` gate holds the
-steady-state overhead under 5%).
+few dict operations plus one histogram bucket increment under one lock
+per call — cheap enough to leave on in the serving hot path (the
+``bench_monitor`` gate holds the steady-state overhead under 5%).
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
 
@@ -37,7 +60,7 @@ from ..exceptions import ParameterError
 from ..rng import SeedLike, ensure_rng
 from ..stats import component_stats
 
-__all__ = ["Reservoir", "TelemetryHub"]
+__all__ = ["Histogram", "LabeledHub", "Reservoir", "TelemetryHub"]
 
 
 class Reservoir:
@@ -98,20 +121,180 @@ class Reservoir:
         return len(self._rows)
 
 
-class _Series:
-    """A rolling window of scalars plus all-time count/sum."""
+class Histogram:
+    """Fixed-bucket, log-spaced histogram of non-negative scalars.
 
-    __slots__ = ("window", "count", "total")
+    The memory-bounded dual of a latency sample: ``buckets_per_decade``
+    log-spaced bucket upper edges from ``lo`` to ``hi`` (defaults: 1 µs
+    to 1000 s at 4 buckets per decade — 37 buckets), one overflow
+    bucket past ``hi``, plus exact all-time ``count``/``total`` and
+    ``min``/``max``.  Values at or below ``lo`` land in the first
+    bucket; a value is never dropped.
+
+    :meth:`quantile` / :meth:`percentile` interpolate linearly inside
+    the bucket containing the requested rank, so any quantile estimate
+    is off by at most one bucket width — a factor of
+    ``10^(1/buckets_per_decade)`` (≈1.78 at the default resolution),
+    and exact at the observed ``min``/``max`` (estimates clamp into
+    that range).  That trades a constant-factor tolerance for O(1)
+    memory over an unbounded stream, which is the p99-under-churn
+    question the monitor actually asks.
+
+    Not thread-safe on its own; the owning hub (or service) serializes
+    access.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1e3,
+        buckets_per_decade: int = 4,
+        bounds=None,
+    ) -> None:
+        if bounds is not None:
+            bounds = np.asarray(bounds, dtype=np.float64)
+            if bounds.ndim != 1 or bounds.size == 0:
+                raise ParameterError("bounds must be a non-empty 1-d sequence")
+            if np.any(np.diff(bounds) <= 0):
+                raise ParameterError("bounds must be strictly increasing")
+        else:
+            if not 0 < lo < hi:
+                raise ParameterError(
+                    f"need 0 < lo < hi, got lo={lo}, hi={hi}"
+                )
+            if buckets_per_decade <= 0:
+                raise ParameterError(
+                    f"buckets_per_decade must be positive, got {buckets_per_decade}"
+                )
+            n_edges = int(np.ceil(np.log10(hi / lo) * buckets_per_decade)) + 1
+            bounds = lo * 10.0 ** (np.arange(n_edges) / buckets_per_decade)
+        self.bounds = bounds
+        # counts[i] covers (bounds[i-1], bounds[i]]; counts[-1] is the
+        # overflow bucket past bounds[-1]
+        self.counts = np.zeros(bounds.size + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Bucket one observation (O(log n_buckets))."""
+        v = float(value)
+        self.counts[int(np.searchsorted(self.bounds, v, side="left"))] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Exact all-time mean (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"q must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cum = np.cumsum(self.counts)
+        b = min(int(np.searchsorted(cum, target, side="left")), self.counts.size - 1)
+        lo_edge = 0.0 if b == 0 else float(self.bounds[b - 1])
+        hi_edge = (
+            float(self.bounds[b]) if b < self.bounds.size else max(self.max, lo_edge)
+        )
+        prev = float(cum[b - 1]) if b > 0 else 0.0
+        frac = (target - prev) / max(1, int(self.counts[b]))
+        value = lo_edge + frac * (hi_edge - lo_edge)
+        # the exact extremes are known: estimates never leave them
+        return float(min(max(value, self.min), self.max))
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (``0 <= p <= 100``)."""
+        return self.quantile(p / 100.0)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Absorb another histogram with identical bucket bounds.
+
+        The shard-merge primitive: per-shard histograms sum exactly
+        (bucket counts are additive), so a tier-level p99 needs no
+        sample exchange.  Returns ``self``.
+        """
+        if self.bounds.size != other.bounds.size or not np.array_equal(
+            self.bounds, other.bounds
+        ):
+            raise ParameterError("cannot merge histograms with different bounds")
+        self.counts += other.counts
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state: buckets, exact moments, percentiles."""
+        empty = self.count == 0
+        return {
+            "count": int(self.count),
+            "total": float(self.total),
+            "mean": None if empty else float(self.mean),
+            "min": None if empty else float(self.min),
+            "max": None if empty else float(self.max),
+            "bounds": [float(b) for b in self.bounds],
+            "counts": [int(c) for c in self.counts],
+            "p50": None if empty else self.percentile(50),
+            "p95": None if empty else self.percentile(95),
+            "p99": None if empty else self.percentile(99),
+        }
+
+
+class _Series:
+    """A rolling window of scalars plus all-time count/sum/histogram."""
+
+    __slots__ = ("window", "count", "total", "hist", "rollouts")
 
     def __init__(self, maxlen: int) -> None:
         self.window: deque = deque(maxlen=maxlen)
         self.count = 0
         self.total = 0.0
+        self.hist = Histogram()
+        self.rollouts = 0
 
     def add(self, value: float) -> None:
-        self.window.append(value)
+        v = float(value)
+        if len(self.window) == self.window.maxlen:
+            self.rollouts += 1
+        self.window.append(v)
         self.count += 1
-        self.total += value
+        self.total += v
+        self.hist.add(v)
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted stream name into a Prometheus metric name."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", str(name))
+
+
+def _plain(value):
+    """Recursively coerce a stats payload to JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return repr(value)
 
 
 class TelemetryHub:
@@ -126,6 +309,15 @@ class TelemetryHub:
     seed:
         Seed for reservoir replacement draws (deterministic telemetry
         makes maintenance decisions reproducible in tests).
+    max_series, max_counters, max_reservoirs, max_components:
+        Caps on the number of *distinct* streams of each kind.  When a
+        new name would exceed a cap, the oldest-registered stream of
+        that kind is evicted FIFO and the matching
+        ``telemetry.evicted_*`` counter (reported by :meth:`stats` and
+        both exporters) is bumped.  Well-behaved producers use a fixed
+        name vocabulary and never trip these; the caps exist so a
+        misbehaving producer (e.g. ids interpolated into names)
+        degrades the hub measurably instead of exhausting memory.
     """
 
     def __init__(
@@ -133,6 +325,10 @@ class TelemetryHub:
         window: int = 512,
         reservoir_size: int = 256,
         seed: SeedLike = 0,
+        max_series: int = 1024,
+        max_counters: int = 4096,
+        max_reservoirs: int = 64,
+        max_components: int = 256,
     ) -> None:
         if window <= 0:
             raise ParameterError(f"window must be positive, got {window}")
@@ -140,14 +336,52 @@ class TelemetryHub:
             raise ParameterError(
                 f"reservoir_size must be positive, got {reservoir_size}"
             )
+        for label, value in (
+            ("max_series", max_series),
+            ("max_counters", max_counters),
+            ("max_reservoirs", max_reservoirs),
+            ("max_components", max_components),
+        ):
+            if value <= 0:
+                raise ParameterError(f"{label} must be positive, got {value}")
         self.window = int(window)
         self.reservoir_size = int(reservoir_size)
         self._seed = seed
+        self.max_series = int(max_series)
+        self.max_counters = int(max_counters)
+        self.max_reservoirs = int(max_reservoirs)
+        self.max_components = int(max_components)
         self._lock = threading.RLock()
         self._counters: dict[str, int] = {}
         self._series: dict[str, _Series] = {}
         self._reservoirs: dict[str, Reservoir] = {}
         self._components: dict[str, dict] = {}
+        self._evictions = {
+            "series": 0,
+            "counters": 0,
+            "reservoirs": 0,
+            "components": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _bound(self, table: dict, limit: int, kind: str) -> None:
+        """FIFO-evict the oldest entries past ``limit`` (lock held)."""
+        while len(table) > limit:
+            table.pop(next(iter(table)))
+            self._evictions[kind] += 1
+
+    def labeled(self, label: str) -> "LabeledHub":
+        """A view of this hub that prefixes every name with ``label.``.
+
+        The multi-component attachment point: each engine/service/
+        scheduler of a sharded tier gets ``hub.labeled("shard0")`` etc.
+        and publishes through the same narrow API, so one hub (and one
+        export endpoint) aggregates them all with disjoint stream
+        names.  Reads through the view are prefixed the same way;
+        whole-hub surfaces (:meth:`stats`, the exporters) delegate to
+        the shared hub.
+        """
+        return LabeledHub(self, label)
 
     # ------------------------------------------------------------------
     # the narrow publishing API
@@ -155,13 +389,20 @@ class TelemetryHub:
         """Bump the monotonic counter ``name`` by ``n``."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(n)
+            self._bound(self._counters, self.max_counters, "counters")
 
     def record(self, name: str, value: float) -> None:
-        """Append a scalar observation to the rolling series ``name``."""
+        """Append a scalar observation to the rolling series ``name``.
+
+        Every series also feeds a :class:`Histogram`, so
+        :meth:`percentile` answers over the *whole* stream while the
+        window keeps only the newest ``window`` values.
+        """
         with self._lock:
             series = self._series.get(name)
             if series is None:
                 series = self._series[name] = _Series(self.window)
+                self._bound(self._series, self.max_series, "series")
             series.add(float(value))
 
     def observe(self, name: str, rows: np.ndarray) -> None:
@@ -172,6 +413,7 @@ class TelemetryHub:
                 reservoir = self._reservoirs[name] = Reservoir(
                     self.reservoir_size, seed=self._seed
                 )
+                self._bound(self._reservoirs, self.max_reservoirs, "reservoirs")
             reservoir.offer(rows)
 
     def consume(self, stats: dict) -> None:
@@ -179,7 +421,9 @@ class TelemetryHub:
 
         Components keep their own cumulative counters; re-adding them
         on every consume would double-count, so the hub stores the most
-        recent snapshot per component name instead.
+        recent snapshot per component name instead.  Consumed snapshots
+        surface in :meth:`stats` (under ``"components"``) and in both
+        exporters with ``component.metric``-style names.
         """
         component = stats.get("component")
         if not component:
@@ -188,6 +432,7 @@ class TelemetryHub:
             )
         with self._lock:
             self._components[str(component)] = stats
+            self._bound(self._components, self.max_components, "components")
 
     # ------------------------------------------------------------------
     # the reading API (the drift layer)
@@ -225,6 +470,20 @@ class TelemetryHub:
             series = self._series.get(name)
             return 0 if series is None else series.count
 
+    def histogram(self, name: str) -> Histogram | None:
+        """The all-time :class:`Histogram` behind series ``name``."""
+        with self._lock:
+            series = self._series.get(name)
+            return None if series is None else series.hist
+
+    def percentile(self, name: str, p: float) -> float:
+        """Estimated all-time percentile of series ``name``; NaN if unknown."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return float("nan")
+            return series.hist.percentile(p)
+
     def reservoir(self, name: str) -> np.ndarray:
         """Current sample of reservoir ``name`` (``(0, 0)`` if unknown)."""
         with self._lock:
@@ -244,7 +503,8 @@ class TelemetryHub:
 
         ``timings`` summarizes each rolling series as its window mean;
         ``gauges`` reports stream shapes; the latest consumed component
-        snapshots ride along under ``"components"``.
+        snapshots ride along under ``"components"``; the FIFO-eviction
+        counters appear as ``telemetry.evicted_*``.
         """
         with self._lock:
             timings = {
@@ -259,10 +519,222 @@ class TelemetryHub:
             }
             gauges["n_series"] = len(self._series)
             gauges["n_counters"] = len(self._counters)
+            counters = dict(self._counters)
+            counters.update(
+                {
+                    f"telemetry.evicted_{kind}": n
+                    for kind, n in self._evictions.items()
+                }
+            )
             return component_stats(
                 "telemetry_hub",
-                counters=dict(self._counters),
+                counters=counters,
                 timings=timings,
                 gauges=gauges,
                 components=dict(self._components),
             )
+
+    # ------------------------------------------------------------------
+    # export surfaces
+    def export_json(self) -> dict:
+        """The full hub state as one JSON-serializable dict.
+
+        Counters, per-series summaries (window, all-time moments,
+        histogram with percentiles), reservoir shapes, the latest
+        consumed component snapshots, the configured limits, and the
+        eviction counters — everything :mod:`json` can dump verbatim.
+        """
+        with self._lock:
+            return {
+                "schema": 1,
+                "limits": {
+                    "window": self.window,
+                    "reservoir_size": self.reservoir_size,
+                    "max_series": self.max_series,
+                    "max_counters": self.max_counters,
+                    "max_reservoirs": self.max_reservoirs,
+                    "max_components": self.max_components,
+                },
+                "evictions": dict(self._evictions),
+                "counters": dict(self._counters),
+                "series": {
+                    name: {
+                        "count": series.count,
+                        "total": float(series.total),
+                        "mean": (
+                            float(np.mean(series.window))
+                            if series.window
+                            else None
+                        ),
+                        "last": (
+                            float(series.window[-1]) if series.window else None
+                        ),
+                        "rollouts": series.rollouts,
+                        "window": [float(v) for v in series.window],
+                        "histogram": series.hist.snapshot(),
+                    }
+                    for name, series in self._series.items()
+                },
+                "reservoirs": {
+                    name: {
+                        "rows": len(reservoir),
+                        "seen": reservoir.seen,
+                        "capacity": reservoir.capacity,
+                    }
+                    for name, reservoir in self._reservoirs.items()
+                },
+                "components": _plain(self._components),
+            }
+
+    def export_text(self) -> str:
+        """Prometheus-style text exposition of the hub state.
+
+        Dotted stream names sanitize to underscores under a ``repro_``
+        namespace: counters as ``*_total``, series as cumulative-bucket
+        histograms (``*_bucket{le="..."}`` / ``*_sum`` / ``*_count``),
+        reservoir and eviction state as gauges/counters, and the
+        latest consumed component snapshots flattened to
+        ``repro_<component>_<metric>`` — so one scrape of a shared hub
+        covers every attached component.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            for kind, n in self._evictions.items():
+                counters[f"telemetry.evicted_{kind}"] = n
+            series = {
+                name: (s.hist.bounds.copy(), s.hist.counts.copy(), s.hist.total)
+                for name, s in self._series.items()
+            }
+            reservoirs = {
+                name: (len(r), r.seen) for name, r in self._reservoirs.items()
+            }
+            components = _plain(self._components)
+
+        lines: list[str] = []
+        for name in sorted(counters):
+            metric = _prom_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counters[name]}")
+        for name in sorted(series):
+            bounds, bucket_counts, total = series[name]
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cum = 0
+            for bound, c in zip(bounds, bucket_counts[:-1]):
+                cum += int(c)
+                lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cum}')
+            cum += int(bucket_counts[-1])
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cum}')
+            lines.append(f"{metric}_sum {total:.9g}")
+            lines.append(f"{metric}_count {cum}")
+        for name in sorted(reservoirs):
+            rows, seen = reservoirs[name]
+            metric = _prom_name(f"reservoir.{name}")
+            lines.append(f"# TYPE {metric}_rows gauge")
+            lines.append(f"{metric}_rows {rows}")
+            lines.append(f"{metric}_seen_total {seen}")
+        for comp_name in sorted(components):
+            snapshot = components[comp_name]
+            for key in sorted(snapshot.get("counters", {})):
+                metric = _prom_name(f"{comp_name}.{key}") + "_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {int(snapshot['counters'][key])}")
+            for table in ("timings", "gauges"):
+                for key in sorted(snapshot.get(table, {})):
+                    value = snapshot[table][key]
+                    if not isinstance(value, (int, float)):
+                        continue
+                    metric = _prom_name(f"{comp_name}.{key}")
+                    lines.append(f"# TYPE {metric} gauge")
+                    lines.append(f"{metric} {float(value):.9g}")
+        return "\n".join(lines) + "\n"
+
+
+class LabeledHub:
+    """A per-component view over a shared :class:`TelemetryHub`.
+
+    Produced by :meth:`TelemetryHub.labeled`.  Exposes the hub's full
+    narrow API with every stream name — and every consumed snapshot's
+    component name — prefixed ``label.``, so several engines, services
+    and schedulers publish into one hub without stream collisions.
+    Nested views compose (``hub.labeled("a").labeled("b")`` prefixes
+    ``a.b.``); whole-hub surfaces (:meth:`stats`,
+    :meth:`export_text`, :meth:`export_json`) delegate to the shared
+    hub unprefixed, because they describe the aggregate.
+    """
+
+    def __init__(self, hub, label: str) -> None:
+        if not label or not isinstance(label, str):
+            raise ParameterError(f"label must be a non-empty string, got {label!r}")
+        if label.endswith(".") or label.startswith("."):
+            raise ParameterError(f"label must not start/end with '.', got {label!r}")
+        if isinstance(hub, LabeledHub):
+            label = f"{hub.label}.{label}"
+            hub = hub.hub
+        self.hub: TelemetryHub = hub
+        self.label = label
+
+    def _name(self, name: str) -> str:
+        return f"{self.label}.{name}"
+
+    def labeled(self, label: str) -> "LabeledHub":
+        """A further-nested view (prefixes compose)."""
+        return LabeledHub(self, label)
+
+    # narrow publishing API, prefixed --------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.hub.count(self._name(name), n)
+
+    def record(self, name: str, value: float) -> None:
+        self.hub.record(self._name(name), value)
+
+    def observe(self, name: str, rows) -> None:
+        self.hub.observe(self._name(name), rows)
+
+    def consume(self, stats: dict) -> None:
+        component = stats.get("component")
+        if not component:
+            raise ParameterError(
+                "stats dict lacks the 'component' key of the unified schema"
+            )
+        stats = dict(stats)
+        stats["component"] = self._name(str(component))
+        self.hub.consume(stats)
+
+    # reading API, prefixed ------------------------------------------
+    def counter(self, name: str) -> int:
+        return self.hub.counter(self._name(name))
+
+    def series(self, name: str):
+        return self.hub.series(self._name(name))
+
+    def mean(self, name: str, last: int | None = None) -> float:
+        return self.hub.mean(self._name(name), last=last)
+
+    def last(self, name: str) -> float:
+        return self.hub.last(self._name(name))
+
+    def n_recorded(self, name: str) -> int:
+        return self.hub.n_recorded(self._name(name))
+
+    def histogram(self, name: str):
+        return self.hub.histogram(self._name(name))
+
+    def percentile(self, name: str, p: float) -> float:
+        return self.hub.percentile(self._name(name), p)
+
+    def reservoir(self, name: str):
+        return self.hub.reservoir(self._name(name))
+
+    def component(self, name: str):
+        return self.hub.component(self._name(name))
+
+    # whole-hub surfaces delegate unprefixed -------------------------
+    def stats(self) -> dict:
+        return self.hub.stats()
+
+    def export_text(self) -> str:
+        return self.hub.export_text()
+
+    def export_json(self) -> dict:
+        return self.hub.export_json()

@@ -1,0 +1,464 @@
+"""Dependency-free request tracing across the valuation stack.
+
+A served valuation crosses many layers — facade, engine, chunk worker
+threads, kernel dispatch, neighbor backend, rank cache — and a latency
+number per layer is not enough to answer *where did this request's
+40 ms go?*.  This module is a minimal distributed-tracing substrate in
+the OpenTelemetry shape (trace/span/parent ids, monotonic timings,
+typed attributes) with none of the dependency:
+
+* :class:`Tracer` — creates :class:`Span` s as context managers and
+  tracks the *current* span per thread of control through a
+  :class:`contextvars.ContextVar`.  Nested ``with tracer.span(...)``
+  blocks therefore parent automatically; crossing an explicit thread
+  boundary (the engine's chunk pool, the service's worker threads)
+  takes an explicit ``parent=`` or :meth:`Tracer.activate`, because
+  worker threads do not inherit the submitting thread's context.
+* :class:`Span` — one timed operation.  ``seconds`` is measured with
+  :func:`time.perf_counter`; ``ts`` is the wall-clock start for log
+  correlation.  Finished children aggregate into their parent, so a
+  request's root span yields a complete tree via :meth:`Span.summary`
+  — that tree is what the engine puts in
+  ``ValuationResult.extra["trace"]``.
+* :class:`TraceContext` — the immutable ``(trace_id, span_id)`` pair
+  that travels on :class:`~repro.engine.service.ValuationRequest` /
+  ``MutationRequest`` across the service's queue, so a job executed on
+  a worker thread attaches to the submitting caller's trace.
+* :class:`TraceLog` — a bounded ring buffer of finished span records
+  with an eviction counter (``dropped``), optionally appending each
+  record to a JSONL file for live inspection with
+  ``python -m repro.monitor.dump``.
+* :class:`NullTracer` / :data:`NOOP_TRACER` — the zero-cost-when-off
+  default.  Every ``with tracer.span(...)`` on the null tracer returns
+  one shared no-op context manager and one shared falsy span; no ids,
+  no clock reads, no allocation per call beyond the argument tuple.
+  The ``bench_engine`` gate (``trace_overhead_margin``) holds the
+  *enabled* overhead under 5% of untraced serving.
+
+Everything here is standard library only (``threading``, ``time``,
+``contextvars``, ``json``); the module deliberately imports nothing
+from the rest of the package so any layer can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import IO, NamedTuple, Optional, Union
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NOOP_TRACER",
+    "TraceLog",
+]
+
+#: Process-wide span-id source: cheap, unique, and ordered — a hex
+#: counter, not a uuid4 per span (id generation sits on the traced hot
+#: path).
+_SPAN_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return format(next(_SPAN_IDS), "x")
+
+
+class TraceContext(NamedTuple):
+    """The portable identity of a point in a trace.
+
+    Carried by value across queue/thread boundaries (it is immutable
+    and picklable); a span started under ``parent=ctx`` records
+    ``ctx.span_id`` as its parent and joins ``ctx.trace_id``.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def _json_default(value):
+    """Best-effort JSON coercion for attribute payloads (numpy scalars)."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except (TypeError, ValueError):
+            continue
+    return repr(value)
+
+
+class Span:
+    """One timed, attributed operation inside a trace.
+
+    Created by :meth:`Tracer.span`; truthy (the :class:`NullTracer`'s
+    span is falsy, so ``if span:`` gates optional work like building a
+    summary).  Attributes are plain ``key=value`` pairs; :meth:`set`
+    adds them after entry (e.g. a cache hit/miss known only
+    mid-request).  ``children`` holds the finished summaries of child
+    spans — appended by the tracer when each child closes, which is
+    thread-safe under the GIL's atomic ``list.append`` even when
+    children run on pool threads.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "attributes",
+        "ts",
+        "start_s",
+        "seconds",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attributes: dict,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.ts = time.time()
+        self.start_s = time.perf_counter()
+        self.seconds: float = 0.0
+        self.children: list[dict] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute on the live span."""
+        self.attributes[key] = value
+
+    def context(self) -> TraceContext:
+        """This span's identity, for crossing a thread/queue boundary."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def summary(self) -> dict:
+        """The finished subtree rooted here, as plain dicts.
+
+        Children appear in completion order.  Call after the ``with``
+        block closed (inside it, ``seconds`` is still 0).
+        """
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+            "children": list(self.children),
+        }
+
+    def record(self) -> dict:
+        """The flat JSONL form (no children — linked by ``parent_id``)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": self.ts,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.seconds * 1e3:.3f} ms)"
+        )
+
+
+class TraceLog:
+    """Bounded ring buffer of finished span records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained in memory; the oldest record is
+        evicted FIFO once full, counted in :attr:`dropped` (the same
+        bounded-plus-eviction-counter idiom as the engine's FIFO
+        memos) — a long-lived deployment cannot grow the log without
+        bound.
+    path:
+        Optional JSONL file; every record is also appended (and
+        flushed) there as it finishes, so ``python -m
+        repro.monitor.dump path`` inspects a live service.  The file
+        itself is *not* ring-bounded — rotate it externally like any
+        log.
+    """
+
+    def __init__(self, capacity: int = 4096, path: Optional[str] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.path = path
+        #: spans evicted from the ring since construction
+        self.dropped = 0
+        self._records: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = open(path, "a") if path else None
+
+    def append(self, record: dict) -> None:
+        """Retain one finished span record (thread-safe)."""
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, default=_json_default) + "\n")
+                self._fh.flush()
+
+    def records(self, trace_id: Optional[str] = None) -> list[dict]:
+        """Buffered records, oldest first, optionally for one trace."""
+        with self._lock:
+            records = list(self._records)
+        if trace_id is None:
+            return records
+        return [r for r in records if r["trace_id"] == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently buffered, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records():
+            seen.setdefault(record["trace_id"], None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop the buffered records (the JSONL file is untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def close(self) -> None:
+        """Close the JSONL file handle, if any."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _SpanHandle:
+    """The context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_parent", "_attributes", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, parent, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._parent = parent
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = self._parent
+        if parent is None:
+            parent = tracer._current.get()
+        if isinstance(parent, Span):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif isinstance(parent, TraceContext):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+            parent = None  # remote parent: nothing to aggregate into
+        else:
+            trace_id, parent_id, parent = _new_trace_id(), None, None
+        span = Span(self._name, trace_id, _new_span_id(), parent_id, self._attributes)
+        self._span = span
+        self._parent = parent  # the local Span to aggregate into, or None
+        self._token = tracer._current.set(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.seconds = time.perf_counter() - span.start_s
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._current.reset(self._token)
+        if isinstance(self._parent, Span):
+            self._parent.children.append(span.summary())
+        self._tracer._finish(span)
+        return False
+
+
+class _Activation:
+    """Context manager installing a remote :class:`TraceContext`."""
+
+    __slots__ = ("_tracer", "_ctx", "_token")
+
+    def __init__(self, tracer: "Tracer", ctx: TraceContext) -> None:
+        self._tracer = tracer
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self) -> TraceContext:
+        self._token = self._tracer._current.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._current.reset(self._token)
+        return False
+
+
+class Tracer:
+    """Span factory and current-span bookkeeping.
+
+    Parameters
+    ----------
+    log:
+        Optional :class:`TraceLog`; every finished span's flat record
+        is appended to it.
+    hub:
+        Optional :class:`~repro.monitor.telemetry.TelemetryHub`; every
+        finished span's duration is recorded into the series
+        ``span.{name}.seconds``.  Span *names* are a small fixed
+        vocabulary (``engine.request``, ``engine.chunk``, ...), so
+        this stays bounded-cardinality by construction.
+
+    Notes
+    -----
+    The current span lives in a :class:`contextvars.ContextVar`:
+    thread- and task-local.  Threads started *after* the var is set do
+    not see it — that is why the engine passes ``parent=`` explicitly
+    into chunk workers and the service calls :meth:`activate` with the
+    request's carried :class:`TraceContext` on its worker threads.
+    """
+
+    enabled = True
+
+    def __init__(self, log: Optional[TraceLog] = None, hub=None) -> None:
+        self.log = log
+        self.hub = hub
+        self._current: ContextVar[Union[Span, TraceContext, None]] = ContextVar(
+            "repro_current_span", default=None
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, parent=None, **attributes) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("engine.request") as sp:``.
+
+        ``parent`` may be a live :class:`Span` (cross-thread
+        parenting: the child's summary aggregates into it), a
+        :class:`TraceContext` (cross-process/queue parenting: ids link
+        but nothing aggregates), or ``None`` to use the calling
+        context's current span — falling back to starting a fresh
+        trace.
+        """
+        return _SpanHandle(self, name, parent, attributes)
+
+    def activate(self, ctx: Optional[TraceContext]):
+        """Install ``ctx`` as the current trace position for a block.
+
+        The service worker's entry point: jobs carry their submitter's
+        :class:`TraceContext`, and everything traced inside the
+        ``with`` joins that trace.  ``None`` deactivates nothing and
+        returns a no-op (jobs submitted outside any trace start their
+        own).
+        """
+        if ctx is None:
+            return _NULL_HANDLE
+        return _Activation(self, ctx)
+
+    def current(self) -> Optional[TraceContext]:
+        """The calling context's trace position, as a portable context."""
+        current = self._current.get()
+        if current is None:
+            return None
+        if isinstance(current, Span):
+            return current.context()
+        return current
+
+    # ------------------------------------------------------------------
+    def _finish(self, span: Span) -> None:
+        if self.log is not None:
+            self.log.append(span.record())
+        hub = self.hub
+        if hub is not None:
+            hub.record(f"span.{span.name}.seconds", span.seconds)
+
+
+class _NullSpan:
+    """Falsy, attribute-swallowing stand-in for a :class:`Span`."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def context(self) -> None:
+        return None
+
+    def summary(self) -> None:
+        return None
+
+
+class _NullHandle:
+    """Shared no-op context manager (one instance for the process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """The zero-cost-when-off tracer: every call is a shared no-op.
+
+    Installed by default on every engine; :meth:`span` and
+    :meth:`activate` hand back one preallocated context manager, so an
+    untraced request pays a method call and nothing else.
+    """
+
+    enabled = False
+    log = None
+    hub = None
+
+    def span(self, name: str, parent=None, **attributes) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def activate(self, ctx) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def current(self) -> None:
+        return None
+
+
+#: The process-wide default tracer (engines share it until one of
+#: their own is attached).
+NOOP_TRACER = NullTracer()

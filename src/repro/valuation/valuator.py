@@ -87,6 +87,8 @@ class KNNShapleyValuator:
         self.metric = metric
         self.backend = backend
         self._engine: Optional[ValuationEngine] = None
+        self._hub = None
+        self._tracer = None
 
     # ------------------------------------------------------------------
     def engine(self) -> ValuationEngine:
@@ -104,7 +106,49 @@ class KNNShapleyValuator:
                 metric=self.metric,
                 backend=self.backend,
             )
+            self._instrument(self._engine)
         return self._engine
+
+    def _instrument(self, engine: ValuationEngine) -> ValuationEngine:
+        """Forward any attached hub/tracer onto an owned engine."""
+        if self._hub is not None:
+            engine.attach_telemetry(self._hub)
+        if self._tracer is not None:
+            engine.attach_tracer(self._tracer)
+        return engine
+
+    # ------------------------------------------------------------------
+    # observability (see repro.monitor)
+    def attach_telemetry(self, hub) -> "KNNShapleyValuator":
+        """Publish engine/backend streams of every owned engine to ``hub``.
+
+        Accepts a :class:`~repro.monitor.TelemetryHub` or a
+        :meth:`~repro.monitor.TelemetryHub.labeled` view of a shared
+        one; applies to the lazily-built shared engine and to the
+        per-call :meth:`lsh` engines.  Returns ``self`` for chaining.
+        """
+        self._hub = hub
+        if self._engine is not None:
+            self._engine.attach_telemetry(hub)
+        return self
+
+    def attach_tracer(self, tracer) -> "KNNShapleyValuator":
+        """Trace engine-served methods through ``tracer``.
+
+        Each of :meth:`exact`, :meth:`truncated`, :meth:`lsh` and
+        :meth:`weighted` then opens a ``facade.<method>`` span over
+        the engine request, so the span tree starts at the user-facing
+        entry point.  Returns ``self`` for chaining.
+        """
+        self._tracer = tracer
+        if self._engine is not None:
+            self._engine.attach_tracer(tracer)
+        return self
+
+    def _facade_span(self, name: str, engine: ValuationEngine):
+        return engine.tracer.span(
+            f"facade.{name}", k=self.k, task=self.task, backend=engine.backend.name
+        )
 
     # ------------------------------------------------------------------
     def utility(self):
@@ -116,12 +160,14 @@ class KNNShapleyValuator:
     # ------------------------------------------------------------------
     def exact(self) -> ValuationResult:
         """Exact values (Theorem 1 or 6), O(N log N) per test point."""
-        return self.engine().value(
-            self.dataset.x_test,
-            self.dataset.y_test,
-            method="exact",
-            store_per_test=True,
-        )
+        engine = self.engine()
+        with self._facade_span("exact", engine):
+            return engine.value(
+                self.dataset.x_test,
+                self.dataset.y_test,
+                method="exact",
+                store_per_test=True,
+            )
 
     def truncated(self, epsilon: float = 0.1) -> ValuationResult:
         """(epsilon, 0)-approximate values by truncation (Theorem 2)."""
@@ -129,13 +175,15 @@ class KNNShapleyValuator:
             raise ParameterError(
                 "truncated approximation is defined for classification"
             )
-        return self.engine().value(
-            self.dataset.x_test,
-            self.dataset.y_test,
-            method="truncated",
-            epsilon=epsilon,
-            store_per_test=True,
-        )
+        engine = self.engine()
+        with self._facade_span("truncated", engine):
+            return engine.value(
+                self.dataset.x_test,
+                self.dataset.y_test,
+                method="truncated",
+                epsilon=epsilon,
+                store_per_test=True,
+            )
 
     def lsh(
         self,
@@ -148,27 +196,30 @@ class KNNShapleyValuator:
         """(epsilon, delta)-approximate values via LSH (Theorem 4)."""
         if self.task != "classification":
             raise ParameterError("the LSH approximation is defined for classification")
-        engine = ValuationEngine(
-            self.dataset.x_train,
-            self.dataset.y_train,
-            self.k,
-            task=self.task,
-            metric=self.metric,
-            backend="lsh",
-            backend_options={
-                "delta": delta,
-                "params": params,
-                "alpha": alpha,
-                "seed": seed,
-            },
+        engine = self._instrument(
+            ValuationEngine(
+                self.dataset.x_train,
+                self.dataset.y_train,
+                self.k,
+                task=self.task,
+                metric=self.metric,
+                backend="lsh",
+                backend_options={
+                    "delta": delta,
+                    "params": params,
+                    "alpha": alpha,
+                    "seed": seed,
+                },
+            )
         )
-        return engine.value(
-            self.dataset.x_test,
-            self.dataset.y_test,
-            method="lsh",
-            epsilon=epsilon,
-            store_per_test=True,
-        )
+        with self._facade_span("lsh", engine):
+            return engine.value(
+                self.dataset.x_test,
+                self.dataset.y_test,
+                method="lsh",
+                epsilon=epsilon,
+                store_per_test=True,
+            )
 
     def monte_carlo(
         self,
@@ -219,14 +270,15 @@ class KNNShapleyValuator:
                 metric=self.metric,
                 mode=mode,
             )
-        return engine.value(
-            self.dataset.x_test,
-            self.dataset.y_test,
-            method="weighted",
-            weights=weights,
-            mode=mode,
-            store_per_test=True,
-        )
+        with self._facade_span("weighted", engine):
+            return engine.value(
+                self.dataset.x_test,
+                self.dataset.y_test,
+                method="weighted",
+                weights=weights,
+                mode=mode,
+                store_per_test=True,
+            )
 
     def grouped(self, grouped: GroupedDataset) -> ValuationResult:
         """Exact per-seller values (Theorem 8), O(M^K)."""

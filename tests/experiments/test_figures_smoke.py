@@ -137,3 +137,18 @@ def test_weighted_fast_paths_smoke():
     assert row["max_err"] <= 1e-12
     assert row["piecewise_s"] > 0 and row["vectorized_s"] > 0
     assert row["n_reference"] == 40 and row["n_piecewise"] == 120
+
+
+def test_tracing_overhead_smoke():
+    """Tiny-scale smoke of the tracing-overhead experiment: correct
+    columns, both timed loops ran, a bounded span tree per request."""
+    from repro.experiments import tracing_overhead
+
+    res = tracing_overhead(n_train=200, n_test=8, n_requests=2, repeat=2, seed=0)
+    assert res.experiment_id == "tracing-overhead"
+    row = res.rows[0]
+    assert row["plain_s"] > 0 and row["traced_s"] > 0
+    assert abs(row["trace_overhead_margin"] * row["overhead_ratio"] - 1.0) < 1e-9
+    # request + >=1 chunk (rank + kernel) + merge, cache off throughout
+    assert row["spans_per_request"] >= 5
+    assert row["log_dropped"] == 0

@@ -51,7 +51,7 @@ def test_contrast_detector_quiet_on_stable_data(fitted_backend):
     det = ContrastDriftDetector(backend, hub, rel_tol=0.25, seed=0)
     assert det.check() == []
     # the measured drift is streamed for dashboards either way
-    assert hub.n_recorded("lsh.contrast_drift") == 1
+    assert hub.n_recorded("backend.lsh.contrast_drift") == 1
 
 
 def test_contrast_detector_fires_on_scale_shift(fitted_backend):
@@ -86,7 +86,7 @@ def test_candidate_detector(fitted_backend):
     assert det.check() == []  # stable traffic, stable candidates
     # candidate collapse: the effective width went stale
     for _ in range(8):
-        hub.record("lsh.mean_candidates", 0.5)
+        hub.record("backend.lsh.mean_candidates", 0.5)
     signals = det.check()
     assert len(signals) == 1
     assert signals[0].kind == "candidate-drift"
@@ -139,7 +139,7 @@ def test_recall_proxy_full_recall_is_quiet():
     backend.query(q, 3)
     det = RecallProxyDetector(backend, hub, k=3, floor=0.9, seed=0)
     assert det.check() == []
-    assert hub.last("lsh.recall_proxy") == pytest.approx(1.0)
+    assert hub.last("backend.lsh.recall_proxy") == pytest.approx(1.0)
 
 
 def test_recall_proxy_fires_on_bad_index():
@@ -171,14 +171,14 @@ def test_recall_proxy_fires_on_bad_index():
 def test_spot_checks_do_not_feed_telemetry(fitted_backend):
     backend, hub, _, _ = fitted_backend
     queries_before = backend.stats()["counters"]["queries"]
-    recorded_before = hub.n_recorded("lsh.mean_candidates")
+    recorded_before = hub.n_recorded("backend.lsh.mean_candidates")
     det = RecallProxyDetector(backend, hub, k=5, floor=0.5, seed=0)
     det.check()
     # the spot check retrieved through the backend, but neither the
     # query counter nor the candidate stream saw its traffic
     assert backend.stats()["counters"]["queries"] == queries_before
-    assert hub.n_recorded("lsh.mean_candidates") == recorded_before
-    assert hub.n_recorded("lsh.recall_proxy") == 1
+    assert hub.n_recorded("backend.lsh.mean_candidates") == recorded_before
+    assert hub.n_recorded("backend.lsh.recall_proxy") == 1
 
 
 def test_default_detectors_battery(fitted_backend):

@@ -1,12 +1,13 @@
-"""Tests for the telemetry hub and reservoir sampling."""
+"""Tests for the telemetry hub, histograms, reservoirs, and exporters."""
 
+import json
 import threading
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.monitor import Reservoir, TelemetryHub
+from repro.monitor import Histogram, Reservoir, TelemetryHub
 from repro.stats import STATS_SCHEMA_KEYS, component_stats
 
 
@@ -130,3 +131,244 @@ def test_thread_safety_of_counters():
         t.join()
     assert hub.counter("hits") == 2000
     assert hub.n_recorded("lat") == 2000
+
+
+# ----------------------------------------------------------------------
+# histograms
+def test_histogram_percentiles_track_numpy():
+    # a quantile estimate is off by at most one bucket width: a factor
+    # of 10^(1/buckets_per_decade) ~ 1.78 at the default resolution
+    factor = 10 ** (1 / 4)
+    rng = np.random.default_rng(3)
+    for sample in (
+        rng.lognormal(mean=-4.0, sigma=1.0, size=4000),  # latency-shaped
+        rng.uniform(1e-4, 1e-1, size=4000),
+        rng.exponential(scale=0.01, size=4000),
+    ):
+        hist = Histogram()
+        for v in sample:
+            hist.add(v)
+        for p in (50.0, 90.0, 95.0, 99.0):
+            exact = float(np.percentile(sample, p))
+            estimate = hist.percentile(p)
+            assert exact / factor <= estimate <= exact * factor
+        assert hist.mean == pytest.approx(float(sample.mean()))
+        assert hist.count == sample.size
+
+
+def test_histogram_estimates_clamp_to_observed_extremes():
+    hist = Histogram()
+    for v in (0.004, 0.005, 0.006):
+        hist.add(v)
+    assert hist.percentile(0) >= 0.004
+    assert hist.percentile(100) <= 0.006
+    assert hist.min == 0.004 and hist.max == 0.006
+
+
+def test_histogram_out_of_range_values_are_never_dropped():
+    hist = Histogram(lo=1e-3, hi=1.0)
+    hist.add(1e-9)   # below lo: first bucket
+    hist.add(100.0)  # past hi: overflow bucket
+    hist.add(0.0)
+    assert hist.count == 3
+    assert int(hist.counts.sum()) == 3
+    assert hist.percentile(100) == pytest.approx(100.0)
+
+
+def test_histogram_merge_and_validation():
+    a, b = Histogram(), Histogram()
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0.001, 0.1, size=200)
+    for v in xs[:100]:
+        a.add(v)
+    for v in xs[100:]:
+        b.add(v)
+    merged = a.merge(b)
+    assert merged is a
+    assert a.count == 200
+    assert a.total == pytest.approx(float(xs.sum()))
+    with pytest.raises(ParameterError):
+        a.merge(Histogram(bounds=[0.1, 1.0]))
+    with pytest.raises(ParameterError):
+        Histogram(lo=0.0)
+    with pytest.raises(ParameterError):
+        Histogram(buckets_per_decade=0)
+    with pytest.raises(ParameterError):
+        Histogram(bounds=[1.0, 1.0])
+    with pytest.raises(ParameterError):
+        Histogram().quantile(1.5)
+
+
+def test_histogram_empty_snapshot():
+    snap = Histogram().snapshot()
+    assert snap["count"] == 0
+    assert snap["mean"] is None and snap["p99"] is None
+    assert np.isnan(Histogram().quantile(0.5))
+
+
+def test_hub_percentile_readers():
+    hub = TelemetryHub(window=8)  # window far smaller than the stream
+    rng = np.random.default_rng(1)
+    sample = rng.lognormal(mean=-5.0, sigma=0.7, size=1000)
+    for v in sample:
+        hub.record("lat", v)
+    # the histogram answers over the whole stream, not the window
+    assert hub.histogram("lat").count == 1000
+    p95, exact = hub.percentile("lat", 95), float(np.percentile(sample, 95))
+    assert exact / 10 ** 0.25 <= p95 <= exact * 10 ** 0.25
+    assert hub.histogram("nope") is None
+    assert np.isnan(hub.percentile("nope", 50))
+
+
+# ----------------------------------------------------------------------
+# bounded stream cardinality
+def test_series_cardinality_is_fifo_bounded():
+    hub = TelemetryHub(max_series=2)
+    hub.record("a", 1.0)
+    hub.record("b", 2.0)
+    hub.record("c", 3.0)  # evicts "a", the oldest-registered
+    assert hub.series("a").size == 0
+    assert hub.last("b") == 2.0 and hub.last("c") == 3.0
+    assert hub.stats()["counters"]["telemetry.evicted_series"] == 1
+
+
+def test_counter_and_component_cardinality_bounded():
+    hub = TelemetryHub(max_counters=3, max_components=1)
+    for name in ("a", "b", "c", "d"):
+        hub.count(name)
+    assert hub.counter("a") == 0 and hub.counter("d") == 1
+    hub.consume(component_stats("one"))
+    hub.consume(component_stats("two"))
+    assert hub.component("one") is None
+    assert hub.component("two") is not None
+    counters = hub.stats()["counters"]
+    assert counters["telemetry.evicted_counters"] >= 1
+    assert counters["telemetry.evicted_components"] == 1
+    with pytest.raises(ParameterError):
+        TelemetryHub(max_series=0)
+
+
+# ----------------------------------------------------------------------
+# labeled views
+def test_labeled_hub_prefixes_streams_and_components():
+    hub = TelemetryHub()
+    shard = hub.labeled("shard0")
+    shard.count("hits", 2)
+    shard.record("lat", 0.5)
+    shard.observe("queries", np.zeros((2, 3)))
+    shard.consume(component_stats("engine", counters={"n": 1}))
+    assert hub.counter("shard0.hits") == 2
+    assert hub.last("shard0.lat") == 0.5
+    assert hub.reservoir("shard0.queries").shape == (2, 3)
+    assert hub.component("shard0.engine")["counters"]["n"] == 1
+    # reads through the view resolve the same prefixed names
+    assert shard.counter("hits") == 2
+    assert shard.last("lat") == 0.5
+    assert shard.n_recorded("lat") == 1
+    assert shard.histogram("lat").count == 1
+    assert shard.percentile("lat", 50) == pytest.approx(0.5)
+    assert shard.component("engine")["counters"]["n"] == 1
+    # nesting composes prefixes; whole-hub surfaces delegate
+    nested = shard.labeled("cache")
+    nested.count("hits")
+    assert hub.counter("shard0.cache.hits") == 1
+    assert nested.stats() is not None
+    assert "repro_shard0_hits_total 2" in shard.export_text()
+    with pytest.raises(ParameterError):
+        hub.labeled("")
+    with pytest.raises(ParameterError):
+        hub.labeled(".bad")
+
+
+def test_one_hub_aggregates_two_engines_with_distinct_labels():
+    from repro.datasets import gaussian_blobs
+    from repro.engine import ValuationEngine
+
+    data = gaussian_blobs(n_train=100, n_test=6, n_features=4, seed=21)
+    hub = TelemetryHub()
+    engines = [
+        ValuationEngine(data.x_train, data.y_train, 3).attach_telemetry(
+            hub.labeled(f"shard{i}")
+        )
+        for i in range(2)
+    ]
+    for engine in engines:
+        engine.value(data.x_test, data.y_test, method="exact")
+    for label in ("shard0", "shard1"):
+        assert hub.n_recorded(f"{label}.engine.request_seconds") == 1
+    text = hub.export_text()
+    assert "repro_shard0_engine_request_seconds_count 1" in text
+    assert "repro_shard1_engine_request_seconds_count 1" in text
+
+
+# ----------------------------------------------------------------------
+# export surfaces
+def _populated_hub() -> TelemetryHub:
+    hub = TelemetryHub(window=4)
+    hub.count("engine.requests", 3)
+    for v in (0.001, 0.004, 0.02, 0.3, 0.7):
+        hub.record("engine.request_seconds", v)
+    hub.observe("queries", np.ones((3, 2)))
+    hub.consume(
+        component_stats(
+            "backend.lsh",
+            counters={"queries": 7},
+            timings={"build_seconds": 0.5},
+            gauges={"tables": np.int64(4)},
+        )
+    )
+    return hub
+
+
+def test_export_json_is_json_serializable_and_faithful():
+    hub = _populated_hub()
+    snap = hub.export_json()
+    roundtrip = json.loads(json.dumps(snap))
+    assert roundtrip == snap
+    assert snap["schema"] == 1
+    assert snap["counters"]["engine.requests"] == 3
+    series = snap["series"]["engine.request_seconds"]
+    assert series["count"] == 5
+    assert series["total"] == pytest.approx(1.025)
+    assert series["window"] == [0.004, 0.02, 0.3, 0.7]  # rolled past window=4
+    assert series["rollouts"] == 1
+    assert series["histogram"]["count"] == 5
+    assert series["histogram"]["p50"] is not None
+    assert snap["reservoirs"]["queries"] == {
+        "rows": 3,
+        "seen": 3,
+        "capacity": 256,
+    }
+    assert snap["components"]["backend.lsh"]["counters"]["queries"] == 7
+    assert snap["limits"]["window"] == 4
+    assert snap["evictions"] == {
+        "series": 0,
+        "counters": 0,
+        "reservoirs": 0,
+        "components": 0,
+    }
+
+
+def test_export_text_prometheus_shape():
+    text = _populated_hub().export_text()
+    lines = text.strip().splitlines()
+    assert text.endswith("\n")
+    assert "# TYPE repro_engine_requests_total counter" in lines
+    assert "repro_engine_requests_total 3" in lines
+    # the series exports as a cumulative-bucket histogram
+    buckets = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if line.startswith('repro_engine_request_seconds_bucket{')
+    ]
+    assert buckets == sorted(buckets)  # cumulative: monotone
+    assert buckets[-1] == 5
+    assert 'repro_engine_request_seconds_bucket{le="+Inf"} 5' in lines
+    assert "repro_engine_request_seconds_count 5" in lines
+    assert any(line.startswith("repro_engine_request_seconds_sum ") for line in lines)
+    # reservoir + eviction + consumed-component surfaces
+    assert "repro_reservoir_queries_rows 3" in lines
+    assert "repro_telemetry_evicted_series_total 0" in lines
+    assert "repro_backend_lsh_queries_total 7" in lines
+    assert "repro_backend_lsh_build_seconds 0.5" in lines
+    assert "repro_backend_lsh_tables 4" in lines

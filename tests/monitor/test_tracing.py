@@ -1,0 +1,285 @@
+"""Tests for request tracing across facade, engine, and service."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs
+from repro.engine import ValuationEngine, ValuationRequest, ValuationService
+from repro.monitor import NOOP_TRACER, TelemetryHub, TraceContext, TraceLog, Tracer
+from repro.monitor.dump import format_trace, group_traces, load_spans, main
+from repro.valuation import KNNShapleyValuator
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_blobs(n_train=120, n_test=8, n_features=5, seed=11)
+
+
+def _names(tree: dict) -> set:
+    """Every span name in a summary tree."""
+    out = {tree["name"]}
+    for child in tree["children"]:
+        out |= _names(child)
+    return out
+
+
+def _find(tree: dict, name: str) -> list:
+    found = [tree] if tree["name"] == name else []
+    for child in tree["children"]:
+        found.extend(_find(child, name))
+    return found
+
+
+# ----------------------------------------------------------------------
+# zero-cost default
+def test_untraced_engine_produces_no_trace(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    assert engine.tracer is NOOP_TRACER
+    result = engine.value(data.x_test, data.y_test, method="exact")
+    assert "trace" not in result.extra
+
+
+def test_null_tracer_is_inert():
+    with NOOP_TRACER.span("anything", key=1) as span:
+        assert not span
+        span.set("more", 2)
+        assert span.context() is None
+        assert span.summary() is None
+    assert NOOP_TRACER.current() is None
+    with NOOP_TRACER.activate(TraceContext("t", "s")):
+        pass
+
+
+# ----------------------------------------------------------------------
+# span trees per engine-served method
+def test_exact_request_span_tree_is_complete(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(
+        Tracer(log=TraceLog())
+    )
+    result = engine.value(data.x_test, data.y_test, method="exact")
+    tree = result.extra["trace"]
+    assert tree["name"] == "engine.request"
+    assert tree["attributes"]["method"] == "exact"
+    assert tree["attributes"]["kernel"] == "exact"
+    assert tree["attributes"]["cache"] == "miss"
+    assert tree["seconds"] > 0
+    names = _names(tree)
+    assert {"engine.chunk", "backend.rank", "kernel.exact", "engine.merge"} <= names
+    # every chunk rank-queried the backend and ran the kernel
+    for chunk in _find(tree, "engine.chunk"):
+        child_names = {c["name"] for c in chunk["children"]}
+        assert {"backend.rank", "kernel.exact"} <= child_names
+    # the repeat request serves from the rank cache: no backend span
+    repeat = engine.value(data.x_test, data.y_test, method="exact")
+    tree2 = repeat.extra["trace"]
+    assert tree2["attributes"]["cache"] == "hit"
+    assert "backend.rank" not in _names(tree2)
+    assert tree2["trace_id"] != tree["trace_id"]  # separate root requests
+
+
+def test_truncated_request_traces_backend_queries(data):
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(Tracer())
+    result = engine.value(
+        data.x_test, data.y_test, method="truncated", epsilon=0.2
+    )
+    tree = result.extra["trace"]
+    assert tree["attributes"]["method"] == "truncated"
+    assert "k_star" in tree["attributes"]
+    names = _names(tree)
+    assert {
+        "backend.prepare",
+        "engine.chunk",
+        "backend.query",
+        "kernel.truncated",
+        "engine.merge",
+    } <= names
+
+
+def test_weighted_request_records_execution_path(data):
+    engine = ValuationEngine(
+        data.x_train, data.y_train, 3, task="classification"
+    ).attach_tracer(Tracer())
+    result = engine.value(data.x_test, data.y_test, method="weighted")
+    tree = result.extra["trace"]
+    assert tree["attributes"]["kernel"] == "weighted"
+    assert tree["attributes"]["weighted_path"] in (
+        "k1",
+        "piecewise",
+        "vectorized",
+        "reference",
+    )
+    assert "kernel.weighted" in _names(tree)
+
+
+def test_mutations_are_traced(data):
+    log = TraceLog()
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(
+        Tracer(log=log)
+    )
+    engine.add_points(data.x_test[:2], data.y_test[:2])
+    engine.remove_points([0])
+    kinds = [
+        r["attributes"]["kind"]
+        for r in log.records()
+        if r["name"] == "engine.mutate"
+    ]
+    assert kinds == ["add", "remove"]
+
+
+# ----------------------------------------------------------------------
+# facade spans
+def test_facade_span_parents_the_engine_request(data):
+    log = TraceLog()
+    valuator = KNNShapleyValuator(data, k=3).attach_tracer(Tracer(log=log))
+    result = valuator.exact()
+    tree = result.extra["trace"]
+    facades = [r for r in log.records() if r["name"] == "facade.exact"]
+    assert len(facades) == 1
+    assert facades[0]["trace_id"] == tree["trace_id"]
+    assert tree["parent_id"] == facades[0]["span_id"]
+    assert facades[0]["parent_id"] is None  # the facade is the trace root
+    assert facades[0]["attributes"]["k"] == 3
+
+
+def test_facade_traces_every_engine_served_method(data):
+    log = TraceLog()
+    valuator = KNNShapleyValuator(data, k=2).attach_tracer(Tracer(log=log))
+    valuator.exact()
+    valuator.truncated(epsilon=0.2)
+    valuator.weighted()
+    valuator.lsh(seed=0)
+    roots = {r["name"] for r in log.records() if r["parent_id"] is None}
+    assert {
+        "facade.exact",
+        "facade.truncated",
+        "facade.weighted",
+        "facade.lsh",
+    } <= roots
+
+
+# ----------------------------------------------------------------------
+# trace propagation across the service's worker threads
+def test_service_jobs_join_the_submitters_trace(data):
+    log = TraceLog()
+    tracer = Tracer(log=log)
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(tracer)
+    with ValuationService(engine, n_workers=2) as service:
+        with tracer.span("client.batch") as client:
+            jobs = [
+                service.submit_batch(data.x_test, data.y_test, tag=f"c{i}")
+                for i in range(4)
+            ]
+        for job in jobs:
+            job.result(timeout=60)
+        trace_id = client.trace_id
+    records = log.records(trace_id=trace_id)
+    by_name: dict = {}
+    for r in records:
+        by_name.setdefault(r["name"], []).append(r)
+    # every job executed on a worker thread but joined the client trace
+    assert len(by_name["service.job"]) == 4
+    assert len(by_name["engine.request"]) == 4
+    for job_span in by_name["service.job"]:
+        assert job_span["parent_id"] == client.context().span_id
+        assert job_span["attributes"]["status"] == "done"
+        assert job_span["attributes"]["queue_seconds"] >= 0.0
+    # requests submitted outside any span start traces of their own
+    with ValuationService(engine, n_workers=1) as service:
+        service.submit_batch(data.x_test, data.y_test).result(timeout=60)
+    fresh = [
+        r
+        for r in log.records()
+        if r["name"] == "service.job" and r["trace_id"] != trace_id
+    ]
+    assert len(fresh) == 1
+
+
+def test_explicit_trace_context_on_request(data):
+    log = TraceLog()
+    tracer = Tracer(log=log)
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(tracer)
+    ctx = TraceContext("feedbeeffeedbeef", "77")
+    with ValuationService(engine, n_workers=1) as service:
+        request = ValuationRequest(
+            data.x_test, data.y_test, method="exact", trace=ctx
+        )
+        service.submit(request).result(timeout=60)
+    jobs = log.records(trace_id="feedbeeffeedbeef")
+    names = {r["name"] for r in jobs}
+    assert "service.job" in names and "engine.request" in names
+
+
+# ----------------------------------------------------------------------
+# the trace log and its CLI
+def test_tracelog_ring_bound_and_dropped_counter():
+    log = TraceLog(capacity=4)
+    for i in range(7):
+        log.append({"trace_id": "t", "span_id": str(i), "name": "s", "seconds": 0.0})
+    assert len(log) == 4
+    assert log.dropped == 3
+    assert [r["span_id"] for r in log.records()] == ["3", "4", "5", "6"]
+    with pytest.raises(ValueError):
+        TraceLog(capacity=0)
+
+
+def test_tracelog_jsonl_and_dump_cli(tmp_path, capsys, data):
+    path = str(tmp_path / "trace.jsonl")
+    with TraceLog(path=path) as log:
+        engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(
+            Tracer(log=log)
+        )
+        engine.value(data.x_test, data.y_test, method="exact")
+        engine.value(data.x_test, data.y_test, method="truncated", epsilon=0.2)
+    spans = load_spans(path)
+    assert len(spans) == len(log.records())
+    for line in open(path):
+        json.loads(line)  # every line is standalone JSON
+    traces = group_traces(spans)
+    assert len(traces) == 2
+    trace_id = next(iter(traces))
+    rendered = format_trace(trace_id, traces[trace_id])
+    assert "engine.request" in rendered and "engine.chunk" in rendered
+
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "trace " in out and "engine.request" in out
+    assert main([path, "--summary"]) == 0
+    assert "engine.merge" in capsys.readouterr().out
+    assert main([path, "--trace", trace_id, "--last", "1"]) == 0
+    capsys.readouterr()
+    assert main([path, "--trace", "no-such-trace"]) == 1
+
+
+def test_span_durations_stream_into_a_hub(data):
+    hub = TelemetryHub()
+    engine = ValuationEngine(data.x_train, data.y_train, 3).attach_tracer(
+        Tracer(hub=hub)
+    )
+    engine.value(data.x_test, data.y_test, method="exact")
+    assert hub.n_recorded("span.engine.request.seconds") == 1
+    assert hub.n_recorded("span.engine.merge.seconds") == 1
+    assert hub.last("span.engine.request.seconds") > 0
+
+
+def test_span_failure_is_attributed():
+    log = TraceLog()
+    tracer = Tracer(log=log)
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    (record,) = log.records()
+    assert record["attributes"]["error"] == "RuntimeError"
+    assert record["seconds"] >= 0.0
+
+
+def test_numpy_attributes_serialize(tmp_path):
+    path = str(tmp_path / "np.jsonl")
+    with TraceLog(path=path) as log:
+        tracer = Tracer(log=log)
+        with tracer.span("op", n=np.int64(3), v=np.float64(0.5), arr=np.arange(2)):
+            pass
+    (record,) = load_spans(path)
+    assert record["attributes"]["n"] == 3
+    assert record["attributes"]["v"] == 0.5
