@@ -1,0 +1,29 @@
+"""Sharded tier: scale-out and exact-merge acceptance gates.
+
+Two bars from the sharding PR's acceptance criteria:
+
+* a 4-shard data-mode router must serve the top-K (truncated) request
+  faster than one engine over the full training set, at an N large
+  enough that the single engine's chunk heuristic serializes it;
+* the cross-shard merge must be exact — the router's values bit-match
+  the single engine's to 1e-12 (they are identical in practice).
+"""
+
+from repro.experiments import shard_scaleout
+from repro.experiments.reporting import format_result
+
+
+def test_shard_scaleout_and_exact_merge(once):
+    result = once(lambda: shard_scaleout())
+    print()
+    print(format_result(result))
+    row = result.rows[0]
+
+    assert row["max_err"] <= 1e-12, (
+        f"cross-shard merge drifted from the single engine by "
+        f"{row['max_err']:g}"
+    )
+    assert row["scaleout_margin"] > 1.0, (
+        f"4-shard router ({row['router_s']:.3f}s) no faster than the "
+        f"single engine ({row['single_engine_s']:.3f}s)"
+    )

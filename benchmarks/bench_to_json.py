@@ -71,6 +71,14 @@ WORKLOAD = {
     # tracer (span log + hub streaming, cache off) vs the NOOP default
     "trace_n_train": 4000,
     "trace_requests": 6,
+    # sharded tier workload (PR 7): a 4-shard data-mode router vs one
+    # engine on the top-K (truncated) path, at an N large enough that
+    # the single engine's chunk heuristic serializes the request.  The
+    # merged values must bit-match the single engine (shard_max_err).
+    "shard_n_train": 24000,
+    "shard_n_test": 64,
+    "shard_n_shards": 4,
+    "shard_method": "truncated",
 }
 
 
@@ -80,6 +88,7 @@ def measure() -> dict:
         engine_throughput,
         incremental_churn,
         monitor_maintenance,
+        shard_scaleout,
         tracing_overhead,
         weighted_engine,
         weighted_fast_paths,
@@ -121,6 +130,16 @@ def measure() -> dict:
         n_train=WORKLOAD["trace_n_train"],
         n_requests=WORKLOAD["trace_requests"],
         k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
+    sharded = shard_scaleout(
+        n_train=WORKLOAD["shard_n_train"],
+        n_test=WORKLOAD["shard_n_test"],
+        n_features=WORKLOAD["n_features"],
+        k=WORKLOAD["k"],
+        n_shards=WORKLOAD["shard_n_shards"],
+        method=WORKLOAD["shard_method"],
         repeat=WORKLOAD["repeat"],
         seed=WORKLOAD["seed"],
     ).rows[0]
@@ -172,6 +191,12 @@ def measure() -> dict:
             # check() additionally enforces the absolute >= 0.95 floor
             # (<= 5% overhead), the observability leave-on-able bar
             "trace_overhead_margin": traced["trace_overhead_margin"],
+            # > 1.0 = the 4-shard router serves the top-K request
+            # faster than one engine over the full training set.
+            # Capped like the other fast ratios; collapsing to <= 1
+            # (shard fan-out no longer overlapping, or the merge gone
+            # quadratic) fails the gate
+            "shard_scaleout_margin": min(sharded["scaleout_margin"], 50.0),
         },
         "info": {
             "single_shot_s": throughput["single_shot_s"],
@@ -203,6 +228,10 @@ def measure() -> dict:
             "trace_plain_s": traced["plain_s"],
             "trace_traced_s": traced["traced_s"],
             "trace_spans_per_request": traced["spans_per_request"],
+            "shard_single_engine_s": sharded["single_engine_s"],
+            "shard_router_s": sharded["router_s"],
+            "shard_scaleout_margin_raw": sharded["scaleout_margin"],
+            "shard_max_err": sharded["max_err"],
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -253,6 +282,14 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
         failures.append(
             f"monitor_recall_after: {after:.3f} more than 2% below the "
             f"freshly tuned control ({fresh:.3f})"
+        )
+    # the sharded tier's acceptance bar is exactness: the cross-shard
+    # merge must reproduce the single engine bit-for-bit
+    serr = candidate["info"].get("shard_max_err")
+    if serr is not None and serr > 1e-12:
+        failures.append(
+            f"shard_max_err: {serr:g} exceeds 1e-12 (cross-shard merge "
+            "no longer bit-matches the single engine)"
         )
     # the tracing acceptance bar is absolute (enabled tracing costs at
     # most 5% of untraced serving), tighter than the ratio gate

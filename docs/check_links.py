@@ -1,0 +1,117 @@
+"""Link-check the repo's markdown docs (stdlib only; used by CI).
+
+Validates every markdown link in ``README.md`` and ``docs/*.md``:
+
+* relative file targets must exist (resolved against the linking
+  file's directory);
+* anchor targets (``#section`` or ``file.md#section``) must match a
+  heading in the target file, using GitHub's slugification (lowercase,
+  punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+  duplicates);
+* external schemes (``http(s)://``, ``mailto:``) are skipped — CI must
+  not depend on the network.
+
+Exit status is the number of broken links (0 = pass).
+
+Run:  python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — also matches the link part of images
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text: str) -> list[str]:
+    """Markdown lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading (sans duplicate suffix)."""
+    # inline code/emphasis markers render away before slugification
+    text = re.sub(r"[`*_]", "", heading)
+    # link text contributes, the target does not
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every valid anchor slug in one markdown file."""
+    seen: dict[str, int] = {}
+    anchors = set()
+    for line in strip_fences(path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link messages for one markdown file."""
+    problems = []
+    text = "\n".join(strip_fences(path.read_text(encoding="utf-8")))
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (
+            path
+            if not file_part
+            else (path.parent / file_part).resolve()
+        )
+        rel = path.relative_to(REPO_ROOT)
+        if not dest.exists():
+            problems.append(f"{rel}: broken file link -> {target}")
+            continue
+        if anchor:
+            if dest.suffix.lower() != ".md":
+                problems.append(
+                    f"{rel}: anchor into non-markdown target -> {target}"
+                )
+            elif anchor not in anchors_of(dest):
+                problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for path in files:
+        found = check_file(path)
+        problems.extend(found)
+        status = "FAIL" if found else "ok"
+        print(f"{status:>4}  {path.relative_to(REPO_ROOT)}")
+    for problem in problems:
+        print(f"  - {problem}")
+    if not problems:
+        print(f"{len(files)} file(s), all links resolve")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,12 @@ Quickstart::
     print(result.top(10))          # ten most valuable training points
 """
 
-from .engine import IncrementalValuator, ValuationEngine, ValuationService
+from .engine import (
+    IncrementalValuator,
+    ShardRouter,
+    ValuationEngine,
+    ValuationService,
+)
 from .monitor import (
     DriftSignal,
     MaintenanceScheduler,
@@ -45,6 +50,7 @@ __all__ = [
     "KNNShapleyValuator",
     "ValuationEngine",
     "IncrementalValuator",
+    "ShardRouter",
     "ValuationService",
     "TelemetryHub",
     "DriftSignal",

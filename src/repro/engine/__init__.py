@@ -36,8 +36,9 @@ from .backends import (
     register_backend,
 )
 from .cache import CacheStats, RankCache, array_fingerprint, dataset_fingerprint
-from .engine import ValuationEngine
+from .engine import ValuationEngine, resolve_method_kernel
 from .incremental import IncrementalValuator
+from .sharding import Shard, ShardRouter
 from .service import (
     MutationRequest,
     MutationResult,
@@ -59,7 +60,10 @@ __all__ = [
     "array_fingerprint",
     "dataset_fingerprint",
     "ValuationEngine",
+    "resolve_method_kernel",
     "IncrementalValuator",
+    "Shard",
+    "ShardRouter",
     "ValuationService",
     "ValuationRequest",
     "MutationRequest",

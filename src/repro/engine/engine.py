@@ -73,7 +73,7 @@ from ..types import (
 from .backends import LSHNeighborBackend, NeighborBackend, make_backend
 from .cache import RankCache, array_fingerprint
 
-__all__ = ["ValuationEngine"]
+__all__ = ["ValuationEngine", "resolve_method_kernel"]
 
 #: Built-in method names and the registered kernel each resolves to
 #: (``None`` marks task-dependent resolution).
@@ -87,6 +87,42 @@ _METHOD_KERNELS = {
 
 def _default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def resolve_method_kernel(method: str, task: str) -> ValuationKernel:
+    """Map a request ``method`` name to a registered valuation kernel.
+
+    The single resolution rule shared by :class:`ValuationEngine` and
+    the shard router (:class:`repro.engine.sharding.ShardRouter`), so a
+    request means the same kernel wherever it lands.
+
+    Args:
+        method: ``"exact"``, ``"truncated"``, ``"lsh"``, ``"weighted"``,
+            or any name registered via
+            :func:`repro.core.kernels.register_kernel`.
+        task: ``"classification"`` or ``"regression"`` — disambiguates
+            ``"exact"``, which is task-dependent.
+
+    Returns:
+        The resolved :class:`~repro.core.kernels.ValuationKernel`.
+
+    Raises:
+        ParameterError: If ``method`` names neither a built-in method
+            nor a registered kernel.
+    """
+    if method in _METHOD_KERNELS:
+        name = _METHOD_KERNELS[method]
+        if name is None:
+            name = "exact" if task == "classification" else "regression"
+        return get_kernel(name)
+    if method in available_kernels():
+        # third-party kernels dispatch under their registry name
+        return get_kernel(method)
+    raise ParameterError(
+        f"unknown method {method!r}; expected one of "
+        f"{tuple(_METHOD_KERNELS)} or a registered kernel "
+        f"{available_kernels()}"
+    )
 
 
 class _RWLock:
@@ -365,19 +401,7 @@ class ValuationEngine:
     # ------------------------------------------------------------------
     def _resolve_kernel(self, method: str) -> ValuationKernel:
         """Map a request method to a registered valuation kernel."""
-        if method in _METHOD_KERNELS:
-            name = _METHOD_KERNELS[method]
-            if name is None:
-                name = "exact" if self.task == "classification" else "regression"
-            return get_kernel(name)
-        if method in available_kernels():
-            # third-party kernels dispatch under their registry name
-            return get_kernel(method)
-        raise ParameterError(
-            f"unknown method {method!r}; expected one of "
-            f"{tuple(_METHOD_KERNELS)} or a registered kernel "
-            f"{available_kernels()}"
-        )
+        return resolve_method_kernel(method, self.task)
 
     def value(
         self,
@@ -489,6 +513,94 @@ class ValuationEngine:
         return self.value(
             x_test, y_test, method="weighted", weights=weights, **kwargs
         )
+
+    # ------------------------------------------------------------------
+    def retrieve(
+        self, x_test: np.ndarray, k: Optional[int] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ranked retrieval over this engine's training set, no valuation.
+
+        The building block of the sharded tier
+        (:class:`repro.engine.sharding.ShardRouter`): each shard engine
+        answers retrieval for its slice and the router merges the
+        sorted results exactly before running the kernel once.  Runs
+        under the read side of the engine lock and reuses the rank
+        cache, so interleaved ``retrieve``/``value`` traffic shares
+        work.
+
+        Args:
+            x_test: Query batch, shape ``(n_test, n_features)``.
+            k: ``None`` (default) returns the full distance-sorted
+                ranking — ties broken by training index — via
+                ``backend.rank_with_distances``.  An integer returns
+                the top ``min(k, n_train)`` neighbors per query via
+                ``backend.query`` (rows may be ragged for candidate-set
+                backends such as LSH).
+
+        Returns:
+            ``(order, distances)`` — for ``k=None`` two
+            ``(n_test, n_train)`` arrays; for integer ``k`` the
+            backend's neighbor rows and their distances.
+
+        Raises:
+            ParameterError: If the feature count mismatches the
+                training set, ``k`` is not positive, or ``k=None`` on
+                a backend without full-ranking support.
+        """
+        x_test = as_float_matrix(x_test, "x_test")
+        if k is not None and k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        with self._state_lock.read():
+            if x_test.shape[1] != self.x_train.shape[1]:
+                raise ParameterError(
+                    f"x_test has {x_test.shape[1]} features, expected "
+                    f"{self.x_train.shape[1]}"
+                )
+            start = time.perf_counter()
+            with self.tracer.span(
+                "engine.retrieve",
+                backend=self.backend.name,
+                n_test=int(x_test.shape[0]),
+                k=-1 if k is None else int(k),
+            ) as span:
+                if k is None:
+                    if not self.backend.supports_full_ranking:
+                        raise ParameterError(
+                            f"backend {self.backend.name!r} cannot produce "
+                            "full rankings; retrieve with an explicit k"
+                        )
+                    out = self._retrieve_ranked(x_test, span)
+                else:
+                    k_eff = min(int(k), self.n_train)
+                    self.backend.prepare(x_test, k_eff)
+                    out = self.backend.query(x_test, k_eff)
+            hub = self.telemetry
+            if hub is not None:
+                hub.count("engine.retrievals")
+                hub.record(
+                    "engine.retrieve_seconds", time.perf_counter() - start
+                )
+            return out
+
+    def _retrieve_ranked(self, x_test: np.ndarray, span):
+        """Full-ranking retrieval through the rank cache."""
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(array_fingerprint(x_test))
+            got = self.cache.get_ranking_with_distances(key)
+            if got is not None:
+                span.set("cache", "hit")
+                return got
+            span.set("cache", "miss")
+        else:
+            span.set("cache", "off")
+        order, dist = self.backend.rank_with_distances(x_test)
+        if (
+            key is not None
+            and order.size <= self.cache.max_entry_elements
+        ):
+            self.cache.put_ranking(key, order, distances=dist)
+        return order, dist
 
     # ------------------------------------------------------------------
     # dynamic datasets: mutate the training set being valued

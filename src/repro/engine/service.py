@@ -401,21 +401,64 @@ class ValuationService:
     def submit_batch(
         self, x_test: np.ndarray, y_test: np.ndarray, **kwargs
     ) -> ValuationJob:
-        """Convenience wrapper building the :class:`ValuationRequest`."""
+        """Convenience wrapper building the :class:`ValuationRequest`.
+
+        Args:
+            x_test: Test feature matrix, shape ``(n_test, d)``.
+            y_test: Test labels/targets, shape ``(n_test,)``.
+            **kwargs: Forwarded to :class:`ValuationRequest`
+                (``method``, ``epsilon``, ``store_per_test``, ...).
+
+        Returns:
+            The queued job's :class:`ValuationJob` handle.
+
+        Raises:
+            ParameterError: When the service is shut down.
+        """
         return self.submit(ValuationRequest(x_test, y_test, **kwargs))
 
     def submit_add(
         self, x_new: np.ndarray, y_new: np.ndarray, tag: str = ""
     ) -> ValuationJob:
-        """Enqueue an ``"add"`` :class:`MutationRequest`."""
+        """Enqueue an ``"add"`` :class:`MutationRequest`.
+
+        Args:
+            x_new: Features of the points to add, shape ``(m, d)``.
+            y_new: Their labels/targets, shape ``(m,)``.
+            tag: Free-form marker echoed in the job's stats.
+
+        Returns:
+            The queued job's :class:`ValuationJob` handle; its result
+            is the new training-set size.
+
+        Raises:
+            ParameterError: When the service is shut down.
+        """
         return self.submit(MutationRequest(kind="add", x=x_new, y=y_new, tag=tag))
 
     def submit_remove(self, idx, tag: str = "") -> ValuationJob:
-        """Enqueue a ``"remove"`` :class:`MutationRequest`."""
+        """Enqueue a ``"remove"`` :class:`MutationRequest`.
+
+        Args:
+            idx: Training-point indices to delete (current numbering).
+            tag: Free-form marker echoed in the job's stats.
+
+        Returns:
+            The queued job's :class:`ValuationJob` handle; its result
+            is the new training-set size.
+
+        Raises:
+            ParameterError: When the service is shut down.
+        """
         return self.submit(MutationRequest(kind="remove", idx=idx, tag=tag))
 
     def job(self, job_id: int) -> ValuationJob:
-        """Look up a job handle by id."""
+        """Look up a job handle by id.
+
+        Raises:
+            ParameterError: When ``job_id`` was never issued by this
+                service.
+        """
         with self._lock:
             try:
                 return self._jobs[job_id]

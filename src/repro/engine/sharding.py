@@ -1,0 +1,1027 @@
+"""Sharded multi-engine valuation: scale *out*, not just up.
+
+:class:`ShardRouter` puts a coordinator in front of N
+:class:`~repro.engine.engine.ValuationEngine` instances and serves the
+same surface as one engine, so an unmodified
+:class:`~repro.engine.service.ValuationService` (or any caller of
+``value``/``add_points``/``remove_points``) can front a fleet.
+
+Two sharding layouts, chosen by the additivity structure of the math:
+
+* ``sharding="data"`` — the training set is partitioned across shards.
+  Shapley values themselves are **not** additive across training-set
+  partitions (valuing a slice is a different game), so the router
+  shards *retrieval* instead: each shard ranks (or top-k queries) its
+  slice, the coordinator merges the per-shard sorted results exactly —
+  the merge key is ``(test row, distance, global index)``, matching
+  the single engine's distance-then-index tie-break bit for bit — and
+  runs the valuation kernel once over the merged
+  :class:`~repro.core.kernels.RankPlan`.  The result is identical to a
+  single engine holding the full set (<= 1e-12), while the O(n log n)
+  retrieval work fans out across shards.
+* ``sharding="test"`` — every shard holds the full training set and
+  the *test batch* is partitioned.  By eq 8 of the paper the
+  multi-test value is the mean of single-test values, so per-shard
+  partial sums merge exactly: ``sum_i values_i * n_test_i / n_test``.
+
+Robustness is part of the contract: each fan-out leg has a configurable
+timeout, transient shard errors are retried once, and a failed shard
+either fails the request (``on_shard_error="fail"``) or degrades it
+(``"partial"``) — the surviving shards' exact answer is returned with
+the missing contribution bounded and recorded in
+``ValuationResult.extra["degraded"]``.
+
+Observability threads through the existing layers: one
+:class:`~repro.monitor.telemetry.TelemetryHub` aggregates every shard
+via ``hub.labeled("shard<i>")`` views, and a traced request produces a
+single trace tree — ``router.request`` at the root with one
+``shard.request`` child per fan-out leg (each nesting its shard
+engine's own spans).  Mutations route to the owning shard under the
+router's reader-writer lock, keeping the placement map and the global
+index space (``numpy.delete`` semantics) consistent with a single
+engine's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.kernels import RankPlan, ValuationKernel
+from ..core.truncated import truncation_rank
+from ..exceptions import ParameterError, ShardError
+from ..monitor.tracing import NOOP_TRACER
+from ..stats import component_stats
+from ..types import (
+    ValuationResult,
+    as_float_matrix,
+    as_label_vector,
+    as_new_points,
+)
+from .engine import ValuationEngine, _RWLock, resolve_method_kernel
+
+__all__ = ["Shard", "ShardRouter"]
+
+
+@dataclass
+class Shard:
+    """One member of the fleet: a label and the engine behind it."""
+
+    label: str
+    engine: ValuationEngine
+
+
+class ShardRouter:
+    """Fan a valuation request across shard engines and merge exactly.
+
+    Serves the same duck-typed surface as a
+    :class:`~repro.engine.engine.ValuationEngine` (``value``, ``run``,
+    ``add_points``, ``remove_points``, ``n_train``, ``stats``), so a
+    :class:`~repro.engine.service.ValuationService` can front a router
+    unchanged.
+
+    Args:
+        x_train, y_train: The full training set being valued.
+        k: The K of KNN.
+        n_shards: Fleet size (>= 1).
+        sharding: ``"data"`` (partition the training set; exact merged
+            retrieval) or ``"test"`` (replicate the training set;
+            partition each test batch, eq-8 partial-sum merge).
+        task: ``"classification"`` or ``"regression"``.
+        metric: Distance metric, forwarded to every shard engine.
+        backend: Backend name forwarded to every shard engine
+            (``"brute"``, ``"blocked"``, ``"lsh"``).
+        backend_options: Keyword arguments for each shard's backend
+            factory.
+        hub: Optional :class:`~repro.monitor.telemetry.TelemetryHub`;
+            shard ``i`` publishes through ``hub.labeled("shard<i>")``
+            and the router's own streams go in unprefixed, so one hub
+            describes the whole fleet.
+        tracer: Optional tracer shared by the router and every shard.
+        shard_timeout: Seconds one fan-out leg may take before the
+            shard is declared failed for this request (``None`` waits
+            forever).  Timed-out legs are not retried — a stalled
+            shard would stall the retry too.
+        on_shard_error: ``"fail"`` (default) raises
+            :class:`~repro.exceptions.ShardError` when a shard is
+            still failed after the retry; ``"partial"`` serves the
+            surviving shards' result with the loss bounded and
+            recorded in ``extra["degraded"]``.
+        cache: Forwarded to every shard engine (see
+            :class:`~repro.engine.engine.ValuationEngine`).
+        engine_options: Extra keyword arguments for every shard
+            engine (``n_workers``, ``chunk_size``, ...).
+
+    Raises:
+        ParameterError: On an invalid fleet shape, sharding mode, or
+            error policy, or when ``n_shards`` exceeds the training
+            set size in data-sharded mode.
+    """
+
+    def __init__(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        k: int,
+        n_shards: int = 2,
+        sharding: str = "data",
+        task: str = "classification",
+        metric: str = "euclidean",
+        backend: str = "brute",
+        backend_options: Optional[dict] = None,
+        hub=None,
+        tracer=None,
+        shard_timeout: Optional[float] = None,
+        on_shard_error: str = "fail",
+        cache=True,
+        engine_options: Optional[dict] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ParameterError(f"n_shards must be positive, got {n_shards}")
+        if sharding not in ("data", "test"):
+            raise ParameterError(
+                f"sharding must be 'data' or 'test', got {sharding!r}"
+            )
+        if on_shard_error not in ("fail", "partial"):
+            raise ParameterError(
+                f"on_shard_error must be 'fail' or 'partial', got "
+                f"{on_shard_error!r}"
+            )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ParameterError(
+                f"shard_timeout must be positive, got {shard_timeout}"
+            )
+        x_train = as_float_matrix(x_train, "x_train")
+        y_train = as_label_vector(y_train, x_train.shape[0], "y_train")
+        n = x_train.shape[0]
+        if sharding == "data" and n_shards > n:
+            raise ParameterError(
+                f"cannot data-shard {n} training points across "
+                f"{n_shards} shards"
+            )
+        self.k = int(k)
+        self.task = task
+        self.metric = metric
+        self.sharding = sharding
+        self.n_shards = int(n_shards)
+        self.shard_timeout = shard_timeout
+        self.on_shard_error = on_shard_error
+        self.telemetry = None
+        self.tracer = NOOP_TRACER
+        options = dict(engine_options or {})
+        options.setdefault("cache", cache)
+
+        def build(x, y) -> ValuationEngine:
+            return ValuationEngine(
+                x,
+                y,
+                k,
+                task=task,
+                metric=metric,
+                backend=backend,
+                backend_options=dict(backend_options or {}),
+                **options,
+            )
+
+        self.shards: list[Shard] = []
+        #: per-shard arrays of *global* training positions; strictly
+        #: ascending (initial split is contiguous, appends receive new
+        #: max positions, deletes preserve order), so a shard's local
+        #: index order equals the global order within the shard
+        self._placement: list[np.ndarray] = []
+        if sharding == "data":
+            splits = np.array_split(np.arange(n, dtype=np.intp), n_shards)
+            for i, part in enumerate(splits):
+                self.shards.append(
+                    Shard(f"shard{i}", build(x_train[part], y_train[part]))
+                )
+                self._placement.append(part.copy())
+        else:
+            for i in range(n_shards):
+                self.shards.append(Shard(f"shard{i}", build(x_train, y_train)))
+                self._placement.append(np.arange(n, dtype=np.intp))
+        self._y = y_train.copy()
+        self._n_total = n
+        self._n_features = int(x_train.shape[1])
+        self._lock = _RWLock()
+        self._ops_lock = threading.Lock()
+        self._ops = {
+            "requests": 0,
+            "degraded_requests": 0,
+            "shard_errors": 0,
+            "shard_timeouts": 0,
+            "retries": 0,
+            "mutations": 0,
+        }
+        self._timings = {
+            "request_seconds": 0.0,
+            "merge_seconds": 0.0,
+            "last_request_seconds": 0.0,
+        }
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="shard-router"
+        )
+        self._closed = False
+        if hub is not None:
+            self.attach_telemetry(hub)
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_train(self) -> int:
+        """Global number of training points across the fleet."""
+        return self._n_total
+
+    @property
+    def n_features(self) -> int:
+        """Feature width of the training set."""
+        return self._n_features
+
+    def attach_telemetry(self, hub) -> "ShardRouter":
+        """Aggregate the whole fleet into one hub; returns ``self``.
+
+        Shard ``i`` gets the ``hub.labeled("shard<i>")`` view (its
+        streams arrive as ``shard<i>.engine.*``, ``shard<i>.backend.*``
+        etc.), the router publishes its own ``router.*`` streams
+        unprefixed.
+        """
+        self.telemetry = hub
+        for shard in self.shards:
+            shard.engine.attach_telemetry(hub.labeled(shard.label))
+        return self
+
+    def attach_tracer(self, tracer) -> "ShardRouter":
+        """Trace router and shard engines through ``tracer``; returns ``self``.
+
+        A traced request then yields one tree: ``router.request`` at
+        the root, one ``shard.request`` child per fan-out leg, each
+        nesting the shard engine's own retrieval/valuation spans.  The
+        finished tree lands in ``ValuationResult.extra["trace"]``.
+        """
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        for shard in self.shards:
+            shard.engine.attach_tracer(self.tracer)
+        return self
+
+    # ------------------------------------------------------------------
+    def value(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        method: str = "exact",
+        epsilon: float = 0.1,
+        store_per_test: bool = False,
+        weights: str = "inverse_distance",
+        mode: str = "auto",
+    ) -> ValuationResult:
+        """Shapley values for one test batch, served by the fleet.
+
+        Same contract (and, for exact-search backends, bit-matched
+        values <= 1e-12) as
+        :meth:`repro.engine.engine.ValuationEngine.value` over the
+        same training set.
+
+        Args:
+            x_test, y_test: The query batch.
+            method: ``"exact"``, ``"truncated"``, ``"lsh"``,
+                ``"weighted"``, or any registered kernel name.
+            epsilon: Truncation target for the approximate methods.
+            store_per_test: Keep the full per-test value matrix in
+                ``extra["per_test"]``.
+            weights: Weight-function name for ``method="weighted"``.
+            mode: Execution-path selector for ``method="weighted"``.
+
+        Returns:
+            A :class:`~repro.types.ValuationResult`; when shards were
+            lost under the ``"partial"`` policy,
+            ``extra["degraded"]`` records which, why, and the bound on
+            the missing contribution.
+
+        Raises:
+            ParameterError: On an unknown method, mismatched feature
+                count, or a capability violation (e.g. regression via
+                a classification-only kernel).
+            ShardError: When a shard stays failed under the ``"fail"``
+                policy, or no shard survives under ``"partial"``.
+        """
+        x_test = as_float_matrix(x_test, "x_test")
+        y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
+        kernel = resolve_method_kernel(method, self.task)
+        caps = kernel.capabilities
+        if x_test.shape[1] != self._n_features:
+            raise ParameterError(
+                f"x_test has {x_test.shape[1]} features, expected "
+                f"{self._n_features}"
+            )
+        if self.task != "classification" and not caps.supports_regression:
+            raise ParameterError(
+                "the truncated/LSH approximations are defined for "
+                "classification"
+            )
+        start = time.perf_counter()
+        with self._lock.read():
+            with self.tracer.span(
+                "router.request",
+                method=method,
+                kernel=kernel.name,
+                sharding=self.sharding,
+                n_shards=self.n_shards,
+                n_test=int(x_test.shape[0]),
+                n_train=self.n_train,
+            ) as root:
+                if self.sharding == "test":
+                    result = self._value_test_sharded(
+                        x_test, y_test, method, epsilon, store_per_test,
+                        weights, mode, root,
+                    )
+                elif caps.needs_full_ranking:
+                    result = self._value_data_ranked(
+                        kernel, method, x_test, y_test, store_per_test,
+                        weights, mode, root,
+                    )
+                else:
+                    result = self._value_data_topk(
+                        kernel, method, x_test, y_test, epsilon,
+                        store_per_test, root,
+                    )
+            if root:
+                result.extra["trace"] = root.summary()
+        elapsed = time.perf_counter() - start
+        degraded = "degraded" in result.extra
+        with self._ops_lock:
+            self._ops["requests"] += 1
+            if degraded:
+                self._ops["degraded_requests"] += 1
+            self._timings["request_seconds"] += elapsed
+            self._timings["last_request_seconds"] = elapsed
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("router.request_seconds", elapsed)
+            if degraded:
+                hub.count("router.degraded_requests")
+        return result
+
+    def run(self, *args, **kwargs) -> ValuationResult:
+        """Alias of :meth:`value` (the serving-layer verb)."""
+        return self.value(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # fan-out machinery
+    def _shard_call(self, idx: int, fn, root, **attrs):
+        shard = self.shards[idx]
+        with self.tracer.span(
+            "shard.request", parent=root, shard=shard.label, **attrs
+        ):
+            return fn(idx, shard)
+
+    def _fan_out(self, fn, failed: dict, root, **attrs) -> dict:
+        """Run ``fn(i, shard)`` on every live shard; returns ``{i: result}``.
+
+        Legs that raise are retried once; legs that time out are not
+        (a stalled shard would stall the retry too).  Failures land in
+        ``failed`` as ``{shard index: reason}`` and the shard is
+        skipped by later rounds of the same request.  Under the
+        ``"fail"`` policy any failure raises; under ``"partial"`` the
+        surviving results are returned (raising only when none survive
+        is the caller's job — it knows whether an empty round is
+        fatal).
+        """
+        hub = self.telemetry
+        live = [i for i in range(self.n_shards) if i not in failed]
+        futures = {
+            i: self._pool.submit(self._shard_call, i, fn, root, **attrs)
+            for i in live
+        }
+        newly_failed = 0
+        timeouts = 0
+        retries = 0
+        out: dict = {}
+        for i, future in futures.items():
+            try:
+                out[i] = future.result(timeout=self.shard_timeout)
+                continue
+            except FutureTimeoutError:
+                failed[i] = f"timeout after {self.shard_timeout}s"
+                future.cancel()
+                newly_failed += 1
+                timeouts += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - transient shard
+                # faults are retried once before the shard is failed
+                reason = repr(exc)
+            retries += 1
+            retry = self._pool.submit(
+                self._shard_call, i, fn, root, retry=1, **attrs
+            )
+            try:
+                out[i] = retry.result(timeout=self.shard_timeout)
+            except FutureTimeoutError:
+                failed[i] = f"timeout after {self.shard_timeout}s (retry)"
+                retry.cancel()
+                newly_failed += 1
+                timeouts += 1
+            except Exception as exc:  # noqa: BLE001 - second failure
+                # fails the shard for this request
+                failed[i] = f"{reason}; retry: {exc!r}"
+                newly_failed += 1
+        if newly_failed or retries:
+            with self._ops_lock:
+                self._ops["shard_errors"] += newly_failed
+                self._ops["shard_timeouts"] += timeouts
+                self._ops["retries"] += retries
+            if hub is not None:
+                for _ in range(newly_failed):
+                    hub.count("router.shard_errors")
+                for _ in range(timeouts):
+                    hub.count("router.shard_timeouts")
+                for _ in range(retries):
+                    hub.count("router.retries")
+        if newly_failed and self.on_shard_error == "fail":
+            reasons = {self.shards[i].label: r for i, r in failed.items()}
+            raise ShardError(
+                f"{len(failed)} shard(s) failed: {reasons}", reasons=reasons
+            )
+        return out
+
+    def _chunk_spans(self, n_test: int) -> list[tuple[int, int]]:
+        # the engine's working-set heuristic, against the *global* n:
+        # the merged (q, n) rank matrix lives at the coordinator
+        size = int(max(1, min(256, 2**21 // max(1, self.n_train))))
+        return [(s, min(n_test, s + size)) for s in range(0, n_test, size)]
+
+    def _survivors(self, failed: dict) -> tuple[np.ndarray, bool]:
+        """Global positions still served, and whether that is everything."""
+        if not failed:
+            return np.arange(self.n_train, dtype=np.intp), True
+        alive = [
+            self._placement[i]
+            for i in range(self.n_shards)
+            if i not in failed
+        ]
+        if not alive:
+            return np.empty(0, dtype=np.intp), False
+        positions = np.sort(np.concatenate(alive))
+        return positions, positions.shape[0] == self.n_train
+
+    def _degraded_extra(self, failed: dict, bound, semantics: str) -> dict:
+        reasons = {self.shards[i].label: r for i, r in failed.items()}
+        return {
+            "policy": self.on_shard_error,
+            "shards": sorted(reasons),
+            "reasons": reasons,
+            "bound": bound,
+            "semantics": semantics,
+        }
+
+    # ------------------------------------------------------------------
+    def _value_data_ranked(
+        self,
+        kernel: ValuationKernel,
+        method: str,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        store_per_test: bool,
+        weights: str,
+        mode: str,
+        root,
+    ) -> ValuationResult:
+        """Data-sharded execution of a full-ranking kernel.
+
+        Each chunk fans ``engine.retrieve`` out, the per-shard sorted
+        rankings merge exactly (lexsort on ``(row, distance, global
+        index)`` — the single engine's distance-then-index tie-break),
+        and the kernel runs once over the merged plan.
+        """
+        for shard in self.shards:
+            if not shard.engine.backend.supports_full_ranking:
+                raise ParameterError(
+                    f"backend {shard.engine.backend.name!r} cannot produce "
+                    f"the full rankings the {method!r} method needs; use "
+                    "method='truncated' or 'lsh'"
+                )
+        params: dict = {}
+        weighted_path = None
+        if kernel.name == "weighted":
+            params = {"weights": weights, "task": self.task, "mode": mode}
+            if hasattr(kernel, "select_path"):
+                weighted_path = kernel.select_path(
+                    self.k, weights, task=self.task, mode=mode
+                )
+                root.set("weighted_path", weighted_path)
+        n, n_test = self.n_train, x_test.shape[0]
+        if kernel.name == "weighted" and weighted_path is not None:
+            hub = self.telemetry
+            if hub is not None:
+                hub.count(f"router.weighted_path.{weighted_path}")
+        failed: dict = {}
+        spans = self._chunk_spans(n_test)
+        total = np.zeros(n, dtype=np.float64)
+        per_test_chunks: list[np.ndarray] = []
+        merge_seconds = 0.0
+        for s, e in spans:
+            chunk = x_test[s:e]
+            per_shard = self._fan_out(
+                lambda _i, sh: sh.engine.retrieve(chunk),  # noqa: B023 -
+                # consumed synchronously by _fan_out before `chunk` rebinds
+                failed,
+                root,
+                start=s,
+                stop=e,
+            )
+            positions, complete = self._survivors(failed)
+            if positions.shape[0] == 0:
+                raise ShardError(
+                    "no shard survived the request",
+                    reasons={
+                        self.shards[i].label: r for i, r in failed.items()
+                    },
+                )
+            with self.tracer.span(
+                "router.merge", parent=root, start=s, stop=e
+            ):
+                merge_start = time.perf_counter()
+                order, dist = self._merge_rankings(per_shard)
+                if not complete:
+                    # compact surviving global positions to [0, n_sub)
+                    order = np.searchsorted(positions, order)
+                plan = RankPlan.from_order(
+                    order, self._y[positions], y_test[s:e], distances=dist
+                )
+                merge_seconds += time.perf_counter() - merge_start
+            with self.tracer.span(f"kernel.{kernel.name}", parent=root):
+                per_test = kernel.values_from_plan(plan, self.k, **params)
+            total[positions] += per_test.sum(axis=0)
+            if store_per_test:
+                if complete:
+                    per_test_chunks.append(per_test)
+                else:
+                    full = np.zeros((per_test.shape[0], n), dtype=np.float64)
+                    full[:, positions] = per_test
+                    per_test_chunks.append(full)
+        values = total / n_test
+        self._record_merge(merge_seconds, len(spans))
+        extra = self._result_extra(
+            kernel, method, len(spans), failed, per_test_chunks
+        )
+        if kernel.name == "weighted":
+            extra["weights"] = weights
+            extra["task"] = self.task
+            extra["mode"] = mode
+            extra["weighted_path"] = weighted_path
+        if method == "exact":
+            out_method = (
+                "exact" if self.task == "classification" else "exact-regression"
+            )
+        elif method == "weighted":
+            out_method = "exact-weighted"
+        else:
+            out_method = method
+        return ValuationResult(values=values, method=out_method, extra=extra)
+
+    def _value_data_topk(
+        self,
+        kernel: ValuationKernel,
+        method: str,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epsilon: float,
+        store_per_test: bool,
+        root,
+    ) -> ValuationResult:
+        """Data-sharded execution of a top-``K*`` (prefix) kernel.
+
+        Every member of the global top ``K*`` is inside its own
+        shard's top ``K*``, so merging the per-shard neighbor rows by
+        ``(distance, global index)`` and truncating reproduces the
+        single engine's rows exactly (for exact-search backends).
+        """
+        if method == "lsh":
+            from .backends import LSHNeighborBackend
+
+            if not all(
+                isinstance(s.engine.backend, LSHNeighborBackend)
+                for s in self.shards
+            ):
+                raise ParameterError(
+                    "method='lsh' requires the 'lsh' backend; this router "
+                    f"runs {self.shards[0].engine.backend.name!r}"
+                )
+        n, n_test = self.n_train, x_test.shape[0]
+        k_star = truncation_rank(self.k, epsilon)
+        k_eff = min(k_star, n)
+        root.set("k_star", k_star)
+        failed: dict = {}
+        spans = self._chunk_spans(n_test)
+        total = np.zeros(n, dtype=np.float64)
+        per_test_chunks: list[np.ndarray] = []
+        merge_seconds = 0.0
+        for s, e in spans:
+            chunk = x_test[s:e]
+            per_shard = self._fan_out(
+                lambda _i, sh: sh.engine.retrieve(chunk, k=k_eff),  # noqa: B023
+                failed,
+                root,
+                start=s,
+                stop=e,
+            )
+            positions, complete = self._survivors(failed)
+            if positions.shape[0] == 0:
+                raise ShardError(
+                    "no shard survived the request",
+                    reasons={
+                        self.shards[i].label: r for i, r in failed.items()
+                    },
+                )
+            with self.tracer.span(
+                "router.merge", parent=root, start=s, stop=e
+            ):
+                merge_start = time.perf_counter()
+                rows = self._merge_topk(per_shard, e - s, k_eff)
+                if not complete:
+                    rows = [np.searchsorted(positions, r) for r in rows]
+                plan = RankPlan.from_neighbor_rows(
+                    rows, self._y[positions], y_test[s:e]
+                )
+                merge_seconds += time.perf_counter() - merge_start
+            with self.tracer.span(f"kernel.{kernel.name}", parent=root):
+                per_test = kernel.values_from_plan(
+                    plan, self.k, k_star=k_star, exact_anchor=True
+                )
+            total[positions] += per_test.sum(axis=0)
+            if store_per_test:
+                if complete:
+                    per_test_chunks.append(per_test)
+                else:
+                    full = np.zeros((per_test.shape[0], n), dtype=np.float64)
+                    full[:, positions] = per_test
+                    per_test_chunks.append(full)
+        values = total / n_test
+        self._record_merge(merge_seconds, len(spans))
+        extra = self._result_extra(
+            kernel, method, len(spans), failed, per_test_chunks
+        )
+        extra["epsilon"] = epsilon
+        extra["k_star"] = k_star
+        return ValuationResult(values=values, method=method, extra=extra)
+
+    def _value_test_sharded(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        method: str,
+        epsilon: float,
+        store_per_test: bool,
+        weights: str,
+        mode: str,
+        root,
+    ) -> ValuationResult:
+        """Test-stream sharding: eq-8 partial-sum merge of full engines.
+
+        Shard ``i`` values its slice of the test batch against the
+        full training set; partial sums ``values_i * n_test_i`` merge
+        exactly into the batch mean.  A lost shard under the
+        ``"partial"`` policy yields the mean over the *served* tests;
+        for classification (per-test values in ``[-1, 1]``) the
+        recorded bound ``2 * missing_fraction`` caps the deviation
+        from the full-batch mean.
+        """
+        n, n_test = self.n_train, x_test.shape[0]
+        slices = np.array_split(np.arange(n_test), self.n_shards)
+        failed: dict = {}
+
+        def call(i: int, shard: Shard):
+            rows = slices[i]
+            if rows.shape[0] == 0:
+                return None
+            return shard.engine.value(
+                x_test[rows],
+                y_test[rows],
+                method=method,
+                epsilon=epsilon,
+                weights=weights,
+                mode=mode,
+                store_per_test=store_per_test,
+            )
+
+        results = self._fan_out(call, failed, root, n_test=n_test)
+        alive = {i: r for i, r in results.items() if r is not None}
+        if not alive and n_test:
+            raise ShardError(
+                "no shard survived the request",
+                reasons={self.shards[i].label: r for i, r in failed.items()},
+            )
+        merge_start = time.perf_counter()
+        total = np.zeros(n, dtype=np.float64)
+        served = 0
+        for i in sorted(alive):
+            total += alive[i].values * slices[i].shape[0]
+            served += slices[i].shape[0]
+        values = total / max(served, 1)
+        merge_seconds = time.perf_counter() - merge_start
+        self._record_merge(merge_seconds, len(alive))
+        first = alive[min(alive)] if alive else None
+        extra = self._result_extra(
+            None, method, len(alive), {}, []
+        )
+        if first is not None:
+            # method-specific context (identical on every replica)
+            for key in (
+                "epsilon", "k_star", "kernel", "weights", "mode",
+                "weighted_path",
+            ):
+                if key in first.extra:
+                    extra[key] = first.extra[key]
+        if store_per_test and alive:
+            per = np.zeros((n_test, n), dtype=np.float64)
+            for i in sorted(alive):
+                per[slices[i]] = alive[i].extra["per_test"]
+            extra["per_test"] = per
+        if failed:
+            missing = n_test - served
+            fraction = missing / n_test if n_test else 0.0
+            bound = (
+                2.0 * fraction if self.task == "classification" else None
+            )
+            extra["degraded"] = self._degraded_extra(
+                failed, bound, "mean-over-served-tests"
+            )
+            extra["degraded"]["missing_tests"] = int(missing)
+            extra["degraded"]["missing_fraction"] = fraction
+        return ValuationResult(
+            values=values,
+            method=first.method if first is not None else method,
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------------
+    # exact cross-shard merges
+    def _merge_rankings(self, per_shard: dict) -> tuple[np.ndarray, np.ndarray]:
+        """Merge per-shard full rankings into the global ranking.
+
+        ``per_shard[i]`` is ``(order_local, dist)`` from shard ``i``;
+        local orders map to global positions via the placement map,
+        then one flattened ``lexsort`` on ``(row, distance, global
+        index)`` reproduces the single engine's stable
+        distance-then-index order — robust to non-contiguous
+        placements after mutations, where a plain stable concatenation
+        sort would mis-break cross-shard ties.
+        """
+        gidx = np.concatenate(
+            [self._placement[i][res[0]] for i, res in sorted(per_shard.items())],
+            axis=1,
+        )
+        dist = np.concatenate(
+            [res[1] for _, res in sorted(per_shard.items())], axis=1
+        )
+        q, m = dist.shape
+        rows = np.repeat(np.arange(q), m)
+        flat = np.lexsort((gidx.ravel(), dist.ravel(), rows))
+        return (
+            gidx.ravel()[flat].reshape(q, m),
+            dist.ravel()[flat].reshape(q, m),
+        )
+
+    def _merge_topk(
+        self, per_shard: dict, q: int, k_eff: int
+    ) -> list[np.ndarray]:
+        """Merge per-shard top-k rows into global top-``k_eff`` rows.
+
+        Rectangular per-shard results take the vectorized lexsort path;
+        ragged rows (candidate-set backends) fall back to a per-row
+        merge.  Rows shorter than ``k_eff`` stay short — exactly like
+        a single engine whose backend found fewer neighbors.
+        """
+        items = sorted(per_shard.items())
+        rect = all(
+            isinstance(res[0], np.ndarray) and res[0].ndim == 2
+            for _, res in items
+        )
+        if rect:
+            gidx = np.concatenate(
+                [self._placement[i][res[0]] for i, res in items], axis=1
+            )
+            dist = np.concatenate([res[1] for _, res in items], axis=1)
+            m = dist.shape[1]
+            rows = np.repeat(np.arange(q), m)
+            flat = np.lexsort((gidx.ravel(), dist.ravel(), rows))
+            merged = gidx.ravel()[flat].reshape(q, m)
+            take = min(k_eff, m)
+            return list(merged[:, :take])
+        out: list[np.ndarray] = []
+        for row in range(q):
+            gs = [
+                self._placement[i][np.asarray(res[0][row], dtype=np.intp)]
+                for i, res in items
+            ]
+            ds = [np.asarray(res[1][row], dtype=np.float64) for _, res in items]
+            g = np.concatenate(gs)
+            d = np.concatenate(ds)
+            order = np.lexsort((g, d))[:k_eff]
+            out.append(g[order])
+        return out
+
+    # ------------------------------------------------------------------
+    def _record_merge(self, merge_seconds: float, n_chunks: int) -> None:
+        with self._ops_lock:
+            self._timings["merge_seconds"] += merge_seconds
+        hub = self.telemetry
+        if hub is not None:
+            hub.record("router.merge_seconds", merge_seconds)
+            hub.record("router.chunks", n_chunks)
+
+    def _result_extra(
+        self, kernel, method: str, n_chunks: int, failed: dict,
+        per_test_chunks: list,
+    ) -> dict:
+        extra = {
+            "k": self.k,
+            "metric": self.metric,
+            "backend": self.shards[0].engine.backend.name,
+            "kernel": kernel.name if kernel is not None else method,
+            "sharding": self.sharding,
+            "n_shards": self.n_shards,
+            "n_chunks": n_chunks,
+            "shards": [s.label for s in self.shards],
+        }
+        if per_test_chunks:
+            extra["per_test"] = np.concatenate(per_test_chunks, axis=0)
+        if failed:
+            positions, _ = self._survivors(failed)
+            missing = self.n_train - positions.shape[0]
+            extra["degraded"] = self._degraded_extra(
+                failed, None, "exact-subgame-over-surviving-shards"
+            )
+            extra["degraded"]["missing_points"] = int(missing)
+            extra["degraded"]["missing_fraction"] = (
+                missing / self.n_train if self.n_train else 0.0
+            )
+        return extra
+
+    # ------------------------------------------------------------------
+    # dynamic datasets: global-index mutations routed to owning shards
+    def add_points(
+        self, x_new: np.ndarray, y_new: np.ndarray, shard: Optional[int] = None
+    ) -> np.ndarray:
+        """Append training points; returns the global indices they received.
+
+        Data-sharded routers place the batch on one shard (``shard``,
+        or the currently smallest); test-sharded routers broadcast it
+        to every replica.  Runs under the router's writer lock — and
+        each engine's own writer lock — so no in-flight valuation
+        observes a half-applied placement.
+
+        Args:
+            x_new, y_new: Points and labels joining the training set.
+            shard: Optional explicit owning shard index (data mode).
+
+        Returns:
+            The global indices assigned, ``arange(n_before, n_after)``
+            — identical to a single engine's.
+
+        Raises:
+            ParameterError: On shape mismatch or a shard index out of
+                range.
+        """
+        with self._lock.write():
+            x_new, y_new = as_new_points(x_new, y_new, self._n_features)
+            m = x_new.shape[0]
+            first = self._n_total
+            with self.tracer.span(
+                "router.mutate", kind="add", n_points=m
+            ):
+                if self.sharding == "test":
+                    for s in self.shards:
+                        s.engine.add_points(x_new, y_new)
+                    for i in range(self.n_shards):
+                        self._placement[i] = np.arange(
+                            first + m, dtype=np.intp
+                        )
+                else:
+                    if shard is None:
+                        sizes = [p.shape[0] for p in self._placement]
+                        shard = int(np.argmin(sizes))
+                    elif not 0 <= shard < self.n_shards:
+                        raise ParameterError(
+                            f"shard index {shard} out of range "
+                            f"[0, {self.n_shards})"
+                        )
+                    self.shards[shard].engine.add_points(x_new, y_new)
+                    self._placement[shard] = np.concatenate(
+                        (
+                            self._placement[shard],
+                            np.arange(first, first + m, dtype=np.intp),
+                        )
+                    )
+                self._y = np.concatenate((self._y, y_new))
+                self._n_total += m
+            self._count_mutation()
+            return np.arange(first, first + m, dtype=np.intp)
+
+    def remove_points(self, idx) -> None:
+        """Delete training points by global index (``numpy.delete`` semantics).
+
+        Each index is routed to its owning shard; the placement map is
+        renumbered exactly as ``numpy.delete`` renumbers a single
+        engine's index space, so subsequent requests and mutations see
+        identical global indices either way.
+
+        Args:
+            idx: Global indices to delete (scalar or array-like).
+
+        Raises:
+            ParameterError: On out-of-range or duplicate indices, or
+                when a data shard would be emptied (each shard engine
+                must keep at least one point).
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.intp))
+        if idx.size == 0:
+            return
+        with self._lock.write():
+            n = self._n_total
+            if np.any((idx < 0) | (idx >= n)):
+                raise ParameterError(
+                    f"indices must be in [0, {n}), got {idx}"
+                )
+            if np.unique(idx).shape[0] != idx.shape[0]:
+                raise ParameterError(f"duplicate indices in {idx}")
+            removed = np.sort(idx)
+            with self.tracer.span(
+                "router.mutate", kind="remove", n_points=int(idx.size)
+            ):
+                if self.sharding == "test":
+                    for s in self.shards:
+                        s.engine.remove_points(idx)
+                    for i in range(self.n_shards):
+                        self._placement[i] = np.arange(
+                            n - idx.size, dtype=np.intp
+                        )
+                else:
+                    for i, shard_obj in enumerate(self.shards):
+                        local = np.flatnonzero(
+                            np.isin(self._placement[i], removed)
+                        )
+                        if local.size == 0:
+                            continue
+                        shard_obj.engine.remove_points(local)
+                        self._placement[i] = np.delete(
+                            self._placement[i], local
+                        )
+                    # renumber survivors: global position p drops by the
+                    # number of removed positions below it (numpy.delete)
+                    for i in range(self.n_shards):
+                        self._placement[i] = self._placement[
+                            i
+                        ] - np.searchsorted(removed, self._placement[i])
+                self._y = np.delete(self._y, removed)
+                self._n_total -= idx.size
+            self._count_mutation()
+
+    def _count_mutation(self) -> None:
+        with self._ops_lock:
+            self._ops["mutations"] += 1
+        hub = self.telemetry
+        if hub is not None:
+            hub.count("router.mutations")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the router and its fleet.
+
+        Returns:
+            A :func:`repro.stats.component_stats` dict; each shard
+            engine's own snapshot rides along under ``"shards"``.
+        """
+        with self._ops_lock:
+            counters = dict(self._ops)
+            timings = dict(self._timings)
+        return component_stats(
+            "shard_router",
+            counters=counters,
+            timings=timings,
+            gauges={
+                "n_shards": self.n_shards,
+                "n_train": self.n_train,
+                "k": self.k,
+            },
+            sharding=self.sharding,
+            shards={s.label: s.engine.stats() for s in self.shards},
+        )
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

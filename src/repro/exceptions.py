@@ -16,6 +16,7 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "UtilityError",
+    "ShardError",
 ]
 
 
@@ -54,3 +55,18 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class UtilityError(ReproError, ValueError):
     """Raised when a utility function is evaluated on an invalid coalition."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """Raised when the sharded tier cannot serve a request.
+
+    Emitted by :class:`repro.engine.sharding.ShardRouter` when a shard
+    times out or fails (after its retry) under the ``"fail"`` policy,
+    or when every shard is unavailable under the ``"partial"`` policy.
+    Carries the per-shard reasons in :attr:`reasons`.
+    """
+
+    def __init__(self, message: str, reasons: dict | None = None) -> None:
+        super().__init__(message)
+        #: mapping of shard label -> failure reason
+        self.reasons = dict(reasons or {})

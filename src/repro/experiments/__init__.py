@@ -12,6 +12,7 @@ from .fig_lsh import (
     figure10_g_vs_width,
 )
 from .fig_monitor import monitor_maintenance, tracing_overhead
+from .fig_sharding import shard_scaleout
 from .fig_mc import (
     figure11_permutation_sizes,
     figure12_weighted_runtime,
@@ -61,4 +62,5 @@ __all__ = [
     "incremental_churn",
     "monitor_maintenance",
     "tracing_overhead",
+    "shard_scaleout",
 ]

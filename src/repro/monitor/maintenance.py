@@ -45,11 +45,12 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 from ..engine.backends import LSHNeighborBackend, NeighborBackend
 from ..exceptions import ParameterError
 from ..stats import component_stats
-from .drift import DriftDetector, DriftSignal, default_detectors
+from .drift import SEVERITIES, DriftDetector, DriftSignal, default_detectors
 from .telemetry import TelemetryHub
 
 if TYPE_CHECKING:  # imported lazily: engine.engine imports this package
     from ..engine.engine import ValuationEngine
+    from ..engine.sharding import ShardRouter
 
 __all__ = ["MaintenanceEvent", "MaintenanceScheduler", "attach_monitoring"]
 
@@ -69,6 +70,22 @@ class MaintenanceEvent:
     ok: bool
     error: Optional[str] = None
     details: dict = field(default_factory=dict)
+
+
+@dataclass
+class _MaintUnit:
+    """One maintained engine/backend pair (a shard, or the whole deployment).
+
+    ``label`` is ``None`` for the classic single-engine scheduler and
+    the shard label under a router; ``view`` is the (possibly labeled)
+    hub the unit's streams live under.
+    """
+
+    label: Optional[str]
+    engine: Optional["ValuationEngine"]
+    backend: NeighborBackend
+    detectors: list
+    view: object  # TelemetryHub or LabeledHub
 
 
 class MaintenanceScheduler:
@@ -131,10 +148,21 @@ class MaintenanceScheduler:
         history: int = 256,
         min_retune_interval: float = 0.0,
         contrast_hysteresis: float = 1.0,
+        router: Optional["ShardRouter"] = None,
     ) -> None:
-        if engine is None and backend is None:
+        if router is not None and (engine is not None or backend is not None):
             raise ParameterError(
-                "a MaintenanceScheduler needs an engine or a backend to maintain"
+                "pass either a router or an engine/backend, not both"
+            )
+        if router is not None and detectors is not None:
+            raise ParameterError(
+                "an explicit detector battery cannot be split across "
+                "shards; omit `detectors` when maintaining a router"
+            )
+        if router is None and engine is None and backend is None:
+            raise ParameterError(
+                "a MaintenanceScheduler needs an engine, backend, or router "
+                "to maintain"
             )
         if interval <= 0:
             raise ParameterError(f"interval must be positive, got {interval}")
@@ -147,38 +175,80 @@ class MaintenanceScheduler:
             raise ParameterError(
                 f"contrast_hysteresis must be >= 1, got {contrast_hysteresis}"
             )
-        self.engine = engine
-        self.backend = backend if backend is not None else engine.backend
+        self.router = router
+        self.min_retune_interval = float(min_retune_interval)
+        self.contrast_hysteresis = float(contrast_hysteresis)
         # one hub end to end — and it must be the hub the components
         # already publish into, or the stream-based detectors would
         # watch an empty private hub and monitoring would be silently
         # inert.  Precedence: an explicit `hub`, then whatever is
         # already attached, then a fresh one.
-        if hub is None:
-            hub = engine.telemetry if engine is not None else None
-        if hub is None:
-            hub = self.backend.telemetry
-        self.hub = hub if hub is not None else TelemetryHub()
-        if engine is not None:
-            if engine.telemetry is not self.hub:
-                engine.attach_telemetry(self.hub)
-        elif self.backend.telemetry is not self.hub:
-            self.backend.telemetry = self.hub
-        self.min_retune_interval = float(min_retune_interval)
-        self.contrast_hysteresis = float(contrast_hysteresis)
-        if detectors is None:
-            k = engine.k if engine is not None else None
-            detectors = default_detectors(
-                self.backend,
-                self.hub,
-                k=k,
-                contrast_hysteresis=self.contrast_hysteresis,
-            )
-        self.detectors: list[DriftDetector] = list(detectors)
+        if router is not None:
+            self.engine = None
+            self.backend = None
+            if hub is None:
+                hub = router.telemetry
+            self.hub = hub if hub is not None else TelemetryHub()
+            if router.telemetry is not self.hub:
+                router.attach_telemetry(self.hub)
+            self._units: list[_MaintUnit] = []
+            for shard in router.shards:
+                view = self.hub.labeled(shard.label)
+                self._units.append(
+                    _MaintUnit(
+                        label=shard.label,
+                        engine=shard.engine,
+                        backend=shard.engine.backend,
+                        detectors=list(
+                            default_detectors(
+                                shard.engine.backend,
+                                view,
+                                k=shard.engine.k,
+                                contrast_hysteresis=self.contrast_hysteresis,
+                            )
+                        ),
+                        view=view,
+                    )
+                )
+            self.detectors = [d for u in self._units for d in u.detectors]
+        else:
+            self.engine = engine
+            self.backend = backend if backend is not None else engine.backend
+            if hub is None:
+                hub = engine.telemetry if engine is not None else None
+            if hub is None:
+                hub = self.backend.telemetry
+            self.hub = hub if hub is not None else TelemetryHub()
+            if engine is not None:
+                if engine.telemetry is not self.hub:
+                    engine.attach_telemetry(self.hub)
+            elif self.backend.telemetry is not self.hub:
+                self.backend.telemetry = self.hub
+            if detectors is None:
+                k = engine.k if engine is not None else None
+                detectors = default_detectors(
+                    self.backend,
+                    self.hub,
+                    k=k,
+                    contrast_hysteresis=self.contrast_hysteresis,
+                )
+            self.detectors = list(detectors)
+            self._units = [
+                _MaintUnit(
+                    label=None,
+                    engine=self.engine,
+                    backend=self.backend,
+                    detectors=self.detectors,
+                    view=self.hub,
+                )
+            ]
         self.interval = float(interval)
         self.log: deque[MaintenanceEvent] = deque(maxlen=history)
         self.last_signals: list[DriftSignal] = []
         self._pending: set[str] = set()
+        #: deferred actions of labeled (shard) units, keyed by label
+        self._shard_pending: dict[str, set[str]] = {}
+        self._unit_signals: dict[Optional[str], list[DriftSignal]] = {}
         self._pending_lock = threading.Lock()
         self._wake = threading.Event()
         self._stopped = threading.Event()
@@ -191,35 +261,65 @@ class MaintenanceScheduler:
         self._install_hook()
 
     def _install_hook(self) -> None:
-        if isinstance(self.backend, LSHNeighborBackend):
-            self.backend.on_drift = self._defer_refit
+        for unit in self._units:
+            if isinstance(unit.backend, LSHNeighborBackend):
+                unit.backend.on_drift = self._defer_refit
 
     def _uninstall_hook(self) -> None:
-        if getattr(self.backend, "on_drift", None) == self._defer_refit:
-            self.backend.on_drift = None
+        for unit in self._units:
+            if getattr(unit.backend, "on_drift", None) == self._defer_refit:
+                unit.backend.on_drift = None
 
     # ------------------------------------------------------------------
+    def _unit_for_backend(self, backend: NeighborBackend) -> _MaintUnit:
+        for unit in self._units:
+            if unit.backend is backend:
+                return unit
+        return self._units[0]
+
     def _defer_refit(self, backend: NeighborBackend) -> bool:
-        """Backend drift hook: schedule a silent re-tune, wake the loop."""
+        """Backend drift hook: schedule a silent re-tune, wake the loop.
+
+        Under a router the deferral is tagged with the owning shard's
+        label so the planner re-tunes that shard, not shard 0.
+        """
+        unit = self._unit_for_backend(backend)
         with self._pending_lock:
-            self._pending.add("refit")
+            if unit.label is None:
+                self._pending.add("refit")
+            else:
+                self._shard_pending.setdefault(unit.label, set()).add("refit")
         self.hub.count("maintenance.deferred_refits")
         self._wake.set()
         return True
 
-    def _exclusive(self, fn: Callable):
-        if self.engine is not None:
-            return self.engine.run_exclusive(fn)
+    def _exclusive(self, fn: Callable, unit: Optional[_MaintUnit] = None):
+        engine = unit.engine if unit is not None else self.engine
+        if engine is not None:
+            return engine.run_exclusive(fn)
         return fn()
 
     # ------------------------------------------------------------------
     def check(self) -> list[DriftSignal]:
-        """Run every detector once; returns (and records) the signals."""
+        """Run every detector once; returns (and records) the signals.
+
+        Under a router the detectors run per shard; each firing counts
+        both into the shard's labeled view (``shard<i>.drift.{kind}``)
+        and the fleet-wide ``drift.{kind}`` counter.  The flat
+        :attr:`last_signals` list spans every unit.
+        """
         signals: list[DriftSignal] = []
-        for detector in self.detectors:
-            signals.extend(detector.check())
-        for signal in signals:
-            self.hub.count(f"drift.{signal.kind}")
+        self._unit_signals = {}
+        for unit in self._units:
+            unit_signals: list[DriftSignal] = []
+            for detector in unit.detectors:
+                unit_signals.extend(detector.check())
+            for signal in unit_signals:
+                unit.view.count(f"drift.{signal.kind}")
+                if unit.label is not None:
+                    self.hub.count(f"drift.{signal.kind}")
+            self._unit_signals[unit.label] = unit_signals
+            signals.extend(unit_signals)
         self.last_signals = signals
         return signals
 
@@ -237,12 +337,75 @@ class MaintenanceScheduler:
                 return "retune" if action in ("refit", "retune") else action
         return None
 
-    def _debounce_retune(self) -> bool:
+    def _plan_fleet(
+        self,
+    ) -> tuple[Optional[_MaintUnit], Optional[str], list[DriftSignal]]:
+        """Pick the worst-drifted unit and its action (one per cycle).
+
+        Worst-drift-first: units are ranked by the highest severity
+        among their actionable signals (``critical`` > ``warn`` >
+        ``info``; a pending deferred refit counts as ``warn``), ties
+        broken by the stronger action (``retune`` > ``compact``), then
+        by unit order.  Exactly one unit acts per cycle — maintenance
+        is serialized so at most one shard is under its exclusive lock
+        at a time and the fleet keeps serving.
+        """
+        severity_rank = {name: i for i, name in enumerate(SEVERITIES)}
+        best: tuple[int, int, int] | None = None
+        chosen: tuple[_MaintUnit, str, list[DriftSignal]] | None = None
+        with self._pending_lock:
+            shard_pending = {
+                label: set(actions)
+                for label, actions in self._shard_pending.items()
+            }
+            legacy_pending = set(self._pending)
+            self._shard_pending.clear()
+            self._pending.clear()
+        for order, unit in enumerate(self._units):
+            signals = self._unit_signals.get(unit.label, [])
+            actionable = [s for s in signals if s.action != "none"]
+            wanted = {s.action for s in actionable}
+            if unit.label is None:
+                wanted |= legacy_pending
+            else:
+                wanted |= shard_pending.get(unit.label, set())
+            action = None
+            for candidate in ACTION_ORDER:
+                if candidate in wanted:
+                    action = (
+                        "retune"
+                        if candidate in ("refit", "retune")
+                        else candidate
+                    )
+                    break
+            if action is None:
+                continue
+            severity = max(
+                [severity_rank.get(s.severity, 0) for s in actionable],
+                # a deferred refit arrives without a signal: rank it
+                # between a fired info and a fired warn signal
+                default=severity_rank["warn"],
+            )
+            score = (
+                severity,
+                len(ACTION_ORDER) - ACTION_ORDER.index(
+                    "retune" if action == "retune" else action
+                ),
+                -order,
+            )
+            if best is None or score > best:
+                best = score
+                chosen = (unit, action, actionable)
+        if chosen is None:
+            return None, None, []
+        return chosen
+
+    def _debounce_retune(self, unit: Optional[_MaintUnit] = None) -> bool:
         """Whether a planned re-tune must wait for the minimum spacing.
 
-        When debounced, the intent is re-queued as a pending refit so
-        a later cycle (past the spacing) still acts on it — deferral,
-        not loss.
+        When debounced, the intent is re-queued as a pending refit (for
+        the requesting unit) so a later cycle — past the fleet-wide
+        spacing — still acts on it: deferral, not loss.
         """
         if self.min_retune_interval <= 0 or self._last_retune_monotonic is None:
             return False
@@ -250,7 +413,10 @@ class MaintenanceScheduler:
         if elapsed >= self.min_retune_interval:
             return False
         with self._pending_lock:
-            self._pending.add("refit")
+            if unit is None or unit.label is None:
+                self._pending.add("refit")
+            else:
+                self._shard_pending.setdefault(unit.label, set()).add("refit")
         self._debounced += 1
         self.hub.count("maintenance.debounced_retunes")
         return True
@@ -268,19 +434,19 @@ class MaintenanceScheduler:
         """
         self._cycles += 1
         self._publish_snapshots()
-        signals = self.check()
-        action = self.plan(signals)
-        if action is None:
+        self.check()
+        unit, action, unit_signals = self._plan_fleet()
+        if unit is None or action is None:
             return []
-        if action == "retune" and self._debounce_retune():
+        if action == "retune" and self._debounce_retune(unit):
             # compaction is result-preserving and exempt from the
             # debounce — a cycle whose re-tune is deferred must not
             # also swallow a requested compact (the retune would have
             # subsumed it; without it, tombstones keep accumulating)
-            if not any(s.action == "compact" for s in signals):
+            if not any(s.action == "compact" for s in unit_signals):
                 return []
             action = "compact"
-        event = self._execute(action, tuple(signals))
+        event = self._execute(action, tuple(unit_signals), unit)
         if event.ok and action == "retune":
             self._last_retune_monotonic = time.monotonic()
         self.log.append(event)
@@ -288,7 +454,12 @@ class MaintenanceScheduler:
 
     def _publish_snapshots(self) -> None:
         """Consume the stack's unified-schema snapshots into the hub."""
-        sources = [self.engine] if self.engine is not None else [self.backend]
+        if self.router is not None:
+            sources = [self.router]
+        elif self.engine is not None:
+            sources = [self.engine]
+        else:
+            sources = [self.backend]
         sources.append(self)
         for source in sources:
             try:
@@ -298,35 +469,46 @@ class MaintenanceScheduler:
                 self.hub.count("maintenance.snapshot_errors")
 
     def _execute(
-        self, action: str, signals: tuple[DriftSignal, ...]
+        self,
+        action: str,
+        signals: tuple[DriftSignal, ...],
+        unit: Optional[_MaintUnit] = None,
     ) -> MaintenanceEvent:
+        if unit is None:
+            unit = self._units[0]
+        backend = unit.backend
         start = time.perf_counter()
         details: dict = {}
+        if unit.label is not None:
+            details["shard"] = unit.label
         try:
             if action == "retune":
-                if isinstance(self.backend, LSHNeighborBackend):
-                    sample = self.hub.reservoir("queries")
+                if isinstance(backend, LSHNeighborBackend):
+                    # the query reservoir the *unit's* streams feed —
+                    # under a router that is the shard's labeled view
+                    sample = unit.view.reservoir("queries")
                     queries = sample if sample.shape[0] else None
                     params = self._exclusive(
-                        lambda: self.backend.retune(queries=queries)
+                        lambda: backend.retune(queries=queries), unit
                     )
                     if params is not None:
-                        details = {
-                            "width": params.width,
-                            "n_bits": params.n_bits,
-                            "n_tables": params.n_tables,
-                        }
+                        details.update(
+                            width=params.width,
+                            n_bits=params.n_bits,
+                            n_tables=params.n_tables,
+                        )
                 else:
                     # exact backends have nothing tuned; refitting is a
                     # no-op beyond re-validating the data pointer
-                    self._exclusive(lambda: None)
+                    self._exclusive(lambda: None, unit)
             elif action == "compact":
                 scrubbed = self._exclusive(
-                    lambda: self.backend.compact()
-                    if isinstance(self.backend, LSHNeighborBackend)
-                    else 0
+                    lambda: backend.compact()
+                    if isinstance(backend, LSHNeighborBackend)
+                    else 0,
+                    unit,
                 )
-                details = {"scrubbed": int(scrubbed)}
+                details["scrubbed"] = int(scrubbed)
             else:
                 raise ParameterError(f"unknown maintenance action {action!r}")
             seconds = time.perf_counter() - start
@@ -440,6 +622,7 @@ class MaintenanceScheduler:
             gauges={
                 "running": int(self.running),
                 "n_detectors": len(self.detectors),
+                "n_units": len(self._units),
                 "interval": self.interval,
                 "min_retune_interval": self.min_retune_interval,
                 "contrast_hysteresis": self.contrast_hysteresis,

@@ -159,7 +159,13 @@ class KNNShapleyValuator:
 
     # ------------------------------------------------------------------
     def exact(self) -> ValuationResult:
-        """Exact values (Theorem 1 or 6), O(N log N) per test point."""
+        """Exact values (Theorem 1 or 6), O(N log N) per test point.
+
+        Returns:
+            A :class:`~repro.types.ValuationResult` with one value per
+            training point and the per-test matrix in
+            ``extra["per_test"]``.
+        """
         engine = self.engine()
         with self._facade_span("exact", engine):
             return engine.value(
@@ -170,7 +176,20 @@ class KNNShapleyValuator:
             )
 
     def truncated(self, epsilon: float = 0.1) -> ValuationResult:
-        """(epsilon, 0)-approximate values by truncation (Theorem 2)."""
+        """(epsilon, 0)-approximate values by truncation (Theorem 2).
+
+        Args:
+            epsilon: Approximation target; sets the truncation rank
+                ``K*`` (reported in ``extra["k_star"]``).
+
+        Returns:
+            A :class:`~repro.types.ValuationResult` within ``epsilon``
+            of the exact values in max norm.
+
+        Raises:
+            ParameterError: For regression tasks (the truncation bound
+                is a classification result) or ``epsilon <= 0``.
+        """
         if self.task != "classification":
             raise ParameterError(
                 "truncated approximation is defined for classification"
@@ -193,7 +212,25 @@ class KNNShapleyValuator:
         params=None,
         alpha: float = 0.5,
     ) -> ValuationResult:
-        """(epsilon, delta)-approximate values via LSH (Theorem 4)."""
+        """(epsilon, delta)-approximate values via LSH (Theorem 4).
+
+        Args:
+            epsilon: Truncation target (as in :meth:`truncated`).
+            delta: Failure probability of the retrieval guarantee.
+            seed: Seed for hash sampling and tuning.
+            params: Pre-tuned :class:`~repro.lsh.tuning.LSHParameters`;
+                when ``None``, parameters are tuned from a relative
+                contrast estimate (Section 6.1).
+            alpha: Contrast-estimation subsample fraction.
+
+        Returns:
+            A :class:`~repro.types.ValuationResult`; retrieval and
+            index diagnostics ride in ``extra``.
+
+        Raises:
+            ParameterError: For regression tasks or invalid
+                ``epsilon``/``delta``.
+        """
         if self.task != "classification":
             raise ParameterError("the LSH approximation is defined for classification")
         engine = self._instrument(
@@ -230,7 +267,25 @@ class KNNShapleyValuator:
         seed: SeedLike = None,
         **kwargs,
     ) -> ValuationResult:
-        """Monte Carlo estimate: Algorithm 2 (default) or the baseline."""
+        """Monte Carlo estimate: Algorithm 2 (default) or the baseline.
+
+        Args:
+            epsilon: Additive error target per value.
+            delta: Failure probability of the error bound.
+            improved: Use the Bennett-bound estimator of Algorithm 2
+                (``True``) or the permutation baseline (``False``).
+            grouped: Value sellers instead of points.
+            seed: Permutation-sampling seed.
+            **kwargs: Forwarded to the estimator (e.g. ``max_perms``).
+
+        Returns:
+            A :class:`~repro.types.ValuationResult` whose ``extra``
+            records the permutation count actually drawn.
+
+        Raises:
+            ParameterError: On invalid ``epsilon``/``delta``.
+            ConvergenceError: When the Bennett bound solver fails.
+        """
         utility = self.utility()
         if improved:
             target = (
@@ -281,13 +336,30 @@ class KNNShapleyValuator:
             )
 
     def grouped(self, grouped: GroupedDataset) -> ValuationResult:
-        """Exact per-seller values (Theorem 8), O(M^K)."""
+        """Exact per-seller values (Theorem 8), O(M^K).
+
+        Args:
+            grouped: The point-to-seller assignment.
+
+        Returns:
+            A :class:`~repro.types.ValuationResult` with one value per
+            seller (group), not per point.
+        """
         return exact_grouped_knn_shapley(self.utility(), grouped)
 
     def composite(
         self, grouped: Optional[GroupedDataset] = None
     ) -> ValuationResult:
-        """Composite-game values (Theorems 9, 10, 12); analyst last."""
+        """Composite-game values (Theorems 9, 10, 12); analyst last.
+
+        Args:
+            grouped: Optional seller grouping; when given, the game is
+                sellers + analyst instead of points + analyst.
+
+        Returns:
+            A :class:`~repro.types.ValuationResult` whose last entry
+            is the analyst's value.
+        """
         if grouped is not None:
             return composite_grouped_knn_shapley(self.utility(), grouped)
         if self.task == "classification":

@@ -1,0 +1,41 @@
+"""The docs layer stays healthy: links resolve, anchors exist."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_checker():
+    path = REPO_ROOT / "docs" / "check_links.py"
+    spec = importlib.util.spec_from_file_location("check_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist_and_readme_links_them():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for doc in ("docs/ARCHITECTURE.md", "docs/OPERATIONS.md"):
+        assert (REPO_ROOT / doc).exists(), f"{doc} is missing"
+        assert doc in readme, f"README does not link {doc}"
+
+
+def test_all_markdown_links_resolve():
+    checker = _load_checker()
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for path in files:
+        problems.extend(checker.check_file(path))
+    assert problems == []
+
+
+def test_slugify_matches_github_conventions():
+    checker = _load_checker()
+    assert checker.slugify("Degraded mode and timeouts") == (
+        "degraded-mode-and-timeouts"
+    )
+    assert checker.slugify("The `weighted` kernel, K >= 2") == (
+        "the-weighted-kernel-k--2"
+    )
