@@ -16,27 +16,36 @@ kernel          recursion                                    complexity
 ``weighted``    Theorem 7 / eq (75) (weighted KNN)           see below
 ==============  ===========================================  ==========
 
-The ``weighted`` kernel picks one of four execution paths
-(``mode="auto"`` selects by weight-function capability and task; see
-:meth:`WeightedKernel.select_path`):
+The ``weighted`` kernel picks one of five execution paths
+(``mode="auto"`` selects by weight-function capability, task and an
+explicit memory estimate; see :meth:`WeightedKernel.select_path`):
 
-==============  ============================================  ==========
-path            applies to                                    complexity
-==============  ============================================  ==========
-``k1``          K = 1, built-in (normalizing) weights         O(N)
-``piecewise``   rank-only weights, classification             O(N·K^2)
-``vectorized``  any weights / task (batched configurations)   O(N^K)
-``reference``   any weights / task (audited eq 74/75 loop)    O(N^K)
-==============  ============================================  ==========
+==============  ============================================  ==========  ===============
+path            applies to                                    complexity  config memory
+==============  ============================================  ==========  ===============
+``k1``          K = 1, built-in (normalizing) weights         O(N)        —
+``piecewise``   rank-only weights, classification             O(N·K^2)    —
+``piecewise``   rank-only weights, regression (label moments) O(N·K^3)    —
+``vectorized``  any weights / task (batched configurations)   O(N^K)      O(C(N-2,K-1)·K)
+``streaming``   any weights / task (fixed-size blocks)        O(N^K)      O(block_rows·K)
+``reference``   any weights / task (audited eq 74/75 loop)    O(N^K)      —
+==============  ============================================  ==========  ===============
 
 ``piecewise`` runs the Appendix-F counting closed forms of
 :mod:`repro.core.piecewise` — exact to <= 1e-12 against the reference
-recursion, polynomial in both N and K.  ``vectorized`` evaluates the
-same eq (74)/(75) sums as ``reference`` but enumerates the top-(K-1)
-configurations as integer arrays and evaluates whole blocks of
+recursion, polynomial in both N and K; for regression the counting
+sums carry binomial-weighted first/second label moments instead of
+coalition counts.  ``vectorized`` evaluates the same eq (74)/(75) sums
+as ``reference`` but enumerates the top-(K-1) configurations as
+integer arrays (colex order, served by a bounded byte-capped cache —
+see :func:`weighted_config_cache_stats`) and evaluates whole blocks of
 coalitions per numpy pass (pad weights folded through a precomputed
 comb table), trading nothing but summation order — a pure
 constant-factor win over the per-coalition Python recursion.
+``streaming`` feeds the identical blocks from a colex run generator
+(:func:`iter_combination_blocks`) instead of materialized arrays:
+bit-identical results at a fixed configuration-memory budget for any
+K.
 
 The public modules :mod:`repro.core.exact`, :mod:`repro.core.truncated`,
 :mod:`repro.core.regression` and :mod:`repro.core.weighted` are thin
@@ -85,7 +94,11 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import ParameterError
+from ..exceptions import (
+    KernelCapabilityError,
+    MemoryBudgetError,
+    ParameterError,
+)
 from ..knn.weights import (
     WeightFunction,
     apply_weights_batched,
@@ -98,6 +111,8 @@ from .piecewise import (
     chain_values_from_differences,
     weighted_knn_anchor_coefficients,
     weighted_knn_group_weight_totals,
+    weighted_knn_regression_anchor,
+    weighted_knn_regression_pair_totals,
 )
 
 __all__ = [
@@ -113,14 +128,21 @@ __all__ = [
     "regression_rank_values",
     "weighted_rank_values",
     "weighted_rank_only_values",
+    "weighted_regression_rank_only_values",
     "weighted_rank_values_batched",
     "BatchedWeightedRecursion",
+    "iter_combination_blocks",
+    "materialized_config_bytes",
     "pad_weight_table",
     "truncation_rank",
     "register_kernel",
     "get_kernel",
     "available_kernels",
+    "weighted_config_cache_stats",
+    "weighted_config_cache_clear",
     "WEIGHTED_VALUE_CACHE_LIMIT",
+    "WEIGHTED_CONFIG_CACHE_BYTES",
+    "WEIGHTED_MATERIALIZED_BUDGET_BYTES",
 ]
 
 
@@ -491,6 +513,59 @@ def weighted_rank_only_values(
     return s
 
 
+def weighted_regression_rank_only_values(
+    y_sorted: np.ndarray, y_test: np.ndarray, k: int, weight_table: np.ndarray
+) -> np.ndarray:
+    """O(n_test·N·K^3) piecewise path: rank-only weighted KNN regression.
+
+    Runs the Theorem 7 recursion for the regression utility ``v(S) =
+    -(pred(S) - t)^2`` (eq 27) in closed form via the label-moment
+    machinery of :mod:`repro.core.piecewise`
+    (:func:`weighted_knn_regression_pair_totals` /
+    :func:`weighted_knn_regression_anchor`): with a rank-only weight
+    function the adjacent-rank marginal is linear in the incumbents'
+    weighted label sum and the anchor quadratic, so binomial-weighted
+    first/second label moments replace the O(C(N-2, K-1)·N)
+    configuration enumeration entirely.
+
+    Parameters
+    ----------
+    y_sorted:
+        ``(n_test, n)`` training labels in ascending-distance rank
+        order per test point.
+    y_test:
+        ``(n_test,)`` regression targets.
+    k:
+        The K of KNN.
+    weight_table:
+        ``(K, K)`` rank-only weight table, ``table[m-1, q-1] = w_q(m)``
+        (:func:`repro.knn.weights.weight_position_table`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shapley values in rank space, shape ``(n_test, n)``; equal to
+        the reference recursion within accumulated rounding (<= 1e-12).
+    """
+    y_sorted = np.atleast_2d(np.asarray(y_sorted, dtype=np.float64))
+    y_test = np.atleast_1d(np.asarray(y_test, dtype=np.float64))
+    n_test, n = y_sorted.shape
+    table = np.asarray(weight_table, dtype=np.float64)
+    s = np.empty((n_test, n), dtype=np.float64)
+    for j in range(n_test):
+        t = float(y_test[j])
+        if n == 1:
+            # single training point: s = v({1}) - v(∅)
+            s[j, 0] = -((table[0, 0] * y_sorted[j, 0] - t) ** 2) + t**2
+            continue
+        totals = weighted_knn_regression_pair_totals(
+            n, k, table, y_sorted[j], t
+        )
+        anchor = weighted_knn_regression_anchor(n, k, table, y_sorted[j], t)
+        s[j] = chain_values_from_differences(anchor, totals / (n - 1))
+    return s
+
+
 def pad_weight_table(n: int, k: int) -> np.ndarray:
     """Vectorized fold of :func:`_pad_weight` over every ``rmax``.
 
@@ -521,28 +596,225 @@ def pad_weight_table(n: int, k: int) -> np.ndarray:
     return table
 
 
-def _combination_array(n_items: int, r: int) -> np.ndarray:
-    """All size-``r`` sorted index combinations as an ``(M, r)`` array."""
+def _colex_combinations(n_items: int, r: int) -> np.ndarray:
+    """All size-``r`` sorted index combinations, in *colex* order.
+
+    Colex (compare the last element first) is the enumeration both the
+    materialized and the streaming configuration paths share: its
+    recursive structure — the rows ending in ``c`` are exactly
+    ``colex(c, r-1)`` with a ``c`` column appended, and ``colex(c,
+    r-1)`` is a prefix of ``colex(n, r-1)`` — lets the full array build
+    column-by-column from ramps and repeats (no per-row Python), and
+    lets :func:`iter_combination_blocks` emit the identical sequence
+    with fixed-size blocks and no bigint unranking.
+    """
     if r == 0:
         return np.zeros((1, 0), dtype=np.intp)
     if n_items < r:
         return np.zeros((0, r), dtype=np.intp)
-    if r == 1:
-        return np.arange(n_items, dtype=np.intp)[:, None]
-    if r == 2:
-        rows, cols = np.triu_indices(n_items, k=1)
-        return np.stack(
-            (rows.astype(np.intp), cols.astype(np.intp)), axis=1
+    out = np.arange(n_items, dtype=np.intp)[:, None]
+    for j in range(2, r + 1):
+        counts = np.array(
+            [math.comb(c, j - 1) for c in range(j - 1, n_items)],
+            dtype=np.intp,
         )
-    count = math.comb(n_items, r)
-    flat = np.fromiter(
-        itertools.chain.from_iterable(
-            itertools.combinations(range(n_items), r)
-        ),
-        dtype=np.intp,
-        count=count * r,
-    )
-    return flat.reshape(count, r)
+        total = int(counts.sum())
+        last = np.repeat(np.arange(j - 1, n_items, dtype=np.intp), counts)
+        offsets = np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        ramp = np.arange(total, dtype=np.intp) - offsets
+        out = np.concatenate((out[ramp], last[:, None]), axis=1)
+    return out
+
+
+#: Byte cap on the shared configuration-array cache.  Configuration
+#: index arrays depend only on ``(n_items, r)`` and are reused across
+#: test points, requests and engines — but under varied (N, K) serving
+#: an unbounded memo is a slow leak, so insertion past the cap evicts
+#: the oldest entries (FIFO), mirroring the
+#: :data:`WEIGHTED_VALUE_CACHE_LIMIT` idiom.  Arrays larger than the
+#: cap bypass the cache entirely.
+WEIGHTED_CONFIG_CACHE_BYTES = 64 << 20
+
+_CONFIG_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+_CONFIG_CACHE_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "evictions": 0,
+    "oversize": 0,
+    "bytes": 0,
+}
+
+
+def weighted_config_cache_stats() -> dict:
+    """Counters of the shared configuration-array cache.
+
+    ``hits`` / ``misses`` count lookups, ``evictions`` FIFO removals
+    under the byte cap, ``oversize`` arrays too large to cache at all,
+    ``bytes`` / ``entries`` the current residency, and
+    ``capacity_bytes`` the cap
+    (:data:`WEIGHTED_CONFIG_CACHE_BYTES`).
+    """
+    return {
+        **_CONFIG_CACHE_STATS,
+        "entries": len(_CONFIG_CACHE),
+        "capacity_bytes": int(WEIGHTED_CONFIG_CACHE_BYTES),
+    }
+
+
+def weighted_config_cache_clear() -> None:
+    """Drop every cached configuration array and zero the counters."""
+    _CONFIG_CACHE.clear()
+    for key in _CONFIG_CACHE_STATS:
+        _CONFIG_CACHE_STATS[key] = 0
+
+
+def _combination_array(n_items: int, r: int) -> np.ndarray:
+    """All size-``r`` combinations as an ``(M, r)`` array, colex order.
+
+    Served through the bounded byte-capped FIFO cache — the arrays are
+    shared (and marked read-only) across every
+    :class:`BatchedWeightedRecursion` of the same ``(n_items, r)``.
+    """
+    key = (int(n_items), int(r))
+    arr = _CONFIG_CACHE.get(key)
+    if arr is not None:
+        _CONFIG_CACHE_STATS["hits"] += 1
+        return arr
+    _CONFIG_CACHE_STATS["misses"] += 1
+    arr = _colex_combinations(n_items, r)
+    arr.setflags(write=False)
+    cap = int(WEIGHTED_CONFIG_CACHE_BYTES)
+    if arr.nbytes > cap:
+        _CONFIG_CACHE_STATS["oversize"] += 1
+        return arr
+    while _CONFIG_CACHE and _CONFIG_CACHE_STATS["bytes"] + arr.nbytes > cap:
+        oldest = next(iter(_CONFIG_CACHE))
+        evicted = _CONFIG_CACHE.pop(oldest)
+        _CONFIG_CACHE_STATS["bytes"] -= evicted.nbytes
+        _CONFIG_CACHE_STATS["evictions"] += 1
+    _CONFIG_CACHE[key] = arr
+    _CONFIG_CACHE_STATS["bytes"] += arr.nbytes
+    return arr
+
+
+def iter_combination_blocks(
+    n_items: int, r: int, block_rows: int = 1 << 15
+):
+    """Stream size-``r`` combinations in colex order, in fixed blocks.
+
+    Yields ``(block_rows, r)`` integer arrays (the final block may be
+    shorter) whose concatenation equals
+    :func:`_colex_combinations` ``(n_items, r)`` row-for-row — the
+    streaming configuration engine's enumeration feeder.  Nothing
+    proportional to ``C(n_items, r)`` is ever resident: blocks are
+    assembled from *runs* (for a fixed suffix ``c_1 < ... < c_{r-1}``
+    the first column is just ``arange(c_1)``), with the suffix advanced
+    by the colex successor rule — ``O(1)`` integer work per run, no
+    bigint unranking.  Identical block boundaries are what make the
+    streaming path bit-identical to the materialized one: both feed the
+    same row sets to the same float reductions in the same order.
+    """
+    if block_rows < 1:
+        raise ParameterError(f"block_rows must be positive, got {block_rows}")
+    if r < 0:
+        raise ParameterError(f"r must be non-negative, got {r}")
+    if r == 0:
+        yield np.zeros((1, 0), dtype=np.intp)
+        return
+    if n_items < r:
+        return
+    if r == 1:
+        for start in range(0, n_items, block_rows):
+            stop = min(start + block_rows, n_items)
+            yield np.arange(start, stop, dtype=np.intp)[:, None]
+        return
+
+    def pieces():
+        # suffix c_2 < ... < c_{r-1} (empty for r == 2), colex order
+        tail = [j + 2 for j in range(r - 2)]
+        while True:
+            c_top = tail[0] if r > 2 else n_items
+            c1 = 1
+            while c1 < c_top:
+                # pack whole c1-runs up to ~block_rows rows per piece
+                c1_end = c1
+                rows = 0
+                while c1_end < c_top and rows + c1_end <= block_rows:
+                    rows += c1_end
+                    c1_end += 1
+                if rows == 0:  # a single run larger than a block
+                    rows = c1
+                    c1_end = c1 + 1
+                piece = np.empty((rows, r), dtype=np.intp)
+                counts = np.arange(c1, c1_end, dtype=np.intp)
+                piece[:, 1] = np.repeat(counts, counts)
+                offsets = np.repeat(
+                    np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+                )
+                piece[:, 0] = np.arange(rows, dtype=np.intp) - offsets
+                if r > 2:
+                    piece[:, 2:] = np.asarray(tail, dtype=np.intp)
+                c1 = c1_end
+                yield piece
+            if r == 2:
+                return
+            # colex successor on the suffix
+            j = 0
+            while j < r - 2:
+                nxt = tail[j] + 1
+                limit = tail[j + 1] if j + 1 < r - 2 else n_items
+                if nxt < limit:
+                    tail[j] = nxt
+                    for jj in range(j):
+                        tail[jj] = jj + 2
+                    break
+                j += 1
+            else:
+                return
+
+    pending: list = []
+    buffered = 0
+    for piece in pieces():
+        pending.append(piece)
+        buffered += piece.shape[0]
+        if buffered >= block_rows:
+            chunk = (
+                pending[0] if len(pending) == 1 else np.concatenate(pending)
+            )
+            start = 0
+            while chunk.shape[0] - start >= block_rows:
+                yield chunk[start : start + block_rows]
+                start += block_rows
+            rest = chunk[start:]
+            pending = [rest] if rest.shape[0] else []
+            buffered = int(rest.shape[0])
+    if buffered:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
+def materialized_config_bytes(n: int, k: int) -> int:
+    """Resident bytes of the materialized configuration arrays.
+
+    The explicit memory estimate :meth:`WeightedKernel.select_path`
+    routes on: what :class:`BatchedWeightedRecursion` holds for an
+    ``(n, k)`` request with ``streaming=False`` — the size-``s``
+    pair-difference arrays (``s <= K-1``) plus the anchor arrays.
+    Exact Python-integer arithmetic, so serving-scale overflows are
+    impossible.
+    """
+    if n < 2 or k < 1:
+        return 0
+    item = np.dtype(np.intp).itemsize
+    total = 0
+    for s in range(0, max(0, k - 1)):
+        total += math.comb(n - 2, s) * s * item
+    if n - 2 >= k - 1:
+        total += math.comb(n - 2, k - 1) * (k - 1) * item
+    for size in range(0, min(k, n)):
+        total += math.comb(n - 1, size) * size * item
+    return total
 
 
 class BatchedWeightedRecursion:
@@ -559,9 +831,24 @@ class BatchedWeightedRecursion:
     The oracle ``value_many`` receives an ``(M, m)`` integer array of
     1-based ranks, each row sorted ascending (``m`` may be 0 — the
     empty coalition), and returns the ``M`` single-test utilities.
+
+    ``streaming=True`` swaps the materialized configuration arrays for
+    :func:`iter_combination_blocks`: the same colex enumeration, the
+    same ``block_rows``-sized blocks, the same float reductions — so
+    the result is *bit-identical* — but resident configuration memory
+    stays ``O(block_rows * K)`` for any K instead of
+    ``O(C(N-2, K-1) * K)``.  The materialized arrays come from the
+    bounded module cache (:func:`weighted_config_cache_stats`) and are
+    shared across engines of the same ``(n, k)``.
     """
 
-    def __init__(self, n: int, k: int, block_rows: int = 1 << 15) -> None:
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        block_rows: int = 1 << 15,
+        streaming: bool = False,
+    ) -> None:
         if n < 1:
             raise ParameterError(f"n must be positive, got {n}")
         if k < 1:
@@ -573,22 +860,56 @@ class BatchedWeightedRecursion:
         self.n = int(n)
         self.k = int(k)
         self.block_rows = int(block_rows)
+        self.streaming = bool(streaming)
         if n >= 2:
             self._pad = pad_weight_table(n, k)
-            self._idx_small = [
-                _combination_array(n - 2, s) for s in range(0, max(0, k - 1))
-            ]
-            self._idx_big = (
-                _combination_array(n - 2, k - 1) if n - 2 >= k - 1 else None
-            )
-            self._idx_anchor = [
-                _combination_array(n - 1, size) for size in range(0, min(k, n))
-            ]
+            small_specs = [(n - 2, s) for s in range(0, max(0, k - 1))]
+            big_spec = (n - 2, k - 1) if n - 2 >= k - 1 else None
+            anchor_specs = [(n - 1, size) for size in range(0, min(k, n))]
+            if streaming:
+                self._idx_small = small_specs
+                self._idx_big = big_spec
+                self._idx_anchor = anchor_specs
+            else:
+                self._idx_small = [
+                    _combination_array(*spec) for spec in small_specs
+                ]
+                self._idx_big = (
+                    _combination_array(*big_spec)
+                    if big_spec is not None
+                    else None
+                )
+                self._idx_anchor = [
+                    _combination_array(*spec) for spec in anchor_specs
+                ]
 
     # ------------------------------------------------------------------
-    def _blocks(self, idx: np.ndarray):
+    def _blocks(self, idx):
+        """Blocks of one configuration source (array or streamed spec)."""
+        if self.streaming:
+            n_items, r = idx
+            yield from iter_combination_blocks(n_items, r, self.block_rows)
+            return
         for start in range(0, idx.shape[0], self.block_rows):
             yield idx[start : start + self.block_rows]
+
+    def config_bytes(self) -> int:
+        """Resident configuration-index bytes of this engine.
+
+        Streaming engines hold at most one block (plus its assembly
+        scratch) at a time; materialized engines hold every array.
+        """
+        if self.n < 2:
+            return 0
+        item = np.dtype(np.intp).itemsize
+        if self.streaming:
+            width = max(1, self.k - 1, min(self.k, self.n) - 1)
+            return self.block_rows * width * item
+        total = sum(idx.nbytes for idx in self._idx_small)
+        total += sum(idx.nbytes for idx in self._idx_anchor)
+        if self._idx_big is not None:
+            total += self._idx_big.nbytes
+        return total
 
     @staticmethod
     def _with_member(members: np.ndarray, rank: int) -> np.ndarray:
@@ -995,11 +1316,21 @@ class RegressionKernel(ValuationKernel):
         return plan.scatter(s_rank)
 
 
+#: Default byte budget for the *materialized* weighted configuration
+#: arrays.  ``select_path(mode="auto")`` estimates the resident bytes
+#: of the vectorized path (:func:`materialized_config_bytes`) and
+#: switches to the streaming engine past the budget; an explicit
+#: ``mode="vectorized"`` past it raises
+#: :class:`~repro.exceptions.MemoryBudgetError` instead of silently
+#: going memory-bound.
+WEIGHTED_MATERIALIZED_BUDGET_BYTES = 256 << 20
+
+
 class WeightedKernel(ValuationKernel):
     """Theorem 7: exact values for weighted KNN (classification and
     regression, eqs 26/27).
 
-    Four execution paths (:meth:`select_path` maps a requested ``mode``
+    Five execution paths (:meth:`select_path` maps a requested ``mode``
     and the weight function's capabilities to one of them):
 
     * ``reference`` — the eq (74)/(75) recursion through a
@@ -1007,15 +1338,22 @@ class WeightedKernel(ValuationKernel):
       utility evaluations, bit-identical to
       :func:`repro.core.weighted.exact_weighted_knn_shapley`.
     * ``vectorized`` — the same sums through
-      :class:`BatchedWeightedRecursion`: configurations enumerated as
-      integer arrays, utilities evaluated for whole blocks per numpy
-      pass, pad weights folded via :func:`pad_weight_table`.  Equal to
-      the reference within accumulated rounding (<= 1e-12), roughly an
-      order of magnitude faster on one CPU.
-    * ``piecewise`` — rank-only weight functions with classification:
-      the Appendix-F counting closed forms
-      (:func:`weighted_rank_only_values`) — exact O(N·K^2), no
-      coalition enumeration at all.
+      :class:`BatchedWeightedRecursion`: configurations materialized
+      as integer arrays, utilities evaluated for whole blocks per
+      numpy pass, pad weights folded via :func:`pad_weight_table`.
+      Equal to the reference within accumulated rounding (<= 1e-12),
+      roughly an order of magnitude faster on one CPU.
+    * ``streaming`` — the vectorized sums fed by
+      :func:`iter_combination_blocks` instead of materialized arrays:
+      *bit-identical* to ``vectorized`` (same colex enumeration, same
+      block boundaries) at a fixed ``O(block_rows * K)`` configuration
+      memory for any K.
+    * ``piecewise`` — rank-only weight functions, both tasks: the
+      Appendix-F counting closed forms
+      (:func:`weighted_rank_only_values` for classification,
+      :func:`weighted_regression_rank_only_values` for regression via
+      first/second label moments) — exact O(N·poly(K)), no coalition
+      enumeration at all.
     * ``k1`` — ``K = 1`` with a built-in (normalizing) weight
       function: a single neighbor always weighs exactly 1.0, so the
       game collapses to the Theorem 1 recursion over a per-rank
@@ -1031,9 +1369,9 @@ class WeightedKernel(ValuationKernel):
     )
 
     #: valid ``mode`` arguments
-    MODES = ("auto", "reference", "vectorized", "piecewise")
+    MODES = ("auto", "reference", "vectorized", "streaming", "piecewise")
     #: execution paths :meth:`select_path` can return
-    PATHS = ("k1", "piecewise", "vectorized", "reference")
+    PATHS = ("k1", "piecewise", "vectorized", "streaming", "reference")
 
     def select_path(
         self,
@@ -1041,17 +1379,27 @@ class WeightedKernel(ValuationKernel):
         weights: Union[str, WeightFunction] = "inverse_distance",
         task: str = "classification",
         mode: str = "auto",
+        n_train: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> str:
         """Resolve the execution path for a request — no work done.
 
         ``mode="auto"`` picks the cheapest exact-equivalent path:
         ``k1`` when ``k == 1`` with a named built-in weight function,
         else ``piecewise`` when the weight function is rank-only
-        (:func:`repro.knn.weights.is_rank_only`) and the task is
-        classification, else ``vectorized``.  Explicit modes force
-        their path; ``mode="piecewise"`` validates eligibility and
-        raises :class:`~repro.exceptions.ParameterError` when the
-        weight function or task cannot take it.
+        (:func:`repro.knn.weights.is_rank_only`) — classification and
+        regression alike — else the configuration engine, materialized
+        (``vectorized``) when its estimated resident bytes
+        (:func:`materialized_config_bytes`, needs ``n_train``) fit the
+        memory budget and ``streaming`` otherwise.
+
+        Explicit modes force their path.  ``mode="piecewise"`` with a
+        weight function that does not declare the ``rank_only``
+        capability raises
+        :class:`~repro.exceptions.KernelCapabilityError`;
+        ``mode="vectorized"`` past the budget raises
+        :class:`~repro.exceptions.MemoryBudgetError` (switch to
+        ``streaming`` or raise the budget).
 
         The engine calls this to surface the chosen path in
         ``ValuationResult.extra["weighted_path"]`` and its ``stats()``
@@ -1065,27 +1413,41 @@ class WeightedKernel(ValuationKernel):
             raise ParameterError(
                 f"mode must be one of {self.MODES}, got {mode!r}"
             )
+        budget = (
+            WEIGHTED_MATERIALIZED_BUDGET_BYTES
+            if memory_budget_bytes is None
+            else int(memory_budget_bytes)
+        )
         rank_only = is_rank_only(weights)
         if mode == "reference":
             return "reference"
+        if mode == "streaming":
+            return "streaming"
         if mode == "vectorized":
+            if n_train is not None:
+                estimate = materialized_config_bytes(n_train, k)
+                if estimate > budget:
+                    raise MemoryBudgetError(
+                        f"materialized weighted configurations for "
+                        f"n={n_train}, k={k} need ~{estimate} bytes, over "
+                        f"the {budget}-byte budget; use mode='streaming' "
+                        "(bit-identical, fixed memory) or raise the budget",
+                        estimated_bytes=int(min(estimate, 1 << 62)),
+                        budget_bytes=budget,
+                    )
             return "vectorized"
         if mode == "piecewise":
-            if task != "classification":
-                raise ParameterError(
-                    "the piecewise weighted path is classification-only: "
-                    "the regression marginal depends on the incumbents' "
-                    "weighted label sum, which is not piecewise constant"
-                )
             if not rank_only:
                 name = weights if isinstance(weights, str) else getattr(
                     weights, "__name__", "custom"
                 )
-                raise ParameterError(
-                    f"the piecewise weighted path needs a rank-only weight "
-                    f"function; {name!r} depends on distance values (mark "
-                    "custom callables with fn.rank_only = True when they "
-                    "qualify, or use mode='vectorized')"
+                raise KernelCapabilityError(
+                    f"the piecewise weighted path needs the 'rank_only' "
+                    f"weight-function capability; {name!r} does not declare "
+                    "it (mark custom callables with fn.rank_only = True "
+                    "when their output ignores distance values, or use "
+                    "mode='vectorized'/'streaming')",
+                    capability="rank_only",
                 )
             return "piecewise"
         # auto
@@ -1093,8 +1455,13 @@ class WeightedKernel(ValuationKernel):
             # every built-in weight function normalizes, so the lone
             # neighbor of a K=1 coalition weighs exactly 1.0
             return "k1"
-        if task == "classification" and rank_only:
+        if rank_only:
             return "piecewise"
+        if (
+            n_train is not None
+            and materialized_config_bytes(n_train, k) > budget
+        ):
+            return "streaming"
         return "vectorized"
 
     def values_from_plan(
@@ -1104,6 +1471,8 @@ class WeightedKernel(ValuationKernel):
         weights: Union[str, WeightFunction] = "inverse_distance",
         task: str = "classification",
         mode: str = "auto",
+        memory_budget_bytes: Optional[int] = None,
+        block_rows: Optional[int] = None,
     ) -> np.ndarray:
         """Weighted values from a full ranking with distances.
 
@@ -1117,11 +1486,27 @@ class WeightedKernel(ValuationKernel):
         mode:
             ``"auto"`` (default) picks the cheapest exact-equivalent
             path per :meth:`select_path`; ``"piecewise"`` /
-            ``"vectorized"`` / ``"reference"`` force a path.
+            ``"vectorized"`` / ``"streaming"`` / ``"reference"`` force
+            a path.
+        memory_budget_bytes:
+            Budget for the materialized configuration arrays
+            (:data:`WEIGHTED_MATERIALIZED_BUDGET_BYTES` by default);
+            see :meth:`select_path`.
+        block_rows:
+            Rows per configuration block of the vectorized/streaming
+            engine (default ``2**15``).  Streaming memory is
+            ``O(block_rows * K)``.
         """
         k = self._check_k(k)
         self._require_full_ranking(plan)
-        path = self.select_path(k, weights, task, mode)
+        path = self.select_path(
+            k,
+            weights,
+            task,
+            mode,
+            n_train=plan.n_train,
+            memory_budget_bytes=memory_budget_bytes,
+        )
         if callable(weights):
             weight_fn: WeightFunction = weights
         else:
@@ -1129,9 +1514,16 @@ class WeightedKernel(ValuationKernel):
         if path == "k1":
             return self._k1_fast_path(plan, task)
         if path == "piecewise":
-            return self._piecewise_path(plan, k, weight_fn)
-        if path == "vectorized":
-            return self._vectorized_path(plan, k, weight_fn, task)
+            return self._piecewise_path(plan, k, weight_fn, task)
+        if path in ("vectorized", "streaming"):
+            return self._vectorized_path(
+                plan,
+                k,
+                weight_fn,
+                task,
+                streaming=path == "streaming",
+                block_rows=block_rows,
+            )
         return self._reference_path(plan, k, weight_fn, task)
 
     # ------------------------------------------------------------------
@@ -1148,14 +1540,28 @@ class WeightedKernel(ValuationKernel):
         return plan.scatter(classification_rank_values(payload, 1))
 
     def _piecewise_path(
-        self, plan: RankPlan, k: int, weight_fn: WeightFunction
+        self, plan: RankPlan, k: int, weight_fn: WeightFunction, task: str
     ) -> np.ndarray:
         table = weight_position_table(weight_fn, k)
-        s_rank = weighted_rank_only_values(plan.match_sorted(), k, table)
+        if task == "classification":
+            s_rank = weighted_rank_only_values(plan.match_sorted(), k, table)
+        else:
+            s_rank = weighted_regression_rank_only_values(
+                np.asarray(plan.labels_sorted, dtype=np.float64),
+                plan.y_test,
+                k,
+                table,
+            )
         return plan.scatter(s_rank)
 
     def _vectorized_path(
-        self, plan: RankPlan, k: int, weight_fn: WeightFunction, task: str
+        self,
+        plan: RankPlan,
+        k: int,
+        weight_fn: WeightFunction,
+        task: str,
+        streaming: bool = False,
+        block_rows: Optional[int] = None,
     ) -> np.ndarray:
         if plan.distances_sorted is None:
             raise ParameterError(
@@ -1164,7 +1570,12 @@ class WeightedKernel(ValuationKernel):
             )
         q, n = plan.order.shape
         classification = task == "classification"
-        recursion = BatchedWeightedRecursion(n, k)
+        recursion = BatchedWeightedRecursion(
+            n,
+            k,
+            block_rows=block_rows if block_rows is not None else 1 << 15,
+            streaming=streaming,
+        )
         s_rank = np.empty((q, n), dtype=np.float64)
         for j in range(q):
             d_rank = plan.distances_sorted[j]

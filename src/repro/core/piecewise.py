@@ -55,6 +55,9 @@ __all__ = [
     "weighted_knn_pair_groups",
     "weighted_knn_group_weight_totals",
     "weighted_knn_anchor_coefficients",
+    "size_sum_closed_form",
+    "weighted_knn_regression_pair_totals",
+    "weighted_knn_regression_anchor",
 ]
 
 
@@ -323,3 +326,273 @@ def chain_values_from_differences(
     if n > 1:
         values[:-1] = anchor + np.cumsum(differences[::-1])[::-1]
     return values
+
+
+# ======================================================================
+# regression moments (the weighted-regression piecewise path)
+# ======================================================================
+def size_sum_closed_form(n: int, m: int, j: int) -> float:
+    """``SB(M, j) = sum_s C(M, s - j) / C(N-2, s)`` in closed form.
+
+    The Beta-integral identity behind every full-size telescoping sum
+    here: substituting ``1/C(N-2, s) = (N-1) * Integral_0^1 x^s
+    (1-x)^{N-2-s} dx`` and folding the binomial theorem gives::
+
+        SB(M, j) = (N-1) * j! * (N-2-M-j)! / (N-1-M)!
+                 = (N-1) * j! / ((N-1-M)(N-2-M) ... (N-1-M-j))
+
+    valid for ``M + j <= N - 2`` (0 otherwise — the sum is then empty
+    of well-defined terms).  ``M = N-i-1, j = a`` recovers Theorem 1's
+    ``C(i-1, a) * SB = (N-1)/i`` for every position ``a``, which is how
+    the classification totals collapse; the regression moments need the
+    general ``(M, j)`` because each *farther* selected member carries
+    its own rank ``r`` through ``M = N - r``.
+
+    Evaluated as the falling product on the right — ``j + 1`` float
+    multiplications, no big integers.
+    """
+    if j < 0 or m + j > n - 2:
+        return 0.0
+    num = float(math.factorial(j)) * (n - 1)
+    den = 1.0
+    for step in range(j + 1):
+        den *= n - 1 - m - step
+    return num / den
+
+
+def _regression_check(n: int, k_neighbors: int, weight_table, y_sorted):
+    table = _check_weight_table(k_neighbors, weight_table)
+    y = np.asarray(y_sorted, dtype=np.float64)
+    if y.ndim != 1 or y.shape[0] != n:
+        raise ParameterError(
+            f"y_sorted must be a length-{n} vector, got shape {y.shape}"
+        )
+    return table, y
+
+
+def weighted_knn_regression_pair_totals(
+    n: int, k_neighbors: int, weight_table, y_sorted, t: float
+) -> np.ndarray:
+    """Closed-form eq (75) sums of the weighted KNN *regressor*.
+
+    Returns ``totals`` of length ``n - 1`` with ``totals[i-1] = (N-1) *
+    (s_i - s_{i+1})`` for the rank-only weighted KNN regression game
+    ``v(S) = -(pred(S) - t)^2`` — the regression analog of
+    :func:`weighted_knn_group_weight_totals`, in ``O(N * K^3)``.
+
+    The regression marginal is not piecewise *constant*: with ``a``
+    members of ``S`` nearer than rank ``i`` and ``m = min(K, |S|+1)``
+    selected, ``v(S ∪ {i}) - v(S ∪ {i+1}) = -w_{a+1}(m) * (y_i -
+    y_{i+1}) * (2R + w_{a+1}(m)(y_i + y_{i+1}) - 2t)`` where ``R`` is
+    the weighted label sum of the *other* selected members.  ``R`` is
+    linear in the labels, so the group sums only need first label
+    moments: per (position, selected count) group, binomial-weighted
+    prefix sums of ``y`` (the ``F``/``H``/``J`` Pascal recursions
+    below) replace the coalition counts of the classification case.
+    The full-size telescoping closes through
+    :func:`size_sum_closed_form`; coalitions of size ``<= K-2`` get the
+    same saturated-to-true weight-table correction as the
+    classification totals.
+
+    Every moment column is a binomial-kernel correlation ``sum_r g(r)
+    C(r - x, u)`` — an ``(u+1)``-fold repeated prefix/suffix cumsum
+    (hockey-stick identity) — so the whole computation is ``O(K^2)``
+    numpy passes of length ``N`` with no per-rank Python loop.
+    """
+    table, y = _regression_check(n, k_neighbors, weight_table, y_sorted)
+    if n < 2:
+        raise ParameterError(f"need at least two players, got {n}")
+    t = float(t)
+    k = k_neighbors
+    ws = table[k - 1]  # saturated weights w_q(K)
+    km1 = k - 1
+    n_small = min(k - 1, n - 1)  # corrected sizes s = 0 .. n_small - 1
+
+    ii = np.arange(1, n)  # pair ranks i = 1..N-1
+    i_arr = ii.astype(np.float64)
+    r_arr = np.arange(1.0, n + 1.0)  # ranks r = 1..N
+    dy = y[:-1] - y[1:]
+    ysum = y[:-1] + y[1:]
+    pad = np.zeros(km1 + 2)
+
+    # ---- farther-member moment columns (suffix cumsums) -------------
+    # h_cols[u, j][i-1] = sum_{r >= i+2} y_r C(r-i-2, u) SB(N-r, j):
+    # the (u+1)-fold suffix cumsum of y_r*SB(N-r, j), read at i+2+u.
+    h_cols: dict = {}
+    jj_cols: dict = {}
+    if km1 > 0:
+        fact_j = 1.0
+        for j in range(1, k):
+            fact_j *= j
+            # SB(N-r, j) = (N-1) j! / ((r-1)(r-2)...(r-1-j)), 0 invalid
+            denom = np.ones(n)
+            for m in range(j + 1):
+                denom = denom * (r_arr - 1.0 - m)
+            sb = np.where(
+                denom != 0.0,
+                (n - 1.0) * fact_j / np.where(denom != 0.0, denom, 1.0),
+                0.0,
+            )
+            s = y * sb
+            for u in range(km1):
+                s = np.cumsum(s[::-1])[::-1]
+                h_cols[u, j] = np.concatenate((s, pad))[ii + 1 + u]
+        # jj_cols[u, c]: same with plain C(N-r, c) in place of SB
+        for c in range(n_small):
+            s = y * falling_binomial(n - r_arr, c)
+            for u in range(n_small):
+                s = np.cumsum(s[::-1])[::-1]
+                jj_cols[u, c] = np.concatenate((s, pad))[ii + 1 + u]
+
+    # ---- nearer-member moment columns (prefix cumsums) --------------
+    # f_cols[q, c][i-1] = sum_{r <= i-1} y_r C(r-1, q-1) C(i-1-r, c):
+    # the (c+1)-fold prefix cumsum of y_r*C(r-1, q-1), read at i-1-c.
+    f_cols: dict = {}
+    if km1 > 0:
+        for q in range(1, k):
+            s = y * falling_binomial(r_arr - 1.0, q - 1)
+            for c in range(km1):
+                s = np.cumsum(s)
+                idx = ii - 2 - c
+                vec = np.zeros(n - 1)
+                mask = idx >= 0
+                vec[mask] = s[idx[mask]]
+                f_cols[q, c] = vec
+
+    # ---- per-position aggregates over all pairs at once -------------
+    far_full = np.zeros((k, n - 1))
+    near_sat = np.zeros((k, n - 1))
+    for a in range(k):
+        for qp in range(1, k - a):
+            far_full[a] += ws[a + qp] * h_cols[qp - 1, a + qp]
+        for q in range(1, a + 1):
+            near_sat[a] += ws[q - 1] * f_cols[q, a - q]
+
+    # ---- assembly ---------------------------------------------------
+    totals = np.zeros(n - 1)
+    # full (saturated-weight) part, telescoped over all sizes
+    fact_a = 1.0
+    denom = np.ones(n - 1)
+    for a in range(k):
+        if a > 0:
+            fact_a *= a
+        denom = denom * (i_arr - a)  # i(i-1)...(i-a) after this step
+        # SB(N-i-1, a) = (N-1) a! / (i(i-1)...(i-a)), 0 when i <= a
+        sb_i = np.where(
+            denom != 0.0,
+            (n - 1.0) * fact_a / np.where(denom != 0.0, denom, 1.0),
+            0.0,
+        )
+        cia = falling_binomial(i_arr - 1.0, a)
+        bracket = (
+            ((n - 1.0) / i_arr) * (ws[a] * ysum - 2.0 * t)
+            + 2.0 * sb_i * near_sat[a]
+            + 2.0 * cia * far_full[a]
+        )
+        totals -= np.where(ii >= a + 1, ws[a] * dy * bracket, 0.0)
+    # small-coalition corrections: swap w_q(K) -> w_q(s+1).  Positions
+    # a > i-1 self-cancel (every factor carries a vanished C(i-1, a)
+    # or an empty nearer-member moment), so no extra mask is needed.
+    for s_sz in range(n_small):
+        inv_binom = 1.0 / math.comb(n - 2, s_sz)
+        for a in range(s_sz + 1):
+            cia = falling_binomial(i_arr - 1.0, a)
+            cnia = falling_binomial(n - 1.0 - i_arr, s_sz - a)
+            cnt = cia * cnia
+            near_t = np.zeros(n - 1)
+            near_s = np.zeros(n - 1)
+            for q in range(1, a + 1):
+                fv = f_cols[q, a - q]
+                near_t += table[s_sz, q - 1] * fv
+                near_s += ws[q - 1] * fv
+            ctf = np.zeros(n - 1)
+            csf = np.zeros(n - 1)
+            for qp in range(1, s_sz - a + 1):
+                jv = jj_cols[qp - 1, s_sz - a - qp]
+                ctf += table[s_sz, a + qp] * jv
+                csf += ws[a + qp] * jv
+            true_term = table[s_sz, a] * (
+                (table[s_sz, a] * ysum - 2.0 * t) * cnt
+                + 2.0 * (cnia * near_t + cia * ctf)
+            )
+            sat_term = ws[a] * (
+                (ws[a] * ysum - 2.0 * t) * cnt
+                + 2.0 * (cnia * near_s + cia * csf)
+            )
+            totals -= dy * inv_binom * (true_term - sat_term)
+    return totals
+
+
+def weighted_knn_regression_anchor(
+    n: int, k_neighbors: int, weight_table, y_sorted, t: float
+) -> float:
+    """Close the eq (74) anchor of the rank-only weighted regressor.
+
+    Averages ``v(S ∪ {N}) - v(S)`` over all coalition sizes ``c <=
+    K-1``.  Writing ``D = pred(S ∪ {N}) - pred(S)`` and ``P = pred(S)``
+    the marginal is ``-D * (D + 2P - 2t)`` — quadratic in the labels,
+    so beyond the first moments ``M1(c, q) = sum_S y_{sigma_q}`` it
+    needs the *second* moments ``M2(c, q, q') = sum_S y_{sigma_q}
+    y_{sigma_q'}``: the diagonal carries ``sum y_r^2`` prefix sums and
+    the off-diagonal a between-ranks Pascal recursion ``W``.
+    ``O(N * K^3)`` total.
+    """
+    table, y = _regression_check(n, k_neighbors, weight_table, y_sorted)
+    t = float(t)
+    k = k_neighbors
+    if n == 1:
+        return -((table[0, 0] * y[0] - t) ** 2) + t**2
+    y_n = y[n - 1]
+    y_head = y[: n - 1]
+    cmax = min(k, n) - 1  # largest incumbent count with q >= 1
+    total = 0.0
+    if cmax >= 1:
+        r = np.arange(1.0, n, dtype=np.float64)  # ranks 1..N-1
+        # cl[:, q-1] = C(r-1, q-1); cr[:, j] = C(N-1-r, j)
+        cl = np.stack(
+            [falling_binomial(r - 1.0, q - 1) for q in range(1, cmax + 1)],
+            axis=1,
+        )
+        cr = np.stack(
+            [falling_binomial(n - 1.0 - r, j) for j in range(cmax)], axis=1
+        )
+        # m1[q-1, j] = sum_r y_r C(r-1,q-1) C(N-1-r, j); m2d with y^2
+        m1 = np.einsum("r,rq,rj->qj", y_head, cl, cr)
+        m2d = np.einsum("r,rq,rj->qj", y_head**2, cl, cr)
+        # w_t[r'-1, q-1, u] = sum_{r < r'} y_r C(r-1,q-1) C(r'-r-1, u)
+        m2o = None
+        if cmax >= 2:
+            w_t = np.zeros((n - 1, cmax, cmax - 1))
+            for rp in range(2, n):  # build row r' from row r'-1
+                w_t[rp - 1, :, 1:] = (
+                    w_t[rp - 2, :, 1:] + w_t[rp - 2, :, :-1]
+                )
+                w_t[rp - 1, :, 0] = (
+                    w_t[rp - 2, :, 0] + y[rp - 2] * cl[rp - 2]
+                )
+            # m2o[q-1, u, j] = sum_r' y_r' C(N-1-r', j) w_t[r', q, u]
+            m2o = np.einsum("r,rj,rqu->quj", y_head, cr, w_t)
+    for c in range(0, min(k, n)):
+        w_new_self = table[c, c]  # w_{c+1}(c+1)
+        wn = w_new_self * y_n
+        inv_binom = 1.0 / math.comb(n - 1, c)
+        level = math.comb(n - 1, c) * wn * (wn - 2.0 * t)
+        if c >= 1:
+            w_new = table[c, :c]  # w_q(c+1), q = 1..c
+            w_old = table[c - 1, :c]  # w_q(c)
+            delta = w_new - w_old
+            a_coef = w_new + w_old
+            m1_c = np.array([m1[q - 1, c - q] for q in range(1, c + 1)])
+            m2d_c = np.array([m2d[q - 1, c - q] for q in range(1, c + 1)])
+            level += float(np.dot(delta * a_coef, m2d_c))
+            for q in range(1, c + 1):
+                for qp in range(q + 1, c + 1):
+                    cross = m2o[q - 1, qp - q - 1, c - qp]
+                    level += (
+                        delta[q - 1] * a_coef[qp - 1]
+                        + delta[qp - 1] * a_coef[q - 1]
+                    ) * cross
+            level += wn * float(np.dot(a_coef, m1_c))
+            level += (wn - 2.0 * t) * float(np.dot(delta, m1_c))
+        total -= inv_binom * level
+    return total / n

@@ -135,9 +135,10 @@ def exact_weighted_knn_shapley(
     mode:
         ``"reference"`` (default — this function is the audited
         baseline the fast paths are tested against) runs the historical
-        per-coalition recursion; ``"auto"``, ``"piecewise"`` and
-        ``"vectorized"`` dispatch through the ``weighted`` kernel's
-        fast paths (:meth:`repro.core.kernels.WeightedKernel.select_path`).
+        per-coalition recursion; ``"auto"``, ``"piecewise"``,
+        ``"vectorized"`` and ``"streaming"`` dispatch through the
+        ``weighted`` kernel's fast paths
+        (:meth:`repro.core.kernels.WeightedKernel.select_path`).
 
     Returns
     -------
@@ -178,7 +179,7 @@ def exact_weighted_knn_shapley(
             distances=utility.sorted_distances,
         )
         extra["weighted_path"] = kernel.select_path(
-            k, weights, task=task, mode=mode
+            k, weights, task=task, mode=mode, n_train=dataset.n_train
         )
         per_test = kernel.values_from_plan(
             plan, k, weights=weights, task=task, mode=mode

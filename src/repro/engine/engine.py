@@ -33,8 +33,10 @@ free:
 * ``method="weighted"`` — Theorem 7 over a full ranking with
   distances (classification eq 26 / regression eq 27).  The kernel
   picks an execution path per request (``mode="auto"``: the O(N) K=1
-  collapse, the O(N·K^2) piecewise counting path for rank-only
-  weights, or the batched configuration engine — see
+  collapse, the O(N·poly(K)) piecewise counting/moment paths for
+  rank-only weights on either task, or the batched configuration
+  engine — materialized within its memory budget, streaming past it —
+  see
   :meth:`repro.core.kernels.WeightedKernel.select_path`); the chosen
   path is surfaced in ``ValuationResult.extra["weighted_path"]`` and
   counted in :meth:`ValuationEngine.stats`.
@@ -58,6 +60,7 @@ from ..core.kernels import (
     ValuationKernel,
     available_kernels,
     get_kernel,
+    weighted_config_cache_stats,
 )
 from ..core.truncated import truncation_rank
 from ..exceptions import ParameterError
@@ -358,7 +361,11 @@ class ValuationEngine:
 
         The cache's and backend's own snapshots ride along under
         ``"cache"`` / ``"backend"`` so one call captures the engine
-        stack; each nested dict follows the same schema.
+        stack; each nested dict follows the same schema.  The shared
+        weighted configuration-array cache
+        (:func:`repro.core.kernels.weighted_config_cache_stats`) rides
+        along under ``"weighted_config_cache"`` — it is process-wide,
+        repeated here so one engine snapshot captures it.
         """
         with self._ops_lock:
             counters = dict(self._ops)
@@ -374,6 +381,7 @@ class ValuationEngine:
             },
             cache=self.cache.stats() if self.cache is not None else None,
             backend=self.backend.stats(),
+            weighted_config_cache=weighted_config_cache_stats(),
         )
 
     def run_exclusive(self, fn):
@@ -435,7 +443,7 @@ class ValuationEngine:
         mode:
             Execution-path selector for ``method="weighted"``
             (``"auto"`` | ``"piecewise"`` | ``"vectorized"`` |
-            ``"reference"``, see
+            ``"streaming"`` | ``"reference"``, see
             :meth:`repro.core.kernels.WeightedKernel.select_path`);
             ignored by the other methods.  The resolved path lands in
             ``extra["weighted_path"]`` and the engine's path counters.
@@ -687,6 +695,7 @@ class ValuationEngine:
                 params.get("weights", "inverse_distance"),
                 task=params.get("task", "classification"),
                 mode=params.get("mode", "auto"),
+                n_train=self.n_train,
             )
             self._record_weighted_path(weighted_path)
             root.set("weighted_path", weighted_path)

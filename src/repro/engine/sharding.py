@@ -512,7 +512,11 @@ class ShardRouter:
             params = {"weights": weights, "task": self.task, "mode": mode}
             if hasattr(kernel, "select_path"):
                 weighted_path = kernel.select_path(
-                    self.k, weights, task=self.task, mode=mode
+                    self.k,
+                    weights,
+                    task=self.task,
+                    mode=mode,
+                    n_train=self.n_train,
                 )
                 root.set("weighted_path", weighted_path)
         n, n_test = self.n_train, x_test.shape[0]

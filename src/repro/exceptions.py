@@ -13,6 +13,8 @@ __all__ = [
     "ReproError",
     "DataValidationError",
     "ParameterError",
+    "KernelCapabilityError",
+    "MemoryBudgetError",
     "NotFittedError",
     "ConvergenceError",
     "UtilityError",
@@ -39,6 +41,47 @@ class ParameterError(ReproError, ValueError):
     Examples include ``k <= 0``, an approximation target ``epsilon <= 0``,
     or a failure probability ``delta`` outside ``(0, 1)``.
     """
+
+
+class KernelCapabilityError(ParameterError):
+    """Raised when a requested kernel path needs a capability the
+    supplied weight function (or task) does not declare.
+
+    The weighted kernel's ``piecewise`` path, for example, requires a
+    *rank-only* weight function: custom callables must set
+    ``fn.rank_only = True`` to declare it.  :attr:`capability` names
+    the missing flag so callers can fix the declaration rather than
+    parse the message.
+    """
+
+    def __init__(self, message: str, capability: str | None = None) -> None:
+        super().__init__(message)
+        #: name of the missing capability flag (e.g. ``"rank_only"``)
+        self.capability = capability
+
+
+class MemoryBudgetError(ReproError, RuntimeError):
+    """Raised when a materialized execution path would exceed its
+    configured memory budget.
+
+    The weighted kernel's ``vectorized`` path materializes every
+    size-(K-1) configuration row; when the estimate passes the budget
+    the request must either switch to ``mode="streaming"`` (fixed-size
+    configuration blocks, same sums bit-for-bit) or raise the budget.
+    Carries both sides of the comparison in bytes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        estimated_bytes: int | None = None,
+        budget_bytes: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: estimated resident bytes of the materialized configurations
+        self.estimated_bytes = estimated_bytes
+        #: configured budget in bytes
+        self.budget_bytes = budget_bytes
 
 
 class NotFittedError(ReproError, RuntimeError):

@@ -3,6 +3,7 @@
 from .fig_accuracy import figure8_accuracy_table
 from .fig_correctness import figure5_mc_convergence
 from .fig_engine import engine_throughput, weighted_engine, weighted_fast_paths
+from .fig_frontier import weighted_frontier
 from .fig_incremental import incremental_churn
 from .fig_lsh import (
     figure9_contrast_vs_kstar,
@@ -59,6 +60,7 @@ __all__ = [
     "engine_throughput",
     "weighted_engine",
     "weighted_fast_paths",
+    "weighted_frontier",
     "incremental_churn",
     "monitor_maintenance",
     "tracing_overhead",

@@ -42,7 +42,7 @@ from typing import Callable, Dict, Union
 
 import numpy as np
 
-from ..exceptions import ParameterError
+from ..exceptions import KernelCapabilityError, ParameterError
 
 __all__ = [
     "WeightFunction",
@@ -253,9 +253,12 @@ def weight_position_table(
         name = weights if isinstance(weights, str) else getattr(
             fn, "__name__", "custom"
         )
-        raise ParameterError(
+        raise KernelCapabilityError(
             f"weight function {name!r} is not rank-only; its per-position "
-            "weights depend on the distance values and cannot be tabulated"
+            "weights depend on the distance values and cannot be tabulated "
+            "(custom callables that qualify must declare the capability "
+            "with fn.rank_only = True)",
+            capability="rank_only",
         )
     table = np.zeros((k, k), dtype=np.float64)
     for m in range(1, k + 1):

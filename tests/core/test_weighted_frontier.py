@@ -1,0 +1,379 @@
+"""Tests for the weighted frontier: regression piecewise + streaming.
+
+Three pillars.  (1) The O(N·poly(K)) regression piecewise path
+(rank-only weights): agreement with the exhaustive 2^N oracle at tiny
+N and with the configuration engine at serving-ish N.  (2) The
+streaming configuration engine: colex block enumeration, bit-identity
+with the materialized engine for K in {3, 4, 5} on both tasks, and
+fixed-memory guarantees (blocks within budget; the materialized path
+refuses past it with a typed error).  (3) The routing/observability
+surface: the full mode x task x weight-kind selection table, the
+typed capability error, and the bounded configuration-array cache.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import get_kernel, shapley_by_subsets
+from repro.core.kernels import (
+    BatchedWeightedRecursion,
+    RankPlan,
+    _colex_combinations,
+    _combination_array,
+    iter_combination_blocks,
+    materialized_config_bytes,
+    weighted_config_cache_clear,
+    weighted_config_cache_stats,
+)
+from repro.core.piecewise import (
+    size_sum_closed_form,
+    weighted_knn_regression_anchor,
+    weighted_knn_regression_pair_totals,
+)
+from repro.core.weighted import exact_weighted_knn_shapley
+from repro.datasets import gaussian_blobs, regression_dataset
+from repro.exceptions import (
+    KernelCapabilityError,
+    MemoryBudgetError,
+    ParameterError,
+)
+from repro.knn import argsort_by_distance
+from repro.knn.weights import weight_position_table
+from repro.utility import WeightedKNNRegressionUtility
+
+ALL_WEIGHTS = ("uniform", "rank", "inverse_distance", "gaussian")
+
+
+def _plan(data):
+    order, dist = argsort_by_distance(data.x_test, data.x_train)
+    return RankPlan.from_order(
+        order,
+        np.asarray(data.y_train, dtype=np.float64),
+        data.y_test,
+        distances=dist,
+    )
+
+
+@pytest.fixture(scope="module")
+def cls_plan():
+    return _plan(gaussian_blobs(n_train=13, n_test=2, n_features=4, seed=821))
+
+
+@pytest.fixture(scope="module")
+def reg_plan():
+    return _plan(
+        regression_dataset(n_train=13, n_test=2, n_features=4, seed=822)
+    )
+
+
+# ------------------------------------------------ colex block streaming
+@pytest.mark.parametrize("r", [1, 2, 3, 4])
+@pytest.mark.parametrize("block_rows", [3, 7, 64])
+def test_streaming_blocks_concatenate_to_colex(r, block_rows):
+    n = 11
+    full = _colex_combinations(n, r)
+    blocks = list(iter_combination_blocks(n, r, block_rows))
+    np.testing.assert_array_equal(np.concatenate(blocks, axis=0), full)
+    # fixed-size guarantee: every block is exactly block_rows except
+    # (possibly) the last — the memory bound the streaming engine sells
+    for b in blocks[:-1]:
+        assert b.shape == (block_rows, r)
+    assert 0 < blocks[-1].shape[0] <= block_rows
+
+
+def test_streaming_blocks_edge_cases():
+    # r == 0: the single empty coalition
+    blocks = list(iter_combination_blocks(6, 0, 8))
+    assert len(blocks) == 1 and blocks[0].shape == (1, 0)
+    # n < r: nothing to enumerate
+    assert list(iter_combination_blocks(3, 5, 8)) == []
+    # exact multiple of block_rows: no ghost empty block
+    blocks = list(iter_combination_blocks(4, 2, 3))  # C(4,2) = 6 = 2*3
+    assert [b.shape[0] for b in blocks] == [3, 3]
+
+
+# ------------------------------- streaming vs materialized bit-identity
+@pytest.mark.parametrize("k", [3, 4, 5])
+@pytest.mark.parametrize("weights", ALL_WEIGHTS)
+@pytest.mark.parametrize("task", ["classification", "regression"])
+def test_streaming_bit_identical_to_materialized(
+    cls_plan, reg_plan, k, weights, task
+):
+    """Same colex order + same block boundaries => the same float adds
+    in the same sequence: streaming must be bit-for-bit identical."""
+    plan = cls_plan if task == "classification" else reg_plan
+    kernel = get_kernel("weighted")
+    mat = kernel.values_from_plan(
+        plan, k, weights=weights, task=task, mode="vectorized"
+    )
+    stream = kernel.values_from_plan(
+        plan, k, weights=weights, task=task, mode="streaming"
+    )
+    np.testing.assert_array_equal(stream, mat)
+
+
+@pytest.mark.parametrize("block_rows", [5, 17])
+def test_streaming_bit_identity_survives_odd_block_sizes(
+    reg_plan, block_rows
+):
+    kernel = get_kernel("weighted")
+    mat = kernel.values_from_plan(
+        reg_plan,
+        4,
+        weights="gaussian",
+        task="regression",
+        mode="vectorized",
+        block_rows=block_rows,
+    )
+    stream = kernel.values_from_plan(
+        reg_plan,
+        4,
+        weights="gaussian",
+        task="regression",
+        mode="streaming",
+        block_rows=block_rows,
+    )
+    np.testing.assert_array_equal(stream, mat)
+
+
+# ------------------------------------------------- fixed-memory budget
+def test_streaming_engine_memory_is_block_bounded():
+    """The streaming engine's resident configuration bytes depend on
+    block_rows, never on C(N-2, K-1)."""
+    block_rows = 1 << 10
+    eng = BatchedWeightedRecursion(500, 5, block_rows=block_rows, streaming=True)
+    item = np.dtype(np.intp).itemsize
+    budget = block_rows * max(1, 4) * item
+    assert eng.config_bytes() <= budget
+    # same engine shape at 4x the N: identical resident bytes
+    eng2 = BatchedWeightedRecursion(
+        2000, 5, block_rows=block_rows, streaming=True
+    )
+    assert eng2.config_bytes() == eng.config_bytes()
+    # while the materialized estimate explodes combinatorially
+    assert materialized_config_bytes(2000, 5) > 1 << 33
+
+
+def test_materialized_refuses_past_budget():
+    kernel = get_kernel("weighted")
+    with pytest.raises(MemoryBudgetError) as exc:
+        kernel.select_path(
+            4,
+            "inverse_distance",
+            mode="vectorized",
+            n_train=400,
+            memory_budget_bytes=1 << 20,
+        )
+    assert exc.value.budget_bytes == 1 << 20
+    assert exc.value.estimated_bytes > 1 << 20
+    # auto degrades to streaming instead of refusing
+    assert (
+        kernel.select_path(
+            4,
+            "inverse_distance",
+            n_train=400,
+            memory_budget_bytes=1 << 20,
+        )
+        == "streaming"
+    )
+    # within budget, auto prefers the materialized engine
+    assert (
+        kernel.select_path(3, "inverse_distance", n_train=20) == "vectorized"
+    )
+
+
+def test_materialized_config_bytes_is_exact_int():
+    # exact Python-int arithmetic: no float rounding at serving scale
+    est = materialized_config_bytes(2000, 5)
+    assert isinstance(est, int)
+    item = np.dtype(np.intp).itemsize
+    # dominated by the size-(K-1) block: C(1998, 4) rows of width 4
+    import math
+
+    assert est >= math.comb(1998, 4) * 4 * item
+    assert materialized_config_bytes(1, 3) == 0
+
+
+# ----------------------------------------- regression piecewise: values
+@pytest.mark.parametrize("weights", ["uniform", "rank"])
+@pytest.mark.parametrize("k", [2, 3])
+def test_regression_piecewise_matches_brute_force(tiny_reg, weights, k):
+    utility = WeightedKNNRegressionUtility(tiny_reg, k, weights=weights)
+    oracle = shapley_by_subsets(utility)
+    fast = exact_weighted_knn_shapley(
+        tiny_reg, k, weights=weights, task="regression", mode="piecewise"
+    )
+    np.testing.assert_allclose(fast.values, oracle.values, atol=1e-10)
+    assert fast.extra["weighted_path"] == "piecewise"
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_regression_piecewise_matches_reference(reg_plan, k):
+    kernel = get_kernel("weighted")
+    ref = kernel.values_from_plan(
+        reg_plan, k, weights="rank", task="regression", mode="reference"
+    )
+    fast = kernel.values_from_plan(
+        reg_plan, k, weights="rank", task="regression", mode="piecewise"
+    )
+    assert np.max(np.abs(fast - ref)) <= 1e-12
+
+
+def test_regression_piecewise_matches_configuration_engine_at_scale():
+    """N ~ 300: far beyond the oracle, still cheap for the K=2
+    configuration engine — the two independent implementations must
+    agree to 1e-12."""
+    data = regression_dataset(n_train=300, n_test=2, n_features=5, seed=823)
+    plan = _plan(data)
+    kernel = get_kernel("weighted")
+    engine = kernel.values_from_plan(
+        plan, 2, weights="rank", task="regression", mode="vectorized"
+    )
+    fast = kernel.values_from_plan(
+        plan, 2, weights="rank", task="regression", mode="piecewise"
+    )
+    assert np.max(np.abs(fast - engine)) <= 1e-12
+
+
+def test_regression_piecewise_efficiency_axiom():
+    """Sum of values = v(D) - v(empty) for every test point (exactness
+    sanity independent of any second implementation)."""
+    data = regression_dataset(n_train=60, n_test=3, n_features=4, seed=824)
+    plan = _plan(data)
+    k = 3
+    table = weight_position_table("rank", k)
+    kernel = get_kernel("weighted")
+    per_test = kernel.values_from_plan(
+        plan, k, weights="rank", task="regression", mode="piecewise"
+    )
+    y_sorted = np.asarray(plan.labels_sorted, dtype=np.float64)
+    for j, t in enumerate(np.asarray(plan.y_test, dtype=np.float64)):
+        pred_full = float(table[k - 1, :k] @ y_sorted[j, :k])
+        grand = -((pred_full - t) ** 2) + t**2  # v(D) - v(empty)
+        assert per_test[j].sum() == pytest.approx(grand, abs=1e-10)
+
+
+def test_size_sum_closed_form_theorem1_identity():
+    """C(i-1, a) * SB(N-i-1, a) must telescope to (N-1)/i — the
+    Beta-integral identity the pair sweep is built on."""
+    import math
+
+    n = 40
+    for i in (1, 5, 17, 39):
+        m = n - i - 1
+        for a in range(i):
+            term = math.comb(i - 1, a) * size_sum_closed_form(n, m, a)
+            assert term == pytest.approx((n - 1) / i, rel=1e-12)
+
+
+def test_regression_pair_totals_and_anchor_validate_inputs():
+    table = weight_position_table("rank", 2)
+    with pytest.raises(ParameterError):
+        weighted_knn_regression_pair_totals(
+            5, 2, table[:1], np.zeros(5), 0.0
+        )
+    with pytest.raises(ParameterError):
+        weighted_knn_regression_anchor(5, 2, table, np.zeros(4), 0.0)
+
+
+# --------------------------------------------------- the routing table
+def _expected_route(mode, task, weights, rank_only):
+    if mode == "reference":
+        return "reference"
+    if mode == "streaming":
+        return "streaming"
+    if mode == "vectorized":
+        return "vectorized"
+    if mode == "piecewise":
+        return "piecewise" if rank_only else KernelCapabilityError
+    # auto at k=2, small n: piecewise when capable, else materialized
+    return "piecewise" if rank_only else "vectorized"
+
+
+@pytest.mark.parametrize(
+    "mode, task, weights",
+    list(
+        itertools.product(
+            ("auto", "reference", "vectorized", "streaming", "piecewise"),
+            ("classification", "regression"),
+            ALL_WEIGHTS,
+        )
+    ),
+)
+def test_select_path_routing_table(mode, task, weights):
+    """The full mode x task x weight-kind table, in one place."""
+    kernel = get_kernel("weighted")
+    rank_only = weights in ("uniform", "rank")
+    expected = _expected_route(mode, task, weights, rank_only)
+    if expected is KernelCapabilityError:
+        with pytest.raises(KernelCapabilityError) as exc:
+            kernel.select_path(2, weights, task=task, mode=mode, n_train=20)
+        assert exc.value.capability == "rank_only"
+    else:
+        assert (
+            kernel.select_path(2, weights, task=task, mode=mode, n_train=20)
+            == expected
+        )
+
+
+def test_capability_error_is_parameter_error():
+    """Typed but backwards compatible: existing except ParameterError
+    clauses keep working."""
+    kernel = get_kernel("weighted")
+    with pytest.raises(ParameterError):
+        kernel.select_path(2, "gaussian", mode="piecewise")
+
+
+# --------------------------------------------- bounded config-array cache
+def test_config_cache_counts_and_evicts(monkeypatch):
+    from repro.core import kernels as kmod
+
+    weighted_config_cache_clear()
+    base = weighted_config_cache_stats()
+    assert base["entries"] == 0 and base["bytes"] == 0
+
+    a1 = _combination_array(10, 3)
+    assert not a1.flags.writeable  # shared arrays are read-only
+    stats = weighted_config_cache_stats()
+    assert stats["misses"] >= 1 and stats["entries"] >= 1
+    a2 = _combination_array(10, 3)
+    assert a2 is a1  # served from cache
+    assert weighted_config_cache_stats()["hits"] >= 1
+
+    # shrink the cap so the next array fits alone but not alongside the
+    # resident one: admitting it must evict FIFO, values unchanged
+    import math
+
+    b_bytes = math.comb(11, 3) * 3 * np.dtype(np.intp).itemsize
+    monkeypatch.setattr(kmod, "WEIGHTED_CONFIG_CACHE_BYTES", b_bytes + 8)
+    b = _combination_array(11, 3)
+    np.testing.assert_array_equal(b, _colex_combinations(11, 3))
+    stats = weighted_config_cache_stats()
+    assert stats["evictions"] >= 1
+    assert stats["bytes"] <= b_bytes + 8
+
+    # an array larger than the whole cap is served uncached
+    monkeypatch.setattr(kmod, "WEIGHTED_CONFIG_CACHE_BYTES", 8)
+    before = weighted_config_cache_stats()["entries"]
+    c = _combination_array(12, 3)
+    np.testing.assert_array_equal(c, _colex_combinations(12, 3))
+    after = weighted_config_cache_stats()
+    assert after["oversize"] >= 1 and after["entries"] <= before
+
+    weighted_config_cache_clear()
+    monkeypatch.undo()
+
+
+def test_engine_stats_surface_config_cache():
+    from repro.engine import ValuationEngine
+
+    data = gaussian_blobs(n_train=12, n_test=2, n_features=4, seed=825)
+    engine = ValuationEngine(data.x_train, data.y_train, 3)
+    engine.value(
+        data.x_test, data.y_test, method="weighted", weights="gaussian"
+    )
+    stats = engine.stats()
+    cache = stats["weighted_config_cache"]
+    assert {"hits", "misses", "evictions", "bytes", "entries"} <= set(cache)

@@ -270,8 +270,8 @@ def test_select_path_auto_routing():
     assert kernel.select_path(2, "uniform") == "piecewise"
     assert kernel.select_path(2, "inverse_distance") == "vectorized"
     assert kernel.select_path(2, "gaussian") == "vectorized"
-    # regression never takes the piecewise path
-    assert kernel.select_path(2, "rank", task="regression") == "vectorized"
+    # regression rank-only weights take the moment-based piecewise path
+    assert kernel.select_path(2, "rank", task="regression") == "piecewise"
     # callables are never the k1 collapse; rank_only opt-in is honored
     def custom(d):
         return np.full(d.shape, 1.0 / max(1, d.size))
@@ -288,8 +288,11 @@ def test_select_path_validation():
     kernel = get_kernel("weighted")
     with pytest.raises(ParameterError):
         kernel.select_path(2, "inverse_distance", mode="piecewise")
-    with pytest.raises(ParameterError):
+    # regression piecewise is now supported for rank-only weights
+    assert (
         kernel.select_path(2, "rank", task="regression", mode="piecewise")
+        == "piecewise"
+    )
     with pytest.raises(ParameterError):
         kernel.select_path(2, "rank", mode="warp-speed")
     with pytest.raises(ParameterError):

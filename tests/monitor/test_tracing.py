@@ -108,6 +108,7 @@ def test_weighted_request_records_execution_path(data):
         "k1",
         "piecewise",
         "vectorized",
+        "streaming",
         "reference",
     )
     assert "kernel.weighted" in _names(tree)
