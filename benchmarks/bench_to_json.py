@@ -83,6 +83,12 @@ WORKLOAD = {
     # tracer (span log + hub streaming, cache off) vs the NOOP default
     "trace_n_train": 4000,
     "trace_requests": 6,
+    # ops-plane workload (PR 9): serving with the whole operations
+    # plane enabled (SLO tracking + per-request alert evaluation + a
+    # 19 Hz sampling profiler) vs the bare engine, cache off
+    "ops_n_train": 4000,
+    "ops_requests": 6,
+    "ops_profiler_hz": 19,
     # sharded tier workload (PR 7): a 4-shard data-mode router vs one
     # engine on the top-K (truncated) path, at an N large enough that
     # the single engine's chunk heuristic serializes the request.  The
@@ -100,6 +106,7 @@ def measure() -> dict:
         engine_throughput,
         incremental_churn,
         monitor_maintenance,
+        ops_plane_overhead,
         shard_scaleout,
         tracing_overhead,
         weighted_engine,
@@ -144,6 +151,14 @@ def measure() -> dict:
         n_requests=WORKLOAD["trace_requests"],
         k=WORKLOAD["k"],
         repeat=WORKLOAD["repeat"],
+        seed=WORKLOAD["seed"],
+    ).rows[0]
+    ops = ops_plane_overhead(
+        n_train=WORKLOAD["ops_n_train"],
+        n_requests=WORKLOAD["ops_requests"],
+        k=WORKLOAD["k"],
+        repeat=WORKLOAD["repeat"],
+        profiler_hz=WORKLOAD["ops_profiler_hz"],
         seed=WORKLOAD["seed"],
     ).rows[0]
     sharded = shard_scaleout(
@@ -229,6 +244,11 @@ def measure() -> dict:
             # check() additionally enforces the absolute >= 0.95 floor
             # (<= 5% overhead), the observability leave-on-able bar
             "trace_overhead_margin": traced["trace_overhead_margin"],
+            # ~1.0 = the whole ops plane (SLO tracking, per-request
+            # alert evaluation, 19 Hz profiler) is free on the serving
+            # path; check() additionally enforces the absolute >= 0.95
+            # floor (<= 5% overhead), the leave-on-able bar
+            "ops_plane_overhead_margin": ops["ops_plane_overhead_margin"],
             # > 1.0 = the 4-shard router serves the top-K request
             # faster than one engine over the full training set.
             # Capped like the other fast ratios; collapsing to <= 1
@@ -276,6 +296,11 @@ def measure() -> dict:
             "trace_plain_s": traced["plain_s"],
             "trace_traced_s": traced["traced_s"],
             "trace_spans_per_request": traced["spans_per_request"],
+            "ops_plain_s": ops["plain_s"],
+            "ops_plane_s": ops["ops_s"],
+            "ops_profiler_samples": ops["profiler_samples"],
+            "ops_profiler_overruns": ops["profiler_overruns"],
+            "ops_slo_evaluations": ops["slo_evaluations"],
             "shard_single_engine_s": sharded["single_engine_s"],
             "shard_router_s": sharded["router_s"],
             "shard_scaleout_margin_raw": sharded["scaleout_margin"],
@@ -369,6 +394,16 @@ def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
         failures.append(
             f"trace_overhead_margin: {margin:.3f} below the 0.95 floor "
             "(enabled tracing costs more than 5% of untraced serving)"
+        )
+    # the ops-plane acceptance bar is absolute too: SLO tracking,
+    # per-request alert evaluation, and the 19 Hz profiler must
+    # together cost at most 5% of bare serving
+    ops_margin = candidate["metrics"].get("ops_plane_overhead_margin")
+    if ops_margin is not None and ops_margin < 0.95:
+        failures.append(
+            f"ops_plane_overhead_margin: {ops_margin:.3f} below the 0.95 "
+            "floor (the enabled ops plane costs more than 5% of bare "
+            "serving)"
         )
     return failures
 

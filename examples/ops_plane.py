@@ -1,0 +1,254 @@
+"""The live operations plane over a valuation deployment, end to end.
+
+A deployment is only operable if someone can answer *is it healthy,
+what is broken, and where is the time going* without attaching a
+debugger.  This example wires the whole `repro.monitor` ops plane over
+a traced `ValuationService` and drives every piece:
+
+1. a `TelemetryHub` + `Tracer` instrument the engine and service (the
+   same wiring as `examples/traced_service.py`);
+2. an `SLOTracker` holds declarative objectives over the hub's
+   streams (`engine.request_seconds p99 < 250ms`, a p50 objective,
+   and a job-failure error budget) with SRE multi-window burn-rate
+   policies;
+3. an `AlertManager` evaluates the SLOs plus threshold/counter rules,
+   dedups while firing, and fans transitions out to a JSONL log sink
+   and a callback sink;
+4. a `SamplingProfiler` samples every thread at 19 Hz, and span-based
+   phase attribution splits a request's wall time across
+   facade/engine/chunk/kernel/backend from its trace tree;
+5. an `ObservabilityServer` exposes it all over HTTP — `/metrics`,
+   `/health`, `/ready`, `/slo`, `/alerts`, `/profile` — fetched here
+   in-process with urllib;
+6. an induced latency regression pushes the burn rate over the
+   critical policy (fired through an injected clock so the 5m/1h
+   windows pass in microseconds), and recovery resolves it.
+
+Run:  python examples/ops_plane.py
+CI:   python examples/ops_plane.py --serve 10 &  then curl /metrics …
+
+`--port N` fixes the HTTP port (default: ephemeral); `--serve SECONDS`
+keeps the server up after the demo so an external client can scrape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+import urllib.request
+
+from repro.datasets import gaussian_blobs
+from repro.engine import ValuationEngine, ValuationService
+from repro.monitor import (
+    AlertManager,
+    ObservabilityServer,
+    SamplingProfiler,
+    SLOTracker,
+    TelemetryHub,
+    ThresholdRule,
+    TraceLog,
+    Tracer,
+    phase_attribution,
+    router_rules,
+)
+
+SEED = 13
+N_SELLERS = 2000
+N_QUERIES = 32
+N_FEATURES = 10
+K = 5
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.read()
+
+
+def induce_and_resolve_burn(
+    hub: TelemetryHub,
+    slo: SLOTracker,
+    alerts: AlertManager,
+    offset: list,
+) -> None:
+    """Fire the burn-rate alert on the *live* tracker, then resolve it.
+
+    The 5m/1h SRE windows would take an hour of wall time to traverse;
+    the tracker's injectable clock (here ``time.monotonic() + offset``)
+    walks them in microseconds, which is exactly how the tests drive
+    it.  The stream is a dedicated demo series so the induced
+    regression does not pollute the engine SLOs — but it fires through
+    the same manager the ``/alerts`` endpoint serves.
+    """
+    slo.add("demo latency", "demo.latency p99 < 50ms")
+    timeline = []
+    alerts.add_sink(
+        lambda p: timeline.append(f"  +{offset[0]:>6.0f}s  {p['name']} -> {p['state']}")
+    )
+
+    def advance(seconds: float, n: int, value: float) -> None:
+        for _ in range(10):
+            offset[0] += seconds / 10.0
+            for _ in range(max(1, n // 10)):
+                hub.record("demo.latency", value)
+            slo.tick()
+
+    advance(600.0, 1000, 0.001)  # healthy baseline: 1 ms requests
+    alerts.evaluate()
+    advance(300.0, 500, 0.5)  # regression: 500 ms, every request bad
+    fired = alerts.evaluate()
+    assert any(t["state"] == "firing" for t in fired), "burn alert did not fire"
+    advance(3600.0, 20000, 0.001)  # recovery drains both windows
+    resolved = alerts.evaluate()
+    assert any(t["state"] == "resolved" for t in resolved), "alert did not resolve"
+    print("\n".join(timeline))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=0, help="HTTP port (0 = ephemeral)")
+    parser.add_argument(
+        "--serve",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the HTTP server up this long after the demo (for curl)",
+    )
+    args = parser.parse_args()
+
+    data = gaussian_blobs(
+        n_train=N_SELLERS, n_test=N_QUERIES, n_features=N_FEATURES, seed=SEED
+    )
+
+    # --- instrument: hub + tracer on the engine, service on top ------
+    hub = TelemetryHub()
+    tracer = Tracer(log=TraceLog(capacity=4096), hub=hub)
+    engine = (
+        ValuationEngine(data.x_train, data.y_train, K, n_workers=1)
+        .attach_telemetry(hub)
+        .attach_tracer(tracer)
+    )
+
+    # --- declare the SLOs and alert rules ----------------------------
+    # the offsettable clock lets the demo traverse the burn windows
+    # without sleeping; offset stays 0 while real traffic is served
+    offset = [0.0]
+    slo = SLOTracker(hub, clock=lambda: time.monotonic() + offset[0])
+    slo.add("request latency p99", "engine.request_seconds p99 < 250ms")
+    slo.add("request latency p50", "engine.request_seconds p50 < 100ms")
+    slo.add("job failures", "service.jobs_failed / service.jobs_done < 1%")
+    alert_log = os.path.join(tempfile.mkdtemp(), "alerts.jsonl")
+    alerts = AlertManager(
+        hub,
+        rules=[
+            ThresholdRule(
+                "queue backlog",
+                series="service.queue_seconds",
+                stat="p99",
+                op=">",
+                value=5.0,
+            ),
+            *router_rules(),
+        ],
+        slo=slo,
+    )
+    alerts.log_to(alert_log)
+
+    profiler = SamplingProfiler(hz=19.0)
+
+    with ValuationService(engine, n_workers=2) as service:
+        server = ObservabilityServer(
+            target=service,
+            hub=hub,
+            slo=slo,
+            alerts=alerts,
+            profiler=profiler,
+            port=args.port,
+        ).start()
+        print(f"ops plane: K={K}, {N_SELLERS} sellers, serving {server.url}")
+        print(f"alert log: {alert_log}\n")
+
+        # --- serve traffic with the profiler running -----------------
+        with profiler:
+            jobs = [
+                service.submit_batch(data.x_test, data.y_test, tag=f"c{i}")
+                for i in range(6)
+            ]
+            results = [job.result(timeout=60) for job in jobs]
+            direct = engine.value(data.x_test, data.y_test, method="exact")
+            # keep serving until the 19 Hz profiler has caught samples
+            deadline = time.monotonic() + 5.0
+            while profiler.snapshot(top=0)["samples"] < 5:
+                engine.value(data.x_test, data.y_test, method="exact")
+                if time.monotonic() > deadline:
+                    break
+        slo.tick()
+
+        # --- SLO report over real traffic ----------------------------
+        print("--- SLO report (healthy traffic) ---")
+        for status in slo.evaluate():
+            print(
+                f"  {status['name']:<22} {status['objective']:<46} "
+                f"attainment {status['attainment']:.4f}  "
+                f"budget left {status['budget_remaining'] * 100:6.1f}%  "
+                f"{'FIRING' if status['firing'] else 'ok'}"
+            )
+        assert not alerts.evaluate(), "healthy traffic must not fire alerts"
+
+        # --- per-phase wall-time attribution from the trace tree -----
+        attribution = phase_attribution(direct.extra["trace"])
+        root_seconds = direct.extra["trace"]["seconds"]
+        print("\n--- where one request's time went (span attribution) ---")
+        for phase, row in attribution["phases"].items():
+            print(
+                f"  {phase:<8} {row['seconds'] * 1e3:8.2f} ms  "
+                f"{row['fraction'] * 100:5.1f}%"
+            )
+        drift = abs(attribution["total_seconds"] - root_seconds) / root_seconds
+        assert drift < 0.10, f"attribution drifted {drift:.1%} from the root span"
+
+        # --- profiler: collapsed stacks ------------------------------
+        print("\n--- hottest profiled frames ---")
+        for row in profiler.top(3):
+            print(
+                f"  {row['frame']:<42} self {row['self']:>4}  "
+                f"total {row['total']:>4}"
+            )
+
+        # --- the HTTP surface, fetched in-process --------------------
+        print("\n--- HTTP endpoints ---")
+        for path in ("/metrics", "/health", "/ready", "/slo", "/alerts", "/profile"):
+            status, body = fetch(server.url + path)
+            assert status == 200, f"{path} returned {status}"
+            print(f"  GET {path:<9} {status}  {len(body):>6} bytes")
+        slo_doc = json.loads(fetch(server.url + "/slo")[1])
+        assert not any(s["firing"] for s in slo_doc["slos"])
+
+        # --- induce a latency regression, watch it fire + resolve ----
+        print("\n--- induced burn: regression fires, recovery resolves ---")
+        induce_and_resolve_burn(hub, slo, alerts, offset)
+
+        # the full cycle is on the HTTP surface the demo just drove
+        alerts_doc = json.loads(fetch(server.url + "/alerts")[1])
+        states = [(h["name"], h["state"]) for h in alerts_doc["history"]]
+        assert ("slo.demo latency", "firing") in states
+        assert ("slo.demo latency", "resolved") in states
+        print(f"\n/alerts history: {len(states)} transitions recorded")
+
+        if args.serve > 0:
+            print(f"\nserving {server.url} for {args.serve:.0f}s …")
+            time.sleep(args.serve)
+        server.stop()
+
+    assert all(len(r.values) == N_SELLERS for r in results)
+    # the JSONL sink recorded exactly the demo's fire/resolve cycle
+    with open(alert_log) as fh:
+        logged = [json.loads(line) for line in fh if line.strip()]
+    assert [entry["state"] for entry in logged] == ["firing", "resolved"]
+    print("\nops plane demo complete: SLOs green, alert cycle exercised.")
+
+
+if __name__ == "__main__":
+    main()

@@ -537,6 +537,17 @@ class ValuationService:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether the service still accepts submissions.
+
+        The readiness probe the observability server's ``/ready``
+        endpoint answers with: ``True`` until :meth:`shutdown` flips
+        it, at which point a load balancer should stop routing here
+        while in-flight jobs drain.
+        """
+        return not self._shutdown
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work, then drain or cancel the queue.
 

@@ -244,6 +244,15 @@ class ShardRouter:
         """Feature width of the training set."""
         return self._n_features
 
+    @property
+    def ready(self) -> bool:
+        """Whether the router still serves (``False`` after :meth:`close`).
+
+        The readiness probe behind the observability server's
+        ``/ready`` endpoint.
+        """
+        return not self._closed
+
     def attach_telemetry(self, hub) -> "ShardRouter":
         """Aggregate the whole fleet into one hub; returns ``self``.
 

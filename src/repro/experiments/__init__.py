@@ -13,6 +13,7 @@ from .fig_lsh import (
     figure10_g_vs_width,
 )
 from .fig_monitor import monitor_maintenance, tracing_overhead
+from .fig_ops import ops_plane_overhead
 from .fig_sharding import shard_scaleout
 from .fig_mc import (
     figure11_permutation_sizes,
@@ -64,5 +65,6 @@ __all__ = [
     "incremental_churn",
     "monitor_maintenance",
     "tracing_overhead",
+    "ops_plane_overhead",
     "shard_scaleout",
 ]

@@ -25,7 +25,16 @@ three layers:
 * :mod:`~repro.monitor.maintenance` — :class:`MaintenanceScheduler`,
   the background detect-plan-act loop executing re-tunes and
   compactions under the engine's exclusive lock, so valuations keep
-  serving (bit-identically, on unchanged data) throughout.
+  serving (bit-identically, on unchanged data) throughout;
+* the live ops plane — :mod:`~repro.monitor.slo`
+  (:class:`SLOTracker`: declarative objectives, error budgets,
+  multi-window burn-rate alerts), :mod:`~repro.monitor.alerts`
+  (:class:`AlertManager`: rules, dedup, JSONL/callback sinks),
+  :mod:`~repro.monitor.profiler` (:class:`SamplingProfiler` and
+  span-tree :func:`phase_attribution`), and
+  :mod:`~repro.monitor.server` (:class:`ObservabilityServer`:
+  ``/metrics`` ``/health`` ``/ready`` ``/slo`` ``/alerts``
+  ``/profile`` over stdlib HTTP).
 
 The one-liner::
 
@@ -36,6 +45,14 @@ instruments an engine end to end and silences the LSH backend's
 warned-refit escape hatch in favor of scheduled background re-tuning.
 """
 
+from .alerts import (
+    AlertManager,
+    AlertRule,
+    CounterIncreaseRule,
+    JsonlSink,
+    ThresholdRule,
+    router_rules,
+)
 from .drift import (
     CandidateDriftDetector,
     ContrastDriftDetector,
@@ -50,6 +67,16 @@ from .maintenance import (
     MaintenanceEvent,
     MaintenanceScheduler,
     attach_monitoring,
+)
+from .profiler import SamplingProfiler, phase_attribution, phase_of
+from .server import ObservabilityServer
+from .slo import (
+    DEFAULT_BURN_POLICIES,
+    BurnPolicy,
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOTracker,
+    parse_objective,
 )
 from .telemetry import Histogram, LabeledHub, Reservoir, TelemetryHub
 from .tracing import (
@@ -83,4 +110,20 @@ __all__ = [
     "MaintenanceEvent",
     "MaintenanceScheduler",
     "attach_monitoring",
+    "SLOTracker",
+    "LatencyObjective",
+    "ErrorRateObjective",
+    "BurnPolicy",
+    "DEFAULT_BURN_POLICIES",
+    "parse_objective",
+    "AlertManager",
+    "AlertRule",
+    "ThresholdRule",
+    "CounterIncreaseRule",
+    "JsonlSink",
+    "router_rules",
+    "SamplingProfiler",
+    "phase_attribution",
+    "phase_of",
+    "ObservabilityServer",
 ]

@@ -1,0 +1,460 @@
+"""Alert rules, firing/resolved state, dedup, and pluggable sinks.
+
+The decision layer between raw telemetry and an operator: an
+:class:`AlertManager` owns a set of rules over
+:class:`~repro.monitor.telemetry.TelemetryHub` streams, adopts the
+burn-rate verdicts of an attached
+:class:`~repro.monitor.slo.SLOTracker`, and ingests point-in-time
+events (:class:`~repro.monitor.drift.DriftSignal` firings, executed
+maintenance actions, shard-degraded/timeout increments from the
+:class:`~repro.engine.sharding.ShardRouter`'s counters).
+
+Alerts are *level-triggered with edge notification*: every
+:meth:`~AlertManager.evaluate` recomputes each rule's condition, but
+sinks only hear transitions — ``ok → firing`` and ``firing →
+resolved`` — while a condition that stays true merely bumps the
+active alert's ``count``/``last_seen`` (dedup).  Events are
+edge-only by nature and always notified.
+
+Sinks are plain callables receiving one JSON-clean payload per
+notification; :class:`JsonlSink` appends them to a log file (one JSON
+object per line, the same greppable shape as the trace log), and any
+callback — a pager shim, a test list — plugs in via
+:meth:`~AlertManager.add_sink`.  A sink that raises is counted
+(``alerts.sink_errors``) and skipped, never allowed to take down
+serving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+from ..exceptions import ParameterError
+from ..stats import component_stats
+
+__all__ = [
+    "AlertManager",
+    "AlertRule",
+    "CounterIncreaseRule",
+    "JsonlSink",
+    "ThresholdRule",
+    "router_rules",
+]
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+_SEVERITY_RANK = {"info": 0, "warn": 1, "critical": 2}
+
+
+class AlertRule:
+    """One named condition over a hub; subclass or wrap a callable.
+
+    ``check(hub)`` returns a human-readable message while the
+    condition holds and ``None`` while it does not.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        check: Optional[Callable[[object], Optional[str]]] = None,
+        severity: str = "warn",
+    ) -> None:
+        if not name:
+            raise ParameterError("an AlertRule needs a non-empty name")
+        if severity not in _SEVERITY_RANK:
+            raise ParameterError(
+                f"severity must be one of {sorted(_SEVERITY_RANK)}, "
+                f"got {severity!r}"
+            )
+        self.name = str(name)
+        self.severity = severity
+        self._check = check
+
+    def check(self, hub) -> Optional[str]:
+        if self._check is None:
+            raise NotImplementedError
+        return self._check(hub)
+
+
+class ThresholdRule(AlertRule):
+    """Fire while a series statistic or counter crosses a bound.
+
+    ``stat`` applies to series: ``"last"``, ``"mean"`` (rolling
+    window), or ``"p<NN>"`` (all-time histogram percentile).  Exactly
+    one of ``series``/``counter`` must be given.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        series: Optional[str] = None,
+        counter: Optional[str] = None,
+        stat: str = "last",
+        op: str = ">",
+        value: float,
+        severity: str = "warn",
+    ) -> None:
+        super().__init__(name, severity=severity)
+        if (series is None) == (counter is None):
+            raise ParameterError("pass exactly one of series= or counter=")
+        if op not in _OPS:
+            raise ParameterError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        if series is not None and stat != "last" and stat != "mean":
+            if not (stat.startswith("p") and stat[1:].replace(".", "", 1).isdigit()):
+                raise ParameterError(
+                    f"stat must be 'last', 'mean', or 'pNN', got {stat!r}"
+                )
+        self.series = series
+        self.counter = counter
+        self.stat = stat
+        self.op = op
+        self.value = float(value)
+
+    def _current(self, hub) -> float:
+        if self.counter is not None:
+            return float(hub.counter(self.counter))
+        if self.stat == "last":
+            return hub.last(self.series)
+        if self.stat == "mean":
+            return hub.mean(self.series)
+        return hub.percentile(self.series, float(self.stat[1:]))
+
+    def check(self, hub) -> Optional[str]:
+        current = self._current(hub)
+        if current != current:  # NaN: stream empty or unknown
+            return None
+        if _OPS[self.op](current, self.value):
+            subject = self.counter or f"{self.series} {self.stat}"
+            return f"{subject} = {current:.6g} {self.op} {self.value:g}"
+        return None
+
+
+class CounterIncreaseRule(AlertRule):
+    """Fire on any evaluation where a counter grew since the last one.
+
+    The shape for fault counters (``router.shard_timeouts``,
+    ``router.shard_errors``, ``maintenance.errors``): the *level* of
+    such a counter is meaningless, the *increments* are the incidents.
+    The rule resolves on the first evaluation without growth, so a
+    burst shows up as one firing/resolved pair, not a stuck alert.
+    The first evaluation seeds the baseline without firing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        counter: str,
+        severity: str = "warn",
+        min_increase: int = 1,
+    ) -> None:
+        super().__init__(name, severity=severity)
+        if min_increase < 1:
+            raise ParameterError(
+                f"min_increase must be >= 1, got {min_increase}"
+            )
+        self.counter = str(counter)
+        self.min_increase = int(min_increase)
+        self._previous: Optional[int] = None
+
+    def check(self, hub) -> Optional[str]:
+        current = int(hub.counter(self.counter))
+        previous, self._previous = self._previous, current
+        if previous is None:
+            return None
+        delta = current - previous
+        if delta >= self.min_increase:
+            return f"{self.counter} +{delta} (now {current})"
+        return None
+
+
+def router_rules(prefix: str = "router") -> list[AlertRule]:
+    """The stock rule battery for a :class:`ShardRouter`'s counters.
+
+    Degraded answers and shard faults are already typed, counted
+    outcomes (see ``docs/OPERATIONS.md``); these rules turn their
+    increments into alert traffic.
+    """
+    return [
+        CounterIncreaseRule(
+            f"{prefix}.degraded",
+            f"{prefix}.degraded_requests",
+            severity="critical",
+        ),
+        CounterIncreaseRule(
+            f"{prefix}.shard_timeouts",
+            f"{prefix}.shard_timeouts",
+            severity="warn",
+        ),
+        CounterIncreaseRule(
+            f"{prefix}.shard_errors",
+            f"{prefix}.shard_errors",
+            severity="warn",
+        ),
+    ]
+
+
+class JsonlSink:
+    """Append every notification as one JSON line to ``path``."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    def __call__(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self._lock, open(self.path, "a") as fh:
+            fh.write(line + "\n")
+
+
+class AlertManager:
+    """Firing/resolved alert state over rules, SLO burn, and events.
+
+    Parameters
+    ----------
+    hub:
+        The telemetry hub the rules read.
+    rules:
+        Initial :class:`AlertRule` battery (extend with
+        :meth:`add_rule`).
+    slo:
+        Optional :class:`~repro.monitor.slo.SLOTracker`; each
+        :meth:`evaluate` adopts its burn-rate verdicts as alerts named
+        ``slo.<name>``.
+    history:
+        Bounded length of the notification history ring.
+    clock:
+        Wall-clock source for payload timestamps (injectable).
+    """
+
+    def __init__(
+        self,
+        hub,
+        rules: Sequence[AlertRule] = (),
+        slo=None,
+        history: int = 512,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if history <= 0:
+            raise ParameterError(f"history must be positive, got {history}")
+        self.hub = hub
+        self.slo = slo
+        self.clock = clock
+        self._rules: list[AlertRule] = []
+        self._sinks: list[Callable[[dict], None]] = []
+        self._lock = threading.RLock()
+        #: alert name -> active-state dict (present while firing)
+        self._active: dict[str, dict] = {}
+        self.history: deque[dict] = deque(maxlen=int(history))
+        self._counts = {
+            "evaluations": 0,
+            "fired": 0,
+            "resolved": 0,
+            "events": 0,
+            "sink_errors": 0,
+        }
+        self._batch: Optional[list[dict]] = None
+        for rule in rules:
+            self.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    def add_rule(self, rule: AlertRule) -> "AlertManager":
+        with self._lock:
+            if any(r.name == rule.name for r in self._rules):
+                raise ParameterError(f"alert rule {rule.name!r} already exists")
+            self._rules.append(rule)
+        return self
+
+    def add_sink(self, sink: Callable[[dict], None]) -> "AlertManager":
+        with self._lock:
+            self._sinks.append(sink)
+        return self
+
+    def log_to(self, path) -> JsonlSink:
+        """Attach (and return) a :class:`JsonlSink` writing to ``path``."""
+        sink = JsonlSink(path)
+        self.add_sink(sink)
+        return sink
+
+    # ------------------------------------------------------------------
+    def _notify(self, payload: dict) -> None:
+        """Fan one payload out to every sink (lock held)."""
+        self.history.append(payload)
+        if self._batch is not None:
+            self._batch.append(payload)
+        for sink in self._sinks:
+            try:
+                sink(payload)
+            except Exception:  # noqa: BLE001 - a broken pager shim must
+                # not take down serving; the counter is the signal
+                self._counts["sink_errors"] += 1
+        if self.hub is not None:
+            self.hub.count(f"alerts.{payload['state']}")
+
+    def _fire(self, name: str, severity: str, message: str, labels: dict) -> dict:
+        now = self.clock()
+        active = self._active.get(name)
+        if active is not None:
+            active["count"] += 1
+            active["last_seen"] = now
+            active["message"] = message
+            return active
+        active = self._active[name] = {
+            "name": name,
+            "state": "firing",
+            "severity": severity,
+            "message": message,
+            "labels": dict(labels),
+            "since": now,
+            "last_seen": now,
+            "count": 1,
+        }
+        self._counts["fired"] += 1
+        self._notify(dict(active, ts=now))
+        return active
+
+    def _resolve(self, name: str) -> None:
+        active = self._active.pop(name, None)
+        if active is None:
+            return
+        now = self.clock()
+        self._counts["resolved"] += 1
+        self._notify(
+            {
+                "name": name,
+                "state": "resolved",
+                "severity": active["severity"],
+                "message": active["message"],
+                "labels": active["labels"],
+                "since": active["since"],
+                "ts": now,
+                "count": active["count"],
+                "duration_seconds": now - active["since"],
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def record_event(
+        self,
+        name: str,
+        message: str = "",
+        severity: str = "info",
+        **labels,
+    ) -> dict:
+        """Record a point-in-time event (no firing state, always notified)."""
+        if severity not in _SEVERITY_RANK:
+            raise ParameterError(f"unknown severity {severity!r}")
+        payload = {
+            "name": str(name),
+            "state": "event",
+            "severity": severity,
+            "message": str(message),
+            "labels": {k: str(v) for k, v in labels.items()},
+            "ts": self.clock(),
+        }
+        with self._lock:
+            self._counts["events"] += 1
+            self._notify(payload)
+        return payload
+
+    def observe_signal(self, signal) -> dict:
+        """Ingest one :class:`~repro.monitor.drift.DriftSignal` as an event."""
+        labels = {"detector": signal.detector, "action": signal.action}
+        shard = signal.details.get("shard") if signal.details else None
+        if shard is not None:
+            labels["shard"] = shard
+        return self.record_event(
+            f"drift.{signal.kind}",
+            message=(
+                f"{signal.kind}: value {signal.value:.6g} vs threshold "
+                f"{signal.threshold:.6g} → {signal.action}"
+            ),
+            severity=signal.severity,
+            **labels,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> list[dict]:
+        """Run every rule (and the SLO tracker) once; return transitions.
+
+        The returned list holds exactly the notifications produced by
+        this evaluation — newly fired, newly resolved — in order.
+        """
+        slo_statuses = self.slo.evaluate() if self.slo is not None else []
+        with self._lock:
+            self._counts["evaluations"] += 1
+            self._batch = []
+            for rule in self._rules:
+                try:
+                    message = rule.check(self.hub)
+                except Exception as exc:  # noqa: BLE001 - a buggy rule
+                    # degrades to an alert about itself, not a crash
+                    message = f"rule error: {exc!r}"
+                if message is not None:
+                    self._fire(rule.name, rule.severity, message, {})
+                else:
+                    self._resolve(rule.name)
+            for status in slo_statuses:
+                name = f"slo.{status['name']}"
+                if status["firing"]:
+                    firing = [
+                        f"{key} burn {w['burn_short']:.1f}x/{w['burn_long']:.1f}x"
+                        for key, w in status["windows"].items()
+                        if w["firing"]
+                    ]
+                    self._fire(
+                        name,
+                        status["severity"] or "critical",
+                        f"{status['objective']}: {'; '.join(firing)}",
+                        {"stream": status["stream"], "kind": status["kind"]},
+                    )
+                else:
+                    self._resolve(name)
+            batch, self._batch = self._batch, None
+            return batch
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[dict]:
+        """Currently firing alerts, most severe first."""
+        with self._lock:
+            return sorted(
+                (dict(a) for a in self._active.values()),
+                key=lambda a: (
+                    -_SEVERITY_RANK.get(a["severity"], 0),
+                    a["since"],
+                ),
+            )
+
+    def snapshot(self, last: int = 64) -> dict:
+        """JSON-clean state (the ``/alerts`` endpoint body)."""
+        with self._lock:
+            return {
+                "schema": 1,
+                "active": self.active(),
+                "history": list(self.history)[-int(last):],
+                "counts": dict(self._counts),
+                "n_rules": len(self._rules),
+            }
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the manager."""
+        with self._lock:
+            return component_stats(
+                "alert_manager",
+                counters=dict(self._counts),
+                gauges={
+                    "n_rules": len(self._rules),
+                    "n_sinks": len(self._sinks),
+                    "n_active": len(self._active),
+                    "slo_attached": int(self.slo is not None),
+                },
+            )

@@ -8,10 +8,17 @@ attaching a debugger to the service.
 
 Usage::
 
-    python -m repro.monitor.dump trace.jsonl              # all traces
-    python -m repro.monitor.dump trace.jsonl --last 3     # newest 3
-    python -m repro.monitor.dump trace.jsonl --trace <id> # one trace
-    python -m repro.monitor.dump trace.jsonl --summary    # per-name stats
+    python -m repro.monitor.dump trace.jsonl                 # all traces
+    python -m repro.monitor.dump trace.jsonl --last 3        # newest 3
+    python -m repro.monitor.dump trace.jsonl --trace-id <id> # one trace
+    python -m repro.monitor.dump trace.jsonl --summary       # per-name stats
+    python -m repro.monitor.dump trace.jsonl --since 5m      # recent spans
+
+``--since`` prunes by span start time before any grouping — either an
+absolute unix epoch (``--since 1754650000``) or an age relative to the
+newest span in the log (``--since 30s`` / ``5m`` / ``2h``) — so one
+request's tree can be pulled out of a span log that has accumulated
+days of traffic.
 
 The functions are importable (:func:`load_spans`,
 :func:`format_trace`, :func:`summarize`) so tests and tooling can
@@ -25,7 +32,36 @@ import json
 import sys
 from typing import Iterable, Optional
 
-__all__ = ["load_spans", "group_traces", "format_trace", "summarize", "main"]
+__all__ = [
+    "load_spans",
+    "group_traces",
+    "format_trace",
+    "summarize",
+    "since_cutoff",
+    "main",
+]
+
+_SINCE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0}
+
+
+def since_cutoff(text: str, newest_ts: float) -> float:
+    """Resolve a ``--since`` value to an absolute epoch-seconds cutoff.
+
+    A plain number is an absolute unix timestamp; a number suffixed
+    ``s``/``m``/``h`` is an age measured back from ``newest_ts`` (the
+    newest span in the log, so a cold log read does not depend on the
+    reader's clock).
+    """
+    text = text.strip()
+    unit = _SINCE_UNITS.get(text[-1:].lower())
+    try:
+        if unit is not None:
+            return newest_ts - float(text[:-1]) * unit
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"--since must be an epoch timestamp or '<N>s/m/h', got {text!r}"
+        ) from None
 
 
 def load_spans(path: str) -> list[dict]:
@@ -118,7 +154,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         description="Render a repro trace log (JSONL of span records).",
     )
     parser.add_argument("path", help="JSONL file written by TraceLog(path=...)")
-    parser.add_argument("--trace", help="show only this trace id")
+    parser.add_argument(
+        "--trace", "--trace-id", dest="trace", help="show only this trace id"
+    )
+    parser.add_argument(
+        "--since",
+        metavar="TS",
+        help=(
+            "only spans starting at/after TS: a unix epoch, or an age "
+            "relative to the newest span ('30s', '5m', '2h')"
+        ),
+    )
     parser.add_argument(
         "--last", type=int, default=None, metavar="N", help="show only the newest N traces"
     )
@@ -128,6 +174,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     spans = load_spans(args.path)
+    if spans and args.since is not None:
+        newest = max(float(s.get("ts", 0.0)) for s in spans)
+        try:
+            cutoff = since_cutoff(args.since, newest)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        spans = [s for s in spans if float(s.get("ts", 0.0)) >= cutoff]
     if not spans:
         print("(no spans)")
         return 0

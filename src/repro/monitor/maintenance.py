@@ -134,6 +134,18 @@ class MaintenanceScheduler:
         (default) disables the band.  Ignored when an explicit
         ``detectors`` battery is supplied.
 
+    alerts:
+        Optional :class:`~repro.monitor.alerts.AlertManager`.  When
+        attached, every fired :class:`DriftSignal` and every executed
+        (or failed) maintenance action lands there as an event, so the
+        operator's alert feed narrates what the loop did and why.
+    slo:
+        Optional :class:`~repro.monitor.slo.SLOTracker`.  When
+        attached, the fleet planner breaks severity ties by each
+        shard's current short-window burn rate — among equally drifted
+        shards, the one spending its error budget fastest is repaired
+        first.
+
     Use as a context manager (starts/stops the thread), drive manually
     with :meth:`run_once`, or :meth:`start` / :meth:`stop` explicitly.
     """
@@ -149,6 +161,8 @@ class MaintenanceScheduler:
         min_retune_interval: float = 0.0,
         contrast_hysteresis: float = 1.0,
         router: Optional["ShardRouter"] = None,
+        alerts=None,
+        slo=None,
     ) -> None:
         if router is not None and (engine is not None or backend is not None):
             raise ParameterError(
@@ -176,6 +190,8 @@ class MaintenanceScheduler:
                 f"contrast_hysteresis must be >= 1, got {contrast_hysteresis}"
             )
         self.router = router
+        self.alerts = alerts
+        self.slo = slo
         self.min_retune_interval = float(min_retune_interval)
         self.contrast_hysteresis = float(contrast_hysteresis)
         # one hub end to end — and it must be the hub the components
@@ -321,6 +337,13 @@ class MaintenanceScheduler:
             self._unit_signals[unit.label] = unit_signals
             signals.extend(unit_signals)
         self.last_signals = signals
+        if self.alerts is not None:
+            for signal in signals:
+                try:
+                    self.alerts.observe_signal(signal)
+                except Exception:  # noqa: BLE001 - the alert feed is
+                    # best-effort; maintenance must keep cycling
+                    self.hub.count("maintenance.alert_errors")
         return signals
 
     def plan(self, signals: Sequence[DriftSignal]) -> Optional[str]:
@@ -351,7 +374,7 @@ class MaintenanceScheduler:
         at a time and the fleet keeps serving.
         """
         severity_rank = {name: i for i, name in enumerate(SEVERITIES)}
-        best: tuple[int, int, int] | None = None
+        best: tuple[int, float, int, int] | None = None
         chosen: tuple[_MaintUnit, str, list[DriftSignal]] | None = None
         with self._pending_lock:
             shard_pending = {
@@ -388,6 +411,10 @@ class MaintenanceScheduler:
             )
             score = (
                 severity,
+                # worst-burn-first among equally severe units: the
+                # shard spending its error budget fastest (per the
+                # attached SLO tracker) is repaired first
+                self._unit_burn(unit),
                 len(ACTION_ORDER) - ACTION_ORDER.index(
                     "retune" if action == "retune" else action
                 ),
@@ -399,6 +426,22 @@ class MaintenanceScheduler:
         if chosen is None:
             return None, None, []
         return chosen
+
+    def _unit_burn(self, unit: _MaintUnit) -> float:
+        """The unit's current worst short-window burn rate (0 without SLOs).
+
+        Labeled (shard) units match SLOs whose stream lives under
+        their label prefix (``shard0.engine.request_seconds`` …); the
+        unlabeled single-engine unit matches every tracked SLO.
+        """
+        if self.slo is None:
+            return 0.0
+        try:
+            return float(self.slo.worst_burn(prefix=unit.label or ""))
+        except Exception:  # noqa: BLE001 - a tracker bug must not
+            # stall planning; burn then simply stops influencing order
+            self.hub.count("maintenance.slo_errors")
+            return 0.0
 
     def _debounce_retune(self, unit: Optional[_MaintUnit] = None) -> bool:
         """Whether a planned re-tune must wait for the minimum spacing.
@@ -450,6 +493,23 @@ class MaintenanceScheduler:
         if event.ok and action == "retune":
             self._last_retune_monotonic = time.monotonic()
         self.log.append(event)
+        if self.alerts is not None:
+            try:
+                labels = {"seconds": f"{event.seconds:.6f}"}
+                if unit.label is not None:
+                    labels["shard"] = unit.label
+                self.alerts.record_event(
+                    f"maintenance.{event.action}",
+                    message=(
+                        f"{event.action} ok in {event.seconds * 1e3:.1f} ms"
+                        if event.ok
+                        else f"{event.action} FAILED: {event.error}"
+                    ),
+                    severity="info" if event.ok else "warn",
+                    **labels,
+                )
+            except Exception:  # noqa: BLE001 - see check(): best-effort
+                self.hub.count("maintenance.alert_errors")
         return [event]
 
     def _publish_snapshots(self) -> None:
@@ -623,6 +683,8 @@ class MaintenanceScheduler:
                 "running": int(self.running),
                 "n_detectors": len(self.detectors),
                 "n_units": len(self._units),
+                "alerts_attached": int(self.alerts is not None),
+                "slo_attached": int(self.slo is not None),
                 "interval": self.interval,
                 "min_retune_interval": self.min_retune_interval,
                 "contrast_hysteresis": self.contrast_hysteresis,
@@ -638,6 +700,8 @@ def attach_monitoring(
     start: bool = True,
     min_retune_interval: float = 0.0,
     contrast_hysteresis: float = 1.0,
+    alerts=None,
+    slo=None,
 ) -> MaintenanceScheduler:
     """One-call instrumentation of a served engine.
 
@@ -645,9 +709,10 @@ def attach_monitoring(
     backend and cache, builds the default detector battery, installs
     the silent-refit hook, and — by default — starts the background
     loop.  Returns the scheduler; its :attr:`~MaintenanceScheduler.hub`
-    is the telemetry handle.  ``min_retune_interval`` and
-    ``contrast_hysteresis`` forward to :class:`MaintenanceScheduler`
-    (re-tune debounce and contrast-threshold hysteresis).
+    is the telemetry handle.  ``min_retune_interval``,
+    ``contrast_hysteresis``, ``alerts`` and ``slo`` forward to
+    :class:`MaintenanceScheduler` (re-tune debounce, contrast-threshold
+    hysteresis, and the ops-plane hookups).
     """
     scheduler = MaintenanceScheduler(
         engine=engine,
@@ -656,6 +721,8 @@ def attach_monitoring(
         interval=interval,
         min_retune_interval=min_retune_interval,
         contrast_hysteresis=contrast_hysteresis,
+        alerts=alerts,
+        slo=slo,
     )
     if start:
         scheduler.start()

@@ -1,0 +1,373 @@
+"""Sampling profiler and span-based per-phase wall-time attribution.
+
+Two complementary answers to *where does request time go?*:
+
+* :class:`SamplingProfiler` — a daemon thread walks
+  ``sys._current_frames()`` at a configurable rate (default 19 Hz,
+  deliberately co-prime with common periodic work so a loop is not
+  systematically sampled at the same phase), folds every thread's
+  stack into ``outer;inner`` strings, and counts occurrences.  The
+  output is the collapsed-stack format flamegraph tooling consumes
+  verbatim (:meth:`~SamplingProfiler.collapsed`), plus a per-frame
+  self/total table (:meth:`~SamplingProfiler.top`).  Cost is paid per
+  *sample*, not per function call — at 19 Hz the serving path cannot
+  see it (the ``ops_plane_overhead_margin`` gate holds the whole ops
+  plane, profiler included, within 5%) — and the stack table is
+  bounded with FIFO eviction like every other monitor structure.
+
+* :func:`phase_attribution` — exact wall-time accounting from the
+  tracer's span trees instead of statistical sampling: each span's
+  *self* time (its duration minus its direct children's) is attributed
+  to a phase by span-name prefix (facade → service → router → engine →
+  chunk → kernel/backend).  Because self times of a sequential tree
+  sum telescopically to the root's duration, the per-phase totals add
+  up to the traced request's wall time — the acceptance bar holds
+  them within 10% on a single-worker engine, where chunks cannot
+  overlap.
+
+The profiler never inspects its own sampling thread, tolerates
+threads appearing/disappearing mid-walk, and drops no observations:
+a sampling pass that overruns its period is counted (``overruns``)
+rather than silently skewing the rate.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Iterable, Optional, Union
+
+from ..exceptions import ParameterError
+from ..stats import component_stats
+
+__all__ = ["SamplingProfiler", "phase_attribution", "phase_of"]
+
+#: Span-name prefix → phase, first match wins (most specific first).
+_PHASE_PREFIXES = (
+    ("facade.", "facade"),
+    ("client.", "client"),
+    ("service.", "service"),
+    ("router.", "router"),
+    ("shard.", "router"),
+    ("engine.chunk", "chunk"),
+    ("engine.", "engine"),
+    ("kernel.", "kernel"),
+    ("backend.", "backend"),
+)
+
+
+def phase_of(span_name: str) -> str:
+    """Map one span name onto its serving phase (``"other"`` if none)."""
+    for prefix, phase in _PHASE_PREFIXES:
+        if span_name.startswith(prefix):
+            return phase
+    return "other"
+
+
+def _flatten_tree(tree: dict, out: list[dict]) -> None:
+    node = {k: v for k, v in tree.items() if k != "children"}
+    out.append(node)
+    for child in tree.get("children", ()):
+        _flatten_tree(child, out)
+
+
+def phase_attribution(spans: Union[Iterable[dict], dict]) -> dict:
+    """Attribute span self-times to serving phases.
+
+    Parameters
+    ----------
+    spans:
+        Either flat span records (e.g. ``TraceLog.records()`` — linked
+        by ``parent_id``) or one nested summary tree (e.g.
+        ``result.extra["trace"]`` — linked by ``children``).
+
+    Returns
+    -------
+    dict with ``total_seconds`` (sum of root span durations),
+    ``span_count``, and ``phases`` mapping each phase to its summed
+    self-time ``seconds`` and ``fraction`` of the total.  Self time is
+    clamped at zero: children running on pool threads can overlap
+    their parent, and a negative residual is an artifact of that
+    concurrency, not a phase.
+    """
+    if isinstance(spans, dict):
+        flat: list[dict] = []
+        _flatten_tree(spans, flat)
+    else:
+        flat = list(spans)
+
+    by_id = {s["span_id"]: s for s in flat if "span_id" in s}
+    child_seconds: dict[Optional[str], float] = {}
+    for span in flat:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + float(
+                span["seconds"]
+            )
+
+    phases: dict[str, float] = {}
+    total = 0.0
+    for span in flat:
+        seconds = float(span["seconds"])
+        if span.get("parent_id") not in by_id:
+            total += seconds
+        self_seconds = max(
+            0.0, seconds - child_seconds.get(span.get("span_id"), 0.0)
+        )
+        phase = phase_of(str(span["name"]))
+        phases[phase] = phases.get(phase, 0.0) + self_seconds
+
+    return {
+        "total_seconds": total,
+        "span_count": len(flat),
+        "phases": {
+            phase: {
+                "seconds": seconds,
+                "fraction": (seconds / total) if total > 0 else 0.0,
+            }
+            for phase, seconds in sorted(
+                phases.items(), key=lambda kv: -kv[1]
+            )
+        },
+    }
+
+
+class SamplingProfiler:
+    """Low-overhead statistical profiler over ``sys._current_frames()``.
+
+    Parameters
+    ----------
+    hz:
+        Target sampling rate.  The default 19 Hz is cheap enough to
+        leave on and co-prime with second-aligned periodic work.
+    max_depth:
+        Frames retained per stack, innermost outward; deeper stacks
+        are truncated at the root end.
+    max_stacks:
+        Bound on distinct collapsed stacks; past it the
+        oldest-registered stack is evicted FIFO (counted, like the
+        hub's caps).
+    include_idle:
+        When ``False``, stacks whose innermost frame is a known idle
+        primitive (``wait``/``select``/``poll``/…) are skipped, so a
+        service's parked worker threads do not dominate the profile.
+
+    Use ``start()``/``stop()``, or as a context manager.  Sampling is
+    safe while arbitrary application threads run: the frame snapshot
+    is atomic under the GIL, and the profiler's own thread is
+    excluded.
+    """
+
+    _IDLE_FRAMES = frozenset(
+        {"wait", "select", "poll", "accept", "_recv", "recv", "readinto"}
+    )
+
+    def __init__(
+        self,
+        hz: float = 19.0,
+        max_depth: int = 48,
+        max_stacks: int = 4096,
+        include_idle: bool = True,
+    ) -> None:
+        if hz <= 0:
+            raise ParameterError(f"hz must be positive, got {hz}")
+        if max_depth <= 0:
+            raise ParameterError(f"max_depth must be positive, got {max_depth}")
+        if max_stacks <= 0:
+            raise ParameterError(
+                f"max_stacks must be positive, got {max_stacks}"
+            )
+        self.hz = float(hz)
+        self.max_depth = int(max_depth)
+        self.max_stacks = int(max_stacks)
+        self.include_idle = bool(include_idle)
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, ...], int] = {}
+        self._samples = 0
+        self._thread_samples = 0
+        self._overruns = 0
+        self._evicted = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_monotonic: Optional[float] = None
+        self._active_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Start the sampling thread (idempotent); returns ``self``."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._started_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="sampling-profiler"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop and join the sampling thread; counts are retained."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+        if self._started_monotonic is not None:
+            self._active_seconds += time.monotonic() - self._started_monotonic
+            self._started_monotonic = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def reset(self) -> None:
+        """Discard all accumulated samples (the profiler keeps running)."""
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+            self._thread_samples = 0
+            self._overruns = 0
+            self._evicted = 0
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        period = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        while not self._stop.wait(period):
+            started = time.perf_counter()
+            try:
+                self.sample_once(exclude_ident=own_ident)
+            except Exception:  # noqa: BLE001 - a sampling hiccup (e.g. a
+                # frame freed mid-walk) must never kill the profiler
+                pass
+            if time.perf_counter() - started > period:
+                with self._lock:
+                    self._overruns += 1
+
+    def sample_once(self, exclude_ident: Optional[int] = None) -> int:
+        """Take one sample of every live thread; returns stacks recorded."""
+        frames = sys._current_frames()
+        recorded = 0
+        for ident, frame in frames.items():
+            if ident == exclude_ident:
+                continue
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                stack.append(
+                    f"{os.path.basename(code.co_filename)}:{code.co_name}"
+                )
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            # innermost-first while walking; collapsed format is
+            # root-first
+            leaf = stack[0].rsplit(":", 1)[-1]
+            if not self.include_idle and leaf in self._IDLE_FRAMES:
+                continue
+            key = tuple(reversed(stack))
+            with self._lock:
+                self._counts[key] = self._counts.get(key, 0) + 1
+                while len(self._counts) > self.max_stacks:
+                    self._counts.pop(next(iter(self._counts)))
+                    self._evicted += 1
+                self._thread_samples += 1
+            recorded += 1
+        with self._lock:
+            self._samples += 1
+        return recorded
+
+    # ------------------------------------------------------------------
+    def collapsed(self, min_count: int = 1) -> str:
+        """Collapsed-stack text (``outer;inner count`` per line).
+
+        The exact input ``flamegraph.pl`` / speedscope take; lines are
+        sorted by count, heaviest first.
+        """
+        with self._lock:
+            items = [
+                (stack, n)
+                for stack, n in self._counts.items()
+                if n >= min_count
+            ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join(f"{';'.join(stack)} {n}" for stack, n in items)
+
+    def top(self, n: int = 10) -> list[dict]:
+        """Per-frame ``self``/``total`` sample counts, heaviest first."""
+        with self._lock:
+            items = list(self._counts.items())
+        self_counts: dict[str, int] = {}
+        total_counts: dict[str, int] = {}
+        for stack, count in items:
+            self_counts[stack[-1]] = self_counts.get(stack[-1], 0) + count
+            for frame in set(stack):
+                total_counts[frame] = total_counts.get(frame, 0) + count
+        ranked = sorted(
+            total_counts,
+            key=lambda f: (-total_counts[f], -self_counts.get(f, 0), f),
+        )
+        return [
+            {
+                "frame": frame,
+                "self": self_counts.get(frame, 0),
+                "total": total_counts[frame],
+            }
+            for frame in ranked[: int(n)]
+        ]
+
+    def snapshot(self, top: int = 25) -> dict:
+        """JSON-clean state (the ``/profile?format=json`` body)."""
+        with self._lock:
+            samples = self._samples
+            thread_samples = self._thread_samples
+            overruns = self._overruns
+            evicted = self._evicted
+            n_stacks = len(self._counts)
+        active = self._active_seconds
+        if self._started_monotonic is not None:
+            active += time.monotonic() - self._started_monotonic
+        return {
+            "schema": 1,
+            "hz": self.hz,
+            "running": self.running,
+            "samples": samples,
+            "thread_samples": thread_samples,
+            "distinct_stacks": n_stacks,
+            "overruns": overruns,
+            "evicted_stacks": evicted,
+            "active_seconds": active,
+            "top": self.top(top),
+        }
+
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the profiler."""
+        with self._lock:
+            counters = {
+                "samples": self._samples,
+                "thread_samples": self._thread_samples,
+                "overruns": self._overruns,
+                "evicted_stacks": self._evicted,
+            }
+            n_stacks = len(self._counts)
+        return component_stats(
+            "sampling_profiler",
+            counters=counters,
+            gauges={
+                "hz": self.hz,
+                "running": int(self.running),
+                "distinct_stacks": n_stacks,
+                "max_depth": self.max_depth,
+                "max_stacks": self.max_stacks,
+            },
+        )

@@ -1,0 +1,274 @@
+"""A dependency-free HTTP observability endpoint for a served stack.
+
+:class:`ObservabilityServer` binds a stdlib
+:class:`~http.server.ThreadingHTTPServer` (default: loopback, an
+ephemeral port) in front of whatever the deployment runs — a
+:class:`~repro.engine.service.ValuationService`, a
+:class:`~repro.engine.sharding.ShardRouter`, or a bare engine — and
+serves the monitor package's surfaces over GET:
+
+==============  ====================================================
+``/metrics``    Prometheus text exposition of the attached hub
+                (:meth:`TelemetryHub.export_text`); a shared labeled
+                hub means one scrape covers the whole fleet
+``/health``     liveness: 200 with uptime while the server runs
+``/ready``      readiness of the *target*: 200 while it accepts work,
+                503 after ``shutdown()``/``close()``
+``/slo``        :meth:`SLOTracker.snapshot` — objectives, attainment,
+                error budgets, per-policy burn rates and firing state
+``/alerts``     :meth:`AlertManager.snapshot` — active alerts plus the
+                recent notification history (evaluates first, so a
+                scrape is also an evaluation heartbeat)
+``/profile``    :meth:`SamplingProfiler.collapsed` text (or
+                ``?format=json`` for the snapshot with the top table)
+==============  ====================================================
+
+Surfaces that were not attached answer 404 with a JSON hint, never a
+crash; request counts land in the hub (``ops.http.<route>``).  The
+server is for operators on a trusted network: it exposes telemetry
+read-only, binds loopback by default, and serves no mutation of any
+kind.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..stats import component_stats
+
+__all__ = ["ObservabilityServer"]
+
+_ENDPOINTS = ("/metrics", "/health", "/ready", "/slo", "/alerts", "/profile")
+
+
+class ObservabilityServer:
+    """Serve a hub/SLO/alerts/profiler bundle over loopback HTTP.
+
+    Parameters
+    ----------
+    hub:
+        The telemetry hub behind ``/metrics``.  Defaults to the
+        target's attached ``telemetry`` when omitted.
+    target:
+        The served component behind ``/ready`` — anything exposing a
+        boolean ``ready`` property (``ValuationService``,
+        ``ShardRouter``) or nothing (always ready).
+    slo, alerts, profiler:
+        Optional :class:`~repro.monitor.slo.SLOTracker`,
+        :class:`~repro.monitor.alerts.AlertManager`,
+        :class:`~repro.monitor.profiler.SamplingProfiler` behind their
+        endpoints.
+    host, port:
+        Bind address; port ``0`` (default) picks a free ephemeral port
+        — read it back from :attr:`port` / :attr:`url`.
+
+    ``start()``/``stop()`` or a ``with`` block manage the daemon
+    serving thread.
+    """
+
+    def __init__(
+        self,
+        hub=None,
+        target=None,
+        slo=None,
+        alerts=None,
+        profiler=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if hub is None and target is not None:
+            hub = getattr(target, "telemetry", None)
+        self.hub = hub
+        self.target = target
+        self.slo = slo
+        self.alerts = alerts
+        self.profiler = profiler
+        self.host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_monotonic: Optional[float] = None
+        self._requests = 0
+        self._errors = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _ready(self) -> tuple[bool, str]:
+        target = self.target
+        if target is None:
+            return True, "no target attached; server alive"
+        ready = getattr(target, "ready", None)
+        if ready is None:
+            return True, f"{type(target).__name__} exposes no readiness"
+        return bool(ready), (
+            f"{type(target).__name__} "
+            + ("accepting work" if ready else "shut down")
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ObservabilityServer":
+        """Bind the socket and start the serving thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # one scrape must not serialize behind a slow peer
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+                pass  # telemetry counts requests; stderr stays quiet
+
+            def _send(
+                self, status: int, body: bytes, content_type: str
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, status: int, payload: dict) -> None:
+                body = json.dumps(payload, sort_keys=True).encode()
+                self._send(status, body, "application/json")
+
+            def do_GET(self):  # noqa: N802 - stdlib name
+                try:
+                    server._handle(self)
+                except BrokenPipeError:  # peer went away mid-response
+                    pass
+                except Exception as exc:  # noqa: BLE001 - a handler bug
+                    # answers 500 instead of killing the serving thread
+                    with server._lock:
+                        server._errors += 1
+                    try:
+                        self._send_json(500, {"error": repr(exc)})
+                    except Exception:  # noqa: BLE001
+                        pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            daemon=True,
+            name="observability-server",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(5.0)
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when ``port=0`` was asked)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(request.path)
+        path = parsed.path.rstrip("/") or "/health"
+        query = parse_qs(parsed.query)
+        with self._lock:
+            self._requests += 1
+        if self.hub is not None:
+            self.hub.count(f"ops.http.{path.lstrip('/')}")
+
+        if path == "/metrics":
+            if self.hub is None:
+                request._send_json(404, {"error": "no telemetry hub attached"})
+                return
+            body = self.hub.export_text().encode()
+            request._send(200, body, "text/plain; version=0.0.4")
+        elif path == "/health":
+            uptime = (
+                time.monotonic() - self._started_monotonic
+                if self._started_monotonic is not None
+                else 0.0
+            )
+            request._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": uptime,
+                    "endpoints": list(_ENDPOINTS),
+                },
+            )
+        elif path == "/ready":
+            ready, reason = self._ready()
+            request._send_json(
+                200 if ready else 503,
+                {"status": "ready" if ready else "unready", "reason": reason},
+            )
+        elif path == "/slo":
+            if self.slo is None:
+                request._send_json(404, {"error": "no SLO tracker attached"})
+                return
+            request._send_json(200, self.slo.snapshot())
+        elif path == "/alerts":
+            if self.alerts is None:
+                request._send_json(404, {"error": "no alert manager attached"})
+                return
+            self.alerts.evaluate()
+            request._send_json(200, self.alerts.snapshot())
+        elif path == "/profile":
+            if self.profiler is None:
+                request._send_json(404, {"error": "no profiler attached"})
+                return
+            if query.get("format", [""])[0] == "json":
+                request._send_json(200, self.profiler.snapshot())
+            else:
+                body = (self.profiler.collapsed() + "\n").encode()
+                request._send(200, body, "text/plain")
+        else:
+            with self._lock:
+                self._errors += 1
+            request._send_json(
+                404,
+                {"error": f"unknown path {path!r}", "endpoints": list(_ENDPOINTS)},
+            )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the endpoint."""
+        with self._lock:
+            counters = {"requests": self._requests, "errors": self._errors}
+        return component_stats(
+            "observability_server",
+            counters=counters,
+            gauges={
+                "running": int(self._httpd is not None),
+                "port": self.port,
+                "surfaces": sum(
+                    x is not None
+                    for x in (self.hub, self.slo, self.alerts, self.profiler)
+                ),
+            },
+        )

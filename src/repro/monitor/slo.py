@@ -1,0 +1,495 @@
+"""Declarative SLOs, error budgets, and multi-window burn-rate alerts.
+
+The ROADMAP's "latency-SLO serving" frontier needs the serving stack
+to *know* whether it is meeting its objectives before anything can
+adapt to protect them.  This module is that knowledge: a
+:class:`SLOTracker` turns the :class:`~repro.monitor.telemetry.
+TelemetryHub`'s cumulative histograms and counters into SRE-style
+service-level objectives with error budgets and burn rates.
+
+An objective is declarative, one line per stream::
+
+    tracker.add("job latency", "service.compute_seconds p99 < 50ms")
+    tracker.add("availability", "service.jobs_failed / service.jobs < 1%")
+
+The latency form reads as *"at least 99% of observations stay at or
+under 50 ms"* — the percentile is the target, the bound is the
+threshold — and is evaluated against the stream's all-time histogram,
+so no samples are retained.  The error form is a bad-over-total
+counter ratio.  Both reduce to the same cumulative ``(good, total)``
+pair, which is all the burn-rate algebra needs.
+
+**Burn rate** is budget spend speed: with a target of 99%, the error
+budget is 1% of events, and a burn rate of ``x`` means bad events are
+arriving ``x`` times faster than the budget admits (1.0 = the budget
+lasts exactly its period; 14.4 = a 30-day budget gone in 50 hours).
+Because the hub's histograms are cumulative, the tracker samples
+``(good, total)`` on every :meth:`~SLOTracker.tick` and differences
+the ring of samples to answer *windowed* rates — the standard
+multi-window rule (default: fire when **both** the 5-minute and
+1-hour burn exceed 14.4× — fast enough to page — resolve when the
+short window recovers) without ever holding raw events.
+
+The tracker is passive and clock-injectable: nothing fires unless
+:meth:`~SLOTracker.evaluate` is called (the
+:class:`~repro.monitor.alerts.AlertManager` and the observability
+server's ``/slo`` endpoint do), and tests drive the 5m/1h windows with
+a fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..stats import component_stats
+
+__all__ = [
+    "BurnPolicy",
+    "DEFAULT_BURN_POLICIES",
+    "ErrorRateObjective",
+    "LatencyObjective",
+    "SLOTracker",
+    "parse_objective",
+]
+
+_UNIT_SECONDS = {"us": 1e-6, "µs": 1e-6, "ms": 1e-3, "s": 1.0}
+
+_LATENCY_SPEC = re.compile(
+    r"^\s*(?P<stream>\S+)\s+p(?P<pct>\d+(?:\.\d+)?)\s*<\s*"
+    r"(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>us|µs|ms|s)\s*$"
+)
+_ERROR_SPEC = re.compile(
+    r"^\s*(?P<bad>\S+)\s*/\s*(?P<total>\S+)\s*<\s*"
+    r"(?P<value>\d+(?:\.\d+)?)\s*%\s*$"
+)
+
+
+@dataclass(frozen=True)
+class BurnPolicy:
+    """One multi-window burn-rate alert rule.
+
+    Fires when the burn rate over *both* windows is at least
+    ``factor`` — the long window proves the spend is sustained, the
+    short window proves it is still happening (and lets the alert
+    resolve quickly once the bleeding stops).  The defaults are the
+    SRE-workbook pairings: 14.4× over 5m/1h pages, 6× over 30m/6h
+    warns.
+    """
+
+    short_window: float = 300.0
+    long_window: float = 3600.0
+    factor: float = 14.4
+    severity: str = "critical"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_window <= self.long_window:
+            raise ParameterError(
+                f"need 0 < short_window <= long_window, got "
+                f"{self.short_window} / {self.long_window}"
+            )
+        if self.factor <= 0:
+            raise ParameterError(f"factor must be positive, got {self.factor}")
+
+    @property
+    def name(self) -> str:
+        return f"burn{self.factor:g}x_{self.short_window:g}s_{self.long_window:g}s"
+
+
+DEFAULT_BURN_POLICIES: tuple[BurnPolicy, ...] = (
+    BurnPolicy(300.0, 3600.0, 14.4, "critical"),
+    BurnPolicy(1800.0, 21600.0, 6.0, "warn"),
+)
+
+
+class LatencyObjective:
+    """``stream pNN < bound``: at least NN% of observations ≤ bound.
+
+    Good/total counts come from the stream's all-time
+    :class:`~repro.monitor.telemetry.Histogram`: observations at or
+    below ``threshold`` are good, with linear interpolation inside the
+    bucket containing the threshold (the same one-bucket tolerance the
+    histogram's percentiles carry).
+    """
+
+    kind = "latency"
+
+    def __init__(self, stream: str, threshold: float, target: float) -> None:
+        if threshold <= 0:
+            raise ParameterError(f"threshold must be positive, got {threshold}")
+        if not 0.0 < target < 1.0:
+            raise ParameterError(f"target must lie in (0, 1), got {target}")
+        self.stream = str(stream)
+        self.threshold = float(threshold)
+        self.target = float(target)
+
+    def cumulative(self, hub) -> tuple[float, float]:
+        """All-time ``(good, total)`` event counts from the hub."""
+        hist = hub.histogram(self.stream)
+        if hist is None:
+            return 0.0, 0.0
+        counts = hist.counts.copy()
+        bounds = hist.bounds
+        total = float(counts.sum())
+        if total == 0.0:
+            return 0.0, 0.0
+        b = int(np.searchsorted(bounds, self.threshold, side="left"))
+        good = float(counts[:b].sum())
+        if b < counts.size:
+            lo = 0.0 if b == 0 else float(bounds[b - 1])
+            hi = float(bounds[b]) if b < bounds.size else max(lo, self.threshold)
+            frac = 1.0 if hi <= lo else min(1.0, (self.threshold - lo) / (hi - lo))
+            good += frac * float(counts[b])
+        return good, total
+
+    def describe(self) -> str:
+        pct = self.target * 100.0
+        return f"{self.stream} p{pct:g} < {self.threshold * 1e3:g}ms"
+
+
+class ErrorRateObjective:
+    """``bad / total < p%``: the failure-counter ratio stays under p%."""
+
+    kind = "error"
+
+    def __init__(self, bad_counter: str, total_counter: str, target: float) -> None:
+        if not 0.0 < target < 1.0:
+            raise ParameterError(f"target must lie in (0, 1), got {target}")
+        self.bad_counter = str(bad_counter)
+        self.total_counter = str(total_counter)
+        self.target = float(target)
+        self.stream = self.total_counter
+
+    def cumulative(self, hub) -> tuple[float, float]:
+        total = float(hub.counter(self.total_counter))
+        bad = min(float(hub.counter(self.bad_counter)), total)
+        return total - bad, total
+
+    def describe(self) -> str:
+        budget = (1.0 - self.target) * 100.0
+        return f"{self.bad_counter} / {self.total_counter} < {budget:g}%"
+
+
+Objective = Union[LatencyObjective, ErrorRateObjective]
+
+
+def parse_objective(spec: str) -> Objective:
+    """Parse one declarative objective line.
+
+    Two grammars::
+
+        <stream> p<NN> < <bound><unit>     unit ∈ {us, ms, s}
+        <bad_counter> / <total_counter> < <NN>%
+    """
+    m = _LATENCY_SPEC.match(spec)
+    if m:
+        return LatencyObjective(
+            stream=m.group("stream"),
+            threshold=float(m.group("value")) * _UNIT_SECONDS[m.group("unit")],
+            target=float(m.group("pct")) / 100.0,
+        )
+    m = _ERROR_SPEC.match(spec)
+    if m:
+        return ErrorRateObjective(
+            bad_counter=m.group("bad"),
+            total_counter=m.group("total"),
+            target=1.0 - float(m.group("value")) / 100.0,
+        )
+    raise ParameterError(
+        f"cannot parse SLO spec {spec!r}; expected "
+        "'<stream> pNN < 50ms' or '<bad> / <total> < 1%'"
+    )
+
+
+class _SloState:
+    """Per-objective sample ring and per-policy firing state."""
+
+    __slots__ = ("objective", "times", "good", "total", "firing", "since")
+
+    def __init__(self, objective: Objective, maxlen: int) -> None:
+        self.objective = objective
+        self.times: deque[float] = deque(maxlen=maxlen)
+        self.good: deque[float] = deque(maxlen=maxlen)
+        self.total: deque[float] = deque(maxlen=maxlen)
+        #: policy name -> firing bool / since timestamp
+        self.firing: dict[str, bool] = {}
+        self.since: dict[str, float] = {}
+
+    def append(self, t: float, good: float, total: float) -> None:
+        # monotone guard: a histogram evicted and recreated under the
+        # same name restarts its cumulative counts; restart the ring
+        # rather than reporting negative deltas
+        if self.total and total < self.total[-1]:
+            self.times.clear()
+            self.good.clear()
+            self.total.clear()
+        self.times.append(t)
+        self.good.append(good)
+        self.total.append(total)
+
+    def window_delta(self, now: float, window: float) -> tuple[float, float]:
+        """``(bad, total)`` events inside the trailing ``window`` seconds.
+
+        Differences the newest sample against the newest sample taken
+        at or before ``now - window``; until the ring covers a full
+        window, the oldest sample serves as the baseline (the window
+        covers the whole observed history).
+        """
+        if not self.times:
+            return 0.0, 0.0
+        times = list(self.times)
+        i = bisect.bisect_right(times, now - window) - 1
+        if i < 0:
+            i = 0
+        d_total = self.total[-1] - self.total[i]
+        d_good = self.good[-1] - self.good[i]
+        d_bad = max(0.0, d_total - d_good)
+        return d_bad, max(0.0, d_total)
+
+
+class SLOTracker:
+    """Error-budget accounting and burn-rate alerts over hub streams.
+
+    Parameters
+    ----------
+    hub:
+        The :class:`~repro.monitor.telemetry.TelemetryHub` (or a
+        labeled view) whose histograms/counters back the objectives.
+    policies:
+        The :class:`BurnPolicy` battery every objective is evaluated
+        against (default: page at 14.4× over 5m/1h, warn at 6× over
+        30m/6h).
+    clock:
+        Monotonic-seconds source; injectable so tests can traverse
+        hour-long windows without sleeping.
+    max_samples:
+        Ring length of retained ``(t, good, total)`` samples per
+        objective — at one :meth:`tick` per scrape the default covers
+        the longest default window with margin.
+    """
+
+    def __init__(
+        self,
+        hub,
+        policies: Sequence[BurnPolicy] = DEFAULT_BURN_POLICIES,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 4096,
+    ) -> None:
+        if max_samples < 2:
+            raise ParameterError(
+                f"max_samples must be at least 2, got {max_samples}"
+            )
+        self.hub = hub
+        self.policies = tuple(policies)
+        if not self.policies:
+            raise ParameterError("need at least one BurnPolicy")
+        self.clock = clock
+        self.max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        self._states: dict[str, _SloState] = {}
+        self._transitions = 0
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, objective: Union[str, Objective]) -> Objective:
+        """Register one named objective (declarative string or object)."""
+        if isinstance(objective, str):
+            objective = parse_objective(objective)
+        with self._lock:
+            if name in self._states:
+                raise ParameterError(f"SLO {name!r} already registered")
+            self._states[name] = _SloState(objective, self.max_samples)
+        return objective
+
+    @property
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._states)
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Sample every objective's cumulative ``(good, total)`` pair."""
+        now = self.clock()
+        with self._lock:
+            states = list(self._states.values())
+        for state in states:
+            good, total = state.objective.cumulative(self.hub)
+            with self._lock:
+                state.append(now, good, total)
+
+    def _burn(self, state: _SloState, now: float, window: float) -> float:
+        budget = 1.0 - state.objective.target
+        bad, total = state.window_delta(now, window)
+        if total <= 0.0:
+            return 0.0
+        return (bad / total) / budget
+
+    def burn_rate(self, name: str, window: Optional[float] = None) -> float:
+        """Current burn rate of ``name`` over ``window`` seconds.
+
+        Uses a live cumulative reading against the sample ring (no
+        sample is stored), so planners can ask between ticks.  Default
+        window: the shortest policy's short window.
+        """
+        with self._lock:
+            state = self._states.get(name)
+        if state is None:
+            raise ParameterError(f"unknown SLO {name!r}")
+        if window is None:
+            window = min(p.short_window for p in self.policies)
+        now = self.clock()
+        good, total = state.objective.cumulative(self.hub)
+        with self._lock:
+            state.append(now, good, total)
+            return self._burn(state, now, float(window))
+
+    def worst_burn(self, prefix: str = "") -> float:
+        """Highest current short-window burn among matching objectives.
+
+        ``prefix`` matches against the objective's stream name (e.g. a
+        shard label: streams ``shard0.…`` match ``prefix="shard0"``),
+        so a fleet planner can rank shards by budget spend.
+        """
+        with self._lock:
+            names = [
+                n
+                for n, s in self._states.items()
+                if not prefix
+                or s.objective.stream == prefix
+                or s.objective.stream.startswith(prefix + ".")
+            ]
+        burns = [self.burn_rate(n) for n in names]
+        return max(burns, default=0.0)
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> list[dict]:
+        """Tick, evaluate every policy, update firing state.
+
+        Returns one status dict per objective (the ``/slo`` payload);
+        newly fired / newly resolved policies are flagged in
+        ``"transitions"`` so the alert layer can forward exactly the
+        edges.
+        """
+        self.tick()
+        now = self.clock()
+        statuses: list[dict] = []
+        with self._lock:
+            self._evaluations += 1
+            for name, state in self._states.items():
+                obj = state.objective
+                budget = 1.0 - obj.target
+                good, total = (
+                    (state.good[-1], state.total[-1])
+                    if state.times
+                    else (0.0, 0.0)
+                )
+                bad = max(0.0, total - good)
+                # budget accounting over the tracked period (the ring):
+                # consumed = observed bad fraction over the budget
+                base_bad = max(0.0, state.total[0] - state.good[0]) if state.times else 0.0
+                base_total = state.total[0] if state.times else 0.0
+                period_total = max(0.0, total - base_total)
+                period_bad = max(0.0, bad - base_bad)
+                consumed = (
+                    (period_bad / period_total) / budget if period_total else 0.0
+                )
+                windows: dict[str, dict] = {}
+                transitions: list[dict] = []
+                firing_any = False
+                worst_severity: Optional[str] = None
+                for policy in self.policies:
+                    short = self._burn(state, now, policy.short_window)
+                    long_ = self._burn(state, now, policy.long_window)
+                    fires = short >= policy.factor and long_ >= policy.factor
+                    was = state.firing.get(policy.name, False)
+                    if fires and not was:
+                        state.since[policy.name] = now
+                        transitions.append(
+                            {"policy": policy.name, "to": "firing"}
+                        )
+                        self._transitions += 1
+                    elif was and not fires:
+                        transitions.append(
+                            {"policy": policy.name, "to": "resolved"}
+                        )
+                        self._transitions += 1
+                    state.firing[policy.name] = fires
+                    if fires:
+                        firing_any = True
+                        worst_severity = worst_severity or policy.severity
+                    windows[policy.name] = {
+                        "short_window": policy.short_window,
+                        "long_window": policy.long_window,
+                        "factor": policy.factor,
+                        "severity": policy.severity,
+                        "burn_short": short,
+                        "burn_long": long_,
+                        "firing": fires,
+                        "since": state.since.get(policy.name),
+                    }
+                statuses.append(
+                    {
+                        "name": name,
+                        "objective": obj.describe(),
+                        "kind": obj.kind,
+                        "stream": obj.stream,
+                        "target": obj.target,
+                        "total": total,
+                        "good": good,
+                        "bad": bad,
+                        "attainment": (good / total) if total else None,
+                        "budget": budget,
+                        "budget_consumed": consumed,
+                        "budget_remaining": 1.0 - consumed,
+                        "windows": windows,
+                        "firing": firing_any,
+                        "severity": worst_severity,
+                        "transitions": transitions,
+                    }
+                )
+        return statuses
+
+    def snapshot(self) -> dict:
+        """JSON-clean evaluation result (the ``/slo`` endpoint body)."""
+        return {
+            "schema": 1,
+            "policies": [
+                {
+                    "name": p.name,
+                    "short_window": p.short_window,
+                    "long_window": p.long_window,
+                    "factor": p.factor,
+                    "severity": p.severity,
+                }
+                for p in self.policies
+            ],
+            "slos": self.evaluate(),
+        }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Unified-schema snapshot of the tracker itself."""
+        with self._lock:
+            n_firing = sum(
+                any(s.firing.values()) for s in self._states.values()
+            )
+            return component_stats(
+                "slo_tracker",
+                counters={
+                    "evaluations": self._evaluations,
+                    "transitions": self._transitions,
+                },
+                gauges={
+                    "n_slos": len(self._states),
+                    "n_policies": len(self.policies),
+                    "n_firing": n_firing,
+                },
+            )

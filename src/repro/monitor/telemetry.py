@@ -591,8 +591,9 @@ class TelemetryHub:
 
         Dotted stream names sanitize to underscores under a ``repro_``
         namespace: counters as ``*_total``, series as cumulative-bucket
-        histograms (``*_bucket{le="..."}`` / ``*_sum`` / ``*_count``),
-        reservoir and eviction state as gauges/counters, and the
+        histograms (``*_bucket{le="..."}`` / ``*_sum`` / ``*_count``,
+        plus the exact observed extremes as ``*_min`` / ``*_max``
+        gauges), reservoir and eviction state as gauges/counters, and the
         latest consumed component snapshots flattened to
         ``repro_<component>_<metric>`` — so one scrape of a shared hub
         covers every attached component.
@@ -602,7 +603,13 @@ class TelemetryHub:
             for kind, n in self._evictions.items():
                 counters[f"telemetry.evicted_{kind}"] = n
             series = {
-                name: (s.hist.bounds.copy(), s.hist.counts.copy(), s.hist.total)
+                name: (
+                    s.hist.bounds.copy(),
+                    s.hist.counts.copy(),
+                    s.hist.total,
+                    s.hist.min,
+                    s.hist.max,
+                )
                 for name, s in self._series.items()
             }
             reservoirs = {
@@ -616,7 +623,7 @@ class TelemetryHub:
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {counters[name]}")
         for name in sorted(series):
-            bounds, bucket_counts, total = series[name]
+            bounds, bucket_counts, total, observed_min, observed_max = series[name]
             metric = _prom_name(name)
             lines.append(f"# TYPE {metric} histogram")
             cum = 0
@@ -627,6 +634,14 @@ class TelemetryHub:
             lines.append(f'{metric}_bucket{{le="+Inf"}} {cum}')
             lines.append(f"{metric}_sum {total:.9g}")
             lines.append(f"{metric}_count {cum}")
+            if cum > 0:
+                # the exact observed extremes ride along as gauges, so
+                # a scraped percentile report can pin its tails to the
+                # real min/max instead of clamping to bucket edges
+                lines.append(f"# TYPE {metric}_min gauge")
+                lines.append(f"{metric}_min {observed_min:.9g}")
+                lines.append(f"# TYPE {metric}_max gauge")
+                lines.append(f"{metric}_max {observed_max:.9g}")
         for name in sorted(reservoirs):
             rows, seen = reservoirs[name]
             metric = _prom_name(f"reservoir.{name}")

@@ -1,0 +1,197 @@
+"""Tests for alert rules, firing state, dedup, and sinks."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import (
+    AlertManager,
+    AlertRule,
+    CounterIncreaseRule,
+    JsonlSink,
+    SLOTracker,
+    TelemetryHub,
+    ThresholdRule,
+    router_rules,
+)
+from repro.monitor.drift import DriftSignal
+
+
+def test_threshold_rule_fires_and_resolves():
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub,
+        rules=[ThresholdRule("hot", series="lat", stat="mean", op=">", value=0.1)],
+    )
+    hub.record("lat", 0.01)
+    assert alerts.evaluate() == []
+
+    for _ in range(200):
+        hub.record("lat", 0.5)
+    (fired,) = alerts.evaluate()
+    assert (fired["name"], fired["state"]) == ("hot", "firing")
+    assert alerts.active()[0]["name"] == "hot"
+
+    # the window rolls past the burst and the rule resolves
+    for _ in range(2000):
+        hub.record("lat", 0.001)
+    (resolved,) = alerts.evaluate()
+    assert resolved["state"] == "resolved"
+    assert resolved["duration_seconds"] >= 0.0
+    assert alerts.active() == []
+
+
+def test_threshold_rule_percentile_stat_reads_the_histogram():
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub,
+        rules=[ThresholdRule("tail", series="lat", stat="p99", op=">", value=0.1)],
+    )
+    for _ in range(99):
+        hub.record("lat", 0.001)
+    assert alerts.evaluate() == []  # the tail is still under the bound
+    for _ in range(50):
+        hub.record("lat", 0.5)
+    (fired,) = alerts.evaluate()
+    assert fired["state"] == "firing" and "p99" in fired["message"]
+
+
+def test_firing_alert_dedups_until_resolved():
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub, rules=[ThresholdRule("hot", counter="errs", op=">", value=0.5)]
+    )
+    seen = []
+    alerts.add_sink(lambda p: seen.append((p["name"], p["state"])))
+    hub.count("errs")
+    alerts.evaluate()
+    alerts.evaluate()
+    alerts.evaluate()
+    # the sink heard one transition; the active record counted three hits
+    assert seen == [("hot", "firing")]
+    assert alerts.active()[0]["count"] == 3
+
+
+def test_counter_increase_rule_seeds_then_fires_on_growth():
+    hub = TelemetryHub()
+    rule = CounterIncreaseRule("degraded", "router.degraded_requests", "critical")
+    alerts = AlertManager(hub, rules=[rule])
+    hub.count("router.degraded_requests", 5)
+    assert alerts.evaluate() == []  # first evaluation seeds the baseline
+    assert alerts.evaluate() == []  # no growth, no alert
+    hub.count("router.degraded_requests", 2)
+    (fired,) = alerts.evaluate()
+    assert fired["state"] == "firing" and "+2" in fired["message"]
+    (resolved,) = alerts.evaluate()  # growth stopped -> resolves
+    assert resolved["state"] == "resolved"
+
+
+def test_router_rules_cover_the_degradation_counters():
+    names = {r.name for r in router_rules()}
+    assert names == {"router.degraded", "router.shard_timeouts", "router.shard_errors"}
+    prefixed = {r.name for r in router_rules(prefix="tier0")}
+    assert all(n.startswith("tier0.") for n in prefixed)
+
+
+def test_threshold_rule_requires_exactly_one_source():
+    with pytest.raises(ParameterError):
+        ThresholdRule("x", op=">", value=1.0)
+    with pytest.raises(ParameterError):
+        ThresholdRule("x", series="a", counter="b", op=">", value=1.0)
+
+
+def test_rule_exception_surfaces_as_a_firing_alert():
+    def boom(hub):
+        raise RuntimeError("detector crashed")
+
+    hub = TelemetryHub()
+    alerts = AlertManager(hub, rules=[AlertRule("broken", check=boom)])
+    (fired,) = alerts.evaluate()
+    assert fired["state"] == "firing"
+    assert "rule error" in fired["message"]
+
+
+def test_jsonl_and_callback_sinks_hear_the_same_transitions(tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub, rules=[ThresholdRule("hot", counter="errs", op=">", value=0.5)]
+    )
+    alerts.add_sink(JsonlSink(path))
+    heard = []
+    alerts.add_sink(heard.append)
+    hub.count("errs")
+    alerts.evaluate()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 1
+    assert lines[0]["name"] == "hot" and lines[0]["state"] == "firing"
+    assert lines[0]["severity"] == "warn"
+    assert [(p["name"], p["state"]) for p in heard] == [("hot", "firing")]
+
+
+def test_sink_errors_are_counted_not_raised():
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub, rules=[ThresholdRule("hot", counter="errs", op=">", value=0.5)]
+    )
+    alerts.add_sink(lambda p: (_ for _ in ()).throw(RuntimeError("sink down")))
+    hub.count("errs")
+    alerts.evaluate()  # must not raise
+    assert alerts.stats()["counters"]["sink_errors"] == 1
+
+
+def test_record_event_and_drift_signal_ingestion():
+    hub = TelemetryHub()
+    alerts = AlertManager(hub)
+    alerts.record_event("maintenance.retune", "retune ok", severity="info", shard="s0")
+    signal = DriftSignal(
+        kind="recall-degraded",
+        severity="warn",
+        value=0.62,
+        threshold=0.8,
+        action="retune",
+        detector="recall-probe",
+        details={"shard": "s1"},
+    )
+    payload = alerts.observe_signal(signal)
+    assert payload["name"] == "drift.recall-degraded"
+    assert payload["labels"]["shard"] == "s1"
+    assert payload["labels"]["detector"] == "recall-probe"
+    snapshot = alerts.snapshot()
+    assert [h["state"] for h in snapshot["history"]] == ["event", "event"]
+    # events pass through; they never pin the active set
+    assert alerts.active() == []
+
+
+def test_slo_adoption_names_and_labels():
+    hub = TelemetryHub()
+    slo = SLOTracker(hub, clock=iter(range(0, 10**9, 60)).__next__)
+    slo.add("latency", "svc.lat p99 < 50ms")
+    alerts = AlertManager(hub, slo=slo)
+    for _ in range(40):
+        for _ in range(50):
+            hub.record("svc.lat", 0.5)
+        slo.tick()
+    transitions = alerts.evaluate()
+    (fired,) = [t for t in transitions if t["state"] == "firing"]
+    assert fired["name"] == "slo.latency"
+    assert fired["labels"]["stream"] == "svc.lat"
+    assert "burn" in fired["message"]
+
+
+def test_active_sorts_critical_first():
+    hub = TelemetryHub()
+    alerts = AlertManager(
+        hub,
+        rules=[
+            ThresholdRule("warnish", counter="a", op=">", value=0.5, severity="warn"),
+            ThresholdRule(
+                "critical-one", counter="b", op=">", value=0.5, severity="critical"
+            ),
+        ],
+    )
+    hub.count("a")
+    hub.count("b")
+    alerts.evaluate()
+    assert [a["name"] for a in alerts.active()] == ["critical-one", "warnish"]

@@ -446,3 +446,77 @@ def test_debounced_retune_falls_back_to_requested_compact():
     assert sched.stats()["counters"]["debounced_retunes"] == 1
     assert backend.stats()["counters"]["retunes"] == 0
     assert backend.tombstone_ratio == 0.0  # the compact really ran
+
+
+# ----------------------------------------------------------------------
+# the ops plane hookups (PR 9): alerts hear maintenance, SLO burn steers it
+def test_maintenance_signals_and_actions_flow_into_alerts():
+    from repro.monitor import AlertManager, TelemetryHub
+
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((200, 6))
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(x)
+    backend.prepare(None, 5)
+    hub = TelemetryHub()
+    alerts = AlertManager(hub)
+    sched = MaintenanceScheduler(
+        backend=backend, hub=hub, interval=100.0, alerts=alerts
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        backend.partial_fit(rng.standard_normal((110, 6)))  # +55% drift
+
+    events = sched.run_once()
+    assert events and events[0].action == "retune" and events[0].ok
+
+    history = alerts.snapshot(last=64)["history"]
+    names = [h["name"] for h in history]
+    # the drift signals arrived as drift.* events, the executed action
+    # as a maintenance.* event — all through the same notification path
+    assert any(n.startswith("drift.") for n in names)
+    assert "maintenance.retune" in names
+    entry = next(h for h in history if h["name"] == "maintenance.retune")
+    assert entry["severity"] == "info" and "ok" in entry["message"]
+    assert float(entry["labels"]["seconds"]) >= 0.0
+    assert sched.stats()["gauges"]["alerts_attached"] == 1
+
+
+def test_unit_burn_ranks_the_burning_shard_first():
+    from types import SimpleNamespace
+
+    from repro.monitor import SLOTracker, TelemetryHub
+
+    hub = TelemetryHub()
+    clock = [0.0]
+    slo = SLOTracker(hub, clock=lambda: clock[0])
+    slo.add("s0", "shard0.engine.request_seconds p99 < 50ms")
+    slo.add("s1", "shard1.engine.request_seconds p99 < 50ms")
+    for _ in range(10):
+        clock[0] += 60.0
+        for _ in range(50):
+            hub.record("shard0.engine.request_seconds", 0.001)  # healthy
+            hub.record("shard1.engine.request_seconds", 0.5)  # burning
+        slo.tick()
+
+    rng = np.random.default_rng(5)
+    backend = LSHNeighborBackend(seed=0, tune_with_queries=False).fit(
+        rng.standard_normal((100, 4))
+    )
+    sched = MaintenanceScheduler(
+        backend=backend, hub=hub, interval=100.0, detectors=[], slo=slo
+    )
+    burn0 = sched._unit_burn(SimpleNamespace(label="shard0"))
+    burn1 = sched._unit_burn(SimpleNamespace(label="shard1"))
+    assert burn1 > burn0  # the burning shard outranks the healthy one
+    # the unlabeled single-engine unit sees the whole tracker
+    assert sched._unit_burn(SimpleNamespace(label=None)) == burn1
+    assert sched.stats()["gauges"]["slo_attached"] == 1
+
+    # a broken tracker is counted, never raised
+    class Broken:
+        def worst_burn(self, prefix=""):
+            raise RuntimeError("tracker down")
+
+    sched.slo = Broken()
+    assert sched._unit_burn(SimpleNamespace(label="shard0")) == 0.0
+    assert hub.counter("maintenance.slo_errors") == 1

@@ -1,0 +1,151 @@
+"""Tests for the sampling profiler and span-based phase attribution."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ValuationEngine
+from repro.exceptions import ParameterError
+from repro.monitor import (
+    SamplingProfiler,
+    TraceLog,
+    Tracer,
+    phase_attribution,
+    phase_of,
+)
+
+
+def _busy_for_profiler(deadline):
+    """A distinctly named frame the sampler should catch."""
+    acc = 0.0
+    while time.monotonic() < deadline:
+        acc += sum(i * i for i in range(500))
+    return acc
+
+
+def test_sampler_catches_a_busy_function():
+    profiler = SamplingProfiler(hz=200.0)
+    with profiler:
+        _busy_for_profiler(time.monotonic() + 0.4)
+    snapshot = profiler.snapshot()
+    assert snapshot["samples"] > 0
+    collapsed = profiler.collapsed()
+    assert "_busy_for_profiler" in collapsed
+    # collapsed-stack format: "frame;frame;... count" per line
+    for line in collapsed.splitlines():
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1 and stack
+    top_frames = [row["frame"] for row in profiler.top(50)]
+    assert any("_busy_for_profiler" in f for f in top_frames)
+
+
+def test_sampler_start_stop_reset_lifecycle():
+    profiler = SamplingProfiler(hz=50.0)
+    assert not profiler.running
+    profiler.start()
+    assert profiler.running
+    profiler.start()  # idempotent
+    time.sleep(0.05)
+    profiler.stop()
+    assert not profiler.running
+    assert profiler.snapshot()["active_seconds"] > 0.0
+    profiler.reset()
+    assert profiler.snapshot()["samples"] == 0
+    with pytest.raises(ParameterError):
+        SamplingProfiler(hz=0.0)
+
+
+def test_stack_table_is_bounded_with_eviction_counter():
+    profiler = SamplingProfiler(hz=10.0, max_stacks=2)
+    for name in ("aa", "bb", "cc", "dd"):
+        exec(
+            f"def {name}():\n    profiler.sample_once(None)\n{name}()",
+            {"profiler": profiler},
+        )
+    snapshot = profiler.snapshot()
+    assert snapshot["distinct_stacks"] <= 2
+    assert snapshot["evicted_stacks"] >= 2
+
+
+def test_phase_of_prefix_mapping():
+    assert phase_of("engine.request") == "engine"
+    assert phase_of("engine.chunk") == "chunk"
+    assert phase_of("kernel.exact") == "kernel"
+    assert phase_of("backend.rank") == "backend"
+    assert phase_of("service.job") == "service"
+    assert phase_of("router.request") == "router"
+    assert phase_of("shard.query") == "router"
+    assert phase_of("something.else") == "other"
+
+
+def test_phase_attribution_self_time_telescopes():
+    spans = [
+        {"span_id": "r", "parent_id": None, "name": "engine.request", "seconds": 1.0},
+        {"span_id": "c", "parent_id": "r", "name": "engine.chunk", "seconds": 0.8},
+        {"span_id": "k", "parent_id": "c", "name": "kernel.exact", "seconds": 0.5},
+        {"span_id": "b", "parent_id": "c", "name": "backend.rank", "seconds": 0.2},
+    ]
+    report = phase_attribution(spans)
+    assert report["total_seconds"] == pytest.approx(1.0)
+    assert report["span_count"] == 4
+    phases = report["phases"]
+    assert phases["engine"]["seconds"] == pytest.approx(0.2)  # 1.0 - 0.8
+    assert phases["chunk"]["seconds"] == pytest.approx(0.1)  # 0.8 - 0.7
+    assert phases["kernel"]["seconds"] == pytest.approx(0.5)
+    assert phases["backend"]["seconds"] == pytest.approx(0.2)
+    assert sum(p["seconds"] for p in phases.values()) == pytest.approx(1.0)
+    assert sum(p["fraction"] for p in phases.values()) == pytest.approx(1.0)
+
+
+def test_phase_attribution_accepts_a_nested_tree():
+    tree = {
+        "span_id": "r",
+        "parent_id": None,
+        "name": "engine.request",
+        "seconds": 2.0,
+        "children": [
+            {
+                "span_id": "k",
+                "parent_id": "r",
+                "name": "kernel.exact",
+                "seconds": 1.5,
+                "children": [],
+            }
+        ],
+    }
+    report = phase_attribution(tree)
+    assert report["total_seconds"] == pytest.approx(2.0)
+    assert report["phases"]["kernel"]["seconds"] == pytest.approx(1.5)
+    assert report["phases"]["engine"]["seconds"] == pytest.approx(0.5)
+
+
+def test_phase_attribution_empty_input():
+    report = phase_attribution([])
+    assert report["total_seconds"] == 0.0
+    assert report["phases"] == {}
+
+
+def test_attribution_matches_engine_request_on_traced_workload():
+    """Acceptance: per-phase attribution sums within 10% of the
+    engine.request span's wall time on a sequential traced request."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1500, 8))
+    y = rng.integers(0, 2, 1500)
+    log = TraceLog()
+    engine = (
+        ValuationEngine(x, y, 3, n_workers=1, cache=False)
+        .attach_tracer(Tracer(log=log))
+    )
+    result = engine.value(
+        rng.standard_normal((16, 8)), rng.integers(0, 2, 16), method="exact"
+    )
+    tree = result.extra["trace"]
+    assert tree["name"] == "engine.request"
+    report = phase_attribution(tree)
+    attributed = sum(p["seconds"] for p in report["phases"].values())
+    assert attributed == pytest.approx(tree["seconds"], rel=1e-9)
+    assert abs(report["total_seconds"] - tree["seconds"]) <= 0.10 * tree["seconds"]
+    # the flat TraceLog records of the same trace agree with the tree
+    flat = phase_attribution(log.records(trace_id=tree["trace_id"]))
+    assert flat["total_seconds"] == pytest.approx(report["total_seconds"])

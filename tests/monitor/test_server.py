@@ -1,0 +1,157 @@
+"""Tests for the ObservabilityServer HTTP surface."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine import ValuationEngine, ValuationService
+from repro.monitor import (
+    AlertManager,
+    ObservabilityServer,
+    SamplingProfiler,
+    SLOTracker,
+    TelemetryHub,
+)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type", ""), err.read()
+
+
+@pytest.fixture()
+def service():
+    rng = np.random.default_rng(0)
+    engine = ValuationEngine(
+        rng.standard_normal((200, 4)), rng.integers(0, 2, 200), 3
+    )
+    with ValuationService(engine, n_workers=1) as svc:
+        yield svc
+
+
+def test_all_endpoints_respond(service):
+    hub = TelemetryHub()
+    service.engine.attach_telemetry(hub)
+    slo = SLOTracker(hub)
+    slo.add("lat", "engine.request_seconds p99 < 1s")
+    alerts = AlertManager(hub, slo=slo)
+    profiler = SamplingProfiler(hz=10.0)
+    server = ObservabilityServer(
+        target=service, hub=hub, slo=slo, alerts=alerts, profiler=profiler
+    ).start()
+    try:
+        assert server.url.startswith("http://127.0.0.1:")
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200 and ctype.startswith("text/plain")
+        assert b"repro_" in body
+
+        status, ctype, body = _get(server.url + "/health")
+        doc = json.loads(body)
+        assert status == 200 and doc["status"] == "ok"
+        assert "/slo" in doc["endpoints"]
+        assert doc["uptime_seconds"] >= 0.0
+
+        status, _, body = _get(server.url + "/ready")
+        assert status == 200 and json.loads(body)["status"] == "ready"
+
+        status, _, body = _get(server.url + "/slo")
+        assert status == 200 and json.loads(body)["slos"][0]["name"] == "lat"
+
+        status, _, body = _get(server.url + "/alerts")
+        assert status == 200 and json.loads(body)["active"] == []
+
+        status, _, body = _get(server.url + "/profile")
+        assert status == 200  # collapsed text (may be empty: not running)
+        status, _, body = _get(server.url + "/profile?format=json")
+        assert status == 200 and json.loads(body)["schema"] == 1
+
+        # the server counts its own traffic into the hub
+        assert hub.counter("ops.http.metrics") == 1
+    finally:
+        server.stop()
+
+
+def test_ready_flips_to_503_after_shutdown():
+    rng = np.random.default_rng(1)
+    engine = ValuationEngine(
+        rng.standard_normal((100, 4)), rng.integers(0, 2, 100), 3
+    )
+    service = ValuationService(engine, n_workers=1)
+    server = ObservabilityServer(target=service, hub=TelemetryHub()).start()
+    try:
+        assert _get(server.url + "/ready")[0] == 200
+        service.shutdown()
+        status, _, body = _get(server.url + "/ready")
+        assert status == 503
+        assert json.loads(body)["status"] == "unready"
+    finally:
+        server.stop()
+
+
+def test_unattached_endpoints_return_404_with_hints():
+    server = ObservabilityServer(hub=TelemetryHub()).start()
+    try:
+        for path in ("/slo", "/alerts", "/profile"):
+            status, _, body = _get(server.url + path)
+            assert status == 404, path
+            assert b"error" in body
+        status, _, body = _get(server.url + "/no-such")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["endpoints"]
+        # bare / serves /health, trailing slashes are normalized
+        assert _get(server.url + "/")[0] == 200
+        assert _get(server.url + "/metrics/")[0] == 200
+    finally:
+        server.stop()
+
+
+def test_no_hub_metrics_404_and_ready_without_target():
+    server = ObservabilityServer().start()
+    try:
+        assert _get(server.url + "/metrics")[0] == 404
+        # no target: the server itself being up means ready
+        assert _get(server.url + "/ready")[0] == 200
+    finally:
+        server.stop()
+
+
+def test_labeled_shard_views_round_trip_through_metrics():
+    """Satellite: per-shard labeled hub views stay distinct streams all
+    the way through the Prometheus exposition."""
+    hub = TelemetryHub()
+    for i, latency in enumerate((0.01, 0.02)):
+        view = hub.labeled(f"shard{i}")
+        view.record("engine.request_seconds", latency)
+        view.count("engine.retrievals", 5 * (i + 1))
+    server = ObservabilityServer(hub=hub).start()
+    try:
+        _, _, body = _get(server.url + "/metrics")
+    finally:
+        server.stop()
+    text = body.decode()
+    for i in range(2):
+        prefix = f"repro_shard{i}_engine_request_seconds"
+        assert f"{prefix}_count 1" in text
+        assert f"{prefix}_sum" in text
+        assert f"repro_shard{i}_engine_retrievals_total {5 * (i + 1)}" in text
+    # the two shards' observed extremes survive as min/max gauges
+    assert "repro_shard0_engine_request_seconds_max 0.01" in text
+    assert "repro_shard1_engine_request_seconds_max 0.02" in text
+
+
+def test_server_stats_schema():
+    server = ObservabilityServer(hub=TelemetryHub()).start()
+    try:
+        _get(server.url + "/health")
+        stats = server.stats()
+        assert stats["component"] == "observability_server"
+        assert stats["counters"]["requests"] == 1
+        assert stats["gauges"]["running"] == 1
+    finally:
+        server.stop()

@@ -372,3 +372,84 @@ def test_export_text_prometheus_shape():
     assert "repro_backend_lsh_queries_total 7" in lines
     assert "repro_backend_lsh_build_seconds 0.5" in lines
     assert "repro_backend_lsh_tables 4" in lines
+
+
+def test_export_text_emits_series_min_max_gauges():
+    hub = TelemetryHub()
+    for v in (0.002, 0.5, 0.03):
+        hub.record("engine.request_seconds", v)
+    lines = hub.export_text().splitlines()
+    assert "# TYPE repro_engine_request_seconds_min gauge" in lines
+    assert "repro_engine_request_seconds_min 0.002" in lines
+    assert "repro_engine_request_seconds_max 0.5" in lines
+    # an empty series exports no extremes (there are none to report)
+    hub2 = TelemetryHub()
+    hub2.record("lat", 1.0)
+    hub2.series("lat")  # touch, no extra records
+    text = TelemetryHub().export_text()
+    assert "_min" not in text and "_max" not in text
+
+
+def test_export_text_escapes_awkward_metric_names():
+    hub = TelemetryHub()
+    hub.count("engine.weighted-path.k=2")
+    hub.record("latency (ms)/phase", 0.25)
+    text = hub.export_text()
+    # every metric line is alphanumeric/underscore/colon only
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        metric = line.split("{")[0].split(" ")[0]
+        assert all(c.isalnum() or c in "_:" for c in metric), metric
+    assert "repro_engine_weighted_path_k_2_total 1" in text.splitlines()
+    assert any(
+        line.startswith("repro_latency__ms__phase_count")
+        for line in text.splitlines()
+    )
+
+
+def test_eviction_counters_are_per_kind():
+    hub = TelemetryHub(max_series=2, max_counters=2, max_reservoirs=1)
+    for i in range(5):
+        hub.record(f"series{i}", 1.0)
+        hub.count(f"counter{i}")
+        hub.observe(f"res{i}", np.ones((1, 2)))
+    stats = hub.stats()
+    assert stats["counters"]["telemetry.evicted_series"] == 3
+    assert stats["counters"]["telemetry.evicted_counters"] == 3
+    assert stats["counters"]["telemetry.evicted_reservoirs"] == 4
+    assert stats["counters"]["telemetry.evicted_components"] == 0
+    text = hub.export_text()
+    assert "repro_telemetry_evicted_series_total 3" in text.splitlines()
+
+
+def test_eviction_under_concurrent_record_is_consistent():
+    """Hammer a small-capped hub from many threads; the FIFO caps and
+    the per-kind eviction counters must stay exact."""
+    hub = TelemetryHub(max_series=8, max_counters=8)
+    n_threads, n_names = 8, 40
+    start = threading.Barrier(n_threads)
+
+    def worker(tid):
+        start.wait()
+        for i in range(n_names):
+            hub.record(f"t{tid}.series{i}", float(i))
+            hub.count(f"t{tid}.counter{i}")
+
+    threads = [
+        threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    stats = hub.stats()
+    created = n_threads * n_names
+    # exactly (created - cap) of each kind were evicted, none lost
+    assert stats["counters"]["telemetry.evicted_series"] == created - 8
+    assert stats["counters"]["telemetry.evicted_counters"] == created - 8
+    assert stats["gauges"]["n_series"] == 8
+    assert stats["gauges"]["n_counters"] == 8
+    # the survivors are intact and the export stays well-formed
+    assert hub.export_text().startswith("# TYPE")

@@ -284,3 +284,63 @@ def test_numpy_attributes_serialize(tmp_path):
     (record,) = load_spans(path)
     assert record["attributes"]["n"] == 3
     assert record["attributes"]["v"] == 0.5
+
+
+def test_dump_since_cutoff_parsing():
+    from repro.monitor.dump import since_cutoff
+
+    assert since_cutoff("1754650000", newest_ts=0.0) == 1754650000.0
+    assert since_cutoff("30s", newest_ts=1000.0) == 970.0
+    assert since_cutoff("5m", newest_ts=1000.0) == 700.0
+    assert since_cutoff("2h", newest_ts=10000.0) == 2800.0
+    assert since_cutoff(" 2H ", newest_ts=10000.0) == 2800.0
+    with pytest.raises(ValueError):
+        since_cutoff("yesterday", newest_ts=0.0)
+    with pytest.raises(ValueError):
+        since_cutoff("5 parsecs", newest_ts=0.0)
+
+
+def test_dump_cli_trace_id_alias_and_since_filter(tmp_path, capsys):
+    path = str(tmp_path / "trace.jsonl")
+    spans = [
+        {
+            "trace_id": f"trace{i}",
+            "span_id": f"s{i}",
+            "parent_id": None,
+            "name": f"engine.request.{i}",
+            "seconds": 0.01,
+            "ts": 1000.0 + 100.0 * i,
+        }
+        for i in range(3)
+    ]
+    with open(path, "w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span) + "\n")
+
+    # --trace-id is an alias of --trace
+    assert main([path, "--trace-id", "trace1"]) == 0
+    out = capsys.readouterr().out
+    assert "trace trace1" in out and "trace0" not in out
+
+    # --since with an age relative to the newest span (ts 1200)
+    assert main([path, "--since", "150s"]) == 0
+    out = capsys.readouterr().out
+    assert "trace2" in out and "trace1" in out and "trace0" not in out
+
+    # --since with an absolute epoch keeps only the newest trace
+    assert main([path, "--since", "1150"]) == 0
+    out = capsys.readouterr().out
+    assert "trace2" in out and "trace1" not in out
+
+    # a cutoff past every span prints the empty-log message
+    assert main([path, "--since", "99999"]) == 0
+    assert "(no spans)" in capsys.readouterr().out
+
+    # filters compose: --since narrows before --summary aggregates
+    assert main([path, "--since", "150s", "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert "engine.request.2" in out and "engine.request.0" not in out
+
+    # a malformed --since is a usage error, not a crash
+    assert main([path, "--since", "soon"]) == 2
+    assert "--since" in capsys.readouterr().err
