@@ -1,0 +1,36 @@
+"""Resilience tier: burst-p99 and certified-degradation acceptance gates.
+
+Three bars from the deadline-aware serving PR's acceptance criteria:
+
+* under a full-queue burst, the precision ladder must cut p99 total
+  job latency at least 2x versus an identical exact-only service;
+* every degraded answer must stay within the error certificate it
+  published, measured against the exact oracle for its own batch;
+* the first request after the burst drains must serve exact and
+  unmarked (the recovery rule).
+"""
+
+from repro.experiments import burst_serving
+from repro.experiments.reporting import format_result
+
+
+def test_burst_ladder_margin_certificates_and_recovery(once):
+    result = once(lambda: burst_serving())
+    print()
+    print(format_result(result))
+    row = result.rows[0]
+
+    assert row["degraded_requests"] > 0, (
+        "the burst never engaged the ladder — no degraded requests"
+    )
+    assert row["degraded_value_error_within_certificate"] == 1.0, (
+        f"a degraded result exceeded its certificate (worst slack "
+        f"{row['worst_certificate_slack']:g})"
+    )
+    assert row["burst_recovered_to_exact"] == 1.0, (
+        "the first post-burst request did not return to exact serving"
+    )
+    assert row["burst_p99_latency_margin"] >= 2.0, (
+        f"ladder p99 ({row['ladder_p99_s']:.3f}s) less than 2x better "
+        f"than exact-only ({row['exact_p99_s']:.3f}s)"
+    )

@@ -34,6 +34,7 @@ __all__ = [
     "bennett_permutations",
     "bennett_approx_permutations",
     "bennett_qi",
+    "certified_epsilon",
 ]
 
 
@@ -146,3 +147,51 @@ def bennett_approx_permutations(
         raise ParameterError(f"k must be positive, got {k}")
     h_val = float(bennett_h(epsilon / r))
     return int(math.ceil(math.log(2.0 * k / delta) / h_val))
+
+
+def certified_epsilon(
+    n_permutations: int,
+    delta: float,
+    n: int,
+    k: int,
+    r: float,
+    max_iter: int = 100,
+) -> float:
+    """Invert Theorem 5: the error an explicit budget certifies.
+
+    The smallest ``epsilon`` whose Bennett budget
+    (:func:`bennett_permutations`) fits within ``n_permutations`` —
+    i.e. the ``(epsilon, delta)`` guarantee a run of ``T`` permutations
+    can legitimately claim.  This is the certificate the serving
+    layer's Monte Carlo precision rung records next to each degraded
+    result, so an operator (or the benchmark gate) can hard-check the
+    measured error against it.
+    """
+    if n_permutations <= 0:
+        raise ParameterError(
+            f"n_permutations must be positive, got {n_permutations}"
+        )
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must lie in (0, 1), got {delta}")
+    if r <= 0:
+        raise ParameterError(f"range r must be positive, got {r}")
+    # bennett_permutations is strictly decreasing in epsilon; bracket
+    # then bisect for the smallest epsilon whose budget fits
+    lo, hi = 0.0, float(r)
+    it = 0
+    while bennett_permutations(hi, delta, n, k, r) > n_permutations:
+        hi *= 2.0
+        it += 1
+        if it > max_iter:
+            raise ConvergenceError(
+                "failed to bracket the certified epsilon"
+            )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if mid <= 0.0:
+            break
+        if bennett_permutations(mid, delta, n, k, r) > n_permutations:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -16,9 +16,14 @@ the part the paper's Section 3.2 serving scenario actually needs:
 * :mod:`~repro.engine.incremental` — :class:`IncrementalValuator`,
   exact delta updates of fitted rank state under training-set churn
   (the dynamic data-market workload);
-* :mod:`~repro.engine.service` — :class:`ValuationService`, a queue of
-  :class:`ValuationRequest` and :class:`MutationRequest` jobs with
-  per-job latency stats.
+* :mod:`~repro.engine.service` — :class:`ValuationService`, a priority
+  queue of :class:`ValuationRequest` and :class:`MutationRequest` jobs
+  with per-job latency stats, bounded-queue admission control
+  (load-shedding), and per-request deadlines;
+* :mod:`~repro.engine.degradation` — :class:`DegradationController`,
+  the precision ladder that trades certified accuracy for latency
+  under overload (exact → Theorem-2 truncation → Theorem-5 Monte
+  Carlo, every rung carrying its error certificate).
 
 Every component answers ``stats()`` with the unified schema of
 :mod:`repro.stats`, and publishes runtime streams into an attached
@@ -36,6 +41,7 @@ from .backends import (
     register_backend,
 )
 from .cache import CacheStats, RankCache, array_fingerprint, dataset_fingerprint
+from .degradation import DEFAULT_LADDER, DegradationController, PrecisionRung
 from .engine import ValuationEngine, resolve_method_kernel
 from .incremental import IncrementalValuator
 from .sharding import Shard, ShardRouter
@@ -61,6 +67,9 @@ __all__ = [
     "dataset_fingerprint",
     "ValuationEngine",
     "resolve_method_kernel",
+    "DegradationController",
+    "PrecisionRung",
+    "DEFAULT_LADDER",
     "IncrementalValuator",
     "Shard",
     "ShardRouter",

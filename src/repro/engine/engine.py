@@ -55,6 +55,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.bounds import bennett_permutations, certified_epsilon
 from ..core.kernels import (
     RankPlan,
     ValuationKernel,
@@ -62,8 +63,10 @@ from ..core.kernels import (
     get_kernel,
     weighted_config_cache_stats,
 )
+from ..core.mcserve import mc_values_from_distances
 from ..core.truncated import truncation_rank
-from ..exceptions import ParameterError
+from ..exceptions import DeadlineExceededError, ParameterError
+from ..knn.distance import get_metric
 from ..monitor.tracing import NOOP_TRACER
 from ..stats import component_stats
 from ..types import (
@@ -420,6 +423,10 @@ class ValuationEngine:
         store_per_test: bool = False,
         weights: str = "inverse_distance",
         mode: str = "auto",
+        deadline_s: Optional[float] = None,
+        delta: float = 0.05,
+        n_permutations: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> ValuationResult:
         """Shapley values of the training set for one test batch.
 
@@ -429,10 +436,14 @@ class ValuationEngine:
             The query batch (labels of the training task's type).
         method:
             ``"exact"``, ``"truncated"``, ``"lsh"``, ``"weighted"``,
+            ``"mc"`` (the sort-free Monte Carlo estimator of
+            :mod:`repro.core.mcserve` with a Theorem 5 certificate),
             or the name of any kernel registered with
             :func:`repro.core.kernels.register_kernel`.
         epsilon:
-            Truncation target for the approximate methods.
+            Truncation target for the approximate methods; for
+            ``method="mc"`` the ``(epsilon, delta)`` target that sizes
+            the permutation budget via Theorem 5.
         store_per_test:
             Keep the full ``(n_test, n_train)`` per-test value matrix
             in ``extra["per_test"]``.  Off by default: it is the one
@@ -447,9 +458,35 @@ class ValuationEngine:
             :meth:`repro.core.kernels.WeightedKernel.select_path`);
             ignored by the other methods.  The resolved path lands in
             ``extra["weighted_path"]`` and the engine's path counters.
+        deadline_s:
+            Optional compute budget in seconds, measured from request
+            entry.  Checked before every chunk: when the budget is
+            already spent the request raises
+            :class:`~repro.exceptions.DeadlineExceededError` instead
+            of starting more work (a running chunk is never aborted
+            mid-kernel, so overshoot is bounded by one chunk).
+        delta:
+            Failure probability for the ``method="mc"`` certificate;
+            ignored by the other methods.
+        n_permutations:
+            Explicit permutation count for ``method="mc"``; ``None``
+            (default) sizes the budget from ``(epsilon, delta)`` via
+            Theorem 5.  An explicit count is inverted back into the
+            epsilon it certifies.
+        seed:
+            Seed for the ``method="mc"`` permutation stream; ``None``
+            draws fresh entropy.
         """
         x_test = as_float_matrix(x_test, "x_test")
         y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
+        check_deadline = self._deadline_check(deadline_s)
+        if method == "mc":
+            # Monte Carlo serves from raw distances — no kernel, no
+            # ranking — so it dispatches before kernel resolution
+            return self._value_mc(
+                x_test, y_test, epsilon, delta, n_permutations, seed,
+                store_per_test, check_deadline,
+            )
         kernel = self._resolve_kernel(method)
         caps = kernel.capabilities
         with self._state_lock.read():
@@ -484,18 +521,43 @@ class ValuationEngine:
                 if caps.needs_full_ranking:
                     result = self._value_ranked(
                         kernel, method, x_test, y_test, params,
-                        store_per_test, root,
+                        store_per_test, root, check_deadline,
                     )
                 else:
                     result = self._value_topk(
                         kernel, method, x_test, y_test, epsilon,
-                        store_per_test, root,
+                        store_per_test, root, check_deadline,
                     )
             if root:
                 # summarized after the span closed, so the root's own
                 # duration is final when it lands in the result
                 result.extra["trace"] = root.summary()
             return result
+
+    @staticmethod
+    def _deadline_check(deadline_s: Optional[float]):
+        """Closure raising once ``deadline_s`` is spent; ``None`` → no-op."""
+        if deadline_s is None:
+            return lambda: None
+        if deadline_s <= 0:
+            raise DeadlineExceededError(
+                f"deadline budget already spent ({deadline_s:.4f}s remaining)",
+                deadline_s=float(deadline_s),
+                elapsed_s=0.0,
+            )
+        t0 = time.perf_counter()
+
+        def check() -> None:
+            elapsed = time.perf_counter() - t0
+            if elapsed >= deadline_s:
+                raise DeadlineExceededError(
+                    f"deadline of {deadline_s:.4f}s exceeded after "
+                    f"{elapsed:.4f}s",
+                    deadline_s=float(deadline_s),
+                    elapsed_s=elapsed,
+                )
+
+        return check
 
     def run(self, *args, **kwargs) -> ValuationResult:
         """Alias of :meth:`value` (the serving-layer verb)."""
@@ -610,6 +672,41 @@ class ValuationEngine:
             self.cache.put_ranking(key, order, distances=dist)
         return order, dist
 
+    def distances(self, x_test: np.ndarray) -> np.ndarray:
+        """Raw test-to-train distances, no ranking and no sort.
+
+        The retrieval primitive of the Monte Carlo serving rung
+        (:mod:`repro.core.mcserve`): the estimator scans distances in
+        permutation order, so sorting them first would forfeit the
+        rung's entire latency advantage.  The sharded tier fans this
+        out per shard and concatenates columns by placement.  Runs
+        under the read side of the engine lock against the backend's
+        live training matrix.
+
+        Args:
+            x_test: Query batch, shape ``(n_test, n_features)``.
+
+        Returns:
+            ``(n_test, n_train)`` float64 distances under this
+            engine's metric.
+        """
+        x_test = as_float_matrix(x_test, "x_test")
+        with self._state_lock.read():
+            if x_test.shape[1] != self.x_train.shape[1]:
+                raise ParameterError(
+                    f"x_test has {x_test.shape[1]} features, expected "
+                    f"{self.x_train.shape[1]}"
+                )
+            start = time.perf_counter()
+            dist = get_metric(self.metric)(x_test, self.backend.data)
+            hub = self.telemetry
+            if hub is not None:
+                hub.count("engine.distance_scans")
+                hub.record(
+                    "engine.distances_seconds", time.perf_counter() - start
+                )
+            return dist
+
     # ------------------------------------------------------------------
     # dynamic datasets: mutate the training set being valued
     def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
@@ -672,6 +769,7 @@ class ValuationEngine:
         params: dict,
         store_per_test: bool,
         root,
+        check_deadline=lambda: None,
     ) -> ValuationResult:
         """Generic chunked execution of a full-ranking kernel.
 
@@ -725,6 +823,7 @@ class ValuationEngine:
         tracer = self.tracer
 
         def worker(s: int, e: int):
+            check_deadline()
             with tracer.span("engine.chunk", parent=root, start=s, stop=e) as chunk:
                 dist = None
                 if cached_order is not None:
@@ -813,6 +912,7 @@ class ValuationEngine:
         epsilon: float,
         store_per_test: bool,
         root,
+        check_deadline=lambda: None,
     ) -> ValuationResult:
         """Generic chunked execution of a top-``K*`` (prefix) kernel.
 
@@ -839,6 +939,7 @@ class ValuationEngine:
         exactly_k = True  # rectangular results can be cached
 
         def worker(s: int, e: int):
+            check_deadline()
             with tracer.span("engine.chunk", parent=root, start=s, stop=e) as chunk:
                 if cached_idx is not None:
                     idx_rows = cached_idx[s:e]
@@ -908,3 +1009,133 @@ class ValuationEngine:
         if store_per_test:
             extra["per_test"] = np.concatenate([r[3] for r in results], axis=0)
         return ValuationResult(values=values, method=method, extra=extra)
+
+    # ------------------------------------------------------------------
+    def _value_mc(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epsilon: float,
+        delta: float,
+        n_permutations: Optional[int],
+        seed: Optional[int],
+        store_per_test: bool,
+        check_deadline,
+    ) -> ValuationResult:
+        """Sort-free Monte Carlo estimation with a Theorem 5 certificate.
+
+        The overload rung of the precision ladder: cost is
+        ``T * O(K ln N)`` heap events over raw distances per test
+        point, with ``T`` independent of N for fixed ``(epsilon,
+        delta)`` (Figure 11's flattening curve) — no ranking, no sort,
+        no kernel.  Chunk results merge by eq 8 additivity exactly
+        like the other paths, and each chunk draws its permutations
+        from its own spawned child stream so the output is
+        deterministic in ``seed`` regardless of thread scheduling.
+        """
+        if self.task != "classification":
+            raise ParameterError(
+                "method='mc' replays the unweighted KNN classification "
+                "utility and is defined for classification only"
+            )
+        r = 1.0 / self.k
+        with self._state_lock.read():
+            if x_test.shape[1] != self.x_train.shape[1]:
+                raise ParameterError(
+                    f"x_test has {x_test.shape[1]} features, expected "
+                    f"{self.x_train.shape[1]}"
+                )
+            start = time.perf_counter()
+            n, n_test = self.n_train, x_test.shape[0]
+            if n_permutations is None:
+                t_budget = bennett_permutations(
+                    epsilon, delta, n, self.k, r
+                )
+                cert_eps = float(epsilon)
+            else:
+                if n_permutations <= 0:
+                    raise ParameterError(
+                        "n_permutations must be positive, got "
+                        f"{n_permutations}"
+                    )
+                t_budget = int(n_permutations)
+                # an explicit budget certifies the epsilon it buys,
+                # not the one the caller asked for
+                cert_eps = certified_epsilon(
+                    t_budget, delta, n, self.k, r
+                )
+            spans = self._chunk_spans(n_test)
+            streams = np.random.SeedSequence(seed).spawn(len(spans))
+            metric_fn = get_metric(self.metric)
+            data = self.backend.data
+            y_train = self.y_train
+            tracer = self.tracer
+            with tracer.span(
+                "engine.request",
+                method="mc",
+                backend=self.backend.name,
+                n_test=n_test,
+                n_train=n,
+                n_permutations=t_budget,
+            ) as root:
+
+                def worker(s: int, e: int):
+                    check_deadline()
+                    with tracer.span(
+                        "engine.chunk", parent=root, start=s, stop=e
+                    ) as chunk:
+                        with tracer.span("engine.distances", parent=chunk):
+                            dist = metric_fn(x_test[s:e], data)
+                        match = (
+                            y_train[None, :] == y_test[s:e, None]
+                        ).astype(np.float64)
+                        with tracer.span("kernel.mcserve", parent=chunk):
+                            per_test = mc_values_from_distances(
+                                dist,
+                                match,
+                                self.k,
+                                t_budget,
+                                np.random.default_rng(streams[spans.index((s, e))]),
+                            )
+                        return (
+                            per_test.sum(axis=0),
+                            per_test if store_per_test else None,
+                        )
+
+                results = self._run_chunks(worker, spans)
+                with tracer.span(
+                    "engine.merge", parent=root, n_chunks=len(spans)
+                ):
+                    merge_start = time.perf_counter()
+                    total = np.zeros(n, dtype=np.float64)
+                    for partial, _ in results:
+                        total += partial
+                    values = total / n_test
+                    merge_seconds = time.perf_counter() - merge_start
+            elapsed = time.perf_counter() - start
+            self._record_request(len(spans), elapsed, merge_seconds)
+            extra = {
+                "k": self.k,
+                "metric": self.metric,
+                "backend": self.backend.name,
+                "kernel": "mcserve",
+                "epsilon": cert_eps,
+                "delta": float(delta),
+                "n_permutations": t_budget,
+                "certificate": {
+                    "epsilon": cert_eps,
+                    "delta": float(delta),
+                    "n_permutations": t_budget,
+                    "bound": "bennett-theorem5",
+                },
+                "n_chunks": len(spans),
+                "n_workers": self.n_workers,
+                "elapsed_seconds": elapsed,
+            }
+            if store_per_test:
+                extra["per_test"] = np.concatenate(
+                    [r[1] for r in results], axis=0
+                )
+            if root:
+                extra["trace"] = root.summary()
+            return ValuationResult(values=values, method="mc", extra=extra)

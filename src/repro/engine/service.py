@@ -27,6 +27,7 @@ subsequent job over the same queries.
 from __future__ import annotations
 
 import itertools
+import math
 import queue
 import threading
 import time
@@ -35,7 +36,11 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..exceptions import ParameterError
+from ..exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ParameterError,
+)
 from ..monitor.telemetry import Histogram
 from ..monitor.tracing import NOOP_TRACER, TraceContext
 from ..stats import component_stats
@@ -80,6 +85,16 @@ class ValuationRequest:
         thread's current trace position automatically, which is how a
         job executed on a worker thread attaches to its caller's
         trace.
+    deadline_ms:
+        Optional end-to-end budget in milliseconds, measured from
+        submission.  A job whose budget is spent on queue wait fails
+        with :class:`~repro.exceptions.DeadlineExceededError` without
+        touching the engine; otherwise the *remaining* budget
+        propagates into the engine (and, through a sharded engine,
+        shrinks per hop).
+    priority:
+        Higher runs first (0 default).  Ties drain in submission
+        order.
     """
 
     x_test: np.ndarray
@@ -93,6 +108,8 @@ class ValuationRequest:
     weights: str = "inverse_distance"
     mode: str = "auto"
     trace: Optional[TraceContext] = None
+    deadline_ms: Optional[float] = None
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -255,28 +272,76 @@ class ValuationService:
     Parameters
     ----------
     engine:
-        The shared :class:`ValuationEngine`.
+        The shared :class:`ValuationEngine` (or any object with its
+        ``value`` surface, e.g. a
+        :class:`~repro.engine.sharding.ShardRouter`).
     n_workers:
         Worker threads draining the queue.
     max_queue:
-        Bound on queued jobs; ``submit`` blocks when full (0 means
-        unbounded).
+        Bound on queued jobs; 0 means unbounded.  What happens at the
+        bound is the ``admission`` policy's call.
+    admission:
+        ``"block"`` (default): ``submit`` blocks while the queue is
+        full — the pre-existing backpressure behavior.  ``"shed"``:
+        a full queue rejects the submission immediately with
+        :class:`~repro.exceptions.AdmissionRejectedError` (requires
+        ``max_queue > 0``), which is the load-shedding half of the
+        overload story — the precision ladder is the other half.
+    degradation:
+        Optional
+        :class:`~repro.engine.degradation.DegradationController`.
+        When attached, ``method="exact"`` valuation requests are
+        re-planned per job onto the controller's precision rung —
+        exact when idle, Theorem-2 truncation under pressure, Monte
+        Carlo with a Theorem-5 certificate under overload — and
+        non-exact servings record the rung, its parameters, and the
+        certified error bound in ``result.extra["degraded"]``.
+        Requests for any other method are served as asked.
 
     Use as a context manager, or call :meth:`shutdown` explicitly.
     """
 
     def __init__(
-        self, engine: ValuationEngine, n_workers: int = 2, max_queue: int = 0
+        self,
+        engine: ValuationEngine,
+        n_workers: int = 2,
+        max_queue: int = 0,
+        admission: str = "block",
+        degradation=None,
     ) -> None:
         if n_workers <= 0:
             raise ParameterError(f"n_workers must be positive, got {n_workers}")
+        if admission not in ("block", "shed"):
+            raise ParameterError(
+                f"admission must be 'block' or 'shed', got {admission!r}"
+            )
+        if admission == "shed" and max_queue <= 0:
+            raise ParameterError(
+                "admission='shed' needs a bounded queue (max_queue > 0)"
+            )
         self.engine = engine
         self.n_workers = int(n_workers)
-        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self.max_queue = int(max_queue)
+        self.admission = admission
+        self.degradation = degradation
+        # priority queue entries are (-priority, seq, job): higher
+        # priority first, submission order within a priority band, and
+        # the seq tiebreak means job objects are never compared
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(
+            maxsize=max_queue
+        )
+        self._seq = itertools.count()
         self._jobs: dict[int, ValuationJob] = {}
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._shutdown = False
+        self._sheds = 0
+        self._deadline_misses = 0
+        self._last_shed: Optional[float] = None
+        #: seconds after the last rejection during which
+        #: :meth:`resilience` still reports ``shedding`` — keeps the
+        #: readiness probe latched long enough for a poller to see it
+        self.shed_window = 5.0
         # per-job latency distributions: bounded-memory histograms (the
         # stats()/export surface for p50/p95/p99), fed at job settle
         self._hist_lock = threading.Lock()
@@ -290,9 +355,13 @@ class ValuationService:
             w.start()
 
     # ------------------------------------------------------------------
+    def _put_sentinel(self) -> None:
+        """Enqueue a worker-retirement marker below every real job."""
+        self._queue.put((math.inf, next(self._seq), _SENTINEL))
+
     def _worker(self) -> None:
         while True:
-            item = self._queue.get()
+            _, _, item = self._queue.get()
             try:
                 if item is _SENTINEL:
                     return
@@ -315,15 +384,7 @@ class ValuationService:
                                 job._result = self._apply_mutation(req)
                             else:
                                 span.set("kind", req.method)
-                                job._result = self.engine.value(
-                                    req.x_test,
-                                    req.y_test,
-                                    method=req.method,
-                                    epsilon=req.epsilon,
-                                    weights=req.weights,
-                                    mode=req.mode,
-                                    store_per_test=req.store_per_test,
-                                )
+                                job._result = self._serve_valuation(job, span)
                             job.status = "done"
                         except BaseException as exc:  # surfaced via job.result()
                             job.error = exc
@@ -335,6 +396,87 @@ class ValuationService:
                             self._publish_job(job)
             finally:
                 self._queue.task_done()
+
+    def _serve_valuation(self, job: ValuationJob, span) -> ValuationResult:
+        """Run one valuation job: deadline gate, rung choice, engine call."""
+        req = job.request
+        hub = getattr(self.engine, "telemetry", None)
+        remaining: Optional[float] = None
+        if req.deadline_ms is not None:
+            budget = req.deadline_ms / 1000.0
+            waited = job.queue_seconds or 0.0
+            remaining = budget - waited
+            if remaining <= 0:
+                with self._lock:
+                    self._deadline_misses += 1
+                if hub is not None:
+                    hub.count("service.jobs_deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"job {job.job_id} spent its {budget:.4f}s budget "
+                    f"waiting in the queue ({waited:.4f}s)",
+                    deadline_s=budget,
+                    elapsed_s=waited,
+                )
+        kwargs: dict = {
+            "method": req.method,
+            "epsilon": req.epsilon,
+            "weights": req.weights,
+            "mode": req.mode,
+            "store_per_test": req.store_per_test,
+        }
+        if remaining is not None:
+            kwargs["deadline_s"] = remaining
+        controller = self.degradation
+        rung = None
+        plan_info: dict = {}
+        if (
+            controller is not None
+            and req.method == "exact"
+            and getattr(self.engine, "task", "classification")
+            == "classification"
+        ):
+            rung, plan_info = controller.plan(
+                self._queue.qsize(), deadline_s=remaining
+            )
+            span.set("rung", rung.name)
+            kwargs["method"] = rung.method
+            if rung.method == "truncated":
+                kwargs["epsilon"] = rung.epsilon
+            elif rung.method == "mc":
+                kwargs["epsilon"] = rung.epsilon
+                kwargs["delta"] = rung.delta
+                # deterministic but distinct per job
+                kwargs["seed"] = job.job_id
+            if hub is not None:
+                hub.count(f"service.rung.{rung.name}")
+        compute_start = time.perf_counter()
+        result = self.engine.value(req.x_test, req.y_test, **kwargs)
+        if rung is not None:
+            controller.observe(
+                rung.name, time.perf_counter() - compute_start
+            )
+            if rung.method != "exact":
+                certificate = result.extra.get("certificate")
+                if certificate is None:
+                    # the truncated rung's Theorem 2 contract: the
+                    # max-norm error is at most 1/K*, itself <= epsilon
+                    certificate = {
+                        "epsilon": float(rung.epsilon),
+                        "delta": 0.0,
+                        "k_star": result.extra.get("k_star"),
+                        "bound": "truncation-theorem2",
+                    }
+                result.extra["degraded"] = {
+                    "kind": "precision",
+                    "rung": rung.name,
+                    "method": rung.method,
+                    "epsilon": float(rung.epsilon),
+                    "certificate": certificate,
+                    **plan_info,
+                }
+                if hub is not None:
+                    hub.count("service.jobs_degraded")
+        return result
 
     def _publish_job(self, job: ValuationJob) -> None:
         """Stream one settled job's latency split into telemetry.
@@ -384,18 +526,43 @@ class ValuationService:
         :class:`~repro.monitor.tracing.TraceContext` is captured onto
         the request, so the job joins the caller's trace when a worker
         thread serves it.
+
+        Under ``admission="shed"`` a full queue raises
+        :class:`~repro.exceptions.AdmissionRejectedError` instead of
+        blocking; nothing is enqueued and no job handle exists.
         """
         if request.trace is None:
             tracer = getattr(self.engine, "tracer", None) or NOOP_TRACER
             ctx = tracer.current()
             if ctx is not None:
                 request = replace(request, trace=ctx)
+        priority = int(getattr(request, "priority", 0))
         with self._lock:
             if self._shutdown:
                 raise ParameterError("service is shut down")
             job = ValuationJob(next(self._ids), request)
             self._jobs[job.job_id] = job
-            self._queue.put(job)
+            entry = (-priority, next(self._seq), job)
+            if self.admission == "shed":
+                try:
+                    self._queue.put_nowait(entry)
+                except queue.Full:
+                    del self._jobs[job.job_id]
+                    self._sheds += 1
+                    self._last_shed = time.monotonic()
+                    hub = getattr(self.engine, "telemetry", None)
+                    if hub is not None:
+                        hub.count("service.jobs_shed")
+                    raise AdmissionRejectedError(
+                        f"queue full ({self.max_queue} jobs); request shed",
+                        queue_depth=self._queue.qsize(),
+                        max_queue=self.max_queue,
+                    ) from None
+            else:
+                self._queue.put(entry)
+        hub = getattr(self.engine, "telemetry", None)
+        if hub is not None:
+            hub.record("service.queue_depth", float(self._queue.qsize()))
         return job
 
     def submit_batch(
@@ -508,10 +675,18 @@ class ValuationService:
             for split, snap in (("queue", queue_snap), ("compute", compute_snap))
             for p in (50, 95, 99)
         }
+        with self._lock:
+            sheds = self._sheds
+            deadline_misses = self._deadline_misses
+        extras: dict = {}
+        if self.degradation is not None:
+            extras["degradation"] = self.degradation.snapshot()
         return component_stats(
             "valuation_service",
             counters={
                 "jobs": len(jobs),
+                "jobs_shed": sheds,
+                "jobs_deadline_exceeded": deadline_misses,
                 **{f"jobs_{s}": c for s, c in sorted(by_status.items())},
             },
             timings={
@@ -522,6 +697,7 @@ class ValuationService:
             gauges={
                 "queue_depth": self._queue.qsize(),
                 "n_workers": self.n_workers,
+                "max_queue": self.max_queue,
             },
             histograms={
                 "queue_seconds": queue_snap,
@@ -534,6 +710,8 @@ class ValuationService:
             n_workers=self.n_workers,
             total_compute_seconds=total_compute,
             mean_queue_seconds=mean_queue,
+            admission=self.admission,
+            **extras,
         )
 
     # ------------------------------------------------------------------
@@ -548,24 +726,125 @@ class ValuationService:
         """
         return not self._shutdown
 
+    def resilience(self) -> dict:
+        """Overload and fault posture, for the readiness probe.
+
+        ``shedding`` is true while the queue is at its bound (under
+        ``admission="shed"``) or within :attr:`shed_window` seconds of
+        the last rejection, so a polling probe cannot miss a burst.
+        An engine exposing its own ``resilience()`` — the shard
+        router's circuit-breaker states — rides along, with any open
+        circuits bubbled to the top level.
+        """
+        depth = self._queue.qsize()
+        with self._lock:
+            recently_shed = (
+                self._last_shed is not None
+                and time.monotonic() - self._last_shed < self.shed_window
+            )
+            sheds = self._sheds
+        full = self.max_queue > 0 and depth >= self.max_queue
+        out = {
+            "shedding": bool(
+                recently_shed or (self.admission == "shed" and full)
+            ),
+            "queue_depth": depth,
+            "max_queue": self.max_queue,
+            "admission": self.admission,
+            "sheds": sheds,
+            "open_circuits": [],
+        }
+        sub = getattr(self.engine, "resilience", None)
+        if callable(sub):
+            engine_res = sub()
+            out["engine"] = engine_res
+            out["open_circuits"] = list(engine_res.get("open_circuits", []))
+        return out
+
+    def _fail_queued(self, reason: str) -> None:
+        """Settle every still-queued job with a typed failure.
+
+        The typed alternative to stranding callers: a job that will
+        never run fails with
+        :class:`~repro.exceptions.AdmissionRejectedError` so its
+        ``result()`` raises instead of blocking forever.  Covers both
+        jobs still sitting in the queue and jobs whose queue entry
+        vanished (the dropped-job fault).
+        """
+        while True:
+            try:
+                _, _, item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL and not item.done:
+                item.error = AdmissionRejectedError(
+                    f"job {item.job_id} abandoned: {reason}",
+                    queue_depth=self._queue.qsize(),
+                )
+                item.status = "failed"
+                item.finished_at = time.perf_counter()
+                item._done.set()
+                self._publish_job(item)
+            self._queue.task_done()
+        self._settle_orphans(reason)
+
+    def _settle_orphans(self, reason: str) -> None:
+        """Fail tracked jobs still ``queued`` though nothing holds them.
+
+        After the queue has drained (or been failed wholesale), any
+        job whose queue entry vanished without a worker serving it —
+        the dropped-job fault — would otherwise strand its caller on
+        ``result()``; it gets the same typed failure instead.
+        """
+        with self._lock:
+            orphans = [
+                j for j in self._jobs.values()
+                if j.status == "queued" and not j.done
+            ]
+        for job in orphans:
+            job.error = AdmissionRejectedError(
+                f"job {job.job_id} abandoned: {reason}"
+            )
+            job.status = "failed"
+            job.finished_at = time.perf_counter()
+            job._done.set()
+            self._publish_job(job)
+
+    def _alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.is_alive())
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work, then drain or cancel the queue.
+        """Stop accepting work, then drain, cancel, or fail the queue.
 
         With ``wait`` (default) every already-submitted job is served
-        before the workers retire.  Without it, jobs still sitting in
-        the queue are marked ``cancelled`` and their waiters released;
-        jobs already running finish either way.
+        before the workers retire — unless the workers have already
+        exited (crash, fault injection), in which case the queued jobs
+        are failed with a typed
+        :class:`~repro.exceptions.AdmissionRejectedError` instead of
+        leaving their callers blocked on ``result()`` forever.
+        Without ``wait``, jobs still sitting in the queue are marked
+        ``cancelled`` and their waiters released; jobs already running
+        finish either way.
         """
         with self._lock:
             if self._shutdown:
                 return
             self._shutdown = True
         if wait:
-            self._queue.join()
+            # drain, but never behind a dead worker pool: re-check
+            # liveness while waiting so a crashed pool converts the
+            # backlog into typed failures instead of a hang
+            with self._queue.all_tasks_done:
+                while self._queue.unfinished_tasks:
+                    if self._alive_workers() == 0:
+                        break
+                    self._queue.all_tasks_done.wait(timeout=0.05)
+            if self._queue.unfinished_tasks and self._alive_workers() == 0:
+                self._fail_queued("the worker pool exited before it ran")
         else:
             while True:
                 try:
-                    item = self._queue.get_nowait()
+                    _, _, item = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if item is not _SENTINEL:
@@ -574,9 +853,12 @@ class ValuationService:
                     item._done.set()
                 self._queue.task_done()
         for _ in self._workers:
-            self._queue.put(_SENTINEL)
+            self._put_sentinel()
         for w in self._workers:
             w.join()
+        # a job whose queue entry vanished (dropped-job fault) is now
+        # provably unreachable: no worker remains to serve it
+        self._settle_orphans("its queue entry was lost before a worker ran it")
 
     def __enter__(self) -> "ValuationService":
         return self

@@ -44,18 +44,20 @@ engine's.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.bounds import bennett_permutations, certified_epsilon
 from ..core.kernels import RankPlan, ValuationKernel
+from ..core.mcserve import mc_values_from_distances
 from ..core.truncated import truncation_rank
-from ..exceptions import ParameterError, ShardError
+from ..exceptions import DeadlineExceededError, ParameterError, ShardError
 from ..monitor.tracing import NOOP_TRACER
 from ..stats import component_stats
 from ..types import (
@@ -75,6 +77,106 @@ class Shard:
 
     label: str
     engine: ValuationEngine
+
+
+class _Breaker:
+    """Per-shard circuit breaker: closed → open → half-open → closed.
+
+    ``threshold`` consecutive failed requests open the circuit; while
+    open, :meth:`allow` rejects without touching the shard.  After
+    ``cooldown`` seconds the breaker goes half-open and admits exactly
+    one probe; the probe's outcome closes the circuit (success) or
+    re-opens it for another cooldown (failure).  The clock is
+    injectable so tests and the fault harness can drive the lifecycle
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold <= 0:
+            raise ParameterError(
+                f"breaker threshold must be positive, got {threshold}"
+            )
+        if cooldown <= 0:
+            raise ParameterError(
+                f"breaker cooldown must be positive, got {cooldown}"
+            )
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self.clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half-open"``."""
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """Whether a request may reach the shard right now."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probing:  # half-open admits one probe at a time
+                return False
+            self._probing = True
+            return True
+
+    def record(self, ok: bool) -> None:
+        """Feed one request outcome into the breaker."""
+        with self._lock:
+            self._probing = False
+            if ok:
+                self._failures = 0
+                self._opened_at = None
+                return
+            self._failures += 1
+            if self._failures >= self.threshold or self._opened_at is not None:
+                self._opened_at = self.clock()
+
+
+class _Budget:
+    """A request's remaining deadline, shrinking as hops spend it."""
+
+    def __init__(self, deadline_s: float) -> None:
+        self.deadline_s = float(deadline_s)
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def remaining(self) -> float:
+        return self.deadline_s - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str) -> None:
+        elapsed = self.elapsed()
+        if elapsed >= self.deadline_s:
+            raise DeadlineExceededError(
+                f"deadline of {self.deadline_s:.4f}s exceeded after "
+                f"{elapsed:.4f}s ({what})",
+                deadline_s=self.deadline_s,
+                elapsed_s=elapsed,
+            )
 
 
 class ShardRouter:
@@ -106,8 +208,9 @@ class ShardRouter:
         tracer: Optional tracer shared by the router and every shard.
         shard_timeout: Seconds one fan-out leg may take before the
             shard is declared failed for this request (``None`` waits
-            forever).  Timed-out legs are not retried — a stalled
-            shard would stall the retry too.
+            forever).  A timed-out leg is *hedged* once (see
+            ``hedge``) rather than retried in place — a stalled shard
+            would stall an in-place retry too.
         on_shard_error: ``"fail"`` (default) raises
             :class:`~repro.exceptions.ShardError` when a shard is
             still failed after the retry; ``"partial"`` serves the
@@ -117,6 +220,24 @@ class ShardRouter:
             :class:`~repro.engine.engine.ValuationEngine`).
         engine_options: Extra keyword arguments for every shard
             engine (``n_workers``, ``chunk_size``, ...).
+        max_retries: Retries per fan-out leg for *raised* shard
+            errors, with exponential backoff and jitter between
+            attempts.
+        backoff_base: First-retry backoff in seconds; attempt ``a``
+            waits ``backoff_base * 2**(a-1)``, jittered.
+        backoff_jitter: Uniform jitter fraction added to each backoff
+            (0 disables; 0.5 means up to +50%), decorrelating retry
+            storms across concurrent requests.
+        hedge: Whether a timed-out leg submits a duplicate (hedged)
+            leg and races both — the classic tail-latency cure for a
+            transiently slow shard.  The pool is sized ``2 *
+            n_shards`` so hedges never queue behind primaries.
+        breaker_threshold: Consecutive leg failures that open a
+            shard's circuit breaker.
+        breaker_cooldown: Seconds an open circuit rejects instantly
+            before going half-open (single probe).
+        breaker_clock: Injectable monotonic clock for the breakers
+            (tests / fault harness).
 
     Raises:
         ParameterError: On an invalid fleet shape, sharding mode, or
@@ -141,9 +262,24 @@ class ShardRouter:
         on_shard_error: str = "fail",
         cache=True,
         engine_options: Optional[dict] = None,
+        max_retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_jitter: float = 0.5,
+        hedge: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if n_shards <= 0:
             raise ParameterError(f"n_shards must be positive, got {n_shards}")
+        if max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        if backoff_base < 0 or backoff_jitter < 0:
+            raise ParameterError(
+                "backoff_base and backoff_jitter must be non-negative"
+            )
         if sharding not in ("data", "test"):
             raise ParameterError(
                 f"sharding must be 'data' or 'test', got {sharding!r}"
@@ -172,8 +308,20 @@ class ShardRouter:
         self.n_shards = int(n_shards)
         self.shard_timeout = shard_timeout
         self.on_shard_error = on_shard_error
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_jitter = float(backoff_jitter)
+        self.hedge = bool(hedge)
         self.telemetry = None
         self.tracer = NOOP_TRACER
+        self._breakers = [
+            _Breaker(
+                threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                clock=breaker_clock,
+            )
+            for _ in range(self.n_shards)
+        ]
         options = dict(engine_options or {})
         options.setdefault("cache", cache)
 
@@ -218,14 +366,19 @@ class ShardRouter:
             "shard_timeouts": 0,
             "retries": 0,
             "mutations": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "circuit_open_rejections": 0,
+            "deadline_exceeded": 0,
         }
         self._timings = {
             "request_seconds": 0.0,
             "merge_seconds": 0.0,
             "last_request_seconds": 0.0,
         }
+        # 2x so hedged legs never queue behind the primaries
         self._pool = ThreadPoolExecutor(
-            max_workers=self.n_shards, thread_name_prefix="shard-router"
+            max_workers=2 * self.n_shards, thread_name_prefix="shard-router"
         )
         self._closed = False
         if hub is not None:
@@ -252,6 +405,26 @@ class ShardRouter:
         ``/ready`` endpoint.
         """
         return not self._closed
+
+    def resilience(self) -> dict:
+        """Circuit-breaker posture, for the readiness probe.
+
+        Returns ``{"breakers": {label: state}, "open_circuits":
+        [labels], "any_open": bool}``; a half-open breaker is not
+        listed as open — it is already probing its way back.
+        """
+        states = {
+            shard.label: breaker.state
+            for shard, breaker in zip(self.shards, self._breakers)
+        }
+        open_circuits = [
+            label for label, state in states.items() if state == "open"
+        ]
+        return {
+            "breakers": states,
+            "open_circuits": open_circuits,
+            "any_open": bool(open_circuits),
+        }
 
     def attach_telemetry(self, hub) -> "ShardRouter":
         """Aggregate the whole fleet into one hub; returns ``self``.
@@ -289,6 +462,10 @@ class ShardRouter:
         store_per_test: bool = False,
         weights: str = "inverse_distance",
         mode: str = "auto",
+        deadline_s: Optional[float] = None,
+        delta: float = 0.05,
+        n_permutations: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> ValuationResult:
         """Shapley values for one test batch, served by the fleet.
 
@@ -300,12 +477,25 @@ class ShardRouter:
         Args:
             x_test, y_test: The query batch.
             method: ``"exact"``, ``"truncated"``, ``"lsh"``,
-                ``"weighted"``, or any registered kernel name.
+                ``"weighted"``, ``"mc"`` (Monte Carlo over fanned-out
+                raw distances, Theorem 5 certificate), or any
+                registered kernel name.
             epsilon: Truncation target for the approximate methods.
             store_per_test: Keep the full per-test value matrix in
                 ``extra["per_test"]``.
             weights: Weight-function name for ``method="weighted"``.
             mode: Execution-path selector for ``method="weighted"``.
+            deadline_s: Optional total budget in seconds.  The
+                remaining budget shrinks per hop: each fan-out leg's
+                timeout is capped by what is left, test-sharded legs
+                carry the residue into their shard engines, and the
+                chunk loop raises
+                :class:`~repro.exceptions.DeadlineExceededError`
+                when the budget is spent.
+            delta: Failure probability for ``method="mc"``.
+            n_permutations: Explicit Monte Carlo budget (``None``
+                sizes it from ``(epsilon, delta)``).
+            seed: Seed for the ``method="mc"`` permutation stream.
 
         Returns:
             A :class:`~repro.types.ValuationResult`; when shards were
@@ -319,27 +509,44 @@ class ShardRouter:
                 a classification-only kernel).
             ShardError: When a shard stays failed under the ``"fail"``
                 policy, or no shard survives under ``"partial"``.
+            DeadlineExceededError: When ``deadline_s`` runs out
+                mid-request.
         """
         x_test = as_float_matrix(x_test, "x_test")
         y_test = as_label_vector(y_test, x_test.shape[0], "y_test")
-        kernel = resolve_method_kernel(method, self.task)
-        caps = kernel.capabilities
+        if method == "mc":
+            kernel = None
+            if self.task != "classification":
+                raise ParameterError(
+                    "method='mc' replays the unweighted KNN classification "
+                    "utility and is defined for classification only"
+                )
+        else:
+            kernel = resolve_method_kernel(method, self.task)
         if x_test.shape[1] != self._n_features:
             raise ParameterError(
                 f"x_test has {x_test.shape[1]} features, expected "
                 f"{self._n_features}"
             )
-        if self.task != "classification" and not caps.supports_regression:
+        if (
+            kernel is not None
+            and self.task != "classification"
+            and not kernel.capabilities.supports_regression
+        ):
             raise ParameterError(
                 "the truncated/LSH approximations are defined for "
                 "classification"
             )
+        budget = None
+        if deadline_s is not None:
+            budget = _Budget(deadline_s)
+            budget.check("request admission")
         start = time.perf_counter()
         with self._lock.read():
             with self.tracer.span(
                 "router.request",
                 method=method,
-                kernel=kernel.name,
+                kernel=kernel.name if kernel is not None else "mcserve",
                 sharding=self.sharding,
                 n_shards=self.n_shards,
                 n_test=int(x_test.shape[0]),
@@ -348,17 +555,23 @@ class ShardRouter:
                 if self.sharding == "test":
                     result = self._value_test_sharded(
                         x_test, y_test, method, epsilon, store_per_test,
-                        weights, mode, root,
+                        weights, mode, root, budget,
+                        delta, n_permutations, seed,
                     )
-                elif caps.needs_full_ranking:
+                elif method == "mc":
+                    result = self._value_data_mc(
+                        x_test, y_test, epsilon, delta, n_permutations,
+                        seed, store_per_test, root, budget,
+                    )
+                elif kernel.capabilities.needs_full_ranking:
                     result = self._value_data_ranked(
                         kernel, method, x_test, y_test, store_per_test,
-                        weights, mode, root,
+                        weights, mode, root, budget,
                     )
                 else:
                     result = self._value_data_topk(
                         kernel, method, x_test, y_test, epsilon,
-                        store_per_test, root,
+                        store_per_test, root, budget,
                     )
             if root:
                 result.extra["trace"] = root.summary()
@@ -390,69 +603,176 @@ class ShardRouter:
         ):
             return fn(idx, shard)
 
-    def _fan_out(self, fn, failed: dict, root, **attrs) -> dict:
+    def _leg_timeout(self, budget) -> Optional[float]:
+        """One leg's wait: the shard timeout capped by the budget residue."""
+        if budget is None:
+            return self.shard_timeout
+        remaining = budget.remaining()
+        if self.shard_timeout is None:
+            return remaining
+        return min(self.shard_timeout, remaining)
+
+    def _finish_leg(
+        self, i: int, fn, primary, root, budget, attrs: dict, counts: dict
+    ) -> tuple[str, object]:
+        """Drive one fan-out leg to an outcome.
+
+        ``primary`` is the already-submitted future.  Timeouts hedge
+        (submit a duplicate leg and race both); raised errors retry
+        with exponential backoff + jitter up to ``max_retries``.
+        Returns ``("ok", result)``, ``("fail", reason)``, or
+        ``("deadline", reason)`` — deadline exhaustion is the
+        *request's* fault, so it must not trip the shard's breaker.
+        """
+        pending = {primary}
+        hedged = False
+        attempts = 0
+        reasons: list[str] = []
+        while True:
+            timeout = self._leg_timeout(budget)
+            if timeout is not None and timeout <= 0:
+                if budget is not None and budget.expired():
+                    return "deadline", "deadline exhausted mid fan-out"
+                timeout = 0.0
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # every outstanding leg is past its window
+                if (
+                    self.hedge
+                    and not hedged
+                    and (budget is None or not budget.expired())
+                ):
+                    hedged = True
+                    counts["hedges"] += 1
+                    pending = set(pending)
+                    pending.add(
+                        self._pool.submit(
+                            self._shard_call, i, fn, root, hedge=1, **attrs
+                        )
+                    )
+                    continue
+                counts["timeouts"] += 1
+                label = " (hedged)" if hedged else ""
+                return "fail", f"timeout after {self.shard_timeout}s{label}"
+            exc: Optional[BaseException] = None
+            for f in done:
+                if f.exception() is None:
+                    if hedged and f is not primary:
+                        counts["hedge_wins"] += 1
+                    return "ok", f.result()
+                exc = f.exception()
+            if pending:
+                # a raced leg is still in flight; let it finish the race
+                continue
+            if isinstance(exc, DeadlineExceededError):
+                # the shard ran out of propagated budget — not a fault
+                return "deadline", repr(exc)
+            reasons.append(repr(exc))
+            if attempts >= self.max_retries:
+                return "fail", "; ".join(reasons)
+            attempts += 1
+            counts["retries"] += 1
+            delay = self.backoff_base * (2 ** (attempts - 1))
+            if self.backoff_jitter:
+                delay *= 1.0 + self.backoff_jitter * random.random()
+            if budget is not None:
+                delay = min(delay, max(0.0, budget.remaining()))
+            if delay > 0:
+                time.sleep(delay)
+            primary = self._pool.submit(
+                self._shard_call, i, fn, root, retry=attempts, **attrs
+            )
+            pending = {primary}
+            hedged = False
+
+    def _fan_out(self, fn, failed: dict, root, budget=None, **attrs) -> dict:
         """Run ``fn(i, shard)`` on every live shard; returns ``{i: result}``.
 
-        Legs that raise are retried once; legs that time out are not
-        (a stalled shard would stall the retry too).  Failures land in
-        ``failed`` as ``{shard index: reason}`` and the shard is
-        skipped by later rounds of the same request.  Under the
-        ``"fail"`` policy any failure raises; under ``"partial"`` the
-        surviving results are returned (raising only when none survive
-        is the caller's job — it knows whether an empty round is
-        fatal).
+        Per leg: the shard's circuit breaker is consulted first (an
+        open circuit fails the shard for this request without
+        touching it), raised errors retry with exponential backoff +
+        jitter, timed-out legs race a hedged duplicate, and every
+        final outcome feeds the breaker.  Failures land in ``failed``
+        as ``{shard index: reason}`` and the shard is skipped by
+        later rounds of the same request.  Under the ``"fail"``
+        policy any failure raises; under ``"partial"`` the surviving
+        results are returned (raising only when none survive is the
+        caller's job — it knows whether an empty round is fatal).
+        Deadline exhaustion raises
+        :class:`~repro.exceptions.DeadlineExceededError` under either
+        policy — a request whose budget is gone has no useful partial
+        to serve.
         """
         hub = self.telemetry
-        live = [i for i in range(self.n_shards) if i not in failed]
-        futures = {
+        counts = {"hedges": 0, "hedge_wins": 0, "retries": 0, "timeouts": 0}
+        circuit_rejections = 0
+        live = []
+        for i in range(self.n_shards):
+            if i in failed:
+                continue
+            if not self._breakers[i].allow():
+                failed[i] = "circuit open"
+                circuit_rejections += 1
+                continue
+            live.append(i)
+        if budget is not None:
+            budget.check("before shard fan-out")
+        # all primaries launch before any leg is awaited, so legs run
+        # concurrently and the collection wait is max, not sum
+        primaries = {
             i: self._pool.submit(self._shard_call, i, fn, root, **attrs)
             for i in live
         }
-        newly_failed = 0
-        timeouts = 0
-        retries = 0
         out: dict = {}
-        for i, future in futures.items():
-            try:
-                out[i] = future.result(timeout=self.shard_timeout)
-                continue
-            except FutureTimeoutError:
-                failed[i] = f"timeout after {self.shard_timeout}s"
-                future.cancel()
-                newly_failed += 1
-                timeouts += 1
-                continue
-            except Exception as exc:  # noqa: BLE001 - transient shard
-                # faults are retried once before the shard is failed
-                reason = repr(exc)
-            retries += 1
-            retry = self._pool.submit(
-                self._shard_call, i, fn, root, retry=1, **attrs
+        newly_failed = 0
+        deadline_reason = None
+        for i in live:
+            status, payload = self._finish_leg(
+                i, fn, primaries[i], root, budget, attrs, counts
             )
-            try:
-                out[i] = retry.result(timeout=self.shard_timeout)
-            except FutureTimeoutError:
-                failed[i] = f"timeout after {self.shard_timeout}s (retry)"
-                retry.cancel()
+            if status == "ok":
+                out[i] = payload
+                self._breakers[i].record(True)
+            elif status == "fail":
+                failed[i] = payload
                 newly_failed += 1
-                timeouts += 1
-            except Exception as exc:  # noqa: BLE001 - second failure
-                # fails the shard for this request
-                failed[i] = f"{reason}; retry: {exc!r}"
-                newly_failed += 1
-        if newly_failed or retries:
+                self._breakers[i].record(False)
+            else:  # deadline — the request dies, the breaker is untouched
+                failed[i] = payload
+                deadline_reason = payload
+        if newly_failed or circuit_rejections or any(counts.values()):
             with self._ops_lock:
                 self._ops["shard_errors"] += newly_failed
-                self._ops["shard_timeouts"] += timeouts
-                self._ops["retries"] += retries
+                self._ops["shard_timeouts"] += counts["timeouts"]
+                self._ops["retries"] += counts["retries"]
+                self._ops["hedges"] += counts["hedges"]
+                self._ops["hedge_wins"] += counts["hedge_wins"]
+                self._ops["circuit_open_rejections"] += circuit_rejections
             if hub is not None:
-                for _ in range(newly_failed):
-                    hub.count("router.shard_errors")
-                for _ in range(timeouts):
-                    hub.count("router.shard_timeouts")
-                for _ in range(retries):
-                    hub.count("router.retries")
-        if newly_failed and self.on_shard_error == "fail":
+                for name, n in (
+                    ("router.shard_errors", newly_failed),
+                    ("router.shard_timeouts", counts["timeouts"]),
+                    ("router.retries", counts["retries"]),
+                    ("router.hedges", counts["hedges"]),
+                    ("router.hedge_wins", counts["hedge_wins"]),
+                    ("router.circuit_open_rejections", circuit_rejections),
+                ):
+                    for _ in range(n):
+                        hub.count(name)
+        if deadline_reason is not None:
+            with self._ops_lock:
+                self._ops["deadline_exceeded"] += 1
+            if hub is not None:
+                hub.count("router.deadline_exceeded")
+            raise DeadlineExceededError(
+                f"request deadline spent during shard fan-out: "
+                f"{deadline_reason}",
+                deadline_s=budget.deadline_s if budget is not None else None,
+                elapsed_s=budget.elapsed() if budget is not None else None,
+            )
+        if (newly_failed or circuit_rejections) and self.on_shard_error == "fail":
             reasons = {self.shards[i].label: r for i, r in failed.items()}
             raise ShardError(
                 f"{len(failed)} shard(s) failed: {reasons}", reasons=reasons
@@ -500,6 +820,7 @@ class ShardRouter:
         weights: str,
         mode: str,
         root,
+        budget=None,
     ) -> ValuationResult:
         """Data-sharded execution of a full-ranking kernel.
 
@@ -539,12 +860,15 @@ class ShardRouter:
         per_test_chunks: list[np.ndarray] = []
         merge_seconds = 0.0
         for s, e in spans:
+            if budget is not None:
+                budget.check("between ranked chunks")
             chunk = x_test[s:e]
             per_shard = self._fan_out(
                 lambda _i, sh: sh.engine.retrieve(chunk),  # noqa: B023 -
                 # consumed synchronously by _fan_out before `chunk` rebinds
                 failed,
                 root,
+                budget=budget,
                 start=s,
                 stop=e,
             )
@@ -607,6 +931,7 @@ class ShardRouter:
         epsilon: float,
         store_per_test: bool,
         root,
+        budget=None,
     ) -> ValuationResult:
         """Data-sharded execution of a top-``K*`` (prefix) kernel.
 
@@ -636,11 +961,14 @@ class ShardRouter:
         per_test_chunks: list[np.ndarray] = []
         merge_seconds = 0.0
         for s, e in spans:
+            if budget is not None:
+                budget.check("between top-k chunks")
             chunk = x_test[s:e]
             per_shard = self._fan_out(
                 lambda _i, sh: sh.engine.retrieve(chunk, k=k_eff),  # noqa: B023
                 failed,
                 root,
+                budget=budget,
                 start=s,
                 stop=e,
             )
@@ -694,6 +1022,10 @@ class ShardRouter:
         weights: str,
         mode: str,
         root,
+        budget=None,
+        delta: float = 0.05,
+        n_permutations: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> ValuationResult:
         """Test-stream sharding: eq-8 partial-sum merge of full engines.
 
@@ -703,7 +1035,8 @@ class ShardRouter:
         ``"partial"`` policy yields the mean over the *served* tests;
         for classification (per-test values in ``[-1, 1]``) the
         recorded bound ``2 * missing_fraction`` caps the deviation
-        from the full-batch mean.
+        from the full-batch mean.  A request budget propagates: each
+        leg hands its shard engine whatever remains at launch time.
         """
         n, n_test = self.n_train, x_test.shape[0]
         slices = np.array_split(np.arange(n_test), self.n_shards)
@@ -713,17 +1046,25 @@ class ShardRouter:
             rows = slices[i]
             if rows.shape[0] == 0:
                 return None
-            return shard.engine.value(
-                x_test[rows],
-                y_test[rows],
-                method=method,
-                epsilon=epsilon,
-                weights=weights,
-                mode=mode,
-                store_per_test=store_per_test,
-            )
+            kwargs: dict = {
+                "method": method,
+                "epsilon": epsilon,
+                "weights": weights,
+                "mode": mode,
+                "store_per_test": store_per_test,
+            }
+            if method == "mc":
+                kwargs["delta"] = delta
+                kwargs["n_permutations"] = n_permutations
+                # distinct but deterministic per replica
+                kwargs["seed"] = None if seed is None else seed + i
+            if budget is not None:
+                # the residue at launch time, not at request entry:
+                # each hop shrinks what the next layer may spend
+                kwargs["deadline_s"] = budget.remaining()
+            return shard.engine.value(x_test[rows], y_test[rows], **kwargs)
 
-        results = self._fan_out(call, failed, root, n_test=n_test)
+        results = self._fan_out(call, failed, root, budget=budget, n_test=n_test)
         alive = {i: r for i, r in results.items() if r is not None}
         if not alive and n_test:
             raise ShardError(
@@ -747,7 +1088,7 @@ class ShardRouter:
             # method-specific context (identical on every replica)
             for key in (
                 "epsilon", "k_star", "kernel", "weights", "mode",
-                "weighted_path",
+                "weighted_path", "delta", "n_permutations", "certificate",
             ):
                 if key in first.extra:
                     extra[key] = first.extra[key]
@@ -772,6 +1113,120 @@ class ShardRouter:
             method=first.method if first is not None else method,
             extra=extra,
         )
+
+    def _value_data_mc(
+        self,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epsilon: float,
+        delta: float,
+        n_permutations: Optional[int],
+        seed: Optional[int],
+        store_per_test: bool,
+        root,
+        budget=None,
+    ) -> ValuationResult:
+        """Data-sharded Monte Carlo: fan out raw distances, sample once.
+
+        Each shard computes its slice's distance columns
+        (:meth:`~repro.engine.engine.ValuationEngine.distances` — no
+        sort anywhere), the coordinator reassembles the global
+        ``(q, n)`` distance matrix in global-position order and runs
+        the sort-free estimator once.  The permutation budget is
+        sized against the *full* training set, so the certificate
+        stays valid for any surviving subgame under the ``"partial"``
+        policy (Theorem 5's budget grows with N).
+        """
+        n, n_test = self.n_train, x_test.shape[0]
+        r = 1.0 / self.k
+        if n_permutations is None:
+            t_budget = bennett_permutations(epsilon, delta, n, self.k, r)
+            cert_eps = float(epsilon)
+        else:
+            if n_permutations <= 0:
+                raise ParameterError(
+                    f"n_permutations must be positive, got {n_permutations}"
+                )
+            t_budget = int(n_permutations)
+            cert_eps = certified_epsilon(t_budget, delta, n, self.k, r)
+        root.set("n_permutations", t_budget)
+        failed: dict = {}
+        spans = self._chunk_spans(n_test)
+        streams = np.random.SeedSequence(seed).spawn(len(spans))
+        total = np.zeros(n, dtype=np.float64)
+        per_test_chunks: list[np.ndarray] = []
+        merge_seconds = 0.0
+        for chunk_no, (s, e) in enumerate(spans):
+            if budget is not None:
+                budget.check("between mc chunks")
+            chunk = x_test[s:e]
+            per_shard = self._fan_out(
+                lambda _i, sh: sh.engine.distances(chunk),  # noqa: B023 -
+                # consumed synchronously by _fan_out before `chunk` rebinds
+                failed,
+                root,
+                budget=budget,
+                start=s,
+                stop=e,
+            )
+            positions, complete = self._survivors(failed)
+            if positions.shape[0] == 0:
+                raise ShardError(
+                    "no shard survived the request",
+                    reasons={
+                        self.shards[i].label: r for i, r in failed.items()
+                    },
+                )
+            with self.tracer.span(
+                "router.merge", parent=root, start=s, stop=e
+            ):
+                merge_start = time.perf_counter()
+                items = sorted(per_shard.items())
+                gidx = np.concatenate(
+                    [self._placement[i] for i, _ in items]
+                )
+                dist = np.concatenate([d for _, d in items], axis=1)
+                # reassemble columns in ascending global-position
+                # order — the order `positions` (and self._y) use
+                col_order = np.argsort(gidx)
+                dist = dist[:, col_order]
+                y_sub = self._y[positions]
+                match = (
+                    y_sub[None, :] == y_test[s:e, None]
+                ).astype(np.float64)
+                merge_seconds += time.perf_counter() - merge_start
+            with self.tracer.span("kernel.mcserve", parent=root):
+                per_test = mc_values_from_distances(
+                    dist,
+                    match,
+                    self.k,
+                    t_budget,
+                    np.random.default_rng(streams[chunk_no]),
+                )
+            total[positions] += per_test.sum(axis=0)
+            if store_per_test:
+                if complete:
+                    per_test_chunks.append(per_test)
+                else:
+                    full = np.zeros((per_test.shape[0], n), dtype=np.float64)
+                    full[:, positions] = per_test
+                    per_test_chunks.append(full)
+        values = total / n_test
+        self._record_merge(merge_seconds, len(spans))
+        extra = self._result_extra(
+            None, "mc", len(spans), failed, per_test_chunks
+        )
+        extra["kernel"] = "mcserve"
+        extra["epsilon"] = cert_eps
+        extra["delta"] = float(delta)
+        extra["n_permutations"] = t_budget
+        extra["certificate"] = {
+            "epsilon": cert_eps,
+            "delta": float(delta),
+            "n_permutations": t_budget,
+            "bound": "bennett-theorem5",
+        }
+        return ValuationResult(values=values, method="mc", extra=extra)
 
     # ------------------------------------------------------------------
     # exact cross-shard merges
@@ -1025,6 +1480,10 @@ class ShardRouter:
             },
             sharding=self.sharding,
             shards={s.label: s.engine.stats() for s in self.shards},
+            breakers={
+                s.label: b.state
+                for s, b in zip(self.shards, self._breakers)
+            },
         )
 
     def close(self) -> None:

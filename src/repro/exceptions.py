@@ -19,6 +19,8 @@ __all__ = [
     "ConvergenceError",
     "UtilityError",
     "ShardError",
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -113,3 +115,51 @@ class ShardError(ReproError, RuntimeError):
         super().__init__(message)
         #: mapping of shard label -> failure reason
         self.reasons = dict(reasons or {})
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """Raised when admission control refuses (or abandons) a job.
+
+    Emitted by :class:`repro.engine.service.ValuationService` in two
+    places: at submit time, when the bounded queue is full under the
+    ``admission="shed"`` policy, and at shutdown, when the worker pool
+    exited (or was shut down) before a queued job could run — the
+    typed alternative to leaving a caller blocked on ``job.result()``
+    forever.  Carries the queue state so a client can implement
+    backpressure instead of parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int | None = None,
+        max_queue: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: queued jobs at the moment of rejection
+        self.queue_depth = queue_depth
+        #: the queue bound that was hit (``None`` at shutdown)
+        self.max_queue = max_queue
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """Raised when a request's deadline expires before (or while) serving.
+
+    Emitted by the service when a job's ``deadline_ms`` budget is
+    already spent on queue wait, and by the engine/router when the
+    propagated remaining budget runs out mid-request (between chunks,
+    or before a shard fan-out leg could be afforded).  Carries both
+    sides of the comparison in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_s: float | None = None,
+        elapsed_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: the total budget the request carried, in seconds
+        self.deadline_s = deadline_s
+        #: time already spent when the budget check failed
+        self.elapsed_s = elapsed_s

@@ -14,6 +14,7 @@ from .fig_lsh import (
 )
 from .fig_monitor import monitor_maintenance, tracing_overhead
 from .fig_ops import ops_plane_overhead
+from .fig_resilience import burst_serving
 from .fig_sharding import shard_scaleout
 from .fig_mc import (
     figure11_permutation_sizes,
@@ -66,5 +67,6 @@ __all__ = [
     "monitor_maintenance",
     "tracing_overhead",
     "ops_plane_overhead",
+    "burst_serving",
     "shard_scaleout",
 ]

@@ -34,7 +34,11 @@ three layers:
   span-tree :func:`phase_attribution`), and
   :mod:`~repro.monitor.server` (:class:`ObservabilityServer`:
   ``/metrics`` ``/health`` ``/ready`` ``/slo`` ``/alerts``
-  ``/profile`` over stdlib HTTP).
+  ``/profile`` over stdlib HTTP);
+* :mod:`~repro.monitor.faults` — :class:`FaultInjector`, reversible
+  fault injection (slow/failing shards, dropped jobs, crashed
+  workers, clock skew) for chaos-testing the degradation ladder and
+  the circuit breakers against real failure episodes.
 
 The one-liner::
 
@@ -52,6 +56,7 @@ from .alerts import (
     JsonlSink,
     ThresholdRule,
     router_rules,
+    service_rules,
 )
 from .drift import (
     CandidateDriftDetector,
@@ -63,6 +68,7 @@ from .drift import (
     TombstoneDetector,
     default_detectors,
 )
+from .faults import FaultInjector
 from .maintenance import (
     MaintenanceEvent,
     MaintenanceScheduler,
@@ -122,6 +128,8 @@ __all__ = [
     "CounterIncreaseRule",
     "JsonlSink",
     "router_rules",
+    "service_rules",
+    "FaultInjector",
     "SamplingProfiler",
     "phase_attribution",
     "phase_of",

@@ -43,6 +43,7 @@ __all__ = [
     "JsonlSink",
     "ThresholdRule",
     "router_rules",
+    "service_rules",
 ]
 
 _OPS = {
@@ -198,6 +199,36 @@ def router_rules(prefix: str = "router") -> list[AlertRule]:
         CounterIncreaseRule(
             f"{prefix}.shard_errors",
             f"{prefix}.shard_errors",
+            severity="warn",
+        ),
+    ]
+
+
+def service_rules(prefix: str = "service") -> list[AlertRule]:
+    """The stock rule battery for a :class:`ValuationService`'s counters.
+
+    Sustained shedding is the page-worthy signal: under
+    ``admission="shed"`` every rejected request increments
+    ``service.jobs_shed``, so growth across consecutive evaluations
+    means the queue has been at its bound for a whole evaluation
+    interval — the degradation ladder alone no longer absorbs the
+    load.  Deadline misses and degraded answers are warn-level
+    context for the same episode.
+    """
+    return [
+        CounterIncreaseRule(
+            f"{prefix}.shedding",
+            f"{prefix}.jobs_shed",
+            severity="critical",
+        ),
+        CounterIncreaseRule(
+            f"{prefix}.deadline_misses",
+            f"{prefix}.jobs_deadline_exceeded",
+            severity="warn",
+        ),
+        CounterIncreaseRule(
+            f"{prefix}.degraded",
+            f"{prefix}.jobs_degraded",
             severity="warn",
         ),
     ]

@@ -1,0 +1,335 @@
+"""Deterministic fault injection for chaos-testing the serving stack.
+
+Resilience claims that are never exercised are fiction.  This module
+is the harness the chaos suite (``tests/engine/test_resilience.py``)
+and the ``examples/bursty_market.py`` smoke drive use to *prove* the
+degradation ladder, the circuit breakers, and the shutdown paths: a
+:class:`FaultInjector` patches live components in place — no
+subclassing, no special test doubles — and restores every patch on
+:meth:`clear` (or on ``with`` exit), so a fault is always a bounded
+episode.
+
+Supported faults map one-to-one onto the failure modes the serving
+layer hardens against:
+
+==================  ================================================
+:meth:`slow_shard`   one :class:`~repro.engine.sharding.ShardRouter`
+                     member answers late → hedged retries, breaker
+                     trips, deadline propagation
+:meth:`slow_engine`  a single engine answers late → queue builds,
+                     the precision ladder engages
+:meth:`fail_backend` an engine raises on every entry point → typed
+                     shard errors, breaker opens
+:meth:`drop_job`     a queued job vanishes without a worker seeing
+                     it → ``shutdown()`` must settle the orphan
+:meth:`crash_worker  the worker pool dies with work still queued →
+s`                   queued jobs fail typed, never hang
+:meth:`skew_clock`   an SLO tracker's clock jumps → burn windows
+                     must not wedge the ladder down
+==================  ================================================
+
+Faults take an optional ``times``: the fault auto-expires after that
+many triggerings (the patch stays in place but passes through), which
+lets a test script a *transient* episode — e.g. "the shard is slow
+for exactly 3 calls, then healthy" — and assert recovery.
+
+Every injection and clear lands in the target's telemetry hub when
+one is attached (``faults.injected`` / ``faults.cleared`` counters),
+so a chaos run is legible in the same ``/metrics`` scrape operators
+already watch.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Optional
+
+from ..exceptions import ParameterError, ShardError
+
+__all__ = ["FaultInjector"]
+
+
+class _Fault:
+    """One applied patch: the undo record plus the trigger budget."""
+
+    def __init__(
+        self,
+        label: str,
+        obj,
+        attr: str,
+        had_own: bool,
+        original,
+        times: Optional[int],
+    ) -> None:
+        self.label = label
+        self.obj = obj
+        self.attr = attr
+        self.had_own = had_own
+        self.original = original
+        self.times = times  # None: until clear(); int: remaining triggers
+        self.triggered = 0
+        self.lock = threading.Lock()
+
+    def consume(self) -> bool:
+        """True while the fault should still apply (and count the hit)."""
+        with self.lock:
+            if self.times is not None and self.triggered >= self.times:
+                return False
+            self.triggered += 1
+            return True
+
+    def undo(self) -> None:
+        if self.had_own:
+            setattr(self.obj, self.attr, self.original)
+        else:
+            try:
+                delattr(self.obj, self.attr)
+            except AttributeError:
+                pass
+
+
+class FaultInjector:
+    """Inject bounded, reversible faults into live serving components.
+
+    Use as a context manager so no fault outlives its test::
+
+        with FaultInjector() as chaos:
+            chaos.slow_shard(router, 0, seconds=2.0, times=3)
+            ...  # drive load, assert hedging/breaker behavior
+        # all patches restored here
+
+    The injector never touches private state destructively: every
+    fault is an attribute patch recorded with enough information to
+    restore the object exactly (including removing the instance
+    attribute again when the original was a class method).
+    """
+
+    def __init__(self) -> None:
+        self._faults: list[_Fault] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _hub_of(self, obj):
+        return getattr(obj, "telemetry", None)
+
+    def _count(self, obj, name: str) -> None:
+        hub = self._hub_of(obj)
+        if hub is not None:
+            try:
+                hub.count(name)
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                pass
+
+    def _patch(
+        self, label: str, obj, attr: str, make, times: Optional[int]
+    ) -> _Fault:
+        if not hasattr(obj, attr):
+            raise ParameterError(
+                f"{type(obj).__name__} has no attribute {attr!r} to fault"
+            )
+        original = getattr(obj, attr)
+        fault = _Fault(
+            label, obj, attr, attr in vars(obj), original, times
+        )
+        setattr(obj, attr, make(original, fault))
+        with self._lock:
+            self._faults.append(fault)
+        self._count(obj, "faults.injected")
+        return fault
+
+    # -- latency faults -------------------------------------------------
+    def _slow_wrapper(self, seconds: float):
+        def make(original, fault):
+            def slow(*args, **kwargs):
+                if fault.consume():
+                    time.sleep(seconds)
+                return original(*args, **kwargs)
+
+            return slow
+
+        return make
+
+    def slow_engine(
+        self, engine, seconds: float, times: Optional[int] = None
+    ) -> "FaultInjector":
+        """Delay every engine entry point (``value``/``retrieve``/
+        ``distances``) by ``seconds`` for the next ``times`` calls."""
+        if seconds < 0:
+            raise ParameterError(f"seconds must be >= 0, got {seconds}")
+        make = self._slow_wrapper(seconds)
+        for attr in ("value", "retrieve", "distances"):
+            if hasattr(engine, attr):
+                self._patch(
+                    f"slow_engine[{attr}]", engine, attr, make, times
+                )
+        return self
+
+    def slow_shard(
+        self,
+        router,
+        shard_idx: int,
+        seconds: float,
+        times: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Delay one shard of a :class:`ShardRouter` — the canonical
+        straggler: hedges should win, the breaker should eventually
+        open if the delay exceeds the shard timeout."""
+        shards = getattr(router, "shards", None)
+        if not shards or not 0 <= shard_idx < len(shards):
+            raise ParameterError(
+                f"router has no shard index {shard_idx}"
+            )
+        return self.slow_engine(
+            shards[shard_idx].engine, seconds, times=times
+        )
+
+    # -- failure faults -------------------------------------------------
+    def fail_backend(
+        self,
+        engine,
+        exc: Optional[Exception] = None,
+        times: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Make every engine entry point raise (default: a typed
+        :class:`~repro.exceptions.ShardError`)."""
+        error = exc if exc is not None else ShardError(
+            "injected backend fault"
+        )
+
+        def make(original, fault):
+            def failing(*args, **kwargs):
+                if fault.consume():
+                    raise error
+                return original(*args, **kwargs)
+
+            return failing
+
+        for attr in ("value", "retrieve", "distances"):
+            if hasattr(engine, attr):
+                self._patch(
+                    f"fail_backend[{attr}]", engine, attr, make, times
+                )
+        return self
+
+    def fail_shard(
+        self,
+        router,
+        shard_idx: int,
+        exc: Optional[Exception] = None,
+        times: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Make one shard's engine raise on every entry point."""
+        shards = getattr(router, "shards", None)
+        if not shards or not 0 <= shard_idx < len(shards):
+            raise ParameterError(
+                f"router has no shard index {shard_idx}"
+            )
+        return self.fail_backend(
+            shards[shard_idx].engine, exc=exc, times=times
+        )
+
+    # -- queue faults ---------------------------------------------------
+    def drop_job(self, service):
+        """Steal one queued job out of a
+        :class:`~repro.engine.service.ValuationService` queue without
+        any worker seeing it — the "lost write" a broken queue
+        implementation would produce.  Returns the orphaned job (still
+        ``status == "queued"``); ``service.shutdown()`` must settle
+        it with a typed failure rather than hang."""
+        import queue as _queue
+
+        from ..engine.service import _SENTINEL
+
+        q = service._queue
+        stolen = []
+        dropped = None
+        try:
+            while True:
+                prio, seq, item = q.get_nowait()
+                if dropped is None and item is not _SENTINEL:
+                    dropped = item
+                    q.task_done()
+                else:
+                    stolen.append((prio, seq, item))
+        except _queue.Empty:
+            pass
+        for entry in stolen:
+            # re-enqueue is a fresh put with its own unfinished-task
+            # count; settle the steal's get_nowait or the service's
+            # shutdown(wait=True) join never converges
+            q.put(entry)
+            q.task_done()
+        if dropped is None:
+            raise ParameterError("no queued job to drop")
+        self._count(service, "faults.injected")
+        return dropped
+
+    def crash_workers(self, service, timeout: float = 5.0) -> "FaultInjector":
+        """Kill the worker pool with work still queued: jump-the-queue
+        sentinels make every worker exit before touching the backlog.
+        ``service.shutdown()`` must then fail the queued jobs typed
+        instead of blocking forever (the satellite fix)."""
+        from ..engine.service import _SENTINEL
+
+        for _ in service._workers:
+            service._queue.put(
+                (-math.inf, next(service._seq), _SENTINEL)
+            )
+        deadline = time.monotonic() + timeout
+        for worker in service._workers:
+            worker.join(max(0.0, deadline - time.monotonic()))
+        if any(w.is_alive() for w in service._workers):
+            raise ParameterError(
+                f"workers did not exit within {timeout}s"
+            )
+        self._count(service, "faults.injected")
+        return self
+
+    # -- clock faults ---------------------------------------------------
+    def skew_clock(
+        self, target, offset_s: float, times: Optional[int] = None
+    ) -> "FaultInjector":
+        """Shift a clock-injectable component's time source by
+        ``offset_s`` seconds (e.g. an :class:`SLOTracker`'s burn
+        windows, a breaker's cooldown clock)."""
+
+        def make(original: Callable[[], float], fault):
+            def skewed() -> float:
+                if fault.consume():
+                    return original() + offset_s
+                return original()
+
+            return skewed
+
+        self._patch("skew_clock", target, "clock", make, times)
+        return self
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[dict]:
+        """The live faults: label, target type, trigger counts."""
+        with self._lock:
+            return [
+                {
+                    "label": f.label,
+                    "target": type(f.obj).__name__,
+                    "triggered": f.triggered,
+                    "times": f.times,
+                }
+                for f in self._faults
+            ]
+
+    def clear(self) -> None:
+        """Restore every patched attribute, newest first."""
+        with self._lock:
+            faults, self._faults = self._faults, []
+        for fault in reversed(faults):
+            fault.undo()
+            self._count(fault.obj, "faults.cleared")
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.clear()

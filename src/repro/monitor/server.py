@@ -98,6 +98,17 @@ class ObservabilityServer:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def _resilience(self) -> Optional[dict]:
+        """The target's ``resilience()`` snapshot, when it exposes one."""
+        probe = getattr(self.target, "resilience", None)
+        if not callable(probe):
+            return None
+        try:
+            snap = probe()
+        except Exception:  # noqa: BLE001 - a probe bug must not break
+            return None  # the endpoint; readiness falls back to `ready`
+        return snap if isinstance(snap, dict) else None
+
     def _ready(self) -> tuple[bool, str]:
         target = self.target
         if target is None:
@@ -105,10 +116,24 @@ class ObservabilityServer:
         ready = getattr(target, "ready", None)
         if ready is None:
             return True, f"{type(target).__name__} exposes no readiness"
-        return bool(ready), (
-            f"{type(target).__name__} "
-            + ("accepting work" if ready else "shut down")
-        )
+        if not ready:
+            return False, f"{type(target).__name__} shut down"
+        snap = self._resilience()
+        if snap is not None:
+            if snap.get("shedding"):
+                return False, (
+                    f"{type(target).__name__} admission control is "
+                    f"shedding (queue_depth="
+                    f"{snap.get('queue_depth', '?')}, "
+                    f"max_queue={snap.get('max_queue', '?')})"
+                )
+            open_circuits = snap.get("open_circuits") or []
+            if open_circuits:
+                return False, (
+                    f"{type(target).__name__} shard circuit(s) open: "
+                    + ", ".join(str(c) for c in open_circuits)
+                )
+        return True, f"{type(target).__name__} accepting work"
 
     # ------------------------------------------------------------------
     def start(self) -> "ObservabilityServer":
@@ -213,14 +238,15 @@ class ObservabilityServer:
                 if self._started_monotonic is not None
                 else 0.0
             )
-            request._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "uptime_seconds": uptime,
-                    "endpoints": list(_ENDPOINTS),
-                },
-            )
+            payload = {
+                "status": "ok",
+                "uptime_seconds": uptime,
+                "endpoints": list(_ENDPOINTS),
+            }
+            snap = self._resilience()
+            if snap is not None:
+                payload["resilience"] = snap
+            request._send_json(200, payload)
         elif path == "/ready":
             ready, reason = self._ready()
             request._send_json(

@@ -1,0 +1,520 @@
+"""Chaos suite: the degradation ladder, breakers, and fault recovery.
+
+Every resilience claim the serving layer makes is exercised here
+against injected faults (:class:`repro.monitor.FaultInjector`):
+overload engages the precision ladder rung by rung, every degraded
+answer stays within its published certificate against the exact
+oracle, serving returns to exact once the fault clears, deadlines
+propagate across the shard fan-out, circuit breakers walk their full
+closed → open → half-open → closed lifecycle, and no shutdown path
+can strand a caller.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import exact_knn_shapley
+from repro.engine import (
+    DEFAULT_LADDER,
+    DegradationController,
+    ShardRouter,
+    ValuationEngine,
+    ValuationRequest,
+    ValuationService,
+)
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ParameterError,
+    ShardError,
+)
+from repro.monitor import (
+    AlertManager,
+    FaultInjector,
+    ObservabilityServer,
+    SLOTracker,
+    TelemetryHub,
+    service_rules,
+)
+
+K = 3
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.datasets import gaussian_blobs
+
+    return gaussian_blobs(n_train=150, n_test=10, n_features=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def oracle(data):
+    return exact_knn_shapley(data, K).values
+
+
+@pytest.fixture()
+def engine(data):
+    return ValuationEngine(data.x_train, data.y_train, K)
+
+
+# ---------------------------------------------------------------------------
+# the ladder's rungs keep their certificates
+# ---------------------------------------------------------------------------
+
+
+def test_mc_method_stays_within_certificate(data, engine, oracle):
+    result = engine.value(
+        data.x_test, data.y_test, method="mc", epsilon=0.3, delta=0.05, seed=11
+    )
+    assert result.method == "mc"
+    cert = result.extra["certificate"]
+    assert cert["bound"] == "bennett-theorem5"
+    assert cert["epsilon"] == pytest.approx(0.3)
+    err = np.max(np.abs(result.values - oracle))
+    assert err <= cert["epsilon"]
+
+
+def test_mc_explicit_budget_inverts_certificate(data, engine, oracle):
+    result = engine.value(
+        data.x_test,
+        data.y_test,
+        method="mc",
+        n_permutations=200,
+        delta=0.05,
+        seed=5,
+    )
+    cert = result.extra["certificate"]
+    assert cert["n_permutations"] == 200
+    # the certified epsilon is the smallest Theorem-5 target whose
+    # budget fits 200 permutations — and the realized error honors it
+    assert 0 < cert["epsilon"] < 1
+    assert np.max(np.abs(result.values - oracle)) <= cert["epsilon"]
+
+
+def test_every_non_exact_rung_certificate_holds(data, engine, oracle):
+    for rung in DEFAULT_LADDER[1:]:
+        kwargs = {"method": rung.method, "epsilon": rung.epsilon}
+        if rung.method == "mc":
+            kwargs.update(delta=rung.delta, seed=3)
+        result = engine.value(data.x_test, data.y_test, **kwargs)
+        err = np.max(np.abs(result.values - oracle))
+        assert err <= rung.epsilon + 1e-12, (rung.name, err)
+
+
+# ---------------------------------------------------------------------------
+# the controller: pressure mapping, recovery rule, deadline escalation
+# ---------------------------------------------------------------------------
+
+
+def test_controller_maps_pressure_to_rungs():
+    ctl = DegradationController(queue_low=1, queue_high=9)
+    assert ctl.plan(0)[0].name == "exact"
+    assert ctl.plan(1)[0].name == "exact"  # at queue_low: still exact
+    names = [ctl.plan(d)[0].name for d in (2, 5, 9, 50)]
+    assert names[0] == "truncated-fine"
+    assert names[-1] == "mc"
+    # monotone: deeper queue never picks a more precise rung
+    order = [r.name for r in ctl.ladder]
+    assert [order.index(n) for n in names] == sorted(
+        order.index(n) for n in names
+    )
+
+
+def test_controller_recovery_rule_ignores_stale_burn():
+    class Burny:
+        def worst_burn(self):
+            return 100.0
+
+    ctl = DegradationController(slo=Burny(), queue_low=1, queue_high=8)
+    # under pressure the burn signal holds the ladder down
+    assert ctl.plan(4)[0].name != "exact"
+    # but an idle queue serves exact immediately, burn history or not
+    rung, info = ctl.plan(0)
+    assert rung.name == "exact"
+    assert info["burn_pressure"] == 0.0
+
+
+def test_controller_deadline_escalation_steps_down():
+    ctl = DegradationController(queue_low=1, queue_high=9)
+    ctl.observe("truncated-fine", 10.0)  # EWMA: this rung takes ~10s
+    rung, info = ctl.plan(2, deadline_s=0.5)
+    assert rung.name != "truncated-fine"
+    assert info.get("deadline_escalated") is True
+
+
+def test_controller_rejects_bad_ladders():
+    from repro.engine import PrecisionRung
+
+    with pytest.raises(ParameterError):
+        DegradationController(ladder=())
+    with pytest.raises(ParameterError):
+        DegradationController(
+            ladder=(PrecisionRung("mc", "mc", epsilon=0.5),)
+        )
+    with pytest.raises(ParameterError):
+        DegradationController(queue_low=5, queue_high=5)
+
+
+# ---------------------------------------------------------------------------
+# overload: the service engages the ladder, then recovers to exact
+# ---------------------------------------------------------------------------
+
+
+def test_overload_engages_ladder_and_recovers(data, engine, oracle):
+    ctl = DegradationController(queue_low=1, queue_high=6)
+    with ValuationService(
+        engine, n_workers=1, degradation=ctl
+    ) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.08, times=3)
+        jobs = [
+            service.submit(ValuationRequest(data.x_test, data.y_test))
+            for _ in range(10)
+        ]
+        results = [j.result(timeout=60) for j in jobs]
+        # fault cleared and queue drained: an idle submission is exact
+        calm = service.submit(
+            ValuationRequest(data.x_test, data.y_test)
+        ).result(timeout=60)
+
+    degraded = [r for r in results if "degraded" in r.extra]
+    assert degraded, "overload never engaged the ladder"
+    rungs = {r.extra["degraded"]["rung"] for r in degraded}
+    assert rungs & {"truncated-fine", "truncated-coarse", "mc"}
+    # every degraded answer carries a certificate and honors it
+    for r in degraded:
+        cert = r.extra["degraded"]["certificate"]
+        assert cert["epsilon"] > 0
+        assert np.max(np.abs(r.values - oracle)) <= cert["epsilon"] + 1e-12
+    # recovery: the post-fault request is exact and unmarked
+    assert "degraded" not in calm.extra
+    assert np.max(np.abs(calm.values - oracle)) < 1e-10
+    picks = ctl.snapshot()["picks"]
+    assert picks["exact"] >= 1
+
+
+def test_degradation_skips_explicitly_non_exact_requests(data, engine):
+    ctl = DegradationController(queue_low=0, queue_high=2)
+    with ValuationService(
+        engine, n_workers=1, degradation=ctl
+    ) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.05, times=2)
+        jobs = [
+            service.submit(
+                ValuationRequest(
+                    data.x_test, data.y_test, method="truncated", epsilon=0.1
+                )
+            )
+            for _ in range(4)
+        ]
+        for j in jobs:
+            r = j.result(timeout=60)
+            # the caller asked for truncated(0.1); the ladder must not
+            # silently swap in a looser rung
+            assert r.extra["epsilon"] == pytest.approx(0.1)
+            assert "degraded" not in r.extra
+
+
+# ---------------------------------------------------------------------------
+# admission control and deadlines at the queue
+# ---------------------------------------------------------------------------
+
+
+def test_shed_admission_rejects_typed_and_reports(data, engine):
+    with ValuationService(
+        engine, n_workers=1, max_queue=2, admission="shed"
+    ) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.1)
+        accepted, rejections = [], []
+        for _ in range(8):
+            try:
+                accepted.append(
+                    service.submit(ValuationRequest(data.x_test, data.y_test))
+                )
+            except AdmissionRejectedError as exc:
+                rejections.append(exc)
+        assert rejections, "a bounded queue never shed"
+        assert rejections[0].max_queue == 2
+        res = service.resilience()
+        assert res["shedding"] is True
+        assert res["sheds"] == len(rejections)
+        stats = service.stats()
+        assert stats["counters"]["jobs_shed"] == len(rejections)
+        for job in accepted:
+            job.result(timeout=60)
+
+
+def test_deadline_missed_in_queue_fails_typed(data, engine):
+    with ValuationService(engine, n_workers=1) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.25, times=1)
+        blocker = service.submit(ValuationRequest(data.x_test, data.y_test))
+        doomed = service.submit(
+            ValuationRequest(data.x_test, data.y_test, deadline_ms=50)
+        )
+        blocker.result(timeout=60)
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=60)
+        assert doomed.status == "failed"
+        assert service.stats()["counters"]["jobs_deadline_exceeded"] == 1
+
+
+def test_priority_jumps_the_queue(data, engine):
+    with ValuationService(engine, n_workers=1) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.15, times=1)
+        service.submit(ValuationRequest(data.x_test, data.y_test))
+        time.sleep(0.03)  # let the worker pick the blocker up
+        low = service.submit(
+            ValuationRequest(data.x_test, data.y_test, priority=0)
+        )
+        high = service.submit(
+            ValuationRequest(data.x_test, data.y_test, priority=10)
+        )
+        low.result(timeout=60)
+        high.result(timeout=60)
+    assert high.finished_at < low.finished_at
+
+
+def test_engine_deadline_raises_typed(data, engine):
+    with pytest.raises(DeadlineExceededError):
+        engine.value(data.x_test, data.y_test, deadline_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# router: deadline propagation, breakers, hedging under a slow shard
+# ---------------------------------------------------------------------------
+
+
+def _router(data, **kwargs):
+    defaults = dict(
+        n_shards=4,
+        sharding="test",
+        hedge=False,
+        max_retries=0,
+        shard_timeout=30.0,
+    )
+    defaults.update(kwargs)
+    return ShardRouter(data.x_train, data.y_train, k=K, **defaults)
+
+
+def test_deadline_propagates_across_shard_fanout(data):
+    router = _router(data)
+    try:
+        with FaultInjector() as chaos:
+            for i in range(4):
+                chaos.slow_shard(router, i, 0.4)
+            t0 = time.perf_counter()
+            with pytest.raises(DeadlineExceededError):
+                router.value(data.x_test, data.y_test, deadline_s=0.15)
+            elapsed = time.perf_counter() - t0
+        # the deadline cut the request short instead of waiting out
+        # every slow leg serially
+        assert elapsed < 2.0
+        # a deadline miss is the request's fault, not the shards':
+        # no breaker may trip over it
+        assert router.resilience()["open_circuits"] == []
+        assert router.stats()["counters"]["deadline_exceeded"] >= 1
+    finally:
+        router.close()
+
+
+def test_breaker_full_lifecycle_with_fake_clock(data):
+    clk = {"t": 0.0}
+    router = _router(
+        data,
+        n_shards=2,
+        on_shard_error="partial",
+        breaker_threshold=2,
+        breaker_cooldown=10.0,
+        breaker_clock=lambda: clk["t"],
+    )
+    try:
+        with FaultInjector() as chaos:
+            chaos.fail_shard(router, 1, times=2)
+            for _ in range(2):
+                router.value(data.x_test, data.y_test)
+            assert router.resilience()["breakers"]["shard1"] == "open"
+            # while open the shard is skipped without being called
+            r = router.value(data.x_test, data.y_test)
+            assert "circuit open" in str(
+                r.extra["degraded"]["reasons"]["shard1"]
+            )
+        clk["t"] = 11.0  # past the cooldown: half-open admits a probe
+        assert router.resilience()["breakers"]["shard1"] == "half-open"
+        healed = router.value(data.x_test, data.y_test)
+        assert router.resilience()["breakers"]["shard1"] == "closed"
+        assert "degraded" not in healed.extra
+    finally:
+        router.close()
+
+
+def test_failing_shard_errors_are_typed(data):
+    router = _router(data, n_shards=2, on_shard_error="fail")
+    try:
+        with FaultInjector() as chaos:
+            chaos.fail_shard(router, 0, times=1)
+            with pytest.raises(ShardError):
+                router.value(data.x_test, data.y_test)
+        # fault expired: the very next request serves clean
+        result = router.value(data.x_test, data.y_test)
+        assert "degraded" not in result.extra
+    finally:
+        router.close()
+
+
+def test_router_mc_certificate_survives_sharding(data, oracle):
+    router = _router(data, n_shards=3, sharding="data")
+    try:
+        result = router.value(
+            data.x_test, data.y_test, method="mc", epsilon=0.3, delta=0.05,
+            seed=17,
+        )
+        cert = result.extra["certificate"]
+        assert cert["bound"] == "bennett-theorem5"
+        assert np.max(np.abs(result.values - oracle)) <= cert["epsilon"]
+    finally:
+        router.close()
+
+
+# ---------------------------------------------------------------------------
+# shutdown can never strand a caller
+# ---------------------------------------------------------------------------
+
+
+def test_crashed_workers_fail_backlog_typed(data, engine):
+    service = ValuationService(engine, n_workers=2)
+    with FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.15, times=2)
+        running = [
+            service.submit(ValuationRequest(data.x_test, data.y_test))
+            for _ in range(2)
+        ]
+        time.sleep(0.04)
+        queued = service.submit(ValuationRequest(data.x_test, data.y_test))
+        chaos.crash_workers(service)
+    t0 = time.perf_counter()
+    service.shutdown(wait=True)  # must not hang on the dead pool
+    assert time.perf_counter() - t0 < 5.0
+    with pytest.raises(AdmissionRejectedError):
+        queued.result(timeout=5)
+    for job in running:
+        job.result(timeout=5)  # picked up before the crash: served
+
+
+def test_dropped_job_is_settled_by_shutdown(data, engine):
+    service = ValuationService(engine, n_workers=1)
+    with FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.15, times=1)
+        service.submit(ValuationRequest(data.x_test, data.y_test))
+        time.sleep(0.03)
+        victim = service.submit(ValuationRequest(data.x_test, data.y_test))
+        orphan = chaos.drop_job(service)
+        assert orphan is victim
+    service.shutdown(wait=True)
+    with pytest.raises(AdmissionRejectedError):
+        victim.result(timeout=5)
+    assert victim.status == "failed"
+
+
+def test_dropped_job_behind_survivors_keeps_shutdown_converging(data, engine):
+    # the drop steals the queue head and re-enqueues everything behind
+    # it; a task-accounting slip there deadlocks shutdown(wait=True)
+    service = ValuationService(engine, n_workers=1)
+    with FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.15, times=1)
+        blocker = service.submit(ValuationRequest(data.x_test, data.y_test))
+        time.sleep(0.03)  # let the worker dequeue the blocker
+        victim = service.submit(ValuationRequest(data.x_test, data.y_test))
+        survivor = service.submit(ValuationRequest(data.x_test, data.y_test))
+        orphan = chaos.drop_job(service)
+        assert orphan is victim
+    start = time.perf_counter()
+    service.shutdown(wait=True)
+    assert time.perf_counter() - start < 30.0
+    assert blocker.result(timeout=5).values is not None
+    assert survivor.result(timeout=5).values is not None
+    with pytest.raises(AdmissionRejectedError):
+        victim.result(timeout=5)
+    assert victim.status == "failed"
+
+
+# ---------------------------------------------------------------------------
+# observability: readiness flips, alerts fire, clocks may skew
+# ---------------------------------------------------------------------------
+
+
+def test_ready_returns_503_while_shedding_or_circuit_open(data, engine):
+    import json
+    import urllib.error
+    import urllib.request
+
+    with ValuationService(
+        engine, n_workers=1, max_queue=1, admission="shed"
+    ) as service, FaultInjector() as chaos:
+        chaos.slow_engine(engine, 0.2)
+        kept = []
+        for _ in range(5):
+            try:
+                kept.append(
+                    service.submit(ValuationRequest(data.x_test, data.y_test))
+                )
+            except AdmissionRejectedError:
+                pass
+        with ObservabilityServer(target=service) as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(srv.url + "/ready")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert "shedding" in body["reason"]
+        for job in kept:
+            job.result(timeout=60)
+
+
+def test_service_rules_fire_on_sustained_shedding(data, engine):
+    hub = TelemetryHub()
+    engine.attach_telemetry(hub)
+    manager = AlertManager(hub, rules=service_rules())
+    with ValuationService(
+        engine, n_workers=1, max_queue=1, admission="shed"
+    ) as service, FaultInjector() as chaos:
+        manager.evaluate()  # seed counter baselines
+        chaos.slow_engine(engine, 0.15)
+        kept = []
+        for _ in range(6):
+            try:
+                kept.append(
+                    service.submit(ValuationRequest(data.x_test, data.y_test))
+                )
+            except AdmissionRejectedError:
+                pass
+        fired = {n["name"]: n for n in manager.evaluate()}
+        assert "service.shedding" in fired
+        assert fired["service.shedding"]["severity"] == "critical"
+        for job in kept:
+            job.result(timeout=60)
+
+
+def test_clock_skew_cannot_wedge_the_ladder_down(data, engine):
+    hub = TelemetryHub()
+    slo = SLOTracker(hub)
+    ctl = DegradationController(slo=slo, queue_low=1, queue_high=6)
+    with FaultInjector() as chaos:
+        chaos.skew_clock(slo, 3600.0)
+        # even with the SLO clock an hour ahead, an idle queue serves
+        # exact: the recovery rule consults depth before burn
+        rung, info = ctl.plan(0)
+        assert rung.name == "exact"
+        assert info["pressure"] == 0.0
+    assert abs(slo.clock() - time.monotonic()) < 1.0
+
+
+def test_fault_injector_restores_and_reports(engine, data):
+    chaos = FaultInjector()
+    chaos.slow_engine(engine, 0.0, times=1)
+    labels = [f["label"] for f in chaos.active()]
+    assert any("slow_engine" in label for label in labels)
+    chaos.clear()
+    assert chaos.active() == []
+    assert "value" not in vars(engine)
+    with pytest.raises(ParameterError):
+        chaos.slow_shard(object(), 0, 1.0)

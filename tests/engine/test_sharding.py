@@ -264,7 +264,7 @@ def test_transient_error_is_retried_once(data):
     assert "degraded" not in result.extra
 
 
-def test_timeout_degrades_without_retry(data):
+def test_timeout_hedges_once_without_retry(data):
     with _router(
         data, n_shards=2, on_shard_error="partial", shard_timeout=0.05
     ) as router:
@@ -281,9 +281,38 @@ def test_timeout_degrades_without_retry(data):
         result = router.value(data.x_test, data.y_test)
         stats = router.stats()["counters"]
         assert stats["shard_timeouts"] >= 1
+        assert stats["hedges"] == 1
         assert stats["retries"] == 0
     assert "timeout" in result.extra["degraded"]["reasons"]["shard1"]
-    assert calls["n"] == 1  # timed-out legs are not retried
+    # the timed-out leg is hedged exactly once, never retried in place
+    assert calls["n"] == 2
+
+
+def test_timeout_without_hedge_calls_once(data):
+    with _router(
+        data,
+        n_shards=2,
+        on_shard_error="partial",
+        shard_timeout=0.05,
+        hedge=False,
+    ) as router:
+        calls = {"n": 0}
+        lock = threading.Lock()
+
+        def stall(*a, **kw):
+            with lock:
+                calls["n"] += 1
+            time.sleep(0.6)
+            raise RuntimeError("unreachable in practice")
+
+        router.shards[1].engine.retrieve = stall
+        result = router.value(data.x_test, data.y_test)
+        stats = router.stats()["counters"]
+        assert stats["shard_timeouts"] >= 1
+        assert stats["hedges"] == 0
+        assert stats["retries"] == 0
+    assert "timeout" in result.extra["degraded"]["reasons"]["shard1"]
+    assert calls["n"] == 1
 
 
 # ------------------------------------------------------ observability
